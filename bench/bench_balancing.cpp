@@ -1,0 +1,91 @@
+// Experiment E9 (DESIGN.md): Section 4.1 -- strong balancing of SLPs in
+// O(|S| * log n) ([36]-style; stands in for [18]'s linear-time theorem, see
+// DESIGN.md substitutions), and the resulting 2-shallowness.
+//
+// Expected shape: Rebalance time grows roughly as |S| * log |D|; the
+// rebalanced SLPs are strongly balanced and 2-shallow at every size;
+// AVL concatenation cost tracks the height difference, not the lengths.
+#include <benchmark/benchmark.h>
+
+#include "slp/avl_grammar.hpp"
+#include "slp/balance.hpp"
+#include "slp/slp_builder.hpp"
+#include "util/common.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+void BM_Rebalance_RePairOutput(benchmark::State& state) {
+  Rng rng(8);
+  const std::string doc = DnaLike(rng, static_cast<std::size_t>(state.range(0)), 8, 32);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Slp slp;
+    const NodeId root = BuildRePair(slp, doc);
+    state.ResumeTiming();
+    const NodeId balanced = Rebalance(slp, root);
+    benchmark::DoNotOptimize(balanced);
+    state.PauseTiming();
+    Require(IsStronglyBalanced(slp, balanced), "rebalance broke balance");
+    Require(IsShallow(slp, balanced, 2.0), "rebalanced SLP not 2-shallow");
+    state.counters["input_nodes"] = static_cast<double>(slp.ReachableSize(root));
+    state.counters["output_nodes"] = static_cast<double>(slp.ReachableSize(balanced));
+    state.ResumeTiming();
+  }
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_Rebalance_RePairOutput)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Iterations(20);  // untimed per-iteration grammar rebuild dominates otherwise
+
+void BM_Rebalance_Caterpillar(benchmark::State& state) {
+  // Worst-case input: a left spine of depth |D| (order n); rebalancing must
+  // bring the order down to O(log n).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Slp slp;
+    NodeId root = slp.Terminal('a');
+    for (int i = 1; i < n; ++i) root = slp.Pair(root, slp.Terminal(i % 2 ? 'b' : 'a'));
+    state.ResumeTiming();
+    const NodeId balanced = Rebalance(slp, root);
+    benchmark::DoNotOptimize(balanced);
+    state.PauseTiming();
+    state.counters["order_before"] = static_cast<double>(slp.Order(root));
+    state.counters["order_after"] = static_cast<double>(slp.Order(balanced));
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Rebalance_Caterpillar)->RangeMultiplier(4)->Range(256, 16384)
+    ->Iterations(20);
+
+void BM_AvlConcat_EqualHeights(benchmark::State& state) {
+  Rng rng(31);
+  Slp slp;
+  const NodeId a = BalancedFromString(slp, RandomString(rng, "ab", 1 << 14));
+  const NodeId b = BalancedFromString(slp, RandomString(rng, "ab", 1 << 14));
+  for (auto _ : state) {
+    Slp working = slp;  // keep the arena from growing unboundedly
+    benchmark::DoNotOptimize(AvlConcat(working, a, b));
+  }
+}
+BENCHMARK(BM_AvlConcat_EqualHeights);
+
+void BM_AvlConcat_SkewedHeights(benchmark::State& state) {
+  // Concatenating a single character onto a huge balanced tree: cost is
+  // O(height difference) new nodes, still logarithmic overall.
+  Rng rng(32);
+  Slp slp;
+  const NodeId big =
+      BalancedFromString(slp, RandomString(rng, "ab", std::size_t{1} << state.range(0)));
+  const NodeId tiny = slp.Terminal('c');
+  for (auto _ : state) {
+    Slp working = slp;
+    benchmark::DoNotOptimize(AvlConcat(working, big, tiny));
+  }
+  state.counters["big_order"] = static_cast<double>(slp.Order(big));
+}
+BENCHMARK(BM_AvlConcat_SkewedHeights)->DenseRange(10, 18, 4);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,94 @@
+// Experiment E10 (DESIGN.md): Section 4.3 / [40] -- complex document
+// editing on strongly balanced SLPs in O(|φ| * log d), including the
+// maintenance of the spanner-enumeration structures.
+//
+// Expected shape: CDE update time is nearly flat as the document length
+// doubles (only the log factor grows), while the recompress-from-scratch
+// baseline grows linearly; incremental matrix maintenance touches only the
+// nodes the update created.
+#include <benchmark/benchmark.h>
+
+#include "core/regular_spanner.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/cde.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_enum.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+std::string MakeDoc(std::size_t n) {
+  Rng rng(12);
+  return DnaLike(rng, n, 8, 32);
+}
+
+void BM_Cde_Update(benchmark::State& state) {
+  const std::string text = MakeDoc(static_cast<std::size_t>(state.range(0)));
+  DocumentDatabase base;
+  base.AddDocument(Rebalance(base.slp(), BuildRePair(base.slp(), text)));
+  const std::string expression =
+      "concat(insert(D1, extract(D1, 17, 170), " + std::to_string(text.size() / 2) + "), D1)";
+  CdeParseResult parsed = ParseCde(expression);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DocumentDatabase database = base;  // fresh copy per update
+    state.ResumeTiming();
+    const NodeId result = EvalCde(&database, *parsed.expr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(text.size());
+  state.counters["phi_size"] = static_cast<double>(parsed.expr->size());
+}
+BENCHMARK(BM_Cde_Update)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_Cde_RecompressBaseline(benchmark::State& state) {
+  // The naive alternative: materialise the edited document and re-run the
+  // grammar compressor from scratch.
+  const std::string text = MakeDoc(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string edited = text;
+    edited.insert(text.size() / 2, text.substr(16, 154));
+    edited += text;
+    Slp slp;
+    benchmark::DoNotOptimize(BuildRePair(slp, edited));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_Cde_RecompressBaseline)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_Cde_UpdateThenQuery(benchmark::State& state) {
+  // Update + incremental maintenance + re-enumeration: the end-to-end
+  // workflow of [40]. Matrices persist across updates; only new nodes pay.
+  const std::string text = MakeDoc(static_cast<std::size_t>(state.range(0)));
+  DocumentDatabase database;
+  database.AddDocument(Rebalance(database.slp(), BuildRePair(database.slp(), text)));
+  const RegularSpanner spanner = RegularSpanner::Compile(".*{x: acgt}.*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  // Warm the cache with the base document.
+  evaluator.Evaluate(database.slp(), database.document(0),
+                     [](const SpanTuple&) { return false; });
+  uint64_t offset = 1;
+  std::size_t last_growth = 0;
+  for (auto _ : state) {
+    const uint64_t length = database.slp().Length(database.document(0));
+    const uint64_t position = 1 + (offset * 977) % (length / 2);
+    offset++;
+    const std::string expression = "copy(D1, " + std::to_string(position) + ", " +
+                                   std::to_string(position + 63) + ", 1)";
+    const std::size_t cache_before = evaluator.cache_size();
+    const std::size_t index = ApplyCde(&database, expression);
+    std::size_t first_matches = 0;
+    evaluator.Evaluate(database.slp(), database.document(index),
+                       [&](const SpanTuple&) { return ++first_matches < 8; });
+    last_growth = evaluator.cache_size() - cache_before;
+    benchmark::DoNotOptimize(first_matches);
+    database.SetDocument(0, database.document(0));  // keep querying the base
+  }
+  state.counters["doc_bytes"] = static_cast<double>(text.size());
+  state.counters["matrices_per_update"] = static_cast<double>(last_growth);
+}
+BENCHMARK(BM_Cde_UpdateThenQuery)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,108 @@
+// Experiment E12 (DESIGN.md): substrate sanity for Section 4 -- SLP
+// compression rates and build throughput of the three builders on the
+// synthetic workload families (logs, DNA-like, boilerplate text).
+//
+// Expected shape: Re-Pair compresses repetitive inputs far below input
+// size (boilerplate with low noise best, random worst); compressibility
+// degrades smoothly as the noise knob rises; the balanced builder never
+// compresses but is fastest.
+#include <benchmark/benchmark.h>
+
+#include "slp/slp_builder.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+void ReportRatio(benchmark::State& state, const std::string& doc, NodeId root,
+                 const Slp& slp) {
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+  state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+  state.counters["chars_per_node"] =
+      static_cast<double>(doc.size()) / static_cast<double>(slp.ReachableSize(root));
+}
+
+void BM_RePair_Boilerplate(benchmark::State& state) {
+  Rng rng(1);
+  const double noise = static_cast<double>(state.range(0)) / 100.0;
+  const std::string doc = BoilerplateText(rng, 256, noise);
+  Slp slp;
+  NodeId root = kNoNode;
+  for (auto _ : state) {
+    Slp fresh;
+    root = BuildRePair(fresh, doc);
+    benchmark::DoNotOptimize(root);
+    slp = std::move(fresh);
+  }
+  ReportRatio(state, doc, root, slp);
+  state.counters["noise_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RePair_Boilerplate)->Arg(0)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_RePair_SyntheticLog(benchmark::State& state) {
+  Rng rng(2);
+  const std::string doc = SyntheticLog(rng, static_cast<std::size_t>(state.range(0)));
+  Slp slp;
+  NodeId root = kNoNode;
+  for (auto _ : state) {
+    Slp fresh;
+    root = BuildRePair(fresh, doc);
+    benchmark::DoNotOptimize(root);
+    slp = std::move(fresh);
+  }
+  ReportRatio(state, doc, root, slp);
+}
+BENCHMARK(BM_RePair_SyntheticLog)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_RePair_DnaLike(benchmark::State& state) {
+  Rng rng(3);
+  const std::string doc =
+      DnaLike(rng, static_cast<std::size_t>(state.range(0)), 8, 32);
+  Slp slp;
+  NodeId root = kNoNode;
+  for (auto _ : state) {
+    Slp fresh;
+    root = BuildRePair(fresh, doc);
+    benchmark::DoNotOptimize(root);
+    slp = std::move(fresh);
+  }
+  ReportRatio(state, doc, root, slp);
+}
+BENCHMARK(BM_RePair_DnaLike)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_Balanced_Baseline(benchmark::State& state) {
+  Rng rng(4);
+  const std::string doc = RandomString(rng, "acgt", static_cast<std::size_t>(state.range(0)));
+  Slp slp;
+  NodeId root = kNoNode;
+  for (auto _ : state) {
+    Slp fresh;
+    root = BuildBalanced(fresh, doc);
+    benchmark::DoNotOptimize(root);
+    slp = std::move(fresh);
+  }
+  ReportRatio(state, doc, root, slp);
+}
+BENCHMARK(BM_Balanced_Baseline)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_RunLength_Runs(benchmark::State& state) {
+  Rng rng(5);
+  // Long runs: run-length front end shines.
+  std::string doc;
+  while (doc.size() < static_cast<std::size_t>(state.range(0))) {
+    doc.append(8 + rng.NextBelow(64), static_cast<char>('a' + rng.NextBelow(4)));
+  }
+  Slp slp;
+  NodeId root = kNoNode;
+  for (auto _ : state) {
+    Slp fresh;
+    root = BuildRunLength(fresh, doc);
+    benchmark::DoNotOptimize(root);
+    slp = std::move(fresh);
+  }
+  ReportRatio(state, doc, root, slp);
+}
+BENCHMARK(BM_RunLength_Runs)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,83 @@
+// Experiment E3 (DESIGN.md): Section 2.4 -- core-spanner NonEmptiness is
+// NP-hard, witnessed by pattern matching with variables.
+//
+// Expected shape: backtracking steps (and time) grow exponentially with the
+// number of pattern variables on non-matching instances, while the document
+// stays fixed; the regular-spanner NonEmptiness baseline on the same
+// documents stays flat.
+#include <benchmark/benchmark.h>
+
+#include "core/decision.hpp"
+#include "core/pattern_matching.hpp"
+
+namespace spanners {
+namespace {
+
+/// Hard non-matching instance: x1 x1 x2 x2 ... xk xk b against a^n --
+/// every split must be exhausted before rejecting.
+Pattern HardPattern(int k) {
+  std::string spec;
+  for (int v = 0; v < k; ++v) {
+    const std::string name = "x" + std::to_string(v);
+    spec += "&" + name + ";&" + name + ";";
+  }
+  spec += "b";
+  return Pattern::Parse(spec);
+}
+
+void BM_PatternMatching_Steps(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Pattern pattern = HardPattern(k);
+  const std::string doc(24, 'a');
+  bool matched = true;
+  for (auto _ : state) {
+    matched = pattern.Matches(doc);
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["variables"] = static_cast<double>(k);
+  state.counters["backtrack_steps"] = static_cast<double>(pattern.last_steps());
+  state.counters["matched"] = matched ? 1 : 0;
+}
+BENCHMARK(BM_PatternMatching_Steps)->DenseRange(1, 6);
+
+void BM_PatternMatching_ViaCoreSpanner(benchmark::State& state) {
+  // The paper's reduction: NonEmptiness of pi_emptyset(selections(regex)).
+  const int k = static_cast<int>(state.range(0));
+  const Pattern pattern = HardPattern(k);
+  const CoreNormalForm core = pattern.ToCoreSpanner("ab");
+  const std::string doc(12, 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNonEmptiness(core, doc));
+  }
+  state.counters["variables"] = static_cast<double>(k);
+  state.counters["automaton_states"] = static_cast<double>(core.automaton.edva().num_states());
+}
+BENCHMARK(BM_PatternMatching_ViaCoreSpanner)->DenseRange(1, 3);
+
+void BM_RegularBaseline_SameDocument(benchmark::State& state) {
+  // Regular-spanner NonEmptiness on the same documents: flat and fast.
+  const RegularSpanner spanner = RegularSpanner::Compile("{x: a*}b");
+  const std::string doc(24, 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularNonEmptiness(spanner, doc));
+  }
+}
+BENCHMARK(BM_RegularBaseline_SameDocument);
+
+void BM_PatternMatching_CopyLanguage(benchmark::State& state) {
+  // ww (copy language): matching instances scale with |D| but stay
+  // polynomial for one variable; the contrast axis to the k-sweep above.
+  const Pattern pattern = Pattern::Parse("&w;&w;");
+  std::string doc;
+  for (int i = 0; i < state.range(0); ++i) doc += "ab";
+  doc += doc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.Matches(doc));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+  state.counters["backtrack_steps"] = static_cast<double>(pattern.last_steps());
+}
+BENCHMARK(BM_PatternMatching_CopyLanguage)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+}  // namespace spanners

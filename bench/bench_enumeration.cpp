@@ -1,0 +1,95 @@
+// Experiment E1 (DESIGN.md): Section 2.5 of the paper -- enumeration of
+// regular-spanner results with linear preprocessing and constant delay.
+//
+// Expected shape: preprocessing time grows linearly with |D|; the maximum
+// number of enumeration steps between consecutive tuples (delay) stays flat
+// as |D| grows by 64x.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/regular_spanner.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+std::string Document(std::size_t n) {
+  Rng rng(4242);
+  return RandomString(rng, "ab", n);
+}
+
+// Preprocessing phase alone: build the alive/jump tables.
+void BM_Enum_Preprocessing(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*a{x: b+}a(a|b)*");
+  const std::string doc = Document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Enumerator enumerator(&spanner.edva(), doc);
+    benchmark::DoNotOptimize(&enumerator);
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["bytes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_Enum_Preprocessing)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+// Full enumeration; reports the delay distribution.
+void BM_Enum_Delay(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*a{x: b+}a(a|b)*");
+  const std::string doc = Document(static_cast<std::size_t>(state.range(0)));
+  std::size_t max_delay = 0;
+  double total_delay = 0;
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    Enumerator enumerator(&spanner.edva(), doc);
+    max_delay = 0;
+    total_delay = 0;
+    tuples = 0;
+    while (enumerator.Next()) {
+      max_delay = std::max(max_delay, enumerator.last_delay_steps());
+      total_delay += static_cast<double>(enumerator.last_delay_steps());
+      ++tuples;
+    }
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["max_delay_steps"] = static_cast<double>(max_delay);
+  state.counters["avg_delay_steps"] = tuples ? total_delay / static_cast<double>(tuples) : 0;
+}
+BENCHMARK(BM_Enum_Delay)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+// The same task via full materialisation, for context (output-bound).
+void BM_Enum_Materialize(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*a{x: b+}a(a|b)*");
+  const std::string doc = Document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner.Evaluate(doc));
+  }
+}
+BENCHMARK(BM_Enum_Materialize)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+// Multi-variable spanner: delay scales with the number of variables k (the
+// "constant" of constant delay), not with |D|.
+void BM_Enum_DelayVsVariables(benchmark::State& state) {
+  std::string pattern = "(a|b)*";
+  const int k = static_cast<int>(state.range(0));
+  for (int v = 0; v < k; ++v) {
+    pattern += "a{x" + std::to_string(v) + ": b+}";
+  }
+  pattern += "a(a|b)*";
+  const RegularSpanner spanner = RegularSpanner::Compile(pattern);
+  const std::string doc = Document(1 << 12);
+  std::size_t max_delay = 0;
+  for (auto _ : state) {
+    Enumerator enumerator(&spanner.edva(), doc);
+    max_delay = 0;
+    while (enumerator.Next()) {
+      max_delay = std::max(max_delay, enumerator.last_delay_steps());
+    }
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["max_delay_steps"] = static_cast<double>(max_delay);
+}
+BENCHMARK(BM_Enum_DelayVsVariables)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,86 @@
+// Experiment F1 (DESIGN.md): Figure 1 of the paper, reproduced and measured.
+// The example SLP is rebuilt exactly (documents, orders, balance values are
+// asserted), then used to benchmark the basic SLP primitives: derivation,
+// random access, substring extraction, and extension by new nodes (the
+// figure's grey part).
+#include <benchmark/benchmark.h>
+
+#include "slp/balance.hpp"
+#include "slp/slp.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+struct Figure1 {
+  Slp slp;
+  NodeId e, f, c, b, d, a1, a2, a3;
+
+  Figure1() {
+    const NodeId ta = slp.Terminal('a');
+    const NodeId tb = slp.Terminal('b');
+    const NodeId tc = slp.Terminal('c');
+    e = slp.Pair(ta, tb);
+    f = slp.Pair(tb, tc);
+    c = slp.Pair(f, ta);
+    b = slp.Pair(e, c);
+    d = slp.Pair(c, b);
+    a3 = slp.Pair(e, b);
+    a1 = slp.Pair(a3, c);
+    a2 = slp.Pair(c, d);
+    // Verify against the paper's stated facts; abort loudly on mismatch.
+    Require(slp.Derive(a1) == "ababbcabca", "Fig1: D(A1) mismatch");
+    Require(slp.Derive(a2) == "bcabcaabbca", "Fig1: D(A2) mismatch");
+    Require(slp.Derive(a3) == "ababbca", "Fig1: D(A3) mismatch");
+    Require(slp.Order(a1) == 6 && slp.Order(a2) == 6 && slp.Order(a3) == 5,
+            "Fig1: orders mismatch");
+    Require(slp.Balance(a1) == 2 && slp.Balance(a2) == -2 && slp.Balance(a3) == -2,
+            "Fig1: balance mismatch");
+  }
+};
+
+void BM_Fig1_Derive(benchmark::State& state) {
+  Figure1 fig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fig.slp.Derive(fig.a1));
+    benchmark::DoNotOptimize(fig.slp.Derive(fig.a2));
+    benchmark::DoNotOptimize(fig.slp.Derive(fig.a3));
+  }
+  state.counters["slp_nodes"] = static_cast<double>(fig.slp.num_nodes());
+  state.counters["doc_bytes_total"] = 10 + 11 + 7;
+}
+BENCHMARK(BM_Fig1_Derive);
+
+void BM_Fig1_RandomAccess(benchmark::State& state) {
+  Figure1 fig;
+  uint64_t position = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fig.slp.CharAt(fig.a2, position));
+    position = (position + 7) % fig.slp.Length(fig.a2);
+  }
+}
+BENCHMARK(BM_Fig1_RandomAccess);
+
+void BM_Fig1_GreyExtension(benchmark::State& state) {
+  // Adding the grey nodes A4, G, A5 of Figure 1: document database growth
+  // by pure node insertion (Section 4.3's easy case).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Figure1 fig;
+    state.ResumeTiming();
+    const NodeId a4 = fig.slp.Pair(fig.a2, fig.a1);
+    const NodeId g = fig.slp.Pair(fig.d, fig.b);
+    const NodeId a5 = fig.slp.Pair(fig.b, g);
+    benchmark::DoNotOptimize(a4);
+    benchmark::DoNotOptimize(a5);
+  }
+  Figure1 fig;
+  const NodeId g = fig.slp.Pair(fig.d, fig.b);
+  const NodeId a5 = fig.slp.Pair(fig.b, g);
+  Require(fig.slp.Derive(a5) == "abbcabcaabbcaabbca", "Fig1: D(A5) mismatch");
+  state.counters["d5_len"] = static_cast<double>(fig.slp.Length(a5));
+}
+BENCHMARK(BM_Fig1_GreyExtension);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,75 @@
+// Experiment E5 (DESIGN.md): Section 3.3 -- ModelChecking for refl-spanners
+// runs in linear time (same shape as for regular spanners), thanks to
+// reference arcs becoming O(1) hash-checked jumps.
+//
+// Expected shape: refl ModelCheck time grows linearly in |D| with a slope
+// comparable to regular ModelCheck; the tuple is checked at the far end of
+// the document so the whole input is always traversed.
+#include <benchmark/benchmark.h>
+
+#include "core/decision.hpp"
+#include "refl/refl_eval.hpp"
+#include "refl/refl_spanner.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+struct Instance {
+  std::string document;
+  SpanTuple tuple;
+};
+
+/// Document: noise + P + noise + P with P of length 32; tuple marks the
+/// first occurrence as x.
+Instance MakeInstance(std::size_t n) {
+  Rng rng(11);
+  std::string noise = RandomString(rng, "abc", n / 2);
+  const std::string passage = RandomString(rng, "ab", 32);
+  std::string doc = noise + passage + RandomString(rng, "abc", n / 2) + passage;
+  Instance instance;
+  instance.tuple = SpanTuple::Of({Span(static_cast<Position>(noise.size() + 1),
+                                       static_cast<Position>(noise.size() + 33))});
+  instance.document = std::move(doc);
+  return instance;
+}
+
+void BM_ReflModelCheck(benchmark::State& state) {
+  const ReflSpanner spanner = ReflSpanner::Compile(".*{x: (a|b)+}.*&x;");
+  const Instance instance = MakeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner.ModelCheck(instance.document, instance.tuple));
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["holds"] = spanner.ModelCheck(instance.document, instance.tuple) ? 1 : 0;
+}
+BENCHMARK(BM_ReflModelCheck)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_RegularModelCheck_Baseline(benchmark::State& state) {
+  // The regular analogue (no reference): the slope to compare against.
+  const RegularSpanner spanner = RegularSpanner::Compile(".*{x: (a|b)+}.*");
+  const Instance instance = MakeInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner.ModelCheck(instance.document, instance.tuple));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RegularModelCheck_Baseline)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_ReflNonEmptiness_SmallDocs(benchmark::State& state) {
+  // NonEmptiness stays NP-hard: exhaustive search over candidate spans.
+  // Kept on small documents; the growth is the point.
+  const ReflSpanner spanner = ReflSpanner::Compile(".*{x: (a|b)+}.*&x;.*");
+  Rng rng(3);
+  const std::string doc = RandomString(rng, "ab", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReflNonEmptiness(spanner, doc));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReflNonEmptiness_SmallDocs)->RangeMultiplier(2)->Range(16, 256);
+
+}  // namespace
+}  // namespace spanners

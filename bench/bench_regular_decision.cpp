@@ -1,0 +1,78 @@
+// Experiment E2 (DESIGN.md): Section 2.4 -- the evaluation and static
+// analysis problems for *regular* spanners are tractable.
+//
+// Expected shape: ModelChecking and NonEmptiness linear in |D|;
+// Satisfiability and Hierarchicality independent of any document;
+// Containment feasible on moderate automata (PSpace-complete in general).
+#include <benchmark/benchmark.h>
+
+#include "core/decision.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+std::string Document(std::size_t n) {
+  Rng rng(7);
+  return RandomString(rng, "ab", n);
+}
+
+void BM_Regular_ModelCheck(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  std::string doc = Document(static_cast<std::size_t>(state.range(0)));
+  doc[doc.size() / 2] = 'b';
+  const Position mid = static_cast<Position>(doc.size() / 2 + 1);
+  const SpanTuple tuple = SpanTuple::Of(
+      {Span(1, mid), Span(mid, mid + 1), Span(mid + 1, static_cast<Position>(doc.size() + 1))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularModelCheck(spanner, doc, tuple));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Regular_ModelCheck)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_Regular_NonEmptiness(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*{x: ab}ba(a|b)*");
+  const std::string doc = Document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularNonEmptiness(spanner, doc));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Regular_NonEmptiness)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_Regular_Satisfiability(benchmark::State& state) {
+  const RegularSpanner spanner =
+      RegularSpanner::Compile("{x: (a|b)*}(c|d)*{y: (a|c)+}{z: d}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularSatisfiability(spanner));
+  }
+}
+BENCHMARK(BM_Regular_Satisfiability);
+
+void BM_Regular_Hierarchicality(benchmark::State& state) {
+  // A join producing overlapping spans: the check must detect it.
+  const auto joined = SpannerExpr::Join(SpannerExpr::Parse("{x: aa}a(a|b)*"),
+                                        SpannerExpr::Parse("a{y: aa}(a|b)*"));
+  const RegularSpanner spanner = CompileRegular(joined);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularHierarchicality(spanner));
+  }
+  state.counters["hierarchical"] = RegularHierarchicality(spanner) ? 1 : 0;
+}
+BENCHMARK(BM_Regular_Hierarchicality);
+
+void BM_Regular_Equivalence(benchmark::State& state) {
+  const RegularSpanner a = RegularSpanner::Compile("{x: (a|b)*abb}");
+  const RegularSpanner b = RegularSpanner::Compile("{x: (b|a)*abb}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpannerEquivalent(a, b));
+  }
+  state.counters["equivalent"] = SpannerEquivalent(a, b) ? 1 : 0;
+}
+BENCHMARK(BM_Regular_Equivalence);
+
+}  // namespace
+}  // namespace spanners

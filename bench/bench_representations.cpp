@@ -1,0 +1,81 @@
+// Experiment E11 (DESIGN.md): Section 2.2 -- representation ablation.
+// The same spanner evaluated through (a) the determinised extended VA with
+// the two-phase enumeration and (b) naive product-DFS over the
+// nondeterministic vset-automaton; plus the determinisation blow-up itself.
+//
+// Expected shape: eDVA evaluation scales linearly and beats the naive DFS
+// by a growing factor; determinisation size stays moderate for typical
+// extraction regexes but can grow with alternation-heavy patterns.
+#include <benchmark/benchmark.h>
+
+#include "core/extended_va.hpp"
+#include "core/regex_parser.hpp"
+#include "core/regular_spanner.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+const char* kPattern = "(a|b)*{x: a(a|b)?}{y: b+}(a|b)*";
+
+void BM_Repr_EdvaEvaluate(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  Rng rng(2);
+  const std::string doc = RandomString(rng, "ab", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner.Evaluate(doc));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Repr_EdvaEvaluate)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_Repr_NaiveEvaluate(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  Rng rng(2);
+  const std::string doc = RandomString(rng, "ab", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner.EvaluateNaive(doc));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Repr_NaiveEvaluate)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_Repr_DeterminizationBlowup(benchmark::State& state) {
+  // Alternation ladders: (a|b)...{x: ...} with k alternatives.
+  const int k = static_cast<int>(state.range(0));
+  std::string pattern = "(";
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) pattern += "|";
+    pattern += "a(a|b)";
+    pattern += std::to_string(0);  // literal digit, widens the alphabet
+  }
+  pattern += ")*{x: a+}";
+  std::size_t nondet_states = 0, det_states = 0;
+  for (auto _ : state) {
+    const VsetAutomaton vset = VsetAutomaton::FromRegex(MustParse(pattern));
+    const ExtendedVA eva = ExtendedVA::FromVset(vset);
+    const ExtendedVA det = eva.Determinized();
+    nondet_states = eva.num_states();
+    det_states = det.num_states();
+    benchmark::DoNotOptimize(det_states);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["nondet_states"] = static_cast<double>(nondet_states);
+  state.counters["det_states"] = static_cast<double>(det_states);
+}
+BENCHMARK(BM_Repr_DeterminizationBlowup)->DenseRange(1, 5);
+
+void BM_Repr_NormalizationRoundTrip(benchmark::State& state) {
+  // eDVA -> normalised vset-automaton (Option 1 of §2.2) -> eDVA: the
+  // canonicalisation used by containment/equivalence.
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  for (auto _ : state) {
+    const VsetAutomaton normalized = spanner.edva().ToNormalizedVset();
+    const ExtendedVA round = ExtendedVA::FromVset(normalized).Determinized();
+    benchmark::DoNotOptimize(round.num_states());
+  }
+}
+BENCHMARK(BM_Repr_NormalizationRoundTrip);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,107 @@
+// Experiment E8 (DESIGN.md): the main result of [39] (paper, Section 4.2):
+// spanner enumeration over SLP-compressed documents with O(|S|)
+// preprocessing and O(log |D|) delay.
+//
+// Expected shape: on compressible documents, compressed preprocessing
+// (per-node matrices) grows with |S| -- exponentially smaller than |D| --
+// while uncompressed preprocessing grows with |D|; the compressed delay
+// probe grows logarithmically with |D| (paper: O(log |D|) vs the
+// uncompressed setting's O(1) after O(|D|) preprocessing).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/regular_spanner.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_enum.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+const char* kPattern = "(a|b)*a{x: b}a(a|b)*";
+
+struct CompressedDoc {
+  Slp slp;
+  NodeId root;
+};
+
+/// (aba)^(2^e): every occurrence of "aba(b)a" boundary yields matches.
+CompressedDoc PowerDoc(int exponent) {
+  CompressedDoc doc;
+  const NodeId unit = BuildBalanced(doc.slp, "aaba");
+  doc.root = BuildPower(doc.slp, unit, uint64_t{1} << exponent);
+  return doc;
+}
+
+void BM_SlpEnum_Preprocessing(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  CompressedDoc doc = PowerDoc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SlpSpannerEvaluator evaluator(&spanner.edva());
+    // Enumerate just one tuple: forces the full matrix preprocessing but
+    // not the output-linear enumeration.
+    evaluator.Evaluate(doc.slp, doc.root, [](const SpanTuple&) { return false; });
+    benchmark::DoNotOptimize(evaluator.cache_size());
+  }
+  state.counters["doc_bytes"] = static_cast<double>(doc.slp.Length(doc.root));
+  state.counters["slp_nodes"] = static_cast<double>(doc.slp.ReachableSize(doc.root));
+}
+BENCHMARK(BM_SlpEnum_Preprocessing)->DenseRange(4, 24, 4);
+
+void BM_Uncompressed_Preprocessing(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  CompressedDoc doc = PowerDoc(static_cast<int>(state.range(0)));
+  const std::string expanded = doc.slp.Derive(doc.root);
+  for (auto _ : state) {
+    Enumerator enumerator(&spanner.edva(), expanded);
+    benchmark::DoNotOptimize(&enumerator);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(expanded.size());
+}
+BENCHMARK(BM_Uncompressed_Preprocessing)->DenseRange(4, 16, 4);
+
+void BM_SlpEnum_DelayProbe(benchmark::State& state) {
+  const RegularSpanner spanner = RegularSpanner::Compile(kPattern);
+  CompressedDoc doc = PowerDoc(static_cast<int>(state.range(0)));
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  std::size_t max_delay = 0;
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    max_delay = 0;
+    tuples = 0;
+    evaluator.Evaluate(doc.slp, doc.root, [&](const SpanTuple&) {
+      max_delay = std::max(max_delay, evaluator.last_delay_steps());
+      return ++tuples < 4096;  // probe a fixed number of tuples
+    });
+  }
+  state.counters["log2_doc"] = static_cast<double>(state.range(0)) + 2;
+  state.counters["max_delay_steps"] = static_cast<double>(max_delay);
+  state.counters["tuples_probed"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_SlpEnum_DelayProbe)->DenseRange(4, 20, 4);
+
+void BM_SlpEnum_RealisticRePair(benchmark::State& state) {
+  // End-to-end on Re-Pair-compressed synthetic logs: count all matches.
+  Rng rng(17);
+  const std::string log = SyntheticLog(rng, static_cast<std::size_t>(state.range(0)));
+  Slp slp;
+  const NodeId root = BuildRePair(slp, log);
+  const RegularSpanner spanner = RegularSpanner::Compile("(.|\\n)*status={x: 404}(.|\\n)*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  std::size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    evaluator.Evaluate(slp, root, [&](const SpanTuple&) {
+      ++matches;
+      return true;
+    });
+  }
+  state.counters["log_bytes"] = static_cast<double>(log.size());
+  state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_SlpEnum_RealisticRePair)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,67 @@
+// Experiment E7 (DESIGN.md): Section 4.2 -- NFA acceptance over
+// SLP-compressed strings in O(|S| * n^3) via Boolean matrix products.
+//
+// Expected shape: on highly compressible documents (|S| = O(log |D|)) the
+// matrix method's time stays near-flat as |D| doubles, while
+// decompress-and-run grows linearly; the crossover appears once |D| is
+// large relative to the automaton.
+#include <benchmark/benchmark.h>
+
+#include "automata/nfa_ops.hpp"
+#include "core/regular_spanner.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_nfa.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+Nfa PatternNfa() { return RegularSpanner::Compile("(a|b)*ab(a|b)*ba(a|b)*").vset().nfa(); }
+
+void BM_SlpNfa_CompressedMatrices(benchmark::State& state) {
+  // (abba)^(2^e): SLP size grows linearly in e = log2 |D|.
+  Slp slp;
+  const NodeId abba = BuildBalanced(slp, "abba");
+  const NodeId root = BuildPower(slp, abba, uint64_t{1} << state.range(0));
+  const Nfa nfa = PatternNfa();
+  for (auto _ : state) {
+    SlpNfaMatcher matcher(nfa);  // fresh cache: measure full preprocessing
+    benchmark::DoNotOptimize(matcher.Accepts(slp, root));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(slp.Length(root));
+  state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+}
+BENCHMARK(BM_SlpNfa_CompressedMatrices)->DenseRange(4, 20, 4);
+
+void BM_SlpNfa_DecompressAndRun(benchmark::State& state) {
+  Slp slp;
+  const NodeId abba = BuildBalanced(slp, "abba");
+  const NodeId root = BuildPower(slp, abba, uint64_t{1} << state.range(0));
+  const Nfa nfa = PatternNfa();
+  for (auto _ : state) {
+    const std::string doc = slp.Derive(root);
+    benchmark::DoNotOptimize(nfa.Accepts(ToSymbols(doc)));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(slp.Length(root));
+}
+BENCHMARK(BM_SlpNfa_DecompressAndRun)->DenseRange(4, 16, 4);
+
+void BM_SlpNfa_ModeratelyCompressible(benchmark::State& state) {
+  // Re-Pair on boilerplate text: realistic compression rather than the
+  // pathological best case.
+  Rng rng(5);
+  const std::string doc = BoilerplateText(rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  Slp slp;
+  const NodeId root = BuildRePair(slp, doc);
+  const Nfa nfa = RegularSpanner::Compile(".*fox.*").vset().nfa();
+  for (auto _ : state) {
+    SlpNfaMatcher matcher(nfa);
+    benchmark::DoNotOptimize(matcher.Accepts(slp, root));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+  state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+}
+BENCHMARK(BM_SlpNfa_ModeratelyCompressible)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace spanners

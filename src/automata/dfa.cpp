@@ -1,0 +1,94 @@
+#include "automata/dfa.hpp"
+
+#include <map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+StateId Dfa::AddState(bool accepting) {
+  transitions_.emplace_back(alphabet_.size(), 0);
+  accepting_.push_back(accepting);
+  return static_cast<StateId>(accepting_.size() - 1);
+}
+
+bool Dfa::Accepts(const std::vector<Symbol>& word) const {
+  if (num_states() == 0) return false;
+  StateId state = initial();
+  for (const Symbol& symbol : word) {
+    const std::size_t index = SymbolIndex(symbol);
+    if (index == kNoSymbol) return false;
+    state = Transition(state, index);
+  }
+  return IsAccepting(state);
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (StateId s = 0; s < out.num_states(); ++s) out.accepting_[s] = !out.accepting_[s];
+  return out;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    const StateId n = out.AddState();
+    out.SetAccepting(n, accepting_[s]);
+  }
+  out.SetInitial(0);
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (std::size_t a = 0; a < alphabet_.size(); ++a) {
+      out.AddTransition(s, alphabet_[a], transitions_[s][a]);
+    }
+  }
+  return out;
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  const std::set<Symbol> alphabet_set = nfa.Alphabet();
+  return Determinize(nfa, std::vector<Symbol>(alphabet_set.begin(), alphabet_set.end()));
+}
+
+Dfa Determinize(const Nfa& nfa, const std::vector<Symbol>& alphabet) {
+  Dfa dfa(alphabet);
+  // Map from sorted NFA state sets to DFA states.
+  std::map<std::vector<StateId>, StateId> index;
+  std::vector<std::vector<StateId>> worklist;
+
+  auto is_accepting = [&](const std::vector<StateId>& states) {
+    for (StateId s : states) {
+      if (nfa.IsAccepting(s)) return true;
+    }
+    return false;
+  };
+  auto state_of = [&](std::vector<StateId> states) {
+    auto [it, inserted] = index.try_emplace(states, 0);
+    if (inserted) {
+      it->second = dfa.AddState(is_accepting(states));
+      worklist.push_back(std::move(states));
+    }
+    return it->second;
+  };
+
+  const std::vector<StateId> start =
+      nfa.num_states() == 0 ? std::vector<StateId>{} : nfa.EpsilonClosure({nfa.initial()});
+  const StateId initial = state_of(start);
+  Require(initial == 0, "Determinize: initial must be state 0");
+
+  for (std::size_t next = 0; next < worklist.size(); ++next) {
+    const std::vector<StateId> current = worklist[next];  // copy: worklist grows
+    const StateId from = index.at(current);
+    for (std::size_t a = 0; a < alphabet.size(); ++a) {
+      std::vector<StateId> successors;
+      for (StateId s : current) {
+        for (const Transition& t : nfa.TransitionsFrom(s)) {
+          if (t.symbol == alphabet[a]) successors.push_back(t.to);
+        }
+      }
+      dfa.SetTransition(from, a, state_of(nfa.EpsilonClosure(std::move(successors))));
+    }
+  }
+  return dfa;
+}
+
+}  // namespace spanners

@@ -1,0 +1,73 @@
+/// \file dfa.hpp
+/// \brief Complete DFAs over an explicit Symbol alphabet; subset construction.
+///
+/// Used where the paper's decision procedures reduce spanner questions to
+/// regular-language questions (Section 2.4): containment and equivalence of
+/// regular spanners operate on determinised automata over
+/// Sigma ∪ markers; the eDVA-based constant-delay enumeration (Section 2.5)
+/// determinises extended vset-automata.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/nfa.hpp"
+
+namespace spanners {
+
+/// A complete DFA: transition(state, symbol_index) is always defined; one of
+/// the states may act as the sink. State 0 is the initial state.
+class Dfa {
+ public:
+  Dfa() = default;
+  Dfa(std::vector<Symbol> alphabet) : alphabet_(std::move(alphabet)) {
+    for (std::size_t i = 0; i < alphabet_.size(); ++i) symbol_index_[alphabet_[i]] = i;
+  }
+
+  StateId AddState(bool accepting);
+
+  void SetTransition(StateId from, std::size_t symbol_index, StateId to) {
+    transitions_[from][symbol_index] = to;
+  }
+
+  std::size_t num_states() const { return accepting_.size(); }
+  std::size_t alphabet_size() const { return alphabet_.size(); }
+  const std::vector<Symbol>& alphabet() const { return alphabet_; }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  StateId initial() const { return 0; }
+
+  StateId Transition(StateId from, std::size_t symbol_index) const {
+    return transitions_[from][symbol_index];
+  }
+
+  /// Index of \p symbol in the alphabet, or npos if not a letter of it.
+  static constexpr std::size_t kNoSymbol = static_cast<std::size_t>(-1);
+  std::size_t SymbolIndex(Symbol symbol) const {
+    auto it = symbol_index_.find(symbol);
+    return it == symbol_index_.end() ? kNoSymbol : it->second;
+  }
+
+  /// Runs the DFA on \p word; symbols not in the alphabet reject.
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Flips accepting states (valid because the DFA is complete over its
+  /// alphabet). The complement is relative to alphabet()*.
+  Dfa Complement() const;
+
+  /// Converts back to an NFA (e.g. to re-enter NFA-level constructions).
+  Nfa ToNfa() const;
+
+ private:
+  std::vector<Symbol> alphabet_;
+  std::unordered_map<Symbol, std::size_t> symbol_index_;
+  std::vector<std::vector<StateId>> transitions_;
+  std::vector<bool> accepting_;
+};
+
+/// Subset construction over \p alphabet (defaults to the NFA's own alphabet).
+/// The result is complete: missing transitions go to a sink state.
+Dfa Determinize(const Nfa& nfa);
+Dfa Determinize(const Nfa& nfa, const std::vector<Symbol>& alphabet);
+
+}  // namespace spanners

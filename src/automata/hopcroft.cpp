@@ -1,0 +1,176 @@
+#include "automata/hopcroft.hpp"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+/// Restricts \p dfa to states reachable from the initial state.
+Dfa DropUnreachable(const Dfa& dfa) {
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::vector<StateId> stack{dfa.initial()};
+  seen[dfa.initial()] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (std::size_t a = 0; a < dfa.alphabet_size(); ++a) {
+      const StateId t = dfa.Transition(s, a);
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::vector<StateId> remap(dfa.num_states(), 0);
+  Dfa out(dfa.alphabet());
+  // Keep the initial state as state 0 by visiting it first.
+  std::vector<StateId> order;
+  order.push_back(dfa.initial());
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (seen[s] && s != dfa.initial()) order.push_back(s);
+  }
+  for (StateId s : order) remap[s] = out.AddState(dfa.IsAccepting(s));
+  for (StateId s : order) {
+    for (std::size_t a = 0; a < dfa.alphabet_size(); ++a) {
+      out.SetTransition(remap[s], a, remap[dfa.Transition(s, a)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  const Dfa dfa = DropUnreachable(input);
+  const std::size_t n = dfa.num_states();
+  const std::size_t k = dfa.alphabet_size();
+  if (n == 0) return dfa;
+
+  // Precompute inverse transitions.
+  std::vector<std::vector<std::vector<StateId>>> inverse(
+      k, std::vector<std::vector<StateId>>(n));
+  for (StateId s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < k; ++a) inverse[a][dfa.Transition(s, a)].push_back(s);
+  }
+
+  // Hopcroft partition refinement.
+  std::vector<int> block_of(n, 0);
+  std::vector<std::vector<StateId>> blocks(2);
+  for (StateId s = 0; s < n; ++s) {
+    const int b = dfa.IsAccepting(s) ? 1 : 0;
+    block_of[s] = b;
+    blocks[b].push_back(s);
+  }
+  if (blocks[1].empty() || blocks[0].empty()) {
+    // One block only: single-state minimal DFA.
+    Dfa out(dfa.alphabet());
+    out.AddState(dfa.IsAccepting(0));
+    for (std::size_t a = 0; a < k; ++a) out.SetTransition(0, a, 0);
+    return out;
+  }
+
+  std::set<std::pair<int, std::size_t>> worklist;  // (block, symbol)
+  const int smaller = blocks[0].size() <= blocks[1].size() ? 0 : 1;
+  for (std::size_t a = 0; a < k; ++a) {
+    worklist.insert({smaller, a});
+    worklist.insert({1 - smaller, a});  // conservatively seed both halves
+  }
+
+  while (!worklist.empty()) {
+    const auto [splitter_block, a] = *worklist.begin();
+    worklist.erase(worklist.begin());
+
+    // X = predecessors of the splitter block under symbol a.
+    std::vector<StateId> predecessor_list;
+    for (StateId s : blocks[splitter_block]) {
+      for (StateId p : inverse[a][s]) predecessor_list.push_back(p);
+    }
+    if (predecessor_list.empty()) continue;
+
+    // Group predecessors by their current block.
+    std::map<int, std::vector<StateId>> touched;
+    for (StateId p : predecessor_list) touched[block_of[p]].push_back(p);
+
+    for (auto& [b, hit] : touched) {
+      std::sort(hit.begin(), hit.end());
+      hit.erase(std::unique(hit.begin(), hit.end()), hit.end());
+      if (hit.size() == blocks[b].size()) continue;  // block not split
+
+      // Split block b into 'hit' and 'rest'.
+      std::vector<StateId> rest;
+      {
+        std::set<StateId> hit_set(hit.begin(), hit.end());
+        for (StateId s : blocks[b]) {
+          if (!hit_set.count(s)) rest.push_back(s);
+        }
+      }
+      const int new_block = static_cast<int>(blocks.size());
+      blocks[b] = hit;
+      blocks.push_back(rest);
+      for (StateId s : rest) block_of[s] = new_block;
+
+      for (std::size_t c = 0; c < k; ++c) {
+        if (worklist.count({b, c})) {
+          worklist.insert({new_block, c});
+        } else {
+          const int pick = blocks[b].size() <= blocks[new_block].size() ? b : new_block;
+          worklist.insert({pick, c});
+        }
+      }
+    }
+  }
+
+  // Build the quotient DFA; block of the initial state becomes state 0.
+  const int initial_block = block_of[dfa.initial()];
+  std::vector<StateId> block_state(blocks.size(), 0);
+  Dfa out(dfa.alphabet());
+  std::vector<int> order;
+  order.push_back(initial_block);
+  for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+    if (b != initial_block && !blocks[b].empty()) order.push_back(b);
+  }
+  for (int b : order) block_state[b] = out.AddState(dfa.IsAccepting(blocks[b][0]));
+  for (int b : order) {
+    const StateId representative = blocks[b][0];
+    for (std::size_t a = 0; a < k; ++a) {
+      out.SetTransition(block_state[b], a,
+                        block_state[block_of[dfa.Transition(representative, a)]]);
+    }
+  }
+  return out;
+}
+
+bool Isomorphic(const Dfa& a, const Dfa& b) {
+  if (a.num_states() != b.num_states() || a.alphabet() != b.alphabet()) return false;
+  const std::size_t n = a.num_states();
+  if (n == 0) return true;
+  std::vector<StateId> map_ab(n, UINT32_MAX);
+  std::vector<StateId> stack;
+  map_ab[a.initial()] = b.initial();
+  stack.push_back(a.initial());
+  while (!stack.empty()) {
+    const StateId p = stack.back();
+    stack.pop_back();
+    const StateId q = map_ab[p];
+    if (a.IsAccepting(p) != b.IsAccepting(q)) return false;
+    for (std::size_t s = 0; s < a.alphabet_size(); ++s) {
+      const StateId pn = a.Transition(p, s);
+      const StateId qn = b.Transition(q, s);
+      if (map_ab[pn] == UINT32_MAX) {
+        map_ab[pn] = qn;
+        stack.push_back(pn);
+      } else if (map_ab[pn] != qn) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace spanners

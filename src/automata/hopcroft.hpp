@@ -1,0 +1,22 @@
+/// \file hopcroft.hpp
+/// \brief Hopcroft's DFA minimisation in O(|alphabet| * n log n).
+///
+/// Minimisation keeps the determinised automata used by the containment /
+/// equivalence procedures (paper, Section 2.4) and the eDVA enumeration
+/// (Section 2.5) small; it also canonicalises DFAs so that language
+/// equivalence can be tested by isomorphism.
+#pragma once
+
+#include "automata/dfa.hpp"
+
+namespace spanners {
+
+/// Returns the minimal complete DFA for L(dfa) over the same alphabet.
+/// Unreachable states are dropped first.
+Dfa Minimize(const Dfa& dfa);
+
+/// True iff the two complete DFAs over the same alphabet are isomorphic
+/// (used after Minimize for canonical equivalence checking).
+bool Isomorphic(const Dfa& a, const Dfa& b);
+
+}  // namespace spanners

@@ -1,0 +1,200 @@
+#include "automata/nfa.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+StateId Nfa::AddState() {
+  transitions_.emplace_back();
+  accepting_.push_back(false);
+  return static_cast<StateId>(transitions_.size() - 1);
+}
+
+void Nfa::AddTransition(StateId from, Symbol symbol, StateId to) {
+  Require(from < num_states() && to < num_states(), "Nfa::AddTransition: bad state");
+  transitions_[from].push_back({symbol, to});
+}
+
+void Nfa::SetAccepting(StateId state, bool accepting) {
+  Require(state < num_states(), "Nfa::SetAccepting: bad state");
+  accepting_[state] = accepting;
+}
+
+std::size_t Nfa::num_transitions() const {
+  std::size_t count = 0;
+  for (const auto& list : transitions_) count += list.size();
+  return count;
+}
+
+std::vector<StateId> Nfa::AcceptingStates() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+std::set<Symbol> Nfa::Alphabet() const {
+  std::set<Symbol> alphabet;
+  for (const auto& list : transitions_) {
+    for (const Transition& t : list) {
+      if (!t.symbol.IsEpsilon()) alphabet.insert(t.symbol);
+    }
+  }
+  return alphabet;
+}
+
+std::vector<StateId> Nfa::EpsilonClosure(std::vector<StateId> states) const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  std::vector<StateId> result;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    result.push_back(s);
+    for (const Transition& t : transitions_[s]) {
+      if (t.symbol.IsEpsilon() && !seen[t.to]) {
+        seen[t.to] = true;
+        stack.push_back(t.to);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<bool> Nfa::CoReachable() const {
+  // Reverse-BFS from accepting states.
+  std::vector<std::vector<StateId>> reverse(num_states());
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const Transition& t : transitions_[s]) reverse[t.to].push_back(s);
+  }
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId p : reverse[s]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Nfa::Reachable() const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack{initial_};
+  seen[initial_] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (const Transition& t : transitions_[s]) {
+      if (!seen[t.to]) {
+        seen[t.to] = true;
+        stack.push_back(t.to);
+      }
+    }
+  }
+  return seen;
+}
+
+Nfa Nfa::Trimmed() const {
+  const std::vector<bool> reachable = Reachable();
+  const std::vector<bool> co_reachable = CoReachable();
+  std::vector<StateId> remap(num_states(), UINT32_MAX);
+  Nfa out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (reachable[s] && co_reachable[s]) {
+      remap[s] = out.AddState();
+      out.SetAccepting(remap[s], accepting_[s]);
+    }
+  }
+  if (remap[initial_] == UINT32_MAX) {
+    // Empty language: a single dead initial state.
+    Nfa empty;
+    empty.SetInitial(empty.AddState());
+    return empty;
+  }
+  out.SetInitial(remap[initial_]);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (remap[s] == UINT32_MAX) continue;
+    for (const Transition& t : transitions_[s]) {
+      if (remap[t.to] != UINT32_MAX) out.AddTransition(remap[s], t.symbol, remap[t.to]);
+    }
+  }
+  return out;
+}
+
+bool Nfa::IsEmptyLanguage() const {
+  if (num_states() == 0) return true;
+  return !CoReachable()[initial_];
+}
+
+bool Nfa::Accepts(const std::vector<Symbol>& word) const {
+  if (num_states() == 0) return false;
+  std::vector<StateId> current = EpsilonClosure({initial_});
+  for (const Symbol& symbol : word) {
+    std::vector<StateId> next;
+    for (StateId s : current) {
+      for (const Transition& t : transitions_[s]) {
+        if (t.symbol == symbol) next.push_back(t.to);
+      }
+    }
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) return false;
+  }
+  for (StateId s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+Nfa Nfa::MapSymbols(const std::function<Symbol(Symbol)>& map) const {
+  Nfa out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    const StateId n = out.AddState();
+    out.SetAccepting(n, accepting_[s]);
+    (void)n;
+  }
+  out.SetInitial(initial_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const Transition& t : transitions_[s]) {
+      const Symbol mapped = t.symbol.IsEpsilon() ? t.symbol : map(t.symbol);
+      out.AddTransition(s, mapped, t.to);
+    }
+  }
+  return out;
+}
+
+std::string Nfa::ToString(const VariableSet* variables) const {
+  std::ostringstream out;
+  out << "NFA states=" << num_states() << " initial=" << initial_ << "\n";
+  for (StateId s = 0; s < num_states(); ++s) {
+    out << "  " << s << (accepting_[s] ? " [acc]" : "") << ":";
+    for (const Transition& t : transitions_[s]) {
+      out << " --" << t.symbol.ToString(variables) << "-->" << t.to;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spanners

@@ -1,0 +1,97 @@
+/// \file nfa.hpp
+/// \brief Nondeterministic finite automata over the extended Symbol alphabet.
+///
+/// This single NFA type underlies all automaton classes of the paper:
+///  * a *plain* NFA uses only kChar transitions (plus epsilon),
+///  * a *vset-automaton* additionally uses kOpen/kClose marker transitions
+///    and accepts a subword-marked language (paper, Sections 1, 2.1),
+///  * a *refl-automaton* additionally uses kRef transitions and accepts a
+///    ref-language (paper, Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/symbol.hpp"
+
+namespace spanners {
+
+/// Dense automaton state id.
+using StateId = uint32_t;
+
+/// One outgoing transition.
+struct Transition {
+  Symbol symbol;
+  StateId to;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// An NFA with one initial state and a set of accepting states.
+class Nfa {
+ public:
+  Nfa() = default;
+
+  /// Adds a fresh state and returns its id.
+  StateId AddState();
+
+  /// Adds the transition (from, symbol, to). Duplicates are tolerated.
+  void AddTransition(StateId from, Symbol symbol, StateId to);
+
+  void SetInitial(StateId state) { initial_ = state; }
+  void SetAccepting(StateId state, bool accepting = true);
+
+  StateId initial() const { return initial_; }
+  bool IsAccepting(StateId state) const { return accepting_[state]; }
+  std::size_t num_states() const { return transitions_.size(); }
+  std::size_t num_transitions() const;
+
+  const std::vector<Transition>& TransitionsFrom(StateId state) const {
+    return transitions_[state];
+  }
+
+  /// All accepting state ids.
+  std::vector<StateId> AcceptingStates() const;
+
+  /// The set of non-epsilon symbols appearing on transitions.
+  std::set<Symbol> Alphabet() const;
+
+  /// Epsilon closure of \p states (sorted, deduplicated).
+  std::vector<StateId> EpsilonClosure(std::vector<StateId> states) const;
+
+  /// States from which some accepting state is reachable (any symbols).
+  std::vector<bool> CoReachable() const;
+
+  /// States reachable from the initial state (any symbols).
+  std::vector<bool> Reachable() const;
+
+  /// Removes states that are not both reachable and co-reachable. The
+  /// resulting automaton accepts the same language. If the language is empty
+  /// the result has a single non-accepting initial state.
+  Nfa Trimmed() const;
+
+  /// True iff L(this) is empty.
+  bool IsEmptyLanguage() const;
+
+  /// True iff the automaton accepts the symbol sequence \p word, treating
+  /// every symbol literally (epsilon transitions are free moves).
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Returns a copy with every transition label replaced by
+  /// \p map(label); mapping to epsilon erases a letter (used e.g. to project
+  /// markers away for the NonEmptiness check of Section 2.4).
+  Nfa MapSymbols(const std::function<Symbol(Symbol)>& map) const;
+
+  /// Renders states and transitions for debugging.
+  std::string ToString(const VariableSet* variables = nullptr) const;
+
+ private:
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<bool> accepting_;
+  StateId initial_ = 0;
+};
+
+}  // namespace spanners

@@ -1,0 +1,152 @@
+#include "automata/nfa_ops.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+
+namespace spanners {
+
+std::vector<Symbol> ToSymbols(std::string_view text) {
+  std::vector<Symbol> word;
+  word.reserve(text.size());
+  for (unsigned char c : text) word.push_back(Symbol::Char(c));
+  return word;
+}
+
+Nfa RemoveEpsilon(const Nfa& nfa) {
+  Nfa out;
+  for (StateId s = 0; s < nfa.num_states(); ++s) out.AddState();
+  if (nfa.num_states() == 0) {
+    out.SetInitial(out.AddState());
+    return out;
+  }
+  out.SetInitial(nfa.initial());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    bool accepting = false;
+    for (StateId c : nfa.EpsilonClosure({s})) {
+      if (nfa.IsAccepting(c)) accepting = true;
+      for (const Transition& t : nfa.TransitionsFrom(c)) {
+        if (!t.symbol.IsEpsilon()) out.AddTransition(s, t.symbol, t.to);
+      }
+    }
+    out.SetAccepting(s, accepting);
+  }
+  return out.Trimmed();
+}
+
+namespace {
+
+std::vector<Symbol> UnionAlphabet(const Nfa& a, const Nfa& b) {
+  std::set<Symbol> symbols = a.Alphabet();
+  const std::set<Symbol> more = b.Alphabet();
+  symbols.insert(more.begin(), more.end());
+  return {symbols.begin(), symbols.end()};
+}
+
+/// BFS over the product of two complete DFAs, returning the shortest word
+/// leading to a pair with accepting_a && !accepting_b.
+std::optional<std::vector<Symbol>> SearchDifference(const Dfa& a, const Dfa& b) {
+  struct Visit {
+    StateId pa, pb;
+    std::size_t parent;      // index into visits
+    std::size_t symbol;      // symbol taken to get here
+  };
+  std::vector<Visit> visits;
+  std::map<std::pair<StateId, StateId>, bool> seen;
+  std::deque<std::size_t> queue;
+
+  visits.push_back({a.initial(), b.initial(), SIZE_MAX, SIZE_MAX});
+  seen[{a.initial(), b.initial()}] = true;
+  queue.push_back(0);
+
+  while (!queue.empty()) {
+    const std::size_t current = queue.front();
+    queue.pop_front();
+    const Visit v = visits[current];
+    if (a.IsAccepting(v.pa) && !b.IsAccepting(v.pb)) {
+      // Reconstruct word.
+      std::vector<Symbol> word;
+      std::size_t i = current;
+      while (visits[i].parent != SIZE_MAX) {
+        word.push_back(a.alphabet()[visits[i].symbol]);
+        i = visits[i].parent;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (std::size_t s = 0; s < a.alphabet_size(); ++s) {
+      const StateId na = a.Transition(v.pa, s);
+      const StateId nb = b.Transition(v.pb, s);
+      if (!seen[{na, nb}]) {
+        seen[{na, nb}] = true;
+        visits.push_back({na, nb, current, s});
+        queue.push_back(visits.size() - 1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Symbol>> ShortestCounterexample(const Nfa& a, const Nfa& b) {
+  const std::vector<Symbol> alphabet = UnionAlphabet(a, b);
+  const Dfa da = Determinize(a, alphabet);
+  const Dfa db = Determinize(b, alphabet);
+  return SearchDifference(da, db);
+}
+
+bool IsSubsetLanguage(const Nfa& a, const Nfa& b) {
+  return !ShortestCounterexample(a, b).has_value();
+}
+
+bool IsEquivalentLanguage(const Nfa& a, const Nfa& b) {
+  return IsSubsetLanguage(a, b) && IsSubsetLanguage(b, a);
+}
+
+std::optional<std::vector<Symbol>> ShortestWitness(const Nfa& nfa) {
+  if (nfa.num_states() == 0) return std::nullopt;
+  struct Visit {
+    StateId state;
+    std::size_t parent;
+    Symbol symbol;
+  };
+  std::vector<Visit> visits;
+  std::vector<bool> seen(nfa.num_states(), false);
+  std::deque<std::size_t> queue;
+  // BFS over epsilon-free moves; epsilon arcs contribute length 0, handled by
+  // closing over epsilon at each step.
+  for (StateId s : nfa.EpsilonClosure({nfa.initial()})) {
+    seen[s] = true;
+    visits.push_back({s, SIZE_MAX, Symbol::Epsilon()});
+    queue.push_back(visits.size() - 1);
+  }
+  while (!queue.empty()) {
+    const std::size_t current = queue.front();
+    queue.pop_front();
+    const StateId state = visits[current].state;
+    if (nfa.IsAccepting(state)) {
+      std::vector<Symbol> word;
+      std::size_t i = current;
+      while (visits[i].parent != SIZE_MAX) {
+        word.push_back(visits[i].symbol);
+        i = visits[i].parent;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (const Transition& t : nfa.TransitionsFrom(state)) {
+      if (t.symbol.IsEpsilon()) continue;
+      for (StateId n : nfa.EpsilonClosure({t.to})) {
+        if (!seen[n]) {
+          seen[n] = true;
+          visits.push_back({n, current, t.symbol});
+          queue.push_back(visits.size() - 1);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spanners

@@ -1,0 +1,44 @@
+/// \file nfa_ops.hpp
+/// \brief Regular-language level operations on NFAs.
+///
+/// These are the classical procedures the paper's Section 2.4 reduces
+/// regular-spanner static analysis to: language containment and equivalence
+/// (via determinisation and product search) and membership.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace spanners {
+
+/// Converts a plain character string into a Symbol word.
+std::vector<Symbol> ToSymbols(std::string_view text);
+
+/// Eliminates epsilon transitions (classical closure construction); the
+/// result accepts the same language. Needed by the matrix-based evaluation
+/// over SLP-compressed documents (Section 4.2), where per-node Boolean
+/// matrices compose only for epsilon-free automata.
+Nfa RemoveEpsilon(const Nfa& nfa);
+
+/// True iff L(a) is a subset of L(b). Determinises both over the union of
+/// their alphabets and searches the product for a state (accepting in a,
+/// rejecting in b); exponential in the worst case, as inherent to the
+/// problem (regular-spanner Containment is PSpace-complete, Section 3.3).
+bool IsSubsetLanguage(const Nfa& a, const Nfa& b);
+
+/// True iff L(a) == L(b).
+bool IsEquivalentLanguage(const Nfa& a, const Nfa& b);
+
+/// A shortest word in L(nfa), if the language is non-empty (BFS).
+std::optional<std::vector<Symbol>> ShortestWitness(const Nfa& nfa);
+
+/// A shortest word in L(a) \ L(b), if any: the canonical counterexample
+/// generator for containment (also used by spanner Containment to report a
+/// witness document, Section 2.4).
+std::optional<std::vector<Symbol>> ShortestCounterexample(const Nfa& a, const Nfa& b);
+
+}  // namespace spanners

@@ -1,0 +1,99 @@
+#include "automata/product.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace spanners {
+
+Nfa Intersect(const Nfa& a, const Nfa& b) {
+  Nfa out;
+  std::map<std::pair<StateId, StateId>, StateId> index;
+  std::vector<std::pair<StateId, StateId>> stack;
+
+  auto state_of = [&](StateId p, StateId q) {
+    auto [it, inserted] = index.try_emplace({p, q}, 0);
+    if (inserted) {
+      it->second = out.AddState();
+      out.SetAccepting(it->second, a.IsAccepting(p) && b.IsAccepting(q));
+      stack.push_back({p, q});
+    }
+    return it->second;
+  };
+
+  if (a.num_states() == 0 || b.num_states() == 0) {
+    out.SetInitial(out.AddState());
+    return out;
+  }
+  out.SetInitial(state_of(a.initial(), b.initial()));
+  while (!stack.empty()) {
+    const auto [p, q] = stack.back();
+    stack.pop_back();
+    const StateId from = index.at({p, q});
+    for (const Transition& ta : a.TransitionsFrom(p)) {
+      if (ta.symbol.IsEpsilon()) {
+        out.AddTransition(from, Symbol::Epsilon(), state_of(ta.to, q));
+        continue;
+      }
+      for (const Transition& tb : b.TransitionsFrom(q)) {
+        if (tb.symbol == ta.symbol) {
+          out.AddTransition(from, ta.symbol, state_of(ta.to, tb.to));
+        }
+      }
+    }
+    for (const Transition& tb : b.TransitionsFrom(q)) {
+      if (tb.symbol.IsEpsilon()) {
+        out.AddTransition(from, Symbol::Epsilon(), state_of(p, tb.to));
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+namespace {
+
+/// Copies all states of \p source into \p target, returning the id offset.
+StateId CopyInto(Nfa& target, const Nfa& source) {
+  const StateId offset = static_cast<StateId>(target.num_states());
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    const StateId n = target.AddState();
+    target.SetAccepting(n, source.IsAccepting(s));
+  }
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    for (const Transition& t : source.TransitionsFrom(s)) {
+      target.AddTransition(offset + s, t.symbol, offset + t.to);
+    }
+  }
+  return offset;
+}
+
+}  // namespace
+
+Nfa UnionNfa(const Nfa& a, const Nfa& b) {
+  Nfa out;
+  const StateId start = out.AddState();
+  out.SetInitial(start);
+  const StateId offset_a = CopyInto(out, a);
+  const StateId offset_b = CopyInto(out, b);
+  if (a.num_states() > 0) out.AddTransition(start, Symbol::Epsilon(), offset_a + a.initial());
+  if (b.num_states() > 0) out.AddTransition(start, Symbol::Epsilon(), offset_b + b.initial());
+  return out;
+}
+
+Nfa ConcatNfa(const Nfa& a, const Nfa& b) {
+  Nfa out;
+  const StateId offset_a = CopyInto(out, a);
+  const StateId offset_b = CopyInto(out, b);
+  if (a.num_states() > 0) out.SetInitial(offset_a + a.initial());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (a.IsAccepting(s)) {
+      out.SetAccepting(offset_a + s, false);
+      if (b.num_states() > 0) {
+        out.AddTransition(offset_a + s, Symbol::Epsilon(), offset_b + b.initial());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spanners

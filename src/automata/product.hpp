@@ -1,0 +1,27 @@
+/// \file product.hpp
+/// \brief Product constructions on NFAs.
+///
+/// Intersection of NFAs is the workhorse behind several constructions in the
+/// paper: obtaining the subword-marked subset of an arbitrary language
+/// (Section 2.1, "intersection with a regular language"), the
+/// hierarchicality test (Section 2.4), and the language intersections used
+/// when translating core spanners to refl-spanners (gamma in Section 3.2).
+#pragma once
+
+#include "automata/nfa.hpp"
+
+namespace spanners {
+
+/// Intersection: L(result) = L(a) AND L(b), where every non-epsilon Symbol
+/// (letters, markers, references alike) must be matched by both automata.
+/// States are reachable pairs; the construction is O(|a| * |b|).
+Nfa Intersect(const Nfa& a, const Nfa& b);
+
+/// Union via a fresh initial state with epsilon arcs into both automata.
+Nfa UnionNfa(const Nfa& a, const Nfa& b);
+
+/// Concatenation: epsilon arcs from accepting states of \p a to the initial
+/// state of \p b.
+Nfa ConcatNfa(const Nfa& a, const Nfa& b);
+
+}  // namespace spanners

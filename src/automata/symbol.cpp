@@ -1,0 +1,25 @@
+#include "automata/symbol.hpp"
+
+namespace spanners {
+
+std::string Symbol::ToString(const VariableSet* variables) const {
+  auto var_name = [&](VariableId v) {
+    if (variables != nullptr && v < variables->size()) return variables->Name(v);
+    return "x" + std::to_string(v);
+  };
+  switch (kind()) {
+    case SymbolKind::kEpsilon:
+      return "eps";
+    case SymbolKind::kChar:
+      return std::string(1, static_cast<char>(ch()));
+    case SymbolKind::kOpen:
+      return var_name(variable()) + ">";
+    case SymbolKind::kClose:
+      return "<" + var_name(variable());
+    case SymbolKind::kRef:
+      return "&" + var_name(variable());
+  }
+  return "?";
+}
+
+}  // namespace spanners

@@ -1,0 +1,83 @@
+/// \file symbol.hpp
+/// \brief The transition alphabet shared by all automata in the library.
+///
+/// Subword-marked words (paper, Section 2.1) are strings over
+/// Sigma ∪ { x> , <x : x in X }; ref-words of refl-spanners (Section 3.1)
+/// additionally use a reference symbol x per variable. A Symbol is one
+/// letter of this extended alphabet, or epsilon. All automata in the library
+/// (plain NFAs, vset-automata, refl-automata) share this type; which symbol
+/// kinds may appear distinguishes the automaton classes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/variables.hpp"
+
+namespace spanners {
+
+/// Kind of a transition label.
+enum class SymbolKind : uint8_t {
+  kEpsilon = 0,  ///< spontaneous transition
+  kChar = 1,     ///< a letter of Sigma
+  kOpen = 2,     ///< opening marker x> of a variable
+  kClose = 3,    ///< closing marker <x of a variable
+  kRef = 4,      ///< reference x of a variable (refl-spanners only)
+};
+
+/// One letter of the extended alphabet, packed into 32 bits.
+class Symbol {
+ public:
+  constexpr Symbol() : encoded_(0) {}
+
+  static constexpr Symbol Epsilon() { return Symbol(SymbolKind::kEpsilon, 0); }
+  static constexpr Symbol Char(unsigned char c) { return Symbol(SymbolKind::kChar, c); }
+  static constexpr Symbol Open(VariableId v) { return Symbol(SymbolKind::kOpen, v); }
+  static constexpr Symbol Close(VariableId v) { return Symbol(SymbolKind::kClose, v); }
+  static constexpr Symbol Ref(VariableId v) { return Symbol(SymbolKind::kRef, v); }
+
+  constexpr SymbolKind kind() const { return static_cast<SymbolKind>(encoded_ >> 24); }
+  constexpr bool IsEpsilon() const { return kind() == SymbolKind::kEpsilon; }
+  constexpr bool IsChar() const { return kind() == SymbolKind::kChar; }
+  constexpr bool IsMarker() const {
+    return kind() == SymbolKind::kOpen || kind() == SymbolKind::kClose;
+  }
+  constexpr bool IsRef() const { return kind() == SymbolKind::kRef; }
+
+  /// The letter; only valid for kChar.
+  constexpr unsigned char ch() const { return static_cast<unsigned char>(encoded_ & 0xFF); }
+
+  /// The variable; only valid for kOpen/kClose/kRef.
+  constexpr VariableId variable() const { return encoded_ & 0x00FFFFFF; }
+
+  /// The corresponding marker bit; only valid for kOpen/kClose.
+  constexpr MarkerSet marker_bit() const {
+    return kind() == SymbolKind::kOpen ? OpenMarker(variable()) : CloseMarker(variable());
+  }
+
+  /// Raw encoding; usable as a hash key and map key.
+  constexpr uint32_t raw() const { return encoded_; }
+
+  friend constexpr bool operator==(const Symbol&, const Symbol&) = default;
+  friend constexpr auto operator<=>(const Symbol&, const Symbol&) = default;
+
+  /// Rendering like "a", "x0>", "<x0", "&x0", "eps"; variable names are used
+  /// when a VariableSet is supplied.
+  std::string ToString(const VariableSet* variables = nullptr) const;
+
+ private:
+  constexpr Symbol(SymbolKind kind, uint32_t payload)
+      : encoded_((static_cast<uint32_t>(kind) << 24) | (payload & 0x00FFFFFF)) {}
+
+  uint32_t encoded_;
+};
+
+}  // namespace spanners
+
+template <>
+struct std::hash<spanners::Symbol> {
+  std::size_t operator()(const spanners::Symbol& s) const noexcept {
+    return std::hash<uint32_t>()(s.raw());
+  }
+};

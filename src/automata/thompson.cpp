@@ -1,0 +1,121 @@
+#include "automata/thompson.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+struct Fragment {
+  StateId entry;
+  StateId exit;
+};
+
+class Builder {
+ public:
+  Nfa Build(const RegexNode* root) {
+    const Fragment fragment = Compile(root);
+    nfa_.SetInitial(fragment.entry);
+    nfa_.SetAccepting(fragment.exit);
+    return std::move(nfa_);
+  }
+
+ private:
+  Fragment Compile(const RegexNode* node) {
+    switch (node->kind) {
+      case RegexKind::kEmptySet: {
+        // Two unconnected states: nothing is accepted through this fragment.
+        return {nfa_.AddState(), nfa_.AddState()};
+      }
+      case RegexKind::kEpsilon: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        nfa_.AddTransition(entry, Symbol::Epsilon(), exit);
+        return {entry, exit};
+      }
+      case RegexKind::kCharClass: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        for (std::size_t c = 0; c < 256; ++c) {
+          if (node->char_class.test(c)) {
+            nfa_.AddTransition(entry, Symbol::Char(static_cast<unsigned char>(c)), exit);
+          }
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kConcat: {
+        Fragment whole = Compile(node->children[0].get());
+        for (std::size_t i = 1; i < node->children.size(); ++i) {
+          const Fragment next = Compile(node->children[i].get());
+          nfa_.AddTransition(whole.exit, Symbol::Epsilon(), next.entry);
+          whole.exit = next.exit;
+        }
+        return whole;
+      }
+      case RegexKind::kAlt: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        for (const auto& child : node->children) {
+          const Fragment branch = Compile(child.get());
+          nfa_.AddTransition(entry, Symbol::Epsilon(), branch.entry);
+          nfa_.AddTransition(branch.exit, Symbol::Epsilon(), exit);
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kStar: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        const Fragment inner = Compile(node->children[0].get());
+        nfa_.AddTransition(entry, Symbol::Epsilon(), inner.entry);
+        nfa_.AddTransition(inner.exit, Symbol::Epsilon(), exit);
+        nfa_.AddTransition(entry, Symbol::Epsilon(), exit);
+        nfa_.AddTransition(inner.exit, Symbol::Epsilon(), inner.entry);
+        return {entry, exit};
+      }
+      case RegexKind::kPlus: {
+        const Fragment inner = Compile(node->children[0].get());
+        const StateId exit = nfa_.AddState();
+        nfa_.AddTransition(inner.exit, Symbol::Epsilon(), exit);
+        nfa_.AddTransition(inner.exit, Symbol::Epsilon(), inner.entry);
+        return {inner.entry, exit};
+      }
+      case RegexKind::kOptional: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        const Fragment inner = Compile(node->children[0].get());
+        nfa_.AddTransition(entry, Symbol::Epsilon(), inner.entry);
+        nfa_.AddTransition(inner.exit, Symbol::Epsilon(), exit);
+        nfa_.AddTransition(entry, Symbol::Epsilon(), exit);
+        return {entry, exit};
+      }
+      case RegexKind::kCapture: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        const Fragment inner = Compile(node->children[0].get());
+        nfa_.AddTransition(entry, Symbol::Open(node->variable), inner.entry);
+        nfa_.AddTransition(inner.exit, Symbol::Close(node->variable), exit);
+        return {entry, exit};
+      }
+      case RegexKind::kRef: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        nfa_.AddTransition(entry, Symbol::Ref(node->variable), exit);
+        return {entry, exit};
+      }
+    }
+    FatalError("ThompsonConstruct: unknown node kind");
+  }
+
+  Nfa nfa_;
+};
+
+}  // namespace
+
+Nfa ThompsonConstruct(const RegexNode* root) {
+  Require(root != nullptr, "ThompsonConstruct: null root");
+  Builder builder;
+  return builder.Build(root);
+}
+
+Nfa ThompsonConstruct(const Regex& regex) { return ThompsonConstruct(regex.root()); }
+
+}  // namespace spanners

@@ -1,0 +1,23 @@
+/// \file thompson.hpp
+/// \brief Thompson construction: regex AST -> NFA over the Symbol alphabet.
+///
+/// Capture nodes {x: e} compile to an opening-marker transition, the
+/// automaton of e, and a closing-marker transition -- i.e. the result of
+/// compiling a spanner regex is a vset-automaton accepting exactly the
+/// subword-marked language of the regex (paper, Sections 1, 2.1). Reference
+/// nodes compile to kRef transitions (refl-automata, Section 3.1).
+#pragma once
+
+#include "automata/nfa.hpp"
+#include "core/regex_ast.hpp"
+
+namespace spanners {
+
+/// Builds an NFA for \p regex with one initial and one accepting state.
+/// Linear in the size of the AST.
+Nfa ThompsonConstruct(const Regex& regex);
+
+/// Same, for a bare AST node.
+Nfa ThompsonConstruct(const RegexNode* root);
+
+}  // namespace spanners

@@ -1,0 +1,219 @@
+#include "core/algebra.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/regex_parser.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+bool StringEqualitySatisfied(std::string_view document, const SpanTuple& tuple,
+                             const std::vector<VariableId>& vars) {
+  const Span* reference = nullptr;
+  for (VariableId v : vars) {
+    if (!tuple[v]) continue;
+    if (reference == nullptr) {
+      reference = &*tuple[v];
+      continue;
+    }
+    if (reference->In(document) != tuple[v]->In(document)) return false;
+  }
+  return true;
+}
+
+SpannerExprPtr SpannerExpr::Primitive(RegularSpanner spanner) {
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kPrimitive;
+  node->variables_ = spanner.variables();
+  node->primitive_ = std::move(spanner);
+  return node;
+}
+
+SpannerExprPtr SpannerExpr::Parse(std::string_view pattern) {
+  return Primitive(RegularSpanner::Compile(pattern));
+}
+
+SpannerExprPtr SpannerExpr::Union(SpannerExprPtr a, SpannerExprPtr b) {
+  Require(a && b, "SpannerExpr::Union: null child");
+  Require(a->variables_.size() == b->variables_.size(),
+          "SpannerExpr::Union: schemas differ in arity");
+  for (const std::string& name : a->variables_.names()) {
+    Require(b->variables_.Find(name).has_value(),
+            "SpannerExpr::Union: schemas differ in variable names");
+  }
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kUnion;
+  node->variables_ = a->variables_;
+  node->children_ = {std::move(a), std::move(b)};
+  return node;
+}
+
+SpannerExprPtr SpannerExpr::Join(SpannerExprPtr a, SpannerExprPtr b) {
+  Require(a && b, "SpannerExpr::Join: null child");
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kJoin;
+  node->variables_ = a->variables_;
+  for (const std::string& name : b->variables_.names()) node->variables_.Intern(name);
+  node->children_ = {std::move(a), std::move(b)};
+  return node;
+}
+
+SpannerExprPtr SpannerExpr::Project(SpannerExprPtr child,
+                                    std::vector<std::string> keep_names) {
+  Require(child != nullptr, "SpannerExpr::Project: null child");
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kProject;
+  for (const std::string& name : keep_names) {
+    Require(child->variables_.Find(name).has_value(),
+            "SpannerExpr::Project: unknown variable");
+    node->variables_.Intern(name);
+  }
+  node->names_ = std::move(keep_names);
+  node->children_ = {std::move(child)};
+  return node;
+}
+
+SpannerExprPtr SpannerExpr::SelectEq(SpannerExprPtr child, std::vector<std::string> names) {
+  Require(child != nullptr, "SpannerExpr::SelectEq: null child");
+  Require(names.size() >= 2, "SpannerExpr::SelectEq: need at least two variables");
+  for (const std::string& name : names) {
+    Require(child->variables_.Find(name).has_value(),
+            "SpannerExpr::SelectEq: unknown variable");
+  }
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kSelectEq;
+  node->variables_ = child->variables_;
+  node->names_ = std::move(names);
+  node->children_ = {std::move(child)};
+  return node;
+}
+
+namespace {
+
+/// Reorders \p tuple from schema \p from into schema \p to; variables absent
+/// in \p from become undefined.
+SpanTuple AlignTuple(const SpanTuple& tuple, const VariableSet& from, const VariableSet& to) {
+  SpanTuple out(to.size());
+  for (VariableId v = 0; v < to.size(); ++v) {
+    if (std::optional<VariableId> source = from.Find(to.Name(v))) out[v] = tuple[*source];
+  }
+  return out;
+}
+
+}  // namespace
+
+SpanRelation SpannerExpr::Evaluate(std::string_view document) const {
+  switch (op_) {
+    case SpannerOp::kPrimitive:
+      return primitive_.Evaluate(document);
+    case SpannerOp::kUnion: {
+      SpanRelation result = children_[0]->Evaluate(document);
+      for (const SpanTuple& t : children_[1]->Evaluate(document)) {
+        result.insert(AlignTuple(t, children_[1]->variables_, variables_));
+      }
+      return result;
+    }
+    case SpannerOp::kJoin: {
+      const SpanRelation left = children_[0]->Evaluate(document);
+      const SpanRelation right = children_[1]->Evaluate(document);
+      const VariableSet& lvars = children_[0]->variables_;
+      const VariableSet& rvars = children_[1]->variables_;
+      // Shared variables, as (left id, right id) pairs.
+      std::vector<std::pair<VariableId, VariableId>> shared;
+      for (VariableId v = 0; v < lvars.size(); ++v) {
+        if (std::optional<VariableId> r = rvars.Find(lvars.Name(v))) shared.push_back({v, *r});
+      }
+      SpanRelation result;
+      for (const SpanTuple& lt : left) {
+        for (const SpanTuple& rt : right) {
+          bool compatible = true;
+          for (const auto& [lv, rv] : shared) {
+            if (lt[lv] != rt[rv]) {
+              compatible = false;
+              break;
+            }
+          }
+          if (!compatible) continue;
+          SpanTuple joined(variables_.size());
+          for (VariableId v = 0; v < variables_.size(); ++v) {
+            const std::string& name = variables_.Name(v);
+            if (std::optional<VariableId> lv = lvars.Find(name)) {
+              joined[v] = lt[*lv];
+            } else if (std::optional<VariableId> rv = rvars.Find(name)) {
+              joined[v] = rt[*rv];
+            }
+          }
+          result.insert(std::move(joined));
+        }
+      }
+      return result;
+    }
+    case SpannerOp::kProject: {
+      const VariableSet& child_vars = children_[0]->variables_;
+      std::vector<std::size_t> keep;
+      for (const std::string& name : names_) keep.push_back(*child_vars.Find(name));
+      SpanRelation result;
+      for (const SpanTuple& t : children_[0]->Evaluate(document)) {
+        result.insert(t.Project(keep));
+      }
+      return result;
+    }
+    case SpannerOp::kSelectEq: {
+      const VariableSet& child_vars = children_[0]->variables_;
+      std::vector<VariableId> vars;
+      for (const std::string& name : names_) vars.push_back(*child_vars.Find(name));
+      SpanRelation result;
+      for (const SpanTuple& t : children_[0]->Evaluate(document)) {
+        if (StringEqualitySatisfied(document, t, vars)) result.insert(t);
+      }
+      return result;
+    }
+  }
+  FatalError("SpannerExpr::Evaluate: unknown op");
+}
+
+std::size_t SpannerExpr::size() const {
+  std::size_t total = 1;
+  for (const SpannerExprPtr& child : children_) total += child->size();
+  return total;
+}
+
+std::string SpannerExpr::ToString() const {
+  std::ostringstream out;
+  switch (op_) {
+    case SpannerOp::kPrimitive:
+      out << "regex[";
+      for (std::size_t i = 0; i < variables_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << variables_.Name(i);
+      }
+      out << "]";
+      return out.str();
+    case SpannerOp::kUnion:
+      return "union(" + children_[0]->ToString() + ", " + children_[1]->ToString() + ")";
+    case SpannerOp::kJoin:
+      return "join(" + children_[0]->ToString() + ", " + children_[1]->ToString() + ")";
+    case SpannerOp::kProject: {
+      out << "project[";
+      for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << names_[i];
+      }
+      out << "](" << children_[0]->ToString() << ")";
+      return out.str();
+    }
+    case SpannerOp::kSelectEq: {
+      out << "select=[";
+      for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << names_[i];
+      }
+      out << "](" << children_[0]->ToString() << ")";
+      return out.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace spanners

@@ -1,0 +1,92 @@
+/// \file algebra.hpp
+/// \brief The spanner algebra: union, natural join, projection, and
+/// string-equality selection (paper, Section 1).
+///
+/// Core spanners are the closure of regex-formula spanners under these four
+/// operations: [RGX]^{∪,⋈,π,ς=}. A SpannerExpr is the operator tree; it can
+/// be evaluated bottom-up (materialised relational semantics, this file), or
+/// rewritten into the core-simplification normal form
+/// π(ς= ... ς=(vset-automaton)) (core_simplification.hpp), with the regular
+/// operations compiled into a single automaton (compile_algebra.hpp).
+///
+/// Variables are identified across subexpressions *by name* (as in the
+/// paper, where all spanners share one variable set X); each node carries
+/// its output schema as an ordered VariableSet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/regular_spanner.hpp"
+
+namespace spanners {
+
+/// Node kinds of the algebra tree.
+enum class SpannerOp : uint8_t { kPrimitive, kUnion, kJoin, kProject, kSelectEq };
+
+class SpannerExpr;
+using SpannerExprPtr = std::shared_ptr<const SpannerExpr>;
+
+/// An immutable algebra expression over document spanners.
+class SpannerExpr {
+ public:
+  /// Leaf: a regular spanner (e.g. compiled from a regex formula).
+  static SpannerExprPtr Primitive(RegularSpanner spanner);
+
+  /// Convenience: parse and compile a regex-formula leaf.
+  static SpannerExprPtr Parse(std::string_view pattern);
+
+  /// Union. Both operands must have the same set of variable *names*
+  /// (column order may differ; the left order is used).
+  static SpannerExprPtr Union(SpannerExprPtr a, SpannerExprPtr b);
+
+  /// Natural join: tuples must agree on variables common to both schemas
+  /// (an undefined entry only matches an undefined entry). Output schema:
+  /// a's variables followed by b's fresh ones.
+  static SpannerExprPtr Join(SpannerExprPtr a, SpannerExprPtr b);
+
+  /// Projection onto \p keep_names (which must exist in the child schema).
+  static SpannerExprPtr Project(SpannerExprPtr child,
+                                std::vector<std::string> keep_names);
+
+  /// String-equality selection ς=_Z (paper, Section 1): keeps a tuple iff
+  /// all *defined* spans of the variables in \p names cover equal factors of
+  /// the document. (With at most one defined span the condition is vacuous;
+  /// this is the natural schemaless lifting used in [38].)
+  static SpannerExprPtr SelectEq(SpannerExprPtr child, std::vector<std::string> names);
+
+  SpannerOp op() const { return op_; }
+  const VariableSet& variables() const { return variables_; }
+  const std::vector<SpannerExprPtr>& children() const { return children_; }
+  const RegularSpanner& primitive() const { return primitive_; }
+  /// kProject: kept names; kSelectEq: selected names.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Materialised bottom-up evaluation: the reference semantics for core
+  /// spanners. Output columns follow variables().
+  SpanRelation Evaluate(std::string_view document) const;
+
+  /// Number of nodes in the expression.
+  std::size_t size() const;
+
+  /// Human-readable rendering, e.g. "project[x](select=[x,y](join(A, B)))".
+  std::string ToString() const;
+
+ private:
+  SpannerExpr() = default;
+
+  SpannerOp op_ = SpannerOp::kPrimitive;
+  RegularSpanner primitive_;
+  std::vector<SpannerExprPtr> children_;
+  std::vector<std::string> names_;
+  VariableSet variables_;
+};
+
+/// True iff all defined spans among \p tuple's entries listed in \p vars
+/// cover pairwise equal factors of \p document.
+bool StringEqualitySatisfied(std::string_view document, const SpanTuple& tuple,
+                             const std::vector<VariableId>& vars);
+
+}  // namespace spanners

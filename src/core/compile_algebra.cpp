@@ -1,0 +1,222 @@
+#include "core/compile_algebra.hpp"
+
+#include <map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+VariableAlignment AlignVariables(const VariableSet& left, const VariableSet& right) {
+  VariableAlignment alignment;
+  alignment.merged = left;
+  alignment.left_map.resize(left.size());
+  for (VariableId v = 0; v < left.size(); ++v) alignment.left_map[v] = v;
+  alignment.right_map.resize(right.size());
+  for (VariableId v = 0; v < right.size(); ++v) {
+    const bool shared = left.Find(right.Name(v)).has_value();
+    const VariableId merged_id = alignment.merged.Intern(right.Name(v));
+    alignment.right_map[v] = merged_id;
+    if (shared) {
+      alignment.shared_mask |= OpenMarker(merged_id) | CloseMarker(merged_id);
+    }
+  }
+  return alignment;
+}
+
+MarkerSet RemapMarkers(MarkerSet markers, const std::vector<VariableId>& map) {
+  MarkerSet out = 0;
+  for (VariableId v = 0; v < map.size(); ++v) {
+    if (markers & OpenMarker(v)) out |= OpenMarker(map[v]);
+    if (markers & CloseMarker(v)) out |= CloseMarker(map[v]);
+  }
+  return out;
+}
+
+ExtendedVA UnionAutomata(const ExtendedVA& a, const ExtendedVA& b) {
+  const VariableAlignment alignment = AlignVariables(a.variables(), b.variables());
+  ExtendedVA out;
+  out.SetVariables(alignment.merged);
+  const StateId start = out.AddState(false);
+  out.SetInitial(start);
+
+  auto copy_side = [&](const ExtendedVA& side, const std::vector<VariableId>& map) {
+    const StateId offset = static_cast<StateId>(out.num_states());
+    for (StateId s = 0; s < side.num_states(); ++s) out.AddState(side.IsAccepting(s));
+    for (StateId s = 0; s < side.num_states(); ++s) {
+      for (const EvaTransition& t : side.TransitionsFrom(s)) {
+        out.AddTransition(offset + s, {RemapMarkers(t.letter.markers, map), t.letter.ch},
+                          offset + t.to);
+      }
+    }
+    // Replicate the initial state's transitions onto the fresh start state.
+    for (const EvaTransition& t : side.TransitionsFrom(side.initial())) {
+      out.AddTransition(start, {RemapMarkers(t.letter.markers, map), t.letter.ch},
+                        offset + t.to);
+    }
+  };
+  if (a.num_states() > 0) copy_side(a, alignment.left_map);
+  if (b.num_states() > 0) copy_side(b, alignment.right_map);
+  return out;
+}
+
+ExtendedVA JoinAutomata(const ExtendedVA& a, const ExtendedVA& b) {
+  const VariableAlignment alignment = AlignVariables(a.variables(), b.variables());
+  ExtendedVA out;
+  out.SetVariables(alignment.merged);
+  if (a.num_states() == 0 || b.num_states() == 0) {
+    out.SetInitial(out.AddState(false));
+    return out;
+  }
+  std::map<std::pair<StateId, StateId>, StateId> index;
+  std::vector<std::pair<StateId, StateId>> worklist;
+  auto state_of = [&](StateId p, StateId q) {
+    auto [it, inserted] = index.try_emplace({p, q}, 0);
+    if (inserted) {
+      it->second = out.AddState(a.IsAccepting(p) && b.IsAccepting(q));
+      worklist.push_back({p, q});
+    }
+    return it->second;
+  };
+  out.SetInitial(state_of(a.initial(), b.initial()));
+  for (std::size_t next = 0; next < worklist.size(); ++next) {
+    const auto [p, q] = worklist[next];
+    const StateId from = index.at({p, q});
+    for (const EvaTransition& ta : a.TransitionsFrom(p)) {
+      const MarkerSet left = RemapMarkers(ta.letter.markers, alignment.left_map);
+      for (const EvaTransition& tb : b.TransitionsFrom(q)) {
+        if (ta.letter.ch != tb.letter.ch) continue;
+        const MarkerSet right = RemapMarkers(tb.letter.markers, alignment.right_map);
+        // Natural join condition: identical marker behaviour on shared
+        // variables in this gap.
+        if ((left & alignment.shared_mask) != (right & alignment.shared_mask)) continue;
+        out.AddTransition(from, {left | right, ta.letter.ch}, state_of(ta.to, tb.to));
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+ExtendedVA ProjectAutomaton(const ExtendedVA& a, const std::vector<std::string>& keep_names) {
+  VariableSet kept;
+  std::vector<VariableId> map(a.variables().size(), 0);
+  MarkerSet keep_mask = 0;
+  for (const std::string& name : keep_names) {
+    Require(a.variables().Find(name).has_value(), "ProjectAutomaton: unknown variable");
+  }
+  for (VariableId v = 0; v < a.variables().size(); ++v) {
+    bool keep = false;
+    for (const std::string& name : keep_names) {
+      if (a.variables().Name(v) == name) keep = true;
+    }
+    if (keep) {
+      map[v] = kept.Intern(a.variables().Name(v));
+      keep_mask |= OpenMarker(v) | CloseMarker(v);
+    }
+  }
+  ExtendedVA out;
+  out.SetVariables(kept);
+  for (StateId s = 0; s < a.num_states(); ++s) out.AddState(a.IsAccepting(s));
+  out.SetInitial(a.num_states() == 0 ? out.AddState(false) : a.initial());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const EvaTransition& t : a.TransitionsFrom(s)) {
+      out.AddTransition(s, {RemapMarkers(t.letter.markers & keep_mask, map), t.letter.ch},
+                        t.to);
+    }
+  }
+  return out;
+}
+
+ExtendedVA RenameVariables(const ExtendedVA& a,
+                           const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::vector<std::string> names = a.variables().names();
+  for (const auto& [from, to] : renames) {
+    bool found = false;
+    for (std::string& name : names) {
+      if (name == from) {
+        name = to;
+        found = true;
+      }
+    }
+    Require(found, "RenameVariables: unknown variable");
+  }
+  ExtendedVA out = a;
+  out.SetVariables(VariableSet(std::move(names)));
+  return out;
+}
+
+ExtendedVA AddTwinVariable(const ExtendedVA& a, const std::string& original,
+                           const std::string& twin) {
+  const std::optional<VariableId> source = a.variables().Find(original);
+  Require(source.has_value(), "AddTwinVariable: unknown variable");
+  VariableSet merged = a.variables();
+  const VariableId twin_id = merged.Intern(twin);
+  ExtendedVA out;
+  out.SetVariables(merged);
+  for (StateId s = 0; s < a.num_states(); ++s) out.AddState(a.IsAccepting(s));
+  out.SetInitial(a.num_states() == 0 ? out.AddState(false) : a.initial());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const EvaTransition& t : a.TransitionsFrom(s)) {
+      MarkerSet markers = t.letter.markers;
+      if (markers & OpenMarker(*source)) markers |= OpenMarker(twin_id);
+      if (markers & CloseMarker(*source)) markers |= CloseMarker(twin_id);
+      out.AddTransition(s, {markers, t.letter.ch}, t.to);
+    }
+  }
+  return out;
+}
+
+ExtendedVA AddVacuousCaptures(const ExtendedVA& a, const std::vector<std::string>& names) {
+  if (names.empty()) return a;
+  VariableSet merged = a.variables();
+  MarkerSet extra = 0;
+  for (const std::string& name : names) {
+    const VariableId v = merged.Intern(name);
+    extra |= OpenMarker(v) | CloseMarker(v);
+  }
+  ExtendedVA out;
+  out.SetVariables(merged);
+  for (StateId s = 0; s < a.num_states(); ++s) out.AddState(a.IsAccepting(s));
+  if (a.num_states() == 0) {
+    out.SetInitial(out.AddState(false));
+    return out;
+  }
+  // Fresh initial whose outgoing letters fire the extra open+close markers
+  // in gap 0, capturing [1,1> for every added variable.
+  const StateId start = out.AddState(false);
+  out.SetInitial(start);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const EvaTransition& t : a.TransitionsFrom(s)) {
+      out.AddTransition(s, t.letter, t.to);
+    }
+  }
+  for (const EvaTransition& t : a.TransitionsFrom(a.initial())) {
+    out.AddTransition(start, {t.letter.markers | extra, t.letter.ch}, t.to);
+  }
+  return out;
+}
+
+RegularSpanner CompileRegular(const SpannerExprPtr& expr) {
+  Require(expr != nullptr, "CompileRegular: null expression");
+  struct Rec {
+    static ExtendedVA Compile(const SpannerExpr& e) {
+      switch (e.op()) {
+        case SpannerOp::kPrimitive:
+          return e.primitive().edva();
+        case SpannerOp::kUnion:
+          return UnionAutomata(Compile(*e.children()[0]), Compile(*e.children()[1]));
+        case SpannerOp::kJoin:
+          return JoinAutomata(Compile(*e.children()[0]), Compile(*e.children()[1]));
+        case SpannerOp::kProject:
+          return ProjectAutomaton(Compile(*e.children()[0]), e.names());
+        case SpannerOp::kSelectEq:
+          FatalError(
+              "CompileRegular: string-equality selection is not regular; "
+              "use SimplifyCore");
+      }
+      FatalError("CompileRegular: unknown op");
+    }
+  };
+  return RegularSpanner::FromExtendedVA(Rec::Compile(*expr));
+}
+
+}  // namespace spanners

@@ -1,0 +1,66 @@
+/// \file compile_algebra.hpp
+/// \brief Automaton-level compilation of the regular algebra operations.
+///
+/// The classical closure properties the paper appeals to in Section 2.2:
+/// the {∪, ⋈, π}-closure of regex-formula spanners equals the class of
+/// spanners describable by a single vset-automaton. These functions realise
+/// the closure constructively on extended vset-automata, where the
+/// marker-set letters make the join synchronisation condition ("agree on the
+/// markers of shared variables at every gap") a simple bitmask equation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algebra.hpp"
+#include "core/extended_va.hpp"
+
+namespace spanners {
+
+/// Schema merge: the union of two variable sets plus the id remappings.
+struct VariableAlignment {
+  VariableSet merged;
+  std::vector<VariableId> left_map;   ///< left id -> merged id
+  std::vector<VariableId> right_map;  ///< right id -> merged id
+  MarkerSet shared_mask = 0;          ///< marker bits (merged ids) of shared variables
+};
+
+/// Aligns two schemas by variable name.
+VariableAlignment AlignVariables(const VariableSet& left, const VariableSet& right);
+
+/// Remaps every marker bit of \p markers through \p map.
+MarkerSet RemapMarkers(MarkerSet markers, const std::vector<VariableId>& map);
+
+/// Union of two extended VAs (schemas are merged by name; the operands need
+/// not have equal schemas -- missing variables stay undefined, which is the
+/// schemaless union).
+ExtendedVA UnionAutomata(const ExtendedVA& a, const ExtendedVA& b);
+
+/// Natural join: the product automaton over merged schemas; at every gap the
+/// two operands must fire identical markers for shared variables.
+ExtendedVA JoinAutomata(const ExtendedVA& a, const ExtendedVA& b);
+
+/// Projection: erases the markers of all variables not in \p keep_names.
+ExtendedVA ProjectAutomaton(const ExtendedVA& a, const std::vector<std::string>& keep_names);
+
+/// Renames variables (schema only; marker bits are unchanged).
+ExtendedVA RenameVariables(const ExtendedVA& a,
+                           const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// Adds a twin variable whose markers duplicate those of \p original in
+/// every letter: the twin always captures exactly the same span. Used by the
+/// core-simplification construction for pushing ς= through unions.
+ExtendedVA AddTwinVariable(const ExtendedVA& a, const std::string& original,
+                           const std::string& twin);
+
+/// Adds fresh variables that capture the empty span [1,1> on every result
+/// tuple ("vacuous captures"); string-equality selections over them are
+/// always satisfied.
+ExtendedVA AddVacuousCaptures(const ExtendedVA& a, const std::vector<std::string>& names);
+
+/// Compiles a ς=-free algebra expression into one regular spanner -- the
+/// executable form of the closure property. Aborts if the expression
+/// contains a string-equality selection (use SimplifyCore for those).
+RegularSpanner CompileRegular(const SpannerExprPtr& expr);
+
+}  // namespace spanners

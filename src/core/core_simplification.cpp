@@ -1,0 +1,174 @@
+#include "core/core_simplification.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+/// Intermediate form during the rewrite: a (possibly nondeterministic)
+/// extended VA plus floating selections and the visible column list.
+struct Partial {
+  ExtendedVA automaton;
+  std::vector<std::vector<std::string>> selections;
+  std::vector<std::string> visible;
+};
+
+class Simplifier {
+ public:
+  Partial Run(const SpannerExpr& expr) { return Rewrite(expr); }
+
+ private:
+  std::string FreshName(const char* prefix) {
+    return std::string("~") + prefix + std::to_string(counter_++);
+  }
+
+  /// Renames all hidden variables (in the automaton schema but not visible)
+  /// to fresh names so they cannot clash across operands.
+  Partial FreshenHidden(Partial p) {
+    std::vector<std::pair<std::string, std::string>> renames;
+    for (const std::string& name : p.automaton.variables().names()) {
+      bool is_visible = false;
+      for (const std::string& v : p.visible) {
+        if (v == name) is_visible = true;
+      }
+      if (!is_visible) renames.push_back({name, FreshName("h")});
+    }
+    if (renames.empty()) return p;
+    p.automaton = RenameVariables(p.automaton, renames);
+    for (auto& selection : p.selections) {
+      for (std::string& name : selection) {
+        for (const auto& [from, to] : renames) {
+          if (name == from) name = to;
+        }
+      }
+    }
+    return p;
+  }
+
+  /// Re-targets every selection of \p p at fresh twin variables (twin
+  /// markers duplicated inside p's automaton) and returns the twin names.
+  std::vector<std::string> TwinifySelections(Partial& p) {
+    std::vector<std::string> twins;
+    for (auto& selection : p.selections) {
+      for (std::string& name : selection) {
+        const std::string twin = FreshName("t");
+        p.automaton = AddTwinVariable(p.automaton, name, twin);
+        twins.push_back(twin);
+        name = twin;
+      }
+    }
+    return twins;
+  }
+
+  Partial Rewrite(const SpannerExpr& expr) {
+    switch (expr.op()) {
+      case SpannerOp::kPrimitive: {
+        Partial p;
+        p.automaton = expr.primitive().edva();
+        p.visible = expr.variables().names();
+        return p;
+      }
+      case SpannerOp::kSelectEq: {
+        Partial p = Rewrite(*expr.children()[0]);
+        p.selections.push_back(expr.names());
+        return p;
+      }
+      case SpannerOp::kProject: {
+        Partial p = Rewrite(*expr.children()[0]);
+        p.visible = expr.names();
+        return p;
+      }
+      case SpannerOp::kJoin: {
+        // Selections commute with ⋈ upward; hidden variables must not
+        // accidentally join, hence the freshening.
+        Partial a = FreshenHidden(Rewrite(*expr.children()[0]));
+        Partial b = FreshenHidden(Rewrite(*expr.children()[1]));
+        Partial joined;
+        // Hide non-visible variables of each side from the join by keeping
+        // them in the schema (fresh names guarantee no clash).
+        joined.automaton = JoinAutomata(a.automaton, b.automaton);
+        joined.selections = a.selections;
+        joined.selections.insert(joined.selections.end(), b.selections.begin(),
+                                 b.selections.end());
+        joined.visible = a.visible;
+        for (const std::string& name : b.visible) {
+          bool present = false;
+          for (const std::string& existing : joined.visible) {
+            if (existing == name) present = true;
+          }
+          if (!present) joined.visible.push_back(name);
+        }
+        return joined;
+      }
+      case SpannerOp::kUnion: {
+        Partial a = FreshenHidden(Rewrite(*expr.children()[0]));
+        Partial b = FreshenHidden(Rewrite(*expr.children()[1]));
+        // Twin-variable construction: each side's selections move to hidden
+        // twins, which the other side captures vacuously.
+        const std::vector<std::string> twins_a = TwinifySelections(a);
+        const std::vector<std::string> twins_b = TwinifySelections(b);
+        a.automaton = AddVacuousCaptures(a.automaton, twins_b);
+        b.automaton = AddVacuousCaptures(b.automaton, twins_a);
+        Partial result;
+        result.automaton = UnionAutomata(a.automaton, b.automaton);
+        result.selections = a.selections;
+        result.selections.insert(result.selections.end(), b.selections.begin(),
+                                 b.selections.end());
+        result.visible = a.visible;
+        return result;
+      }
+    }
+    FatalError("SimplifyCore: unknown op");
+  }
+
+  int counter_ = 0;
+};
+
+}  // namespace
+
+CoreNormalForm SimplifyCore(const SpannerExprPtr& expr) {
+  Require(expr != nullptr, "SimplifyCore: null expression");
+  Simplifier simplifier;
+  Partial partial = simplifier.Run(*expr);
+  CoreNormalForm normal;
+  normal.automaton = RegularSpanner::FromExtendedVA(std::move(partial.automaton));
+  normal.selections = std::move(partial.selections);
+  normal.output = std::move(partial.visible);
+  return normal;
+}
+
+SpanRelation CoreNormalForm::Evaluate(std::string_view document) const {
+  const VariableSet& schema = automaton.variables();
+  // Resolve selection and projection names once.
+  std::vector<std::vector<VariableId>> selection_ids;
+  selection_ids.reserve(selections.size());
+  for (const auto& selection : selections) {
+    std::vector<VariableId> ids;
+    for (const std::string& name : selection) ids.push_back(*schema.Find(name));
+    selection_ids.push_back(std::move(ids));
+  }
+  std::vector<std::size_t> keep;
+  for (const std::string& name : output) keep.push_back(*schema.Find(name));
+
+  SpanRelation result;
+  Enumerator enumerator = automaton.Enumerate(document);
+  while (std::optional<SpanTuple> tuple = enumerator.Next()) {
+    bool pass = true;
+    for (const auto& ids : selection_ids) {
+      if (!StringEqualitySatisfied(document, *tuple, ids)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) result.insert(tuple->Project(keep));
+  }
+  return result;
+}
+
+SpannerExprPtr CoreNormalForm::ToExpr() const {
+  SpannerExprPtr expr = SpannerExpr::Primitive(automaton);
+  for (const auto& selection : selections) expr = SpannerExpr::SelectEq(expr, selection);
+  return SpannerExpr::Project(expr, output);
+}
+
+}  // namespace spanners

@@ -1,0 +1,235 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/nfa_ops.hpp"
+#include "automata/product.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+bool RegularModelCheck(const RegularSpanner& spanner, std::string_view document,
+                       const SpanTuple& tuple) {
+  return spanner.ModelCheck(document, tuple);
+}
+
+bool RegularNonEmptiness(const RegularSpanner& spanner, std::string_view document) {
+  // Simulate the eDVA ignoring marker sets: one subset-simulation pass.
+  const ExtendedVA& eva = spanner.edva();
+  if (eva.num_states() == 0) return false;
+  std::vector<bool> current(eva.num_states(), false);
+  current[eva.initial()] = true;
+  for (std::size_t i = 0; i <= document.size(); ++i) {
+    const uint16_t ch =
+        i < document.size() ? static_cast<unsigned char>(document[i]) : kEndMark;
+    std::vector<bool> next(eva.num_states(), false);
+    bool any = false;
+    for (StateId s = 0; s < eva.num_states(); ++s) {
+      if (!current[s]) continue;
+      for (const EvaTransition& t : eva.TransitionsFrom(s)) {
+        if (t.letter.ch == ch) {
+          next[t.to] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    current = std::move(next);
+  }
+  for (StateId s = 0; s < eva.num_states(); ++s) {
+    if (current[s] && eva.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+bool RegularSatisfiability(const RegularSpanner& spanner) {
+  // The eDVA is trimmed: it accepts something iff an accepting state exists.
+  const ExtendedVA& eva = spanner.edva();
+  for (StateId s = 0; s < eva.num_states(); ++s) {
+    if (eva.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Builds the "x and y properly overlap" witness automaton over the symbol
+/// alphabet: anything* x> anything* CHAR anything* y> anything* CHAR
+/// anything* <x anything* CHAR anything* <y anything*, where "anything"
+/// excludes the four named markers and CHAR is any letter of \p chars.
+/// (begin_x < begin_y <= ... : at least one character strictly between
+/// consecutive markers enforces begin_x < begin_y, begin_y < end_x,
+/// end_x < end_y -- precisely proper overlap.)
+Nfa OverlapWitness(const std::set<Symbol>& alphabet, VariableId x, VariableId y) {
+  // Order of events for proper overlap of x before y: x> ... y> ... <x ... <y,
+  // with at least one character strictly between consecutive events.
+  const std::vector<Symbol> sequence = {Symbol::Open(x), Symbol::Open(y), Symbol::Close(x),
+                                        Symbol::Close(y)};
+  Nfa nfa;
+  const std::size_t num_stations = sequence.size();
+  StateId current = nfa.AddState();
+  nfa.SetInitial(current);
+  auto add_self_loops = [&](StateId s, VariableId skip_x, VariableId skip_y) {
+    for (const Symbol& symbol : alphabet) {
+      if (symbol.IsMarker()) {
+        const VariableId v = symbol.variable();
+        if (v == skip_x || v == skip_y) continue;  // the named markers advance
+      }
+      nfa.AddTransition(s, symbol, s);
+    }
+  };
+  for (std::size_t i = 0; i < num_stations; ++i) {
+    add_self_loops(current, x, y);
+    const StateId after_marker = nfa.AddState();
+    nfa.AddTransition(current, sequence[i], after_marker);
+    if (i + 1 < num_stations) {
+      // Require at least one character before the next marker.
+      add_self_loops(after_marker, x, y);
+      const StateId advanced = nfa.AddState();
+      for (const Symbol& symbol : alphabet) {
+        if (symbol.IsChar()) nfa.AddTransition(after_marker, symbol, advanced);
+      }
+      current = advanced;
+    } else {
+      current = after_marker;
+    }
+  }
+  add_self_loops(current, x, y);
+  nfa.SetAccepting(current);
+  return nfa;
+}
+
+}  // namespace
+
+bool RegularHierarchicality(const RegularSpanner& spanner) {
+  const VsetAutomaton normalized = spanner.edva().ToNormalizedVset();
+  const Nfa& nfa = normalized.nfa();
+  const std::set<Symbol> alphabet = nfa.Alphabet();
+  const std::size_t k = spanner.variables().size();
+  for (VariableId x = 0; x < k; ++x) {
+    for (VariableId y = 0; y < k; ++y) {
+      if (x == y) continue;
+      const Nfa witness = OverlapWitness(alphabet, x, y);
+      if (!Intersect(nfa, witness).IsEmptyLanguage()) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Remaps \p b's variables so ids match \p a's by name; aborts when the
+/// variable name sets differ.
+RegularSpanner AlignToSchema(const RegularSpanner& b, const VariableSet& target) {
+  Require(b.variables().size() == target.size(),
+          "Spanner containment: variable sets differ");
+  std::vector<VariableId> map(b.variables().size());
+  for (VariableId v = 0; v < b.variables().size(); ++v) {
+    std::optional<VariableId> t = target.Find(b.variables().Name(v));
+    Require(t.has_value(), "Spanner containment: variable sets differ");
+    map[v] = *t;
+  }
+  const VsetAutomaton remapped =
+      b.edva().ToNormalizedVset().RemappedVariables(map, target);
+  return RegularSpanner::FromAutomaton(remapped);
+}
+
+}  // namespace
+
+std::optional<std::pair<std::string, SpanTuple>> ContainmentWitness(
+    const RegularSpanner& a, const RegularSpanner& b) {
+  const RegularSpanner b_aligned = AlignToSchema(b, a.variables());
+  // Canonical languages: normalised subword-marked words. A spanner
+  // containment counterexample is a word in L(norm a) \ L(norm b).
+  const Nfa norm_a = a.edva().ToNormalizedVset().nfa();
+  const Nfa norm_b = b_aligned.edva().ToNormalizedVset().nfa();
+  std::optional<std::vector<Symbol>> word = ShortestCounterexample(norm_a, norm_b);
+  if (!word) return std::nullopt;
+  const std::string document = EraseMarkers(*word);
+  std::optional<SpanTuple> tuple =
+      ExtractTuple(*word, a.variables().size(), Semantics::kSchemaless);
+  Require(tuple.has_value(), "ContainmentWitness: non-well-formed counterexample");
+  return std::make_pair(document, *std::move(tuple));
+}
+
+bool SpannerContained(const RegularSpanner& a, const RegularSpanner& b) {
+  return !ContainmentWitness(a, b).has_value();
+}
+
+bool SpannerEquivalent(const RegularSpanner& a, const RegularSpanner& b) {
+  return SpannerContained(a, b) && SpannerContained(b, a);
+}
+
+bool CoreModelCheck(const CoreNormalForm& spanner, std::string_view document,
+                    const SpanTuple& tuple) {
+  const VariableSet& schema = spanner.automaton.variables();
+  std::vector<std::vector<VariableId>> selection_ids;
+  for (const auto& selection : spanner.selections) {
+    std::vector<VariableId> ids;
+    for (const std::string& name : selection) ids.push_back(*schema.Find(name));
+    selection_ids.push_back(std::move(ids));
+  }
+  std::vector<std::size_t> keep;
+  for (const std::string& name : spanner.output) keep.push_back(*schema.Find(name));
+
+  Enumerator enumerator = spanner.automaton.Enumerate(document);
+  while (std::optional<SpanTuple> candidate = enumerator.Next()) {
+    if (candidate->Project(keep) != tuple) continue;
+    bool pass = true;
+    for (const auto& ids : selection_ids) {
+      if (!StringEqualitySatisfied(document, *candidate, ids)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+  return false;
+}
+
+bool CoreNonEmptiness(const CoreNormalForm& spanner, std::string_view document) {
+  const VariableSet& schema = spanner.automaton.variables();
+  std::vector<std::vector<VariableId>> selection_ids;
+  for (const auto& selection : spanner.selections) {
+    std::vector<VariableId> ids;
+    for (const std::string& name : selection) ids.push_back(*schema.Find(name));
+    selection_ids.push_back(std::move(ids));
+  }
+  Enumerator enumerator = spanner.automaton.Enumerate(document);
+  while (std::optional<SpanTuple> candidate = enumerator.Next()) {
+    bool pass = true;
+    for (const auto& ids : selection_ids) {
+      if (!StringEqualitySatisfied(document, *candidate, ids)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+  return false;
+}
+
+bool CoreSatisfiableBounded(const CoreNormalForm& spanner, std::string_view alphabet,
+                            std::size_t max_length) {
+  std::string document;
+  // Iterative deepening over all documents up to max_length.
+  struct Rec {
+    const CoreNormalForm& s;
+    std::string_view alphabet;
+    bool Search(std::string& doc, std::size_t remaining) {
+      if (CoreNonEmptiness(s, doc)) return true;
+      if (remaining == 0) return false;
+      for (char c : alphabet) {
+        doc.push_back(c);
+        if (Search(doc, remaining - 1)) return true;
+        doc.pop_back();
+      }
+      return false;
+    }
+  };
+  Rec rec{spanner, alphabet};
+  return rec.Search(document, max_length);
+}
+
+}  // namespace spanners

@@ -1,0 +1,78 @@
+/// \file decision.hpp
+/// \brief Decision problems for regular spanners (paper, Section 2.4).
+///
+/// ModelChecking and NonEmptiness are evaluation problems; Satisfiability,
+/// Hierarchicality, Containment and Equivalence are static analysis. For
+/// regular spanners all six are decidable; ModelChecking / NonEmptiness /
+/// Satisfiability run in polynomial time, Hierarchicality reduces to
+/// polynomially many automaton-product emptiness checks, and Containment /
+/// Equivalence determinise canonical representations (PSpace-complete in
+/// general, so exponential worst-case behaviour is inherent).
+///
+/// For *core* spanners the same problems are NP-hard / PSpace-complete /
+/// undecidable; the solvers for those live with the constructions that
+/// witness the hardness (pattern_matching.hpp, core_decision below).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/core_simplification.hpp"
+#include "core/regular_spanner.hpp"
+
+namespace spanners {
+
+// --- Evaluation problems -------------------------------------------------
+
+/// ModelChecking: t in [[S]](D)? Linear in |D|.
+bool RegularModelCheck(const RegularSpanner& spanner, std::string_view document,
+                       const SpanTuple& tuple);
+
+/// NonEmptiness: [[S]](D) != {} ? Linear in |D| (markers become free moves).
+bool RegularNonEmptiness(const RegularSpanner& spanner, std::string_view document);
+
+// --- Static analysis problems --------------------------------------------
+
+/// Satisfiability: does any document yield a non-empty result? Polynomial
+/// (emptiness of the trimmed automaton).
+bool RegularSatisfiability(const RegularSpanner& spanner);
+
+/// Hierarchicality: no document/tuple has two properly overlapping spans.
+/// Polynomial: one product-emptiness check per ordered variable pair.
+bool RegularHierarchicality(const RegularSpanner& spanner);
+
+/// Containment: [[a]](D) subset of [[b]](D) for all D. Variable sets are
+/// matched by name (they must be equal as name sets).
+bool SpannerContained(const RegularSpanner& a, const RegularSpanner& b);
+
+/// Equivalence: containment in both directions.
+bool SpannerEquivalent(const RegularSpanner& a, const RegularSpanner& b);
+
+/// A witness (document, tuple) in [[a]] but not [[b]], if any: the
+/// counterexample generator behind SpannerContained.
+std::optional<std::pair<std::string, SpanTuple>> ContainmentWitness(
+    const RegularSpanner& a, const RegularSpanner& b);
+
+// --- Core spanners --------------------------------------------------------
+
+/// ModelChecking for a core spanner in normal form: t (over the output
+/// columns) in result? Decided by enumerating extensions of t over the
+/// hidden columns -- exponential in the worst case, as inherent (NP-hard,
+/// [12]).
+bool CoreModelCheck(const CoreNormalForm& spanner, std::string_view document,
+                    const SpanTuple& tuple);
+
+/// NonEmptiness for a core spanner (NP-hard [12]): evaluates with early
+/// exit.
+bool CoreNonEmptiness(const CoreNormalForm& spanner, std::string_view document);
+
+/// Sound but incomplete satisfiability check for core spanners: searches
+/// documents over \p alphabet up to length \p max_length. (Exact
+/// satisfiability is PSpace-complete [12]; for the refl-expressible
+/// fragment use ReflSatisfiability, which is polynomial.)
+bool CoreSatisfiableBounded(const CoreNormalForm& spanner, std::string_view alphabet,
+                            std::size_t max_length);
+
+}  // namespace spanners

@@ -1,0 +1,182 @@
+#include "core/enumeration.hpp"
+
+#include <unordered_map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+Enumerator::Enumerator(const ExtendedVA* edva, std::string_view document)
+    : edva_(edva), document_(document) {
+  Require(edva_ != nullptr, "Enumerator: null automaton");
+  num_states_ = edva_->num_states();
+  num_positions_ = document.size() + 1;  // letters 0..n-1 plus the End letter
+
+  // --- Preprocessing phase (linear in |document|) ---
+  // alive_[p][s]: from state s with letters p..n still to consume, an
+  // accepting state is reachable.
+  alive_.assign((num_positions_ + 1) * num_states_, false);
+  for (StateId s = 0; s < num_states_; ++s) {
+    alive_[num_positions_ * num_states_ + s] = edva_->IsAccepting(s);
+  }
+  for (std::size_t p = num_positions_; p-- > 0;) {
+    const uint16_t ch = LetterChar(p);
+    for (StateId s = 0; s < num_states_; ++s) {
+      bool ok = false;
+      for (const EvaTransition& t : edva_->TransitionsFrom(s)) {
+        if (t.letter.ch == ch && alive_[(p + 1) * num_states_ + t.to]) {
+          ok = true;
+          break;
+        }
+      }
+      alive_[p * num_states_ + s] = ok;
+    }
+  }
+
+  // jump_[p][s]: first decision point (encoded j * Q + s') on the spine from
+  // (s, p); -1 when (s, p) is dead. A decision point is a pair with an
+  // eventful option: a marker-firing transition, or any transition at the
+  // End letter (which completes a tuple).
+  jump_.assign(num_positions_ * num_states_, -1);
+  for (std::size_t p = num_positions_; p-- > 0;) {
+    const uint16_t ch = LetterChar(p);
+    for (StateId s = 0; s < num_states_; ++s) {
+      if (!Alive(p, s)) continue;
+      bool eventful = false;
+      StateId spine_to = 0;
+      bool has_spine = false;
+      for (const EvaTransition& t : edva_->TransitionsFrom(s)) {
+        if (t.letter.ch != ch || !alive_[(p + 1) * num_states_ + t.to]) continue;
+        if (ch == kEndMark || t.letter.markers != 0) {
+          eventful = true;
+          break;
+        }
+        has_spine = true;  // deterministic: at most one (0, ch) transition
+        spine_to = t.to;
+      }
+      if (eventful) {
+        jump_[p * num_states_ + s] = static_cast<int64_t>(p) * num_states_ + s;
+      } else if (has_spine && p + 1 < num_positions_) {
+        jump_[p * num_states_ + s] = jump_[(p + 1) * num_states_ + spine_to];
+      }
+      // No eventful option and no live spine: stays -1 (cannot happen for
+      // alive states of a trimmed automaton).
+    }
+  }
+}
+
+uint16_t Enumerator::LetterChar(std::size_t position) const {
+  return position < document_.size()
+             ? static_cast<uint16_t>(static_cast<unsigned char>(document_[position]))
+             : kEndMark;
+}
+
+void Enumerator::PushDecision(std::size_t position, StateId state) {
+  Frame frame;
+  frame.position = position;
+  frame.state = state;
+  frame.events_below = path_events_.size();
+  const uint16_t ch = LetterChar(position);
+  const auto& transitions = edva_->TransitionsFrom(state);
+  bool has_spine = false;
+  for (uint32_t i = 0; i < transitions.size(); ++i) {
+    const EvaTransition& t = transitions[i];
+    if (t.letter.ch != ch || !alive_[(position + 1) * num_states_ + t.to]) continue;
+    if (ch == kEndMark || t.letter.markers != 0) {
+      frame.options.push_back(i);
+    } else {
+      has_spine = true;
+    }
+  }
+  if (has_spine) frame.options.push_back(kSpineOption);
+  stack_.push_back(std::move(frame));
+}
+
+SpanTuple Enumerator::BuildTuple() const {
+  const std::size_t num_vars = edva_->variables().size();
+  SpanTuple tuple(num_vars);
+  std::vector<Position> open_at(num_vars, 0);
+  for (const Event& event : path_events_) {
+    const Position here = static_cast<Position>(event.gap + 1);
+    for (VariableId v = 0; v < num_vars; ++v) {
+      if (event.markers & OpenMarker(v)) open_at[v] = here;
+      if (event.markers & CloseMarker(v)) tuple[v] = Span(open_at[v], here);
+    }
+  }
+  return tuple;
+}
+
+void Enumerator::Reset() {
+  stack_.clear();
+  path_events_.clear();
+  started_ = false;
+  exhausted_ = false;
+}
+
+std::optional<SpanTuple> Enumerator::Next() {
+  last_delay_steps_ = 0;
+  if (exhausted_) return std::nullopt;
+  if (!started_) {
+    started_ = true;
+    if (num_states_ > 0 && Alive(0, edva_->initial())) {
+      const int64_t target = JumpTarget(0, edva_->initial());
+      if (target >= 0) {
+        PushDecision(static_cast<std::size_t>(target) / num_states_,
+                     static_cast<StateId>(target % num_states_));
+      }
+    }
+  }
+  while (!stack_.empty()) {
+    ++last_delay_steps_;
+    Frame& frame = stack_.back();
+    if (frame.next_option >= frame.options.size()) {
+      path_events_.resize(frame.events_below);
+      stack_.pop_back();
+      continue;
+    }
+    const uint32_t option = frame.options[frame.next_option++];
+    if (option == kSpineOption) {
+      // Follow the unique marker-free transition; its first decision point
+      // was precomputed in jump_.
+      const uint16_t ch = LetterChar(frame.position);
+      StateId spine_to = 0;
+      for (const EvaTransition& t : edva_->TransitionsFrom(frame.state)) {
+        if (t.letter.ch == ch && t.letter.markers == 0 &&
+            alive_[(frame.position + 1) * num_states_ + t.to]) {
+          spine_to = t.to;
+          break;
+        }
+      }
+      const int64_t target = JumpTarget(frame.position + 1, spine_to);
+      if (target >= 0) {
+        PushDecision(static_cast<std::size_t>(target) / num_states_,
+                     static_cast<StateId>(target % num_states_));
+      }
+      continue;
+    }
+    const EvaTransition& t = edva_->TransitionsFrom(frame.state)[option];
+    if (frame.position + 1 == num_positions_ + 0 && t.letter.ch == kEndMark) {
+      // Terminal option: consuming the End letter completes a tuple.
+      if (t.letter.markers != 0) path_events_.push_back({frame.position, t.letter.markers});
+      SpanTuple tuple = BuildTuple();
+      if (t.letter.markers != 0) path_events_.pop_back();
+      return tuple;
+    }
+    const std::size_t events_before_edge = path_events_.size();
+    if (t.letter.markers != 0) path_events_.push_back({frame.position, t.letter.markers});
+    const int64_t target = JumpTarget(frame.position + 1, t.to);
+    if (target >= 0) {
+      PushDecision(static_cast<std::size_t>(target) / num_states_,
+                   static_cast<StateId>(target % num_states_));
+      // Popping the child must also undo this edge's event.
+      stack_.back().events_below = events_before_edge;
+    } else if (t.letter.markers != 0) {
+      path_events_.pop_back();  // dead child (cannot happen when trimmed)
+    }
+    continue;
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+}  // namespace spanners

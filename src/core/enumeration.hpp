@@ -1,0 +1,85 @@
+/// \file enumeration.hpp
+/// \brief Enumeration of regular-spanner results (paper, Section 2.5).
+///
+/// Two-phase evaluation in the style of Florenzano et al. [10]: a
+/// *preprocessing* phase linear in |D| (data complexity) builds (i) the
+/// table of alive states per position -- states from which acceptance is
+/// still reachable -- and (ii) a jump table that skips maximal stretches of
+/// marker-free ("spine") steps of the deterministic extended vset-automaton.
+/// The *enumeration* phase then emits result tuples with delay bounded by
+/// the number of marker events per tuple, i.e. O(k) per tuple and
+/// independent of |D| (constant delay in data complexity).
+///
+/// Requirements on the automaton: deterministic and trimmed (as produced by
+/// ExtendedVA::Determinized); trimming guarantees no dead branches, which is
+/// what turns the DFS into a delay-bounded enumeration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/extended_va.hpp"
+
+namespace spanners {
+
+/// Pull-based enumerator over the results of one (spanner, document) pair.
+class Enumerator {
+ public:
+  /// Runs the preprocessing phase; O(|document| * poly(automaton)).
+  /// \p edva must outlive the enumerator and be deterministic and trimmed.
+  Enumerator(const ExtendedVA* edva, std::string_view document);
+
+  /// Returns the next result tuple, or nullopt when exhausted. No tuple is
+  /// reported twice.
+  std::optional<SpanTuple> Next();
+
+  /// Restarts the enumeration phase (preprocessing is kept).
+  void Reset();
+
+  /// Number of basic steps spent in the most recent Next() call; exposed so
+  /// the benchmarks can report the delay distribution (experiment E1).
+  std::size_t last_delay_steps() const { return last_delay_steps_; }
+
+ private:
+  struct Frame {
+    std::size_t position;             ///< letter index of this decision point
+    StateId state;                    ///< automaton state at the decision point
+    std::vector<uint32_t> options;    ///< indices into transitions, then maybe kSpine
+    std::size_t next_option = 0;
+    std::size_t events_below = 0;     ///< path_events_ size when frame was pushed
+  };
+  static constexpr uint32_t kSpineOption = UINT32_MAX;
+
+  uint16_t LetterChar(std::size_t position) const;
+  bool Alive(std::size_t position, StateId state) const {
+    return alive_[position * num_states_ + state];
+  }
+  /// First decision point on the spine from (state, position); -1 if none.
+  int64_t JumpTarget(std::size_t position, StateId state) const {
+    return jump_[position * num_states_ + state];
+  }
+  void PushDecision(std::size_t position, StateId state);
+  SpanTuple BuildTuple() const;
+
+  const ExtendedVA* edva_;
+  std::string_view document_;
+  std::size_t num_states_ = 0;
+  std::size_t num_positions_ = 0;  // document length + 1 (letters incl. End)
+
+  std::vector<bool> alive_;    ///< (num_positions_+1) x num_states_
+  std::vector<int64_t> jump_;  ///< num_positions_ x num_states_: j*Q+s or -1
+
+  std::vector<Frame> stack_;
+  struct Event {
+    std::size_t gap;  ///< 0-based gap index == letter index
+    MarkerSet markers;
+  };
+  std::vector<Event> path_events_;
+  bool started_ = false;
+  bool exhausted_ = false;
+  std::size_t last_delay_steps_ = 0;
+};
+
+}  // namespace spanners

@@ -1,0 +1,390 @@
+#include "core/extended_va.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+StateId ExtendedVA::AddState(bool accepting) {
+  transitions_.emplace_back();
+  accepting_.push_back(accepting);
+  return static_cast<StateId>(transitions_.size() - 1);
+}
+
+void ExtendedVA::AddTransition(StateId from, EvaLetter letter, StateId to) {
+  Require(from < num_states() && to < num_states(), "ExtendedVA::AddTransition: bad state");
+  transitions_[from].push_back({letter, to});
+}
+
+std::size_t ExtendedVA::num_transitions() const {
+  std::size_t count = 0;
+  for (const auto& list : transitions_) count += list.size();
+  return count;
+}
+
+namespace {
+
+/// Per-variable capture status packed 2 bits per variable:
+/// 0 = unopened, 1 = open, 2 = closed. Tracking the configuration during the
+/// construction excludes runs with invalid marker usage (e.g. reopening a
+/// variable under a star), so the resulting extended VA realises exactly the
+/// spanner semantics -- including for non-well-formed input automata.
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+struct ClosureEntry {
+  MarkerSet markers;
+  StateId state;
+  Config config;
+};
+
+/// All (marker set, state, config) triples reachable from (start, config)
+/// via epsilon and *valid* marker transitions. Includes (0, start, config).
+std::vector<ClosureEntry> MarkerClosure(const Nfa& nfa, StateId start, Config config) {
+  std::set<std::tuple<MarkerSet, StateId, Config>> seen;
+  std::vector<ClosureEntry> stack;
+  seen.insert({0, start, config});
+  stack.push_back({0, start, config});
+  std::vector<ClosureEntry> result;
+  while (!stack.empty()) {
+    const ClosureEntry entry = stack.back();
+    stack.pop_back();
+    result.push_back(entry);
+    for (const Transition& t : nfa.TransitionsFrom(entry.state)) {
+      MarkerSet next_markers = entry.markers;
+      Config next_config = entry.config;
+      if (t.symbol.IsEpsilon()) {
+        // unchanged
+      } else if (t.symbol.kind() == SymbolKind::kOpen) {
+        const VariableId v = t.symbol.variable();
+        if (StatusOf(entry.config, v) != 0) continue;  // invalid: already used
+        next_markers |= OpenMarker(v);
+        next_config = WithStatus(entry.config, v, 1);
+      } else if (t.symbol.kind() == SymbolKind::kClose) {
+        const VariableId v = t.symbol.variable();
+        if (StatusOf(entry.config, v) != 1) continue;  // invalid: not open
+        next_markers |= CloseMarker(v);
+        next_config = WithStatus(entry.config, v, 2);
+      } else {
+        continue;  // char / ref transitions end the gap
+      }
+      if (seen.insert({next_markers, t.to, next_config}).second) {
+        stack.push_back({next_markers, t.to, next_config});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExtendedVA ExtendedVA::FromVset(const VsetAutomaton& vset) {
+  const Nfa& nfa = vset.nfa();
+  const std::size_t num_vars = vset.variables().size();
+  ExtendedVA eva;
+  eva.SetVariables(vset.variables());
+  if (nfa.num_states() == 0) {
+    eva.SetInitial(eva.AddState(false));
+    return eva;
+  }
+  // Explore (state, config) pairs; each becomes one eVA state.
+  std::map<std::pair<StateId, Config>, StateId> index;
+  std::vector<std::pair<StateId, Config>> worklist;
+  auto state_of = [&](StateId s, Config c) {
+    auto [it, inserted] = index.try_emplace({s, c}, 0);
+    if (inserted) {
+      it->second = eva.AddState(false);
+      worklist.push_back({s, c});
+    }
+    return it->second;
+  };
+  const StateId initial = state_of(nfa.initial(), 0);
+  eva.SetInitial(initial);
+  const StateId sink = eva.AddState(true);
+
+  auto no_open_variable = [&](Config c) {
+    for (VariableId v = 0; v < num_vars; ++v) {
+      if (StatusOf(c, v) == 1) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t next = 0; next < worklist.size(); ++next) {
+    const auto [p, config] = worklist[next];
+    const StateId from = index.at({p, config});
+    // Deduplicate generated letters: multiple marker paths can produce the
+    // same (S, c, target).
+    std::set<std::tuple<MarkerSet, uint16_t, StateId>> added;
+    for (const ClosureEntry& entry : MarkerClosure(nfa, p, config)) {
+      if (nfa.IsAccepting(entry.state) && no_open_variable(entry.config)) {
+        if (added.insert({entry.markers, kEndMark, sink}).second) {
+          eva.AddTransition(from, {entry.markers, kEndMark}, sink);
+        }
+      }
+      for (const Transition& t : nfa.TransitionsFrom(entry.state)) {
+        if (t.symbol.IsChar()) {
+          const StateId to = state_of(t.to, entry.config);
+          if (added.insert({entry.markers, t.symbol.ch(), to}).second) {
+            eva.AddTransition(from, {entry.markers, t.symbol.ch()}, to);
+          }
+        }
+      }
+    }
+  }
+  return eva.Trimmed();
+}
+
+ExtendedVA ExtendedVA::Trimmed() const {
+  const std::size_t n = num_states();
+  // Forward reachability.
+  std::vector<bool> reachable(n, false);
+  std::vector<StateId> stack;
+  if (n > 0) {
+    reachable[initial_] = true;
+    stack.push_back(initial_);
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (const EvaTransition& t : transitions_[s]) {
+        if (!reachable[t.to]) {
+          reachable[t.to] = true;
+          stack.push_back(t.to);
+        }
+      }
+    }
+  }
+  // Backward reachability.
+  std::vector<std::vector<StateId>> reverse(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const EvaTransition& t : transitions_[s]) reverse[t.to].push_back(s);
+  }
+  std::vector<bool> co_reachable(n, false);
+  for (StateId s = 0; s < n; ++s) {
+    if (accepting_[s]) {
+      co_reachable[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId p : reverse[s]) {
+      if (!co_reachable[p]) {
+        co_reachable[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  ExtendedVA out;
+  out.SetVariables(variables_);
+  std::vector<StateId> remap(n, UINT32_MAX);
+  for (StateId s = 0; s < n; ++s) {
+    if (reachable[s] && co_reachable[s]) remap[s] = out.AddState(accepting_[s]);
+  }
+  if (n == 0 || remap[initial_] == UINT32_MAX) {
+    ExtendedVA empty;
+    empty.SetVariables(variables_);
+    empty.SetInitial(empty.AddState(false));
+    return empty;
+  }
+  out.SetInitial(remap[initial_]);
+  for (StateId s = 0; s < n; ++s) {
+    if (remap[s] == UINT32_MAX) continue;
+    for (const EvaTransition& t : transitions_[s]) {
+      if (remap[t.to] != UINT32_MAX) out.AddTransition(remap[s], t.letter, remap[t.to]);
+    }
+  }
+  return out;
+}
+
+ExtendedVA ExtendedVA::Determinized() const {
+  ExtendedVA out;
+  out.SetVariables(variables_);
+  std::map<std::vector<StateId>, StateId> index;
+  std::vector<std::vector<StateId>> worklist;
+
+  auto is_accepting = [&](const std::vector<StateId>& states) {
+    for (StateId s : states) {
+      if (accepting_[s]) return true;
+    }
+    return false;
+  };
+  auto state_of = [&](std::vector<StateId> states) {
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+    auto [it, inserted] = index.try_emplace(states, 0);
+    if (inserted) {
+      it->second = out.AddState(is_accepting(states));
+      worklist.push_back(std::move(states));
+    }
+    return it->second;
+  };
+
+  if (num_states() == 0) {
+    out.SetInitial(out.AddState(false));
+    return out;
+  }
+  out.SetInitial(state_of({initial_}));
+  for (std::size_t next = 0; next < worklist.size(); ++next) {
+    const std::vector<StateId> current = worklist[next];
+    const StateId from = index.at(current);
+    // Group successors by letter.
+    std::map<EvaLetter, std::vector<StateId>> successors;
+    for (StateId s : current) {
+      for (const EvaTransition& t : transitions_[s]) successors[t.letter].push_back(t.to);
+    }
+    for (auto& [letter, states] : successors) {
+      out.AddTransition(from, letter, state_of(std::move(states)));
+    }
+  }
+  return out.Trimmed();
+}
+
+bool ExtendedVA::IsDeterministic() const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    std::set<EvaLetter> seen;
+    for (const EvaTransition& t : transitions_[s]) {
+      if (!seen.insert(t.letter).second) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<EvaLetter> ExtendedVA::LetterWord(std::string_view document,
+                                              const SpanTuple& tuple) {
+  std::vector<EvaLetter> word(document.size() + 1);
+  for (std::size_t i = 0; i < document.size(); ++i) {
+    word[i].ch = static_cast<unsigned char>(document[i]);
+  }
+  word[document.size()].ch = kEndMark;
+  for (std::size_t v = 0; v < tuple.arity(); ++v) {
+    if (!tuple[v]) continue;
+    // A span [b, e> opens in the gap before character b and closes in the
+    // gap before character e; gap g belongs to letter index g (0-based).
+    word[tuple[v]->begin - 1].markers |= OpenMarker(static_cast<VariableId>(v));
+    word[tuple[v]->end - 1].markers |= CloseMarker(static_cast<VariableId>(v));
+  }
+  return word;
+}
+
+SpanTuple ExtendedVA::TupleOfLetterWord(const std::vector<EvaLetter>& word,
+                                        std::size_t num_vars) {
+  SpanTuple tuple(num_vars);
+  std::vector<Position> open_at(num_vars, 0);
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const Position here = static_cast<Position>(i + 1);
+    for (VariableId v = 0; v < num_vars; ++v) {
+      if (word[i].markers & OpenMarker(v)) open_at[v] = here;
+      if (word[i].markers & CloseMarker(v)) tuple[v] = Span(open_at[v], here);
+    }
+  }
+  return tuple;
+}
+
+bool ExtendedVA::AcceptsPair(std::string_view document, const SpanTuple& tuple) const {
+  const std::vector<EvaLetter> word = LetterWord(document, tuple);
+  std::vector<StateId> current{initial_};
+  if (num_states() == 0) return false;
+  for (const EvaLetter& letter : word) {
+    std::vector<StateId> next;
+    for (StateId s : current) {
+      for (const EvaTransition& t : transitions_[s]) {
+        if (t.letter == letter) next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  for (StateId s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+std::vector<Symbol> MarkerSetSymbols(MarkerSet set) {
+  std::vector<Symbol> symbols;
+  for (VariableId v = 0; v < kMaxVariables; ++v) {
+    if (set & OpenMarker(v)) symbols.push_back(Symbol::Open(v));
+  }
+  for (VariableId v = 0; v < kMaxVariables; ++v) {
+    if (set & CloseMarker(v)) symbols.push_back(Symbol::Close(v));
+  }
+  return symbols;
+}
+
+VsetAutomaton ExtendedVA::ToNormalizedVset() const {
+  Nfa nfa;
+  for (StateId s = 0; s < num_states(); ++s) {
+    const StateId n = nfa.AddState();
+    (void)n;
+  }
+  if (num_states() == 0) {
+    nfa.SetInitial(nfa.AddState());
+    return VsetAutomaton(std::move(nfa), variables_);
+  }
+  nfa.SetInitial(initial_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const EvaTransition& t : transitions_[s]) {
+      // Expand (S, c) into the canonical marker chain followed by c (or by
+      // acceptance for the End letter).
+      std::vector<Symbol> chain = MarkerSetSymbols(t.letter.markers);
+      if (t.letter.ch != kEndMark) {
+        chain.push_back(Symbol::Char(static_cast<unsigned char>(t.letter.ch)));
+      }
+      StateId from = s;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const StateId target = (i + 1 == chain.size()) ? t.to : nfa.AddState();
+        nfa.AddTransition(from, chain[i], target);
+        from = target;
+      }
+      if (chain.empty()) nfa.AddTransition(from, Symbol::Epsilon(), t.to);
+      if (t.letter.ch == kEndMark) nfa.SetAccepting(t.to, accepting_[t.to]);
+    }
+  }
+  return VsetAutomaton(nfa.Trimmed(), variables_);
+}
+
+std::string MarkerSetToString(MarkerSet set, const VariableSet* variables) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Symbol& s : MarkerSetSymbols(set)) {
+    if (!first) out << " ";
+    out << s.ToString(variables);
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string ExtendedVA::ToString() const {
+  std::ostringstream out;
+  out << "ExtendedVA states=" << num_states() << " initial=" << initial_ << "\n";
+  for (StateId s = 0; s < num_states(); ++s) {
+    out << "  " << s << (accepting_[s] ? " [acc]" : "") << ":";
+    for (const EvaTransition& t : transitions_[s]) {
+      out << " --" << MarkerSetToString(t.letter.markers, &variables_);
+      if (t.letter.ch == kEndMark) {
+        out << "$";
+      } else {
+        out << static_cast<char>(t.letter.ch);
+      }
+      out << "-->" << t.to;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spanners

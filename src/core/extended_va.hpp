@@ -1,0 +1,117 @@
+/// \file extended_va.hpp
+/// \brief Extended vset-automata: marker *sets* per gap (paper, §2.2, [10]).
+///
+/// The non-uniqueness of subword-marked words (consecutive markers commute)
+/// is resolved here by Option 2 of the paper: an extended vset-automaton
+/// reads, for every character of the document, one combined letter
+/// (S, c) -- "fire the marker set S in the gap before c, then read c" --
+/// plus one final letter (S, End) for the gap after the last character.
+/// Every pair (document, span tuple) now has a *unique* letter word, so a
+/// determinised and trimmed ExtendedVA enumerates tuples without duplicates
+/// and without dead branches: the basis of constant-delay enumeration
+/// (Section 2.5) and of the SLP-compressed evaluation (Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/span.hpp"
+#include "core/vset_automaton.hpp"
+
+namespace spanners {
+
+/// Character slot of an ExtendedVA letter: a byte, or kEndMark for the
+/// virtual end-of-document letter.
+inline constexpr uint16_t kEndMark = 256;
+
+/// One combined letter (marker set, character).
+struct EvaLetter {
+  MarkerSet markers = 0;
+  uint16_t ch = 0;
+
+  friend bool operator==(const EvaLetter&, const EvaLetter&) = default;
+  friend auto operator<=>(const EvaLetter&, const EvaLetter&) = default;
+};
+
+/// One transition of an extended vset-automaton.
+struct EvaTransition {
+  EvaLetter letter;
+  StateId to;
+};
+
+/// An extended vset-automaton over combined letters.
+class ExtendedVA {
+ public:
+  ExtendedVA() = default;
+
+  /// Collapses marker/epsilon paths of a vset-automaton into combined
+  /// letters. Runs with invalid marker usage (repeated markers within one
+  /// gap) are dropped. The result accepts exactly the letter words of the
+  /// pairs (D, t) in the spanner of \p vset.
+  static ExtendedVA FromVset(const VsetAutomaton& vset);
+
+  /// Subset construction over the combined-letter alphabet; the result is
+  /// deterministic. (Trimming is applied, so it is a *partial* DFA.)
+  ExtendedVA Determinized() const;
+
+  /// Removes states that are not both reachable and co-reachable. After
+  /// trimming, every partial run can be completed to an accepting run --
+  /// the property enumeration relies on for delay guarantees.
+  ExtendedVA Trimmed() const;
+
+  /// True iff no state has two transitions with the same letter.
+  bool IsDeterministic() const;
+
+  StateId AddState(bool accepting);
+  void AddTransition(StateId from, EvaLetter letter, StateId to);
+  void SetInitial(StateId s) { initial_ = s; }
+  void SetAccepting(StateId s, bool accepting) { accepting_[s] = accepting; }
+
+  std::size_t num_states() const { return transitions_.size(); }
+  std::size_t num_transitions() const;
+  StateId initial() const { return initial_; }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  const std::vector<EvaTransition>& TransitionsFrom(StateId s) const {
+    return transitions_[s];
+  }
+
+  const VariableSet& variables() const { return variables_; }
+  void SetVariables(VariableSet v) { variables_ = std::move(v); }
+
+  /// The unique letter word of (document, tuple): n+1 letters.
+  static std::vector<EvaLetter> LetterWord(std::string_view document, const SpanTuple& tuple);
+
+  /// Decodes a letter word back into a span tuple (inverse of LetterWord).
+  static SpanTuple TupleOfLetterWord(const std::vector<EvaLetter>& word,
+                                     std::size_t num_vars);
+
+  /// True iff the automaton accepts the letter word of (document, tuple):
+  /// the ModelChecking primitive for regular spanners (paper, Section 2.4).
+  bool AcceptsPair(std::string_view document, const SpanTuple& tuple) const;
+
+  /// Converts back to a vset-automaton whose consecutive markers follow the
+  /// canonical order (openings ascending, then closings ascending) -- the
+  /// paper's Option 1 "normalised" representation, giving a canonical
+  /// regular language usable for containment/equivalence (Section 2.4).
+  VsetAutomaton ToNormalizedVset() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<EvaTransition>> transitions_;
+  std::vector<bool> accepting_;
+  StateId initial_ = 0;
+  VariableSet variables_;
+};
+
+/// Renders a marker set like "{x> <y}" for debugging.
+std::string MarkerSetToString(MarkerSet set, const VariableSet* variables = nullptr);
+
+/// Expands a marker set into symbols in canonical order (openings by
+/// ascending variable, then closings by ascending variable).
+std::vector<Symbol> MarkerSetSymbols(MarkerSet set);
+
+}  // namespace spanners

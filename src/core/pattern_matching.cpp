@@ -1,0 +1,160 @@
+#include "core/pattern_matching.hpp"
+
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+Pattern Pattern::Parse(std::string_view spec) {
+  Pattern pattern;
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    if (spec[i] == '&') {
+      ++i;
+      std::string name;
+      while (i < spec.size() && spec[i] != ';' &&
+             (std::isalnum(static_cast<unsigned char>(spec[i])) || spec[i] == '_')) {
+        name.push_back(spec[i++]);
+      }
+      if (i < spec.size() && spec[i] == ';') ++i;
+      Require(!name.empty(), "Pattern::Parse: empty variable name");
+      PatternItem item;
+      item.is_variable = true;
+      item.variable = pattern.variables_.Intern(name);
+      pattern.items_.push_back(item);
+    } else {
+      PatternItem item;
+      item.terminal = static_cast<unsigned char>(spec[i++]);
+      pattern.items_.push_back(item);
+    }
+  }
+  return pattern;
+}
+
+namespace {
+
+struct Matcher {
+  const std::vector<PatternItem>& items;
+  std::string_view document;
+  std::vector<std::optional<std::pair<std::size_t, std::size_t>>> bindings;  // (begin,len)
+  std::size_t steps = 0;
+
+  bool Match(std::size_t item, std::size_t pos) {
+    ++steps;
+    if (item == items.size()) return pos == document.size();
+    const PatternItem& current = items[item];
+    if (!current.is_variable) {
+      if (pos < document.size() &&
+          static_cast<unsigned char>(document[pos]) == current.terminal) {
+        return Match(item + 1, pos + 1);
+      }
+      return false;
+    }
+    auto& binding = bindings[current.variable];
+    if (binding) {
+      const auto [begin, len] = *binding;
+      if (pos + len <= document.size() &&
+          document.substr(pos, len) == document.substr(begin, len)) {
+        return Match(item + 1, pos + len);
+      }
+      return false;
+    }
+    // Unbound: try all lengths (longest first tends to fail fast on random
+    // inputs, but any order is correct; we use shortest first for
+    // determinism).
+    for (std::size_t len = 0; pos + len <= document.size(); ++len) {
+      binding = {pos, len};
+      if (Match(item + 1, pos + len)) return true;
+    }
+    binding.reset();
+    return false;
+  }
+};
+
+}  // namespace
+
+bool Pattern::Matches(std::string_view document) const {
+  Matcher matcher{items_, document, {}, 0};
+  matcher.bindings.resize(variables_.size());
+  const bool result = matcher.Match(0, 0);
+  last_steps_ = matcher.steps;
+  return result;
+}
+
+std::optional<std::vector<std::string>> Pattern::FindSubstitution(
+    std::string_view document) const {
+  Matcher matcher{items_, document, {}, 0};
+  matcher.bindings.resize(variables_.size());
+  const bool result = matcher.Match(0, 0);
+  last_steps_ = matcher.steps;
+  if (!result) return std::nullopt;
+  std::vector<std::string> substitution(variables_.size());
+  for (VariableId v = 0; v < variables_.size(); ++v) {
+    if (matcher.bindings[v]) {
+      const auto [begin, len] = *matcher.bindings[v];
+      substitution[v] = std::string(document.substr(begin, len));
+    }
+  }
+  return substitution;
+}
+
+CoreNormalForm Pattern::ToCoreSpanner(std::string_view alphabet) const {
+  // Build the regex x1>A*<x1 x2>A*<x2 ... (one capture per occurrence; a
+  // terminal becomes a literal) and one ς= per variable with >= 2
+  // occurrences.
+  std::ostringstream regex;
+  std::vector<std::vector<std::string>> occurrence_names(variables_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const PatternItem& item = items_[i];
+    if (!item.is_variable) {
+      const char c = static_cast<char>(item.terminal);
+      switch (c) {
+        case '|':
+        case '*':
+        case '+':
+        case '?':
+        case '(':
+        case ')':
+        case '{':
+        case '}':
+        case '[':
+        case ']':
+        case '&':
+        case '\\':
+        case '.':
+          regex << '\\' << c;
+          break;
+        default:
+          regex << c;
+      }
+      continue;
+    }
+    const std::string occurrence =
+        variables_.Name(item.variable) + "_occ" + std::to_string(i);
+    occurrence_names[item.variable].push_back(occurrence);
+    regex << "{" << occurrence << ": [" << alphabet << "]*}";
+  }
+  SpannerExprPtr expr = SpannerExpr::Parse(regex.str());
+  for (VariableId v = 0; v < variables_.size(); ++v) {
+    if (occurrence_names[v].size() >= 2) {
+      expr = SpannerExpr::SelectEq(expr, occurrence_names[v]);
+    }
+  }
+  expr = SpannerExpr::Project(expr, {});  // pi_emptyset: the Boolean spanner
+  return SimplifyCore(expr);
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream out;
+  for (const PatternItem& item : items_) {
+    if (item.is_variable) {
+      out << "&" << variables_.Name(item.variable) << ";";
+    } else {
+      out << static_cast<char>(item.terminal);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace spanners

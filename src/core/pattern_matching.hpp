@@ -1,0 +1,71 @@
+/// \file pattern_matching.hpp
+/// \brief Pattern matching with variables (paper, Section 2.4).
+///
+/// A pattern is a word over Sigma ∪ X, e.g. "x a x b y"; it matches a
+/// document D if some substitution of the variables by strings turns the
+/// pattern into D. This is the membership problem for pattern languages /
+/// matching of regexes with backreferences -- NP-complete -- and the paper
+/// uses it as the canonical witness that core-spanner NonEmptiness is
+/// NP-hard: the core spanner
+///     π_∅( ς=_{Z_1} ... ς=_{Z_k} ( x1>Σ*<x1 x2>Σ*<x2 ... xn>Σ*<xn ) )
+/// is non-empty on D iff D factorises with the Z_i-blocks pairwise equal.
+/// This module provides both the direct backtracking solver and the
+/// reduction to a core spanner, so the equivalence is testable and the
+/// exponential scaling measurable (experiment E3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algebra.hpp"
+#include "core/core_simplification.hpp"
+
+namespace spanners {
+
+/// One pattern item: a terminal letter or a variable occurrence.
+struct PatternItem {
+  bool is_variable = false;
+  unsigned char terminal = 0;
+  VariableId variable = 0;
+};
+
+/// A pattern with variables.
+class Pattern {
+ public:
+  /// Parses a pattern specification: lowercase letters and other plain
+  /// characters are terminals, "&name;" is a variable occurrence (the same
+  /// syntax as regex references). Example: "&x;a&x;b&y;".
+  static Pattern Parse(std::string_view spec);
+
+  const std::vector<PatternItem>& items() const { return items_; }
+  const VariableSet& variables() const { return variables_; }
+
+  /// True iff some substitution (variables may map to the empty string)
+  /// turns the pattern into \p document. Backtracking; exponential in the
+  /// number of variables in the worst case, as inherent.
+  bool Matches(std::string_view document) const;
+
+  /// A matching substitution (indexed by variable id), if any.
+  std::optional<std::vector<std::string>> FindSubstitution(std::string_view document) const;
+
+  /// Number of backtracking steps of the last Matches/FindSubstitution call;
+  /// reported by experiment E3.
+  std::size_t last_steps() const { return last_steps_; }
+
+  /// The paper's reduction: a core spanner (in normal form) whose
+  /// NonEmptiness on D coincides with Matches(D). One fresh span variable
+  /// per pattern *occurrence*; one ς= per pattern variable with >= 2
+  /// occurrences.
+  CoreNormalForm ToCoreSpanner(std::string_view alphabet) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PatternItem> items_;
+  VariableSet variables_;
+  mutable std::size_t last_steps_ = 0;
+};
+
+}  // namespace spanners

@@ -1,0 +1,104 @@
+#include "core/ref_word.hpp"
+
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+bool IsSubwordMarked(const MarkedWord& word, std::size_t num_vars, Semantics semantics) {
+  // 0 = unopened, 1 = open, 2 = closed.
+  std::vector<uint8_t> status(num_vars, 0);
+  for (const Symbol& s : word) {
+    switch (s.kind()) {
+      case SymbolKind::kChar:
+        break;
+      case SymbolKind::kOpen:
+        if (s.variable() >= num_vars || status[s.variable()] != 0) return false;
+        status[s.variable()] = 1;
+        break;
+      case SymbolKind::kClose:
+        if (s.variable() >= num_vars || status[s.variable()] != 1) return false;
+        status[s.variable()] = 2;
+        break;
+      case SymbolKind::kEpsilon:
+      case SymbolKind::kRef:
+        return false;
+    }
+  }
+  for (uint8_t st : status) {
+    if (st == 1) return false;  // opened but never closed
+    if (st == 0 && semantics == Semantics::kFunctional) return false;
+  }
+  return true;
+}
+
+std::string EraseMarkers(const MarkedWord& word) {
+  std::string out;
+  out.reserve(word.size());
+  for (const Symbol& s : word) {
+    if (s.IsChar()) out.push_back(static_cast<char>(s.ch()));
+  }
+  return out;
+}
+
+std::optional<SpanTuple> ExtractTuple(const MarkedWord& word, std::size_t num_vars,
+                                      Semantics semantics) {
+  if (!IsSubwordMarked(word, num_vars, semantics)) return std::nullopt;
+  SpanTuple tuple(num_vars);
+  Position position = 1;  // 1-based position of the *next* character
+  std::vector<Position> open_at(num_vars, 0);
+  for (const Symbol& s : word) {
+    switch (s.kind()) {
+      case SymbolKind::kChar:
+        ++position;
+        break;
+      case SymbolKind::kOpen:
+        open_at[s.variable()] = position;
+        break;
+      case SymbolKind::kClose:
+        tuple[s.variable()] = Span(open_at[s.variable()], position);
+        break;
+      default:
+        break;
+    }
+  }
+  return tuple;
+}
+
+MarkedWord BuildMarkedWord(std::string_view document, const SpanTuple& tuple) {
+  MarkedWord word;
+  word.reserve(document.size() + 2 * tuple.arity());
+  // Gap g sits immediately before the (g+1)-th character; document positions
+  // are 1-based, so a span [i, j> opens at gap i-1 and closes at gap j-1.
+  for (std::size_t gap = 0; gap <= document.size(); ++gap) {
+    const Position here = static_cast<Position>(gap + 1);
+    for (std::size_t v = 0; v < tuple.arity(); ++v) {
+      if (tuple[v] && tuple[v]->begin == here) {
+        word.push_back(Symbol::Open(static_cast<VariableId>(v)));
+      }
+    }
+    for (std::size_t v = 0; v < tuple.arity(); ++v) {
+      if (tuple[v] && tuple[v]->end == here) {
+        word.push_back(Symbol::Close(static_cast<VariableId>(v)));
+      }
+    }
+    if (gap < document.size()) {
+      word.push_back(Symbol::Char(static_cast<unsigned char>(document[gap])));
+    }
+  }
+  return word;
+}
+
+std::string MarkedWordToString(const MarkedWord& word, const VariableSet* variables) {
+  std::ostringstream out;
+  bool first = true;
+  for (const Symbol& s : word) {
+    if (!first) out << " ";
+    out << s.ToString(variables);
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace spanners

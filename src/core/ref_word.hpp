@@ -1,0 +1,58 @@
+/// \file ref_word.hpp
+/// \brief Subword-marked words: strings over Sigma ∪ markers (paper, §2.1).
+///
+/// A subword-marked word w represents a document e(w) (erase the markers)
+/// together with a span tuple st(w) (the marker positions). The paper's
+/// declarative view of spanners is: a set L of subword-marked words *is* a
+/// spanner, via [[L]](D) = { st(w) : w in L, e(w) = D }. This module
+/// provides the word-level primitives: well-formedness, e(.), st(.), and the
+/// inverse (building the canonical subword-marked word of a pair (D, t)).
+///
+/// Words that additionally contain reference symbols (ref-words proper,
+/// paper §3.1) are handled by refl/ref_deref.hpp; here references are
+/// rejected as ill-formed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/symbol.hpp"
+#include "core/span.hpp"
+#include "core/variables.hpp"
+
+namespace spanners {
+
+/// A word over the extended alphabet (no epsilon entries).
+using MarkedWord = std::vector<Symbol>;
+
+/// Semantics switch (paper, Section 2.2): under kFunctional semantics every
+/// variable must be captured; under kSchemaless some may be absent.
+enum class Semantics : uint8_t { kFunctional, kSchemaless };
+
+/// True iff \p word is a subword-marked word over Sigma and num_vars
+/// variables: per variable, opening before closing marker, each at most once
+/// (exactly once under kFunctional), and no reference symbols.
+bool IsSubwordMarked(const MarkedWord& word, std::size_t num_vars,
+                     Semantics semantics = Semantics::kFunctional);
+
+/// e(.): erases markers, keeps the document characters.
+std::string EraseMarkers(const MarkedWord& word);
+
+/// st(.): extracts the span tuple from marker positions. Returns nullopt if
+/// the word is not subword-marked (under the given semantics).
+std::optional<SpanTuple> ExtractTuple(const MarkedWord& word, std::size_t num_vars,
+                                      Semantics semantics = Semantics::kSchemaless);
+
+/// Inverse of (e, st): inserts the markers of \p tuple into \p document.
+/// Markers meeting at the same gap are emitted in the canonical order
+/// "openings by ascending variable, then closings by ascending variable";
+/// any consecutive-marker order represents the same tuple (paper §2.2), and
+/// this choice keeps every empty span "x> <x" well-formed.
+MarkedWord BuildMarkedWord(std::string_view document, const SpanTuple& tuple);
+
+/// Renders e.g. "x> a b <x y> b <y" for debugging and error messages.
+std::string MarkedWordToString(const MarkedWord& word, const VariableSet* variables = nullptr);
+
+}  // namespace spanners

@@ -1,0 +1,285 @@
+#include "core/regex_ast.hpp"
+
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+std::unique_ptr<RegexNode> RegexNode::Clone() const {
+  auto copy = std::make_unique<RegexNode>(kind);
+  copy->char_class = char_class;
+  copy->variable = variable;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+namespace {
+
+bool ContainsKind(const RegexNode* node, RegexKind kind) {
+  if (node->kind == kind) return true;
+  for (const auto& child : node->children) {
+    if (ContainsKind(child.get(), kind)) return true;
+  }
+  return false;
+}
+
+/// Computes, per node, the set of variables captured on *every* path and on
+/// *some* path; functional means both coincide for the root and equal the
+/// full variable set, and no variable can be captured twice on one path.
+struct CaptureInfo {
+  uint64_t always = 0;
+  uint64_t sometimes = 0;
+  bool duplicate_possible = false;
+};
+
+CaptureInfo AnalyzeCaptures(const RegexNode* node) {
+  CaptureInfo info;
+  switch (node->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+    case RegexKind::kCharClass:
+    case RegexKind::kRef:
+      return info;
+    case RegexKind::kCapture: {
+      const CaptureInfo inner = AnalyzeCaptures(node->children[0].get());
+      const uint64_t bit = uint64_t{1} << node->variable;
+      info.always = inner.always | bit;
+      info.sometimes = inner.sometimes | bit;
+      info.duplicate_possible = inner.duplicate_possible || (inner.sometimes & bit) != 0;
+      return info;
+    }
+    case RegexKind::kConcat: {
+      for (const auto& child : node->children) {
+        const CaptureInfo c = AnalyzeCaptures(child.get());
+        info.duplicate_possible = info.duplicate_possible || c.duplicate_possible ||
+                                  (info.sometimes & c.sometimes) != 0;
+        info.always |= c.always;
+        info.sometimes |= c.sometimes;
+      }
+      return info;
+    }
+    case RegexKind::kAlt: {
+      bool first = true;
+      for (const auto& child : node->children) {
+        const CaptureInfo c = AnalyzeCaptures(child.get());
+        info.duplicate_possible = info.duplicate_possible || c.duplicate_possible;
+        info.sometimes |= c.sometimes;
+        info.always = first ? c.always : (info.always & c.always);
+        first = false;
+      }
+      return info;
+    }
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional: {
+      const CaptureInfo c = AnalyzeCaptures(node->children[0].get());
+      // Under a star/optional a capture may be skipped; under star/plus it
+      // may repeat.
+      info.sometimes = c.sometimes;
+      info.always = (node->kind == RegexKind::kPlus) ? c.always : 0;
+      info.duplicate_possible = c.duplicate_possible ||
+                                (node->kind != RegexKind::kOptional && c.sometimes != 0);
+      return info;
+    }
+  }
+  return info;
+}
+
+bool NeedsEscape(unsigned char c) {
+  switch (c) {
+    case '|':
+    case '*':
+    case '+':
+    case '?':
+    case '(':
+    case ')':
+    case '{':
+    case '}':
+    case '[':
+    case ']':
+    case '&':
+    case '\\':
+    case '.':
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendChar(std::ostringstream& out, unsigned char c) {
+  if (c == '\n') {
+    out << "\\n";
+  } else if (c == '\t') {
+    out << "\\t";
+  } else if (NeedsEscape(c)) {
+    out << '\\' << static_cast<char>(c);
+  } else {
+    out << static_cast<char>(c);
+  }
+}
+
+void Render(const RegexNode* node, const VariableSet& variables, std::ostringstream& out,
+            int parent_precedence) {
+  // Precedence: alt=0, concat=1, postfix=2, atom=3.
+  auto parenthesize = [&](int my_precedence, auto&& body) {
+    const bool need = my_precedence < parent_precedence;
+    if (need) out << '(';
+    body();
+    if (need) out << ')';
+  };
+  switch (node->kind) {
+    case RegexKind::kEmptySet:
+      out << "[]";
+      return;
+    case RegexKind::kEpsilon:
+      out << "()";
+      return;
+    case RegexKind::kCharClass: {
+      if (node->char_class.count() == 1) {
+        for (std::size_t c = 0; c < 256; ++c) {
+          if (node->char_class.test(c)) AppendChar(out, static_cast<unsigned char>(c));
+        }
+        return;
+      }
+      out << '[';
+      for (std::size_t c = 0; c < 256; ++c) {
+        if (node->char_class.test(c)) AppendChar(out, static_cast<unsigned char>(c));
+      }
+      out << ']';
+      return;
+    }
+    case RegexKind::kConcat:
+      parenthesize(1, [&] {
+        for (const auto& child : node->children) Render(child.get(), variables, out, 1);
+      });
+      return;
+    case RegexKind::kAlt:
+      parenthesize(0, [&] {
+        bool first = true;
+        for (const auto& child : node->children) {
+          if (!first) out << '|';
+          Render(child.get(), variables, out, 1);
+          first = false;
+        }
+      });
+      return;
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional:
+      parenthesize(2, [&] {
+        Render(node->children[0].get(), variables, out, 3);
+        out << (node->kind == RegexKind::kStar ? '*'
+                                               : node->kind == RegexKind::kPlus ? '+' : '?');
+      });
+      return;
+    case RegexKind::kCapture:
+      out << '{' << variables.Name(node->variable) << ": ";
+      Render(node->children[0].get(), variables, out, 0);
+      out << '}';
+      return;
+    case RegexKind::kRef:
+      out << '&' << variables.Name(node->variable) << ';';
+      return;
+  }
+}
+
+}  // namespace
+
+bool Regex::HasReferences() const { return root_ && ContainsKind(root_.get(), RegexKind::kRef); }
+
+bool Regex::HasCaptures() const {
+  return root_ && ContainsKind(root_.get(), RegexKind::kCapture);
+}
+
+bool Regex::IsFunctional() const {
+  Require(root_ != nullptr, "Regex::IsFunctional: empty regex");
+  const CaptureInfo info = AnalyzeCaptures(root_.get());
+  const uint64_t all =
+      variables_.size() == 0 ? 0 : ((uint64_t{1} << variables_.size()) - 1);
+  return !info.duplicate_possible && info.always == all && info.sometimes == all;
+}
+
+std::string Regex::ToString() const {
+  if (!root_) return "";
+  std::ostringstream out;
+  Render(root_.get(), variables_, out, 0);
+  return out.str();
+}
+
+namespace regex {
+
+std::unique_ptr<RegexNode> EmptySet() { return std::make_unique<RegexNode>(RegexKind::kEmptySet); }
+
+std::unique_ptr<RegexNode> Epsilon() { return std::make_unique<RegexNode>(RegexKind::kEpsilon); }
+
+std::unique_ptr<RegexNode> Literal(unsigned char c) {
+  auto node = std::make_unique<RegexNode>(RegexKind::kCharClass);
+  node->char_class.set(c);
+  return node;
+}
+
+std::unique_ptr<RegexNode> Class(const std::bitset<256>& chars) {
+  auto node = std::make_unique<RegexNode>(RegexKind::kCharClass);
+  node->char_class = chars;
+  return node;
+}
+
+std::unique_ptr<RegexNode> Concat(std::vector<std::unique_ptr<RegexNode>> children) {
+  if (children.empty()) return Epsilon();
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<RegexNode>(RegexKind::kConcat);
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<RegexNode> Alt(std::vector<std::unique_ptr<RegexNode>> children) {
+  if (children.empty()) return EmptySet();
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<RegexNode>(RegexKind::kAlt);
+  node->children = std::move(children);
+  return node;
+}
+
+namespace {
+std::unique_ptr<RegexNode> Unary(RegexKind kind, std::unique_ptr<RegexNode> child) {
+  auto node = std::make_unique<RegexNode>(kind);
+  node->children.push_back(std::move(child));
+  return node;
+}
+}  // namespace
+
+std::unique_ptr<RegexNode> Star(std::unique_ptr<RegexNode> child) {
+  return Unary(RegexKind::kStar, std::move(child));
+}
+
+std::unique_ptr<RegexNode> Plus(std::unique_ptr<RegexNode> child) {
+  return Unary(RegexKind::kPlus, std::move(child));
+}
+
+std::unique_ptr<RegexNode> Optional(std::unique_ptr<RegexNode> child) {
+  return Unary(RegexKind::kOptional, std::move(child));
+}
+
+std::unique_ptr<RegexNode> Capture(VariableId v, std::unique_ptr<RegexNode> child) {
+  auto node = Unary(RegexKind::kCapture, std::move(child));
+  node->variable = v;
+  return node;
+}
+
+std::unique_ptr<RegexNode> Ref(VariableId v) {
+  auto node = std::make_unique<RegexNode>(RegexKind::kRef);
+  node->variable = v;
+  return node;
+}
+
+std::unique_ptr<RegexNode> String(std::string_view text) {
+  std::vector<std::unique_ptr<RegexNode>> parts;
+  parts.reserve(text.size());
+  for (unsigned char c : text) parts.push_back(Literal(c));
+  return Concat(std::move(parts));
+}
+
+}  // namespace regex
+}  // namespace spanners

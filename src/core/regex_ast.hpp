@@ -1,0 +1,97 @@
+/// \file regex_ast.hpp
+/// \brief Abstract syntax trees for spanner regular expressions.
+///
+/// These ASTs represent the paper's three expression classes in one type:
+///  * plain regular expressions over Sigma (no kCapture/kRef nodes),
+///  * regex formulas / spanner regexes with capture markers x> ... <x
+///    written here as "{x: ...}" (paper, Sections 1, 2.2),
+///  * refl-regexes which additionally contain references "&x"
+///    (paper, Section 3.1).
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/variables.hpp"
+
+namespace spanners {
+
+/// Node kinds of the regex AST.
+enum class RegexKind : uint8_t {
+  kEmptySet,   ///< the empty language
+  kEpsilon,    ///< the empty word
+  kCharClass,  ///< a set of letters (singleton for a plain literal)
+  kConcat,     ///< concatenation of >= 2 children
+  kAlt,        ///< alternation of >= 2 children
+  kStar,       ///< Kleene star
+  kPlus,       ///< one or more
+  kOptional,   ///< zero or one
+  kCapture,    ///< {x: e}: opening/closing markers of variable x around e
+  kRef,        ///< &x: a reference to the factor captured by x
+};
+
+/// One AST node; children are owned.
+struct RegexNode {
+  RegexKind kind;
+  std::bitset<256> char_class;                       ///< kCharClass only
+  VariableId variable = 0;                           ///< kCapture/kRef only
+  std::vector<std::unique_ptr<RegexNode>> children;  ///< inner nodes
+
+  explicit RegexNode(RegexKind k) : kind(k) {}
+
+  /// Deep copy.
+  std::unique_ptr<RegexNode> Clone() const;
+};
+
+/// An owned AST together with its variable set.
+class Regex {
+ public:
+  Regex() = default;
+  Regex(std::unique_ptr<RegexNode> root, VariableSet variables)
+      : root_(std::move(root)), variables_(std::move(variables)) {}
+
+  const RegexNode* root() const { return root_.get(); }
+  const VariableSet& variables() const { return variables_; }
+  VariableSet& mutable_variables() { return variables_; }
+
+  Regex Clone() const { return Regex(root_->Clone(), variables_); }
+
+  /// True iff the AST contains a kRef node (refl-regex).
+  bool HasReferences() const;
+
+  /// True iff the AST contains a kCapture node.
+  bool HasCaptures() const;
+
+  /// True iff every variable is captured exactly once on every path through
+  /// the expression (i.e. the described spanner is functional; paper,
+  /// Section 2.2). References are ignored.
+  bool IsFunctional() const;
+
+  /// Canonical textual rendering, re-parsable by ParseRegex.
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<RegexNode> root_;
+  VariableSet variables_;
+};
+
+/// Builders used by the parser, tests, and programmatic construction.
+namespace regex {
+std::unique_ptr<RegexNode> EmptySet();
+std::unique_ptr<RegexNode> Epsilon();
+std::unique_ptr<RegexNode> Literal(unsigned char c);
+std::unique_ptr<RegexNode> Class(const std::bitset<256>& chars);
+std::unique_ptr<RegexNode> Concat(std::vector<std::unique_ptr<RegexNode>> children);
+std::unique_ptr<RegexNode> Alt(std::vector<std::unique_ptr<RegexNode>> children);
+std::unique_ptr<RegexNode> Star(std::unique_ptr<RegexNode> child);
+std::unique_ptr<RegexNode> Plus(std::unique_ptr<RegexNode> child);
+std::unique_ptr<RegexNode> Optional(std::unique_ptr<RegexNode> child);
+std::unique_ptr<RegexNode> Capture(VariableId v, std::unique_ptr<RegexNode> child);
+std::unique_ptr<RegexNode> Ref(VariableId v);
+/// Concatenation of literals for every byte of \p text.
+std::unique_ptr<RegexNode> String(std::string_view text);
+}  // namespace regex
+
+}  // namespace spanners

@@ -1,0 +1,270 @@
+#include "core/regex_parser.hpp"
+
+#include <cctype>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+std::bitset<256> DigitClass() {
+  std::bitset<256> set;
+  for (char c = '0'; c <= '9'; ++c) set.set(static_cast<unsigned char>(c));
+  return set;
+}
+
+std::bitset<256> WordClass() {
+  std::bitset<256> set = DigitClass();
+  for (char c = 'a'; c <= 'z'; ++c) set.set(static_cast<unsigned char>(c));
+  for (char c = 'A'; c <= 'Z'; ++c) set.set(static_cast<unsigned char>(c));
+  set.set('_');
+  return set;
+}
+
+std::bitset<256> SpaceClass() {
+  std::bitset<256> set;
+  for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) set.set(static_cast<unsigned char>(c));
+  return set;
+}
+
+std::bitset<256> AnyClass() {
+  std::bitset<256> set;
+  set.set();
+  set.reset('\n');  // '.' matches everything except newline, as usual
+  return set;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const VariableSet& predeclared)
+      : input_(input), variables_(predeclared) {}
+
+  ParseResult Run() {
+    std::unique_ptr<RegexNode> root = ParseAlternation();
+    if (!error_.empty()) return {Regex(), error_};
+    if (pos_ != input_.size()) {
+      return {Regex(), "unexpected '" + std::string(1, input_[pos_]) + "' at offset " +
+                           std::to_string(pos_)};
+    }
+    return {Regex(std::move(root), std::move(variables_)), ""};
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Take() { return input_[pos_++]; }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) error_ = message + " at offset " + std::to_string(pos_);
+  }
+
+  std::unique_ptr<RegexNode> ParseAlternation() {
+    std::vector<std::unique_ptr<RegexNode>> branches;
+    branches.push_back(ParseConcat());
+    while (error_.empty() && !AtEnd() && Peek() == '|') {
+      Take();
+      branches.push_back(ParseConcat());
+    }
+    return regex::Alt(std::move(branches));
+  }
+
+  std::unique_ptr<RegexNode> ParseConcat() {
+    std::vector<std::unique_ptr<RegexNode>> parts;
+    while (error_.empty() && !AtEnd() && Peek() != '|' && Peek() != ')' && Peek() != '}') {
+      parts.push_back(ParsePostfix());
+    }
+    return regex::Concat(std::move(parts));
+  }
+
+  std::unique_ptr<RegexNode> ParsePostfix() {
+    std::unique_ptr<RegexNode> node = ParseAtom();
+    while (error_.empty() && !AtEnd()) {
+      const char c = Peek();
+      if (c == '*') {
+        Take();
+        node = regex::Star(std::move(node));
+      } else if (c == '+') {
+        Take();
+        node = regex::Plus(std::move(node));
+      } else if (c == '?') {
+        Take();
+        node = regex::Optional(std::move(node));
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  std::string ParseName() {
+    std::string name;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      name.push_back(Take());
+    }
+    if (name.empty()) Fail("expected variable name");
+    return name;
+  }
+
+  void SkipSpaces() {
+    while (!AtEnd() && Peek() == ' ') Take();
+  }
+
+  std::unique_ptr<RegexNode> ParseAtom() {
+    if (AtEnd()) {
+      Fail("unexpected end of pattern");
+      return regex::EmptySet();
+    }
+    const char c = Take();
+    switch (c) {
+      case '(': {
+        if (!AtEnd() && Peek() == ')') {  // "()" denotes epsilon
+          Take();
+          return regex::Epsilon();
+        }
+        std::unique_ptr<RegexNode> inner = ParseAlternation();
+        if (AtEnd() || Take() != ')') Fail("expected ')'");
+        return inner;
+      }
+      case '{': {
+        SkipSpaces();
+        const std::string name = ParseName();
+        SkipSpaces();
+        if (AtEnd() || Take() != ':') {
+          Fail("expected ':' in capture group");
+          return regex::EmptySet();
+        }
+        SkipSpaces();
+        // Intern before descending so that column order follows the order in
+        // which capture groups *open*, outermost first.
+        const VariableId variable = variables_.Intern(name);
+        std::unique_ptr<RegexNode> inner = ParseAlternation();
+        if (AtEnd() || Take() != '}') Fail("expected '}'");
+        return regex::Capture(variable, std::move(inner));
+      }
+      case '&': {
+        const std::string name = ParseName();
+        if (!AtEnd() && Peek() == ';') Take();  // optional terminator
+        return regex::Ref(variables_.Intern(name));
+      }
+      case '[':
+        return ParseClass();
+      case '.':
+        return regex::Class(AnyClass());
+      case '\\':
+        return ParseEscape();
+      case ')':
+      case '}':
+      case ']':
+      case '|':
+      case '*':
+      case '+':
+      case '?':
+        Fail(std::string("unexpected '") + c + "'");
+        return regex::EmptySet();
+      default:
+        return regex::Literal(static_cast<unsigned char>(c));
+    }
+  }
+
+  std::unique_ptr<RegexNode> ParseEscape() {
+    if (AtEnd()) {
+      Fail("dangling escape");
+      return regex::EmptySet();
+    }
+    const char c = Take();
+    switch (c) {
+      case 'n':
+        return regex::Literal('\n');
+      case 't':
+        return regex::Literal('\t');
+      case 'r':
+        return regex::Literal('\r');
+      case 'd':
+        return regex::Class(DigitClass());
+      case 'w':
+        return regex::Class(WordClass());
+      case 's':
+        return regex::Class(SpaceClass());
+      default:
+        return regex::Literal(static_cast<unsigned char>(c));
+    }
+  }
+
+  std::unique_ptr<RegexNode> ParseClass() {
+    std::bitset<256> set;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negate = true;
+    }
+    while (!AtEnd() && Peek() != ']') {
+      unsigned char lo;
+      if (Peek() == '\\') {
+        Take();
+        if (AtEnd()) {
+          Fail("dangling escape in class");
+          return regex::EmptySet();
+        }
+        const char e = Take();
+        if (e == 'n') {
+          lo = '\n';
+        } else if (e == 't') {
+          lo = '\t';
+        } else if (e == 'd') {
+          set |= DigitClass();
+          continue;
+        } else if (e == 'w') {
+          set |= WordClass();
+          continue;
+        } else if (e == 's') {
+          set |= SpaceClass();
+          continue;
+        } else {
+          lo = static_cast<unsigned char>(e);
+        }
+      } else {
+        lo = static_cast<unsigned char>(Take());
+      }
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < input_.size() && input_[pos_ + 1] != ']') {
+        Take();  // '-'
+        const unsigned char hi = static_cast<unsigned char>(Take());
+        if (hi < lo) {
+          Fail("inverted range in class");
+          return regex::EmptySet();
+        }
+        for (unsigned int x = lo; x <= hi; ++x) set.set(x);
+      } else {
+        set.set(lo);
+      }
+    }
+    if (AtEnd() || Take() != ']') {
+      Fail("expected ']'");
+      return regex::EmptySet();
+    }
+    if (negate) set.flip();
+    if (set.none()) return regex::EmptySet();
+    return regex::Class(set);
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  VariableSet variables_;
+};
+
+}  // namespace
+
+ParseResult ParseRegex(std::string_view pattern, const VariableSet& predeclared) {
+  Parser parser(pattern, predeclared);
+  return parser.Run();
+}
+
+Regex MustParse(std::string_view pattern, const VariableSet& predeclared) {
+  ParseResult result = ParseRegex(pattern, predeclared);
+  if (!result.ok()) {
+    FatalError("MustParse(\"" + std::string(pattern) + "\"): " + result.error);
+  }
+  return std::move(result.regex);
+}
+
+}  // namespace spanners

@@ -1,0 +1,45 @@
+/// \file regex_parser.hpp
+/// \brief Parser for the textual spanner-regex syntax.
+///
+/// Grammar (precedence low to high: alternation, concatenation, postfix):
+///
+///   expr     := concat ('|' concat)*
+///   concat   := postfix*
+///   postfix  := atom ('*' | '+' | '?')*
+///   atom     := literal | '.' | class | '(' expr ')' | capture | reference
+///   literal  := any non-meta byte, or escape '\n' '\t' '\\' '\|' '\*' ...
+///   class    := '[' '^'? (char | char '-' char)+ ']'   (also '\d' '\w' '\s')
+///   capture  := '{' name ':' expr '}'          -- markers name> ... <name
+///   reference:= '&' name ';'?                  -- refl-spanner reference
+///
+/// Examples from the paper (Sigma = {a, b}):
+///   Example 1.1:            "{x: (a|b)*}{y: b}{z: (a|b)*}"
+///   Section 1 string-eq:    "{x: (a|b)*}(a|b)*{y: a*b*}"
+///   Refl-spanner (3):       "ab*{x: (a|b)*}(b|c)*{y: &x}b*"
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/regex_ast.hpp"
+
+namespace spanners {
+
+/// Result of parsing: either a regex or an error description.
+struct ParseResult {
+  Regex regex;
+  std::string error;  ///< empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses \p pattern. Variables are interned in first-occurrence order into
+/// the result's variable set; pass \p predeclared to fix variable order (and
+/// thereby tuple column order) up front.
+ParseResult ParseRegex(std::string_view pattern, const VariableSet& predeclared = {});
+
+/// Convenience wrapper that aborts on parse errors; for tests and examples
+/// with hard-coded patterns.
+Regex MustParse(std::string_view pattern, const VariableSet& predeclared = {});
+
+}  // namespace spanners

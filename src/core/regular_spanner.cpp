@@ -1,0 +1,192 @@
+#include "core/regular_spanner.hpp"
+
+#include <set>
+#include <unordered_set>
+
+#include "core/regex_parser.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+RegularSpanner RegularSpanner::FromRegex(const Regex& regex) {
+  return FromAutomaton(VsetAutomaton::FromRegex(regex));
+}
+
+RegularSpanner RegularSpanner::Compile(std::string_view pattern) {
+  return FromRegex(MustParse(pattern));
+}
+
+RegularSpanner RegularSpanner::FromAutomaton(VsetAutomaton vset) {
+  RegularSpanner spanner;
+  spanner.edva_ = ExtendedVA::FromVset(vset).Determinized();
+  spanner.vset_ = std::move(vset);
+  return spanner;
+}
+
+RegularSpanner RegularSpanner::FromExtendedVA(ExtendedVA eva) {
+  RegularSpanner spanner;
+  ExtendedVA prepared = std::move(eva);
+  if (!prepared.IsDeterministic()) {
+    prepared = prepared.Determinized();
+  } else {
+    prepared = prepared.Trimmed();
+  }
+  spanner.vset_ = prepared.ToNormalizedVset();
+  spanner.edva_ = std::move(prepared);
+  return spanner;
+}
+
+SpanRelation RegularSpanner::Evaluate(std::string_view document) const {
+  SpanRelation relation;
+  Enumerator enumerator(&edva_, document);
+  while (std::optional<SpanTuple> tuple = enumerator.Next()) {
+    relation.insert(*std::move(tuple));
+  }
+  return relation;
+}
+
+namespace {
+
+/// Per-variable capture status packed 2 bits per variable (as in
+/// vset_automaton.cpp): 0 = unopened, 1 = open, 2 = closed.
+using Config = uint64_t;
+
+struct NaiveSearch {
+  const Nfa* nfa = nullptr;
+  std::string_view document;
+  std::size_t num_vars = 0;
+  SpanRelation* out = nullptr;
+  // alive[i * Q + q]: from NFA state q with characters i..n-1 left,
+  // acceptance is reachable (markers and epsilons are free moves).
+  std::vector<bool> alive;
+  std::size_t num_states = 0;
+  // Cycle guard: (gap, state, config) triples on the current path.
+  std::set<std::tuple<std::size_t, StateId, Config>> on_path;
+
+  std::vector<Position> open_at;
+  SpanTuple partial;
+
+  void Run() {
+    open_at.assign(num_vars, 0);
+    partial = SpanTuple(num_vars);
+    BuildAlive();
+    if (nfa->num_states() == 0 || !alive[0 * num_states + nfa->initial()]) return;
+    Dfs(nfa->initial(), 0, 0);
+  }
+
+  void BuildAlive() {
+    num_states = nfa->num_states();
+    const std::size_t n = document.size();
+    alive.assign((n + 1) * num_states, false);
+    // Free-move closure (epsilon and markers) as adjacency.
+    std::vector<std::vector<StateId>> free_reverse(num_states);
+    for (StateId s = 0; s < num_states; ++s) {
+      for (const Transition& t : nfa->TransitionsFrom(s)) {
+        if (t.symbol.IsEpsilon() || t.symbol.IsMarker()) free_reverse[t.to].push_back(s);
+      }
+    }
+    auto close_free = [&](std::vector<bool>& level) {
+      std::vector<StateId> stack;
+      for (StateId s = 0; s < num_states; ++s) {
+        if (level[s]) stack.push_back(s);
+      }
+      while (!stack.empty()) {
+        const StateId s = stack.back();
+        stack.pop_back();
+        for (StateId p : free_reverse[s]) {
+          if (!level[p]) {
+            level[p] = true;
+            stack.push_back(p);
+          }
+        }
+      }
+    };
+    std::vector<bool> level(num_states, false);
+    for (StateId s = 0; s < num_states; ++s) level[s] = nfa->IsAccepting(s);
+    close_free(level);
+    for (StateId s = 0; s < num_states; ++s) alive[n * num_states + s] = level[s];
+    for (std::size_t i = n; i-- > 0;) {
+      const Symbol expected = Symbol::Char(static_cast<unsigned char>(document[i]));
+      std::vector<bool> prev(num_states, false);
+      for (StateId s = 0; s < num_states; ++s) {
+        for (const Transition& t : nfa->TransitionsFrom(s)) {
+          if (t.symbol == expected && alive[(i + 1) * num_states + t.to]) {
+            prev[s] = true;
+            break;
+          }
+        }
+      }
+      close_free(prev);
+      for (StateId s = 0; s < num_states; ++s) alive[i * num_states + s] = prev[s];
+    }
+  }
+
+  uint8_t StatusOf(Config config, VariableId v) const { return (config >> (2 * v)) & 3; }
+  Config WithStatus(Config config, VariableId v, uint8_t st) const {
+    return (config & ~(Config{3} << (2 * v))) | (Config{st} << (2 * v));
+  }
+
+  void Dfs(StateId state, std::size_t pos, Config config) {
+    if (!alive[pos * num_states + state]) return;
+    const auto key = std::make_tuple(pos, state, config);
+    if (!on_path.insert(key).second) return;  // epsilon/marker cycle
+    if (pos == document.size() && nfa->IsAccepting(state)) {
+      bool complete = true;
+      for (VariableId v = 0; v < num_vars; ++v) {
+        if (StatusOf(config, v) == 1) complete = false;  // still open: invalid
+      }
+      if (complete) out->insert(partial);
+    }
+    for (const Transition& t : nfa->TransitionsFrom(state)) {
+      switch (t.symbol.kind()) {
+        case SymbolKind::kEpsilon:
+          Dfs(t.to, pos, config);
+          break;
+        case SymbolKind::kChar:
+          if (pos < document.size() &&
+              t.symbol.ch() == static_cast<unsigned char>(document[pos])) {
+            // Characters reset the per-gap cycle guard implicitly because
+            // pos advances.
+            Dfs(t.to, pos + 1, config);
+          }
+          break;
+        case SymbolKind::kOpen: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 0) break;  // invalid run: ignore
+          const Position saved = open_at[v];
+          open_at[v] = static_cast<Position>(pos + 1);
+          Dfs(t.to, pos, WithStatus(config, v, 1));
+          open_at[v] = saved;
+          break;
+        }
+        case SymbolKind::kClose: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 1) break;  // invalid run: ignore
+          const std::optional<Span> saved = partial[v];
+          partial[v] = Span(open_at[v], static_cast<Position>(pos + 1));
+          Dfs(t.to, pos, WithStatus(config, v, 2));
+          partial[v] = saved;
+          break;
+        }
+        case SymbolKind::kRef:
+          FatalError("RegularSpanner::EvaluateNaive: reference symbol");
+      }
+    }
+    on_path.erase(key);
+  }
+};
+
+}  // namespace
+
+SpanRelation RegularSpanner::EvaluateNaive(std::string_view document) const {
+  SpanRelation relation;
+  NaiveSearch search;
+  search.nfa = &vset_.nfa();
+  search.document = document;
+  search.num_vars = vset_.variables().size();
+  search.out = &relation;
+  search.Run();
+  return relation;
+}
+
+}  // namespace spanners

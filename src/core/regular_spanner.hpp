@@ -1,0 +1,72 @@
+/// \file regular_spanner.hpp
+/// \brief Regular document spanners: the paper's primitive spanner class.
+///
+/// A RegularSpanner bundles the three representations the paper works with:
+/// the spanner regex (when constructed from one), the vset-automaton, and
+/// the determinised+trimmed extended vset-automaton (eDVA) used for
+/// evaluation and enumeration. Evaluation maps a document D to the span
+/// relation [[S]](D) (paper, Section 1); the schemaless semantics of
+/// Section 2.2 is the default (tuples may contain undefined entries when
+/// the automaton permits runs that skip a variable).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/enumeration.hpp"
+#include "core/extended_va.hpp"
+#include "core/vset_automaton.hpp"
+
+namespace spanners {
+
+/// A compiled regular spanner.
+class RegularSpanner {
+ public:
+  RegularSpanner() = default;
+
+  /// Compiles a spanner regex (must not contain references).
+  static RegularSpanner FromRegex(const Regex& regex);
+
+  /// Convenience: parse-and-compile; aborts on syntax errors.
+  static RegularSpanner Compile(std::string_view pattern);
+
+  /// Wraps an existing vset-automaton. Runs with invalid marker usage are
+  /// ignored during evaluation, but callers should prefer well-formed
+  /// automata (see VsetAutomaton::IsWellFormed).
+  static RegularSpanner FromAutomaton(VsetAutomaton vset);
+
+  /// Wraps an extended vset-automaton directly (it is determinised and
+  /// trimmed if necessary).
+  static RegularSpanner FromExtendedVA(ExtendedVA eva);
+
+  const VariableSet& variables() const { return edva_.variables(); }
+  const VsetAutomaton& vset() const { return vset_; }
+  const ExtendedVA& edva() const { return edva_; }
+
+  /// Evaluates the spanner: [[S]](document). Uses the eDVA enumeration.
+  SpanRelation Evaluate(std::string_view document) const;
+
+  /// Ground-truth evaluation by depth-first search over the product of the
+  /// *nondeterministic* vset-automaton and the document, deduplicating
+  /// tuples. Exponentially slower in pathological cases; used to cross-check
+  /// the optimised pipeline in tests and to measure the representation gap
+  /// (experiment E11).
+  SpanRelation EvaluateNaive(std::string_view document) const;
+
+  /// Creates a pull-based enumerator (linear preprocessing, constant delay
+  /// in data complexity; see enumeration.hpp). The spanner must outlive it.
+  Enumerator Enumerate(std::string_view document) const {
+    return Enumerator(&edva_, document);
+  }
+
+  /// ModelChecking (paper, Section 2.4): is \p tuple in [[S]](document)?
+  bool ModelCheck(std::string_view document, const SpanTuple& tuple) const {
+    return edva_.AcceptsPair(document, tuple);
+  }
+
+ private:
+  VsetAutomaton vset_;
+  ExtendedVA edva_;
+};
+
+}  // namespace spanners

@@ -1,0 +1,85 @@
+#include "core/span.hpp"
+
+#include <sstream>
+
+namespace spanners {
+
+std::string Span::ToString() const {
+  std::ostringstream out;
+  out << "[" << begin << "," << end << ">";
+  return out.str();
+}
+
+bool Span::ProperlyOverlap(const Span& a, const Span& b) {
+  if (Disjoint(a, b)) return false;
+  return !Contains(a, b) && !Contains(b, a);
+}
+
+SpanTuple SpanTuple::Of(std::initializer_list<Span> spans) {
+  std::vector<std::optional<Span>> values;
+  values.reserve(spans.size());
+  for (const Span& s : spans) values.emplace_back(s);
+  return SpanTuple(std::move(values));
+}
+
+bool SpanTuple::IsTotal() const {
+  for (const auto& s : spans_) {
+    if (!s.has_value()) return false;
+  }
+  return true;
+}
+
+bool SpanTuple::IsHierarchical() const {
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (!spans_[i]) continue;
+    for (std::size_t j = i + 1; j < spans_.size(); ++j) {
+      if (!spans_[j]) continue;
+      if (Span::ProperlyOverlap(*spans_[i], *spans_[j])) return false;
+    }
+  }
+  return true;
+}
+
+SpanTuple SpanTuple::Project(const std::vector<std::size_t>& keep) const {
+  std::vector<std::optional<Span>> values;
+  values.reserve(keep.size());
+  for (std::size_t var : keep) values.push_back(spans_[var]);
+  return SpanTuple(std::move(values));
+}
+
+std::string SpanTuple::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (spans_[i]) {
+      out << spans_[i]->ToString();
+    } else {
+      out << "bot";
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Span& span) { return os << span.ToString(); }
+
+std::ostream& operator<<(std::ostream& os, const SpanTuple& tuple) {
+  return os << tuple.ToString();
+}
+
+std::string RelationToString(const SpanRelation& relation,
+                             const std::vector<std::string>& variable_names) {
+  std::ostringstream out;
+  if (!variable_names.empty()) {
+    for (std::size_t i = 0; i < variable_names.size(); ++i) {
+      if (i > 0) out << " ";
+      out << variable_names[i];
+    }
+    out << "\n";
+  }
+  for (const SpanTuple& t : relation) out << t.ToString() << "\n";
+  return out.str();
+}
+
+}  // namespace spanners

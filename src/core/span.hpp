@@ -1,0 +1,115 @@
+/// \file span.hpp
+/// \brief Spans, span tuples, and span relations (paper, Section 1).
+///
+/// A span [i, j> of a document D with 1 <= i <= j <= |D| + 1 represents the
+/// factor D[i..j-1] (positions are 1-based, following the paper). A span
+/// tuple maps variables to spans; under the *schemaless* semantics of
+/// Maturana/Riveros/Vrgoc (paper, Section 2.2) entries may be undefined.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spanners {
+
+/// 1-based position in a document; |D| + 1 is the largest legal value.
+using Position = uint32_t;
+
+/// A span [begin, end> with 1 <= begin <= end. The factor covered is
+/// D[begin .. end-1] in 1-based indexing, i.e. length end - begin.
+struct Span {
+  Position begin = 0;
+  Position end = 0;
+
+  constexpr Span() = default;
+  constexpr Span(Position b, Position e) : begin(b), end(e) {}
+
+  /// Number of characters covered.
+  constexpr Position length() const { return end - begin; }
+
+  /// True iff this span covers no characters.
+  constexpr bool empty() const { return begin == end; }
+
+  friend constexpr bool operator==(const Span&, const Span&) = default;
+  friend constexpr auto operator<=>(const Span&, const Span&) = default;
+
+  /// "[i,j>" rendering used by the paper.
+  std::string ToString() const;
+
+  /// The factor of \p document covered by this span (document is 0-based
+  /// internally; this handles the 1-based shift).
+  std::string_view In(std::string_view document) const {
+    return document.substr(begin - 1, length());
+  }
+
+  /// True iff the two spans overlap *properly*: they share at least one
+  /// position but neither contains the other and they are not disjoint.
+  /// Used by the hierarchicality check (paper, Section 2.2): a span
+  /// assignment is hierarchical iff no two spans properly overlap.
+  static bool ProperlyOverlap(const Span& a, const Span& b);
+
+  /// True iff \p outer contains \p inner (not necessarily properly).
+  static bool Contains(const Span& outer, const Span& inner) {
+    return outer.begin <= inner.begin && inner.end <= outer.end;
+  }
+
+  /// True iff the spans share no position: a.end <= b.begin or vice versa.
+  static bool Disjoint(const Span& a, const Span& b) {
+    return a.end <= b.begin || b.end <= a.begin;
+  }
+};
+
+/// A span tuple over k ordered variables; std::nullopt encodes the undefined
+/// value "bottom" of the schemaless semantics.
+class SpanTuple {
+ public:
+  SpanTuple() = default;
+  explicit SpanTuple(std::size_t arity) : spans_(arity) {}
+  explicit SpanTuple(std::vector<std::optional<Span>> spans) : spans_(std::move(spans)) {}
+
+  /// Convenience for fully-defined tuples in tests and examples.
+  static SpanTuple Of(std::initializer_list<Span> spans);
+
+  std::size_t arity() const { return spans_.size(); }
+
+  const std::optional<Span>& operator[](std::size_t var) const { return spans_[var]; }
+  std::optional<Span>& operator[](std::size_t var) { return spans_[var]; }
+
+  /// True iff every variable is assigned (classical, "functional" semantics).
+  bool IsTotal() const;
+
+  /// True iff no two assigned spans properly overlap (paper, Section 2.2).
+  bool IsHierarchical() const;
+
+  /// Restricts to the variables listed in \p keep (in that order).
+  SpanTuple Project(const std::vector<std::size_t>& keep) const;
+
+  /// "([1,2>, [2,3>, bot)" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const SpanTuple&, const SpanTuple&) = default;
+  friend auto operator<=>(const SpanTuple&, const SpanTuple&) = default;
+
+ private:
+  std::vector<std::optional<Span>> spans_;
+};
+
+/// A span relation: the set of span tuples a spanner extracts from one
+/// document. Kept ordered so relations compare deterministically in tests.
+using SpanRelation = std::set<SpanTuple>;
+
+/// Renders a relation as a sorted multi-line table (variable names optional).
+std::string RelationToString(const SpanRelation& relation,
+                             const std::vector<std::string>& variable_names = {});
+
+/// Stream output (also picked up by gtest failure messages).
+std::ostream& operator<<(std::ostream& os, const Span& span);
+std::ostream& operator<<(std::ostream& os, const SpanTuple& tuple);
+
+}  // namespace spanners

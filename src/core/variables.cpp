@@ -1,0 +1,27 @@
+#include "core/variables.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+VariableSet::VariableSet(std::vector<std::string> names) {
+  for (std::string& name : names) Intern(name);
+}
+
+VariableId VariableSet::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Require(names_.size() < kMaxVariables, "VariableSet: too many variables (max 32)");
+  const VariableId id = static_cast<VariableId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+std::optional<VariableId> VariableSet::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace spanners

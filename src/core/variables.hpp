@@ -1,0 +1,68 @@
+/// \file variables.hpp
+/// \brief Ordered variable sets shared by spanner representations.
+///
+/// The paper fixes a finite, ordered variable set X = {x_1 < ... < x_k}; a
+/// span tuple is then identified with a k-tuple. VariableSet interns names
+/// to dense ids so that tuples and marker sets can be stored compactly. At
+/// most 32 variables are supported, which lets a set of markers (an opening
+/// and a closing marker per variable) fit in one 64-bit word -- the
+/// representation used by extended vset-automata (paper, Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spanners {
+
+/// Dense variable id; order of ids is the order of the variable set.
+using VariableId = uint32_t;
+
+/// Maximum number of variables in one spanner.
+inline constexpr std::size_t kMaxVariables = 32;
+
+/// A set of markers { x> , <x : x in X } encoded as a 64-bit word:
+/// bit 2v is the opening marker of variable v, bit 2v+1 the closing one.
+using MarkerSet = uint64_t;
+
+/// Opening marker of variable \p v.
+constexpr MarkerSet OpenMarker(VariableId v) { return MarkerSet{1} << (2 * v); }
+/// Closing marker of variable \p v.
+constexpr MarkerSet CloseMarker(VariableId v) { return MarkerSet{1} << (2 * v + 1); }
+
+/// An interning registry for variable names.
+class VariableSet {
+ public:
+  VariableSet() = default;
+
+  /// Creates a set from names in order.
+  explicit VariableSet(std::vector<std::string> names);
+
+  /// Returns the id of \p name, interning it if new. Aborts when exceeding
+  /// kMaxVariables.
+  VariableId Intern(const std::string& name);
+
+  /// Returns the id of \p name if present.
+  std::optional<VariableId> Find(const std::string& name) const;
+
+  /// Name of variable \p id.
+  const std::string& Name(VariableId id) const { return names_[id]; }
+
+  /// Number of variables.
+  std::size_t size() const { return names_.size(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  friend bool operator==(const VariableSet& a, const VariableSet& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VariableId> index_;
+};
+
+}  // namespace spanners

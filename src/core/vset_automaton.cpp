@@ -1,0 +1,140 @@
+#include "core/vset_automaton.hpp"
+
+#include <map>
+#include <utility>
+
+#include "automata/thompson.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+/// Per-variable capture status packed 2 bits per variable:
+/// 0 = unopened, 1 = open, 2 = closed.
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+/// Explores (state, config, valid) triples; calls \p on_accept for every
+/// reachable accepting combination. Invalid marker usage flips valid=false
+/// but exploration continues, so ill-formed accepting runs are observable.
+template <typename OnAccept>
+void ExploreConfigs(const Nfa& nfa, std::size_t num_vars, OnAccept on_accept) {
+  (void)num_vars;
+  std::map<std::pair<StateId, Config>, uint8_t> seen;  // bit0: seen valid, bit1: seen invalid
+  struct Item {
+    StateId state;
+    Config config;
+    bool valid;
+  };
+  std::vector<Item> stack;
+  auto push = [&](StateId s, Config c, bool valid) {
+    uint8_t& flags = seen[{s, c}];
+    const uint8_t bit = valid ? 1 : 2;
+    if (flags & bit) return;
+    flags |= bit;
+    stack.push_back({s, c, valid});
+  };
+  if (nfa.num_states() == 0) return;
+  push(nfa.initial(), 0, true);
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (nfa.IsAccepting(item.state)) on_accept(item.config, item.valid);
+    for (const Transition& t : nfa.TransitionsFrom(item.state)) {
+      switch (t.symbol.kind()) {
+        case SymbolKind::kEpsilon:
+        case SymbolKind::kChar:
+          push(t.to, item.config, item.valid);
+          break;
+        case SymbolKind::kOpen: {
+          const VariableId v = t.symbol.variable();
+          const bool ok = StatusOf(item.config, v) == 0;
+          push(t.to, WithStatus(item.config, v, 1), item.valid && ok);
+          break;
+        }
+        case SymbolKind::kClose: {
+          const VariableId v = t.symbol.variable();
+          const bool ok = StatusOf(item.config, v) == 1;
+          push(t.to, WithStatus(item.config, v, 2), item.valid && ok);
+          break;
+        }
+        case SymbolKind::kRef:
+          FatalError("VsetAutomaton: reference symbol in a vset-automaton");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VsetAutomaton VsetAutomaton::FromRegex(const Regex& regex) {
+  Require(!regex.HasReferences(),
+          "VsetAutomaton::FromRegex: regex contains references; use ReflSpanner");
+  return VsetAutomaton(ThompsonConstruct(regex).Trimmed(), regex.variables());
+}
+
+bool VsetAutomaton::IsWellFormed() const {
+  bool well_formed = true;
+  ExploreConfigs(nfa_, variables_.size(), [&](Config config, bool valid) {
+    if (!valid) {
+      well_formed = false;
+      return;
+    }
+    for (VariableId v = 0; v < variables_.size(); ++v) {
+      if (StatusOf(config, v) == 1) well_formed = false;  // left open
+    }
+  });
+  return well_formed;
+}
+
+bool VsetAutomaton::IsFunctional() const {
+  bool functional = true;
+  ExploreConfigs(nfa_, variables_.size(), [&](Config config, bool valid) {
+    if (!valid) {
+      functional = false;
+      return;
+    }
+    for (VariableId v = 0; v < variables_.size(); ++v) {
+      if (StatusOf(config, v) != 2) functional = false;
+    }
+  });
+  return functional;
+}
+
+VsetAutomaton VsetAutomaton::RemappedVariables(const std::vector<VariableId>& map,
+                                               VariableSet new_variables) const {
+  Require(map.size() >= variables_.size(), "RemappedVariables: map too small");
+  Nfa remapped = nfa_.MapSymbols([&](Symbol s) {
+    switch (s.kind()) {
+      case SymbolKind::kOpen:
+        return Symbol::Open(map[s.variable()]);
+      case SymbolKind::kClose:
+        return Symbol::Close(map[s.variable()]);
+      case SymbolKind::kRef:
+        return Symbol::Ref(map[s.variable()]);
+      default:
+        return s;
+    }
+  });
+  return VsetAutomaton(std::move(remapped), std::move(new_variables));
+}
+
+VsetAutomaton::CaptureProfile VsetAutomaton::AnalyzeCaptures() const {
+  CaptureProfile profile;
+  ExploreConfigs(nfa_, variables_.size(), [&](Config config, bool valid) {
+    if (!valid) return;
+    for (VariableId v = 0; v < variables_.size(); ++v) {
+      const uint8_t status = StatusOf(config, v);
+      if (status == 2) profile.sometimes_captured |= uint64_t{1} << v;
+      if (status == 0) profile.sometimes_omitted |= uint64_t{1} << v;
+    }
+  });
+  return profile;
+}
+
+}  // namespace spanners

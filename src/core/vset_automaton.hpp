@@ -1,0 +1,65 @@
+/// \file vset_automaton.hpp
+/// \brief Variable-set automata: NFAs accepting subword-marked languages.
+///
+/// A vset-automaton (paper, Sections 1 and 2.2) is an NFA over
+/// Sigma ∪ { x>, <x : x in X }. Runs whose marker usage is invalid (opening
+/// twice, closing an unopened variable, leaving a variable open at
+/// acceptance) define no span tuple and are ignored by evaluation; the
+/// predicates below decide whether such runs exist at all
+/// (IsWellFormed) and whether the automaton is functional (paper, §2.2).
+#pragma once
+
+#include <string>
+
+#include "automata/nfa.hpp"
+#include "core/regex_ast.hpp"
+#include "core/ref_word.hpp"
+
+namespace spanners {
+
+/// A vset-automaton: an NFA plus its variable set.
+class VsetAutomaton {
+ public:
+  VsetAutomaton() = default;
+  VsetAutomaton(Nfa nfa, VariableSet variables)
+      : nfa_(std::move(nfa)), variables_(std::move(variables)) {}
+
+  /// Compiles a spanner regex (no references) via Thompson construction.
+  static VsetAutomaton FromRegex(const Regex& regex);
+
+  const Nfa& nfa() const { return nfa_; }
+  Nfa& mutable_nfa() { return nfa_; }
+  const VariableSet& variables() const { return variables_; }
+  VariableSet& mutable_variables() { return variables_; }
+
+  /// True iff no accepting run misuses markers: every accepting run opens
+  /// each variable at most once, closes only open variables, and leaves no
+  /// variable open. (Runs violating this are ignored by evaluation either
+  /// way; a well-formed automaton has none.)
+  bool IsWellFormed() const;
+
+  /// True iff well-formed and every accepting run closes *all* variables,
+  /// i.e. the described spanner is functional (paper, Section 2.2).
+  bool IsFunctional() const;
+
+  /// Renames variables: \p map[old_id] = new_id within \p new_variables.
+  VsetAutomaton RemappedVariables(const std::vector<VariableId>& map,
+                                  VariableSet new_variables) const;
+
+  /// The union of all marker-usage patterns reachable at accepting states:
+  /// for each variable, whether some accepting run captures it and whether
+  /// some accepting run omits it. Useful for schemaless reasoning.
+  struct CaptureProfile {
+    uint64_t sometimes_captured = 0;  ///< bit v: some accepting run captures v
+    uint64_t sometimes_omitted = 0;   ///< bit v: some accepting run omits v
+  };
+  CaptureProfile AnalyzeCaptures() const;
+
+  std::string ToString() const { return nfa_.ToString(&variables_); }
+
+ private:
+  Nfa nfa_;
+  VariableSet variables_;
+};
+
+}  // namespace spanners

@@ -1,0 +1,79 @@
+#include "core/word_equations.hpp"
+
+#include "refl/refl_eval.hpp"
+#include "refl/refl_spanner.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+bool FactorsCommute(std::string_view u, std::string_view v) {
+  return std::string(u) + std::string(v) == std::string(v) + std::string(u);
+}
+
+bool CyclicShifts(std::string_view u, std::string_view v) {
+  if (u.size() != v.size()) return false;
+  const std::string doubled = std::string(u) + std::string(u);
+  return doubled.find(v) != std::string::npos;
+}
+
+namespace {
+
+const ReflSpanner& CommuteSpanner() {
+  static const ReflSpanner spanner = ReflSpanner::Compile("{p: .+}(&p)*#(&p)*|#.*");
+  return spanner;
+}
+
+const ReflSpanner& CyclicSpanner() {
+  static const ReflSpanner spanner = ReflSpanner::Compile("{w1: .*}{w2: .*}#&w2;&w1;");
+  return spanner;
+}
+
+}  // namespace
+
+bool FactorsCommuteViaSpanner(std::string_view u, std::string_view v) {
+  Require(u.find('#') == std::string_view::npos && v.find('#') == std::string_view::npos,
+          "FactorsCommuteViaSpanner: '#' must not occur in the inputs");
+  const std::string document = std::string(u) + "#" + std::string(v);
+  return ReflNonEmptiness(CommuteSpanner(), document);
+}
+
+bool CyclicShiftsViaSpanner(std::string_view u, std::string_view v) {
+  Require(u.find('#') == std::string_view::npos && v.find('#') == std::string_view::npos,
+          "CyclicShiftsViaSpanner: '#' must not occur in the inputs");
+  const std::string document = std::string(u) + "#" + std::string(v);
+  return ReflNonEmptiness(CyclicSpanner(), document);
+}
+
+std::string PrimitiveRoot(std::string_view word) {
+  const std::size_t n = word.size();
+  for (std::size_t len = 1; len <= n; ++len) {
+    if (n % len != 0) continue;
+    bool periodic = true;
+    for (std::size_t i = len; i < n && periodic; ++i) {
+      if (word[i] != word[i - len]) periodic = false;
+    }
+    if (periodic) return std::string(word.substr(0, len));
+  }
+  return "";
+}
+
+SpanRelation CommutingFactorPairs(std::string_view document) {
+  SpanRelation relation;
+  const Position n = static_cast<Position>(document.size());
+  for (Position bx = 1; bx <= n + 1; ++bx) {
+    for (Position ex = bx; ex <= n + 1; ++ex) {
+      for (Position by = 1; by <= n + 1; ++by) {
+        for (Position ey = by; ey <= n + 1; ++ey) {
+          const Span x(bx, ex);
+          const Span y(by, ey);
+          if (FactorsCommute(x.In(document), y.In(document))) {
+            relation.insert(SpanTuple::Of({x, y}));
+          }
+        }
+      }
+    }
+  }
+  return relation;
+}
+
+}  // namespace spanners

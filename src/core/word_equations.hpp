@@ -1,0 +1,43 @@
+/// \file word_equations.hpp
+/// \brief Word-equation relations expressible by core/refl spanners (§2.4).
+///
+/// The paper recalls from [12] that core spanners can define the relations
+///   u ~com v  iff  uv = vu          (word equation xy = yx), and
+///   u ~cyc v  iff  u is a cyclic shift of v (word equation xz = zy),
+/// and that core spanners are, in a precise sense, as expressive as word
+/// equations with regular constraints. This module realises both relations
+/// executably: by direct combinatorics (ground truth) and by refl-spanners
+/// evaluated on the two-part document "u#v" -- string equality through
+/// references, exactly the mechanism of Section 3.1.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/span.hpp"
+
+namespace spanners {
+
+/// uv == vu, i.e. u and v are powers of a common primitive word.
+bool FactorsCommute(std::string_view u, std::string_view v);
+
+/// u is a cyclic shift of v (exists w1, w2 with u = w1 w2 and v = w2 w1).
+bool CyclicShifts(std::string_view u, std::string_view v);
+
+/// The same relations decided through refl-spanner NonEmptiness on "u#v":
+///   ~com: "{p: .+}(&p)*#(&p)*|#.*"         (u = p^i, v = p^j, i >= 1)
+///   ~cyc: "{w1: .*}{w2: .*}#&w2;&w1;"
+/// '#' must not occur in u or v.
+bool FactorsCommuteViaSpanner(std::string_view u, std::string_view v);
+bool CyclicShiftsViaSpanner(std::string_view u, std::string_view v);
+
+/// All pairs (x, y) of spans of \p document whose factors commute -- the
+/// relation S_com of [12, Prop. 3.7] materialised (brute force; the paper
+/// uses it as an expressiveness witness, not as an efficient query).
+SpanRelation CommutingFactorPairs(std::string_view document);
+
+/// The primitive root of \p word (the shortest p with word in p+);
+/// empty for the empty word.
+std::string PrimitiveRoot(std::string_view word);
+
+}  // namespace spanners

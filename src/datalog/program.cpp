@@ -1,0 +1,211 @@
+#include "datalog/program.hpp"
+
+#include <unordered_map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+void DatalogProgram::AddExtraction(const std::string& name, RegularSpanner spanner) {
+  extractions_.emplace_back(name, std::move(spanner));
+}
+
+void DatalogProgram::AddExtraction(const std::string& name, std::string_view pattern) {
+  AddExtraction(name, RegularSpanner::Compile(pattern));
+}
+
+void DatalogProgram::AddRule(Rule rule) {
+  // Safety: every head variable and every STREQ argument must be bound by
+  // some predicate atom.
+  auto bound = [&](const std::string& variable) {
+    for (const Atom& atom : rule.body) {
+      if (atom.kind != Atom::Kind::kPredicate) continue;
+      for (const std::string& v : atom.variables) {
+        if (v == variable) return true;
+      }
+    }
+    return false;
+  };
+  for (const std::string& v : rule.head_variables) {
+    Require(bound(v), "DatalogProgram::AddRule: unbound head variable");
+  }
+  for (const Atom& atom : rule.body) {
+    if (atom.kind == Atom::Kind::kStrEq) {
+      Require(atom.variables.size() == 2, "STREQ takes exactly two variables");
+      Require(bound(atom.variables[0]) && bound(atom.variables[1]),
+              "DatalogProgram::AddRule: unbound STREQ variable");
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+namespace {
+
+using Bindings = std::unordered_map<std::string, Span>;
+
+/// Matches \p fact against \p variables under \p bindings; extends the
+/// bindings on success (returns the variables newly bound, for rollback).
+bool BindFact(const std::vector<std::string>& variables, const Fact& fact,
+              Bindings* bindings, std::vector<std::string>* newly_bound) {
+  if (variables.size() != fact.size()) return false;
+  for (std::size_t i = 0; i < variables.size(); ++i) {
+    auto it = bindings->find(variables[i]);
+    if (it != bindings->end()) {
+      if (it->second != fact[i]) {
+        // Roll back what this call bound so far.
+        for (const std::string& v : *newly_bound) bindings->erase(v);
+        newly_bound->clear();
+        return false;
+      }
+    } else {
+      bindings->emplace(variables[i], fact[i]);
+      newly_bound->push_back(variables[i]);
+    }
+  }
+  return true;
+}
+
+struct RuleEvaluator {
+  std::string_view document;
+  const std::map<std::string, Relation>* relations;
+  const Rule* rule;
+  // Semi-naive restriction: the atom at delta_position draws facts from
+  // *delta* instead of the full relation; SIZE_MAX means plain naive.
+  std::size_t delta_position = SIZE_MAX;
+  const Relation* delta = nullptr;
+  Relation* out = nullptr;
+
+  void Run() {
+    Bindings bindings;
+    Join(0, 0, &bindings);
+  }
+
+  void Join(std::size_t atom_index, std::size_t predicate_index, Bindings* bindings) {
+    if (atom_index == rule->body.size()) {
+      Fact fact;
+      fact.reserve(rule->head_variables.size());
+      for (const std::string& v : rule->head_variables) fact.push_back(bindings->at(v));
+      out->insert(std::move(fact));
+      return;
+    }
+    const Atom& atom = rule->body[atom_index];
+    if (atom.kind == Atom::Kind::kStrEq) {
+      // Both arguments are bound (checked in AddRule) once predicate atoms
+      // to the left are processed; evaluate lazily if not yet bound.
+      auto a = bindings->find(atom.variables[0]);
+      auto b = bindings->find(atom.variables[1]);
+      if (a == bindings->end() || b == bindings->end()) {
+        // Defer: move this atom after the next predicate atom by simply
+        // evaluating it once everything is bound -- here we conservatively
+        // fail only at the end. For simplicity, require left-to-right
+        // bindability.
+        FatalError("DatalogProgram: STREQ arguments must be bound to its left");
+      }
+      if (a->second.In(document) != b->second.In(document)) return;
+      Join(atom_index + 1, predicate_index, bindings);
+      return;
+    }
+    const Relation* source;
+    if (predicate_index == delta_position) {
+      source = delta;
+    } else {
+      auto it = relations->find(atom.predicate);
+      source = it == relations->end() ? nullptr : &it->second;
+    }
+    if (source == nullptr) return;
+    for (const Fact& fact : *source) {
+      std::vector<std::string> newly_bound;
+      if (!BindFact(atom.variables, fact, bindings, &newly_bound)) continue;
+      Join(atom_index + 1, predicate_index + 1, bindings);
+      for (const std::string& v : newly_bound) bindings->erase(v);
+    }
+  }
+};
+
+}  // namespace
+
+std::map<std::string, Relation> DatalogProgram::Evaluate(std::string_view document) const {
+  std::map<std::string, Relation> relations;
+  // EDB: extraction predicates from the regular spanners.
+  for (const auto& [name, spanner] : extractions_) {
+    Relation& relation = relations[name];
+    for (const SpanTuple& tuple : spanner.Evaluate(document)) {
+      Fact fact;
+      bool defined = true;
+      for (std::size_t i = 0; i < tuple.arity(); ++i) {
+        if (!tuple[i]) {
+          defined = false;
+          break;
+        }
+        fact.push_back(*tuple[i]);
+      }
+      if (defined) relation.insert(std::move(fact));
+    }
+  }
+  for (const Rule& rule : rules_) relations.try_emplace(rule.head);
+
+  // Round 1: naive evaluation of every rule.
+  std::map<std::string, Relation> delta;
+  for (const Rule& rule : rules_) {
+    Relation derived;
+    RuleEvaluator evaluator{document, &relations, &rule, SIZE_MAX, nullptr, &derived};
+    evaluator.Run();
+    for (const Fact& fact : derived) {
+      if (relations[rule.head].insert(fact).second) delta[rule.head].insert(fact);
+    }
+  }
+  // Semi-naive iteration: each round joins one atom against the previous
+  // round's delta.
+  while (!delta.empty()) {
+    std::map<std::string, Relation> next_delta;
+    for (const Rule& rule : rules_) {
+      std::size_t predicate_index = 0;
+      for (const Atom& atom : rule.body) {
+        if (atom.kind != Atom::Kind::kPredicate) continue;
+        auto it = delta.find(atom.predicate);
+        if (it != delta.end() && !it->second.empty()) {
+          Relation derived;
+          RuleEvaluator evaluator{document, &relations,   &rule,
+                                  predicate_index, &it->second, &derived};
+          evaluator.Run();
+          for (const Fact& fact : derived) {
+            if (relations[rule.head].insert(fact).second) {
+              next_delta[rule.head].insert(fact);
+            }
+          }
+        }
+        ++predicate_index;
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return relations;
+}
+
+Relation DatalogProgram::Query(std::string_view document,
+                               const std::string& predicate) const {
+  std::map<std::string, Relation> relations = Evaluate(document);
+  auto it = relations.find(predicate);
+  return it == relations.end() ? Relation{} : std::move(it->second);
+}
+
+DatalogProgram CoreToDatalog(const CoreNormalForm& core, const std::string& answer_name) {
+  DatalogProgram program;
+  const std::string extraction_name = answer_name + "__m";
+  program.AddExtraction(extraction_name, core.automaton);
+
+  Rule rule;
+  rule.head = answer_name;
+  rule.head_variables = core.output;
+  rule.body.push_back(
+      Atom::Predicate(extraction_name, core.automaton.variables().names()));
+  for (const auto& selection : core.selections) {
+    for (std::size_t i = 1; i < selection.size(); ++i) {
+      rule.body.push_back(Atom::StrEq(selection[0], selection[i]));
+    }
+  }
+  program.AddRule(std::move(rule));
+  return program;
+}
+
+}  // namespace spanners

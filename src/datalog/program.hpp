@@ -1,0 +1,100 @@
+/// \file program.hpp
+/// \brief Datalog over regular spanners (RGXlog-style; paper §1, [33]).
+///
+/// Peterfreund, ten Cate, Fagin, and Kimelfeld show that datalog programs
+/// whose extensional relations are produced by *regular* spanners cover the
+/// whole class of core spanners -- recursion plus regular extraction
+/// subsumes the string-equality selection. This module implements the
+/// framework:
+///
+///   * extraction predicates: defined by a regular spanner over the input
+///     document (its span relation is the EDB);
+///   * rules: Head(u1, ..) :- Body1(..), Body2(..), STREQ(u, v), ...
+///     where variables range over spans of the document and STREQ is the
+///     string-equality built-in (factor equality);
+///   * semantics: least fixpoint, computed semi-naively.
+///
+/// CoreToDatalog (below) makes the coverage theorem executable: it compiles
+/// a core spanner in normal form into a program whose answer predicate
+/// evaluates to exactly the core spanner's relation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/core_simplification.hpp"
+#include "core/regular_spanner.hpp"
+
+namespace spanners {
+
+/// A tuple of (defined) spans -- one fact of a datalog relation.
+using Fact = std::vector<Span>;
+using Relation = std::set<Fact>;
+
+/// One body atom of a rule.
+struct Atom {
+  enum class Kind : uint8_t { kPredicate, kStrEq } kind = Kind::kPredicate;
+  std::string predicate;               ///< kPredicate: relation name
+  std::vector<std::string> variables;  ///< argument variables (kStrEq: exactly 2)
+
+  static Atom Predicate(std::string name, std::vector<std::string> vars) {
+    return {Kind::kPredicate, std::move(name), std::move(vars)};
+  }
+  static Atom StrEq(std::string a, std::string b) {
+    return {Kind::kStrEq, "", {std::move(a), std::move(b)}};
+  }
+};
+
+/// One rule: head(head_variables) :- body.
+struct Rule {
+  std::string head;
+  std::vector<std::string> head_variables;
+  std::vector<Atom> body;
+};
+
+/// A spanner-datalog program over one document at a time.
+class DatalogProgram {
+ public:
+  /// Declares an extraction predicate: its facts are the *fully defined*
+  /// tuples of the regular spanner on the input document, with columns in
+  /// the spanner's variable order. (Schemaless rows with undefined entries
+  /// are skipped: datalog facts range over defined spans.)
+  void AddExtraction(const std::string& name, RegularSpanner spanner);
+
+  /// Convenience: parse-and-compile the pattern.
+  void AddExtraction(const std::string& name, std::string_view pattern);
+
+  /// Adds a rule. All head variables must occur in a (positive) body
+  /// predicate atom; STREQ arguments likewise.
+  void AddRule(Rule rule);
+
+  /// Evaluates the program on \p document to the least fixpoint
+  /// (semi-naive). Returns all relations (extraction + derived).
+  std::map<std::string, Relation> Evaluate(std::string_view document) const;
+
+  /// Evaluates and returns one relation (empty if unknown).
+  Relation Query(std::string_view document, const std::string& predicate) const;
+
+  std::size_t num_rules() const { return rules_.size(); }
+  std::size_t num_extractions() const { return extractions_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, RegularSpanner>> extractions_;
+  std::vector<Rule> rules_;
+};
+
+/// The coverage theorem of [33], executable: compiles a core spanner in
+/// normal form into a datalog program whose predicate \p answer_name equals
+/// the core spanner's output relation on every document. Uses one
+/// extraction predicate for the underlying regular spanner and one STREQ
+/// chain per selection; the final projection becomes the answer rule's
+/// head. Output columns follow \p core's output order. Rows where an output
+/// column is undefined are not representable as datalog facts and are
+/// dropped (use functional spanners for exact coverage).
+DatalogProgram CoreToDatalog(const CoreNormalForm& core, const std::string& answer_name);
+
+}  // namespace spanners

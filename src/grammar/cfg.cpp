@@ -1,0 +1,131 @@
+#include "grammar/cfg.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+NonterminalId Cfg::Intern(const std::string& name) {
+  for (NonterminalId n = 0; n < names_.size(); ++n) {
+    if (names_[n] == name) return n;
+  }
+  names_.push_back(name);
+  by_lhs_vec_.emplace_back();
+  return static_cast<NonterminalId>(names_.size() - 1);
+}
+
+void Cfg::AddProduction(NonterminalId lhs, std::vector<GrammarSymbol> rhs) {
+  Require(lhs < names_.size(), "Cfg::AddProduction: unknown nonterminal");
+  productions_.push_back({lhs, std::move(rhs)});
+  by_lhs_vec_[lhs].push_back(productions_.size() - 1);
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Cfg ParseCfg(std::string_view text) {
+  Cfg cfg;
+  bool start_set = false;
+  std::size_t pos = 0;
+  auto skip_blank = [&](bool include_newlines) {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' ||
+            (include_newlines && (text[pos] == '\n' || text[pos] == ';')))) {
+      ++pos;
+    }
+  };
+  while (true) {
+    skip_blank(true);
+    if (pos >= text.size()) break;
+    // Left-hand side.
+    Require(std::isupper(static_cast<unsigned char>(text[pos])),
+            "ParseCfg: production must start with a nonterminal");
+    std::string lhs_name;
+    while (pos < text.size() && IsIdentChar(text[pos])) lhs_name.push_back(text[pos++]);
+    const NonterminalId lhs = cfg.Intern(lhs_name);
+    if (!start_set) {
+      cfg.SetStart(lhs);
+      start_set = true;
+    }
+    skip_blank(false);
+    Require(pos + 1 < text.size() && text[pos] == ':' && text[pos + 1] == '=',
+            "ParseCfg: expected ':='");
+    pos += 2;
+    // Alternatives until newline/';'.
+    std::vector<GrammarSymbol> rhs;
+    auto flush = [&] {
+      cfg.AddProduction(lhs, std::move(rhs));
+      rhs = {};
+    };
+    while (true) {
+      skip_blank(false);
+      if (pos >= text.size() || text[pos] == '\n' || text[pos] == ';') {
+        flush();
+        break;
+      }
+      const char c = text[pos];
+      if (c == '|') {
+        ++pos;
+        flush();
+        continue;
+      }
+      if (c == '(') {
+        Require(pos + 1 < text.size() && text[pos + 1] == ')', "ParseCfg: expected '()'");
+        pos += 2;
+        continue;  // epsilon: contributes nothing
+      }
+      if (c == '\'') {
+        Require(pos + 2 < text.size() && text[pos + 2] == '\'',
+                "ParseCfg: bad quoted terminal");
+        rhs.push_back(GrammarSymbol::Terminal(
+            Symbol::Char(static_cast<unsigned char>(text[pos + 1]))));
+        pos += 3;
+        continue;
+      }
+      if (c == '<') {  // closing marker "<name"
+        ++pos;
+        std::string name;
+        while (pos < text.size() && IsIdentChar(text[pos])) name.push_back(text[pos++]);
+        Require(!name.empty(), "ParseCfg: bad closing marker");
+        rhs.push_back(
+            GrammarSymbol::Terminal(Symbol::Close(cfg.mutable_variables().Intern(name))));
+        continue;
+      }
+      if (std::isupper(static_cast<unsigned char>(c))) {  // nonterminal
+        std::string name;
+        while (pos < text.size() && IsIdentChar(text[pos])) name.push_back(text[pos++]);
+        rhs.push_back(GrammarSymbol::Nonterminal(cfg.Intern(name)));
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        // Either a terminal letter or an opening marker "name>".
+        std::string name;
+        while (pos < text.size() && IsIdentChar(text[pos])) name.push_back(text[pos++]);
+        if (pos < text.size() && text[pos] == '>') {
+          ++pos;
+          rhs.push_back(GrammarSymbol::Terminal(
+              Symbol::Open(cfg.mutable_variables().Intern(name))));
+        } else {
+          Require(name.size() == 1, "ParseCfg: multi-letter terminals must be quoted");
+          rhs.push_back(GrammarSymbol::Terminal(
+              Symbol::Char(static_cast<unsigned char>(name[0]))));
+        }
+        continue;
+      }
+      // Any other single character is a terminal.
+      rhs.push_back(GrammarSymbol::Terminal(Symbol::Char(static_cast<unsigned char>(c))));
+      ++pos;
+    }
+  }
+  Require(start_set, "ParseCfg: empty grammar");
+  return cfg;
+}
+
+}  // namespace spanners

@@ -1,0 +1,87 @@
+/// \file cfg.hpp
+/// \brief Context-free grammars over the extended symbol alphabet.
+///
+/// Section 2.1 of the paper observes that replacing "regular" by any
+/// language class closed under intersection with regular languages yields a
+/// spanner class; Peterfreund [31] studies the context-free case
+/// ("extraction grammars"). This module provides the grammar substrate: a
+/// CFG whose terminals are Symbols (characters and markers), with a small
+/// textual format:
+///
+///     S  := a S b | ()
+///     S  := x> Inner <x
+///
+/// Tokens: a bare lowercase letter / digit / quoted 'c' is a terminal
+/// character; an identifier starting with an upper-case letter is a
+/// nonterminal; "name>" and "<name" are the opening/closing markers of
+/// variable `name`; "()" is the empty word. Alternatives are separated by
+/// '|', productions by newlines or ';'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/symbol.hpp"
+#include "core/variables.hpp"
+
+namespace spanners {
+
+/// Dense nonterminal id.
+using NonterminalId = uint32_t;
+
+/// One right-hand-side element: a terminal Symbol or a nonterminal.
+struct GrammarSymbol {
+  bool is_terminal = false;
+  Symbol terminal;
+  NonterminalId nonterminal = 0;
+
+  static GrammarSymbol Terminal(Symbol s) { return {true, s, 0}; }
+  static GrammarSymbol Nonterminal(NonterminalId n) {
+    return {false, Symbol::Epsilon(), n};
+  }
+};
+
+/// A context-free grammar over the extended alphabet.
+class Cfg {
+ public:
+  /// Interns a nonterminal by name.
+  NonterminalId Intern(const std::string& name);
+
+  /// Adds a production lhs -> rhs.
+  void AddProduction(NonterminalId lhs, std::vector<GrammarSymbol> rhs);
+
+  void SetStart(NonterminalId start) { start_ = start; }
+  NonterminalId start() const { return start_; }
+
+  std::size_t num_nonterminals() const { return names_.size(); }
+  const std::string& Name(NonterminalId n) const { return names_[n]; }
+
+  struct Production {
+    NonterminalId lhs;
+    std::vector<GrammarSymbol> rhs;
+  };
+  const std::vector<Production>& productions() const { return productions_; }
+
+  /// Productions grouped by left-hand side.
+  const std::vector<std::size_t>& ProductionsOf(NonterminalId n) const {
+    return by_lhs_vec_[n];
+  }
+
+  VariableSet& mutable_variables() { return variables_; }
+  const VariableSet& variables() const { return variables_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Production> productions_;
+  std::vector<std::vector<std::size_t>> by_lhs_vec_;
+  NonterminalId start_ = 0;
+  VariableSet variables_;
+};
+
+/// Parses the textual grammar format; the first production's left-hand side
+/// becomes the start symbol. Aborts on syntax errors (test/example use).
+Cfg ParseCfg(std::string_view text);
+
+}  // namespace spanners

@@ -1,0 +1,192 @@
+#include "grammar/cyk_spanner.hpp"
+
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+struct CfgEvaluator {
+  const Cfg& cfg;
+  std::string_view document;
+  bool stop_on_first = false;
+  bool found_any = false;
+  SpanRelation relation;
+
+  std::size_t n = 0;
+  // derives[nt][i * (n+1) + j]: nt =>* marked word with char projection
+  // document[i, j).
+  std::vector<std::vector<bool>> derives;
+
+  std::vector<std::pair<std::size_t, MarkerSet>> events;  // (gap, markers)
+  std::set<std::tuple<NonterminalId, std::size_t, std::size_t, Config>> on_path;
+
+  bool Derives(NonterminalId nt, std::size_t i, std::size_t j) const {
+    return derives[nt][i * (n + 1) + j];
+  }
+
+  /// Positions reachable by matching the rhs suffix from \p element onward,
+  /// starting at \p i, under the current derivability table.
+  std::vector<bool> SequenceReach(const std::vector<GrammarSymbol>& rhs, std::size_t i) const {
+    std::vector<bool> current(n + 1, false);
+    current[i] = true;
+    for (const GrammarSymbol& gs : rhs) {
+      std::vector<bool> next(n + 1, false);
+      for (std::size_t p = 0; p <= n; ++p) {
+        if (!current[p]) continue;
+        if (gs.is_terminal) {
+          if (gs.terminal.IsChar()) {
+            if (p < n && static_cast<unsigned char>(document[p]) == gs.terminal.ch()) {
+              next[p + 1] = true;
+            }
+          } else {
+            next[p] = true;  // markers consume no characters
+          }
+        } else {
+          for (std::size_t q = p; q <= n; ++q) {
+            if (Derives(gs.nonterminal, p, q)) next[q] = true;
+          }
+        }
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  void BuildDerivability() {
+    n = document.size();
+    derives.assign(cfg.num_nonterminals(), std::vector<bool>((n + 1) * (n + 1), false));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Cfg::Production& production : cfg.productions()) {
+        for (std::size_t i = 0; i <= n; ++i) {
+          const std::vector<bool> reach = SequenceReach(production.rhs, i);
+          for (std::size_t j = i; j <= n; ++j) {
+            if (reach[j] && !Derives(production.lhs, i, j)) {
+              derives[production.lhs][i * (n + 1) + j] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void EmitIfValid(Config config) {
+    const std::size_t num_vars = cfg.variables().size();
+    for (VariableId v = 0; v < num_vars; ++v) {
+      if (StatusOf(config, v) == 1) return;  // variable left open
+    }
+    SpanTuple tuple(num_vars);
+    std::vector<Position> open_at(num_vars, 0);
+    for (const auto& [gap, markers] : events) {
+      const Position here = static_cast<Position>(gap + 1);
+      for (VariableId v = 0; v < num_vars; ++v) {
+        if (markers & OpenMarker(v)) open_at[v] = here;
+        if (markers & CloseMarker(v)) tuple[v] = Span(open_at[v], here);
+      }
+    }
+    relation.insert(std::move(tuple));
+    found_any = true;
+  }
+
+  /// Type-erased continuation: receives the configuration after the
+  /// matched part and returns false to stop the whole enumeration. (Erased
+  /// rather than templated: the mutual recursion would otherwise instantiate
+  /// an unbounded chain of lambda types.)
+  using Done = std::function<bool(Config)>;
+
+  /// Enumerates derivations of the rhs suffix rhs[element..] over
+  /// document[p, j), threading the marker configuration; \p done is invoked
+  /// with the final configuration.
+  bool MatchSequence(const std::vector<GrammarSymbol>& rhs, std::size_t element,
+                     std::size_t p, std::size_t j, Config config, const Done& done) {
+    if (stop_on_first && found_any) return false;
+    if (element == rhs.size()) {
+      if (p == j) return done(config);
+      return true;
+    }
+    const GrammarSymbol& gs = rhs[element];
+    if (gs.is_terminal) {
+      if (gs.terminal.IsChar()) {
+        if (p < j && static_cast<unsigned char>(document[p]) == gs.terminal.ch()) {
+          return MatchSequence(rhs, element + 1, p + 1, j, config, done);
+        }
+        return true;
+      }
+      // Marker: fires in gap p; invalid usage prunes the derivation.
+      const VariableId v = gs.terminal.variable();
+      const bool opening = gs.terminal.kind() == SymbolKind::kOpen;
+      if (opening && StatusOf(config, v) != 0) return true;
+      if (!opening && StatusOf(config, v) != 1) return true;
+      events.push_back({p, gs.terminal.marker_bit()});
+      const bool keep_going = MatchSequence(
+          rhs, element + 1, p, j, WithStatus(config, v, opening ? 1 : 2), done);
+      events.pop_back();
+      return keep_going;
+    }
+    // Nonterminal: try every split consistent with the derivability table.
+    for (std::size_t q = p; q <= j; ++q) {
+      if (!Derives(gs.nonterminal, p, q)) continue;
+      auto rest = [&, q](Config after) {
+        return MatchSequence(rhs, element + 1, q, j, after, done);
+      };
+      if (!Expand(gs.nonterminal, p, q, config, rest)) return false;
+    }
+    return true;
+  }
+
+  bool Expand(NonterminalId nt, std::size_t i, std::size_t j, Config config,
+              const Done& done) {
+    const auto key = std::make_tuple(nt, i, j, config);
+    if (!on_path.insert(key).second) return true;  // unary/epsilon cycle
+    bool keep_going = true;
+    for (std::size_t production_index : cfg.ProductionsOf(nt)) {
+      const Cfg::Production& production = cfg.productions()[production_index];
+      if (!MatchSequence(production.rhs, 0, i, j, config, done)) {
+        keep_going = false;
+        break;
+      }
+    }
+    on_path.erase(key);
+    return keep_going;
+  }
+
+  void Run() {
+    BuildDerivability();
+    if (!Derives(cfg.start(), 0, document.size())) return;
+    Expand(cfg.start(), 0, document.size(), 0, [&](Config config) {
+      EmitIfValid(config);
+      return !(stop_on_first && found_any);
+    });
+  }
+};
+
+}  // namespace
+
+SpanRelation CfgSpanner::Evaluate(std::string_view document) const {
+  CfgEvaluator evaluator{cfg_, document};
+  evaluator.Run();
+  return std::move(evaluator.relation);
+}
+
+bool CfgSpanner::NonEmpty(std::string_view document) const {
+  CfgEvaluator evaluator{cfg_, document};
+  evaluator.stop_on_first = true;
+  evaluator.Run();
+  return evaluator.found_any;
+}
+
+}  // namespace spanners

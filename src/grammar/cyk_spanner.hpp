@@ -1,0 +1,45 @@
+/// \file cyk_spanner.hpp
+/// \brief Context-free document spanners / extraction grammars ([31]; §2.1).
+///
+/// A context-free spanner is given by a CFG whose language is a set of
+/// subword-marked words; its semantics is the same declarative [[L]] as for
+/// regular spanners, with L context-free instead of regular. Evaluation
+/// runs a CYK-style derivability fixpoint over document factors (markers
+/// consume no characters) for pruning, then enumerates derivations to
+/// collect marker positions. Runs with invalid marker usage are ignored,
+/// mirroring the automata classes.
+#pragma once
+
+#include <string_view>
+
+#include "core/span.hpp"
+#include "grammar/cfg.hpp"
+
+namespace spanners {
+
+/// A compiled context-free spanner.
+class CfgSpanner {
+ public:
+  explicit CfgSpanner(Cfg cfg) : cfg_(std::move(cfg)) {}
+
+  /// Parses the grammar text of ParseCfg.
+  static CfgSpanner Compile(std::string_view grammar_text) {
+    return CfgSpanner(ParseCfg(grammar_text));
+  }
+
+  const Cfg& grammar() const { return cfg_; }
+  const VariableSet& variables() const { return cfg_.variables(); }
+
+  /// [[L(G)]](document). Polynomial-time derivability pruning; derivation
+  /// enumeration is output-sensitive but worst-case exponential on highly
+  /// ambiguous grammars.
+  SpanRelation Evaluate(std::string_view document) const;
+
+  /// True iff the relation is non-empty (early exit).
+  bool NonEmpty(std::string_view document) const;
+
+ private:
+  Cfg cfg_;
+};
+
+}  // namespace spanners

@@ -1,0 +1,224 @@
+#include "refl/core_to_refl.hpp"
+
+#include <map>
+
+#include "automata/nfa_ops.hpp"
+#include "automata/product.hpp"
+#include "automata/thompson.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+struct CaptureSite {
+  const RegexNode* node = nullptr;
+  std::size_t traversal_index = 0;  ///< left-to-right position in the AST
+  bool mandatory = true;            ///< not under *, +, ?, or |
+  bool pure_body = true;            ///< no captures or references inside
+  std::size_t occurrences = 0;
+};
+
+bool BodyIsPure(const RegexNode* node) {
+  if (node->kind == RegexKind::kCapture || node->kind == RegexKind::kRef) return false;
+  for (const auto& child : node->children) {
+    if (!BodyIsPure(child.get())) return false;
+  }
+  return true;
+}
+
+void CollectSites(const RegexNode* node, bool mandatory, std::size_t* counter,
+                  std::map<VariableId, CaptureSite>* sites) {
+  ++*counter;
+  if (node->kind == RegexKind::kCapture) {
+    CaptureSite& site = (*sites)[node->variable];
+    ++site.occurrences;
+    site.node = node;
+    site.traversal_index = *counter;
+    site.mandatory = mandatory;
+    site.pure_body = BodyIsPure(node->children[0].get());
+  }
+  const bool child_mandatory =
+      mandatory && node->kind != RegexKind::kStar && node->kind != RegexKind::kPlus &&
+      node->kind != RegexKind::kOptional && node->kind != RegexKind::kAlt;
+  for (const auto& child : node->children) {
+    CollectSites(child.get(), child_mandatory, counter, sites);
+  }
+}
+
+/// Thompson-style builder where selected captures are rewritten: the leader
+/// of each selection set gets the intersection automaton as body, followers
+/// capture a reference to their leader.
+class ReflBuilder {
+ public:
+  ReflBuilder(const std::map<VariableId, Nfa>& leader_bodies,
+              const std::map<VariableId, VariableId>& follower_leader)
+      : leader_bodies_(leader_bodies), follower_leader_(follower_leader) {}
+
+  Nfa Build(const RegexNode* root) {
+    const auto [entry, exit] = Compile(root);
+    nfa_.SetInitial(entry);
+    nfa_.SetAccepting(exit);
+    return std::move(nfa_);
+  }
+
+ private:
+  std::pair<StateId, StateId> Compile(const RegexNode* node) {
+    if (node->kind == RegexKind::kCapture) {
+      const VariableId v = node->variable;
+      const StateId entry = nfa_.AddState();
+      const StateId exit = nfa_.AddState();
+      if (auto it = follower_leader_.find(v); it != follower_leader_.end()) {
+        const StateId mid1 = nfa_.AddState();
+        const StateId mid2 = nfa_.AddState();
+        nfa_.AddTransition(entry, Symbol::Open(v), mid1);
+        nfa_.AddTransition(mid1, Symbol::Ref(it->second), mid2);
+        nfa_.AddTransition(mid2, Symbol::Close(v), exit);
+        return {entry, exit};
+      }
+      if (auto it = leader_bodies_.find(v); it != leader_bodies_.end()) {
+        const auto [inner_entry, inner_exit] = Embed(it->second);
+        nfa_.AddTransition(entry, Symbol::Open(v), inner_entry);
+        nfa_.AddTransition(inner_exit, Symbol::Close(v), exit);
+        return {entry, exit};
+      }
+      const auto inner = Compile(node->children[0].get());
+      nfa_.AddTransition(entry, Symbol::Open(v), inner.first);
+      nfa_.AddTransition(inner.second, Symbol::Close(v), exit);
+      return {entry, exit};
+    }
+    switch (node->kind) {
+      case RegexKind::kEmptySet:
+        return {nfa_.AddState(), nfa_.AddState()};
+      case RegexKind::kEpsilon: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        nfa_.AddTransition(entry, Symbol::Epsilon(), exit);
+        return {entry, exit};
+      }
+      case RegexKind::kCharClass: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        for (std::size_t c = 0; c < 256; ++c) {
+          if (node->char_class.test(c)) {
+            nfa_.AddTransition(entry, Symbol::Char(static_cast<unsigned char>(c)), exit);
+          }
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kConcat: {
+        auto whole = Compile(node->children[0].get());
+        for (std::size_t i = 1; i < node->children.size(); ++i) {
+          const auto next = Compile(node->children[i].get());
+          nfa_.AddTransition(whole.second, Symbol::Epsilon(), next.first);
+          whole.second = next.second;
+        }
+        return whole;
+      }
+      case RegexKind::kAlt: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        for (const auto& child : node->children) {
+          const auto branch = Compile(child.get());
+          nfa_.AddTransition(entry, Symbol::Epsilon(), branch.first);
+          nfa_.AddTransition(branch.second, Symbol::Epsilon(), exit);
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kStar:
+      case RegexKind::kPlus:
+      case RegexKind::kOptional: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        const auto inner = Compile(node->children[0].get());
+        nfa_.AddTransition(entry, Symbol::Epsilon(), inner.first);
+        nfa_.AddTransition(inner.second, Symbol::Epsilon(), exit);
+        if (node->kind != RegexKind::kPlus) {
+          nfa_.AddTransition(entry, Symbol::Epsilon(), exit);
+        }
+        if (node->kind != RegexKind::kOptional) {
+          nfa_.AddTransition(inner.second, Symbol::Epsilon(), inner.first);
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kRef: {
+        const StateId entry = nfa_.AddState();
+        const StateId exit = nfa_.AddState();
+        nfa_.AddTransition(entry, Symbol::Ref(node->variable), exit);
+        return {entry, exit};
+      }
+      case RegexKind::kCapture:
+        break;  // handled above
+    }
+    FatalError("CoreToRefl: unknown node kind");
+  }
+
+  /// Copies \p fragment into the automaton; returns (entry, exit).
+  std::pair<StateId, StateId> Embed(const Nfa& fragment) {
+    const StateId offset = static_cast<StateId>(nfa_.num_states());
+    for (StateId s = 0; s < fragment.num_states(); ++s) nfa_.AddState();
+    for (StateId s = 0; s < fragment.num_states(); ++s) {
+      for (const Transition& t : fragment.TransitionsFrom(s)) {
+        nfa_.AddTransition(offset + s, t.symbol, offset + t.to);
+      }
+    }
+    const StateId exit = nfa_.AddState();
+    for (StateId s = 0; s < fragment.num_states(); ++s) {
+      if (fragment.IsAccepting(s)) nfa_.AddTransition(offset + s, Symbol::Epsilon(), exit);
+    }
+    return {offset + fragment.initial(), exit};
+  }
+
+  Nfa nfa_;
+  const std::map<VariableId, Nfa>& leader_bodies_;
+  const std::map<VariableId, VariableId>& follower_leader_;
+};
+
+}  // namespace
+
+std::optional<ReflSpanner> CoreToRefl(
+    const Regex& regex, const std::vector<std::vector<std::string>>& selections) {
+  if (regex.HasReferences()) return std::nullopt;
+  std::map<VariableId, CaptureSite> sites;
+  std::size_t counter = 0;
+  CollectSites(regex.root(), true, &counter, &sites);
+
+  // Selection sets must be pairwise disjoint for this fragment.
+  std::map<VariableId, std::size_t> selected_in;
+  std::map<VariableId, Nfa> leader_bodies;
+  std::map<VariableId, VariableId> follower_leader;
+  for (std::size_t i = 0; i < selections.size(); ++i) {
+    std::vector<VariableId> members;
+    for (const std::string& name : selections[i]) {
+      const std::optional<VariableId> v = regex.variables().Find(name);
+      if (!v) return std::nullopt;
+      if (selected_in.count(*v)) return std::nullopt;  // overlapping selections
+      selected_in[*v] = i;
+      const auto site = sites.find(*v);
+      if (site == sites.end() || site->second.occurrences != 1 ||
+          !site->second.mandatory || !site->second.pure_body) {
+        return std::nullopt;
+      }
+      members.push_back(*v);
+    }
+    if (members.size() < 2) continue;
+    // Leader: the first capture in document (traversal) order.
+    VariableId leader = members[0];
+    for (VariableId v : members) {
+      if (sites[v].traversal_index < sites[leader].traversal_index) leader = v;
+    }
+    // Intersection of all bodies becomes the leader's body.
+    Nfa body = ThompsonConstruct(sites[leader].node->children[0].get());
+    for (VariableId v : members) {
+      if (v == leader) continue;
+      body = Intersect(body, ThompsonConstruct(sites[v].node->children[0].get()));
+      follower_leader[v] = leader;
+    }
+    leader_bodies[leader] = body.Trimmed();
+  }
+
+  ReflBuilder builder(leader_bodies, follower_leader);
+  return ReflSpanner(RemoveEpsilon(builder.Build(regex.root())).Trimmed(),
+                     regex.variables());
+}
+
+}  // namespace spanners

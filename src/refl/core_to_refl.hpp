@@ -1,0 +1,38 @@
+/// \file core_to_refl.hpp
+/// \brief Translating core spanners with non-overlapping string-equality
+/// selections into refl-spanners (paper, Section 3.2).
+///
+/// The [38] result: a core spanner ς=_{Z_1}...ς=_{Z_k}(S) with
+/// non-overlapping selections equals a refl-spanner up to column fusion.
+/// This module implements the construction for the fragment where S is
+/// given as a spanner regex and each selected variable's capture
+///   * occurs exactly once, at a mandatory position (not under *, +, ?, |),
+///   * has a body free of captures and references, and
+///   * is not nested inside another selected capture;
+/// this covers all of the survey's Section 3.2 examples, including the
+/// β/β' case that requires intersecting the capture bodies:
+///
+///     β  = a b* {x: a(a|b)*} (b|c)* {y: (a|b)*b} b*   with ς=_{x,y}
+///     β' = a b* {x: γ} (b|c)* {y: &x} b*,  γ = a(a|b)* ∩ (a|b)*b.
+///
+/// For each selection set, the first-occurring variable becomes the leader:
+/// its body is replaced by the product automaton of all bodies in the set;
+/// every other member captures a reference to the leader.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/regex_ast.hpp"
+#include "refl/refl_spanner.hpp"
+
+namespace spanners {
+
+/// Performs the translation; returns nullopt when \p regex and
+/// \p selections fall outside the supported fragment (the caller can then
+/// fall back to CoreNormalForm evaluation).
+std::optional<ReflSpanner> CoreToRefl(const Regex& regex,
+                                      const std::vector<std::vector<std::string>>& selections);
+
+}  // namespace spanners

@@ -1,0 +1,139 @@
+#include "refl/ref_deref.hpp"
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+bool IsValidRefWord(const MarkedWord& word, std::size_t num_vars, Semantics semantics) {
+  std::vector<uint8_t> status(num_vars, 0);  // 0 unopened, 1 open, 2 closed
+  for (const Symbol& s : word) {
+    switch (s.kind()) {
+      case SymbolKind::kChar:
+        break;
+      case SymbolKind::kOpen:
+        if (s.variable() >= num_vars || status[s.variable()] != 0) return false;
+        status[s.variable()] = 1;
+        break;
+      case SymbolKind::kClose:
+        if (s.variable() >= num_vars || status[s.variable()] != 1) return false;
+        status[s.variable()] = 2;
+        break;
+      case SymbolKind::kRef:
+        if (s.variable() >= num_vars) return false;
+        if (status[s.variable()] == 1) return false;  // x inside x> ... <x
+        break;
+      case SymbolKind::kEpsilon:
+        return false;
+    }
+  }
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    if (status[v] == 1) return false;
+    if (status[v] == 0 && semantics == Semantics::kFunctional) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Expands the content of every captured variable to a plain string,
+/// resolving references recursively. Returns false on cycles or references
+/// to uncaptured variables.
+bool ExpandContents(const MarkedWord& word, std::size_t num_vars,
+                    std::vector<std::optional<std::string>>* contents) {
+  // Raw content (symbols strictly between markers) per variable.
+  std::vector<std::optional<std::vector<Symbol>>> raw(num_vars);
+  std::vector<bool> open(num_vars, false);
+  std::vector<bool> captured(num_vars, false);
+  std::vector<std::vector<Symbol>> buffers(num_vars);
+  for (const Symbol& s : word) {
+    switch (s.kind()) {
+      case SymbolKind::kOpen:
+        open[s.variable()] = true;
+        buffers[s.variable()].clear();
+        break;
+      case SymbolKind::kClose:
+        open[s.variable()] = false;
+        captured[s.variable()] = true;
+        raw[s.variable()] = buffers[s.variable()];
+        break;
+      case SymbolKind::kChar:
+      case SymbolKind::kRef:
+        for (std::size_t v = 0; v < num_vars; ++v) {
+          if (open[v]) buffers[v].push_back(s);
+        }
+        break;
+      default:
+        return false;
+    }
+  }
+  contents->assign(num_vars, std::nullopt);
+  // Resolve recursively with cycle detection.
+  std::vector<uint8_t> state(num_vars, 0);  // 0 fresh, 1 in progress, 2 done
+  struct Resolver {
+    const std::vector<std::optional<std::vector<Symbol>>>& raw;
+    std::vector<std::optional<std::string>>* contents;
+    std::vector<uint8_t>& state;
+
+    bool Resolve(VariableId v) {
+      if (state[v] == 2) return true;
+      if (state[v] == 1) return false;  // cycle
+      if (!raw[v]) return false;        // never captured
+      state[v] = 1;
+      std::string expanded;
+      for (const Symbol& s : *raw[v]) {
+        if (s.IsChar()) {
+          expanded.push_back(static_cast<char>(s.ch()));
+        } else if (s.IsRef()) {
+          if (!Resolve(s.variable())) return false;
+          expanded += *(*contents)[s.variable()];
+        } else if (s.IsMarker()) {
+          // Markers of other variables inside the content contribute nothing
+          // to the copied factor.
+        } else {
+          return false;
+        }
+      }
+      (*contents)[v] = std::move(expanded);
+      state[v] = 2;
+      return true;
+    }
+  };
+  Resolver resolver{raw, contents, state};
+  for (const Symbol& s : word) {
+    if (s.IsRef() && !resolver.Resolve(s.variable())) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<MarkedWord> Deref(const MarkedWord& word, std::size_t num_vars) {
+  if (!IsValidRefWord(word, num_vars, Semantics::kSchemaless)) return std::nullopt;
+  std::vector<std::optional<std::string>> contents;
+  if (!ExpandContents(word, num_vars, &contents)) return std::nullopt;
+  MarkedWord out;
+  out.reserve(word.size());
+  for (const Symbol& s : word) {
+    if (s.IsRef()) {
+      for (char c : *contents[s.variable()]) {
+        out.push_back(Symbol::Char(static_cast<unsigned char>(c)));
+      }
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::optional<DerefResult> DerefToDocument(const MarkedWord& word, std::size_t num_vars,
+                                           Semantics semantics) {
+  std::optional<MarkedWord> marked = Deref(word, num_vars);
+  if (!marked) return std::nullopt;
+  std::optional<SpanTuple> tuple = ExtractTuple(*marked, num_vars, semantics);
+  if (!tuple) return std::nullopt;
+  return DerefResult{EraseMarkers(*marked), *std::move(tuple)};
+}
+
+}  // namespace spanners

@@ -1,0 +1,39 @@
+/// \file ref_deref.hpp
+/// \brief Ref-words with references and the deref function 𝔡(·) (paper §3.1).
+///
+/// A ref-word extends a subword-marked word by reference symbols x, each
+/// standing for a copy of the factor captured by variable x. The only
+/// syntactic restriction is that x must not occur between x> and <x. The
+/// deref function 𝔡 replaces references by the (recursively dereferenced)
+/// captured content, in dependency order -- see the worked example in the
+/// paper where x must be substituted before y. 𝔡 is undefined for words
+/// with cyclic dependencies or references to never-captured variables.
+#pragma once
+
+#include <optional>
+
+#include "core/ref_word.hpp"
+
+namespace spanners {
+
+/// True iff \p word is a syntactically valid ref-word: markers well-formed
+/// (open before close, each at most once; exactly once under kFunctional)
+/// and no reference to a variable inside that variable's own brackets.
+bool IsValidRefWord(const MarkedWord& word, std::size_t num_vars,
+                    Semantics semantics = Semantics::kSchemaless);
+
+/// 𝔡(word): substitutes every reference x by the dereferenced content of x's
+/// capture. Returns nullopt when the word is invalid, has cyclic
+/// dependencies, or references an uncaptured variable. The result is a
+/// subword-marked word (no references).
+std::optional<MarkedWord> Deref(const MarkedWord& word, std::size_t num_vars);
+
+/// Convenience: the document e(𝔡(word)) and tuple st(𝔡(word)) in one step.
+struct DerefResult {
+  std::string document;
+  SpanTuple tuple;
+};
+std::optional<DerefResult> DerefToDocument(const MarkedWord& word, std::size_t num_vars,
+                                           Semantics semantics = Semantics::kSchemaless);
+
+}  // namespace spanners

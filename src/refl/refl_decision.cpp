@@ -1,0 +1,93 @@
+#include "refl/refl_decision.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+}  // namespace
+
+std::optional<MarkedWord> ReflSatisfiabilityWitness(const ReflSpanner& spanner) {
+  const Nfa& nfa = spanner.nfa();
+  const std::size_t num_vars = spanner.variables().size();
+  if (nfa.num_states() == 0) return std::nullopt;
+  // BFS over (state, config): any accepting pair with no open variable
+  // yields a valid ref-word (references are restricted to closed variables,
+  // which guarantees the dereferencing order exists).
+  struct Visit {
+    StateId state;
+    Config config;
+    std::size_t parent;
+    Symbol symbol;
+  };
+  std::vector<Visit> visits;
+  std::map<std::pair<StateId, Config>, bool> seen;
+  std::deque<std::size_t> queue;
+  visits.push_back({nfa.initial(), 0, SIZE_MAX, Symbol::Epsilon()});
+  seen[{nfa.initial(), 0}] = true;
+  queue.push_back(0);
+  while (!queue.empty()) {
+    const std::size_t current = queue.front();
+    queue.pop_front();
+    const Visit v = visits[current];
+    bool all_closed_or_unopened = true;
+    for (VariableId var = 0; var < num_vars; ++var) {
+      if (StatusOf(v.config, var) == 1) all_closed_or_unopened = false;
+    }
+    if (nfa.IsAccepting(v.state) && all_closed_or_unopened) {
+      MarkedWord word;
+      std::size_t i = current;
+      while (visits[i].parent != SIZE_MAX) {
+        if (!visits[i].symbol.IsEpsilon()) word.push_back(visits[i].symbol);
+        i = visits[i].parent;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (const Transition& t : nfa.TransitionsFrom(v.state)) {
+      Config next = v.config;
+      switch (t.symbol.kind()) {
+        case SymbolKind::kEpsilon:
+        case SymbolKind::kChar:
+          break;
+        case SymbolKind::kOpen:
+          if (StatusOf(v.config, t.symbol.variable()) != 0) continue;
+          next = WithStatus(v.config, t.symbol.variable(), 1);
+          break;
+        case SymbolKind::kClose:
+          if (StatusOf(v.config, t.symbol.variable()) != 1) continue;
+          next = WithStatus(v.config, t.symbol.variable(), 2);
+          break;
+        case SymbolKind::kRef:
+          // Restrict to references of already-closed variables: any word
+          // found this way dereferences successfully.
+          if (StatusOf(v.config, t.symbol.variable()) != 2) continue;
+          break;
+      }
+      if (!seen[{t.to, next}]) {
+        seen[{t.to, next}] = true;
+        visits.push_back({t.to, next, current, t.symbol});
+        queue.push_back(visits.size() - 1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool ReflSatisfiability(const ReflSpanner& spanner) {
+  return ReflSatisfiabilityWitness(spanner).has_value();
+}
+
+}  // namespace spanners

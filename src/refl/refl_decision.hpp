@@ -1,0 +1,30 @@
+/// \file refl_decision.hpp
+/// \brief Static analysis for refl-spanners (paper, Section 3.3).
+///
+/// Satisfiability is polynomial for refl-spanners (it reduces to automaton
+/// emptiness over valid configurations), in contrast to its intractability
+/// for core spanners -- one of the headline payoffs of the refl framework.
+/// NonEmptiness stays NP-hard (refl_eval.hpp); Containment is provided for
+/// the reference-free fragment (where refl-spanners are regular spanners).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/ref_word.hpp"
+#include "refl/refl_spanner.hpp"
+
+namespace spanners {
+
+/// Satisfiability: does some document D have [[L]](D) != {}? Polynomial in
+/// the automaton (exponential only in the fixed number of variables).
+/// Searches for an accepting run spelling a valid ref-word whose references
+/// point at previously captured variables; see DESIGN.md for the
+/// forward-reference caveat.
+bool ReflSatisfiability(const ReflSpanner& spanner);
+
+/// A witness ref-word for satisfiability, if any (useful for debugging
+/// spanner definitions; its deref yields a concrete matching document).
+std::optional<MarkedWord> ReflSatisfiabilityWitness(const ReflSpanner& spanner);
+
+}  // namespace spanners

@@ -1,0 +1,312 @@
+#include "refl/refl_eval.hpp"
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/common.hpp"
+#include "util/string_hash.hpp"
+
+namespace spanners {
+namespace {
+
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+/// Backtracking evaluation of a refl-spanner. Identical skeleton to the
+/// naive regular evaluation, plus reference jumps validated by hashing.
+struct ReflSearch {
+  const Nfa* nfa = nullptr;
+  std::string_view document;
+  std::size_t num_vars = 0;
+  PrefixHash hash;
+  bool stop_on_first = false;
+  bool found_any = false;
+  SpanRelation* out = nullptr;
+
+  std::vector<Position> open_at;
+  SpanTuple partial;
+  std::set<std::tuple<std::size_t, StateId, Config>> on_path;
+  // alive[i * Q + q]: over-approximation of "acceptance reachable from
+  // (q, i)" where reference arcs may jump any distance. Sound pruning only.
+  std::vector<bool> alive;
+  std::size_t num_states = 0;
+
+  void BuildAlive() {
+    num_states = nfa->num_states();
+    const std::size_t n = document.size();
+    alive.assign((n + 1) * num_states, false);
+    // suffix_any[q]: alive at any position >= the one being processed.
+    std::vector<bool> suffix_any(num_states, false);
+    for (std::size_t i = n + 1; i-- > 0;) {
+      std::vector<bool> level(num_states, false);
+      if (i == n) {
+        for (StateId q = 0; q < num_states; ++q) level[q] = nfa->IsAccepting(q);
+      }
+      if (i < n) {
+        const unsigned char c = static_cast<unsigned char>(document[i]);
+        for (StateId q = 0; q < num_states; ++q) {
+          for (const Transition& t : nfa->TransitionsFrom(q)) {
+            if (t.symbol.IsChar() && t.symbol.ch() == c &&
+                alive[(i + 1) * num_states + t.to]) {
+              level[q] = true;
+              break;
+            }
+          }
+        }
+      }
+      // Fixpoint over free moves (epsilon, markers, and reference arcs --
+      // the latter may land at any later position, hence suffix_any).
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (StateId q = 0; q < num_states; ++q) {
+          if (level[q]) continue;
+          for (const Transition& t : nfa->TransitionsFrom(q)) {
+            const bool free_move = t.symbol.IsEpsilon() || t.symbol.IsMarker();
+            const bool ref_move = t.symbol.IsRef();
+            if ((free_move && level[t.to]) ||
+                (ref_move && (level[t.to] || suffix_any[t.to]))) {
+              level[q] = true;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      for (StateId q = 0; q < num_states; ++q) {
+        if (level[q]) {
+          alive[i * num_states + q] = true;
+          suffix_any[q] = true;
+        }
+      }
+    }
+  }
+
+  void Run() {
+    open_at.assign(num_vars, 0);
+    partial = SpanTuple(num_vars);
+    hash = PrefixHash(document);
+    if (nfa->num_states() == 0) return;
+    BuildAlive();
+    if (!alive[0 * num_states + nfa->initial()]) return;
+    Dfs(nfa->initial(), 0, 0);
+  }
+
+  void Dfs(StateId state, std::size_t pos, Config config) {
+    if (stop_on_first && found_any) return;
+    if (!alive[pos * num_states + state]) return;
+    const auto key = std::make_tuple(pos, state, config);
+    if (!on_path.insert(key).second) return;  // free-move cycle
+    if (pos == document.size() && nfa->IsAccepting(state)) {
+      bool complete = true;
+      for (VariableId v = 0; v < num_vars; ++v) {
+        if (StatusOf(config, v) == 1) complete = false;
+      }
+      if (complete) {
+        found_any = true;
+        if (out != nullptr) out->insert(partial);
+      }
+    }
+    for (const Transition& t : nfa->TransitionsFrom(state)) {
+      if (stop_on_first && found_any) break;
+      switch (t.symbol.kind()) {
+        case SymbolKind::kEpsilon:
+          Dfs(t.to, pos, config);
+          break;
+        case SymbolKind::kChar:
+          if (pos < document.size() &&
+              t.symbol.ch() == static_cast<unsigned char>(document[pos])) {
+            Dfs(t.to, pos + 1, config);
+          }
+          break;
+        case SymbolKind::kOpen: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 0) break;
+          const Position saved = open_at[v];
+          open_at[v] = static_cast<Position>(pos + 1);
+          Dfs(t.to, pos, WithStatus(config, v, 1));
+          open_at[v] = saved;
+          break;
+        }
+        case SymbolKind::kClose: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 1) break;
+          const std::optional<Span> saved = partial[v];
+          partial[v] = Span(open_at[v], static_cast<Position>(pos + 1));
+          Dfs(t.to, pos, WithStatus(config, v, 2));
+          partial[v] = saved;
+          break;
+        }
+        case SymbolKind::kRef: {
+          const VariableId v = t.symbol.variable();
+          // Only references to variables already captured on this run are
+          // matched here; a path that references v earlier is skipped (the
+          // word it would spell is found through no run -- documented
+          // restriction of Evaluate, not of ModelCheck).
+          if (StatusOf(config, v) != 2) break;
+          const Span span = *partial[v];
+          const std::size_t len = span.length();
+          if (pos + len > document.size()) break;
+          if (!hash.FactorsEqual(pos, span.begin - 1, len)) break;
+          Dfs(t.to, pos + len, config);
+          break;
+        }
+      }
+    }
+    on_path.erase(key);
+  }
+};
+
+}  // namespace
+
+SpanRelation EvaluateRefl(const ReflSpanner& spanner, std::string_view document) {
+  SpanRelation relation;
+  ReflSearch search;
+  search.nfa = &spanner.nfa();
+  search.document = document;
+  search.num_vars = spanner.variables().size();
+  search.out = &relation;
+  search.Run();
+  return relation;
+}
+
+bool ReflNonEmptiness(const ReflSpanner& spanner, std::string_view document) {
+  ReflSearch search;
+  search.nfa = &spanner.nfa();
+  search.document = document;
+  search.num_vars = spanner.variables().size();
+  search.stop_on_first = true;
+  search.Run();
+  return search.found_any;
+}
+
+bool ReflModelCheck(const ReflSpanner& spanner, std::string_view document,
+                    const SpanTuple& tuple) {
+  const Nfa& nfa = spanner.nfa();
+  const std::size_t num_vars = spanner.variables().size();
+  const std::size_t n = document.size();
+  if (nfa.num_states() == 0) return false;
+
+  // Preprocessing: prefix hashes, the marker set of every gap, and a prefix
+  // count of marked gaps for O(1) "no markers strictly inside" queries.
+  const PrefixHash hash(document);
+  std::vector<MarkerSet> gap_markers(n + 1, 0);
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    if (!tuple[v]) continue;
+    if (tuple[v]->begin == 0 || tuple[v]->end > n + 1) return false;
+    gap_markers[tuple[v]->begin - 1] |= OpenMarker(static_cast<VariableId>(v));
+    gap_markers[tuple[v]->end - 1] |= CloseMarker(static_cast<VariableId>(v));
+  }
+  std::vector<std::size_t> marked_prefix(n + 2, 0);
+  for (std::size_t g = 0; g <= n; ++g) {
+    marked_prefix[g + 1] = marked_prefix[g] + (gap_markers[g] != 0 ? 1 : 0);
+  }
+  auto markers_strictly_inside = [&](std::size_t gap_lo, std::size_t gap_hi) {
+    // Any marked gap g with gap_lo < g < gap_hi?
+    if (gap_hi <= gap_lo + 1) return false;
+    return marked_prefix[gap_hi] - marked_prefix[gap_lo + 1] > 0;
+  };
+
+  // Is variable v "open" at gap g given which of this gap's markers already
+  // fired (fired = gap_markers[g] & ~remaining)?
+  auto variable_open = [&](VariableId v, std::size_t g, MarkerSet fired) {
+    if (!tuple[v]) return false;
+    const std::size_t open_gap = tuple[v]->begin - 1;
+    const std::size_t close_gap = tuple[v]->end - 1;
+    const bool opened = open_gap < g || (open_gap == g && (fired & OpenMarker(v)) != 0);
+    const bool closed = close_gap < g || (close_gap == g && (fired & CloseMarker(v)) != 0);
+    return opened && !closed;
+  };
+
+  const std::size_t num_states = nfa.num_states();
+  // frontier[g]: states at gap g before firing its markers.
+  std::vector<std::vector<bool>> frontier(n + 2, std::vector<bool>(num_states, false));
+  frontier[0][nfa.initial()] = true;
+
+  for (std::size_t g = 0; g <= n; ++g) {
+    // Fire this gap's markers (in any interleaving with epsilon moves and
+    // zero-length references): BFS over (state, remaining-markers).
+    const MarkerSet full = gap_markers[g];
+    std::set<std::pair<StateId, MarkerSet>> seen;
+    std::vector<std::pair<StateId, MarkerSet>> stack;
+    for (StateId s = 0; s < num_states; ++s) {
+      if (frontier[g][s] && seen.insert({s, full}).second) stack.push_back({s, full});
+    }
+    std::vector<bool> after(num_states, false);  // states with remaining == 0
+    while (!stack.empty()) {
+      const auto [s, remaining] = stack.back();
+      stack.pop_back();
+      const MarkerSet fired = full & ~remaining;
+      if (remaining == 0) after[s] = true;
+      for (const Transition& t : nfa.TransitionsFrom(s)) {
+        switch (t.symbol.kind()) {
+          case SymbolKind::kEpsilon:
+            if (seen.insert({t.to, remaining}).second) stack.push_back({t.to, remaining});
+            break;
+          case SymbolKind::kOpen:
+          case SymbolKind::kClose: {
+            const MarkerSet bit = t.symbol.marker_bit();
+            if ((remaining & bit) == 0) break;  // not this gap's marker (or done)
+            // For an empty span both markers share the gap: keep the valid
+            // order "open before close".
+            if (t.symbol.kind() == SymbolKind::kClose &&
+                (remaining & OpenMarker(t.symbol.variable())) != 0) {
+              break;
+            }
+            if (seen.insert({t.to, remaining & ~bit}).second) {
+              stack.push_back({t.to, remaining & ~bit});
+            }
+            break;
+          }
+          case SymbolKind::kRef: {
+            const VariableId v = t.symbol.variable();
+            if (!tuple[v]) break;  // reference to an undefined variable
+            if (tuple[v]->length() != 0) break;  // handled as a jump below
+            if (variable_open(v, g, fired)) break;  // x inside x> ... <x
+            if (seen.insert({t.to, remaining}).second) stack.push_back({t.to, remaining});
+            break;
+          }
+          case SymbolKind::kChar:
+            break;
+        }
+      }
+    }
+    if (g == n) {
+      for (StateId s = 0; s < num_states; ++s) {
+        if (after[s] && nfa.IsAccepting(s)) return true;
+      }
+      return false;
+    }
+    // Consume one character or take a reference jump from the post-marker
+    // states.
+    for (StateId s = 0; s < num_states; ++s) {
+      if (!after[s]) continue;
+      for (const Transition& t : nfa.TransitionsFrom(s)) {
+        if (t.symbol.IsChar()) {
+          if (t.symbol.ch() == static_cast<unsigned char>(document[g])) {
+            frontier[g + 1][t.to] = true;
+          }
+        } else if (t.symbol.IsRef()) {
+          const VariableId v = t.symbol.variable();
+          if (!tuple[v]) continue;
+          const std::size_t len = tuple[v]->length();
+          if (len == 0) continue;  // zero-length refs handled in the BFS
+          if (variable_open(v, g, full)) continue;  // inside its own capture
+          if (g + len > n) continue;
+          if (markers_strictly_inside(g, g + len)) continue;
+          if (!hash.FactorsEqual(g, tuple[v]->begin - 1, len)) continue;
+          frontier[g + len][t.to] = true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace spanners

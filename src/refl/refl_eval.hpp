@@ -1,0 +1,31 @@
+/// \file refl_eval.hpp
+/// \brief Evaluation and model checking for refl-spanners (paper §3.3).
+///
+/// ReflModelCheck implements the paper's linear-time algorithm: the tuple t
+/// fixes the factor w_x of every reference, so reference arcs become jumps
+/// "read w_x here", verified in O(1) by prefix hashing after an O(|D|)
+/// preprocessing pass. EvaluateRefl enumerates the full span relation by
+/// depth-first search; it supports references to variables already captured
+/// on the run (paths that reference a variable before its capture closes are
+/// skipped -- see DESIGN.md), and is worst-case exponential, matching the
+/// NP-hardness of refl NonEmptiness.
+#pragma once
+
+#include <string_view>
+
+#include "core/span.hpp"
+#include "refl/refl_spanner.hpp"
+
+namespace spanners {
+
+/// Full evaluation [[L]](D) by backtracking search.
+SpanRelation EvaluateRefl(const ReflSpanner& spanner, std::string_view document);
+
+/// Linear-time ModelChecking: t in [[L]](D)?
+bool ReflModelCheck(const ReflSpanner& spanner, std::string_view document,
+                    const SpanTuple& tuple);
+
+/// NonEmptiness with early exit (NP-hard in general).
+bool ReflNonEmptiness(const ReflSpanner& spanner, std::string_view document);
+
+}  // namespace spanners

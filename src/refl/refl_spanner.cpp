@@ -1,0 +1,66 @@
+#include "refl/refl_spanner.hpp"
+
+#include "automata/nfa_ops.hpp"
+#include "automata/thompson.hpp"
+#include "core/regex_parser.hpp"
+#include "refl/refl_eval.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+ReflSpanner ReflSpanner::FromRegex(const Regex& regex) {
+  // Epsilon elimination keeps the backtracking evaluation from enumerating
+  // exponentially many distinct epsilon paths through Thompson fragments.
+  return ReflSpanner(RemoveEpsilon(ThompsonConstruct(regex)).Trimmed(), regex.variables());
+}
+
+ReflSpanner ReflSpanner::Compile(std::string_view pattern) {
+  return FromRegex(MustParse(pattern));
+}
+
+bool ReflSpanner::IsReferenceFree() const {
+  for (StateId s = 0; s < nfa_.num_states(); ++s) {
+    for (const Transition& t : nfa_.TransitionsFrom(s)) {
+      if (t.symbol.IsRef()) return false;
+    }
+  }
+  return true;
+}
+
+bool ReflSpanner::IsReferenceBounded() const {
+  // A reference is unbounded iff some useful ref-transition lies on a cycle.
+  // The automaton is trimmed, so every state is useful.
+  const std::size_t n = nfa_.num_states();
+  // reach[s]: states reachable from s.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (StateId s = 0; s < n; ++s) {
+    std::vector<StateId> stack{s};
+    reach[s][s] = true;
+    while (!stack.empty()) {
+      const StateId u = stack.back();
+      stack.pop_back();
+      for (const Transition& t : nfa_.TransitionsFrom(u)) {
+        if (!reach[s][t.to]) {
+          reach[s][t.to] = true;
+          stack.push_back(t.to);
+        }
+      }
+    }
+  }
+  for (StateId s = 0; s < n; ++s) {
+    for (const Transition& t : nfa_.TransitionsFrom(s)) {
+      if (t.symbol.IsRef() && reach[t.to][s]) return false;
+    }
+  }
+  return true;
+}
+
+SpanRelation ReflSpanner::Evaluate(std::string_view document) const {
+  return EvaluateRefl(*this, document);
+}
+
+bool ReflSpanner::ModelCheck(std::string_view document, const SpanTuple& tuple) const {
+  return ReflModelCheck(*this, document, tuple);
+}
+
+}  // namespace spanners

@@ -1,0 +1,66 @@
+/// \file refl_spanner.hpp
+/// \brief Refl-spanners: spanners defined by regular ref-languages (§3).
+///
+/// A refl-spanner is given by an NFA over Sigma ∪ markers ∪ references
+/// accepting a ref-language L; its semantics is
+///     [[L]](D) = { st(𝔡(w)) : w in L, e(𝔡(w)) = D }.
+/// Refl-spanners sit strictly between regular and core spanners: they
+/// express string-equality through the *regular* reference mechanism, so
+/// they remain "fully described by automata" -- which is what makes
+/// ModelChecking linear and Satisfiability polynomial (Section 3.3), while
+/// NonEmptiness stays NP-hard.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "automata/nfa.hpp"
+#include "core/regex_ast.hpp"
+#include "core/span.hpp"
+
+namespace spanners {
+
+/// A compiled refl-spanner.
+class ReflSpanner {
+ public:
+  ReflSpanner() = default;
+  ReflSpanner(Nfa nfa, VariableSet variables)
+      : nfa_(std::move(nfa)), variables_(std::move(variables)) {}
+
+  /// Compiles a refl-regex (captures "{x: ...}" and references "&x;").
+  static ReflSpanner FromRegex(const Regex& regex);
+
+  /// Parse-and-compile; aborts on syntax errors.
+  static ReflSpanner Compile(std::string_view pattern);
+
+  const Nfa& nfa() const { return nfa_; }
+  const VariableSet& variables() const { return variables_; }
+
+  /// True iff the underlying ref-language never uses references, i.e. the
+  /// refl-spanner is a plain regular spanner.
+  bool IsReferenceFree() const;
+
+  /// Reference-boundedness (paper, Section 3.2): is there a bound k with at
+  /// most k occurrences of each reference on every accepted word? Unbounded
+  /// references (e.g. (a+x)* ) make the spanner provably non-core.
+  bool IsReferenceBounded() const;
+
+  /// Evaluation [[L]](D). Supports references to variables captured earlier
+  /// on the run (the forward-reference pattern "x ... x> ... <x" is rejected
+  /// with a fatal error -- see DESIGN.md). Worst-case exponential, as
+  /// NonEmptiness for refl-spanners is NP-hard.
+  SpanRelation Evaluate(std::string_view document) const;
+
+  /// ModelChecking in O(|document|) data complexity via prefix hashing
+  /// (paper, Section 3.3): references anywhere are supported because the
+  /// tuple fixes every factor up front.
+  bool ModelCheck(std::string_view document, const SpanTuple& tuple) const;
+
+  std::string ToString() const { return nfa_.ToString(&variables_); }
+
+ private:
+  Nfa nfa_;
+  VariableSet variables_;
+};
+
+}  // namespace spanners

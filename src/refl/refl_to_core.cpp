@@ -1,0 +1,165 @@
+#include "refl/refl_to_core.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/vset_automaton.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+namespace {
+
+using Config = uint64_t;
+
+uint8_t StatusOf(Config config, VariableId v) { return (config >> (2 * v)) & 3; }
+
+Config WithStatus(Config config, VariableId v, uint8_t status) {
+  return (config & ~(Config{3} << (2 * v))) | (Config{status} << (2 * v));
+}
+
+/// Product of \p nfa with the marker-validity automaton: runs with invalid
+/// marker usage are pruned, and reference arcs survive only where their
+/// variable is already closed -- exactly the runs EvaluateRefl explores.
+/// This makes the subsequent selection-based translation exact under the
+/// schemaless semantics (a surviving fresh capture implies its source
+/// variable is defined).
+Nfa ConfigProduct(const Nfa& nfa, std::size_t num_vars) {
+  Nfa out;
+  if (nfa.num_states() == 0) {
+    out.SetInitial(out.AddState());
+    return out;
+  }
+  std::map<std::pair<StateId, Config>, StateId> index;
+  std::vector<std::pair<StateId, Config>> worklist;
+  auto state_of = [&](StateId s, Config c) {
+    auto [it, inserted] = index.try_emplace({s, c}, 0);
+    if (inserted) {
+      bool no_open = true;
+      for (VariableId v = 0; v < num_vars; ++v) {
+        if (StatusOf(c, v) == 1) no_open = false;
+      }
+      it->second = out.AddState();
+      out.SetAccepting(it->second, nfa.IsAccepting(s) && no_open);
+      worklist.push_back({s, c});
+    }
+    return it->second;
+  };
+  out.SetInitial(state_of(nfa.initial(), 0));
+  for (std::size_t next = 0; next < worklist.size(); ++next) {
+    const auto [s, config] = worklist[next];
+    const StateId from = index.at({s, config});
+    for (const Transition& t : nfa.TransitionsFrom(s)) {
+      switch (t.symbol.kind()) {
+        case SymbolKind::kEpsilon:
+        case SymbolKind::kChar:
+          out.AddTransition(from, t.symbol, state_of(t.to, config));
+          break;
+        case SymbolKind::kOpen: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 0) break;
+          out.AddTransition(from, t.symbol, state_of(t.to, WithStatus(config, v, 1)));
+          break;
+        }
+        case SymbolKind::kClose: {
+          const VariableId v = t.symbol.variable();
+          if (StatusOf(config, v) != 1) break;
+          out.AddTransition(from, t.symbol, state_of(t.to, WithStatus(config, v, 2)));
+          break;
+        }
+        case SymbolKind::kRef: {
+          if (StatusOf(config, t.symbol.variable()) != 2) break;
+          out.AddTransition(from, t.symbol, state_of(t.to, config));
+          break;
+        }
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+}  // namespace
+
+std::optional<CoreNormalForm> ReflToCore(const ReflSpanner& spanner) {
+  if (!spanner.IsReferenceBounded()) return std::nullopt;
+  const Nfa source = ConfigProduct(spanner.nfa(), spanner.variables().size());
+  VariableSet variables = spanner.variables();
+  const std::vector<std::string> output = variables.names();
+
+  // Character alphabet for the fresh Σ* captures: the letters the automaton
+  // can produce (a reference copies a factor matched by its capture, so its
+  // letters are a subset of these).
+  std::vector<unsigned char> chars;
+  for (const Symbol& s : source.Alphabet()) {
+    if (s.IsChar()) chars.push_back(s.ch());
+  }
+
+  Nfa nfa;
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    const StateId n = nfa.AddState();
+    nfa.SetAccepting(n, source.IsAccepting(s));
+  }
+  nfa.SetInitial(source.initial());
+
+  // selections[x] collects x plus the fresh variable of each x-reference.
+  std::vector<std::vector<std::string>> selections(spanner.variables().size());
+  int fresh_counter = 0;
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    for (const Transition& t : source.TransitionsFrom(s)) {
+      if (!t.symbol.IsRef()) {
+        nfa.AddTransition(s, t.symbol, t.to);
+        continue;
+      }
+      const VariableId x = t.symbol.variable();
+      const std::string fresh_name =
+          "~ref_" + spanner.variables().Name(x) + "_" + std::to_string(fresh_counter++);
+      const VariableId fresh = variables.Intern(fresh_name);
+      if (selections[x].empty()) selections[x].push_back(spanner.variables().Name(x));
+      selections[x].push_back(fresh_name);
+      // Replace the reference arc by  open(fresh) -> Σ* loop -> close(fresh).
+      const StateId loop = nfa.AddState();
+      nfa.AddTransition(s, Symbol::Open(fresh), loop);
+      for (unsigned char c : chars) nfa.AddTransition(loop, Symbol::Char(c), loop);
+      nfa.AddTransition(loop, Symbol::Close(fresh), t.to);
+    }
+  }
+
+  CoreNormalForm normal;
+  normal.automaton = RegularSpanner::FromAutomaton(VsetAutomaton(std::move(nfa), variables));
+  for (auto& selection : selections) {
+    if (selection.size() >= 2) normal.selections.push_back(std::move(selection));
+  }
+  normal.output = output;
+  return normal;
+}
+
+SpanTuple FuseColumns(const SpanTuple& tuple,
+                      const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<bool> grouped(tuple.arity(), false);
+  for (const auto& group : groups) {
+    for (std::size_t v : group) {
+      Require(v < tuple.arity(), "FuseColumns: column out of range");
+      grouped[v] = true;
+    }
+  }
+  std::vector<std::optional<Span>> out;
+  for (const auto& group : groups) {
+    std::optional<Span> fused;
+    for (std::size_t v : group) {
+      if (!tuple[v]) continue;
+      if (!fused) {
+        fused = tuple[v];
+      } else {
+        fused = Span(std::min(fused->begin, tuple[v]->begin),
+                     std::max(fused->end, tuple[v]->end));
+      }
+    }
+    out.push_back(fused);
+  }
+  for (std::size_t v = 0; v < tuple.arity(); ++v) {
+    if (!grouped[v]) out.push_back(tuple[v]);
+  }
+  return SpanTuple(std::move(out));
+}
+
+}  // namespace spanners

@@ -1,0 +1,35 @@
+/// \file refl_to_core.hpp
+/// \brief Translation of reference-bounded refl-spanners into core spanners
+/// (paper, Section 3.2).
+///
+/// Every reference-bounded refl-spanner is a core spanner: replace each
+/// reference occurrence x by a fresh capture y>Σ*<y and add the
+/// string-equality selection ς=_{x, y_1, ..., y_m}. Unbounded references
+/// (a reference transition on a cycle) describe spanners that provably are
+/// *not* core spanners ([9, Theorem 6.1] via the example
+/// a+ x>b+<x (a+ x)* a+), so the translation refuses them.
+#pragma once
+
+#include <optional>
+
+#include "core/core_simplification.hpp"
+#include "refl/refl_spanner.hpp"
+
+namespace spanners {
+
+/// Translates \p spanner into an equivalent core spanner in normal form.
+/// Returns nullopt when the spanner is not reference-bounded. The output
+/// columns are exactly the refl-spanner's variables; the fresh reference
+/// variables stay hidden behind the final projection.
+std::optional<CoreNormalForm> ReflToCore(const ReflSpanner& spanner);
+
+/// Column fusion |+|_{lambda -> x} of Section 3.2: replaces the columns in
+/// \p group (variable ids) by one column spanning from the minimum left
+/// bound to the maximum right bound of the group's defined spans (undefined
+/// if none is defined). Groups are applied left to right; ungrouped columns
+/// keep their order. The utility behind the "core = fused refl" theorem of
+/// [38].
+SpanTuple FuseColumns(const SpanTuple& tuple,
+                      const std::vector<std::vector<std::size_t>>& groups);
+
+}  // namespace spanners

@@ -1,0 +1,127 @@
+#include "slp/avl_grammar.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace {
+
+uint32_t Height(const Slp& slp, NodeId n) { return n == kNoNode ? 0 : slp.Order(n); }
+
+/// rotateLeft(Node(a, Node(b, c))) = Node(Node(a, b), c); sequence order is
+/// preserved, only the tree shape changes.
+NodeId RotateLeftPair(Slp& slp, NodeId a, NodeId bc) {
+  return slp.Pair(slp.Pair(a, slp.Left(bc)), slp.Right(bc));
+}
+
+/// rotateRight(Node(Node(a, b), c)) = Node(a, Node(b, c)).
+NodeId RotateRightPair(Slp& slp, NodeId ab, NodeId c) {
+  return slp.Pair(slp.Left(ab), slp.Pair(slp.Right(ab), c));
+}
+
+NodeId JoinRight(Slp& slp, NodeId tl, NodeId tr);
+NodeId JoinLeft(Slp& slp, NodeId tl, NodeId tr);
+
+/// The "just join" scheme for AVL trees, keyless / sequence version:
+/// O(|ord(a) - ord(b)|) new nodes.
+NodeId Join(Slp& slp, NodeId a, NodeId b) {
+  if (a == kNoNode) return b;
+  if (b == kNoNode) return a;
+  const int ha = static_cast<int>(Height(slp, a));
+  const int hb = static_cast<int>(Height(slp, b));
+  if (ha > hb + 1) return JoinRight(slp, a, b);
+  if (hb > ha + 1) return JoinLeft(slp, a, b);
+  return slp.Pair(a, b);
+}
+
+NodeId JoinRight(Slp& slp, NodeId tl, NodeId tr) {
+  // Precondition: ord(tl) > ord(tr) + 1, hence tl is an inner node.
+  const NodeId l = slp.Left(tl);
+  const NodeId c = slp.Right(tl);
+  if (Height(slp, c) <= Height(slp, tr) + 1) {
+    const NodeId t = slp.Pair(c, tr);
+    if (Height(slp, t) <= Height(slp, l) + 1) return slp.Pair(l, t);
+    // Double rotation: rotateLeft(Node(l, rotateRight(t))).
+    const NodeId rotated = RotateRightPair(slp, slp.Left(t), slp.Right(t));
+    return RotateLeftPair(slp, l, rotated);
+  }
+  const NodeId t = JoinRight(slp, c, tr);
+  if (Height(slp, t) <= Height(slp, l) + 1) return slp.Pair(l, t);
+  return RotateLeftPair(slp, l, t);
+}
+
+NodeId JoinLeft(Slp& slp, NodeId tl, NodeId tr) {
+  // Precondition: ord(tr) > ord(tl) + 1, hence tr is an inner node.
+  const NodeId c = slp.Left(tr);
+  const NodeId r = slp.Right(tr);
+  if (Height(slp, c) <= Height(slp, tl) + 1) {
+    const NodeId t = slp.Pair(tl, c);
+    if (Height(slp, t) <= Height(slp, r) + 1) return slp.Pair(t, r);
+    const NodeId rotated = RotateLeftPair(slp, slp.Left(t), slp.Right(t));
+    return RotateRightPair(slp, rotated, r);
+  }
+  const NodeId t = JoinLeft(slp, tl, c);
+  if (Height(slp, t) <= Height(slp, r) + 1) return slp.Pair(t, r);
+  return RotateRightPair(slp, t, r);
+}
+
+}  // namespace
+
+NodeId AvlConcat(Slp& slp, NodeId a, NodeId b) { return Join(slp, a, b); }
+
+SplitResult AvlSplit(Slp& slp, NodeId node, uint64_t position) {
+  if (node == kNoNode || position == 0) return {kNoNode, node};
+  const uint64_t length = slp.Length(node);
+  Require(position <= length, "AvlSplit: position out of range");
+  if (position == length) return {node, kNoNode};
+  // node is inner (a terminal has length 1, handled above).
+  const NodeId left = slp.Left(node);
+  const NodeId right = slp.Right(node);
+  const uint64_t left_length = slp.Length(left);
+  if (position < left_length) {
+    const SplitResult inner = AvlSplit(slp, left, position);
+    return {inner.prefix, Join(slp, inner.suffix, right)};
+  }
+  if (position > left_length) {
+    const SplitResult inner = AvlSplit(slp, right, position - left_length);
+    return {Join(slp, left, inner.prefix), inner.suffix};
+  }
+  return {left, right};
+}
+
+NodeId AvlExtract(Slp& slp, NodeId node, uint64_t position, uint64_t count) {
+  if (count == 0) return kNoNode;
+  const SplitResult right_cut = AvlSplit(slp, node, position + count);
+  const SplitResult left_cut = AvlSplit(slp, right_cut.prefix, position);
+  return left_cut.suffix;
+}
+
+NodeId Rebalance(Slp& slp, NodeId node) {
+  std::unordered_map<NodeId, NodeId> memo;
+  struct Rec {
+    Slp& slp;
+    std::unordered_map<NodeId, NodeId>& memo;
+    NodeId Go(NodeId n) {
+      if (slp.IsTerminal(n)) return n;
+      auto it = memo.find(n);
+      if (it != memo.end()) return it->second;
+      const NodeId balanced = Join(slp, Go(slp.Left(n)), Go(slp.Right(n)));
+      memo[n] = balanced;
+      return balanced;
+    }
+  };
+  Rec rec{slp, memo};
+  return rec.Go(node);
+}
+
+NodeId BalancedFromString(Slp& slp, std::string_view text) {
+  if (text.empty()) return kNoNode;
+  if (text.size() == 1) return slp.Terminal(static_cast<unsigned char>(text[0]));
+  const std::size_t mid = text.size() / 2;
+  return slp.Pair(BalancedFromString(slp, text.substr(0, mid)),
+                  BalancedFromString(slp, text.substr(mid)));
+}
+
+}  // namespace spanners

@@ -1,0 +1,46 @@
+/// \file avl_grammar.hpp
+/// \brief AVL-grammar operations: strongly balanced concat / split / extract
+/// (paper, Sections 4.1 and 4.3; Rytter [36]).
+///
+/// Treating strongly balanced SLP nodes like immutable AVL trees gives:
+///  * AvlConcat(a, b): a strongly balanced node deriving 𝔇(a)𝔇(b), creating
+///    O(|ord(a) - ord(b)|) new nodes (rotations along one spine);
+///  * AvlSplit / AvlExtract: strongly balanced nodes for prefixes, suffixes
+///    and factors in O(ord^2) new nodes;
+///  * Rebalance: a strongly balanced equivalent of an arbitrary SLP in
+///    O(|S| * ord) -- the [36]-style substitute for the linear-time
+///    balancing theorem of [18] (see DESIGN.md, substitutions).
+/// These are exactly the primitives behind complex document editing
+/// (Section 4.3). All operations are persistent: existing nodes are never
+/// modified, so documents sharing structure remain valid.
+#pragma once
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// Concatenation; kNoNode acts as the empty document. If both operands are
+/// strongly balanced, so is the result.
+NodeId AvlConcat(Slp& slp, NodeId a, NodeId b);
+
+/// Splits 𝔇(node) into the prefix of length \p position and the rest.
+/// Either part may be kNoNode (empty). Both parts are strongly balanced if
+/// the input is.
+struct SplitResult {
+  NodeId prefix;
+  NodeId suffix;
+};
+SplitResult AvlSplit(Slp& slp, NodeId node, uint64_t position);
+
+/// The factor 𝔇(node)[position, position+count) as a strongly balanced
+/// node; kNoNode when count == 0.
+NodeId AvlExtract(Slp& slp, NodeId node, uint64_t position, uint64_t count);
+
+/// A strongly balanced node deriving the same document as \p node.
+/// O(reachable(node) * ord(node)) time; shared subtrees are rebalanced once.
+NodeId Rebalance(Slp& slp, NodeId node);
+
+/// Builds a strongly balanced node for a plain string (AVL fold).
+NodeId BalancedFromString(Slp& slp, std::string_view text);
+
+}  // namespace spanners

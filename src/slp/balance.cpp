@@ -1,0 +1,56 @@
+#include "slp/balance.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace spanners {
+
+bool IsBalancedNode(const Slp& slp, NodeId node) {
+  const int balance = slp.Balance(node);
+  return balance >= -1 && balance <= 1;
+}
+
+bool IsStronglyBalanced(const Slp& slp, NodeId node) {
+  std::unordered_map<NodeId, bool> memo;
+  struct Rec {
+    const Slp& slp;
+    std::unordered_map<NodeId, bool>& memo;
+    bool Check(NodeId n) {
+      if (slp.IsTerminal(n)) return true;
+      auto it = memo.find(n);
+      if (it != memo.end()) return it->second;
+      const bool ok =
+          IsBalancedNode(slp, n) && Check(slp.Left(n)) && Check(slp.Right(n));
+      memo[n] = ok;
+      return ok;
+    }
+  };
+  Rec rec{slp, memo};
+  return rec.Check(node);
+}
+
+bool IsShallow(const Slp& slp, NodeId node, double c) {
+  if (slp.IsTerminal(node)) return true;
+  const double bound = c * std::log2(static_cast<double>(slp.Length(node)));
+  return static_cast<double>(slp.Order(node)) <= bound + 1.0;
+}
+
+uint32_t LongestPathToLeaf(const Slp& slp, NodeId node) {
+  std::unordered_map<NodeId, uint32_t> memo;
+  struct Rec {
+    const Slp& slp;
+    std::unordered_map<NodeId, uint32_t>& memo;
+    uint32_t Depth(NodeId n) {
+      if (slp.IsTerminal(n)) return 0;
+      auto it = memo.find(n);
+      if (it != memo.end()) return it->second;
+      const uint32_t depth = 1 + std::max(Depth(slp.Left(n)), Depth(slp.Right(n)));
+      memo[n] = depth;
+      return depth;
+    }
+  };
+  Rec rec{slp, memo};
+  return rec.Depth(node);
+}
+
+}  // namespace spanners

@@ -1,0 +1,29 @@
+/// \file balance.hpp
+/// \brief Balancedness notions for SLPs (paper, Section 4.1).
+///
+/// A node A is c-shallow when ord(A) <= c * log2 |𝔇(A)|; A is balanced when
+/// bal(A) = ord(left) - ord(right) lies in {-1, 0, 1}, and strongly balanced
+/// when A and all descendants are balanced. Strongly balanced SLPs are
+/// 2-shallow, and every directed path from a strongly balanced node to a
+/// leaf has length between 0.5*log2 |𝔇(A)| and 2*log2 |𝔇(A)| -- the facts
+/// the enumeration delay and update bounds of [39, 40] rest on.
+#pragma once
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// bal(node) in {-1, 0, 1}?
+bool IsBalancedNode(const Slp& slp, NodeId node);
+
+/// node and all descendants balanced?
+bool IsStronglyBalanced(const Slp& slp, NodeId node);
+
+/// ord(node) <= c * log2(|𝔇(node)|), with sinks trivially shallow.
+bool IsShallow(const Slp& slp, NodeId node, double c);
+
+/// Length of the longest root-to-leaf path from \p node (== ord(node) - 1);
+/// computed independently for cross-checking the maintained orders.
+uint32_t LongestPathToLeaf(const Slp& slp, NodeId node);
+
+}  // namespace spanners

@@ -1,0 +1,245 @@
+#include "slp/cde.hpp"
+
+#include <cctype>
+
+#include "slp/avl_grammar.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+std::size_t CdeExpr::size() const {
+  std::size_t total = 1;
+  for (const auto& child : children) total += child->size();
+  return total;
+}
+
+namespace {
+
+class CdeParser {
+ public:
+  explicit CdeParser(std::string_view input) : input_(input) {}
+
+  CdeParseResult Run() {
+    std::unique_ptr<CdeExpr> expr = ParseExpr();
+    SkipSpaces();
+    if (!error_.empty()) return {nullptr, error_};
+    if (pos_ != input_.size()) return {nullptr, "trailing input in CDE expression"};
+    return {std::move(expr), ""};
+  }
+
+ private:
+  void SkipSpaces() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) error_ = message + " at offset " + std::to_string(pos_);
+  }
+
+  bool Consume(char c) {
+    SkipSpaces();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  uint64_t ParseNumber() {
+    SkipSpaces();
+    uint64_t value = 0;
+    bool any = false;
+    while (pos_ < input_.size() && std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(input_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) Fail("expected a number");
+    return value;
+  }
+
+  std::string ParseWord() {
+    SkipSpaces();
+    std::string word;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) || input_[pos_] == '_')) {
+      word.push_back(input_[pos_++]);
+    }
+    return word;
+  }
+
+  std::unique_ptr<CdeExpr> ParseExpr() {
+    const std::string word = ParseWord();
+    if (word.empty()) {
+      Fail("expected an operation or document name");
+      return nullptr;
+    }
+    auto expr = std::make_unique<CdeExpr>();
+    const bool is_keyword = word == "concat" || word == "extract" || word == "delete" ||
+                            word == "insert" || word == "copy";
+    if (!is_keyword && (word[0] == 'D' || word[0] == 'd')) {
+      expr->op = CdeOp::kDocument;
+      uint64_t index = 0;
+      for (std::size_t i = 1; i < word.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
+          Fail("bad document name '" + word + "'");
+          return nullptr;
+        }
+        index = index * 10 + static_cast<uint64_t>(word[i] - '0');
+      }
+      if (word.size() < 2 || index == 0) {
+        Fail("document names are D1, D2, ...");
+        return nullptr;
+      }
+      expr->document_index = index - 1;
+      return expr;
+    }
+    if (word == "concat") {
+      expr->op = CdeOp::kConcat;
+      Consume('(');
+      expr->children.push_back(ParseExpr());
+      Consume(',');
+      expr->children.push_back(ParseExpr());
+      Consume(')');
+    } else if (word == "extract" || word == "delete") {
+      expr->op = word == "extract" ? CdeOp::kExtract : CdeOp::kDelete;
+      Consume('(');
+      expr->children.push_back(ParseExpr());
+      Consume(',');
+      expr->i = ParseNumber();
+      Consume(',');
+      expr->j = ParseNumber();
+      Consume(')');
+    } else if (word == "insert") {
+      expr->op = CdeOp::kInsert;
+      Consume('(');
+      expr->children.push_back(ParseExpr());
+      Consume(',');
+      expr->children.push_back(ParseExpr());
+      Consume(',');
+      expr->k = ParseNumber();
+      Consume(')');
+    } else if (word == "copy") {
+      expr->op = CdeOp::kCopy;
+      Consume('(');
+      expr->children.push_back(ParseExpr());
+      Consume(',');
+      expr->i = ParseNumber();
+      Consume(',');
+      expr->j = ParseNumber();
+      Consume(',');
+      expr->k = ParseNumber();
+      Consume(')');
+    } else {
+      Fail("unknown operation '" + word + "'");
+      return nullptr;
+    }
+    return expr;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Inserts \p piece at 1-based position k of \p base: the characters of
+/// \p piece come after the first k-1 characters of the base.
+NodeId InsertAt(Slp& slp, NodeId base, NodeId piece, uint64_t k) {
+  const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
+  Require(k >= 1 && k <= length + 1, "CDE insert: position out of range");
+  const SplitResult parts = AvlSplit(slp, base, k - 1);
+  return AvlConcat(slp, AvlConcat(slp, parts.prefix, piece), parts.suffix);
+}
+
+}  // namespace
+
+CdeParseResult ParseCde(std::string_view text) { return CdeParser(text).Run(); }
+
+NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
+  Slp& slp = database->slp();
+  switch (expr.op) {
+    case CdeOp::kDocument: {
+      Require(expr.document_index < database->num_documents(),
+              "CDE: unknown document");
+      return database->document(expr.document_index);
+    }
+    case CdeOp::kConcat: {
+      const NodeId a = EvalCde(database, *expr.children[0]);
+      const NodeId b = EvalCde(database, *expr.children[1]);
+      return AvlConcat(slp, a, b);
+    }
+    case CdeOp::kExtract: {
+      const NodeId base = EvalCde(database, *expr.children[0]);
+      const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
+      Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
+              "CDE extract: positions out of range");
+      return AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1);
+    }
+    case CdeOp::kDelete: {
+      const NodeId base = EvalCde(database, *expr.children[0]);
+      const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
+      Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
+              "CDE delete: positions out of range");
+      const SplitResult tail = AvlSplit(slp, base, expr.j);
+      const SplitResult head = AvlSplit(slp, tail.prefix, expr.i - 1);
+      return AvlConcat(slp, head.prefix, tail.suffix);
+    }
+    case CdeOp::kInsert: {
+      const NodeId base = EvalCde(database, *expr.children[0]);
+      const NodeId piece = EvalCde(database, *expr.children[1]);
+      return InsertAt(slp, base, piece, expr.k);
+    }
+    case CdeOp::kCopy: {
+      const NodeId base = EvalCde(database, *expr.children[0]);
+      const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
+      Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
+              "CDE copy: positions out of range");
+      const NodeId piece = AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1);
+      return InsertAt(slp, base, piece, expr.k);
+    }
+  }
+  FatalError("EvalCde: unknown op");
+}
+
+std::size_t ApplyCde(DocumentDatabase* database, std::string_view expression) {
+  CdeParseResult parsed = ParseCde(expression);
+  if (!parsed.ok()) FatalError("ApplyCde: " + parsed.error);
+  const NodeId result = EvalCde(database, *parsed.expr);
+  return database->AddDocument(result);
+}
+
+std::string EvalCdeOnStrings(const std::vector<std::string>& documents,
+                             const CdeExpr& expr) {
+  switch (expr.op) {
+    case CdeOp::kDocument:
+      return documents.at(expr.document_index);
+    case CdeOp::kConcat:
+      return EvalCdeOnStrings(documents, *expr.children[0]) +
+             EvalCdeOnStrings(documents, *expr.children[1]);
+    case CdeOp::kExtract: {
+      const std::string base = EvalCdeOnStrings(documents, *expr.children[0]);
+      return base.substr(expr.i - 1, expr.j - expr.i + 1);
+    }
+    case CdeOp::kDelete: {
+      std::string base = EvalCdeOnStrings(documents, *expr.children[0]);
+      base.erase(expr.i - 1, expr.j - expr.i + 1);
+      return base;
+    }
+    case CdeOp::kInsert: {
+      std::string base = EvalCdeOnStrings(documents, *expr.children[0]);
+      base.insert(expr.k - 1, EvalCdeOnStrings(documents, *expr.children[1]));
+      return base;
+    }
+    case CdeOp::kCopy: {
+      std::string base = EvalCdeOnStrings(documents, *expr.children[0]);
+      base.insert(expr.k - 1, base.substr(expr.i - 1, expr.j - expr.i + 1));
+      return base;
+    }
+  }
+  FatalError("EvalCdeOnStrings: unknown op");
+}
+
+}  // namespace spanners

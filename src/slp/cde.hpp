@@ -1,0 +1,65 @@
+/// \file cde.hpp
+/// \brief Complex document editing (paper, Section 4.3; [40]).
+///
+/// CDE-expressions combine documents of an SLP-represented database with
+///   concat(D, D'), extract(D, i, j), delete(D, i, j), insert(D, D', k),
+///   copy(D, i, j, k)
+/// (1-based inclusive positions, following the paper). Evaluating an
+/// expression φ adds the document eval(φ) to the database in time
+/// O(|φ| * log d) -- each basic operation is a constant number of AVL
+/// splits/concats on strongly balanced SLPs -- *without* decompressing any
+/// document. Expressions are parsed from a small textual algebra, e.g.
+///     "concat(insert(D3, extract(D7, 5, 21), 12), D1)".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// Operations of the CDE algebra.
+enum class CdeOp : uint8_t { kDocument, kConcat, kExtract, kDelete, kInsert, kCopy };
+
+/// A CDE expression tree.
+struct CdeExpr {
+  CdeOp op = CdeOp::kDocument;
+  std::size_t document_index = 0;            ///< kDocument: 0-based index
+  std::vector<std::unique_ptr<CdeExpr>> children;
+  uint64_t i = 0, j = 0, k = 0;              ///< positions (1-based, inclusive)
+
+  /// Number of operations in the expression (|φ|).
+  std::size_t size() const;
+};
+
+/// Parse errors carry a message; expr is null on failure.
+struct CdeParseResult {
+  std::unique_ptr<CdeExpr> expr;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses "concat(D1, extract(D2, 5, 21))"-style expressions. Document
+/// names are D1, D2, ... (1-based, as in the paper's prose).
+CdeParseResult ParseCde(std::string_view text);
+
+/// Evaluates \p expr against \p database, returning a strongly balanced
+/// node for eval(φ) (kNoNode for an empty result). Does not register the
+/// result; call database->AddDocument to persist it. Document roots must be
+/// strongly balanced for the O(|φ| log d) bound (use Rebalance first).
+NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr);
+
+/// Convenience: parse, evaluate, and register; aborts on parse errors.
+/// Returns the new document's index.
+std::size_t ApplyCde(DocumentDatabase* database, std::string_view expression);
+
+/// Reference semantics on plain strings, for differential testing.
+std::string EvalCdeOnStrings(const std::vector<std::string>& documents,
+                             const CdeExpr& expr);
+
+}  // namespace spanners

@@ -1,0 +1,169 @@
+#include "slp/slp.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+uint64_t Slp::NextArenaId() {
+  static std::atomic<uint64_t> next{0};
+  return ++next;
+}
+
+Slp::Slp(const Slp& other)
+    : nodes_(other.nodes_), pair_index_(other.pair_index_) {
+  for (int c = 0; c < 256; ++c) {
+    terminal_index_[c] = other.terminal_index_[c];
+    terminal_present_[c] = other.terminal_present_[c];
+  }
+  // arena_id_ stays the fresh one from NextArenaId(): the copy may diverge
+  // from the original, so caches must not be shared between them.
+}
+
+Slp& Slp::operator=(const Slp& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  pair_index_ = other.pair_index_;
+  for (int c = 0; c < 256; ++c) {
+    terminal_index_[c] = other.terminal_index_[c];
+    terminal_present_[c] = other.terminal_present_[c];
+  }
+  arena_id_ = NextArenaId();
+  return *this;
+}
+
+NodeId Slp::Terminal(unsigned char c) {
+  if (terminal_present_[c]) return terminal_index_[c];
+  Node node;
+  node.terminal_char = c;
+  node.length = 1;
+  node.order = 1;
+  nodes_.push_back(node);
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  terminal_index_[c] = id;
+  terminal_present_[c] = true;
+  return id;
+}
+
+NodeId Slp::Pair(NodeId left, NodeId right) {
+  Require(left < nodes_.size() && right < nodes_.size(), "Slp::Pair: bad child");
+  const uint64_t key = (static_cast<uint64_t>(left) << 32) | right;
+  auto [it, inserted] = pair_index_.try_emplace(key, 0);
+  if (!inserted) return it->second;
+  Node node;
+  node.left = left;
+  node.right = right;
+  node.length = Length(left) + Length(right);
+  node.order = 1 + std::max(nodes_[left].order, nodes_[right].order);
+  nodes_.push_back(node);
+  it->second = static_cast<NodeId>(nodes_.size() - 1);
+  return it->second;
+}
+
+int Slp::Balance(NodeId node) const {
+  if (IsTerminal(node)) return 0;
+  return static_cast<int>(nodes_[nodes_[node].left].order) -
+         static_cast<int>(nodes_[nodes_[node].right].order);
+}
+
+void Slp::AppendTo(NodeId node, std::string* out) const {
+  // Iterative (explicit stack) to handle deep, unbalanced SLPs.
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    const NodeId current = stack.back();
+    stack.pop_back();
+    if (IsTerminal(current)) {
+      out->push_back(static_cast<char>(TerminalChar(current)));
+    } else {
+      stack.push_back(Right(current));
+      stack.push_back(Left(current));
+    }
+  }
+}
+
+std::string Slp::Derive(NodeId node) const {
+  std::string out;
+  out.reserve(Length(node));
+  AppendTo(node, &out);
+  return out;
+}
+
+unsigned char Slp::CharAt(NodeId node, uint64_t position) const {
+  Require(position < Length(node), "Slp::CharAt: position out of range");
+  while (!IsTerminal(node)) {
+    const uint64_t left_length = Length(Left(node));
+    if (position < left_length) {
+      node = Left(node);
+    } else {
+      position -= left_length;
+      node = Right(node);
+    }
+  }
+  return TerminalChar(node);
+}
+
+std::string Slp::Substring(NodeId node, uint64_t position, uint64_t count) const {
+  Require(position + count <= Length(node), "Slp::Substring: range out of bounds");
+  std::string out;
+  out.reserve(count);
+  // Descend to the range, materialising only covered parts.
+  struct Rec {
+    const Slp* slp;
+    std::string* out;
+    void Visit(NodeId n, uint64_t from, uint64_t to) {  // [from, to) within D(n)
+      if (from >= to) return;
+      if (slp->IsTerminal(n)) {
+        out->push_back(static_cast<char>(slp->TerminalChar(n)));
+        return;
+      }
+      const uint64_t left_length = slp->Length(slp->Left(n));
+      if (to <= left_length) {
+        Visit(slp->Left(n), from, to);
+      } else if (from >= left_length) {
+        Visit(slp->Right(n), from - left_length, to - left_length);
+      } else {
+        Visit(slp->Left(n), from, left_length);
+        Visit(slp->Right(n), 0, to - left_length);
+      }
+    }
+  };
+  Rec rec{this, &out};
+  rec.Visit(node, position, position + count);
+  return out;
+}
+
+std::size_t Slp::ReachableSize(NodeId root) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{root};
+  seen[root] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!IsTerminal(n)) {
+      for (NodeId child : {Left(n), Right(n)}) {
+        if (!seen[child]) {
+          seen[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t DocumentDatabase::AddDocument(NodeId root) {
+  documents_.push_back(root);
+  return documents_.size() - 1;
+}
+
+uint64_t DocumentDatabase::MaxDocumentLength() const {
+  uint64_t max_length = 0;
+  for (NodeId root : documents_) max_length = std::max(max_length, slp_.Length(root));
+  return max_length;
+}
+
+}  // namespace spanners

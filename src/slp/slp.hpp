@@ -1,0 +1,124 @@
+/// \file slp.hpp
+/// \brief Straight-line programs: DAG-compressed documents (paper, §4).
+///
+/// An SLP is a DAG whose sinks represent single alphabet symbols and whose
+/// inner nodes A (with left child B, right child C) represent the document
+/// 𝔇(A) = 𝔇(B)𝔇(C). Designating nodes as document roots makes the SLP a
+/// *document database* (paper, Figure 1). Nodes are immutable and
+/// hash-consed (adding an existing (left, right) pair returns the existing
+/// node), lengths and orders are maintained incrementally, and derivation /
+/// random access / substring extraction never decompress more than needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spanners {
+
+/// Dense SLP node id.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (also used as the empty document by AVL ops).
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// An arena of SLP nodes shared by any number of documents.
+class Slp {
+ public:
+  /// Globally unique arena identity: node ids are only meaningful within
+  /// one arena, so evaluator caches (slp_nfa.hpp, slp_enum.hpp) bind to
+  /// this id. Copies receive a fresh id (they may diverge); moves keep it.
+  uint64_t arena_id() const { return arena_id_; }
+
+  Slp(const Slp& other);
+  Slp& operator=(const Slp& other);
+  Slp(Slp&&) = default;
+  Slp& operator=(Slp&&) = default;
+
+  /// The sink T_c for symbol \p c (created on first use).
+  NodeId Terminal(unsigned char c);
+
+  /// The inner node (left, right); hash-consed. Both children must exist.
+  NodeId Pair(NodeId left, NodeId right);
+
+  bool IsTerminal(NodeId node) const { return nodes_[node].left == kNoNode; }
+  unsigned char TerminalChar(NodeId node) const { return nodes_[node].terminal_char; }
+
+  NodeId Left(NodeId node) const { return nodes_[node].left; }
+  NodeId Right(NodeId node) const { return nodes_[node].right; }
+
+  /// |𝔇(node)|.
+  uint64_t Length(NodeId node) const { return IsTerminal(node) ? 1 : nodes_[node].length; }
+
+  /// ord(node): 1 for sinks, 1 + max(ord(children)) otherwise (paper §4.1).
+  uint32_t Order(NodeId node) const { return nodes_[node].order; }
+
+  /// bal(node) = ord(left) - ord(right); 0 for sinks.
+  int Balance(NodeId node) const;
+
+  /// Materialises 𝔇(node). O(|𝔇(node)|).
+  std::string Derive(NodeId node) const;
+
+  /// The character at 0-based \p position of 𝔇(node). O(ord(node)).
+  unsigned char CharAt(NodeId node, uint64_t position) const;
+
+  /// 𝔇(node)[position, position+count). O(ord(node) + count).
+  std::string Substring(NodeId node, uint64_t position, uint64_t count) const;
+
+  /// Number of nodes in the arena.
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// |S| restricted to \p root: the number of nodes reachable from it.
+  std::size_t ReachableSize(NodeId root) const;
+
+ private:
+  struct Node {
+    NodeId left = kNoNode;
+    NodeId right = kNoNode;
+    uint64_t length = 1;  ///< for terminals the char is stored in terminal_char
+    uint32_t order = 1;
+    unsigned char terminal_char = 0;
+  };
+
+  void AppendTo(NodeId node, std::string* out) const;
+
+  static uint64_t NextArenaId();
+
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, NodeId> pair_index_;  ///< (left,right) -> node
+  NodeId terminal_index_[256];
+  bool terminal_present_[256] = {false};
+  uint64_t arena_id_ = NextArenaId();
+
+ public:
+  Slp() {
+    for (auto& t : terminal_index_) t = kNoNode;
+  }
+};
+
+/// A document database: an SLP plus designated document roots (Figure 1).
+class DocumentDatabase {
+ public:
+  Slp& slp() { return slp_; }
+  const Slp& slp() const { return slp_; }
+
+  /// Registers 𝔇(root) as a document; returns its index.
+  std::size_t AddDocument(NodeId root);
+
+  /// Replaces the root of document \p index (e.g. after rebalancing).
+  void SetDocument(std::size_t index, NodeId root) { documents_[index] = root; }
+
+  NodeId document(std::size_t index) const { return documents_[index]; }
+  std::size_t num_documents() const { return documents_.size(); }
+
+  /// Longest document length (the L of the paper's update bound).
+  uint64_t MaxDocumentLength() const;
+
+ private:
+  Slp slp_;
+  std::vector<NodeId> documents_;
+};
+
+}  // namespace spanners

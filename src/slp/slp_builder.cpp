@@ -1,0 +1,118 @@
+#include "slp/slp_builder.hpp"
+
+#include <map>
+#include <vector>
+
+#include "slp/avl_grammar.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+NodeId BuildBalanced(Slp& slp, std::string_view text) {
+  return BalancedFromString(slp, text);
+}
+
+namespace {
+
+/// Folds a sequence of nodes into one balanced node.
+NodeId FoldBalanced(Slp& slp, const std::vector<NodeId>& sequence, std::size_t from,
+                    std::size_t to) {
+  if (from >= to) return kNoNode;
+  if (to - from == 1) return sequence[from];
+  const std::size_t mid = from + (to - from) / 2;
+  return slp.Pair(FoldBalanced(slp, sequence, from, mid),
+                  FoldBalanced(slp, sequence, mid, to));
+}
+
+}  // namespace
+
+NodeId BuildRePair(Slp& slp, std::string_view text) {
+  if (text.empty()) return kNoNode;
+  std::vector<NodeId> sequence;
+  sequence.reserve(text.size());
+  for (unsigned char c : text) sequence.push_back(slp.Terminal(c));
+
+  // Repeatedly replace the most frequent digram. Counting is O(length) per
+  // round; rounds continue while some digram repeats.
+  while (sequence.size() >= 2) {
+    std::map<std::pair<NodeId, NodeId>, std::size_t> counts;
+    std::pair<NodeId, NodeId> best{kNoNode, kNoNode};
+    std::size_t best_count = 0;
+    for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+      const std::pair<NodeId, NodeId> digram{sequence[i], sequence[i + 1]};
+      const std::size_t count = ++counts[digram];
+      if (count > best_count) {
+        best_count = count;
+        best = digram;
+      }
+    }
+    if (best_count < 2) break;
+    const NodeId fresh = slp.Pair(best.first, best.second);
+    std::vector<NodeId> next;
+    next.reserve(sequence.size());
+    for (std::size_t i = 0; i < sequence.size();) {
+      if (i + 1 < sequence.size() && sequence[i] == best.first &&
+          sequence[i + 1] == best.second) {
+        next.push_back(fresh);
+        i += 2;  // left-to-right, non-overlapping
+      } else {
+        next.push_back(sequence[i]);
+        ++i;
+      }
+    }
+    sequence = std::move(next);
+  }
+  return FoldBalanced(slp, sequence, 0, sequence.size());
+}
+
+NodeId BuildPower(Slp& slp, NodeId base, uint64_t count) {
+  Require(count > 0, "BuildPower: count must be positive");
+  // Repeated squaring: count = 2q + r.
+  if (count == 1) return base;
+  const NodeId half = BuildPower(slp, base, count / 2);
+  const NodeId squared = slp.Pair(half, half);
+  return (count % 2 == 0) ? squared : slp.Pair(squared, base);
+}
+
+NodeId BuildRunLength(Slp& slp, std::string_view text) {
+  if (text.empty()) return kNoNode;
+  std::vector<NodeId> runs;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t j = i + 1;
+    while (j < text.size() && text[j] == text[i]) ++j;
+    runs.push_back(
+        BuildPower(slp, slp.Terminal(static_cast<unsigned char>(text[i])), j - i));
+    i = j;
+  }
+  // Pair up repeated digrams among the runs as well (mini Re-Pair).
+  while (runs.size() >= 2) {
+    std::map<std::pair<NodeId, NodeId>, std::size_t> counts;
+    std::pair<NodeId, NodeId> best{kNoNode, kNoNode};
+    std::size_t best_count = 0;
+    for (std::size_t k = 0; k + 1 < runs.size(); ++k) {
+      const std::pair<NodeId, NodeId> digram{runs[k], runs[k + 1]};
+      const std::size_t count = ++counts[digram];
+      if (count > best_count) {
+        best_count = count;
+        best = digram;
+      }
+    }
+    if (best_count < 2) break;
+    const NodeId fresh = slp.Pair(best.first, best.second);
+    std::vector<NodeId> next;
+    for (std::size_t k = 0; k < runs.size();) {
+      if (k + 1 < runs.size() && runs[k] == best.first && runs[k + 1] == best.second) {
+        next.push_back(fresh);
+        k += 2;
+      } else {
+        next.push_back(runs[k]);
+        ++k;
+      }
+    }
+    runs = std::move(next);
+  }
+  return FoldBalanced(slp, runs, 0, runs.size());
+}
+
+}  // namespace spanners

@@ -1,0 +1,39 @@
+/// \file slp_builder.hpp
+/// \brief SLP construction from plain strings (paper, Section 4).
+///
+/// Computing a *smallest* SLP is NP-complete (paper, footnote 4), but
+/// practical grammar compressors are fast and effective. Three builders:
+///  * BuildBalanced   -- divide-and-conquer; no compression beyond
+///                       hash-consing, but perfectly balanced (baseline);
+///  * BuildRePair     -- Re-Pair digram substitution, the classical
+///                       dictionary-style grammar compressor; good
+///                       compression on repetitive inputs;
+///  * BuildRunLength  -- run-length front end followed by Re-Pair;
+///                       effective for run-heavy documents.
+/// All builders return roots in the given arena; combine with Rebalance
+/// (avl_grammar.hpp) when strong balancedness is needed for CDE updates.
+#pragma once
+
+#include <string_view>
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// Perfectly balanced binary derivation tree (hash-consed).
+NodeId BuildBalanced(Slp& slp, std::string_view text);
+
+/// Re-Pair: repeatedly replaces the most frequent digram by a fresh node
+/// until no digram occurs twice, then folds the remaining sequence into a
+/// balanced tree. Returns kNoNode for the empty string.
+NodeId BuildRePair(Slp& slp, std::string_view text);
+
+/// Binary "repeated squaring" node for text^count (exponentially small in
+/// count): the run-length building block.
+NodeId BuildPower(Slp& slp, NodeId base, uint64_t count);
+
+/// Run-length front end: maximal character runs become power nodes, the
+/// resulting sequence is folded with Re-Pair-style pairing.
+NodeId BuildRunLength(Slp& slp, std::string_view text);
+
+}  // namespace spanners

@@ -1,0 +1,207 @@
+#include "slp/slp_enum.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+SlpSpannerEvaluator::SlpSpannerEvaluator(const ExtendedVA* edva) : edva_(edva) {
+  Require(edva_ != nullptr, "SlpSpannerEvaluator: null automaton");
+  Require(edva_->IsDeterministic(),
+          "SlpSpannerEvaluator: automaton must be deterministic (use RegularSpanner)");
+  num_states_ = edva_->num_states();
+}
+
+const SlpSpannerEvaluator::NodeMats& SlpSpannerEvaluator::MatsOf(const Slp& slp,
+                                                                 NodeId node) {
+  // Node ids are only meaningful within one arena; switching arenas
+  // invalidates the cache (ids would silently collide otherwise).
+  if (bound_arena_ != slp.arena_id()) {
+    cache_.clear();
+    bound_arena_ = slp.arena_id();
+  }
+  auto it = cache_.find(node);
+  if (it != cache_.end()) return it->second;
+  // Post-order over uncached nodes.
+  std::vector<std::pair<NodeId, bool>> stack{{node, false}};
+  while (!stack.empty()) {
+    const auto [current, expanded] = stack.back();
+    stack.pop_back();
+    if (cache_.count(current)) continue;
+    if (slp.IsTerminal(current)) {
+      const uint16_t c = slp.TerminalChar(current);
+      NodeMats mats;
+      mats.spine.assign(num_states_, kNoState);
+      mats.event = BoolMatrix(num_states_);
+      for (StateId p = 0; p < num_states_; ++p) {
+        for (const EvaTransition& t : edva_->TransitionsFrom(p)) {
+          if (t.letter.ch != c) continue;
+          if (t.letter.markers == 0) {
+            mats.spine[p] = t.to;  // unique: automaton is deterministic
+          } else {
+            mats.event.Set(p, t.to);
+          }
+        }
+      }
+      mats.full = mats.event;
+      for (StateId p = 0; p < num_states_; ++p) {
+        if (mats.spine[p] != kNoState) mats.full.Set(p, mats.spine[p]);
+      }
+      cache_.emplace(current, std::move(mats));
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({current, true});
+      stack.push_back({slp.Left(current), false});
+      stack.push_back({slp.Right(current), false});
+    } else {
+      const NodeMats& left = cache_.at(slp.Left(current));
+      const NodeMats& right = cache_.at(slp.Right(current));
+      NodeMats mats;
+      // spine = right.spine ∘ left.spine
+      mats.spine.assign(num_states_, kNoState);
+      for (StateId p = 0; p < num_states_; ++p) {
+        const StateId mid = left.spine[p];
+        if (mid != kNoState) mats.spine[p] = right.spine[mid];
+      }
+      // event = left.event * right.full  ∪  left.spine ; right.event
+      mats.event = left.event.Multiply(right.full);
+      for (StateId p = 0; p < num_states_; ++p) {
+        const StateId mid = left.spine[p];
+        if (mid == kNoState) continue;
+        for (StateId q = 0; q < num_states_; ++q) {
+          if (right.event.Get(mid, q)) mats.event.Set(p, q);
+        }
+      }
+      mats.full = mats.event;
+      for (StateId p = 0; p < num_states_; ++p) {
+        if (mats.spine[p] != kNoState) mats.full.Set(p, mats.spine[p]);
+      }
+      cache_.emplace(current, std::move(mats));
+    }
+  }
+  return cache_.at(node);
+}
+
+bool SlpSpannerEvaluator::EnumNode(NodeId node, StateId p, StateId q, bool need_event,
+                                   uint64_t offset, Context* ctx,
+                                   const std::function<bool()>& next) {
+  ++ctx->steps;
+  const Slp& slp = *ctx->slp;
+  if (slp.IsTerminal(node)) {
+    const uint16_t c = slp.TerminalChar(node);
+    for (const EvaTransition& t : edva_->TransitionsFrom(p)) {
+      if (t.letter.ch != c || t.to != q) continue;
+      if (t.letter.markers == 0) {
+        if (need_event) continue;
+        if (!next()) return false;
+      } else {
+        ctx->events.push_back({offset, t.letter.markers});
+        const bool keep_going = next();
+        ctx->events.pop_back();
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+  const NodeId left = slp.Left(node);
+  const NodeId right = slp.Right(node);
+  const uint64_t left_length = slp.Length(left);
+  const NodeMats& lm = MatsOf(slp, left);
+  const NodeMats& rm = MatsOf(slp, right);
+
+  // Option 1: no event inside the left child -- jump across it via the
+  // spine function (this is what makes the delay logarithmic: event-free
+  // subtrees cost O(1) regardless of their derived length).
+  const StateId mid = lm.spine[p];
+  if (mid != kNoState) {
+    const bool viable = need_event ? rm.event.Get(mid, q) : rm.full.Get(mid, q);
+    if (viable) {
+      if (!EnumNode(right, mid, q, need_event, offset + left_length, ctx, next)) {
+        return false;
+      }
+    }
+  }
+  // Option 2: at least one event inside the left child; the right part is
+  // then unconstrained. Runs decompose uniquely at the child boundary, so
+  // options 1 and 2 are disjoint and enumeration is duplicate-free.
+  for (StateId r = 0; r < num_states_; ++r) {
+    if (!lm.event.Get(p, r) || !rm.full.Get(r, q)) continue;
+    auto continue_right = [&]() {
+      return EnumNode(right, r, q, false, offset + left_length, ctx, next);
+    };
+    if (!EnumNode(left, p, r, true, offset, ctx, continue_right)) return false;
+  }
+  return true;
+}
+
+SpanTuple SlpSpannerEvaluator::BuildTuple(const Context& ctx) const {
+  const std::size_t num_vars = edva_->variables().size();
+  SpanTuple tuple(num_vars);
+  std::vector<Position> open_at(num_vars, 0);
+  for (const auto& [gap, markers] : ctx.events) {
+    const Position here = static_cast<Position>(gap + 1);
+    for (VariableId v = 0; v < num_vars; ++v) {
+      if (markers & OpenMarker(v)) open_at[v] = here;
+      if (markers & CloseMarker(v)) tuple[v] = Span(open_at[v], here);
+    }
+  }
+  return tuple;
+}
+
+std::size_t SlpSpannerEvaluator::Evaluate(
+    const Slp& slp, NodeId root, const std::function<bool(const SpanTuple&)>& callback) {
+  Context ctx;
+  ctx.slp = &slp;
+  ctx.callback = &callback;
+  std::size_t steps_at_last_emit = 0;
+
+  auto emit = [&](MarkerSet end_markers, uint64_t end_gap) {
+    if (end_markers != 0) ctx.events.push_back({end_gap, end_markers});
+    const SpanTuple tuple = BuildTuple(ctx);
+    if (end_markers != 0) ctx.events.pop_back();
+    ++ctx.emitted;
+    last_delay_steps_ = ctx.steps - steps_at_last_emit;
+    steps_at_last_emit = ctx.steps;
+    if (!callback(tuple)) {
+      ctx.stopped = true;
+      return false;
+    }
+    return true;
+  };
+
+  if (num_states_ == 0) return 0;
+  const StateId initial = edva_->initial();
+
+  if (root == kNoNode) {
+    // Empty document: only the End letter.
+    for (const EvaTransition& t : edva_->TransitionsFrom(initial)) {
+      if (t.letter.ch == kEndMark && edva_->IsAccepting(t.to)) {
+        if (!emit(t.letter.markers, 0)) break;
+      }
+    }
+    return ctx.emitted;
+  }
+
+  const uint64_t n = slp.Length(root);
+  const NodeMats& root_mats = MatsOf(slp, root);
+  for (StateId q = 0; q < num_states_ && !ctx.stopped; ++q) {
+    if (!root_mats.full.Get(initial, q)) continue;
+    for (const EvaTransition& t : edva_->TransitionsFrom(q)) {
+      if (t.letter.ch != kEndMark || !edva_->IsAccepting(t.to)) continue;
+      auto finish = [&]() { return emit(t.letter.markers, n); };
+      if (!EnumNode(root, initial, q, false, 0, &ctx, finish)) break;
+    }
+  }
+  return ctx.emitted;
+}
+
+SpanRelation SlpSpannerEvaluator::EvaluateToRelation(const Slp& slp, NodeId root) {
+  SpanRelation relation;
+  Evaluate(slp, root, [&](const SpanTuple& tuple) {
+    relation.insert(tuple);
+    return true;
+  });
+  return relation;
+}
+
+}  // namespace spanners

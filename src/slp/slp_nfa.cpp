@@ -1,0 +1,68 @@
+#include "slp/slp_nfa.hpp"
+
+#include "automata/nfa_ops.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+SlpNfaMatcher::SlpNfaMatcher(const Nfa& nfa) : nfa_(RemoveEpsilon(nfa)) {
+  num_states_ = nfa_.num_states();
+  for (StateId s = 0; s < num_states_; ++s) {
+    for (const Transition& t : nfa_.TransitionsFrom(s)) {
+      Require(t.symbol.IsChar(), "SlpNfaMatcher: only character transitions supported");
+      const unsigned char c = t.symbol.ch();
+      if (!char_present_[c]) {
+        char_matrix_[c] = BoolMatrix(num_states_);
+        char_present_[c] = true;
+      }
+      char_matrix_[c].Set(s, t.to);
+    }
+  }
+}
+
+const BoolMatrix& SlpNfaMatcher::MatrixOf(const Slp& slp, NodeId node) {
+  // Node ids are only meaningful within one arena; switching arenas
+  // invalidates the cache.
+  if (bound_arena_ != slp.arena_id()) {
+    cache_.clear();
+    bound_arena_ = slp.arena_id();
+  }
+  auto it = cache_.find(node);
+  if (it != cache_.end()) return it->second;
+  // Iterative post-order over uncached nodes (avoids recursion depth limits
+  // on deep SLPs).
+  std::vector<std::pair<NodeId, bool>> stack{{node, false}};
+  while (!stack.empty()) {
+    const auto [current, expanded] = stack.back();
+    stack.pop_back();
+    if (cache_.count(current)) continue;
+    if (slp.IsTerminal(current)) {
+      const unsigned char c = slp.TerminalChar(current);
+      cache_.emplace(current,
+                     char_present_[c] ? char_matrix_[c] : BoolMatrix(num_states_));
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({current, true});
+      stack.push_back({slp.Left(current), false});
+      stack.push_back({slp.Right(current), false});
+    } else {
+      const BoolMatrix& left = cache_.at(slp.Left(current));
+      const BoolMatrix& right = cache_.at(slp.Right(current));
+      cache_.emplace(current, left.Multiply(right));
+    }
+  }
+  return cache_.at(node);
+}
+
+bool SlpNfaMatcher::Accepts(const Slp& slp, NodeId root) {
+  if (num_states_ == 0) return false;
+  if (root == kNoNode) return nfa_.IsAccepting(nfa_.initial());
+  const BoolMatrix& matrix = MatrixOf(slp, root);
+  for (StateId q = 0; q < num_states_; ++q) {
+    if (nfa_.IsAccepting(q) && matrix.Get(nfa_.initial(), q)) return true;
+  }
+  return false;
+}
+
+}  // namespace spanners

@@ -1,0 +1,49 @@
+/// \file slp_nfa.hpp
+/// \brief NFA acceptance over SLP-compressed strings (paper, Section 4.2).
+///
+/// The classical algorithm the paper recalls: for every SLP node A compute a
+/// Boolean matrix M_A over the NFA's states with M_A[p][q] = "q reachable
+/// from p by reading 𝔇(A)"; for inner nodes M_A = M_B * M_C (Boolean matrix
+/// product), so acceptance of 𝔇(S) is decided in O(|S| * n^3) -- without
+/// decompressing, and potentially exponentially faster than running the NFA
+/// over the expanded document. Matrices are cached per node, so adding new
+/// nodes (CDE updates, Section 4.3) costs only the new nodes' products.
+#pragma once
+
+#include <unordered_map>
+
+#include "automata/nfa.hpp"
+#include "slp/slp.hpp"
+#include "util/bool_matrix.hpp"
+
+namespace spanners {
+
+/// Matrix-based matcher for one NFA over documents of one SLP arena.
+class SlpNfaMatcher {
+ public:
+  /// \p nfa may contain epsilon transitions (they are eliminated here) but
+  /// no marker or reference symbols.
+  explicit SlpNfaMatcher(const Nfa& nfa);
+
+  /// Does the NFA accept 𝔇(root)? O(new nodes * n^3) thanks to the cache.
+  bool Accepts(const Slp& slp, NodeId root);
+
+  /// The transition matrix of 𝔇(node) (computed and cached on demand).
+  const BoolMatrix& MatrixOf(const Slp& slp, NodeId node);
+
+  /// Number of per-node matrices currently cached.
+  std::size_t cache_size() const { return cache_.size(); }
+
+  /// Drops the cache (e.g. when switching arenas).
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  Nfa nfa_;  ///< epsilon-free
+  std::size_t num_states_ = 0;
+  BoolMatrix char_matrix_[256];
+  bool char_present_[256] = {false};
+  uint64_t bound_arena_ = 0;  ///< cache validity domain (Slp::arena_id)
+  std::unordered_map<NodeId, BoolMatrix> cache_;
+};
+
+}  // namespace spanners

@@ -1,0 +1,35 @@
+/// \file spanners.hpp
+/// \brief Umbrella header: the full public API of the spanners library.
+///
+/// Include this for everything, or pick the area headers individually:
+/// regular spanners (core/regular_spanner.hpp), the algebra
+/// (core/algebra.hpp), refl-spanners (refl/refl_spanner.hpp), compressed
+/// documents (slp/*.hpp), extraction grammars (grammar/cyk_spanner.hpp),
+/// and datalog over spanners (datalog/program.hpp).
+#pragma once
+
+#include "core/algebra.hpp"
+#include "core/compile_algebra.hpp"
+#include "core/core_simplification.hpp"
+#include "core/decision.hpp"
+#include "core/enumeration.hpp"
+#include "core/pattern_matching.hpp"
+#include "core/regex_parser.hpp"
+#include "core/regular_spanner.hpp"
+#include "core/weighted.hpp"
+#include "core/word_equations.hpp"
+#include "datalog/program.hpp"
+#include "grammar/cyk_spanner.hpp"
+#include "refl/core_to_refl.hpp"
+#include "refl/ref_deref.hpp"
+#include "refl/refl_decision.hpp"
+#include "refl/refl_eval.hpp"
+#include "refl/refl_spanner.hpp"
+#include "refl/refl_to_core.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/balance.hpp"
+#include "slp/cde.hpp"
+#include "slp/slp.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_enum.hpp"
+#include "slp/slp_nfa.hpp"

@@ -1,0 +1,86 @@
+#include "util/bool_matrix.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+BoolMatrix BoolMatrix::Identity(std::size_t n) {
+  BoolMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.Set(i, i);
+  return m;
+}
+
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
+  Require(size_ == other.size_, "BoolMatrix::Multiply: dimension mismatch");
+  BoolMatrix result(size_);
+  for (std::size_t p = 0; p < size_; ++p) {
+    uint64_t* out = &result.bits_[p * words_per_row_];
+    const uint64_t* row = &bits_[p * words_per_row_];
+    for (std::size_t wr = 0; wr < words_per_row_; ++wr) {
+      uint64_t bitsofrow = row[wr];
+      while (bitsofrow != 0) {
+        const std::size_t r = (wr << 6) + static_cast<std::size_t>(__builtin_ctzll(bitsofrow));
+        bitsofrow &= bitsofrow - 1;
+        const uint64_t* other_row = &other.bits_[r * words_per_row_];
+        for (std::size_t w = 0; w < words_per_row_; ++w) out[w] |= other_row[w];
+      }
+    }
+  }
+  return result;
+}
+
+BoolMatrix BoolMatrix::Or(const BoolMatrix& other) const {
+  Require(size_ == other.size_, "BoolMatrix::Or: dimension mismatch");
+  BoolMatrix result = *this;
+  for (std::size_t i = 0; i < bits_.size(); ++i) result.bits_[i] |= other.bits_[i];
+  return result;
+}
+
+bool BoolMatrix::RowAny(std::size_t row) const {
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    if (bits_[row * words_per_row_ + w] != 0) return true;
+  }
+  return false;
+}
+
+BoolMatrix BoolMatrix::Closure() const {
+  BoolMatrix result = Or(Identity(size_));
+  // Warshall with bit-packed row updates: if result[p][r] then
+  // row(p) |= row(r).
+  for (std::size_t r = 0; r < size_; ++r) {
+    const uint64_t* row_r = &result.bits_[r * words_per_row_];
+    for (std::size_t p = 0; p < size_; ++p) {
+      if (!result.Get(p, r)) continue;
+      uint64_t* row_p = &result.bits_[p * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) row_p[w] |= row_r[w];
+    }
+  }
+  return result;
+}
+
+std::vector<uint64_t> BoolMatrix::VecMultiply(const std::vector<uint64_t>& vec) const {
+  Require(vec.size() == words_per_row_, "BoolMatrix::VecMultiply: dimension mismatch");
+  std::vector<uint64_t> result(words_per_row_, 0);
+  for (std::size_t wr = 0; wr < words_per_row_; ++wr) {
+    uint64_t bits = vec[wr];
+    while (bits != 0) {
+      const std::size_t p = (wr << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      const uint64_t* row = &bits_[p * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) result[w] |= row[w];
+    }
+  }
+  return result;
+}
+
+std::string BoolMatrix::ToString() const {
+  std::string out;
+  out.reserve(size_ * (size_ + 1));
+  for (std::size_t p = 0; p < size_; ++p) {
+    for (std::size_t q = 0; q < size_; ++q) out.push_back(Get(p, q) ? '1' : '0');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,25 @@
+/// \file common.hpp
+/// \brief Shared small helpers used across the spanners library.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace spanners {
+
+/// Terminates the program with a message. Used for programming errors
+/// (precondition violations) that indicate a bug in the caller, mirroring
+/// assert semantics but active in release builds as well.
+[[noreturn]] inline void FatalError(const std::string& message) {
+  std::cerr << "spanners: fatal: " << message << std::endl;
+  std::abort();
+}
+
+/// Checks a precondition; aborts with \p message if \p condition is false.
+inline void Require(bool condition, const char* message) {
+  if (!condition) FatalError(message);
+}
+
+}  // namespace spanners

@@ -1,0 +1,90 @@
+#include "util/random.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+uint64_t Rng::Next() {
+  // xorshift64* with SplitMix64-style output mixing.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  Require(bound > 0, "Rng::NextBelow: bound must be positive");
+  return Next() % bound;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string RandomString(Rng& rng, std::string_view alphabet, std::size_t length) {
+  Require(!alphabet.empty(), "RandomString: empty alphabet");
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+  }
+  return out;
+}
+
+std::string DnaLike(Rng& rng, std::size_t length, std::size_t pool_size,
+                    std::size_t block_length) {
+  Require(pool_size > 0 && block_length > 0, "DnaLike: pool/block must be positive");
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(RandomString(rng, "acgt", block_length));
+  }
+  std::string out;
+  out.reserve(length + block_length);
+  while (out.size() < length) {
+    out += pool[rng.NextBelow(pool.size())];
+  }
+  out.resize(length);
+  return out;
+}
+
+std::string SyntheticLog(Rng& rng, std::size_t lines) {
+  static const char* kPaths[] = {"index", "login", "cart", "search", "api/v1/items",
+                                 "static/app.js", "img/logo.png", "checkout"};
+  static const char* kStatus[] = {"200", "200", "200", "304", "404", "500"};
+  std::string out;
+  out.reserve(lines * 64);
+  for (std::size_t i = 0; i < lines; ++i) {
+    out += "host-";
+    out += std::to_string(rng.NextBelow(16));
+    out += " user-";
+    out += std::to_string(rng.NextBelow(32));
+    out += " GET /";
+    out += kPaths[rng.NextBelow(8)];
+    out += " status=";
+    out += kStatus[rng.NextBelow(6)];
+    out += " size=";
+    out += std::to_string(rng.NextBelow(9000) + 100);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string BoilerplateText(Rng& rng, std::size_t paragraphs, double noise) {
+  static const std::string kTemplate =
+      "the quick brown fox jumps over the lazy dog while the curious cat "
+      "watches from the warm windowsill and the rain keeps falling softly ";
+  static const std::string kLetters = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(paragraphs * kTemplate.size());
+  for (std::size_t p = 0; p < paragraphs; ++p) {
+    std::string paragraph = kTemplate;
+    for (char& c : paragraph) {
+      if (rng.NextDouble() < noise) c = kLetters[rng.NextBelow(kLetters.size())];
+    }
+    out += paragraph;
+  }
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,54 @@
+/// \file random.hpp
+/// \brief Deterministic synthetic-workload generators.
+///
+/// The paper evaluates no real corpora (it is a survey); its complexity
+/// claims are asymptotic in |D|, |S| (SLP size) and the number of variables.
+/// These generators expose exactly those axes: document length and
+/// redundancy (which controls SLP compressibility) are independent knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spanners {
+
+/// SplitMix64-seeded xorshift generator; deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+};
+
+/// Uniformly random string over \p alphabet of length \p length.
+std::string RandomString(Rng& rng, std::string_view alphabet, std::size_t length);
+
+/// DNA-like sequence (alphabet acgt) with repeated "gene" blocks: a pool of
+/// \p pool_size random blocks of length \p block_length is sampled with
+/// replacement until \p length characters are emitted. Small pools yield
+/// highly SLP-compressible documents.
+std::string DnaLike(Rng& rng, std::size_t length, std::size_t pool_size,
+                    std::size_t block_length);
+
+/// Apache-style synthetic log: one line per record,
+/// "host-H user-U GET /path/P status=S size=Z\n" with small vocabularies, so
+/// the document is realistic extraction input and compresses well.
+std::string SyntheticLog(Rng& rng, std::size_t lines);
+
+/// Boilerplate-heavy text: \p paragraphs copies of a fixed template with a
+/// fraction \p noise of randomly replaced characters. noise = 0 gives
+/// near-optimal SLP compression; noise = 1 gives incompressible text.
+std::string BoilerplateText(Rng& rng, std::size_t paragraphs, double noise);
+
+}  // namespace spanners

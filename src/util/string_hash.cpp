@@ -1,0 +1,49 @@
+#include "util/string_hash.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+uint64_t PrefixHash::MulMod(uint64_t a, uint64_t b) {
+  const __uint128_t product = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(product & kMod);
+  uint64_t hi = static_cast<uint64_t>(product >> 61);
+  uint64_t sum = lo + hi;
+  if (sum >= kMod) sum -= kMod;
+  return sum;
+}
+
+PrefixHash::PrefixHash(std::string_view text) : length_(text.size()) {
+  prefix1_.resize(length_ + 1, 0);
+  prefix2_.resize(length_ + 1, 0);
+  power1_.resize(length_ + 1, 1);
+  power2_.resize(length_ + 1, 1);
+  for (std::size_t i = 0; i < length_; ++i) {
+    const uint64_t c = static_cast<uint8_t>(text[i]) + 1;
+    prefix1_[i + 1] = (MulMod(prefix1_[i], kBase1) + c) % kMod;
+    prefix2_[i + 1] = (MulMod(prefix2_[i], kBase2) + c) % kMod;
+    power1_[i + 1] = MulMod(power1_[i], kBase1);
+    power2_[i + 1] = MulMod(power2_[i], kBase2);
+  }
+}
+
+std::pair<uint64_t, uint64_t> PrefixHash::HashOf(std::size_t begin, std::size_t len) const {
+  Require(begin + len <= length_, "PrefixHash::HashOf: range out of bounds");
+  const uint64_t shifted1 = MulMod(prefix1_[begin], power1_[len]);
+  const uint64_t h1 = (prefix1_[begin + len] + kMod - shifted1) % kMod;
+  const uint64_t shifted2 = MulMod(prefix2_[begin], power2_[len]);
+  const uint64_t h2 = (prefix2_[begin + len] + kMod - shifted2) % kMod;
+  return {h1, h2};
+}
+
+bool PrefixHash::FactorsEqual(std::size_t b1, std::size_t b2, std::size_t len) const {
+  if (b1 == b2) return true;
+  return HashOf(b1, len) == HashOf(b2, len);
+}
+
+bool CrossFactorsEqual(const PrefixHash& a, std::size_t a_begin, const PrefixHash& b,
+                       std::size_t b_begin, std::size_t len) {
+  return a.HashOf(a_begin, len) == b.HashOf(b_begin, len);
+}
+
+}  // namespace spanners

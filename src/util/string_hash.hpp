@@ -1,0 +1,54 @@
+/// \file string_hash.hpp
+/// \brief Prefix double-hashing for O(1) factor-equality queries.
+///
+/// The refl-spanner model-checking algorithm (paper, Section 3.3) replaces
+/// reference arcs of the NFA by "read the factor w_x of D" jumps. Checking
+/// whether the factor of D starting at a given position equals w_x must be
+/// O(1) after linear preprocessing to obtain the overall linear running time
+/// the paper cites; this class provides exactly that primitive via two
+/// independent polynomial rolling hashes mod Mersenne prime 2^61 - 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spanners {
+
+/// Immutable prefix-hash table over one string.
+class PrefixHash {
+ public:
+  PrefixHash() = default;
+
+  /// Builds the table in O(|text|).
+  explicit PrefixHash(std::string_view text);
+
+  /// Length of the indexed text.
+  std::size_t length() const { return length_; }
+
+  /// 128-bit combined hash of the factor text[begin, begin+len) using
+  /// 0-based \p begin. Precondition: begin + len <= length().
+  std::pair<uint64_t, uint64_t> HashOf(std::size_t begin, std::size_t len) const;
+
+  /// True iff text[b1, b1+len) == text[b2, b2+len). O(1).
+  bool FactorsEqual(std::size_t b1, std::size_t b2, std::size_t len) const;
+
+ private:
+  static constexpr uint64_t kMod = (uint64_t{1} << 61) - 1;
+  static constexpr uint64_t kBase1 = 131;
+  static constexpr uint64_t kBase2 = 137;
+
+  static uint64_t MulMod(uint64_t a, uint64_t b);
+
+  std::size_t length_ = 0;
+  std::vector<uint64_t> prefix1_, prefix2_;  // prefix hashes, length+1 entries
+  std::vector<uint64_t> power1_, power2_;    // base powers
+};
+
+/// Convenience: true iff a[a_begin, a_begin+len) == b, where \p b_hash is a
+/// PrefixHash over the string b built separately. Compares via both tables.
+bool CrossFactorsEqual(const PrefixHash& a, std::size_t a_begin, const PrefixHash& b,
+                       std::size_t b_begin, std::size_t len);
+
+}  // namespace spanners

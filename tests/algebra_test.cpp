@@ -1,0 +1,202 @@
+// Tests for the spanner algebra (∪, ⋈, π, ς=), the automaton-level
+// compilation of the regular operations, and the core-simplification lemma
+// rewrite (paper, Sections 1, 2.2, 2.3).
+#include "core/algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/compile_algebra.hpp"
+#include "core/core_simplification.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+SpanTuple Tup(std::initializer_list<Span> spans) { return SpanTuple::Of(spans); }
+
+TEST(Algebra, UnionCombinesRelations) {
+  auto a = SpannerExpr::Parse("{x: a+}b*");
+  auto b = SpannerExpr::Parse("a*{x: b+}");
+  auto u = SpannerExpr::Union(a, b);
+  const SpanRelation r = u->Evaluate("aab");
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 3)}));  // x = aa
+  expected.insert(Tup({Span(3, 4)}));  // x = b
+  EXPECT_EQ(r, expected);
+}
+
+TEST(Algebra, JoinAgreesOnSharedVariables) {
+  // Left: x = leading a-block; right: x = any a-block ending at a b.
+  auto a = SpannerExpr::Parse("{x: a+}.*");
+  auto b = SpannerExpr::Parse(".*{x: a+}b.*");
+  auto j = SpannerExpr::Join(a, b);
+  const SpanRelation r = j->Evaluate("aab");
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 3)}));  // the only span that both extract
+  EXPECT_EQ(r, expected);
+}
+
+TEST(Algebra, JoinProducesCrossProductOnDisjointSchemas) {
+  auto a = SpannerExpr::Parse("{x: a}.*");
+  auto b = SpannerExpr::Parse(".*{y: b}");
+  auto j = SpannerExpr::Join(a, b);
+  EXPECT_EQ(j->Evaluate("ab").size(), 1u);
+  EXPECT_EQ(j->variables().size(), 2u);
+}
+
+TEST(Algebra, ProjectionDropsColumns) {
+  auto s = SpannerExpr::Parse("{x: a+}{y: b+}");
+  auto p = SpannerExpr::Project(s, {"y"});
+  const SpanRelation r = p->Evaluate("aabb");
+  SpanRelation expected;
+  expected.insert(Tup({Span(3, 5)}));
+  EXPECT_EQ(r, expected);
+}
+
+TEST(Algebra, StringEqualitySelection) {
+  // The paper's Section 1 example: alpha = x>(a|b)*<x (a|b)* y>(a*b*)<y on
+  // "abaaab": ς=_{x,y} keeps ([1,3>, [5,7>) and drops ([1,3>, [4,7>).
+  auto s = SpannerExpr::Parse("{x: (a|b)*}(a|b)*{y: a*b*}");
+  auto sel = SpannerExpr::SelectEq(s, {"x", "y"});
+  const SpanRelation all = s->Evaluate("abaaab");
+  const SpanRelation selected = sel->Evaluate("abaaab");
+  EXPECT_TRUE(all.count(Tup({Span(1, 3), Span(5, 7)})));
+  EXPECT_TRUE(all.count(Tup({Span(1, 3), Span(4, 7)})));
+  EXPECT_TRUE(selected.count(Tup({Span(1, 3), Span(5, 7)})));
+  EXPECT_FALSE(selected.count(Tup({Span(1, 3), Span(4, 7)})));
+  // Every selected tuple has equal factors.
+  for (const SpanTuple& t : selected) {
+    EXPECT_EQ(t[0]->In("abaaab"), t[1]->In("abaaab"));
+  }
+}
+
+TEST(Algebra, SelectionIsVacuousOnUndefinedSpans) {
+  auto s = SpannerExpr::Parse("({x: a}|b){y: .}");
+  auto sel = SpannerExpr::SelectEq(s, {"x", "y"});
+  // On "ba": x is undefined, y = a; vacuous selection keeps the tuple.
+  const SpanRelation r = sel->Evaluate("ba");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_FALSE((*r.begin())[0].has_value());
+}
+
+// --- Automaton-level compilation of the regular operations (§2.2) ---
+
+void ExpectCompiledMatchesMaterialized(const SpannerExprPtr& expr,
+                                       const std::vector<std::string>& docs) {
+  RegularSpanner compiled = CompileRegular(expr);
+  // Column order may differ; compare after aligning by name.
+  std::vector<std::size_t> align;
+  for (const std::string& name : expr->variables().names()) {
+    align.push_back(*compiled.variables().Find(name));
+  }
+  for (const std::string& doc : docs) {
+    SpanRelation materialized = expr->Evaluate(doc);
+    SpanRelation from_compiled;
+    for (const SpanTuple& t : compiled.Evaluate(doc)) {
+      from_compiled.insert(t.Project(align));
+    }
+    EXPECT_EQ(from_compiled, materialized) << expr->ToString() << " on " << doc;
+  }
+}
+
+TEST(CompileAlgebra, UnionJoinProjectEquivalence) {
+  const std::vector<std::string> docs = {"",     "a",    "b",      "ab",     "ba",
+                                         "aab",  "abab", "aabb",   "bbaa",   "ababab",
+                                         "aaab", "bbb",  "abba"};
+  ExpectCompiledMatchesMaterialized(
+      SpannerExpr::Union(SpannerExpr::Parse("{x: a+}b*"), SpannerExpr::Parse("a*{x: b+}")),
+      docs);
+  ExpectCompiledMatchesMaterialized(
+      SpannerExpr::Join(SpannerExpr::Parse("{x: a+}.*"), SpannerExpr::Parse(".*{x: a+}b.*")),
+      docs);
+  ExpectCompiledMatchesMaterialized(
+      SpannerExpr::Project(SpannerExpr::Parse("{x: a+}{y: b+}"), {"y"}), docs);
+  ExpectCompiledMatchesMaterialized(
+      SpannerExpr::Join(SpannerExpr::Parse("{x: a}.*"), SpannerExpr::Parse(".*{y: b}")),
+      docs);
+  ExpectCompiledMatchesMaterialized(
+      SpannerExpr::Union(
+          SpannerExpr::Project(SpannerExpr::Parse("{x: a+}{y: b+}"), {"x"}),
+          SpannerExpr::Parse("b*{x: a*}")),
+      docs);
+}
+
+TEST(CompileAlgebra, JoinWithEmptyIntersectionIsEmpty) {
+  auto j = SpannerExpr::Join(SpannerExpr::Parse("{x: a}"), SpannerExpr::Parse("{x: b}"));
+  RegularSpanner compiled = CompileRegular(j);
+  EXPECT_TRUE(compiled.Evaluate("a").empty());
+  EXPECT_TRUE(compiled.Evaluate("b").empty());
+}
+
+// --- Core-simplification lemma (§2.3) ---
+
+void ExpectSimplifiedMatches(const SpannerExprPtr& expr,
+                             const std::vector<std::string>& docs) {
+  const CoreNormalForm normal = SimplifyCore(expr);
+  // Normal-form output order must match the expression's schema by name.
+  ASSERT_EQ(normal.output.size(), expr->variables().size());
+  for (const std::string& doc : docs) {
+    EXPECT_EQ(normal.Evaluate(doc), expr->Evaluate(doc))
+        << expr->ToString() << " on \"" << doc << "\"";
+  }
+}
+
+TEST(CoreSimplification, SelectionOverJoin) {
+  auto expr = SpannerExpr::SelectEq(
+      SpannerExpr::Join(SpannerExpr::Parse("{x: a+}.*{y: a+}"),
+                        SpannerExpr::Parse("{x: a+}b.*")),
+      {"x", "y"});
+  ExpectSimplifiedMatches(expr, {"", "ab", "aba", "abaa", "aabaa", "aabaaba"});
+}
+
+TEST(CoreSimplification, SelectionThroughUnionUsesTwins) {
+  // ς=_{x,y}(A) ∪ B: the classical hard case; the twin construction keeps
+  // B's tuples unconstrained.
+  auto a = SpannerExpr::SelectEq(SpannerExpr::Parse("{x: a+}{y: a+}"), {"x", "y"});
+  auto b = SpannerExpr::Parse("{x: a+}{y: b+}");
+  auto expr = SpannerExpr::Union(a, b);
+  const CoreNormalForm normal = SimplifyCore(expr);
+  EXPECT_GE(normal.num_selections(), 1u);
+  ExpectSimplifiedMatches(expr, {"", "aa", "aaaa", "ab", "aab", "aaab", "aabb"});
+}
+
+TEST(CoreSimplification, NestedSelectionsAndProjections) {
+  auto inner = SpannerExpr::SelectEq(
+      SpannerExpr::Parse("{x: (a|b)+}.*{y: (a|b)+}{z: b*}"), {"x", "y"});
+  auto projected = SpannerExpr::Project(inner, {"x", "z"});
+  ExpectSimplifiedMatches(projected, {"", "aa", "abab", "aabb", "abba"});
+}
+
+TEST(CoreSimplification, UnionOfTwoSelections) {
+  auto a = SpannerExpr::SelectEq(SpannerExpr::Parse("{x: a+}{y: a+}b*"), {"x", "y"});
+  auto b = SpannerExpr::SelectEq(SpannerExpr::Parse("b*{x: a+}{y: a+}"), {"x", "y"});
+  auto expr = SpannerExpr::Union(a, b);
+  ExpectSimplifiedMatches(expr, {"", "aa", "aab", "baa", "aaaa", "baab"});
+}
+
+TEST(CoreSimplification, NormalFormRoundTripsThroughExpr) {
+  auto expr = SpannerExpr::SelectEq(SpannerExpr::Parse("{x: a+}.*{y: a+}"), {"x", "y"});
+  const CoreNormalForm normal = SimplifyCore(expr);
+  auto rebuilt = normal.ToExpr();
+  for (const char* doc : {"", "aa", "aabaa", "aba"}) {
+    EXPECT_EQ(rebuilt->Evaluate(doc), expr->Evaluate(doc)) << doc;
+  }
+}
+
+TEST(CoreSimplification, RandomizedCrossCheck) {
+  Rng rng(7);
+  auto expr = SpannerExpr::Union(
+      SpannerExpr::SelectEq(
+          SpannerExpr::Join(SpannerExpr::Parse("{x: a+}.*"),
+                            SpannerExpr::Parse(".*{y: a+}")),
+          {"x", "y"}),
+      SpannerExpr::Join(SpannerExpr::Parse("{x: a+}.*"), SpannerExpr::Parse(".*{y: b+}")));
+  const CoreNormalForm normal = SimplifyCore(expr);
+  for (int i = 0; i < 25; ++i) {
+    const std::string doc = RandomString(rng, "ab", 1 + rng.NextBelow(8));
+    EXPECT_EQ(normal.Evaluate(doc), expr->Evaluate(doc)) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,191 @@
+// Tests for the automata substrate: Thompson construction, NFA operations,
+// products, determinisation, Hopcroft minimisation, and language-level
+// decision procedures.
+#include <gtest/gtest.h>
+
+#include "automata/dfa.hpp"
+#include "automata/hopcroft.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/product.hpp"
+#include "automata/thompson.hpp"
+#include "core/regex_parser.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+Nfa FromPattern(std::string_view pattern) {
+  return ThompsonConstruct(MustParse(pattern));
+}
+
+bool AcceptsString(const Nfa& nfa, std::string_view text) {
+  return nfa.Accepts(ToSymbols(text));
+}
+
+TEST(Thompson, BasicLanguages) {
+  const Nfa nfa = FromPattern("a(b|c)*d");
+  EXPECT_TRUE(AcceptsString(nfa, "ad"));
+  EXPECT_TRUE(AcceptsString(nfa, "abcbd"));
+  EXPECT_FALSE(AcceptsString(nfa, "a"));
+  EXPECT_FALSE(AcceptsString(nfa, "abca"));
+  EXPECT_FALSE(AcceptsString(nfa, ""));
+}
+
+TEST(Thompson, EmptySetAndEpsilon) {
+  EXPECT_TRUE(FromPattern("[]").IsEmptyLanguage());
+  const Nfa eps = FromPattern("()");
+  EXPECT_TRUE(AcceptsString(eps, ""));
+  EXPECT_FALSE(AcceptsString(eps, "a"));
+}
+
+TEST(Thompson, PlusAndOptional) {
+  const Nfa plus = FromPattern("a+");
+  EXPECT_FALSE(AcceptsString(plus, ""));
+  EXPECT_TRUE(AcceptsString(plus, "aaa"));
+  const Nfa opt = FromPattern("ab?");
+  EXPECT_TRUE(AcceptsString(opt, "a"));
+  EXPECT_TRUE(AcceptsString(opt, "ab"));
+  EXPECT_FALSE(AcceptsString(opt, "abb"));
+}
+
+TEST(NfaOps, TrimRemovesDeadStates) {
+  Nfa nfa;
+  const StateId s0 = nfa.AddState();
+  const StateId s1 = nfa.AddState();
+  const StateId dead = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s1);
+  nfa.AddTransition(s0, Symbol::Char('a'), s1);
+  nfa.AddTransition(s0, Symbol::Char('b'), dead);  // dead end
+  const Nfa trimmed = nfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 2u);
+  EXPECT_TRUE(AcceptsString(trimmed, "a"));
+  EXPECT_FALSE(AcceptsString(trimmed, "b"));
+}
+
+TEST(NfaOps, RemoveEpsilonPreservesLanguage) {
+  const char* patterns[] = {"a*b*c*", "(ab|())*", "a?b?c?", "((a|b)c)*"};
+  Rng rng(6);
+  for (const char* pattern : patterns) {
+    const Nfa original = FromPattern(pattern);
+    const Nfa eps_free = RemoveEpsilon(original);
+    for (StateId s = 0; s < eps_free.num_states(); ++s) {
+      for (const Transition& t : eps_free.TransitionsFrom(s)) {
+        EXPECT_FALSE(t.symbol.IsEpsilon());
+      }
+    }
+    for (int i = 0; i < 40; ++i) {
+      const std::string doc = RandomString(rng, "abc", rng.NextBelow(8));
+      EXPECT_EQ(AcceptsString(original, doc), AcceptsString(eps_free, doc))
+          << pattern << " on " << doc;
+    }
+  }
+}
+
+TEST(Product, IntersectionLanguage) {
+  // starts-with-a AND ends-with-b.
+  const Nfa both = Intersect(FromPattern("a(a|b)*"), FromPattern("(a|b)*b"));
+  EXPECT_TRUE(AcceptsString(both, "ab"));
+  EXPECT_TRUE(AcceptsString(both, "abab"));
+  EXPECT_FALSE(AcceptsString(both, "a"));
+  EXPECT_FALSE(AcceptsString(both, "ba"));
+}
+
+TEST(Product, IntersectionWithDisjointIsEmpty) {
+  EXPECT_TRUE(Intersect(FromPattern("a+"), FromPattern("b+")).IsEmptyLanguage());
+}
+
+TEST(Product, UnionAndConcat) {
+  const Nfa u = UnionNfa(FromPattern("aa"), FromPattern("bb"));
+  EXPECT_TRUE(AcceptsString(u, "aa"));
+  EXPECT_TRUE(AcceptsString(u, "bb"));
+  EXPECT_FALSE(AcceptsString(u, "ab"));
+  const Nfa c = ConcatNfa(FromPattern("a+"), FromPattern("b+"));
+  EXPECT_TRUE(AcceptsString(c, "aab"));
+  EXPECT_FALSE(AcceptsString(c, "ba"));
+}
+
+TEST(Dfa, DeterminizeAgreesWithNfa) {
+  Rng rng(14);
+  const char* patterns[] = {"(a|b)*abb", "a*b|b*a", "((a|b)(a|b))*"};
+  for (const char* pattern : patterns) {
+    const Nfa nfa = FromPattern(pattern);
+    const Dfa dfa = Determinize(nfa);
+    for (int i = 0; i < 60; ++i) {
+      const std::string doc = RandomString(rng, "ab", rng.NextBelow(10));
+      EXPECT_EQ(dfa.Accepts(ToSymbols(doc)), AcceptsString(nfa, doc))
+          << pattern << " on " << doc;
+    }
+  }
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  const Dfa dfa = Determinize(FromPattern("(a|b)*abb"));
+  const Dfa complement = dfa.Complement();
+  Rng rng(15);
+  for (int i = 0; i < 40; ++i) {
+    const std::string doc = RandomString(rng, "ab", rng.NextBelow(9));
+    EXPECT_NE(dfa.Accepts(ToSymbols(doc)), complement.Accepts(ToSymbols(doc)));
+  }
+}
+
+TEST(Hopcroft, MinimizesToKnownSize) {
+  // (a|b)*abb has a 4-state minimal DFA (plus no sink needed: complete
+  // over {a, b} it is exactly 4 states).
+  const Dfa minimal = Minimize(Determinize(FromPattern("(a|b)*abb")));
+  EXPECT_EQ(minimal.num_states(), 4u);
+}
+
+TEST(Hopcroft, MinimalDfasOfEquivalentRegexesAreIsomorphic) {
+  const Dfa a = Minimize(Determinize(FromPattern("(a|b)*abb")));
+  const Dfa b = Minimize(Determinize(FromPattern("(b|a)*ab(b)")));
+  EXPECT_TRUE(Isomorphic(a, b));
+  const Dfa c = Minimize(Determinize(FromPattern("(a|b)*aba")));
+  EXPECT_FALSE(Isomorphic(a, c));
+}
+
+TEST(Hopcroft, MinimizationPreservesLanguage) {
+  Rng rng(16);
+  const Nfa nfa = FromPattern("(a(a|b)*b|b(a|b)*a)");
+  const Dfa dfa = Determinize(nfa);
+  const Dfa minimal = Minimize(dfa);
+  EXPECT_LE(minimal.num_states(), dfa.num_states());
+  for (int i = 0; i < 80; ++i) {
+    const std::string doc = RandomString(rng, "ab", rng.NextBelow(10));
+    EXPECT_EQ(minimal.Accepts(ToSymbols(doc)), dfa.Accepts(ToSymbols(doc))) << doc;
+  }
+}
+
+TEST(LanguageOps, SubsetAndEquivalence) {
+  EXPECT_TRUE(IsSubsetLanguage(FromPattern("ab"), FromPattern("(a|b)*")));
+  EXPECT_FALSE(IsSubsetLanguage(FromPattern("(a|b)*"), FromPattern("ab")));
+  EXPECT_TRUE(IsEquivalentLanguage(FromPattern("(a|b)*"), FromPattern("(b|a)*")));
+  EXPECT_FALSE(IsEquivalentLanguage(FromPattern("a*"), FromPattern("a+")));
+}
+
+TEST(LanguageOps, ShortestWitnessAndCounterexample) {
+  const auto witness = ShortestWitness(FromPattern("a*bba*"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 2u);  // "bb"
+  const auto counter = ShortestCounterexample(FromPattern("a*"), FromPattern("aa*"));
+  ASSERT_TRUE(counter.has_value());
+  EXPECT_TRUE(counter->empty());  // epsilon in a* but not a+
+  EXPECT_FALSE(ShortestCounterexample(FromPattern("ab"), FromPattern("(a|b)*")).has_value());
+}
+
+TEST(Symbols, EncodingRoundTrip) {
+  const Symbol open = Symbol::Open(7);
+  EXPECT_EQ(open.kind(), SymbolKind::kOpen);
+  EXPECT_EQ(open.variable(), 7u);
+  EXPECT_EQ(open.marker_bit(), OpenMarker(7));
+  const Symbol close = Symbol::Close(7);
+  EXPECT_EQ(close.marker_bit(), CloseMarker(7));
+  EXPECT_NE(open, close);
+  const Symbol ch = Symbol::Char('z');
+  EXPECT_TRUE(ch.IsChar());
+  EXPECT_EQ(ch.ch(), 'z');
+  EXPECT_EQ(Symbol::Ref(3).ToString(), "&x3");
+}
+
+}  // namespace
+}  // namespace spanners

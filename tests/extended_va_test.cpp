@@ -1,0 +1,101 @@
+// Invariant tests for extended vset-automata (paper, §2.2 Option 2): the
+// construction from vset-automata, determinisation, trimming, and the
+// bijection between accepted letter words and (document, tuple) pairs.
+#include "core/extended_va.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/regex_parser.hpp"
+#include "core/regular_spanner.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+class EvaInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EvaInvariants, DeterminizedIsDeterministicAndTrim) {
+  const VsetAutomaton vset = VsetAutomaton::FromRegex(MustParse(GetParam()));
+  const ExtendedVA eva = ExtendedVA::FromVset(vset);
+  const ExtendedVA det = eva.Determinized();
+  EXPECT_TRUE(det.IsDeterministic());
+  // Trimmed: every state reachable and co-reachable -- verified by checking
+  // that trimming again is a no-op in state count.
+  EXPECT_EQ(det.Trimmed().num_states(), det.num_states());
+}
+
+TEST_P(EvaInvariants, DeterminizationPreservesTheSpanner) {
+  const VsetAutomaton vset = VsetAutomaton::FromRegex(MustParse(GetParam()));
+  const ExtendedVA eva = ExtendedVA::FromVset(vset);
+  const ExtendedVA det = eva.Determinized();
+  Rng rng(77);
+  for (int i = 0; i < 25; ++i) {
+    const std::string doc = RandomString(rng, "ab", rng.NextBelow(7));
+    // Compare acceptance of candidate pairs: all spans over small docs.
+    const Position n = static_cast<Position>(doc.size());
+    for (Position b = 1; b <= n + 1; ++b) {
+      for (Position e = b; e <= n + 1; ++e) {
+        SpanTuple t(vset.variables().size());
+        if (t.arity() > 0) t[0] = Span(b, e);
+        EXPECT_EQ(eva.AcceptsPair(doc, t), det.AcceptsPair(doc, t))
+            << GetParam() << " " << doc << " " << t.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(EvaInvariants, NormalizedVsetRoundTripsTheSpanner) {
+  // eDVA -> normalised vset-automaton -> RegularSpanner: same relation.
+  const RegularSpanner original = RegularSpanner::Compile(GetParam());
+  const VsetAutomaton normalized = original.edva().ToNormalizedVset();
+  const RegularSpanner round = RegularSpanner::FromAutomaton(normalized);
+  Rng rng(78);
+  for (int i = 0; i < 20; ++i) {
+    const std::string doc = RandomString(rng, "ab", rng.NextBelow(8));
+    EXPECT_EQ(original.Evaluate(doc), round.Evaluate(doc)) << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, EvaInvariants,
+                         ::testing::Values("{x: (a|b)*}", "(a|b)*{x: a+}b",
+                                           "({x: a})?(a|b)*", "{x: a*b}|{x: b*a}",
+                                           "a{x: ()}b?"));
+
+TEST(ExtendedVA, InvalidRunsAreExcluded) {
+  // ({x: a})+ allows NFA runs reopening x; the eVA must exclude them: the
+  // only valid runs capture x exactly once, so documents "aa.." with two or
+  // more iterations have no tuples.
+  const RegularSpanner s = RegularSpanner::Compile("({x: a})+");
+  EXPECT_EQ(s.Evaluate("a").size(), 1u);
+  EXPECT_TRUE(s.Evaluate("aa").empty());
+  EXPECT_TRUE(s.Evaluate("aaa").empty());
+}
+
+TEST(ExtendedVA, EndLetterCarriesFinalMarkers) {
+  // Markers that fire in the last gap (after the final character) travel on
+  // the End letter: z closes at |D|+1.
+  const RegularSpanner s = RegularSpanner::Compile("{z: (a|b)*}");
+  const SpanRelation r = s.Evaluate("ab");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ((*r.begin())[0], Span(1, 3));
+}
+
+TEST(ExtendedVA, LetterWordOfEmptyDocument) {
+  const SpanTuple t = SpanTuple::Of({Span(1, 1)});
+  const auto letters = ExtendedVA::LetterWord("", t);
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].ch, kEndMark);
+  EXPECT_EQ(letters[0].markers, OpenMarker(0) | CloseMarker(0));
+}
+
+TEST(ExtendedVADeath, PreconditionsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Referencing in a plain regular spanner is a usage error.
+  EXPECT_DEATH(VsetAutomaton::FromRegex(MustParse("{x: a}&x;")),
+               "contains references");
+  // Parsing garbage through MustParse aborts with the parser message.
+  EXPECT_DEATH(MustParse("(a"), "MustParse");
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,205 @@
+// Property-based sweeps (TEST_P) over spanner patterns and document
+// families: every evaluation pipeline in the library must agree on every
+// (pattern, document) pair, and the algebra must satisfy its laws.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.hpp"
+#include "core/compile_algebra.hpp"
+#include "core/core_simplification.hpp"
+#include "core/decision.hpp"
+#include "core/regular_spanner.hpp"
+#include "refl/refl_spanner.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_enum.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+// --- Pipeline agreement sweep ---------------------------------------------
+
+struct PipelineCase {
+  const char* name;
+  const char* pattern;
+};
+
+class PipelineAgreement : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  static std::vector<std::string> Documents() {
+    std::vector<std::string> docs = {"", "a", "b", "ab", "ba", "aab", "bba", "abab"};
+    Rng rng(1234);
+    for (int i = 0; i < 12; ++i) {
+      docs.push_back(RandomString(rng, "ab", 1 + rng.NextBelow(11)));
+    }
+    return docs;
+  }
+};
+
+TEST_P(PipelineAgreement, EdvaNaiveSlpAndModelCheckAgree) {
+  const RegularSpanner spanner = RegularSpanner::Compile(GetParam().pattern);
+  SlpSpannerEvaluator slp_eval(&spanner.edva());
+  for (const std::string& doc : Documents()) {
+    SCOPED_TRACE(doc);
+    const SpanRelation via_edva = spanner.Evaluate(doc);
+    // 1. Naive nondeterministic product DFS.
+    EXPECT_EQ(via_edva, spanner.EvaluateNaive(doc));
+    // 2. SLP-compressed evaluation (Re-Pair compression).
+    Slp slp;
+    const NodeId root = doc.empty() ? kNoNode : BuildRePair(slp, doc);
+    EXPECT_EQ(via_edva, slp_eval.EvaluateToRelation(slp, root));
+    // 3. Reference-free refl evaluation.
+    const ReflSpanner refl = ReflSpanner::Compile(GetParam().pattern);
+    EXPECT_EQ(via_edva, refl.Evaluate(doc));
+    // 4. ModelCheck accepts exactly the relation members (sampled: every
+    //    member plus a shifted non-member candidate).
+    for (const SpanTuple& t : via_edva) {
+      EXPECT_TRUE(spanner.ModelCheck(doc, t)) << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, PipelineAgreement,
+    ::testing::Values(
+        PipelineCase{"example11", "{x: (a|b)*}{y: b}{z: (a|b)*}"},
+        PipelineCase{"all_factors", ".*{x: .*}.*"},
+        PipelineCase{"blocks", "({x: a+}|{y: b+})(a|b)*"},
+        PipelineCase{"nested", "{x: a*{y: b*}a*}"},
+        PipelineCase{"optional", ".*{x: ab?}{y: b*}.*"},
+        PipelineCase{"empty_spans", ".*{x: ()}.*"},
+        PipelineCase{"boolean", "(a|b)*ab"},
+        PipelineCase{"schemaless_star", "({x: a})?(a|b)*"}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) { return info.param.name; });
+
+// --- Algebra laws ----------------------------------------------------------
+
+class AlgebraLaws : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AlgebraLaws, UnionIsIdempotentCommutativeAssociative) {
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: a+}.*");
+  auto b = SpannerExpr::Parse(".*{x: b+}");
+  auto c = SpannerExpr::Parse("{x: ab}.*");
+  EXPECT_EQ(SpannerExpr::Union(a, a)->Evaluate(doc), a->Evaluate(doc));
+  EXPECT_EQ(SpannerExpr::Union(a, b)->Evaluate(doc),
+            SpannerExpr::Union(b, a)->Evaluate(doc));
+  EXPECT_EQ(SpannerExpr::Union(SpannerExpr::Union(a, b), c)->Evaluate(doc),
+            SpannerExpr::Union(a, SpannerExpr::Union(b, c))->Evaluate(doc));
+}
+
+TEST_P(AlgebraLaws, JoinIsCommutativeUpToColumnOrder) {
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: a+}{y: b*}.*");
+  auto b = SpannerExpr::Parse("{x: a+}.*{z: b}");
+  auto ab = SpannerExpr::Join(a, b);
+  auto ba = SpannerExpr::Join(b, a);
+  // Align ba's columns to ab's schema.
+  std::vector<std::size_t> align;
+  for (const std::string& name : ab->variables().names()) {
+    align.push_back(*ba->variables().Find(name));
+  }
+  SpanRelation realigned;
+  for (const SpanTuple& t : ba->Evaluate(doc)) realigned.insert(t.Project(align));
+  EXPECT_EQ(ab->Evaluate(doc), realigned);
+}
+
+TEST_P(AlgebraLaws, JoinWithSelfIsIdentity) {
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: a+}.*{y: b+}");
+  EXPECT_EQ(SpannerExpr::Join(a, a)->Evaluate(doc), a->Evaluate(doc));
+}
+
+TEST_P(AlgebraLaws, ProjectionCommutesWithUnion) {
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: a+}{y: b*}");
+  auto b = SpannerExpr::Parse("{y: b*}{x: a+}");
+  auto left = SpannerExpr::Project(SpannerExpr::Union(a, b), {"x"});
+  auto right = SpannerExpr::Union(SpannerExpr::Project(a, {"x"}),
+                                  SpannerExpr::Project(b, {"x"}));
+  EXPECT_EQ(left->Evaluate(doc), right->Evaluate(doc));
+}
+
+TEST_P(AlgebraLaws, SelectionCommutesWithJoin) {
+  // ς=_Z(A) ⋈ B == ς=_Z(A ⋈ B) -- the law core simplification relies on.
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: (a|b)+}.*{y: (a|b)+}");
+  auto b = SpannerExpr::Parse("{x: (a|b)+}b.*");
+  auto lhs = SpannerExpr::Join(SpannerExpr::SelectEq(a, {"x", "y"}), b);
+  auto rhs = SpannerExpr::SelectEq(SpannerExpr::Join(a, b), {"x", "y"});
+  EXPECT_EQ(lhs->Evaluate(doc), rhs->Evaluate(doc));
+}
+
+TEST_P(AlgebraLaws, SelectionIsIdempotentAndOrderInvariant) {
+  const std::string doc = GetParam();
+  auto a = SpannerExpr::Parse("{x: (a|b)+}.*{y: (a|b)+}.*{z: (a|b)+}");
+  auto once = SpannerExpr::SelectEq(a, {"x", "y"});
+  EXPECT_EQ(SpannerExpr::SelectEq(once, {"x", "y"})->Evaluate(doc), once->Evaluate(doc));
+  auto xy_then_yz = SpannerExpr::SelectEq(SpannerExpr::SelectEq(a, {"x", "y"}), {"y", "z"});
+  auto yz_then_xy = SpannerExpr::SelectEq(SpannerExpr::SelectEq(a, {"y", "z"}), {"x", "y"});
+  EXPECT_EQ(xy_then_yz->Evaluate(doc), yz_then_xy->Evaluate(doc));
+}
+
+TEST_P(AlgebraLaws, CompiledAndSimplifiedAgreeWithMaterialized) {
+  const std::string doc = GetParam();
+  auto regular_part = SpannerExpr::Union(
+      SpannerExpr::Project(SpannerExpr::Parse("{x: a+}{y: b+}"), {"x"}),
+      SpannerExpr::Join(SpannerExpr::Parse("{x: a+}.*"), SpannerExpr::Parse(".*{x: a+}b.*")));
+  const RegularSpanner compiled = CompileRegular(regular_part);
+  std::vector<std::size_t> align;
+  for (const std::string& name : regular_part->variables().names()) {
+    align.push_back(*compiled.variables().Find(name));
+  }
+  SpanRelation from_compiled;
+  for (const SpanTuple& t : compiled.Evaluate(doc)) from_compiled.insert(t.Project(align));
+  EXPECT_EQ(from_compiled, regular_part->Evaluate(doc));
+
+  auto with_selection = SpannerExpr::SelectEq(
+      SpannerExpr::Parse("{x: (a|b)+}.*{y: (a|b)+}"), {"x", "y"});
+  EXPECT_EQ(SimplifyCore(with_selection).Evaluate(doc), with_selection->Evaluate(doc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Documents, AlgebraLaws,
+                         ::testing::Values("", "a", "ab", "aab", "abab", "aabb", "bbaa",
+                                           "ababab", "baabaa"));
+
+// --- Containment is a partial order on representative spanners -------------
+
+TEST(ContainmentOrder, ReflexiveAntisymmetricTransitiveOnChain) {
+  const RegularSpanner bottom = RegularSpanner::Compile("{x: ab}");
+  const RegularSpanner middle = RegularSpanner::Compile("{x: ab|ba}");
+  const RegularSpanner top = RegularSpanner::Compile("{x: (a|b)(a|b)}");
+  EXPECT_TRUE(SpannerContained(bottom, bottom));
+  EXPECT_TRUE(SpannerContained(bottom, middle));
+  EXPECT_TRUE(SpannerContained(middle, top));
+  EXPECT_TRUE(SpannerContained(bottom, top));  // transitivity instance
+  EXPECT_FALSE(SpannerContained(top, bottom));
+  EXPECT_FALSE(SpannerEquivalent(bottom, middle));
+}
+
+// --- Enumeration invariants -------------------------------------------------
+
+class EnumerationInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerationInvariants, CountsMatchAndDelaysBounded) {
+  // .*{x: a}.* on a^n yields exactly n tuples; delay must not grow with n.
+  const int n = GetParam();
+  const RegularSpanner spanner = RegularSpanner::Compile(".*{x: a}.*");
+  const std::string doc(static_cast<std::size_t>(n), 'a');
+  Enumerator enumerator = spanner.Enumerate(doc);
+  std::size_t count = 0;
+  std::size_t max_delay = 0;
+  while (enumerator.Next()) {
+    ++count;
+    max_delay = std::max(max_delay, enumerator.last_delay_steps());
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(n));
+  EXPECT_LE(max_delay, 8u);  // constant bound, independent of n
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnumerationInvariants,
+                         ::testing::Values(1, 2, 8, 64, 512, 4096));
+
+}  // namespace
+}  // namespace spanners

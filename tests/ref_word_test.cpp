@@ -1,0 +1,122 @@
+// Tests for subword-marked words (paper, Section 2.1): well-formedness,
+// e(.), st(.), the canonical inverse, and extended-letter encodings.
+#include "core/ref_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/extended_va.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+/// Builds the marked word of the paper's Section 2.1 example:
+/// z> a x> b c y> a c <x a c <y <z b b a a  for D = abcacacbbaa with
+/// t(x) = [2,6>, t(y) = [4,8>, t(z) = [1,8>.
+MarkedWord PaperExample() {
+  MarkedWord w;
+  auto chars = [&](std::string_view text) {
+    for (unsigned char c : text) w.push_back(Symbol::Char(c));
+  };
+  w.push_back(Symbol::Open(2));  // z>
+  chars("a");
+  w.push_back(Symbol::Open(0));  // x>
+  chars("bc");
+  w.push_back(Symbol::Open(1));  // y>
+  chars("ac");
+  w.push_back(Symbol::Close(0));  // <x
+  chars("ac");
+  w.push_back(Symbol::Close(1));  // <y
+  w.push_back(Symbol::Close(2));  // <z
+  chars("bbaa");
+  return w;
+}
+
+TEST(MarkedWords, PaperSection21Example) {
+  const MarkedWord w = PaperExample();
+  EXPECT_TRUE(IsSubwordMarked(w, 3, Semantics::kFunctional));
+  EXPECT_EQ(EraseMarkers(w), "abcacacbbaa");
+  const auto tuple = ExtractTuple(w, 3);
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ((*tuple)[0], Span(2, 6));
+  EXPECT_EQ((*tuple)[1], Span(4, 8));
+  EXPECT_EQ((*tuple)[2], Span(1, 8));
+}
+
+TEST(MarkedWords, WellFormednessViolations) {
+  // Close before open.
+  EXPECT_FALSE(IsSubwordMarked({Symbol::Close(0), Symbol::Open(0)}, 1));
+  // Open twice.
+  EXPECT_FALSE(IsSubwordMarked({Symbol::Open(0), Symbol::Open(0), Symbol::Close(0)}, 1));
+  // Left open.
+  EXPECT_FALSE(IsSubwordMarked({Symbol::Open(0), Symbol::Char('a')}, 1));
+  // Missing variable under functional semantics, fine under schemaless.
+  EXPECT_FALSE(IsSubwordMarked({Symbol::Char('a')}, 1, Semantics::kFunctional));
+  EXPECT_TRUE(IsSubwordMarked({Symbol::Char('a')}, 1, Semantics::kSchemaless));
+  // Reference symbols are not subword-marked words.
+  EXPECT_FALSE(IsSubwordMarked({Symbol::Ref(0)}, 1, Semantics::kSchemaless));
+}
+
+TEST(MarkedWords, BuildIsInverseOfExtract) {
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    const std::string doc = RandomString(rng, "ab", 1 + rng.NextBelow(10));
+    const Position n = static_cast<Position>(doc.size());
+    SpanTuple tuple(3);
+    for (std::size_t v = 0; v < 3; ++v) {
+      if (rng.NextBelow(4) == 0) continue;  // leave undefined sometimes
+      const Position b = 1 + static_cast<Position>(rng.NextBelow(n + 1));
+      const Position e = b + static_cast<Position>(rng.NextBelow(n + 2 - b));
+      tuple[v] = Span(b, e);
+    }
+    const MarkedWord w = BuildMarkedWord(doc, tuple);
+    EXPECT_TRUE(IsSubwordMarked(w, 3, Semantics::kSchemaless));
+    EXPECT_EQ(EraseMarkers(w), doc);
+    const auto extracted = ExtractTuple(w, 3);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_EQ(*extracted, tuple);
+  }
+}
+
+TEST(MarkedWords, EmptySpansStayWellFormed) {
+  const SpanTuple tuple = SpanTuple::Of({Span(1, 1), Span(3, 3)});
+  const MarkedWord w = BuildMarkedWord("ab", tuple);
+  EXPECT_TRUE(IsSubwordMarked(w, 2, Semantics::kFunctional));
+  EXPECT_EQ(*ExtractTuple(w, 2), tuple);
+}
+
+TEST(LetterWords, RoundTripThroughExtendedLetters) {
+  Rng rng(37);
+  for (int round = 0; round < 50; ++round) {
+    const std::string doc = RandomString(rng, "abc", rng.NextBelow(9));
+    const Position n = static_cast<Position>(doc.size());
+    SpanTuple tuple(2);
+    for (std::size_t v = 0; v < 2; ++v) {
+      const Position b = 1 + static_cast<Position>(rng.NextBelow(n + 1));
+      const Position e = b + static_cast<Position>(rng.NextBelow(n + 2 - b));
+      tuple[v] = Span(b, e);
+    }
+    const auto letters = ExtendedVA::LetterWord(doc, tuple);
+    ASSERT_EQ(letters.size(), doc.size() + 1);
+    EXPECT_EQ(letters.back().ch, kEndMark);
+    EXPECT_EQ(ExtendedVA::TupleOfLetterWord(letters, 2), tuple);
+  }
+}
+
+TEST(LetterWords, MarkerSetRendering) {
+  const MarkerSet set = OpenMarker(0) | CloseMarker(1);
+  EXPECT_EQ(MarkerSetToString(set), "{x0> <x1}");
+  const auto symbols = MarkerSetSymbols(set);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], Symbol::Open(0));
+  EXPECT_EQ(symbols[1], Symbol::Close(1));
+}
+
+TEST(MarkedWords, ToStringReadable) {
+  VariableSet vars({"x"});
+  const MarkedWord w = {Symbol::Open(0), Symbol::Char('a'), Symbol::Close(0)};
+  EXPECT_EQ(MarkedWordToString(w, &vars), "x> a <x");
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,293 @@
+// Tests for refl-spanners (paper, Section 3): ref-words and dereferencing,
+// evaluation, linear-time model checking, satisfiability, and the
+// translations refl -> core and (restricted) core -> refl.
+#include "refl/refl_spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/decision.hpp"
+#include "core/regex_parser.hpp"
+#include "core/word_equations.hpp"
+#include "refl/core_to_refl.hpp"
+#include "refl/ref_deref.hpp"
+#include "refl/refl_decision.hpp"
+#include "refl/refl_eval.hpp"
+#include "refl/refl_to_core.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+SpanTuple Tup(std::initializer_list<Span> spans) { return SpanTuple::Of(spans); }
+
+// --- Ref-words and the deref function (§3.1) ---
+
+TEST(RefDeref, PaperExampleNestedReferences) {
+  // w = x> aa y> bbb <x cc x <y abc y  from Section 3.1, with
+  // d(w) = aabbbccaabbbabcbbbccaabbb.
+  VariableSet vars({"x", "y"});
+  MarkedWord w;
+  auto chars = [&](std::string_view text) {
+    for (unsigned char c : text) w.push_back(Symbol::Char(c));
+  };
+  w.push_back(Symbol::Open(0));
+  chars("aa");
+  w.push_back(Symbol::Open(1));
+  chars("bbb");
+  w.push_back(Symbol::Close(0));
+  chars("cc");
+  w.push_back(Symbol::Ref(0));
+  w.push_back(Symbol::Close(1));
+  chars("abc");
+  w.push_back(Symbol::Ref(1));
+
+  ASSERT_TRUE(IsValidRefWord(w, 2));
+  auto result = DerefToDocument(w, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->document, "aabbbccaabbbabcbbbccaabbb");
+  EXPECT_EQ(result->tuple[0], Span(1, 6));    // x = aabbb
+  EXPECT_EQ(result->tuple[1], Span(3, 13));   // y = bbbccaabbb
+}
+
+TEST(RefDeref, RejectsReferenceInsideOwnCapture) {
+  MarkedWord w = {Symbol::Open(0), Symbol::Ref(0), Symbol::Close(0)};
+  EXPECT_FALSE(IsValidRefWord(w, 1));
+  EXPECT_FALSE(Deref(w, 1).has_value());
+}
+
+TEST(RefDeref, RejectsCyclicDependencies) {
+  // x's content references y, y's content references x.
+  MarkedWord w = {Symbol::Open(0), Symbol::Ref(1), Symbol::Close(0),
+                  Symbol::Open(1), Symbol::Ref(0), Symbol::Close(1)};
+  EXPECT_TRUE(IsValidRefWord(w, 2));  // syntactically fine
+  EXPECT_FALSE(Deref(w, 2).has_value());  // but not dereferenceable
+}
+
+TEST(RefDeref, RejectsReferenceToUncapturedVariable) {
+  MarkedWord w = {Symbol::Char('a'), Symbol::Ref(0)};
+  EXPECT_FALSE(Deref(w, 1).has_value());
+}
+
+TEST(RefDeref, ForwardReferenceIsDereferenceable) {
+  // x x> ab <x : reference before the capture, content known globally.
+  MarkedWord w = {Symbol::Ref(0), Symbol::Open(0), Symbol::Char('a'), Symbol::Char('b'),
+                  Symbol::Close(0)};
+  auto result = DerefToDocument(w, 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->document, "abab");
+  EXPECT_EQ(result->tuple[0], Span(3, 5));
+}
+
+// --- Evaluation (§3.1, §3.3) ---
+
+TEST(ReflSpanner, PaperExampleEquations2And3) {
+  // alpha' = a b* x>(a|b)*<x (b|c)* y> x <y b*   (equation (3)):
+  // the refl version of ς=_{x,y}(alpha) for alpha from equation (2).
+  ReflSpanner refl = ReflSpanner::Compile("ab*{x: (a|b)*}(b|c)*{y: &x}b*");
+  // Compare against the core spanner ς=_{x,y}([[alpha]]).
+  auto core = SimplifyCore(SpannerExpr::SelectEq(
+      SpannerExpr::Parse("ab*{x: (a|b)*}(b|c)*{y: (a|b)*}b*"), {"x", "y"}));
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const std::string doc = "a" + RandomString(rng, "abc", rng.NextBelow(7));
+    EXPECT_EQ(refl.Evaluate(doc), core.Evaluate(doc)) << doc;
+  }
+}
+
+TEST(ReflSpanner, CopySpannerExtractsRepeats) {
+  ReflSpanner s = ReflSpanner::Compile(".*{x: .+}&x;.*");
+  const SpanRelation r = s.Evaluate("abcabc");
+  // x = "abc" at [1,4> is one of the repeats.
+  EXPECT_TRUE(r.count(Tup({Span(1, 4)})));
+  // "abcabd" has only the single-character repeat... none actually.
+  EXPECT_TRUE(s.Evaluate("abcdef").empty());
+}
+
+TEST(ReflSpanner, EvaluationMatchesDerefSemantics) {
+  // For every tuple reported by Evaluate, the corresponding ref-word
+  // dereferences to (D, t); spot-check via ModelCheck.
+  ReflSpanner s = ReflSpanner::Compile("{x: (a|b)+}c&x;");
+  const std::string doc = "abcab";
+  const SpanRelation r = s.Evaluate(doc);
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 3)}));
+  EXPECT_EQ(r, expected);
+  EXPECT_TRUE(s.ModelCheck(doc, Tup({Span(1, 3)})));
+  EXPECT_FALSE(s.ModelCheck(doc, Tup({Span(1, 2)})));
+}
+
+TEST(ReflSpanner, ReferenceFreeAgreesWithRegularSpanner) {
+  const char* patterns[] = {"{x: (a|b)*}{y: b}{z: (a|b)*}", "({x: a+}|{y: b+})*"};
+  const char* docs[] = {"", "ab", "ababbab", "aabb"};
+  for (const char* pattern : patterns) {
+    ReflSpanner refl = ReflSpanner::Compile(pattern);
+    RegularSpanner regular = RegularSpanner::Compile(pattern);
+    EXPECT_TRUE(refl.IsReferenceFree());
+    for (const char* doc : docs) {
+      EXPECT_EQ(refl.Evaluate(doc), regular.Evaluate(doc)) << pattern << " " << doc;
+    }
+  }
+}
+
+TEST(ReflSpanner, ModelCheckAgainstEvaluateExhaustively) {
+  ReflSpanner s = ReflSpanner::Compile(".*{x: (a|b)+}.*&x;.*");
+  Rng rng(5);
+  for (int round = 0; round < 15; ++round) {
+    const std::string doc = RandomString(rng, "ab", 2 + rng.NextBelow(6));
+    const SpanRelation relation = s.Evaluate(doc);
+    const Position n = static_cast<Position>(doc.size());
+    for (Position b = 1; b <= n + 1; ++b) {
+      for (Position e = b; e <= n + 1; ++e) {
+        const SpanTuple t = Tup({Span(b, e)});
+        EXPECT_EQ(s.ModelCheck(doc, t), relation.count(t) > 0)
+            << doc << " " << t.ToString();
+      }
+    }
+  }
+}
+
+TEST(ReflSpanner, ModelCheckHandlesEmptyReference) {
+  ReflSpanner s = ReflSpanner::Compile("{x: a*}b&x;");
+  EXPECT_TRUE(s.ModelCheck("b", Tup({Span(1, 1)})));   // x = ""
+  EXPECT_TRUE(s.ModelCheck("aba", Tup({Span(1, 2)}))); // x = "a"
+  EXPECT_FALSE(s.ModelCheck("ab", Tup({Span(1, 2)})));
+}
+
+TEST(ReflSpanner, NonEmptiness) {
+  ReflSpanner s = ReflSpanner::Compile("{x: (a|b)+}&x;");
+  EXPECT_TRUE(ReflNonEmptiness(s, "abab"));
+  EXPECT_FALSE(ReflNonEmptiness(s, "aba"));
+  EXPECT_FALSE(ReflNonEmptiness(s, ""));
+}
+
+// --- Static analysis (§3.3) ---
+
+TEST(ReflDecision, Satisfiability) {
+  EXPECT_TRUE(ReflSatisfiability(ReflSpanner::Compile("{x: a+}&x;")));
+  // Intersection-style unsatisfiable: x must be both all-a and start with b.
+  // (A plain regular contradiction keeps the test polynomial-size.)
+  EXPECT_FALSE(ReflSatisfiability(ReflSpanner::Compile("{x: []}&x;")));
+}
+
+TEST(ReflDecision, SatisfiabilityWitnessDereferences) {
+  ReflSpanner s = ReflSpanner::Compile("{x: ab+}c&x;");
+  auto witness = ReflSatisfiabilityWitness(s);
+  ASSERT_TRUE(witness.has_value());
+  auto deref = DerefToDocument(*witness, s.variables().size());
+  ASSERT_TRUE(deref.has_value());
+  // The witness document must actually satisfy the spanner.
+  EXPECT_TRUE(ReflNonEmptiness(s, deref->document));
+}
+
+TEST(ReflSpanner, ReferenceBoundedness) {
+  EXPECT_TRUE(ReflSpanner::Compile("{x: a+}&x;&x;").IsReferenceBounded());
+  // The paper's unbounded example: a+ x>b+<x (a+ x)* a+.
+  EXPECT_FALSE(ReflSpanner::Compile("a+{x: b+}(a+&x;)*a+").IsReferenceBounded());
+}
+
+// --- Translations (§3.2) ---
+
+TEST(ReflToCore, BoundedSpannerTranslates) {
+  ReflSpanner refl = ReflSpanner::Compile("{x: (a|b)+}c{y: &x}");
+  auto core = ReflToCore(refl);
+  ASSERT_TRUE(core.has_value());
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    const std::string doc = RandomString(rng, "abc", 1 + rng.NextBelow(7));
+    EXPECT_EQ(core->Evaluate(doc), refl.Evaluate(doc)) << doc;
+  }
+}
+
+TEST(ReflToCore, RefusesUnboundedReferences) {
+  ReflSpanner refl = ReflSpanner::Compile("a+{x: b+}(a+&x;)*a+");
+  EXPECT_FALSE(ReflToCore(refl).has_value());
+}
+
+TEST(CoreToRefl, SimpleSelectionBecomesReference) {
+  // The introduction's alpha (equation (2)) with ς=_{x,y} equals alpha'
+  // (equation (3)).
+  Regex alpha = MustParse("ab*{x: (a|b)*}(b|c)*{y: (a|b)*}b*");
+  auto refl = CoreToRefl(alpha, {{"x", "y"}});
+  ASSERT_TRUE(refl.has_value());
+  auto core = SimplifyCore(
+      SpannerExpr::SelectEq(SpannerExpr::Primitive(RegularSpanner::FromRegex(alpha.Clone())),
+                            {"x", "y"}));
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const std::string doc = "a" + RandomString(rng, "abc", rng.NextBelow(6));
+    EXPECT_EQ(refl->Evaluate(doc), core.Evaluate(doc)) << doc;
+  }
+}
+
+TEST(CoreToRefl, BetaExampleNeedsBodyIntersection) {
+  // β = a b* {x: a(a|b)*} (b|c)* {y: (a|b)*b} b* with ς=_{x,y}: the naive
+  // replacement of either capture is wrong; the translation must use
+  // γ = a(a|b)* ∩ (a|b)*b (paper, Section 3.2).
+  Regex beta = MustParse("ab*{x: a(a|b)*}(b|c)*{y: (a|b)*b}b*");
+  auto refl = CoreToRefl(beta, {{"x", "y"}});
+  ASSERT_TRUE(refl.has_value());
+  auto core = SimplifyCore(SpannerExpr::SelectEq(
+      SpannerExpr::Primitive(RegularSpanner::FromRegex(beta.Clone())), {"x", "y"}));
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    const std::string doc = "a" + RandomString(rng, "abc", rng.NextBelow(8));
+    EXPECT_EQ(refl->Evaluate(doc), core.Evaluate(doc)) << doc;
+  }
+}
+
+TEST(CoreToRefl, RefusesNonMandatoryCaptures) {
+  Regex regex = MustParse("({x: a+})?{y: a+}");
+  EXPECT_FALSE(CoreToRefl(regex, {{"x", "y"}}).has_value());
+}
+
+TEST(FuseColumnsOp, MatchesPaperExample) {
+  // t = ([1,3>, [2,6>, [3,7>), fusing {x1, x3} -> y gives ([1,7>, [2,6>).
+  const SpanTuple t = Tup({Span(1, 3), Span(2, 6), Span(3, 7)});
+  const SpanTuple fused = FuseColumns(t, {{0, 2}});
+  ASSERT_EQ(fused.arity(), 2u);
+  EXPECT_EQ(fused[0], Span(1, 7));
+  EXPECT_EQ(fused[1], Span(2, 6));
+}
+
+// --- Word equations (§2.4) ---
+
+TEST(WordEquations, CommuteBruteForceVsSpanner) {
+  const char* words[] = {"", "a", "b", "ab", "ba", "aa", "abab", "aab", "abaab", "aaa"};
+  for (const char* u : words) {
+    for (const char* v : words) {
+      EXPECT_EQ(FactorsCommute(u, v), FactorsCommuteViaSpanner(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(WordEquations, CyclicBruteForceVsSpanner) {
+  const char* words[] = {"", "a", "ab", "ba", "aab", "aba", "baa", "abc", "cab", "bac"};
+  for (const char* u : words) {
+    for (const char* v : words) {
+      EXPECT_EQ(CyclicShifts(u, v), CyclicShiftsViaSpanner(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(WordEquations, PrimitiveRoot) {
+  EXPECT_EQ(PrimitiveRoot("ababab"), "ab");
+  EXPECT_EQ(PrimitiveRoot("aaaa"), "a");
+  EXPECT_EQ(PrimitiveRoot("abaab"), "abaab");
+  EXPECT_EQ(PrimitiveRoot(""), "");
+}
+
+TEST(WordEquations, CommutingPairsMatchPrimitiveRootTheory) {
+  // (u, v) commute iff they share a primitive root (or one is empty).
+  const std::string doc = "aabaab";
+  for (const SpanTuple& t : CommutingFactorPairs(doc)) {
+    const std::string u(t[0]->In(doc));
+    const std::string v(t[1]->In(doc));
+    const bool share_root = u.empty() || v.empty() || PrimitiveRoot(u) == PrimitiveRoot(v);
+    EXPECT_TRUE(share_root) << u << " " << v;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

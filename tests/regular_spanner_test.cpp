@@ -1,0 +1,197 @@
+// End-to-end tests for regular spanners: Example 1.1 of the paper, the
+// schemaless semantics, ModelChecking, and the consistency of the optimised
+// (eDVA) and naive (product DFS) evaluation pipelines.
+#include "core/regular_spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/regex_parser.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+SpanTuple Tup(std::initializer_list<Span> spans) { return SpanTuple::Of(spans); }
+
+TEST(RegularSpanner, PaperExample11) {
+  // S maps D to all ([1,i>, [i,i+1>, [i+1,|D|+1>) where D[i] = b;
+  // the paper's alpha = x>(a|b)*<x . y>b<y . z>(a|b)*<z.
+  RegularSpanner s = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  const SpanRelation r = s.Evaluate("ababbab");
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 2), Span(2, 3), Span(3, 8)}));
+  expected.insert(Tup({Span(1, 4), Span(4, 5), Span(5, 8)}));
+  expected.insert(Tup({Span(1, 5), Span(5, 6), Span(6, 8)}));
+  expected.insert(Tup({Span(1, 7), Span(7, 8), Span(8, 8)}));
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RegularSpanner, EmptyDocument) {
+  RegularSpanner s = RegularSpanner::Compile("{x: a*}");
+  const SpanRelation r = s.Evaluate("");
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 1)}));
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RegularSpanner, NoMatchYieldsEmptyRelation) {
+  RegularSpanner s = RegularSpanner::Compile("{x: ab}");
+  EXPECT_TRUE(s.Evaluate("ba").empty());
+  EXPECT_TRUE(s.Evaluate("").empty());
+}
+
+TEST(RegularSpanner, BooleanSpannerExtractsEmptyTuple) {
+  // A spanner without variables extracts the 0-ary empty tuple iff the
+  // document matches.
+  RegularSpanner s = RegularSpanner::Compile("a*b");
+  EXPECT_EQ(s.Evaluate("aab").size(), 1u);
+  EXPECT_TRUE(s.Evaluate("aba").empty());
+}
+
+TEST(RegularSpanner, SchemalessSemantics) {
+  // Under the schemaless semantics (paper, §2.2) a variable may stay
+  // undefined: here x is captured only in the first branch.
+  RegularSpanner s = RegularSpanner::Compile("({x: a}|b)");
+  const SpanRelation r = s.Evaluate("b");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_FALSE((*r.begin())[0].has_value());
+  const SpanRelation r2 = s.Evaluate("a");
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ((*r2.begin())[0], Span(1, 2));
+}
+
+TEST(RegularSpanner, OverlappingSpans) {
+  // Regular spanners may extract properly overlapping spans (paper, §2.2):
+  // both x and y capture maximal a-blocks shifted by one.
+  RegularSpanner s = RegularSpanner::Compile("{x: a{y: a}}a");
+  const SpanRelation r = s.Evaluate("aaa");
+  SpanRelation expected;
+  expected.insert(Tup({Span(1, 3), Span(2, 3)}));
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RegularSpanner, AllFactorsSpanner) {
+  // {x: .*} inside .*x.* extracts every span of the document:
+  // (n+1)(n+2)/2 - ... all spans [i,j> with i <= j: n(n+1)/2 + (n+1).
+  RegularSpanner s = RegularSpanner::Compile(".*{x: .*}.*");
+  const std::string doc = "abcd";
+  const SpanRelation r = s.Evaluate(doc);
+  const std::size_t n = doc.size();
+  EXPECT_EQ(r.size(), (n + 1) * (n + 2) / 2);
+}
+
+TEST(RegularSpanner, ModelCheckAcceptsExactlyTheRelation) {
+  RegularSpanner s = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  const std::string doc = "ababbab";
+  EXPECT_TRUE(s.ModelCheck(doc, Tup({Span(1, 2), Span(2, 3), Span(3, 8)})));
+  EXPECT_TRUE(s.ModelCheck(doc, Tup({Span(1, 7), Span(7, 8), Span(8, 8)})));
+  EXPECT_FALSE(s.ModelCheck(doc, Tup({Span(1, 2), Span(2, 3), Span(4, 8)})));
+  EXPECT_FALSE(s.ModelCheck(doc, Tup({Span(1, 1), Span(1, 2), Span(2, 8)})));
+}
+
+TEST(RegularSpanner, ModelCheckHandlesMarkerOrderAmbiguity) {
+  // Adjacent markers of different variables meet in one gap; ModelChecking
+  // must be invariant under their ordering (paper, §2.2 / §2.4). The eDVA
+  // representation makes this automatic.
+  RegularSpanner s = RegularSpanner::Compile("{x: a}{y: b}");
+  EXPECT_TRUE(s.ModelCheck("ab", Tup({Span(1, 2), Span(2, 3)})));
+}
+
+TEST(RegularSpanner, EmptySpansAtEveryPosition) {
+  RegularSpanner s = RegularSpanner::Compile(".*{x: ()}.*");
+  const SpanRelation r = s.Evaluate("abc");
+  SpanRelation expected;
+  for (Position i = 1; i <= 4; ++i) expected.insert(Tup({Span(i, i)}));
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RegularSpanner, NaiveAndOptimizedAgreeOnExamples) {
+  const char* patterns[] = {
+      "{x: (a|b)*}{y: b}{z: (a|b)*}",
+      "({x: a+}|{y: b+})*",
+      "{x: a*{y: b*}a*}",
+      "(a|b)*{x: ab?}(a|b)*",
+      "{x: (a|b)*}(a|b)*{y: a*b*}",
+  };
+  const char* docs[] = {"", "a", "b", "ab", "ba", "aab", "ababbab", "bbbaaa", "abab"};
+  for (const char* pattern : patterns) {
+    RegularSpanner s = RegularSpanner::Compile(pattern);
+    for (const char* doc : docs) {
+      EXPECT_EQ(s.Evaluate(doc), s.EvaluateNaive(doc))
+          << "pattern=" << pattern << " doc=" << doc;
+    }
+  }
+}
+
+TEST(RegularSpanner, NaiveAndOptimizedAgreeOnRandomDocuments) {
+  Rng rng(42);
+  RegularSpanner s = RegularSpanner::Compile("(a|b|c)*{x: a(a|b)*}{y: c*}(a|b|c)*");
+  for (int i = 0; i < 30; ++i) {
+    const std::string doc = RandomString(rng, "abc", 1 + rng.NextBelow(12));
+    EXPECT_EQ(s.Evaluate(doc), s.EvaluateNaive(doc)) << "doc=" << doc;
+  }
+}
+
+TEST(RegularSpanner, EnumeratorYieldsEachTupleOnce) {
+  RegularSpanner s = RegularSpanner::Compile(".*{x: a+}.*");
+  const std::string doc = "aabaa";
+  Enumerator e = s.Enumerate(doc);
+  std::vector<SpanTuple> seen;
+  while (auto t = e.Next()) seen.push_back(*t);
+  SpanRelation unique(seen.begin(), seen.end());
+  EXPECT_EQ(seen.size(), unique.size());
+  EXPECT_EQ(unique, s.EvaluateNaive(doc));
+}
+
+TEST(RegularSpanner, EnumeratorResetReplaysResults) {
+  RegularSpanner s = RegularSpanner::Compile(".*{x: ab}.*");
+  Enumerator e = s.Enumerate("abab");
+  std::size_t first_count = 0;
+  while (e.Next()) ++first_count;
+  e.Reset();
+  std::size_t second_count = 0;
+  while (e.Next()) ++second_count;
+  EXPECT_EQ(first_count, second_count);
+  EXPECT_EQ(first_count, 2u);
+}
+
+TEST(RegularSpanner, LogExtraction) {
+  // Realistic shape: extract status codes from a synthetic log line.
+  RegularSpanner s =
+      RegularSpanner::Compile("(.|\\n)*status={x: \\d+} size={y: \\d+}(.|\\n)*");
+  const std::string line = "host-3 user-7 GET /cart status=404 size=512\n";
+  const SpanRelation r = s.Evaluate(line);
+  ASSERT_FALSE(r.empty());
+  bool found = false;
+  for (const SpanTuple& t : r) {
+    if (t[0] && Span(t[0]->begin, t[0]->end).In(line) == "404" && t[1] &&
+        Span(t[1]->begin, t[1]->end).In(line) == "512") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VsetAutomaton, FunctionalityCheck) {
+  EXPECT_TRUE(VsetAutomaton::FromRegex(MustParse("{x: a*}{y: b}")).IsFunctional());
+  EXPECT_FALSE(VsetAutomaton::FromRegex(MustParse("({x: a}|b)")).IsFunctional());
+  // A starred capture can repeat markers: not functional (and not
+  // well-formed, since reopening x is invalid).
+  EXPECT_FALSE(VsetAutomaton::FromRegex(MustParse("({x: a})*")).IsFunctional());
+  EXPECT_TRUE(VsetAutomaton::FromRegex(MustParse("({x: a}|b)")).IsWellFormed());
+}
+
+TEST(Regex, FunctionalityPredicateMatchesAutomaton) {
+  const char* functional[] = {"{x: a*}{y: b}", "{x: (a|b)*}{y: b}{z: (a|b)*}",
+                              "({x: a}|{x: b})"};
+  const char* non_functional[] = {"({x: a}|b)", "({x: a})*", "{x: a}?"};
+  for (const char* p : functional) {
+    EXPECT_TRUE(MustParse(p).IsFunctional()) << p;
+  }
+  for (const char* p : non_functional) {
+    EXPECT_FALSE(MustParse(p).IsFunctional()) << p;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

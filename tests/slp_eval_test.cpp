@@ -1,0 +1,203 @@
+// Tests for evaluation over SLP-compressed documents (paper, Section 4.2):
+// NFA acceptance via Boolean matrix products, spanner enumeration with
+// compressed preprocessing, and incremental maintenance under CDE updates
+// (Section 4.3).
+#include "slp/slp_enum.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "automata/nfa_ops.hpp"
+#include "core/regular_spanner.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/cde.hpp"
+#include "slp/slp_builder.hpp"
+#include "slp/slp_nfa.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+Nfa PlainNfa(std::string_view pattern) {
+  // A regex without captures compiles to a plain character NFA.
+  return RegularSpanner::Compile(pattern).vset().nfa();
+}
+
+TEST(SlpNfa, AcceptanceMatchesDirectSimulation) {
+  const char* patterns[] = {"a*b", "(ab)*", "a(a|b)*a", ".*abc.*"};
+  Rng rng(3);
+  for (const char* pattern : patterns) {
+    const Nfa nfa = PlainNfa(pattern);
+    SlpNfaMatcher matcher(nfa);
+    Slp slp;
+    for (int i = 0; i < 25; ++i) {
+      const std::string doc = RandomString(rng, "abc", 1 + rng.NextBelow(40));
+      const NodeId root = BuildRePair(slp, doc);
+      const bool direct = nfa.Accepts(ToSymbols(doc));
+      EXPECT_EQ(matcher.Accepts(slp, root), direct) << pattern << " on " << doc;
+    }
+  }
+}
+
+TEST(SlpNfa, WorksOnExponentiallyCompressedInput) {
+  // (ab)^(2^20): the SLP has ~40 nodes, the document has 2M characters.
+  Slp slp;
+  const NodeId ab = slp.Pair(slp.Terminal('a'), slp.Terminal('b'));
+  const NodeId root = BuildPower(slp, ab, uint64_t{1} << 20);
+  SlpNfaMatcher even(PlainNfa("(ab)*"));
+  EXPECT_TRUE(even.Accepts(slp, root));
+  SlpNfaMatcher ends_a(PlainNfa("(a|b)*a"));
+  EXPECT_FALSE(ends_a.Accepts(slp, root));
+  // The cache holds one matrix per reachable node, not per character.
+  EXPECT_LT(even.cache_size(), 64u);
+}
+
+TEST(SlpNfa, EmptyDocument) {
+  SlpNfaMatcher matcher(PlainNfa("a*"));
+  Slp slp;
+  EXPECT_TRUE(matcher.Accepts(slp, kNoNode));
+  SlpNfaMatcher needs_one(PlainNfa("a+"));
+  EXPECT_FALSE(needs_one.Accepts(slp, kNoNode));
+}
+
+// --- Spanner enumeration over SLPs ([39]) ---
+
+void ExpectSlpMatchesDirect(const RegularSpanner& spanner, const std::string& doc) {
+  Slp slp;
+  const NodeId root = BuildRePair(slp, doc);
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  EXPECT_EQ(evaluator.EvaluateToRelation(slp, root), spanner.Evaluate(doc)) << doc;
+}
+
+TEST(SlpSpanner, MatchesDirectEvaluationOnExamples) {
+  RegularSpanner example11 = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  ExpectSlpMatchesDirect(example11, "ababbab");
+  ExpectSlpMatchesDirect(example11, "b");
+  ExpectSlpMatchesDirect(example11, "aa");
+
+  RegularSpanner blocks = RegularSpanner::Compile(".*{x: a+}b.*");
+  ExpectSlpMatchesDirect(blocks, "aabaab");
+  ExpectSlpMatchesDirect(blocks, "bbb");
+}
+
+TEST(SlpSpanner, EmptyDocumentAndNoMatch) {
+  RegularSpanner s = RegularSpanner::Compile("{x: a*}");
+  Slp slp;
+  SlpSpannerEvaluator evaluator(&s.edva());
+  const SpanRelation r = evaluator.EvaluateToRelation(slp, kNoNode);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ((*r.begin())[0], Span(1, 1));
+
+  RegularSpanner no = RegularSpanner::Compile("{x: ab}");
+  SlpSpannerEvaluator none(&no.edva());
+  EXPECT_TRUE(none.EvaluateToRelation(slp, kNoNode).empty());
+}
+
+TEST(SlpSpanner, RandomizedDifferentialAgainstDirect) {
+  const char* patterns[] = {
+      "{x: (a|b)*}{y: b}{z: (a|b)*}",
+      ".*{x: a+}.*",
+      "({x: a+}|{y: b+})(a|b)*",
+      ".*{x: ab?}{y: b*}.*",
+  };
+  Rng rng(123);
+  for (const char* pattern : patterns) {
+    RegularSpanner spanner = RegularSpanner::Compile(pattern);
+    SlpSpannerEvaluator evaluator(&spanner.edva());
+    Slp slp;
+    for (int i = 0; i < 20; ++i) {
+      const std::string doc = RandomString(rng, "ab", 1 + rng.NextBelow(14));
+      const NodeId root = BuildRePair(slp, doc);
+      EXPECT_EQ(evaluator.EvaluateToRelation(slp, root), spanner.Evaluate(doc))
+          << pattern << " on " << doc;
+    }
+  }
+}
+
+TEST(SlpSpanner, HighlyCompressedDocument) {
+  // (ab)^4096: results on the compressed form must match the expanded form.
+  Slp slp;
+  const NodeId ab = slp.Pair(slp.Terminal('a'), slp.Terminal('b'));
+  const NodeId root = BuildPower(slp, ab, 4096);
+  const std::string expanded = slp.Derive(root);
+
+  RegularSpanner spanner = RegularSpanner::Compile(".*a{x: b}a.*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  const SpanRelation compressed = evaluator.EvaluateToRelation(slp, root);
+  EXPECT_EQ(compressed, spanner.Evaluate(expanded));
+  EXPECT_EQ(compressed.size(), 4095u);
+}
+
+TEST(SlpSpanner, EarlyStopCallback) {
+  Slp slp;
+  const NodeId root = BuildBalanced(slp, std::string(64, 'a'));
+  RegularSpanner spanner = RegularSpanner::Compile(".*{x: a}.*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  std::size_t seen = 0;
+  const std::size_t emitted = evaluator.Evaluate(slp, root, [&](const SpanTuple&) {
+    return ++seen < 5;
+  });
+  EXPECT_EQ(emitted, 5u);
+}
+
+TEST(SlpSpanner, CdeUpdateReusesCache) {
+  // After a CDE update, only the freshly created nodes need new matrices
+  // (the O(|phi| log d) maintenance claim of [40]).
+  DocumentDatabase database;
+  Rng rng(9);
+  const std::string text = DnaLike(rng, 2000, 4, 25);
+  const NodeId root = Rebalance(database.slp(), BuildRePair(database.slp(), text));
+  database.AddDocument(root);
+
+  RegularSpanner spanner = RegularSpanner::Compile(".*{x: acg}.*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  const SpanRelation before = evaluator.EvaluateToRelation(database.slp(), root);
+  EXPECT_EQ(before, spanner.Evaluate(text));
+  const std::size_t cached_before = evaluator.cache_size();
+
+  // copy(D1, 11, 40, 5): paste a factor back into the document.
+  const std::size_t new_index = ApplyCde(&database, "copy(D1, 11, 40, 5)");
+  const NodeId updated = database.document(new_index);
+  const std::size_t nodes_total = database.slp().num_nodes();
+
+  const SpanRelation after = evaluator.EvaluateToRelation(database.slp(), updated);
+  std::string expected = text;
+  expected.insert(4, text.substr(10, 30));
+  EXPECT_EQ(after, spanner.Evaluate(expected));
+  // The cache growth is bounded by the number of nodes the update created,
+  // which is logarithmic in |D|, not linear.
+  const std::size_t growth = evaluator.cache_size() - cached_before;
+  EXPECT_LE(growth, nodes_total - cached_before + 8);
+  EXPECT_LT(growth, 400u) << "update recomputed too many matrices";
+}
+
+TEST(SlpSpanner, DelayProbeStaysBoundedOnCompressedInput) {
+  // Delay between consecutive tuples should not grow with document length
+  // beyond the O(log n) factor: probe with doubling powers.
+  RegularSpanner spanner = RegularSpanner::Compile(".*a{x: b}a.*");
+  SlpSpannerEvaluator evaluator(&spanner.edva());
+  Slp slp;
+  const NodeId ab = slp.Pair(slp.Terminal('a'), slp.Terminal('b'));
+  std::size_t max_delay_small = 0, max_delay_large = 0;
+  {
+    const NodeId root = BuildPower(slp, ab, 1u << 6);
+    evaluator.Evaluate(slp, root, [&](const SpanTuple&) {
+      max_delay_small = std::max(max_delay_small, evaluator.last_delay_steps());
+      return true;
+    });
+  }
+  {
+    const NodeId root = BuildPower(slp, ab, 1u << 16);
+    evaluator.Evaluate(slp, root, [&](const SpanTuple&) {
+      max_delay_large = std::max(max_delay_large, evaluator.last_delay_steps());
+      return true;
+    });
+  }
+  // 2^16 is 1024x more characters than 2^6; logarithmic delay growth means
+  // the ratio stays small (roughly 16/6), certainly below 8x.
+  EXPECT_LT(max_delay_large, 8 * std::max<std::size_t>(max_delay_small, 1));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,378 @@
+// Tests for the SLP substrate (paper, Section 4): the DAG representation
+// with Figure 1 reproduced exactly, builders, balancedness notions (§4.1),
+// AVL-grammar operations, and complex document editing (§4.3).
+#include "slp/slp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "slp/avl_grammar.hpp"
+#include "slp/balance.hpp"
+#include "slp/cde.hpp"
+#include "slp/slp_builder.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+/// Figure 1 of the paper, reconstructed from the documents, orders, and
+/// balance values it states: sinks T_a, T_b, T_c; E = (T_a, T_b),
+/// F = (T_b, T_c), C = (F, T_a), B = (E, C), D = (C, B), A_3 = (E, B),
+/// A_1 = (A_3, C), A_2 = (C, D). Documents: D(A_1) = ababbcabca,
+/// D(A_2) = bcabcaabbca, D(A_3) = ababbca.
+struct Figure1 {
+  Slp slp;
+  NodeId ta, tb, tc, e, f, c, b, d, a1, a2, a3;
+
+  Figure1() {
+    ta = slp.Terminal('a');
+    tb = slp.Terminal('b');
+    tc = slp.Terminal('c');
+    e = slp.Pair(ta, tb);
+    f = slp.Pair(tb, tc);
+    c = slp.Pair(f, ta);
+    b = slp.Pair(e, c);
+    d = slp.Pair(c, b);
+    a3 = slp.Pair(e, b);
+    a1 = slp.Pair(a3, c);
+    a2 = slp.Pair(c, d);
+  }
+};
+
+TEST(SlpFigure1, DocumentsMatchThePaper) {
+  Figure1 fig;
+  EXPECT_EQ(fig.slp.Derive(fig.a1), "ababbcabca");
+  EXPECT_EQ(fig.slp.Derive(fig.a2), "bcabcaabbca");
+  EXPECT_EQ(fig.slp.Derive(fig.a3), "ababbca");
+  // D(B) = D(E)D(C) = abbca, the worked example in Section 4.
+  EXPECT_EQ(fig.slp.Derive(fig.b), "abbca");
+}
+
+TEST(SlpFigure1, OrdersMatchThePaper) {
+  // "ord(F) = ord(E) = 2, ord(C) = 3, ord(B) = 4, ord(D) = ord(A3) = 5,
+  //  ord(A1) = ord(A2) = 6."
+  Figure1 fig;
+  EXPECT_EQ(fig.slp.Order(fig.f), 2u);
+  EXPECT_EQ(fig.slp.Order(fig.e), 2u);
+  EXPECT_EQ(fig.slp.Order(fig.c), 3u);
+  EXPECT_EQ(fig.slp.Order(fig.b), 4u);
+  EXPECT_EQ(fig.slp.Order(fig.d), 5u);
+  EXPECT_EQ(fig.slp.Order(fig.a3), 5u);
+  EXPECT_EQ(fig.slp.Order(fig.a1), 6u);
+  EXPECT_EQ(fig.slp.Order(fig.a2), 6u);
+}
+
+TEST(SlpFigure1, BalancednessMatchesThePaper) {
+  // "all nodes are balanced except for A1, A2, A3, since bal(A1) = 2 and
+  //  bal(A2) = bal(A3) = -2."
+  Figure1 fig;
+  EXPECT_EQ(fig.slp.Balance(fig.a1), 2);
+  EXPECT_EQ(fig.slp.Balance(fig.a2), -2);
+  EXPECT_EQ(fig.slp.Balance(fig.a3), -2);
+  for (NodeId n : {fig.e, fig.f, fig.c, fig.b, fig.d}) {
+    EXPECT_TRUE(IsBalancedNode(fig.slp, n));
+  }
+  EXPECT_FALSE(IsStronglyBalanced(fig.slp, fig.a1));
+  EXPECT_TRUE(IsStronglyBalanced(fig.slp, fig.b));
+}
+
+TEST(SlpFigure1, GreyExtensionAddsDocuments) {
+  // The grey part: A4 = (A2, A1) gives D4 = D2 D1; G = (D, B) and
+  // A5 = (B, G) gives D5 = D(B)D(D)D(B) = abbcabcaabbcaabbca.
+  Figure1 fig;
+  const NodeId a4 = fig.slp.Pair(fig.a2, fig.a1);
+  const NodeId g = fig.slp.Pair(fig.d, fig.b);
+  const NodeId a5 = fig.slp.Pair(fig.b, g);
+  EXPECT_EQ(fig.slp.Derive(a4), fig.slp.Derive(fig.a2) + fig.slp.Derive(fig.a1));
+  EXPECT_EQ(fig.slp.Derive(a5), "abbcabcaabbcaabbca");
+}
+
+TEST(Slp, HashConsingSharesNodes) {
+  Slp slp;
+  const NodeId a = slp.Terminal('a');
+  const NodeId b = slp.Terminal('b');
+  EXPECT_EQ(slp.Pair(a, b), slp.Pair(a, b));
+  EXPECT_EQ(slp.Terminal('a'), a);
+}
+
+TEST(Slp, RandomAccessAndSubstring) {
+  Slp slp;
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  const NodeId root = BuildBalanced(slp, text);
+  ASSERT_EQ(slp.Length(root), text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    EXPECT_EQ(slp.CharAt(root, i), static_cast<unsigned char>(text[i]));
+  }
+  EXPECT_EQ(slp.Substring(root, 4, 5), "quick");
+  EXPECT_EQ(slp.Substring(root, 0, text.size()), text);
+  EXPECT_EQ(slp.Substring(root, 10, 0), "");
+}
+
+TEST(SlpBuilder, RoundTripAllBuilders) {
+  Rng rng(99);
+  const std::string docs[] = {
+      "", "a", "abab", RandomString(rng, "ab", 100),
+      BoilerplateText(rng, 5, 0.0), DnaLike(rng, 300, 4, 10),
+      "aaaaaaaaaaaaaaaabbbbbbbbcccc",
+  };
+  for (const std::string& doc : docs) {
+    Slp slp;
+    const NodeId balanced = BuildBalanced(slp, doc);
+    const NodeId repair = BuildRePair(slp, doc);
+    const NodeId runs = BuildRunLength(slp, doc);
+    if (doc.empty()) {
+      EXPECT_EQ(balanced, kNoNode);
+      EXPECT_EQ(repair, kNoNode);
+      EXPECT_EQ(runs, kNoNode);
+      continue;
+    }
+    EXPECT_EQ(slp.Derive(balanced), doc);
+    EXPECT_EQ(slp.Derive(repair), doc);
+    EXPECT_EQ(slp.Derive(runs), doc);
+  }
+}
+
+TEST(SlpBuilder, RePairCompressesRepetitiveInput) {
+  Rng rng(7);
+  const std::string doc = BoilerplateText(rng, 64, 0.0);  // pure repetition
+  Slp slp;
+  const NodeId root = BuildRePair(slp, doc);
+  // Grammar size must be far below the document size.
+  EXPECT_LT(slp.ReachableSize(root), doc.size() / 4);
+}
+
+TEST(SlpBuilder, PowerNodesAreLogarithmic) {
+  Slp slp;
+  const NodeId root = BuildPower(slp, slp.Terminal('a'), 1u << 20);
+  EXPECT_EQ(slp.Length(root), uint64_t{1} << 20);
+  EXPECT_LT(slp.ReachableSize(root), 64u);
+  EXPECT_EQ(slp.CharAt(root, 12345), 'a');
+}
+
+TEST(Balance, OrderEqualsLongestPathPlusOne) {
+  Figure1 fig;
+  for (NodeId n : {fig.e, fig.c, fig.b, fig.d, fig.a1, fig.a2, fig.a3}) {
+    EXPECT_EQ(fig.slp.Order(n), LongestPathToLeaf(fig.slp, n) + 1);
+  }
+}
+
+TEST(AvlGrammar, ConcatPreservesContentAndBalance) {
+  Rng rng(13);
+  Slp slp;
+  std::string expected;
+  NodeId root = kNoNode;
+  for (int i = 0; i < 50; ++i) {
+    const std::string piece = RandomString(rng, "ab", 1 + rng.NextBelow(40));
+    expected += piece;
+    root = AvlConcat(slp, root, BalancedFromString(slp, piece));
+    ASSERT_TRUE(IsStronglyBalanced(slp, root)) << "after piece " << i;
+  }
+  EXPECT_EQ(slp.Derive(root), expected);
+  // Strongly balanced implies 2-shallow (paper, Section 4.1).
+  EXPECT_TRUE(IsShallow(slp, root, 2.0));
+}
+
+TEST(AvlGrammar, ConcatOfVeryUnequalHeights) {
+  Slp slp;
+  const NodeId big = BuildPower(slp, slp.Terminal('a'), 1u << 16);
+  const NodeId small = slp.Terminal('b');
+  const NodeId ab = AvlConcat(slp, big, small);
+  EXPECT_TRUE(IsStronglyBalanced(slp, ab));
+  EXPECT_EQ(slp.Length(ab), (uint64_t{1} << 16) + 1);
+  EXPECT_EQ(slp.CharAt(ab, 1u << 16), 'b');
+  const NodeId ba = AvlConcat(slp, small, big);
+  EXPECT_TRUE(IsStronglyBalanced(slp, ba));
+  EXPECT_EQ(slp.CharAt(ba, 0), 'b');
+}
+
+TEST(AvlGrammar, SplitMatchesStringSemantics) {
+  Rng rng(21);
+  Slp slp;
+  const std::string text = RandomString(rng, "abc", 257);
+  const NodeId root = BalancedFromString(slp, text);
+  for (uint64_t pos : {uint64_t{0}, uint64_t{1}, uint64_t{128}, uint64_t{256}, uint64_t{257}}) {
+    SplitResult parts = AvlSplit(slp, root, pos);
+    const std::string prefix = parts.prefix == kNoNode ? "" : slp.Derive(parts.prefix);
+    const std::string suffix = parts.suffix == kNoNode ? "" : slp.Derive(parts.suffix);
+    EXPECT_EQ(prefix, text.substr(0, pos));
+    EXPECT_EQ(suffix, text.substr(pos));
+    if (parts.prefix != kNoNode) EXPECT_TRUE(IsStronglyBalanced(slp, parts.prefix));
+    if (parts.suffix != kNoNode) EXPECT_TRUE(IsStronglyBalanced(slp, parts.suffix));
+  }
+}
+
+TEST(AvlGrammar, ExtractMatchesSubstr) {
+  Rng rng(34);
+  Slp slp;
+  const std::string text = RandomString(rng, "ab", 300);
+  const NodeId root = BalancedFromString(slp, text);
+  for (int i = 0; i < 30; ++i) {
+    const uint64_t from = rng.NextBelow(text.size());
+    const uint64_t count = rng.NextBelow(text.size() - from + 1);
+    const NodeId part = AvlExtract(slp, root, from, count);
+    const std::string derived = part == kNoNode ? "" : slp.Derive(part);
+    EXPECT_EQ(derived, text.substr(from, count));
+  }
+}
+
+TEST(AvlGrammar, RebalanceKeepsDocumentAndBoundsDepth) {
+  // A degenerate left spine ("caterpillar") SLP.
+  Slp slp;
+  NodeId root = slp.Terminal('a');
+  std::string expected = "a";
+  for (int i = 0; i < 200; ++i) {
+    root = slp.Pair(root, slp.Terminal(i % 2 == 0 ? 'b' : 'a'));
+    expected += (i % 2 == 0 ? 'b' : 'a');
+  }
+  EXPECT_FALSE(IsStronglyBalanced(slp, root));
+  EXPECT_EQ(slp.Order(root), 201u);
+  const NodeId balanced = Rebalance(slp, root);
+  EXPECT_TRUE(IsStronglyBalanced(slp, balanced));
+  EXPECT_EQ(slp.Derive(balanced), expected);
+  EXPECT_TRUE(IsShallow(slp, balanced, 2.0));
+}
+
+TEST(AvlGrammar, StronglyBalancedDepthWithinPaperBounds) {
+  // Paths from a strongly balanced node lie between 0.5 log n and 2 log n.
+  Rng rng(55);
+  Slp slp;
+  const std::string text = RandomString(rng, "ab", 4096);
+  const NodeId root = Rebalance(slp, BuildRePair(slp, text));
+  ASSERT_TRUE(IsStronglyBalanced(slp, root));
+  const double log_n = std::log2(4096.0);
+  const uint32_t depth = LongestPathToLeaf(slp, root);
+  EXPECT_LE(depth, 2.0 * log_n + 1);
+  EXPECT_GE(depth + 1, 0.5 * log_n);
+}
+
+// --- Complex document editing (§4.3) ---
+
+class CdeTest : public ::testing::Test {
+ protected:
+  void AddDoc(const std::string& text) {
+    strings_.push_back(text);
+    database_.AddDocument(BalancedFromString(database_.slp(), text));
+  }
+
+  void ExpectCde(const std::string& expression) {
+    CdeParseResult parsed = ParseCde(expression);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const NodeId result = EvalCde(&database_, *parsed.expr);
+    const std::string derived =
+        result == kNoNode ? "" : database_.slp().Derive(result);
+    EXPECT_EQ(derived, EvalCdeOnStrings(strings_, *parsed.expr)) << expression;
+    if (result != kNoNode) {
+      EXPECT_TRUE(IsStronglyBalanced(database_.slp(), result)) << expression;
+    }
+  }
+
+  DocumentDatabase database_;
+  std::vector<std::string> strings_;
+};
+
+TEST_F(CdeTest, BasicOperations) {
+  AddDoc("hello world");
+  AddDoc("abcdefgh");
+  ExpectCde("concat(D1, D2)");
+  ExpectCde("extract(D1, 7, 11)");
+  ExpectCde("delete(D2, 3, 6)");
+  ExpectCde("insert(D1, D2, 6)");
+  ExpectCde("copy(D2, 2, 4, 1)");
+}
+
+TEST_F(CdeTest, PaperStyleNestedExpression) {
+  AddDoc("the first document keeps growing");
+  AddDoc("second");
+  AddDoc("abcdefghijklmnopqrstuvwxyz");
+  // "cut the subword from position 5 to 21 from document D3, insert it at
+  //  position 12 into document D1, append D2" (cf. Section 4, prose).
+  ExpectCde("concat(insert(D1, extract(D3, 5, 21), 12), D2)");
+}
+
+TEST_F(CdeTest, EdgeCases) {
+  AddDoc("abc");
+  ExpectCde("extract(D1, 1, 3)");   // whole document
+  ExpectCde("extract(D1, 2, 1)");   // empty factor (j = i - 1)
+  ExpectCde("delete(D1, 1, 3)");    // delete everything
+  ExpectCde("insert(D1, D1, 1)");   // prepend
+  ExpectCde("insert(D1, D1, 4)");   // append
+  ExpectCde("copy(D1, 1, 3, 4)");   // duplicate at the end
+}
+
+TEST_F(CdeTest, RandomizedDifferentialCde) {
+  Rng rng(77);
+  AddDoc(RandomString(rng, "abcd", 200));
+  AddDoc(RandomString(rng, "abcd", 100));
+  for (int round = 0; round < 60; ++round) {
+    // Build a random small expression referencing existing documents.
+    const std::size_t d1 = 1 + rng.NextBelow(strings_.size());
+    const std::size_t d2 = 1 + rng.NextBelow(strings_.size());
+    const std::string base = "D" + std::to_string(d1);
+    const std::string other = "D" + std::to_string(d2);
+    const std::size_t len = strings_[d1 - 1].size();
+    std::string expression;
+    switch (rng.NextBelow(5)) {
+      case 0:
+        expression = "concat(" + base + ", " + other + ")";
+        break;
+      case 1: {
+        const uint64_t i = 1 + rng.NextBelow(len);
+        const uint64_t j = i - 1 + rng.NextBelow(len - i + 2);
+        expression = "extract(" + base + ", " + std::to_string(i) + ", " +
+                     std::to_string(j) + ")";
+        break;
+      }
+      case 2: {
+        const uint64_t i = 1 + rng.NextBelow(len);
+        const uint64_t j = i - 1 + rng.NextBelow(len - i + 2);
+        expression = "delete(" + base + ", " + std::to_string(i) + ", " +
+                     std::to_string(j) + ")";
+        break;
+      }
+      case 3: {
+        const uint64_t k = 1 + rng.NextBelow(len + 1);
+        expression =
+            "insert(" + base + ", " + other + ", " + std::to_string(k) + ")";
+        break;
+      }
+      default: {
+        const uint64_t i = 1 + rng.NextBelow(len);
+        const uint64_t j = i - 1 + rng.NextBelow(len - i + 2);
+        const uint64_t k = 1 + rng.NextBelow(len + 1);
+        expression = "copy(" + base + ", " + std::to_string(i) + ", " +
+                     std::to_string(j) + ", " + std::to_string(k) + ")";
+        break;
+      }
+    }
+    SCOPED_TRACE(expression);
+    CdeParseResult parsed = ParseCde(expression);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const NodeId result = EvalCde(&database_, *parsed.expr);
+    const std::string derived = result == kNoNode ? "" : database_.slp().Derive(result);
+    const std::string expected = EvalCdeOnStrings(strings_, *parsed.expr);
+    ASSERT_EQ(derived, expected);
+    // Persist the result so later rounds can reference it.
+    strings_.push_back(expected);
+    database_.AddDocument(result);
+    if (strings_.back().empty()) {
+      // Keep documents non-empty so position generation stays simple.
+      strings_.pop_back();
+      database_.SetDocument(database_.num_documents() - 1, kNoNode);
+      strings_.push_back("x");
+      database_.SetDocument(database_.num_documents() - 1,
+                            BalancedFromString(database_.slp(), "x"));
+    }
+  }
+}
+
+TEST(CdeParser, ReportsErrors) {
+  EXPECT_FALSE(ParseCde("concat(D1)").ok());
+  EXPECT_FALSE(ParseCde("extract(D1, 1)").ok());
+  EXPECT_FALSE(ParseCde("frobnicate(D1)").ok());
+  EXPECT_FALSE(ParseCde("D0").ok());
+  EXPECT_FALSE(ParseCde("concat(D1, D2) trailing").ok());
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,87 @@
+// Tests for spans, span tuples and span relations (paper, Section 1).
+#include "core/span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spanners {
+namespace {
+
+TEST(Span, LengthAndEmptiness) {
+  EXPECT_EQ(Span(1, 1).length(), 0u);
+  EXPECT_TRUE(Span(3, 3).empty());
+  EXPECT_EQ(Span(2, 6).length(), 4u);
+  EXPECT_FALSE(Span(2, 6).empty());
+}
+
+TEST(Span, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Span(1, 2).ToString(), "[1,2>");
+  EXPECT_EQ(Span(5, 8).ToString(), "[5,8>");
+}
+
+TEST(Span, FactorExtraction) {
+  const std::string doc = "ababbab";
+  EXPECT_EQ(Span(1, 2).In(doc), "a");
+  EXPECT_EQ(Span(3, 8).In(doc), "abbab");
+  EXPECT_EQ(Span(8, 8).In(doc), "");
+}
+
+TEST(Span, ContainsAndDisjoint) {
+  EXPECT_TRUE(Span::Contains(Span(1, 9), Span(3, 5)));
+  EXPECT_TRUE(Span::Contains(Span(3, 5), Span(3, 5)));
+  EXPECT_FALSE(Span::Contains(Span(3, 5), Span(1, 9)));
+  EXPECT_TRUE(Span::Disjoint(Span(1, 3), Span(3, 6)));
+  EXPECT_FALSE(Span::Disjoint(Span(1, 4), Span(3, 6)));
+}
+
+TEST(Span, ProperOverlap) {
+  // Example from the paper, Section 2.1: x = [2,6>, y = [4,8> overlap.
+  EXPECT_TRUE(Span::ProperlyOverlap(Span(2, 6), Span(4, 8)));
+  EXPECT_TRUE(Span::ProperlyOverlap(Span(4, 8), Span(2, 6)));
+  // Nesting is not proper overlap.
+  EXPECT_FALSE(Span::ProperlyOverlap(Span(1, 8), Span(2, 6)));
+  // Disjoint spans do not overlap.
+  EXPECT_FALSE(Span::ProperlyOverlap(Span(1, 3), Span(4, 8)));
+  // Touching spans share no character.
+  EXPECT_FALSE(Span::ProperlyOverlap(Span(1, 4), Span(4, 8)));
+  // Equal spans contain each other.
+  EXPECT_FALSE(Span::ProperlyOverlap(Span(2, 6), Span(2, 6)));
+}
+
+TEST(SpanTuple, TotalityAndProjection) {
+  SpanTuple t(3);
+  EXPECT_FALSE(t.IsTotal());
+  t[0] = Span(1, 2);
+  t[1] = Span(2, 3);
+  t[2] = Span(3, 8);
+  EXPECT_TRUE(t.IsTotal());
+  const SpanTuple p = t.Project({2, 0});
+  ASSERT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p[0], Span(3, 8));
+  EXPECT_EQ(p[1], Span(1, 2));
+}
+
+TEST(SpanTuple, HierarchicalCheck) {
+  // t(x)=[2,6>, t(y)=[4,8>, t(z)=[1,8> -- the overlapping example of §2.1.
+  SpanTuple t = SpanTuple::Of({Span(2, 6), Span(4, 8), Span(1, 8)});
+  EXPECT_FALSE(t.IsHierarchical());
+  SpanTuple nested = SpanTuple::Of({Span(1, 8), Span(2, 4), Span(5, 7)});
+  EXPECT_TRUE(nested.IsHierarchical());
+}
+
+TEST(SpanTuple, SchemalessRendering) {
+  SpanTuple t(2);
+  t[0] = Span(1, 4);
+  EXPECT_EQ(t.ToString(), "([1,4>, bot)");
+}
+
+TEST(SpanRelation, OrderingIsDeterministic) {
+  SpanRelation r;
+  r.insert(SpanTuple::Of({Span(2, 3)}));
+  r.insert(SpanTuple::Of({Span(1, 2)}));
+  r.insert(SpanTuple::Of({Span(1, 2)}));  // duplicate
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.begin()->ToString(), "([1,2>)");
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,36 @@
+// Smoke test: the umbrella header compiles standalone and exposes the
+// public entry points of every area.
+#include "spanners.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spanners {
+namespace {
+
+TEST(Umbrella, OneCallPerArea) {
+  // Regular.
+  RegularSpanner regular = RegularSpanner::Compile("{x: a+}");
+  EXPECT_EQ(regular.Evaluate("aa").size(), 1u);
+  // Algebra + simplification.
+  auto expr = SpannerExpr::SelectEq(SpannerExpr::Parse("{x: a+}{y: a+}"), {"x", "y"});
+  EXPECT_EQ(SimplifyCore(expr).Evaluate("aa").size(), 1u);
+  // Refl.
+  EXPECT_TRUE(ReflSatisfiability(ReflSpanner::Compile("{x: a}&x;")));
+  // SLP.
+  Slp slp;
+  const NodeId root = BuildRePair(slp, "abab");
+  EXPECT_EQ(slp.Derive(root), "abab");
+  // Grammar.
+  EXPECT_TRUE(CfgSpanner::Compile("S := a S b | ()").NonEmpty("aabb"));
+  // Datalog.
+  DatalogProgram program;
+  program.AddExtraction("R", "{x: a+}");
+  EXPECT_EQ(program.Query("aaa", "R").size(), 1u);
+  // Weighted.
+  EXPECT_EQ(CountingView(&regular).Aggregate("aa"), 1u);
+  // Word equations.
+  EXPECT_TRUE(FactorsCommuteViaSpanner("abab", "ab"));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,130 @@
+// Tests for the utility substrate: bit-packed Boolean matrices, prefix
+// hashing, and the deterministic workload generators.
+#include <gtest/gtest.h>
+
+#include "util/bool_matrix.hpp"
+#include "util/random.hpp"
+#include "util/string_hash.hpp"
+
+namespace spanners {
+namespace {
+
+TEST(BoolMatrix, IdentityAndProduct) {
+  const BoolMatrix id = BoolMatrix::Identity(5);
+  BoolMatrix m(5);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  m.Set(4, 4);
+  EXPECT_EQ(id.Multiply(m), m);
+  EXPECT_EQ(m.Multiply(id), m);
+  const BoolMatrix m2 = m.Multiply(m);
+  EXPECT_TRUE(m2.Get(0, 2));   // 0 -> 1 -> 2
+  EXPECT_FALSE(m2.Get(0, 1));
+  EXPECT_TRUE(m2.Get(4, 4));
+}
+
+TEST(BoolMatrix, ProductMatchesNaive) {
+  Rng rng(1);
+  const std::size_t n = 70;  // crosses the 64-bit word boundary
+  BoolMatrix a(n), b(n);
+  std::vector<std::vector<bool>> na(n, std::vector<bool>(n)), nb = na;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.NextDouble() < 0.1) {
+        a.Set(i, j);
+        na[i][j] = true;
+      }
+      if (rng.NextDouble() < 0.1) {
+        b.Set(i, j);
+        nb[i][j] = true;
+      }
+    }
+  }
+  const BoolMatrix c = a.Multiply(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      bool expected = false;
+      for (std::size_t k = 0; k < n && !expected; ++k) expected = na[i][k] && nb[k][j];
+      EXPECT_EQ(c.Get(i, j), expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(BoolMatrix, ClosureIsReflexiveTransitive) {
+  BoolMatrix m(4);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  const BoolMatrix c = m.Closure();
+  EXPECT_TRUE(c.Get(0, 0));
+  EXPECT_TRUE(c.Get(0, 2));
+  EXPECT_TRUE(c.Get(3, 3));
+  EXPECT_FALSE(c.Get(2, 0));
+}
+
+TEST(BoolMatrix, VecMultiply) {
+  BoolMatrix m(3);
+  m.Set(0, 2);
+  m.Set(1, 0);
+  std::vector<uint64_t> vec{0b011};  // states 0 and 1
+  const std::vector<uint64_t> out = m.VecMultiply(vec);
+  EXPECT_EQ(out[0], 0b101u);  // 0 -> 2, 1 -> 0
+}
+
+TEST(PrefixHash, FactorEquality) {
+  const std::string text = "abcabcabx";
+  PrefixHash hash(text);
+  EXPECT_TRUE(hash.FactorsEqual(0, 3, 3));    // abc == abc
+  EXPECT_TRUE(hash.FactorsEqual(0, 0, 9));    // identity
+  EXPECT_FALSE(hash.FactorsEqual(0, 6, 3));   // abc != abx
+  EXPECT_TRUE(hash.FactorsEqual(2, 5, 0));    // empty factors
+}
+
+TEST(PrefixHash, CrossStringComparison) {
+  PrefixHash a("hello world");
+  PrefixHash b("a world apart");
+  EXPECT_TRUE(CrossFactorsEqual(a, 5, b, 1, 6));   // " world"
+  EXPECT_FALSE(CrossFactorsEqual(a, 0, b, 0, 5));
+}
+
+TEST(PrefixHash, RandomizedAgainstSubstr) {
+  Rng rng(5);
+  const std::string text = RandomString(rng, "ab", 500);
+  PrefixHash hash(text);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t b1 = rng.NextBelow(text.size());
+    const std::size_t b2 = rng.NextBelow(text.size());
+    const std::size_t max_len = text.size() - std::max(b1, b2);
+    const std::size_t len = rng.NextBelow(max_len + 1);
+    EXPECT_EQ(hash.FactorsEqual(b1, b2, len),
+              text.compare(b1, len, text, b2, len) == 0);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(Generators, ShapesAndDeterminism) {
+  Rng rng1(3), rng2(3);
+  EXPECT_EQ(SyntheticLog(rng1, 10), SyntheticLog(rng2, 10));
+  Rng rng3(4);
+  const std::string dna = DnaLike(rng3, 1000, 4, 25);
+  EXPECT_EQ(dna.size(), 1000u);
+  for (char c : dna) EXPECT_NE(std::string("acgt").find(c), std::string::npos);
+  Rng rng4(5);
+  const std::string clean = BoilerplateText(rng4, 3, 0.0);
+  // Zero noise: three identical copies of the template.
+  EXPECT_EQ(clean.substr(0, clean.size() / 3),
+            clean.substr(clean.size() / 3, clean.size() / 3));
+}
+
+}  // namespace
+}  // namespace spanners

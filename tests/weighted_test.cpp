@@ -1,0 +1,95 @@
+// Tests for weight-annotated spanners ([8]; survey, Section 1): counting,
+// tropical, and probability semirings over deterministic eDVAs.
+#include "core/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+TEST(Weighted, CountingAggregateEqualsRelationSize) {
+  // Strong unambiguity property: the O(|D|) DP counts exactly the tuples.
+  const char* patterns[] = {
+      "{x: (a|b)*}{y: b}{z: (a|b)*}",
+      ".*{x: a+}.*",
+      "({x: a+}|{y: b+})(a|b)*",
+      ".*{x: .*}.*",
+  };
+  Rng rng(91);
+  for (const char* pattern : patterns) {
+    const RegularSpanner spanner = RegularSpanner::Compile(pattern);
+    const auto counting = CountingView(&spanner);
+    for (int i = 0; i < 20; ++i) {
+      const std::string doc = RandomString(rng, "ab", rng.NextBelow(10));
+      EXPECT_EQ(counting.Aggregate(doc), spanner.Evaluate(doc).size())
+          << pattern << " on " << doc;
+    }
+  }
+}
+
+TEST(Weighted, CountingScalesToHugeRelations) {
+  // .*{x: .*}.* has ~n^2/2 results; counting them takes O(n), not O(n^2).
+  const RegularSpanner spanner = RegularSpanner::Compile(".*{x: .*}.*");
+  const auto counting = CountingView(&spanner);
+  const std::size_t n = 4096;
+  const std::string doc(n, 'a');
+  EXPECT_EQ(counting.Aggregate(doc), (n + 1) * (n + 2) / 2);
+}
+
+TEST(Weighted, TropicalMinimizesOverTuples) {
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*{x: a+}b(a|b)*");
+  const std::string doc = "aabab";
+  const SpanRelation r = spanner.Evaluate(doc);
+  ASSERT_EQ(r.size(), 3u);  // x = aa, x = a (2nd char), x = a (before 2nd b)
+  // Cost: 1 at the letter where x opens, so earlier starts are cheaper;
+  // min-plus aggregation picks the earliest-starting tuple.
+  WeightedSpanner<TropicalSemiring> earliest(
+      &spanner, [](const EvaLetter& letter, std::size_t i) -> double {
+        return (letter.markers & OpenMarker(0)) ? static_cast<double>(i) : 0.0;
+      });
+  EXPECT_DOUBLE_EQ(earliest.Aggregate(doc), 0.0);   // x opens at letter 0
+  EXPECT_DOUBLE_EQ(earliest.WeightOf(doc, SpanTuple::Of({Span(4, 5)})), 3.0);
+}
+
+TEST(Weighted, WeightOfDistinguishesTuples) {
+  // Charge 1 exactly at the letter where x opens: WeightOf encodes the
+  // start position under the counting semiring with position weights.
+  const RegularSpanner spanner = RegularSpanner::Compile("(a|b)*{x: a+}b(a|b)*");
+  WeightedSpanner<RealSemiring> positional(
+      &spanner, [](const EvaLetter& letter, std::size_t i) -> double {
+        if (letter.markers & OpenMarker(0)) return static_cast<double>(i + 1);
+        return 1.0;
+      });
+  const std::string doc = "aabab";
+  // Weights encode 1 + the 0-based opening letter index.
+  EXPECT_DOUBLE_EQ(positional.WeightOf(doc, SpanTuple::Of({Span(1, 3)})), 1.0);
+  EXPECT_DOUBLE_EQ(positional.WeightOf(doc, SpanTuple::Of({Span(2, 3)})), 2.0);
+  EXPECT_DOUBLE_EQ(positional.WeightOf(doc, SpanTuple::Of({Span(4, 5)})), 4.0);
+  // Not in the relation: annotation Zero.
+  EXPECT_DOUBLE_EQ(positional.WeightOf(doc, SpanTuple::Of({Span(3, 4)})), 0.0);
+  // Aggregate = 1 + 2 + 4 under (+, *).
+  EXPECT_DOUBLE_EQ(positional.Aggregate(doc), 7.0);
+}
+
+TEST(Weighted, EvaluatePairsTuplesWithAnnotations) {
+  const RegularSpanner spanner = RegularSpanner::Compile(".*{x: ab}.*");
+  const auto counting = CountingView(&spanner);
+  const auto pairs = counting.Evaluate("abab");
+  ASSERT_EQ(pairs.size(), 2u);
+  for (const auto& [tuple, weight] : pairs) {
+    EXPECT_EQ(weight, 1u);
+    EXPECT_TRUE(spanner.ModelCheck("abab", tuple));
+  }
+}
+
+TEST(Weighted, EmptyRelationAggregatesToZero) {
+  const RegularSpanner spanner = RegularSpanner::Compile("{x: ab}");
+  const auto counting = CountingView(&spanner);
+  EXPECT_EQ(counting.Aggregate("ba"), 0u);
+  EXPECT_EQ(counting.Aggregate(""), 0u);
+}
+
+}  // namespace
+}  // namespace spanners
