@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cde.dir/bench_cde.cpp.o"
+  "CMakeFiles/bench_cde.dir/bench_cde.cpp.o.d"
+  "bench_cde"
+  "bench_cde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

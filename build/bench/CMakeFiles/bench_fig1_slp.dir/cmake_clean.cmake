@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_slp.dir/bench_fig1_slp.cpp.o"
+  "CMakeFiles/bench_fig1_slp.dir/bench_fig1_slp.cpp.o.d"
+  "bench_fig1_slp"
+  "bench_fig1_slp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

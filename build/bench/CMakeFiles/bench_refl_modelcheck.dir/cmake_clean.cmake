@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refl_modelcheck.dir/bench_refl_modelcheck.cpp.o"
+  "CMakeFiles/bench_refl_modelcheck.dir/bench_refl_modelcheck.cpp.o.d"
+  "bench_refl_modelcheck"
+  "bench_refl_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refl_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

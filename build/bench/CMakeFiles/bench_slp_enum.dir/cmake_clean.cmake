@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slp_enum.dir/bench_slp_enum.cpp.o"
+  "CMakeFiles/bench_slp_enum.dir/bench_slp_enum.cpp.o.d"
+  "bench_slp_enum"
+  "bench_slp_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slp_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slp_nfa.dir/bench_slp_nfa.cpp.o"
+  "CMakeFiles/bench_slp_nfa.dir/bench_slp_nfa.cpp.o.d"
+  "bench_slp_nfa"
+  "bench_slp_nfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slp_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compressed_warehouse.dir/compressed_warehouse.cpp.o"
+  "CMakeFiles/example_compressed_warehouse.dir/compressed_warehouse.cpp.o.d"
+  "example_compressed_warehouse"
+  "example_compressed_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compressed_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_log_extraction.dir/log_extraction.cpp.o"
+  "CMakeFiles/example_log_extraction.dir/log_extraction.cpp.o.d"
+  "example_log_extraction"
+  "example_log_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_log_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_plagiarism_refl.dir/plagiarism_refl.cpp.o"
+  "CMakeFiles/example_plagiarism_refl.dir/plagiarism_refl.cpp.o.d"
+  "example_plagiarism_refl"
+  "example_plagiarism_refl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_plagiarism_refl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_plagiarism_refl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recursive_rules.dir/recursive_rules.cpp.o"
+  "CMakeFiles/example_recursive_rules.dir/recursive_rules.cpp.o.d"
+  "example_recursive_rules"
+  "example_recursive_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recursive_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/dfa.cpp" "src/CMakeFiles/spanners.dir/automata/dfa.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/dfa.cpp.o.d"
+  "/root/repo/src/automata/hopcroft.cpp" "src/CMakeFiles/spanners.dir/automata/hopcroft.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/hopcroft.cpp.o.d"
+  "/root/repo/src/automata/nfa.cpp" "src/CMakeFiles/spanners.dir/automata/nfa.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/nfa.cpp.o.d"
+  "/root/repo/src/automata/nfa_ops.cpp" "src/CMakeFiles/spanners.dir/automata/nfa_ops.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/nfa_ops.cpp.o.d"
+  "/root/repo/src/automata/product.cpp" "src/CMakeFiles/spanners.dir/automata/product.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/product.cpp.o.d"
+  "/root/repo/src/automata/symbol.cpp" "src/CMakeFiles/spanners.dir/automata/symbol.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/symbol.cpp.o.d"
+  "/root/repo/src/automata/thompson.cpp" "src/CMakeFiles/spanners.dir/automata/thompson.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/automata/thompson.cpp.o.d"
+  "/root/repo/src/core/algebra.cpp" "src/CMakeFiles/spanners.dir/core/algebra.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/algebra.cpp.o.d"
+  "/root/repo/src/core/compile_algebra.cpp" "src/CMakeFiles/spanners.dir/core/compile_algebra.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/compile_algebra.cpp.o.d"
+  "/root/repo/src/core/core_simplification.cpp" "src/CMakeFiles/spanners.dir/core/core_simplification.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/core_simplification.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/CMakeFiles/spanners.dir/core/decision.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/decision.cpp.o.d"
+  "/root/repo/src/core/enumeration.cpp" "src/CMakeFiles/spanners.dir/core/enumeration.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/enumeration.cpp.o.d"
+  "/root/repo/src/core/extended_va.cpp" "src/CMakeFiles/spanners.dir/core/extended_va.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/extended_va.cpp.o.d"
+  "/root/repo/src/core/pattern_matching.cpp" "src/CMakeFiles/spanners.dir/core/pattern_matching.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/pattern_matching.cpp.o.d"
+  "/root/repo/src/core/ref_word.cpp" "src/CMakeFiles/spanners.dir/core/ref_word.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/ref_word.cpp.o.d"
+  "/root/repo/src/core/regex_ast.cpp" "src/CMakeFiles/spanners.dir/core/regex_ast.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/regex_ast.cpp.o.d"
+  "/root/repo/src/core/regex_parser.cpp" "src/CMakeFiles/spanners.dir/core/regex_parser.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/regex_parser.cpp.o.d"
+  "/root/repo/src/core/regular_spanner.cpp" "src/CMakeFiles/spanners.dir/core/regular_spanner.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/regular_spanner.cpp.o.d"
+  "/root/repo/src/core/span.cpp" "src/CMakeFiles/spanners.dir/core/span.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/span.cpp.o.d"
+  "/root/repo/src/core/variables.cpp" "src/CMakeFiles/spanners.dir/core/variables.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/variables.cpp.o.d"
+  "/root/repo/src/core/vset_automaton.cpp" "src/CMakeFiles/spanners.dir/core/vset_automaton.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/vset_automaton.cpp.o.d"
+  "/root/repo/src/core/word_equations.cpp" "src/CMakeFiles/spanners.dir/core/word_equations.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/core/word_equations.cpp.o.d"
+  "/root/repo/src/datalog/program.cpp" "src/CMakeFiles/spanners.dir/datalog/program.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/datalog/program.cpp.o.d"
+  "/root/repo/src/grammar/cfg.cpp" "src/CMakeFiles/spanners.dir/grammar/cfg.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/grammar/cfg.cpp.o.d"
+  "/root/repo/src/grammar/cyk_spanner.cpp" "src/CMakeFiles/spanners.dir/grammar/cyk_spanner.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/grammar/cyk_spanner.cpp.o.d"
+  "/root/repo/src/refl/core_to_refl.cpp" "src/CMakeFiles/spanners.dir/refl/core_to_refl.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/core_to_refl.cpp.o.d"
+  "/root/repo/src/refl/ref_deref.cpp" "src/CMakeFiles/spanners.dir/refl/ref_deref.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/ref_deref.cpp.o.d"
+  "/root/repo/src/refl/refl_decision.cpp" "src/CMakeFiles/spanners.dir/refl/refl_decision.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/refl_decision.cpp.o.d"
+  "/root/repo/src/refl/refl_eval.cpp" "src/CMakeFiles/spanners.dir/refl/refl_eval.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/refl_eval.cpp.o.d"
+  "/root/repo/src/refl/refl_spanner.cpp" "src/CMakeFiles/spanners.dir/refl/refl_spanner.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/refl_spanner.cpp.o.d"
+  "/root/repo/src/refl/refl_to_core.cpp" "src/CMakeFiles/spanners.dir/refl/refl_to_core.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/refl/refl_to_core.cpp.o.d"
+  "/root/repo/src/slp/avl_grammar.cpp" "src/CMakeFiles/spanners.dir/slp/avl_grammar.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/avl_grammar.cpp.o.d"
+  "/root/repo/src/slp/balance.cpp" "src/CMakeFiles/spanners.dir/slp/balance.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/balance.cpp.o.d"
+  "/root/repo/src/slp/cde.cpp" "src/CMakeFiles/spanners.dir/slp/cde.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/cde.cpp.o.d"
+  "/root/repo/src/slp/slp.cpp" "src/CMakeFiles/spanners.dir/slp/slp.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/slp.cpp.o.d"
+  "/root/repo/src/slp/slp_builder.cpp" "src/CMakeFiles/spanners.dir/slp/slp_builder.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/slp_builder.cpp.o.d"
+  "/root/repo/src/slp/slp_enum.cpp" "src/CMakeFiles/spanners.dir/slp/slp_enum.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/slp_enum.cpp.o.d"
+  "/root/repo/src/slp/slp_nfa.cpp" "src/CMakeFiles/spanners.dir/slp/slp_nfa.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/slp/slp_nfa.cpp.o.d"
+  "/root/repo/src/util/bool_matrix.cpp" "src/CMakeFiles/spanners.dir/util/bool_matrix.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/util/bool_matrix.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/spanners.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/string_hash.cpp" "src/CMakeFiles/spanners.dir/util/string_hash.cpp.o" "gcc" "src/CMakeFiles/spanners.dir/util/string_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_word_test.dir/ref_word_test.cpp.o"
+  "CMakeFiles/ref_word_test.dir/ref_word_test.cpp.o.d"
+  "ref_word_test"
+  "ref_word_test.pdb"
+  "ref_word_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_word_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

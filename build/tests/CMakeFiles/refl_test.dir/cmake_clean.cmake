@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refl_test.dir/refl_test.cpp.o"
+  "CMakeFiles/refl_test.dir/refl_test.cpp.o.d"
+  "refl_test"
+  "refl_test.pdb"
+  "refl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

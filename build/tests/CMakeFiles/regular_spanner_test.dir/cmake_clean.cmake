@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_spanner_test.dir/regular_spanner_test.cpp.o"
+  "CMakeFiles/regular_spanner_test.dir/regular_spanner_test.cpp.o.d"
+  "regular_spanner_test"
+  "regular_spanner_test.pdb"
+  "regular_spanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_spanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_eval_test.dir/slp_eval_test.cpp.o"
+  "CMakeFiles/slp_eval_test.dir/slp_eval_test.cpp.o.d"
+  "slp_eval_test"
+  "slp_eval_test.pdb"
+  "slp_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

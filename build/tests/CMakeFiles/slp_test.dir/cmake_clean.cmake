@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_test.dir/slp_test.cpp.o"
+  "CMakeFiles/slp_test.dir/slp_test.cpp.o.d"
+  "slp_test"
+  "slp_test.pdb"
+  "slp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

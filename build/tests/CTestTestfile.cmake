@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_va_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/ref_word_test[1]_include.cmake")
+include("/root/repo/build/tests/refl_test[1]_include.cmake")
+include("/root/repo/build/tests/regular_spanner_test[1]_include.cmake")
+include("/root/repo/build/tests/slp_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/slp_test[1]_include.cmake")
+include("/root/repo/build/tests/span_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_test[1]_include.cmake")
