@@ -14,6 +14,7 @@
 #include "slp/slp_builder.hpp"
 #include "slp/slp_enum.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spanners {
 namespace {
@@ -21,6 +22,14 @@ namespace {
 std::string MakeDoc(std::size_t n) {
   Rng rng(12);
   return DnaLike(rng, n, 8, 32);
+}
+
+/// 1-, 4-, and N-thread variants for the incremental matrix maintenance.
+std::vector<int64_t> ThreadArgs() {
+  std::vector<int64_t> args{1, 4};
+  const int64_t n = static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  if (n != 1 && n != 4) args.push_back(n);
+  return args;
 }
 
 void BM_Cde_Update(benchmark::State& state) {
@@ -65,6 +74,7 @@ void BM_Cde_UpdateThenQuery(benchmark::State& state) {
   database.AddDocument(Rebalance(database.slp(), BuildRePair(database.slp(), text)));
   const RegularSpanner spanner = RegularSpanner::Compile(".*{x: acgt}.*");
   SlpSpannerEvaluator evaluator(&spanner.edva());
+  evaluator.SetThreads(static_cast<std::size_t>(state.range(1)));
   // Warm the cache with the base document.
   evaluator.Evaluate(database.slp(), database.document(0),
                      [](const SpanTuple&) { return false; });
@@ -87,8 +97,10 @@ void BM_Cde_UpdateThenQuery(benchmark::State& state) {
   }
   state.counters["doc_bytes"] = static_cast<double>(text.size());
   state.counters["matrices_per_update"] = static_cast<double>(last_growth);
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
-BENCHMARK(BM_Cde_UpdateThenQuery)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_Cde_UpdateThenQuery)
+    ->ArgsProduct({benchmark::CreateRange(1 << 12, 1 << 18, 4), ThreadArgs()});
 
 }  // namespace
 }  // namespace spanners

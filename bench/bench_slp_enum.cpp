@@ -15,11 +15,21 @@
 #include "slp/slp_builder.hpp"
 #include "slp/slp_enum.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spanners {
 namespace {
 
 const char* kPattern = "(a|b)*a{x: b}a(a|b)*";
+
+/// 1-, 4-, and N-thread variants (N = SPANNERS_THREADS / hardware cores)
+/// for the level-order matrix preprocessing (slp_schedule.hpp).
+std::vector<int64_t> ThreadArgs() {
+  std::vector<int64_t> args{1, 4};
+  const int64_t n = static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  if (n != 1 && n != 4) args.push_back(n);
+  return args;
+}
 
 struct CompressedDoc {
   Slp slp;
@@ -39,6 +49,7 @@ void BM_SlpEnum_Preprocessing(benchmark::State& state) {
   CompressedDoc doc = PowerDoc(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     SlpSpannerEvaluator evaluator(&spanner.edva());
+    evaluator.SetThreads(static_cast<std::size_t>(state.range(1)));
     // Enumerate just one tuple: forces the full matrix preprocessing but
     // not the output-linear enumeration.
     evaluator.Evaluate(doc.slp, doc.root, [](const SpanTuple&) { return false; });
@@ -46,8 +57,31 @@ void BM_SlpEnum_Preprocessing(benchmark::State& state) {
   }
   state.counters["doc_bytes"] = static_cast<double>(doc.slp.Length(doc.root));
   state.counters["slp_nodes"] = static_cast<double>(doc.slp.ReachableSize(doc.root));
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
-BENCHMARK(BM_SlpEnum_Preprocessing)->DenseRange(4, 24, 4);
+BENCHMARK(BM_SlpEnum_Preprocessing)
+    ->ArgsProduct({benchmark::CreateDenseRange(4, 24, 4), ThreadArgs()});
+
+void BM_SlpEnum_PreprocessingBoilerplate(benchmark::State& state) {
+  // Re-Pair on boilerplate text: wide topological levels, the realistic
+  // target of the parallel fill (compare thread counts at a fixed size).
+  Rng rng(5);
+  const std::string doc = BoilerplateText(rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  Slp slp;
+  const NodeId root = BuildRePair(slp, doc);
+  const RegularSpanner spanner = RegularSpanner::Compile("(.|\\n)*{x: fox}(.|\\n)*");
+  for (auto _ : state) {
+    SlpSpannerEvaluator evaluator(&spanner.edva());
+    evaluator.SetThreads(static_cast<std::size_t>(state.range(1)));
+    evaluator.Evaluate(slp, root, [](const SpanTuple&) { return false; });
+    benchmark::DoNotOptimize(evaluator.cache_size());
+  }
+  state.counters["doc_bytes"] = static_cast<double>(doc.size());
+  state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_SlpEnum_PreprocessingBoilerplate)
+    ->ArgsProduct({benchmark::CreateRange(64, 1024, 4), ThreadArgs()});
 
 void BM_Uncompressed_Preprocessing(benchmark::State& state) {
   const RegularSpanner spanner = RegularSpanner::Compile(kPattern);

@@ -5,6 +5,10 @@
 // matrix method's time stays near-flat as |D| doubles, while
 // decompress-and-run grows linearly; the crossover appears once |D| is
 // large relative to the automaton.
+//
+// Preprocessing benchmarks take a second argument: the worker-thread count
+// for the level-order matrix fill (1 = the sequential baseline; see
+// slp_schedule.hpp). Speedup saturates at the machine's core count.
 #include <benchmark/benchmark.h>
 
 #include "automata/nfa_ops.hpp"
@@ -12,11 +16,20 @@
 #include "slp/slp_builder.hpp"
 #include "slp/slp_nfa.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spanners {
 namespace {
 
 Nfa PatternNfa() { return RegularSpanner::Compile("(a|b)*ab(a|b)*ba(a|b)*").vset().nfa(); }
+
+/// 1-, 4-, and N-thread variants (N = SPANNERS_THREADS / hardware cores).
+std::vector<int64_t> ThreadArgs() {
+  std::vector<int64_t> args{1, 4};
+  const int64_t n = static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  if (n != 1 && n != 4) args.push_back(n);
+  return args;
+}
 
 void BM_SlpNfa_CompressedMatrices(benchmark::State& state) {
   // (abba)^(2^e): SLP size grows linearly in e = log2 |D|.
@@ -26,12 +39,15 @@ void BM_SlpNfa_CompressedMatrices(benchmark::State& state) {
   const Nfa nfa = PatternNfa();
   for (auto _ : state) {
     SlpNfaMatcher matcher(nfa);  // fresh cache: measure full preprocessing
+    matcher.SetThreads(static_cast<std::size_t>(state.range(1)));
     benchmark::DoNotOptimize(matcher.Accepts(slp, root));
   }
   state.counters["doc_bytes"] = static_cast<double>(slp.Length(root));
   state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
-BENCHMARK(BM_SlpNfa_CompressedMatrices)->DenseRange(4, 20, 4);
+BENCHMARK(BM_SlpNfa_CompressedMatrices)
+    ->ArgsProduct({benchmark::CreateDenseRange(4, 20, 4), ThreadArgs()});
 
 void BM_SlpNfa_DecompressAndRun(benchmark::State& state) {
   Slp slp;
@@ -48,7 +64,8 @@ BENCHMARK(BM_SlpNfa_DecompressAndRun)->DenseRange(4, 16, 4);
 
 void BM_SlpNfa_ModeratelyCompressible(benchmark::State& state) {
   // Re-Pair on boilerplate text: realistic compression rather than the
-  // pathological best case.
+  // pathological best case. This is the workload where the wide Re-Pair
+  // levels give the parallel fill something to chew on.
   Rng rng(5);
   const std::string doc = BoilerplateText(rng, static_cast<std::size_t>(state.range(0)), 0.05);
   Slp slp;
@@ -56,12 +73,37 @@ void BM_SlpNfa_ModeratelyCompressible(benchmark::State& state) {
   const Nfa nfa = RegularSpanner::Compile(".*fox.*").vset().nfa();
   for (auto _ : state) {
     SlpNfaMatcher matcher(nfa);
+    matcher.SetThreads(static_cast<std::size_t>(state.range(1)));
     benchmark::DoNotOptimize(matcher.Accepts(slp, root));
   }
   state.counters["doc_bytes"] = static_cast<double>(doc.size());
   state.counters["slp_nodes"] = static_cast<double>(slp.ReachableSize(root));
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
-BENCHMARK(BM_SlpNfa_ModeratelyCompressible)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_SlpNfa_ModeratelyCompressible)
+    ->ArgsProduct({benchmark::CreateRange(16, 1024, 4), ThreadArgs()});
+
+void BM_SlpNfa_KernelComparison(benchmark::State& state) {
+  // Blocked (transpose + AND-reduce) vs the original sparse-rows kernel on
+  // the boilerplate workload; range(1) selects the kernel.
+  Rng rng(5);
+  const std::string doc = BoilerplateText(rng, 512, 0.05);
+  Slp slp;
+  const NodeId root = BuildRePair(slp, doc);
+  const Nfa nfa = RegularSpanner::Compile(".*fox.*").vset().nfa();
+  const auto kernel = state.range(0) == 0 ? BoolMatrix::MultiplyKernel::kBlocked
+                                          : BoolMatrix::MultiplyKernel::kSparseRows;
+  const auto previous = BoolMatrix::multiply_kernel();
+  BoolMatrix::SetMultiplyKernel(kernel);
+  for (auto _ : state) {
+    SlpNfaMatcher matcher(nfa);
+    matcher.SetThreads(1);
+    benchmark::DoNotOptimize(matcher.Accepts(slp, root));
+  }
+  BoolMatrix::SetMultiplyKernel(previous);
+  state.SetLabel(state.range(0) == 0 ? "blocked" : "sparse_rows");
+}
+BENCHMARK(BM_SlpNfa_KernelComparison)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace spanners

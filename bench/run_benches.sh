@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the SLP evaluation benchmarks (experiments E7, E8, E10 in
+# EXPERIMENTS.md) with --benchmark_format=json and aggregates the three
+# reports into a single BENCH_PR1.json at the repo root, annotated with
+# the machine's core count and the thread knob in effect.
+#
+# Usage: bench/run_benches.sh [build-dir] [output-json]
+#   SPANNERS_THREADS=8 bench/run_benches.sh build BENCH_PR1.json
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$repo_root/BENCH_PR1.json}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+benches=(bench_slp_nfa bench_slp_enum bench_cde)
+filters=(
+  'BM_SlpNfa_(CompressedMatrices|KernelComparison)'  # E7 + kernel A/B
+  'BM_SlpEnum_Preprocessing'                          # E8 preprocessing
+  'BM_Cde_'                                           # E10
+)
+
+for i in "${!benches[@]}"; do
+  bin="$build_dir/bench/${benches[$i]}"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  echo ">>> ${benches[$i]} --benchmark_filter=${filters[$i]}" >&2
+  "$bin" --benchmark_filter="${filters[$i]}" \
+         --benchmark_format=json \
+         --benchmark_min_time=0.05 \
+         > "$tmp_dir/${benches[$i]}.json"
+done
+
+python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
+import json, os, sys
+
+out_file, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"experiments": {}, "context": None}
+for name in names:
+    with open(os.path.join(tmp_dir, name + ".json")) as f:
+        report = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    merged["experiments"][name] = report.get("benchmarks", [])
+
+merged["env"] = {
+    "SPANNERS_THREADS": os.environ.get("SPANNERS_THREADS", ""),
+    "SPANNERS_MM_KERNEL": os.environ.get("SPANNERS_MM_KERNEL", ""),
+    "nproc": os.cpu_count(),
+}
+with open(out_file, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_file}: "
+      + ", ".join(f"{k}={len(v)} series" for k, v in merged["experiments"].items()))
+PY

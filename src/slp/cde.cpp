@@ -1,6 +1,7 @@
 #include "slp/cde.hpp"
 
 #include <cctype>
+#include <utility>
 
 #include "slp/avl_grammar.hpp"
 #include "util/common.hpp"
@@ -154,9 +155,89 @@ NodeId InsertAt(Slp& slp, NodeId base, NodeId piece, uint64_t k) {
   return AvlConcat(slp, AvlConcat(slp, parts.prefix, piece), parts.suffix);
 }
 
+/// Computes |eval(expr)| while checking every document index and position
+/// against the operand lengths. Returns false and sets *error on the first
+/// violation. Pure: never touches the arena.
+bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
+                    uint64_t* length, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    *error = message;
+    return false;
+  };
+  switch (expr.op) {
+    case CdeOp::kDocument: {
+      if (expr.document_index >= database.num_documents()) {
+        return fail("unknown document D" + std::to_string(expr.document_index + 1));
+      }
+      const NodeId root = database.document(expr.document_index);
+      *length = root == kNoNode ? 0 : database.slp().Length(root);
+      return true;
+    }
+    case CdeOp::kConcat: {
+      uint64_t a = 0, b = 0;
+      if (!ValidateLength(database, *expr.children[0], &a, error) ||
+          !ValidateLength(database, *expr.children[1], &b, error)) {
+        return false;
+      }
+      *length = a + b;
+      return true;
+    }
+    case CdeOp::kExtract:
+    case CdeOp::kDelete:
+    case CdeOp::kCopy: {
+      uint64_t base = 0;
+      if (!ValidateLength(database, *expr.children[0], &base, error)) return false;
+      if (!(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= base)) {
+        return fail("positions [" + std::to_string(expr.i) + ", " + std::to_string(expr.j) +
+                    "] out of range for operand of length " + std::to_string(base));
+      }
+      const uint64_t factor = expr.j - expr.i + 1;
+      if (expr.op == CdeOp::kExtract) {
+        *length = factor;
+      } else if (expr.op == CdeOp::kDelete) {
+        *length = base - factor;
+      } else {  // copy: pasted at position k of the base
+        if (!(expr.k >= 1 && expr.k <= base + 1)) {
+          return fail("copy target position " + std::to_string(expr.k) +
+                      " out of range for operand of length " + std::to_string(base));
+        }
+        *length = base + factor;
+      }
+      return true;
+    }
+    case CdeOp::kInsert: {
+      uint64_t base = 0, piece = 0;
+      if (!ValidateLength(database, *expr.children[0], &base, error) ||
+          !ValidateLength(database, *expr.children[1], &piece, error)) {
+        return false;
+      }
+      if (!(expr.k >= 1 && expr.k <= base + 1)) {
+        return fail("insert position " + std::to_string(expr.k) +
+                    " out of range for operand of length " + std::to_string(base));
+      }
+      *length = base + piece;
+      return true;
+    }
+  }
+  return fail("unknown CDE operation");
+}
+
 }  // namespace
 
 CdeParseResult ParseCde(std::string_view text) { return CdeParser(text).Run(); }
+
+std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
+  uint64_t length = 0;
+  std::string error;
+  ValidateLength(database, expr, &length, &error);
+  return error;
+}
+
+CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr) {
+  std::string error = ValidateCde(*database, expr);
+  if (!error.empty()) return {kNoNode, std::move(error)};
+  return {EvalCde(database, expr), ""};
+}
 
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
   Slp& slp = database->slp();

@@ -52,7 +52,29 @@ CdeParseResult ParseCde(std::string_view text);
 /// node for eval(φ) (kNoNode for an empty result). Does not register the
 /// result; call database->AddDocument to persist it. Document roots must be
 /// strongly balanced for the O(|φ| log d) bound (use Rebalance first).
+/// Precondition: the expression is valid for the database (document indices
+/// exist, positions in range) -- violations are fatal; use EvalCdeChecked
+/// for untrusted expressions.
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr);
+
+/// Result of EvalCdeChecked; node is only meaningful when ok() (same
+/// convention as CdeParseResult).
+struct CdeEvalResult {
+  NodeId node = kNoNode;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Validates \p expr against \p database -- document indices exist, every
+/// position is in range for the (computed) operand lengths -- without
+/// evaluating or mutating anything. Returns a diagnostic message, empty
+/// when valid. O(|φ|).
+std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr);
+
+/// Like EvalCde, but treats invalid caller-supplied expressions as a
+/// diagnosable error instead of aborting the process.
+CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr);
 
 /// Convenience: parse, evaluate, and register; aborts on parse errors.
 /// Returns the new document's index.

@@ -1,5 +1,8 @@
 #include "slp/slp_enum.hpp"
 
+#include <utility>
+
+#include "slp/slp_schedule.hpp"
 #include "util/common.hpp"
 
 namespace spanners {
@@ -9,6 +12,79 @@ SlpSpannerEvaluator::SlpSpannerEvaluator(const ExtendedVA* edva) : edva_(edva) {
   Require(edva_->IsDeterministic(),
           "SlpSpannerEvaluator: automaton must be deterministic (use RegularSpanner)");
   num_states_ = edva_->num_states();
+}
+
+void SlpSpannerEvaluator::SetThreads(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  if (n != threads_) {
+    threads_ = n;
+    pool_.reset();
+  }
+}
+
+void SlpSpannerEvaluator::ComputeNode(const Slp& slp, NodeId node, NodeMats* out) const {
+  NodeMats& mats = *out;
+  if (slp.IsTerminal(node)) {
+    const uint16_t c = slp.TerminalChar(node);
+    mats.spine.assign(num_states_, kNoState);
+    mats.event = BoolMatrix(num_states_);
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const EvaTransition& t : edva_->TransitionsFrom(p)) {
+        if (t.letter.ch != c) continue;
+        if (t.letter.markers == 0) {
+          mats.spine[p] = t.to;  // unique: automaton is deterministic
+        } else {
+          mats.event.Set(p, t.to);
+        }
+      }
+    }
+  } else {
+    const NodeMats& left = cache_.at(slp.Left(node));
+    const NodeMats& right = cache_.at(slp.Right(node));
+    // spine = right.spine ∘ left.spine
+    mats.spine.assign(num_states_, kNoState);
+    for (StateId p = 0; p < num_states_; ++p) {
+      const StateId mid = left.spine[p];
+      if (mid != kNoState) mats.spine[p] = right.spine[mid];
+    }
+    // event = left.event * right.full  ∪  left.spine ; right.event
+    left.event.MultiplyInto(right.full, &mats.event);
+    for (StateId p = 0; p < num_states_; ++p) {
+      const StateId mid = left.spine[p];
+      if (mid == kNoState) continue;
+      for (StateId q = 0; q < num_states_; ++q) {
+        if (right.event.Get(mid, q)) mats.event.Set(p, q);
+      }
+    }
+  }
+  mats.full = mats.event;
+  for (StateId p = 0; p < num_states_; ++p) {
+    if (mats.spine[p] != kNoState) mats.full.Set(p, mats.spine[p]);
+  }
+}
+
+void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
+  const std::vector<std::vector<NodeId>> levels =
+      UncachedLevels(slp, node, [&](NodeId n) { return cache_.count(n) != 0; });
+  // Pre-reserve one slot per pending node: workers write into stable,
+  // disjoint mapped values and never mutate the map itself -- no locking on
+  // the hot path (see slp_schedule.hpp).
+  for (const std::vector<NodeId>& level : levels) {
+    for (const NodeId n : level) cache_.emplace(n, NodeMats());
+  }
+  if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  for (const std::vector<NodeId>& level : levels) {
+    auto compute = [&](std::size_t i) {
+      ComputeNode(slp, level[i], &cache_.find(level[i])->second);
+    };
+    // ParallelFor is a barrier: level k is complete (and visible) before
+    // level k+1 starts, which is exactly the dependency order.
+    if (pool_ != nullptr && level.size() > 1) {
+      pool_->ParallelFor(0, level.size(), compute);
+    } else {
+      for (std::size_t i = 0; i < level.size(); ++i) compute(i);
+    }
+  }
 }
 
 const SlpSpannerEvaluator::NodeMats& SlpSpannerEvaluator::MatsOf(const Slp& slp,
@@ -21,64 +97,7 @@ const SlpSpannerEvaluator::NodeMats& SlpSpannerEvaluator::MatsOf(const Slp& slp,
   }
   auto it = cache_.find(node);
   if (it != cache_.end()) return it->second;
-  // Post-order over uncached nodes.
-  std::vector<std::pair<NodeId, bool>> stack{{node, false}};
-  while (!stack.empty()) {
-    const auto [current, expanded] = stack.back();
-    stack.pop_back();
-    if (cache_.count(current)) continue;
-    if (slp.IsTerminal(current)) {
-      const uint16_t c = slp.TerminalChar(current);
-      NodeMats mats;
-      mats.spine.assign(num_states_, kNoState);
-      mats.event = BoolMatrix(num_states_);
-      for (StateId p = 0; p < num_states_; ++p) {
-        for (const EvaTransition& t : edva_->TransitionsFrom(p)) {
-          if (t.letter.ch != c) continue;
-          if (t.letter.markers == 0) {
-            mats.spine[p] = t.to;  // unique: automaton is deterministic
-          } else {
-            mats.event.Set(p, t.to);
-          }
-        }
-      }
-      mats.full = mats.event;
-      for (StateId p = 0; p < num_states_; ++p) {
-        if (mats.spine[p] != kNoState) mats.full.Set(p, mats.spine[p]);
-      }
-      cache_.emplace(current, std::move(mats));
-      continue;
-    }
-    if (!expanded) {
-      stack.push_back({current, true});
-      stack.push_back({slp.Left(current), false});
-      stack.push_back({slp.Right(current), false});
-    } else {
-      const NodeMats& left = cache_.at(slp.Left(current));
-      const NodeMats& right = cache_.at(slp.Right(current));
-      NodeMats mats;
-      // spine = right.spine ∘ left.spine
-      mats.spine.assign(num_states_, kNoState);
-      for (StateId p = 0; p < num_states_; ++p) {
-        const StateId mid = left.spine[p];
-        if (mid != kNoState) mats.spine[p] = right.spine[mid];
-      }
-      // event = left.event * right.full  ∪  left.spine ; right.event
-      mats.event = left.event.Multiply(right.full);
-      for (StateId p = 0; p < num_states_; ++p) {
-        const StateId mid = left.spine[p];
-        if (mid == kNoState) continue;
-        for (StateId q = 0; q < num_states_; ++q) {
-          if (right.event.Get(mid, q)) mats.event.Set(p, q);
-        }
-      }
-      mats.full = mats.event;
-      for (StateId p = 0; p < num_states_; ++p) {
-        if (mats.spine[p] != kNoState) mats.full.Set(p, mats.spine[p]);
-      }
-      cache_.emplace(current, std::move(mats));
-    }
-  }
+  FillCache(slp, node);
   return cache_.at(node);
 }
 

@@ -23,11 +23,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "core/extended_va.hpp"
 #include "slp/slp.hpp"
 #include "util/bool_matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spanners {
 
@@ -56,6 +58,13 @@ class SlpSpannerEvaluator {
   /// for experiment E8).
   std::size_t last_delay_steps() const { return last_delay_steps_; }
 
+  /// Worker threads for the matrix preprocessing (>= 1; 1 = sequential).
+  /// Defaults to ThreadPool::DefaultThreadCount(). The uncached sub-DAG is
+  /// evaluated level by level (slp_schedule.hpp); results are identical to
+  /// the sequential walk, work stays O(|S| * poly(Q)).
+  void SetThreads(std::size_t num_threads);
+  std::size_t threads() const { return threads_; }
+
  private:
   static constexpr StateId kNoState = UINT32_MAX;
 
@@ -76,6 +85,12 @@ class SlpSpannerEvaluator {
 
   const NodeMats& MatsOf(const Slp& slp, NodeId node);
 
+  /// Level-order fill of every uncached node reachable from \p node.
+  void FillCache(const Slp& slp, NodeId node);
+
+  /// Computes the mats of \p node into \p out; children must be cached.
+  void ComputeNode(const Slp& slp, NodeId node, NodeMats* out) const;
+
   /// Enumerates runs p -> q over node A (with >= 1 event when need_event);
   /// invokes \p next for each completed run with its events appended to
   /// ctx->events. Returns false when stopped.
@@ -89,6 +104,8 @@ class SlpSpannerEvaluator {
   uint64_t bound_arena_ = 0;  ///< cache validity domain (Slp::arena_id)
   std::unordered_map<NodeId, NodeMats> cache_;
   std::size_t last_delay_steps_ = 0;
+  std::size_t threads_ = ThreadPool::DefaultThreadCount();
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily when threads_ > 1
 };
 
 }  // namespace spanners

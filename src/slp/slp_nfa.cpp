@@ -1,15 +1,24 @@
 #include "slp/slp_nfa.hpp"
 
+#include <utility>
+
 #include "automata/nfa_ops.hpp"
+#include "slp/slp_schedule.hpp"
 #include "util/common.hpp"
 
 namespace spanners {
 
 SlpNfaMatcher::SlpNfaMatcher(const Nfa& nfa) : nfa_(RemoveEpsilon(nfa)) {
   num_states_ = nfa_.num_states();
-  for (StateId s = 0; s < num_states_; ++s) {
+  for (StateId s = 0; s < num_states_ && error_.empty(); ++s) {
     for (const Transition& t : nfa_.TransitionsFrom(s)) {
-      Require(t.symbol.IsChar(), "SlpNfaMatcher: only character transitions supported");
+      if (!t.symbol.IsChar()) {
+        // Caller-supplied automata may carry marker/ref symbols; that is a
+        // diagnosable input error, not a reason to abort the process.
+        error_ = "SlpNfaMatcher: only character transitions supported, got '" +
+                 t.symbol.ToString() + "'";
+        break;
+      }
       const unsigned char c = t.symbol.ch();
       if (!char_present_[c]) {
         char_matrix_[c] = BoolMatrix(num_states_);
@@ -20,7 +29,60 @@ SlpNfaMatcher::SlpNfaMatcher(const Nfa& nfa) : nfa_(RemoveEpsilon(nfa)) {
   }
 }
 
+std::optional<SlpNfaMatcher> SlpNfaMatcher::Create(const Nfa& nfa, std::string* error) {
+  SlpNfaMatcher matcher(nfa);
+  if (!matcher.ok()) {
+    if (error != nullptr) *error = matcher.error();
+    return std::nullopt;
+  }
+  return matcher;
+}
+
+void SlpNfaMatcher::SetThreads(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  if (n != threads_) {
+    threads_ = n;
+    pool_.reset();
+  }
+}
+
+void SlpNfaMatcher::ComputeNode(const Slp& slp, NodeId node, BoolMatrix* out) const {
+  if (slp.IsTerminal(node)) {
+    const unsigned char c = slp.TerminalChar(node);
+    *out = char_present_[c] ? char_matrix_[c] : BoolMatrix(num_states_);
+    return;
+  }
+  const BoolMatrix& left = cache_.at(slp.Left(node));
+  const BoolMatrix& right = cache_.at(slp.Right(node));
+  left.MultiplyInto(right, out);
+}
+
+void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
+  const std::vector<std::vector<NodeId>> levels =
+      UncachedLevels(slp, node, [&](NodeId n) { return cache_.count(n) != 0; });
+  // Pre-reserve one slot per pending node: workers then write into stable,
+  // disjoint mapped values and never mutate the map itself, so the hot path
+  // needs no locking at all.
+  for (const std::vector<NodeId>& level : levels) {
+    for (const NodeId n : level) cache_.emplace(n, BoolMatrix());
+  }
+  if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  for (const std::vector<NodeId>& level : levels) {
+    auto compute = [&](std::size_t i) {
+      ComputeNode(slp, level[i], &cache_.find(level[i])->second);
+    };
+    // ParallelFor is a barrier: level k completes (and is visible) before
+    // level k+1 starts, which is exactly the dependency order.
+    if (pool_ != nullptr && level.size() > 1) {
+      pool_->ParallelFor(0, level.size(), compute);
+    } else {
+      for (std::size_t i = 0; i < level.size(); ++i) compute(i);
+    }
+  }
+}
+
 const BoolMatrix& SlpNfaMatcher::MatrixOf(const Slp& slp, NodeId node) {
+  Require(ok(), "SlpNfaMatcher::MatrixOf: matcher in failed state (check ok())");
   // Node ids are only meaningful within one arena; switching arenas
   // invalidates the cache.
   if (bound_arena_ != slp.arena_id()) {
@@ -29,33 +91,12 @@ const BoolMatrix& SlpNfaMatcher::MatrixOf(const Slp& slp, NodeId node) {
   }
   auto it = cache_.find(node);
   if (it != cache_.end()) return it->second;
-  // Iterative post-order over uncached nodes (avoids recursion depth limits
-  // on deep SLPs).
-  std::vector<std::pair<NodeId, bool>> stack{{node, false}};
-  while (!stack.empty()) {
-    const auto [current, expanded] = stack.back();
-    stack.pop_back();
-    if (cache_.count(current)) continue;
-    if (slp.IsTerminal(current)) {
-      const unsigned char c = slp.TerminalChar(current);
-      cache_.emplace(current,
-                     char_present_[c] ? char_matrix_[c] : BoolMatrix(num_states_));
-      continue;
-    }
-    if (!expanded) {
-      stack.push_back({current, true});
-      stack.push_back({slp.Left(current), false});
-      stack.push_back({slp.Right(current), false});
-    } else {
-      const BoolMatrix& left = cache_.at(slp.Left(current));
-      const BoolMatrix& right = cache_.at(slp.Right(current));
-      cache_.emplace(current, left.Multiply(right));
-    }
-  }
+  FillCache(slp, node);
   return cache_.at(node);
 }
 
 bool SlpNfaMatcher::Accepts(const Slp& slp, NodeId root) {
+  Require(ok(), "SlpNfaMatcher::Accepts: matcher in failed state (check ok())");
   if (num_states_ == 0) return false;
   if (root == kNoNode) return nfa_.IsAccepting(nfa_.initial());
   const BoolMatrix& matrix = MatrixOf(slp, root);

@@ -8,22 +8,45 @@
 /// decompressing, and potentially exponentially faster than running the NFA
 /// over the expanded document. Matrices are cached per node, so adding new
 /// nodes (CDE updates, Section 4.3) costs only the new nodes' products.
+///
+/// Preprocessing is parallel: the uncached sub-DAG is grouped into
+/// topological levels (slp_schedule.hpp) and each level's products run on a
+/// ThreadPool (SetThreads; default SPANNERS_THREADS / hardware
+/// concurrency). Total work stays O(|S| * n^3); the span is
+/// O(depth(S) * n^3). Results are identical to the sequential walk.
 #pragma once
 
+#include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "automata/nfa.hpp"
 #include "slp/slp.hpp"
 #include "util/bool_matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spanners {
 
 /// Matrix-based matcher for one NFA over documents of one SLP arena.
 class SlpNfaMatcher {
  public:
-  /// \p nfa may contain epsilon transitions (they are eliminated here) but
-  /// no marker or reference symbols.
+  /// Builds a matcher for \p nfa, which may contain epsilon transitions
+  /// (eliminated here) but no marker or reference symbols. On unsupported
+  /// input returns std::nullopt and, when \p error is non-null, stores a
+  /// diagnostic message -- marker/ref automata are caller data, not a
+  /// programming error.
+  static std::optional<SlpNfaMatcher> Create(const Nfa& nfa, std::string* error = nullptr);
+
+  /// Direct construction. Never aborts: on unsupported input the matcher is
+  /// created in a diagnosable failed state -- check ok()/error() (same
+  /// convention as CdeParseResult). Calling Accepts/MatrixOf on a failed
+  /// matcher is a programming error.
   explicit SlpNfaMatcher(const Nfa& nfa);
+
+  /// False iff the NFA was unsupported; error() then explains why.
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
 
   /// Does the NFA accept 𝔇(root)? O(new nodes * n^3) thanks to the cache.
   bool Accepts(const Slp& slp, NodeId root);
@@ -37,13 +60,27 @@ class SlpNfaMatcher {
   /// Drops the cache (e.g. when switching arenas).
   void ClearCache() { cache_.clear(); }
 
+  /// Worker threads for preprocessing (>= 1; 1 = sequential). Defaults to
+  /// ThreadPool::DefaultThreadCount(). Takes effect from the next fill.
+  void SetThreads(std::size_t num_threads);
+  std::size_t threads() const { return threads_; }
+
  private:
+  /// Level-order fill of every uncached node reachable from \p node.
+  void FillCache(const Slp& slp, NodeId node);
+
+  /// Computes the matrix of \p node into \p out; children must be cached.
+  void ComputeNode(const Slp& slp, NodeId node, BoolMatrix* out) const;
+
   Nfa nfa_;  ///< epsilon-free
   std::size_t num_states_ = 0;
   BoolMatrix char_matrix_[256];
   bool char_present_[256] = {false};
   uint64_t bound_arena_ = 0;  ///< cache validity domain (Slp::arena_id)
   std::unordered_map<NodeId, BoolMatrix> cache_;
+  std::string error_;
+  std::size_t threads_ = ThreadPool::DefaultThreadCount();
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily when threads_ > 1
 };
 
 }  // namespace spanners

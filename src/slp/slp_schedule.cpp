@@ -1,0 +1,45 @@
+#include "slp/slp_schedule.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace spanners {
+
+std::vector<std::vector<NodeId>> UncachedLevels(
+    const Slp& slp, NodeId root, const std::function<bool(NodeId)>& is_cached) {
+  std::vector<std::vector<NodeId>> levels;
+  if (root == kNoNode || is_cached(root)) return levels;
+  // Iterative post-order; level(node) is known once both children's levels
+  // are (cached children contribute level "-1", i.e. are ignored).
+  std::unordered_map<NodeId, uint32_t> level;
+  std::vector<std::pair<NodeId, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    const auto [current, expanded] = stack.back();
+    stack.pop_back();
+    if (level.count(current)) continue;
+    if (slp.IsTerminal(current)) {
+      level.emplace(current, 0);
+      continue;
+    }
+    const NodeId left = slp.Left(current);
+    const NodeId right = slp.Right(current);
+    if (!expanded) {
+      stack.push_back({current, true});
+      if (!is_cached(left)) stack.push_back({left, false});
+      if (!is_cached(right)) stack.push_back({right, false});
+    } else {
+      uint32_t l = 0;
+      if (auto it = level.find(left); it != level.end()) l = std::max(l, it->second + 1);
+      if (auto it = level.find(right); it != level.end()) l = std::max(l, it->second + 1);
+      level.emplace(current, l);
+    }
+  }
+  for (const auto& [node, l] : level) {
+    if (l >= levels.size()) levels.resize(l + 1);
+    levels[l].push_back(node);
+  }
+  return levels;
+}
+
+}  // namespace spanners

@@ -1,0 +1,30 @@
+/// \file slp_schedule.hpp
+/// \brief Level-order scheduling of per-node SLP preprocessing.
+///
+/// Both matrix-preprocessing passes (slp_nfa.hpp, slp_enum.hpp) fill a
+/// per-node cache bottom-up: a node's matrix is a product of its children's
+/// matrices. The sequential implementations walked the uncached sub-DAG in
+/// post-order; for parallel evaluation we instead group the uncached nodes
+/// by *topological level* -- level 0 holds terminals and nodes whose
+/// children are already cached, level k+1 holds nodes whose deepest
+/// uncached child sits on level k. All nodes of one level only depend on
+/// cached nodes and on strictly lower levels, so each level is an
+/// embarrassingly parallel batch (ThreadPool::ParallelFor). Work stays
+/// O(|S| * n^3); the span shrinks to O(depth * n^3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// Computes the topological levels of the nodes reachable from \p root for
+/// which \p is_cached returns false. levels[k] lists the nodes of level k;
+/// each node appears exactly once. Cached nodes are neither listed nor
+/// descended into. Iterative (no recursion depth limits on deep SLPs).
+std::vector<std::vector<NodeId>> UncachedLevels(
+    const Slp& slp, NodeId root, const std::function<bool(NodeId)>& is_cached);
+
+}  // namespace spanners

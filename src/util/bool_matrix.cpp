@@ -1,8 +1,34 @@
 #include "util/bool_matrix.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "util/common.hpp"
 
 namespace spanners {
+
+namespace {
+
+BoolMatrix::MultiplyKernel InitialKernel() {
+  if (const char* env = std::getenv("SPANNERS_MM_KERNEL")) {
+    if (std::strcmp(env, "sparse") == 0) return BoolMatrix::MultiplyKernel::kSparseRows;
+  }
+  return BoolMatrix::MultiplyKernel::kBlocked;
+}
+
+BoolMatrix::MultiplyKernel g_multiply_kernel = InitialKernel();
+
+/// Output rows/columns are processed in square-ish blocks so that the active
+/// left rows plus the active transposed right rows stay within L1 (the
+/// transposed rows are re-read once per row block).
+constexpr std::size_t kL1BlockBytes = 16 * 1024;
+
+}  // namespace
+
+void BoolMatrix::SetMultiplyKernel(MultiplyKernel kernel) { g_multiply_kernel = kernel; }
+
+BoolMatrix::MultiplyKernel BoolMatrix::multiply_kernel() { return g_multiply_kernel; }
 
 BoolMatrix BoolMatrix::Identity(std::size_t n) {
   BoolMatrix m(n);
@@ -10,11 +36,108 @@ BoolMatrix BoolMatrix::Identity(std::size_t n) {
   return m;
 }
 
-BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
-  Require(size_ == other.size_, "BoolMatrix::Multiply: dimension mismatch");
-  BoolMatrix result(size_);
+BoolMatrix BoolMatrix::Transposed() const {
+  BoolMatrix result;
+  TransposeInto(&result);
+  return result;
+}
+
+void BoolMatrix::TransposeInto(BoolMatrix* result) const {
+  if (result->size_ != size_) *result = BoolMatrix(size_);
+  uint64_t* out = result->bits_.data();
+  std::memset(out, 0, result->bits_.size() * sizeof(uint64_t));
   for (std::size_t p = 0; p < size_; ++p) {
-    uint64_t* out = &result.bits_[p * words_per_row_];
+    const uint64_t* row = &bits_[p * words_per_row_];
+    const std::size_t p_word = p >> 6;
+    const uint64_t p_mask = uint64_t{1} << (p & 63);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t bits = row[w];
+      while (bits != 0) {
+        const std::size_t q = (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        out[q * words_per_row_ + p_word] |= p_mask;
+      }
+    }
+  }
+}
+
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
+  BoolMatrix result;
+  MultiplyInto(other, &result);
+  return result;
+}
+
+void BoolMatrix::MultiplyInto(const BoolMatrix& other, BoolMatrix* result) const {
+  Require(size_ == other.size_, "BoolMatrix::Multiply: dimension mismatch");
+  Require(result != this && result != &other, "BoolMatrix::MultiplyInto: aliasing");
+  if (g_multiply_kernel == MultiplyKernel::kSparseRows) {
+    MultiplySparseInto(other, result);
+    return;
+  }
+  // Density cutoff: the sparse-rows loop costs ~CountOnes(this) row-ORs of
+  // words_per_row_ words each, while the blocked kernel scans at least one
+  // word for each of the size_^2 output bits (plus the transpose). For the
+  // sparse transition matrices of small NFAs the sparse loop wins outright;
+  // only hand dense products to the transpose + AND-reduce kernel.
+  if (CountOnes() * words_per_row_ < size_ * size_ / 2) {
+    MultiplySparseInto(other, result);
+    return;
+  }
+  // Per-thread scratch: reuses the transpose allocation across the millions
+  // of products of an SLP preprocessing pass.
+  static thread_local BoolMatrix transposed;
+  other.TransposeInto(&transposed);
+  MultiplyTransposedInto(transposed, result);
+}
+
+std::size_t BoolMatrix::CountOnes() const {
+  std::size_t ones = 0;
+  for (const uint64_t word : bits_) ones += static_cast<std::size_t>(__builtin_popcountll(word));
+  return ones;
+}
+
+void BoolMatrix::MultiplyTransposedInto(const BoolMatrix& other_transposed,
+                                        BoolMatrix* result) const {
+  Require(size_ == other_transposed.size_,
+          "BoolMatrix::MultiplyTransposedInto: dimension mismatch");
+  Require(result != this && result != &other_transposed,
+          "BoolMatrix::MultiplyTransposedInto: aliasing");
+  if (result->size_ != size_) *result = BoolMatrix(size_);
+  uint64_t* out = result->bits_.data();
+  std::memset(out, 0, result->bits_.size() * sizeof(uint64_t));
+  const std::size_t row_bytes = words_per_row_ * sizeof(uint64_t);
+  // Square-ish blocking: a block of left rows and a block of transposed
+  // right rows together fit in kL1BlockBytes, so the inner AND-reduce
+  // streams L1-resident data only.
+  const std::size_t block = row_bytes == 0
+                                ? size_
+                                : std::max<std::size_t>(1, kL1BlockBytes / (2 * row_bytes));
+  for (std::size_t p0 = 0; p0 < size_; p0 += block) {
+    const std::size_t p1 = std::min(size_, p0 + block);
+    for (std::size_t q0 = 0; q0 < size_; q0 += block) {
+      const std::size_t q1 = std::min(size_, q0 + block);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const uint64_t* row = &bits_[p * words_per_row_];
+        uint64_t* out_row = &out[p * words_per_row_];
+        for (std::size_t q = q0; q < q1; ++q) {
+          const uint64_t* col = &other_transposed.bits_[q * words_per_row_];
+          uint64_t any = 0;
+          for (std::size_t w = 0; w < words_per_row_ && any == 0; ++w) {
+            any = row[w] & col[w];
+          }
+          if (any != 0) out_row[q >> 6] |= uint64_t{1} << (q & 63);
+        }
+      }
+    }
+  }
+}
+
+void BoolMatrix::MultiplySparseInto(const BoolMatrix& other, BoolMatrix* result) const {
+  if (result->size_ != size_) *result = BoolMatrix(size_);
+  uint64_t* out_bits = result->bits_.data();
+  std::memset(out_bits, 0, result->bits_.size() * sizeof(uint64_t));
+  for (std::size_t p = 0; p < size_; ++p) {
+    uint64_t* out = &out_bits[p * words_per_row_];
     const uint64_t* row = &bits_[p * words_per_row_];
     for (std::size_t wr = 0; wr < words_per_row_; ++wr) {
       uint64_t bitsofrow = row[wr];
@@ -26,7 +149,6 @@ BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
       }
     }
   }
-  return result;
 }
 
 BoolMatrix BoolMatrix::Or(const BoolMatrix& other) const {

@@ -8,6 +8,20 @@
 /// node A with children B and C, M_A = M_B * M_C under Boolean matrix
 /// multiplication, giving the O(|S| * n^3) bound (here with a 64x constant
 /// factor improvement from bit-packing).
+///
+/// Two product kernels are provided:
+///  * kBlocked (default): transposes the right operand once, then computes
+///    each output bit as a word-wise AND-reduce over two contiguous bit-rows,
+///    walking the output in row/column blocks sized to stay L1-resident.
+///    Deterministic access pattern, no per-bit branching on the input. When
+///    the left operand is sparse enough that a full scan cannot pay off
+///    (measured by CountOnes against the n^2 scan floor), this kernel
+///    delegates to the sparse-rows loop -- small NFA transition matrices hit
+///    this path almost always.
+///  * kSparseRows: the original kernel -- for every set bit of a left row,
+///    OR the corresponding right row into the output row. Wins when the left
+///    operand is very sparse; kept behind SetMultiplyKernel for comparison.
+/// Both kernels are exact; tests assert bit-for-bit equality.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +33,12 @@ namespace spanners {
 /// A dense n-by-n Boolean matrix stored as bit-packed rows.
 class BoolMatrix {
  public:
+  /// Selects the implementation used by Multiply / MultiplyInto.
+  enum class MultiplyKernel : uint8_t {
+    kBlocked,     ///< transpose + blocked AND-reduce (cache-friendly default)
+    kSparseRows,  ///< row-scatter kernel (the pre-parallel implementation)
+  };
+
   BoolMatrix() : size_(0), words_per_row_(0) {}
 
   /// Creates an all-zero n-by-n matrix.
@@ -48,8 +68,25 @@ class BoolMatrix {
   }
 
   /// Boolean matrix product: (this * other)[p][q] = OR_r this[p][r] AND
-  /// other[r][q]. Runs in O(n^3 / 64) word operations.
+  /// other[r][q]. Runs in O(n^3 / 64) word operations with the kernel
+  /// selected by SetMultiplyKernel.
   BoolMatrix Multiply(const BoolMatrix& other) const;
+
+  /// Product into a caller-owned result (reuses its allocation when the
+  /// dimension already matches). \p result must not alias this or \p other.
+  void MultiplyInto(const BoolMatrix& other, BoolMatrix* result) const;
+
+  /// Blocked product with the transpose of the right operand precomputed by
+  /// the caller (amortises the transpose when one right operand is reused).
+  /// \p result must not alias this or \p other_transposed.
+  void MultiplyTransposedInto(const BoolMatrix& other_transposed,
+                              BoolMatrix* result) const;
+
+  /// The transposed matrix.
+  BoolMatrix Transposed() const;
+
+  /// Transpose into a caller-owned scratch matrix (reuses its allocation).
+  void TransposeInto(BoolMatrix* result) const;
 
   /// Elementwise OR.
   BoolMatrix Or(const BoolMatrix& other) const;
@@ -70,10 +107,22 @@ class BoolMatrix {
   /// OR_p vec[p] AND this[p][q]. \p vec must contain size() bits.
   std::vector<uint64_t> VecMultiply(const std::vector<uint64_t>& vec) const;
 
+  /// Number of set entries (population count over all rows).
+  std::size_t CountOnes() const;
+
   /// Debug rendering as rows of '0'/'1'.
   std::string ToString() const;
 
+  /// Process-wide kernel switch (read at every Multiply/MultiplyInto call;
+  /// set it before spawning preprocessing threads, not concurrently with
+  /// them). Also settable via the environment variable
+  /// SPANNERS_MM_KERNEL=blocked|sparse (read once at startup).
+  static void SetMultiplyKernel(MultiplyKernel kernel);
+  static MultiplyKernel multiply_kernel();
+
  private:
+  void MultiplySparseInto(const BoolMatrix& other, BoolMatrix* result) const;
+
   std::size_t size_;
   std::size_t words_per_row_;
   std::vector<uint64_t> bits_;

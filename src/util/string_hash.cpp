@@ -28,7 +28,11 @@ PrefixHash::PrefixHash(std::string_view text) : length_(text.size()) {
 }
 
 std::pair<uint64_t, uint64_t> PrefixHash::HashOf(std::size_t begin, std::size_t len) const {
-  Require(begin + len <= length_, "PrefixHash::HashOf: range out of bounds");
+  // Overflow-safe form of begin + len <= length(): the naive sum can wrap
+  // around on adversarial inputs and silently read stale prefix_/power_
+  // entries out of range instead of failing the precondition.
+  Require(len <= length_ && begin <= length_ - len,
+          "PrefixHash::HashOf: range out of bounds");
   const uint64_t shifted1 = MulMod(prefix1_[begin], power1_[len]);
   const uint64_t h1 = (prefix1_[begin + len] + kMod - shifted1) % kMod;
   const uint64_t shifted2 = MulMod(prefix2_[begin], power2_[len]);
@@ -37,7 +41,12 @@ std::pair<uint64_t, uint64_t> PrefixHash::HashOf(std::size_t begin, std::size_t 
 }
 
 bool PrefixHash::FactorsEqual(std::size_t b1, std::size_t b2, std::size_t len) const {
-  if (b1 == b2) return true;
+  if (b1 == b2) {
+    // Still enforce the range precondition on the shortcut path.
+    Require(len <= length_ && b1 <= length_ - len,
+            "PrefixHash::FactorsEqual: range out of bounds");
+    return true;
+  }
   return HashOf(b1, len) == HashOf(b2, len);
 }
 

@@ -28,7 +28,9 @@ class PrefixHash {
   std::size_t length() const { return length_; }
 
   /// 128-bit combined hash of the factor text[begin, begin+len) using
-  /// 0-based \p begin. Precondition: begin + len <= length().
+  /// 0-based \p begin. Precondition: begin + len <= length() -- enforced
+  /// (overflow-safely) with a fatal diagnostic; len == 0 is valid anywhere
+  /// in [0, length()], including on an empty text.
   std::pair<uint64_t, uint64_t> HashOf(std::size_t begin, std::size_t len) const;
 
   /// True iff text[b1, b1+len) == text[b2, b2+len). O(1).

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spanners {
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("SPANNERS_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunBatch() {
+  // Claim contiguous chunks under the mutex, run them outside of it.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (next_index_ < batch_.end) {
+    const std::size_t start = next_index_;
+    const std::size_t stop = std::min(batch_.end, start + batch_.chunk);
+    next_index_ = stop;
+    const std::function<void(std::size_t)>* fn = batch_.fn;
+    lock.unlock();
+    for (std::size_t i = start; i < stop; ++i) (*fn)(i);
+    lock.lock();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunBatch();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(serialize_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.begin = begin;
+    batch_.end = end;
+    batch_.chunk = std::max<std::size_t>(1, count / (num_threads() * 4));
+    batch_.fn = &fn;
+    next_index_ = begin;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  RunBatch();  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace spanners

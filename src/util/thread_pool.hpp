@@ -1,0 +1,75 @@
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size worker pool with a ParallelFor primitive.
+///
+/// Built for the level-order SLP matrix preprocessing (slp_nfa.hpp,
+/// slp_enum.hpp): each topological level of the uncached sub-DAG is an
+/// independent batch of Boolean-matrix products, dispatched here as one
+/// ParallelFor over the level's node indices. No external dependencies --
+/// plain std::thread workers parked on a condition variable.
+///
+/// Concurrency contract: one ParallelFor runs at a time (calls are
+/// serialised internally); the callback must be safe to invoke concurrently
+/// for distinct indices. ParallelFor returns only after every index has been
+/// processed, and the completed work happens-before the return (so a
+/// subsequent ParallelFor may freely read what the previous one wrote).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spanners {
+
+/// A fixed set of worker threads executing ParallelFor batches.
+class ThreadPool {
+ public:
+  /// Spawns max(num_threads, 1) - 1 workers (the calling thread participates
+  /// in every batch, so num_threads == 1 means "no extra threads").
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in a batch (workers + the caller).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invokes fn(i) once for every i in [begin, end), distributing indices
+  /// over all threads in contiguous chunks; blocks until every call
+  /// returned. Runs inline when the range is small or the pool has no
+  /// workers.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Worker count requested by the environment: SPANNERS_THREADS when set
+  /// to a positive integer, else std::thread::hardware_concurrency()
+  /// (at least 1).
+  static std::size_t DefaultThreadCount();
+
+ private:
+  struct Batch {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+  };
+
+  void WorkerLoop();
+  void RunBatch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                 ///< guards batch_, generation_, pending_
+  std::condition_variable wake_;     ///< workers wait for a new generation
+  std::condition_variable done_;     ///< caller waits for pending_ == 0
+  Batch batch_;
+  std::uint64_t generation_ = 0;     ///< bumped per ParallelFor
+  std::size_t next_index_ = 0;       ///< next unclaimed chunk start
+  std::size_t pending_ = 0;          ///< workers still inside RunBatch
+  bool stop_ = false;
+  std::mutex serialize_;             ///< one ParallelFor at a time
+};
+
+}  // namespace spanners

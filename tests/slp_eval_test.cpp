@@ -53,6 +53,25 @@ TEST(SlpNfa, WorksOnExponentiallyCompressedInput) {
   EXPECT_LT(even.cache_size(), 64u);
 }
 
+TEST(SlpNfa, MarkerAutomatonIsDiagnosableNotFatal) {
+  // An NFA with marker transitions is caller data, not an internal
+  // invariant: it must surface as an inspectable error, never abort().
+  const Nfa with_markers = RegularSpanner::Compile("{x: a}b").vset().nfa();
+  std::string error;
+  EXPECT_EQ(SlpNfaMatcher::Create(with_markers, &error), std::nullopt);
+  EXPECT_NE(error.find("character transitions"), std::string::npos) << error;
+
+  SlpNfaMatcher direct(with_markers);
+  EXPECT_FALSE(direct.ok());
+  EXPECT_FALSE(direct.error().empty());
+
+  std::optional<SlpNfaMatcher> valid = SlpNfaMatcher::Create(PlainNfa("a*b"));
+  ASSERT_TRUE(valid.has_value());
+  EXPECT_TRUE(valid->ok());
+  Slp slp;
+  EXPECT_TRUE(valid->Accepts(slp, BuildBalanced(slp, "aab")));
+}
+
 TEST(SlpNfa, EmptyDocument) {
   SlpNfaMatcher matcher(PlainNfa("a*"));
   Slp slp;

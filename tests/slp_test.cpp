@@ -374,5 +374,47 @@ TEST(CdeParser, ReportsErrors) {
   EXPECT_FALSE(ParseCde("concat(D1, D2) trailing").ok());
 }
 
+TEST(CdeChecked, RejectsInvalidExpressionsWithoutAborting) {
+  DocumentDatabase database;
+  database.AddDocument(
+      Rebalance(database.slp(), BuildRePair(database.slp(), "abcabc")));
+
+  // Positions out of range for the operand length.
+  CdeParseResult out_of_range = ParseCde("extract(D1, 3, 99)");
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_FALSE(ValidateCde(database, *out_of_range.expr).empty());
+  const CdeEvalResult r1 = EvalCdeChecked(&database, *out_of_range.expr);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.error.find("out of range"), std::string::npos) << r1.error;
+
+  // Unknown document reference.
+  CdeParseResult unknown_doc = ParseCde("concat(D1, D5)");
+  ASSERT_TRUE(unknown_doc.ok());
+  const CdeEvalResult r2 = EvalCdeChecked(&database, *unknown_doc.expr);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_NE(r2.error.find("unknown document"), std::string::npos) << r2.error;
+
+  // Insert/copy target position beyond length + 1.
+  CdeParseResult bad_insert = ParseCde("insert(D1, D1, 99)");
+  ASSERT_TRUE(bad_insert.ok());
+  EXPECT_FALSE(EvalCdeChecked(&database, *bad_insert.expr).ok());
+
+  // Validation is pure: nothing was added to the arena's documents.
+  EXPECT_EQ(database.num_documents(), 1u);
+}
+
+TEST(CdeChecked, ValidExpressionMatchesStringSemantics) {
+  DocumentDatabase database;
+  database.AddDocument(
+      Rebalance(database.slp(), BuildRePair(database.slp(), "abcabc")));
+  CdeParseResult parsed = ParseCde("copy(D1, 2, 4, 1)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(ValidateCde(database, *parsed.expr).empty());
+  const CdeEvalResult result = EvalCdeChecked(&database, *parsed.expr);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(database.slp().Derive(result.node),
+            EvalCdeOnStrings({"abcabc"}, *parsed.expr));
+}
+
 }  // namespace
 }  // namespace spanners

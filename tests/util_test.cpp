@@ -1,5 +1,8 @@
 // Tests for the utility substrate: bit-packed Boolean matrices, prefix
 // hashing, and the deterministic workload generators.
+#include <cstdint>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "util/bool_matrix.hpp"
@@ -50,6 +53,54 @@ TEST(BoolMatrix, ProductMatchesNaive) {
   }
 }
 
+TEST(BoolMatrix, BlockedAndSparseKernelsAgree) {
+  // The blocked (transpose + AND-reduce) kernel and the legacy sparse-rows
+  // kernel must be bit-for-bit identical on every density and dimension.
+  Rng rng(11);
+  for (const std::size_t n : {1u, 5u, 63u, 64u, 70u, 130u}) {
+    for (const double density : {0.02, 0.3, 0.9}) {
+      BoolMatrix a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (rng.NextDouble() < density) a.Set(i, j);
+          if (rng.NextDouble() < density) b.Set(i, j);
+        }
+      }
+      const auto previous = BoolMatrix::multiply_kernel();
+      BoolMatrix::SetMultiplyKernel(BoolMatrix::MultiplyKernel::kBlocked);
+      const BoolMatrix blocked = a.Multiply(b);
+      BoolMatrix::SetMultiplyKernel(BoolMatrix::MultiplyKernel::kSparseRows);
+      const BoolMatrix sparse = a.Multiply(b);
+      BoolMatrix::SetMultiplyKernel(previous);
+      EXPECT_EQ(blocked, sparse) << "n=" << n << " density=" << density;
+
+      // MultiplyInto reuses the result allocation and matches Multiply.
+      BoolMatrix reused(n);
+      a.MultiplyInto(b, &reused);
+      EXPECT_EQ(reused, blocked);
+      // Pre-transposed entry point.
+      BoolMatrix via_transpose;
+      a.MultiplyTransposedInto(b.Transposed(), &via_transpose);
+      EXPECT_EQ(via_transpose, blocked);
+    }
+  }
+}
+
+TEST(BoolMatrix, TransposeRoundTrips) {
+  Rng rng(13);
+  BoolMatrix m(70);
+  for (std::size_t i = 0; i < 70; ++i) {
+    for (std::size_t j = 0; j < 70; ++j) {
+      if (rng.NextDouble() < 0.2) m.Set(i, j);
+    }
+  }
+  const BoolMatrix t = m.Transposed();
+  for (std::size_t i = 0; i < 70; ++i) {
+    for (std::size_t j = 0; j < 70; ++j) EXPECT_EQ(t.Get(j, i), m.Get(i, j));
+  }
+  EXPECT_EQ(t.Transposed(), m);
+}
+
 TEST(BoolMatrix, ClosureIsReflexiveTransitive) {
   BoolMatrix m(4);
   m.Set(0, 1);
@@ -84,6 +135,29 @@ TEST(PrefixHash, CrossStringComparison) {
   PrefixHash b("a world apart");
   EXPECT_TRUE(CrossFactorsEqual(a, 5, b, 1, 6));   // " world"
   EXPECT_FALSE(CrossFactorsEqual(a, 0, b, 0, 5));
+}
+
+TEST(PrefixHash, ZeroLengthAndEmptyText) {
+  const PrefixHash empty("");
+  EXPECT_EQ(empty.length(), 0u);
+  EXPECT_EQ(empty.HashOf(0, 0), (std::pair<uint64_t, uint64_t>{0, 0}));
+  EXPECT_TRUE(empty.FactorsEqual(0, 0, 0));
+
+  const PrefixHash hash("abc");
+  // len == 0 is valid at every position in [0, length()], including the
+  // one-past-the-end position, and all empty factors hash alike.
+  EXPECT_EQ(hash.HashOf(0, 0), hash.HashOf(3, 0));
+  EXPECT_TRUE(hash.FactorsEqual(0, 3, 0));
+  EXPECT_TRUE(hash.FactorsEqual(3, 3, 0));
+}
+
+TEST(PrefixHashDeathTest, OutOfRangePreconditionIsEnforced) {
+  const PrefixHash hash("abc");
+  EXPECT_DEATH(hash.HashOf(2, 2), "range out of bounds");
+  EXPECT_DEATH(hash.HashOf(4, 0), "range out of bounds");
+  // Adversarial begin + len wrap-around must not slip past the check.
+  EXPECT_DEATH(hash.HashOf(2, SIZE_MAX), "range out of bounds");
+  EXPECT_DEATH(hash.FactorsEqual(9, 9, 1), "range out of bounds");
 }
 
 TEST(PrefixHash, RandomizedAgainstSubstr) {
