@@ -11,6 +11,8 @@
 #include "core/extended_va.hpp"
 #include "core/regex_parser.hpp"
 #include "core/regular_spanner.hpp"
+#include "engine/session.hpp"
+#include "slp/slp_builder.hpp"
 #include "util/random.hpp"
 
 namespace spanners {
@@ -76,6 +78,50 @@ void BM_Repr_NormalizationRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Repr_NormalizationRoundTrip);
+
+// --- the unified engine (DESIGN.md §1.8) -----------------------------------
+// The same pattern through the Session facade: each stack forced via the
+// plan knob, plus the planner's own pick ("auto"), on a plain and on a
+// Re-Pair-compressed representation of the same document. The acceptance
+// bar for the planner: "auto" must stay within 2x of the best forced plan
+// at every size.
+void BM_Engine_Evaluate(benchmark::State& state, std::optional<PlanKind> plan,
+                        bool compressed) {
+  EngineOptions options;
+  options.force_plan = plan;
+  options.threads = 1;
+  Session session(options);
+  Expected<const CompiledQuery*> query = session.Compile(kPattern);
+  Rng rng(2);
+  const std::string text = RandomString(rng, "ab", static_cast<std::size_t>(state.range(0)));
+  Slp slp;
+  const Document document = compressed
+                                ? Document::FromSlp(&slp, BuildRePair(slp, text))
+                                : Document::FromView(text);
+  // Warm the lazy per-representation preparation (determinisation, SLP
+  // matrices, materialisation) so the loop measures evaluation only.
+  benchmark::DoNotOptimize(session.Evaluate(**query, document));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Evaluate(**query, document));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, auto_plain, std::nullopt, false)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, auto_compressed, std::nullopt, true)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_naive_dfs_plain, PlanKind::kNaiveDfs, false)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_edva_plain, PlanKind::kEdva, false)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_refl_plain, PlanKind::kRefl, false)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_slp_matrix_plain, PlanKind::kSlpMatrix, false)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_edva_compressed, PlanKind::kEdva, true)
+    ->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK_CAPTURE(BM_Engine_Evaluate, forced_slp_matrix_compressed, PlanKind::kSlpMatrix, true)
+    ->RangeMultiplier(2)->Range(64, 512);
 
 }  // namespace
 }  // namespace spanners

@@ -1,24 +1,28 @@
 #!/usr/bin/env bash
 # Runs the SLP evaluation benchmarks (experiments E7, E8, E10 in
-# EXPERIMENTS.md) with --benchmark_format=json and aggregates the three
-# reports into a single BENCH_PR1.json at the repo root, annotated with
-# the machine's core count and the thread knob in effect.
+# EXPERIMENTS.md) plus the unified-engine plan ablation (BM_Engine_*) with
+# --benchmark_format=json and aggregates the reports into a single
+# BENCH_PR2.json at the repo root, stamped with the git revision, the
+# machine's core count, and the thread knob in effect.
 #
 # Usage: bench/run_benches.sh [build-dir] [output-json]
-#   SPANNERS_THREADS=8 bench/run_benches.sh build BENCH_PR1.json
+#   SPANNERS_THREADS=8 bench/run_benches.sh build BENCH_PR2.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-out_file="${2:-$repo_root/BENCH_PR1.json}"
+out_file="${2:-$repo_root/BENCH_PR2.json}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
-benches=(bench_slp_nfa bench_slp_enum bench_cde)
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+
+benches=(bench_slp_nfa bench_slp_enum bench_cde bench_representations)
 filters=(
   'BM_SlpNfa_(CompressedMatrices|KernelComparison)'  # E7 + kernel A/B
   'BM_SlpEnum_Preprocessing'                          # E8 preprocessing
   'BM_Cde_'                                           # E10
+  'BM_Engine_'                                        # engine plan ablation
 )
 
 for i in "${!benches[@]}"; do
@@ -34,7 +38,7 @@ for i in "${!benches[@]}"; do
          > "$tmp_dir/${benches[$i]}.json"
 done
 
-python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
+GIT_SHA="$git_sha" python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
 import json, os, sys
 
 out_file, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
@@ -46,10 +50,15 @@ for name in names:
         merged["context"] = report.get("context", {})
     merged["experiments"][name] = report.get("benchmarks", [])
 
+nproc = os.cpu_count()
+threads_knob = os.environ.get("SPANNERS_THREADS", "")
 merged["env"] = {
-    "SPANNERS_THREADS": os.environ.get("SPANNERS_THREADS", ""),
+    "git_sha": os.environ.get("GIT_SHA", "unknown"),
+    "SPANNERS_THREADS": threads_knob,
     "SPANNERS_MM_KERNEL": os.environ.get("SPANNERS_MM_KERNEL", ""),
-    "nproc": os.cpu_count(),
+    # The thread count the pool actually uses: the knob when set, else nproc.
+    "effective_threads": int(threads_knob) if threads_knob.isdigit() else nproc,
+    "nproc": nproc,
 }
 with open(out_file, "w") as f:
     json.dump(merged, f, indent=1)

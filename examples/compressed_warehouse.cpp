@@ -1,21 +1,26 @@
-// A compressed document warehouse (paper, Section 4): store documents as
-// one shared SLP, query them with spanners *without decompressing*, edit
-// them with CDE expressions, and re-query incrementally.
+// A compressed document warehouse (paper, Section 4) through the unified
+// engine: store documents as one shared SLP, query them *without
+// decompressing* -- the planner picks the SLP matrix path by itself --
+// edit them with CDE expressions, and re-query incrementally.
+//
+// Optionally pass your own CDE edit expression:
+//   ./build/examples/example_compressed_warehouse 'concat(D1, D2)'
+// A malformed or out-of-range expression prints a diagnostic instead of
+// crashing.
 //
 // Build: cmake --build build && ./build/examples/example_compressed_warehouse
 #include <iostream>
 
-#include "core/regular_spanner.hpp"
+#include "engine/session.hpp"
 #include "slp/avl_grammar.hpp"
 #include "slp/balance.hpp"
 #include "slp/cde.hpp"
 #include "slp/slp_builder.hpp"
-#include "slp/slp_enum.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
 
-int main() {
+int main(int argc, char** argv) {
   Rng rng(7);
   DocumentDatabase warehouse;
   Slp& slp = warehouse.slp();
@@ -36,39 +41,58 @@ int main() {
               << ", ord " << slp.Order(compressed) << ")\n";
   }
 
-  // A spanner: occurrences of "fox" with one word of right context.
-  RegularSpanner spanner =
-      RegularSpanner::Compile("(.|\\n)*{hit: fox} {next: [a-z]+}(.|\\n)*");
-  SlpSpannerEvaluator evaluator(&spanner.edva());
+  // A spanner: occurrences of "fox" with one word of right context. The
+  // engine's planner sees a compressed, well-compressing document and picks
+  // the matrix path -- no decompression.
+  Session session;
+  Expected<const CompiledQuery*> query =
+      session.Compile("(.|\\n)*{hit: fox} {next: [a-z]+}(.|\\n)*");
+  if (!query.ok()) {
+    std::cerr << "bad pattern: " << query.error() << "\n";
+    return 1;
+  }
 
-  const NodeId d1 = warehouse.document(0);
+  const Document d1 = Document::FromDatabase(&warehouse, 0);
+  std::cout << session.ExplainPlan(**query, d1);
+  Expected<SpanRelation> hits = session.Evaluate(**query, d1);
+  if (!hits.ok()) {
+    std::cerr << "evaluation failed: " << hits.error() << "\n";
+    return 1;
+  }
   std::size_t shown = 0;
-  evaluator.Evaluate(slp, d1, [&](const SpanTuple& t) {
-    if (shown++ < 3) {
-      std::cout << "  hit " << t[0]->ToString() << " next word: \""
-                << slp.Substring(d1, t[1]->begin - 1, t[1]->length()) << "\"\n";
-    }
-    return true;
-  });
-  std::cout << "D1 matches: " << shown << " (preprocessing cached "
-            << evaluator.cache_size() << " node matrices)\n";
+  for (const SpanTuple& t : *hits) {
+    if (shown++ >= 3) break;
+    std::cout << "  hit " << t[0]->ToString() << " next word: \""
+              << slp.Substring(d1.root(), t[1]->begin - 1, t[1]->length()) << "\"\n";
+  }
+  std::cout << "D1 matches: " << hits->size() << " (preprocessing cached "
+            << (*query)->prepared().slp_cached_nodes << " node matrices)\n";
 
-  // Complex document editing: splice a factor of D3 into D1 and append D2.
+  // Complex document editing: splice a factor of D3 into D1 and append D2
+  // (or apply the expression from argv). Parse and validation errors are
+  // caller data: reported, not fatal.
+  const char* edit = argc > 1 ? argv[1]
+                              : "concat(insert(D1, extract(D3, 101, 180), 50), D2)";
   const std::size_t before_nodes = slp.num_nodes();
-  const std::size_t new_doc =
-      ApplyCde(&warehouse, "concat(insert(D1, extract(D3, 101, 180), 50), D2)");
+  Expected<std::size_t> new_doc = ApplyCdeChecked(&warehouse, edit);
+  if (!new_doc.ok()) {
+    std::cerr << "bad CDE expression \"" << edit << "\": " << new_doc.error() << "\n";
+    return 1;
+  }
   std::cout << "CDE update created " << slp.num_nodes() - before_nodes
             << " new nodes for a document of length "
-            << slp.Length(warehouse.document(new_doc)) << "\n";
+            << slp.Length(warehouse.document(*new_doc)) << "\n";
 
-  // Re-query: only matrices for the new nodes are computed.
-  const std::size_t cached_before = evaluator.cache_size();
-  std::size_t new_matches = 0;
-  evaluator.Evaluate(slp, warehouse.document(new_doc), [&](const SpanTuple&) {
-    ++new_matches;
-    return true;
-  });
-  std::cout << "edited document matches: " << new_matches << "; incremental work: "
-            << evaluator.cache_size() - cached_before << " new matrices\n";
+  // Re-query: only matrices for the new nodes are computed (the query's
+  // evaluator cache persists inside the engine).
+  const std::size_t cached_before = (*query)->prepared().slp_cached_nodes;
+  Expected<SpanRelation> edited = session.Evaluate(**query, Document::FromDatabase(&warehouse, *new_doc));
+  if (!edited.ok()) {
+    std::cerr << "evaluation failed: " << edited.error() << "\n";
+    return 1;
+  }
+  std::cout << "edited document matches: " << edited->size() << "; incremental work: "
+            << (*query)->prepared().slp_cached_nodes - cached_before
+            << " new matrices\n";
   return 0;
 }

@@ -1,52 +1,72 @@
 // Information extraction from a synthetic server log -- the SystemT/AQL-style
-// workload that motivated document spanners ([9]; paper, Section 1).
+// workload that motivated document spanners ([9]; paper, Section 1) --
+// through the unified engine.
 //
 // Extracts (user, path, status) triples from each log line, joins two
 // extraction views at the automaton level, and reports error statistics.
+// The view patterns are compiled checked: pass your own as argv[1]/argv[2]
+// and a syntax error prints a diagnostic instead of crashing.
 //
 // Build: cmake --build build && ./build/examples/example_log_extraction
 #include <iostream>
 #include <map>
 
-#include "core/compile_algebra.hpp"
-#include "core/regular_spanner.hpp"
+#include "engine/session.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
 
-int main() {
+int main(int argc, char** argv) {
   Rng rng(2024);
   const std::string log = SyntheticLog(rng, 400);
 
   // View 1: who requested what. The pattern is anchored per line.
-  auto requests = SpannerExpr::Parse(
-      "(.|\\n)*user-{user: \\d+} GET /{path: [a-z0-9/.]+} (.|\\n)*");
+  const char* requests_pattern =
+      argc > 1 ? argv[1] : "(.|\\n)*user-{user: \\d+} GET /{path: [a-z0-9/.]+} (.|\\n)*";
   // View 2: result of the request on the same line (status right of path).
-  auto results = SpannerExpr::Parse(
-      "(.|\\n)*GET /{path: [a-z0-9/.]+} status={status: \\d+} size(.|\\n)*");
+  const char* results_pattern =
+      argc > 2 ? argv[2]
+               : "(.|\\n)*GET /{path: [a-z0-9/.]+} status={status: \\d+} size(.|\\n)*";
+
+  Expected<SpannerExprPtr> requests = SpannerExpr::ParseChecked(requests_pattern);
+  if (!requests.ok()) {
+    std::cerr << "bad request view: " << requests.error() << "\n";
+    return 1;
+  }
+  Expected<SpannerExprPtr> results = SpannerExpr::ParseChecked(results_pattern);
+  if (!results.ok()) {
+    std::cerr << "bad result view: " << results.error() << "\n";
+    return 1;
+  }
 
   // Natural join on `path` -- compiled into a single vset-automaton
   // (closure under ⋈, paper §2.2), then evaluated once over the log.
-  RegularSpanner joined = CompileRegular(SpannerExpr::Join(requests, results));
-  std::cout << "joined spanner: " << joined.edva().num_states() << " eDVA states, "
-            << "variables:";
-  for (const std::string& name : joined.variables().names()) std::cout << " " << name;
+  Session session;
+  const CompiledQuery* joined = session.CompileExpr(SpannerExpr::Join(*requests, *results));
+  std::cout << "joined spanner: " << joined->regular().edva().num_states()
+            << " eDVA states, variables:";
+  for (const std::string& name : joined->variables().names()) std::cout << " " << name;
   std::cout << "\n";
 
+  const Document document = Document::FromView(log);
+  std::cout << session.ExplainPlan(*joined, document);
+  Expected<SpanRelation> triples = session.Evaluate(*joined, document);
+  if (!triples.ok()) {
+    std::cerr << "evaluation failed: " << triples.error() << "\n";
+    return 1;
+  }
+
   std::map<std::string, int> errors_by_user;
-  std::size_t triples = 0;
-  Enumerator enumerator = joined.Enumerate(log);
-  const VariableSet& vars = joined.variables();
+  const VariableSet& vars = joined->variables();
   const VariableId user_var = *vars.Find("user");
   const VariableId status_var = *vars.Find("status");
-  while (auto tuple = enumerator.Next()) {
-    ++triples;
-    const std::string status((*tuple)[status_var]->In(log));
+  for (const SpanTuple& tuple : *triples) {
+    const std::string status(tuple[status_var]->In(log));
     if (status == "404" || status == "500") {
-      errors_by_user[std::string((*tuple)[user_var]->In(log))]++;
+      errors_by_user[std::string(tuple[user_var]->In(log))]++;
     }
   }
-  std::cout << "extracted " << triples << " (user, path, status) triples from "
+  std::cout << "extracted " << triples->size() << " (user, path, status) triples from "
             << log.size() << " bytes of log\n";
   std::cout << "users with failed requests: " << errors_by_user.size() << "\n";
   int shown = 0;

@@ -1,19 +1,23 @@
 // Repeated-passage detection with refl-spanners (paper, Section 3):
 // string equality as a *regular* feature via references, instead of the
-// intractable core-spanner selection.
+// intractable core-spanner selection. The engine's planner routes
+// reference-carrying queries to the refl stack automatically.
+//
+// Pass your own refl pattern as argv[1]; a syntax error prints a
+// diagnostic instead of crashing.
 //
 // Build: cmake --build build && ./build/examples/example_plagiarism_refl
 #include <iostream>
 
 #include "core/word_equations.hpp"
+#include "engine/session.hpp"
 #include "refl/refl_decision.hpp"
-#include "refl/refl_spanner.hpp"
 #include "refl/refl_to_core.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
 
-int main() {
+int main(int argc, char** argv) {
   // A document with a duplicated passage.
   Rng rng(99);
   std::string document = RandomString(rng, "abcdefg ", 60);
@@ -23,13 +27,28 @@ int main() {
   document += passage;
 
   // x ... &x : a factor of length >= 8 that occurs again later.
-  ReflSpanner duplicates = ReflSpanner::Compile(
-      ".*{x: [a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ]+}.*&x;.*");
+  const char* pattern =
+      argc > 1 ? argv[1]
+               : ".*{x: [a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ]+}.*&x;.*";
+  Session session;
+  Expected<const CompiledQuery*> duplicates = session.Compile(pattern);
+  if (!duplicates.ok()) {
+    std::cerr << "bad refl pattern \"" << pattern << "\": " << duplicates.error() << "\n";
+    return 1;
+  }
   std::cout << "document (" << document.size() << " chars)\n";
+
+  const Document doc = Document::FromView(document);
+  std::cout << session.ExplainPlan(**duplicates, doc);
+  Expected<SpanRelation> matches = session.Evaluate(**duplicates, doc);
+  if (!matches.ok()) {
+    std::cerr << "evaluation failed: " << matches.error() << "\n";
+    return 1;
+  }
 
   std::size_t longest = 0;
   Span longest_span;
-  for (const SpanTuple& t : duplicates.Evaluate(document)) {
+  for (const SpanTuple& t : *matches) {
     if (t[0]->length() > longest) {
       longest = t[0]->length();
       longest_span = *t[0];
@@ -40,14 +59,15 @@ int main() {
 
   // The same spanner as a core spanner: reference-bounded, so the
   // translation of Section 3.2 applies.
-  if (auto core = ReflToCore(duplicates)) {
+  const ReflSpanner& refl = (*duplicates)->refl();
+  if (auto core = ReflToCore(refl)) {
     std::cout << "as a core spanner: " << core->num_selections()
               << " string-equality selection(s), automaton with "
               << core->automaton.edva().num_states() << " states\n";
   }
 
   // Satisfiability is polynomial for refl-spanners (Section 3.3).
-  std::cout << "spanner satisfiable: " << (ReflSatisfiability(duplicates) ? "yes" : "no")
+  std::cout << "spanner satisfiable: " << (ReflSatisfiability(refl) ? "yes" : "no")
             << "\n";
 
   // Word-equation relations from Section 2.4, decided by refl-spanners.

@@ -1,9 +1,14 @@
-// Quickstart: the document-spanner basics in one file.
+// Quickstart: the document-spanner basics in one file, through the unified
+// query engine (DESIGN.md §1.8).
 //
-//   1. compile a spanner regex (Example 1.1 of the paper),
-//   2. evaluate it on a document and print the span relation,
+//   1. compile a spanner regex (Example 1.1 of the paper) -- checked, so a
+//      bad pattern prints a diagnostic instead of crashing,
+//   2. evaluate it on a document; ExplainPlan shows the planner's choice,
 //   3. combine spanners with the algebra (∪, ⋈, π, ς=),
 //   4. ask static-analysis questions.
+//
+// Optionally pass your own pattern and document:
+//   ./build/examples/example_quickstart '{x: a*}b' 'aab'
 //
 // Build: cmake --build build && ./build/examples/example_quickstart
 #include <iostream>
@@ -11,35 +16,49 @@
 #include "core/algebra.hpp"
 #include "core/core_simplification.hpp"
 #include "core/decision.hpp"
-#include "core/regular_spanner.hpp"
+#include "engine/session.hpp"
 
 using namespace spanners;
 
-int main() {
+int main(int argc, char** argv) {
+  Session session;
+
   // --- 1. A primitive (regular) spanner -----------------------------------
   // Example 1.1: x spans a prefix, y one occurrence of 'b', z the rest.
-  RegularSpanner example = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  const std::string pattern = argc > 1 ? argv[1] : "{x: (a|b)*}{y: b}{z: (a|b)*}";
+  const std::string text = argc > 2 ? argv[2] : "ababbab";
 
-  const std::string document = "ababbab";
-  std::cout << "S(" << document << "):\n"
-            << RelationToString(example.Evaluate(document), example.variables().names())
-            << "\n";
+  Expected<const CompiledQuery*> query = session.Compile(pattern);
+  if (!query.ok()) {
+    std::cerr << "bad pattern \"" << pattern << "\": " << query.error() << "\n";
+    return 1;
+  }
+  const Document document = Document::FromText(text);
 
-  // Streaming access: linear preprocessing, constant delay per tuple.
-  Enumerator enumerator = example.Enumerate(document);
-  std::size_t count = 0;
-  while (enumerator.Next()) ++count;
-  std::cout << "enumerated " << count << " tuples\n\n";
+  Expected<SpanRelation> relation = session.Evaluate(**query, document);
+  if (!relation.ok()) {
+    std::cerr << "evaluation failed: " << relation.error() << "\n";
+    return 1;
+  }
+  std::cout << "S(" << text << "):\n"
+            << RelationToString(*relation, (*query)->variables().names()) << "\n";
+  std::cout << session.ExplainPlan(**query, document) << "\n";
 
   // --- 2. The spanner algebra --------------------------------------------
   // All factor pairs (x, y) where both cover the same string: a core
   // spanner with a string-equality selection.
-  auto pairs = SpannerExpr::Parse(".*{x: (a|b)+}.*{y: (a|b)+}.*");
-  auto equal_pairs = SpannerExpr::SelectEq(pairs, {"x", "y"});
-  std::cout << "repeated factors of \"abab\":\n"
-            << RelationToString(equal_pairs->Evaluate("abab"),
-                                equal_pairs->variables().names())
-            << "\n";
+  Expected<SpannerExprPtr> pairs = SpannerExpr::ParseChecked(".*{x: (a|b)+}.*{y: (a|b)+}.*");
+  if (!pairs.ok()) {
+    std::cerr << "bad algebra pattern: " << pairs.error() << "\n";
+    return 1;
+  }
+  auto equal_pairs = SpannerExpr::SelectEq(*pairs, {"x", "y"});
+  const CompiledQuery* pairs_query = session.CompileExpr(equal_pairs);
+  const Document abab = Document::FromText("abab");
+  if (auto repeated = session.Evaluate(*pairs_query, abab); repeated.ok()) {
+    std::cout << "repeated factors of \"abab\":\n"
+              << RelationToString(*repeated, pairs_query->variables().names()) << "\n";
+  }
 
   // The core-simplification lemma, executably: one automaton + selections.
   const CoreNormalForm normal = SimplifyCore(equal_pairs);
@@ -58,6 +77,7 @@ int main() {
     std::cout << "counterexample: document \"" << witness->first << "\", tuple "
               << witness->second.ToString() << "\n";
   }
+  RegularSpanner example = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
   std::cout << "example spanner is hierarchical: "
             << (RegularHierarchicality(example) ? "yes" : "no") << "\n";
   return 0;

@@ -6,6 +6,9 @@
 // from one user to another; rules compute who can end up holding a ticket
 // that started at user-0 (transitive closure over string-equal user names).
 //
+// Pass your own extraction pattern as argv[1]; a syntax error prints a
+// diagnostic instead of crashing.
+//
 // Build: cmake --build build && ./build/examples/example_recursive_rules
 #include <iostream>
 
@@ -14,7 +17,7 @@
 
 using namespace spanners;
 
-int main() {
+int main(int argc, char** argv) {
   // handover lines: "from-U to-V\n" with small user ids.
   Rng rng(5);
   std::string log;
@@ -26,7 +29,13 @@ int main() {
 
   DatalogProgram program;
   // Extraction: one fact per line, (sender, receiver) as spans.
-  program.AddExtraction("Hand", "(.|\\n)*from-{s: \\d+} to-{r: \\d+}\\n(.|\\n)*");
+  const char* hand_pattern =
+      argc > 1 ? argv[1] : "(.|\\n)*from-{s: \\d+} to-{r: \\d+}\\n(.|\\n)*";
+  if (Status added = program.AddExtractionChecked("Hand", hand_pattern); !added.ok()) {
+    std::cerr << "bad extraction pattern \"" << hand_pattern << "\": " << added.message()
+              << "\n";
+    return 1;
+  }
   // Reach(s, r): ticket can travel from s's name to r's name; user identity
   // is *string equality* of names (STREQ), not span equality -- different
   // occurrences of "3" are the same user.

@@ -34,6 +34,12 @@ SpannerExprPtr SpannerExpr::Parse(std::string_view pattern) {
   return Primitive(RegularSpanner::Compile(pattern));
 }
 
+Expected<SpannerExprPtr> SpannerExpr::ParseChecked(std::string_view pattern) {
+  Expected<RegularSpanner> spanner = RegularSpanner::CompileChecked(pattern);
+  if (!spanner.ok()) return spanner.status();
+  return Primitive(std::move(spanner).value());
+}
+
 SpannerExprPtr SpannerExpr::Union(SpannerExprPtr a, SpannerExprPtr b) {
   Require(a && b, "SpannerExpr::Union: null child");
   Require(a->variables_.size() == b->variables_.size(),

@@ -38,6 +38,10 @@ class SpannerExpr {
   /// Convenience: parse and compile a regex-formula leaf.
   static SpannerExprPtr Parse(std::string_view pattern);
 
+  /// Checked variant of Parse: syntax errors and reference-carrying
+  /// patterns are reported as an Expected error instead of aborting.
+  static Expected<SpannerExprPtr> ParseChecked(std::string_view pattern);
+
   /// Union. Both operands must have the same set of variable *names*
   /// (column order may differ; the left order is used).
   static SpannerExprPtr Union(SpannerExprPtr a, SpannerExprPtr b);

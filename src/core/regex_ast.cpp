@@ -193,6 +193,16 @@ bool Regex::HasCaptures() const {
   return root_ && ContainsKind(root_.get(), RegexKind::kCapture);
 }
 
+namespace {
+std::size_t CountNodes(const RegexNode* node) {
+  std::size_t count = 1;
+  for (const auto& child : node->children) count += CountNodes(child.get());
+  return count;
+}
+}  // namespace
+
+std::size_t Regex::NodeCount() const { return root_ ? CountNodes(root_.get()) : 0; }
+
 bool Regex::IsFunctional() const {
   Require(root_ != nullptr, "Regex::IsFunctional: empty regex");
   const CaptureInfo info = AnalyzeCaptures(root_.get());

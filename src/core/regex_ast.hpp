@@ -64,6 +64,10 @@ class Regex {
   /// True iff the AST contains a kCapture node.
   bool HasCaptures() const;
 
+  /// Number of AST nodes -- the query-size feature used by the engine's
+  /// planner (engine/planner.hpp). 0 for an empty Regex.
+  std::size_t NodeCount() const;
+
   /// True iff every variable is captured exactly once on every path through
   /// the expression (i.e. the described spanner is functional; paper,
   /// Section 2.2). References are ignored.

@@ -39,14 +39,14 @@ class Parser {
   Parser(std::string_view input, const VariableSet& predeclared)
       : input_(input), variables_(predeclared) {}
 
-  ParseResult Run() {
+  Expected<Regex> Run() {
     std::unique_ptr<RegexNode> root = ParseAlternation();
-    if (!error_.empty()) return {Regex(), error_};
+    if (!error_.empty()) return Unexpected(error_);
     if (pos_ != input_.size()) {
-      return {Regex(), "unexpected '" + std::string(1, input_[pos_]) + "' at offset " +
-                           std::to_string(pos_)};
+      return Unexpected("unexpected '" + std::string(1, input_[pos_]) + "' at offset " +
+                        std::to_string(pos_));
     }
-    return {Regex(std::move(root), std::move(variables_)), ""};
+    return Regex(std::move(root), std::move(variables_));
   }
 
  private:
@@ -254,9 +254,15 @@ class Parser {
 
 }  // namespace
 
-ParseResult ParseRegex(std::string_view pattern, const VariableSet& predeclared) {
+Expected<Regex> ParseRegexChecked(std::string_view pattern, const VariableSet& predeclared) {
   Parser parser(pattern, predeclared);
   return parser.Run();
+}
+
+ParseResult ParseRegex(std::string_view pattern, const VariableSet& predeclared) {
+  Expected<Regex> parsed = ParseRegexChecked(pattern, predeclared);
+  if (!parsed.ok()) return {Regex(), parsed.error()};
+  return {std::move(parsed).value(), ""};
 }
 
 Regex MustParse(std::string_view pattern, const VariableSet& predeclared) {

@@ -22,10 +22,19 @@
 #include <string_view>
 
 #include "core/regex_ast.hpp"
+#include "util/common.hpp"
 
 namespace spanners {
 
-/// Result of parsing: either a regex or an error description.
+/// Parses \p pattern. Variables are interned in first-occurrence order into
+/// the result's variable set; pass \p predeclared to fix variable order (and
+/// thereby tuple column order) up front. This is the canonical checked entry
+/// point (Expected convention of util/common.hpp).
+Expected<Regex> ParseRegexChecked(std::string_view pattern,
+                                  const VariableSet& predeclared = {});
+
+/// Result of parsing: either a regex or an error description. Compat shim
+/// over ParseRegexChecked for pre-engine callers.
 struct ParseResult {
   Regex regex;
   std::string error;  ///< empty on success
@@ -33,9 +42,7 @@ struct ParseResult {
   bool ok() const { return error.empty(); }
 };
 
-/// Parses \p pattern. Variables are interned in first-occurrence order into
-/// the result's variable set; pass \p predeclared to fix variable order (and
-/// thereby tuple column order) up front.
+/// Compat shim: ParseRegexChecked repackaged as a ParseResult.
 ParseResult ParseRegex(std::string_view pattern, const VariableSet& predeclared = {});
 
 /// Convenience wrapper that aborts on parse errors; for tests and examples

@@ -16,6 +16,15 @@ RegularSpanner RegularSpanner::Compile(std::string_view pattern) {
   return FromRegex(MustParse(pattern));
 }
 
+Expected<RegularSpanner> RegularSpanner::CompileChecked(std::string_view pattern) {
+  Expected<Regex> parsed = ParseRegexChecked(pattern);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->HasReferences()) {
+    return Unexpected("pattern contains references (&x); compile it as a ReflSpanner");
+  }
+  return FromRegex(*parsed);
+}
+
 RegularSpanner RegularSpanner::FromAutomaton(VsetAutomaton vset) {
   RegularSpanner spanner;
   spanner.edva_ = ExtendedVA::FromVset(vset).Determinized();

@@ -16,6 +16,7 @@
 #include "core/enumeration.hpp"
 #include "core/extended_va.hpp"
 #include "core/vset_automaton.hpp"
+#include "util/common.hpp"
 
 namespace spanners {
 
@@ -29,6 +30,11 @@ class RegularSpanner {
 
   /// Convenience: parse-and-compile; aborts on syntax errors.
   static RegularSpanner Compile(std::string_view pattern);
+
+  /// Checked parse-and-compile: syntax errors and reference-carrying
+  /// patterns (which need a ReflSpanner) are caller data, reported as an
+  /// Expected error instead of aborting.
+  static Expected<RegularSpanner> CompileChecked(std::string_view pattern);
 
   /// Wraps an existing vset-automaton. Runs with invalid marker usage are
   /// ignored during evaluation, but callers should prefer well-formed

@@ -14,6 +14,16 @@ void DatalogProgram::AddExtraction(const std::string& name, std::string_view pat
   AddExtraction(name, RegularSpanner::Compile(pattern));
 }
 
+Status DatalogProgram::AddExtractionChecked(const std::string& name,
+                                            std::string_view pattern) {
+  Expected<RegularSpanner> spanner = RegularSpanner::CompileChecked(pattern);
+  if (!spanner.ok()) {
+    return Status::Error("extraction " + name + ": " + spanner.error());
+  }
+  AddExtraction(name, std::move(spanner).value());
+  return Status::Ok();
+}
+
 void DatalogProgram::AddRule(Rule rule) {
   // Safety: every head variable and every STREQ argument must be bound by
   // some predicate atom.

@@ -68,6 +68,10 @@ class DatalogProgram {
   /// Convenience: parse-and-compile the pattern.
   void AddExtraction(const std::string& name, std::string_view pattern);
 
+  /// Checked variant: bad patterns are caller data -- reported as a Status
+  /// error (and the program left unchanged) instead of aborting.
+  Status AddExtractionChecked(const std::string& name, std::string_view pattern);
+
   /// Adds a rule. All head variables must occur in a (positive) body
   /// predicate atom; STREQ arguments likewise.
   void AddRule(Rule rule);

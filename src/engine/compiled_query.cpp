@@ -1,0 +1,106 @@
+#include "engine/compiled_query.hpp"
+
+#include "core/compile_algebra.hpp"
+#include "core/regex_parser.hpp"
+
+namespace spanners {
+namespace {
+
+std::size_t CountSelections(const SpannerExprPtr& expr) {
+  std::size_t count = expr->op() == SpannerOp::kSelectEq ? 1 : 0;
+  for (const SpannerExprPtr& child : expr->children()) count += CountSelections(child);
+  return count;
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<CompiledQuery>> CompiledQuery::FromPattern(std::string pattern) {
+  Expected<Regex> parsed = ParseRegexChecked(pattern);
+  if (!parsed.ok()) return parsed.status();
+  std::unique_ptr<CompiledQuery> query(new CompiledQuery());
+  query->key_ = std::move(pattern);
+  query->regex_ = std::move(parsed).value();
+  query->features_.has_references = query->regex_->HasReferences();
+  query->features_.has_captures = query->regex_->HasCaptures();
+  query->features_.num_variables = query->regex_->variables().size();
+  query->features_.ast_size = query->regex_->NodeCount();
+  return query;
+}
+
+std::unique_ptr<CompiledQuery> CompiledQuery::FromExpr(SpannerExprPtr expr) {
+  Require(expr != nullptr, "CompiledQuery::FromExpr: null expression");
+  std::unique_ptr<CompiledQuery> query(new CompiledQuery());
+  query->key_ = "expr:" + expr->ToString();
+  query->features_.from_expression = true;
+  query->features_.num_variables = expr->variables().size();
+  query->features_.has_captures = query->features_.num_variables > 0;
+  query->features_.ast_size = expr->size();
+  query->features_.num_selections = CountSelections(expr);
+  query->expr_ = std::move(expr);
+  return query;
+}
+
+const VariableSet& CompiledQuery::variables() const {
+  return features_.from_expression ? expr_->variables() : regex_->variables();
+}
+
+const Regex& CompiledQuery::regex() const {
+  Require(regex_.has_value(), "CompiledQuery::regex: expression query");
+  return *regex_;
+}
+
+const RegularSpanner& CompiledQuery::regular() const {
+  Require(!features_.has_references,
+          "CompiledQuery::regular: query has references (use refl())");
+  Require(features_.num_selections == 0,
+          "CompiledQuery::regular: query has selections (use normal_form())");
+  std::lock_guard<std::mutex> lock(prep_mutex_);
+  if (!regular_.has_value()) {
+    regular_ = features_.from_expression ? CompileRegular(expr_)
+                                         : RegularSpanner::FromRegex(*regex_);
+  }
+  return *regular_;
+}
+
+const ReflSpanner& CompiledQuery::refl() const {
+  Require(!features_.from_expression,
+          "CompiledQuery::refl: expression queries have no refl form");
+  std::lock_guard<std::mutex> lock(prep_mutex_);
+  if (!refl_.has_value()) refl_ = ReflSpanner::FromRegex(*regex_);
+  return *refl_;
+}
+
+const CoreNormalForm& CompiledQuery::normal_form() const {
+  Require(features_.from_expression && features_.num_selections > 0,
+          "CompiledQuery::normal_form: only expression queries with selections");
+  std::lock_guard<std::mutex> lock(prep_mutex_);
+  if (!normal_.has_value()) normal_ = SimplifyCore(expr_);
+  return *normal_;
+}
+
+const ExtendedVA& CompiledQuery::backing_edva() const {
+  return features_.num_selections > 0 ? normal_form().automaton.edva()
+                                      : regular().edva();
+}
+
+SpanRelation CompiledQuery::EvaluateSlpAutomaton(const Slp& slp, NodeId root) const {
+  const ExtendedVA& edva = backing_edva();  // prepared outside the slp lock
+  std::lock_guard<std::mutex> lock(slp_mutex_);
+  if (slp_eval_ == nullptr) slp_eval_ = std::make_unique<SlpSpannerEvaluator>(&edva);
+  return slp_eval_->EvaluateToRelation(slp, root);
+}
+
+CompiledQuery::PreparedState CompiledQuery::prepared() const {
+  PreparedState state;
+  {
+    std::lock_guard<std::mutex> lock(prep_mutex_);
+    state.regular = regular_.has_value();
+    state.refl = refl_.has_value();
+    state.normal_form = normal_.has_value();
+  }
+  std::lock_guard<std::mutex> lock(slp_mutex_);
+  if (slp_eval_ != nullptr) state.slp_cached_nodes = slp_eval_->cache_size();
+  return state;
+}
+
+}  // namespace spanners

@@ -1,0 +1,112 @@
+/// \file compiled_query.hpp
+/// \brief A query compiled once, prepared lazily per representation.
+///
+/// A CompiledQuery is built from a pattern string (possibly with
+/// references) or from an algebra expression (possibly with string-equality
+/// selections). Parsing and feature extraction happen at construction; the
+/// *representation-specific* prepared forms are built lazily on first use
+/// and cached for the lifetime of the query:
+///
+///   regular()      vset-automaton + determinised eDVA (naive DFS and
+///                  constant-delay enumeration; paper §2),
+///   refl()         the refl NFA (backtracking evaluation, §3.3),
+///   normal_form()  the core-simplified normal form of an expression with
+///                  selections (§2.3),
+///   the SLP matrix evaluator (§4.2), bound to the backing eDVA, whose
+///   per-node matrix cache persists across documents and CDE updates.
+///
+/// All lazy preparation is thread-safe, so a Session can evaluate one query
+/// over many documents concurrently (engine/session.hpp).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/algebra.hpp"
+#include "core/core_simplification.hpp"
+#include "core/regular_spanner.hpp"
+#include "engine/planner.hpp"
+#include "refl/refl_spanner.hpp"
+#include "slp/slp_enum.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// One compiled query; stable address (Sessions hand out pointers).
+class CompiledQuery {
+ public:
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+
+  /// Compiles a pattern (spanner regex, possibly with references). Syntax
+  /// errors are caller data: reported via Expected.
+  static Expected<std::unique_ptr<CompiledQuery>> FromPattern(std::string pattern);
+
+  /// Wraps an algebra expression (selections allowed).
+  static std::unique_ptr<CompiledQuery> FromExpr(SpannerExprPtr expr);
+
+  /// Intern key: the pattern text, or "expr:" + the expression rendering.
+  const std::string& key() const { return key_; }
+
+  const QueryFeatures& features() const { return features_; }
+
+  /// The visible output schema.
+  const VariableSet& variables() const;
+
+  /// The parsed regex (pattern queries only).
+  const Regex& regex() const;
+
+  /// The algebra tree (expression queries only).
+  const SpannerExprPtr& expr() const { return expr_; }
+
+  // --- prepared representations (lazy, thread-safe) -----------------------
+
+  /// The regular stack: for reference-free patterns, the compiled spanner;
+  /// for selection-free expressions, the single compiled automaton
+  /// (closure under ∪/⋈/π). Require: no references, no selections.
+  const RegularSpanner& regular() const;
+
+  /// The refl stack (pattern queries; reference-free patterns allowed).
+  const ReflSpanner& refl() const;
+
+  /// The core-simplified normal form (expression queries with selections).
+  const CoreNormalForm& normal_form() const;
+
+  /// The eDVA the SLP matrix path runs over: regular().edva(), or the
+  /// normal form's automaton for selection-carrying expressions.
+  const ExtendedVA& backing_edva() const;
+
+  /// Enumerates the backing eDVA's raw tuples over 𝔇(root) via the SLP
+  /// matrix evaluator (selections/projection are the caller's job for
+  /// normal-form queries). Serialised internally: the evaluator's per-node
+  /// cache is shared across calls and documents of one arena.
+  SpanRelation EvaluateSlpAutomaton(const Slp& slp, NodeId root) const;
+
+  /// What has been prepared so far (ExplainPlan observability).
+  struct PreparedState {
+    bool regular = false;
+    bool refl = false;
+    bool normal_form = false;
+    std::size_t slp_cached_nodes = 0;
+  };
+  PreparedState prepared() const;
+
+ private:
+  CompiledQuery() = default;
+
+  QueryFeatures features_;
+  std::string key_;
+  std::optional<Regex> regex_;  ///< pattern queries
+  SpannerExprPtr expr_;         ///< expression queries
+
+  mutable std::mutex prep_mutex_;  ///< guards the lazy members below
+  mutable std::optional<RegularSpanner> regular_;
+  mutable std::optional<ReflSpanner> refl_;
+  mutable std::optional<CoreNormalForm> normal_;
+  mutable std::unique_ptr<SlpSpannerEvaluator> slp_eval_;
+  mutable std::mutex slp_mutex_;  ///< serialises the stateful SLP evaluator
+};
+
+}  // namespace spanners

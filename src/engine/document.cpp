@@ -1,0 +1,77 @@
+#include "engine/document.hpp"
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+Document::Document() : rep_(std::make_shared<Rep>()) {}
+
+Document Document::FromText(std::string text) {
+  auto rep = std::make_shared<Rep>();
+  rep->owned = std::move(text);
+  rep->view = rep->owned;
+  rep->length = rep->view.size();
+  return Document(std::move(rep));
+}
+
+Document Document::FromView(std::string_view text) {
+  auto rep = std::make_shared<Rep>();
+  rep->view = text;
+  rep->length = text.size();
+  return Document(std::move(rep));
+}
+
+Document Document::FromSlp(const Slp* slp, NodeId root) {
+  Require(slp != nullptr, "Document::FromSlp: null arena");
+  auto rep = std::make_shared<Rep>();
+  rep->slp = slp;
+  rep->root = root;
+  if (root != kNoNode) {
+    rep->length = slp->Length(root);
+    rep->slp_nodes = slp->ReachableSize(root);
+  } else {
+    rep->slp_nodes = 1;  // the empty document occupies no real nodes
+  }
+  return Document(std::move(rep));
+}
+
+Document Document::FromDatabase(const DocumentDatabase* database, std::size_t index) {
+  Require(database != nullptr, "Document::FromDatabase: null database");
+  Require(index < database->num_documents(), "Document::FromDatabase: index out of range");
+  return FromSlp(&database->slp(), database->document(index));
+}
+
+uint64_t Document::length() const { return rep_->length; }
+
+const Slp& Document::slp() const {
+  Require(compressed(), "Document::slp: plain document");
+  return *rep_->slp;
+}
+
+NodeId Document::root() const {
+  Require(compressed(), "Document::root: plain document");
+  return rep_->root;
+}
+
+std::string_view Document::Text() const {
+  if (!compressed()) return rep_->view;
+  Rep* rep = rep_.get();
+  std::call_once(rep->materialize_once, [rep] {
+    if (rep->root != kNoNode) rep->materialized = rep->slp->Derive(rep->root);
+  });
+  return rep->materialized;
+}
+
+DocumentProfile Document::Profile() const {
+  DocumentProfile profile;
+  profile.kind = kind();
+  profile.length = rep_->length;
+  profile.slp_nodes = rep_->slp_nodes;
+  profile.compression_ratio =
+      compressed() && rep_->slp_nodes > 0
+          ? static_cast<double>(rep_->length) / static_cast<double>(rep_->slp_nodes)
+          : 1.0;
+  return profile;
+}
+
+}  // namespace spanners

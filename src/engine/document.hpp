@@ -1,0 +1,94 @@
+/// \file document.hpp
+/// \brief The engine's unified document abstraction (DESIGN.md §1.8).
+///
+/// Every evaluation stack in the library consumes a different document
+/// representation: the core/refl evaluators read plain text, the SLP stack
+/// reads a node of a compressed document database (paper, Section 4). A
+/// Document wraps either, so the engine's planner can pick the evaluation
+/// strategy *per representation* instead of the caller picking a class.
+///
+/// Documents are cheap value types: copies share one immutable
+/// representation (shared_ptr), including the lazily derived plain text of
+/// a compressed document -- materialising is thread-safe and happens at
+/// most once per Document (not per copy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "slp/slp.hpp"
+
+namespace spanners {
+
+/// The two representations a Document can wrap.
+enum class DocumentKind : uint8_t { kPlain, kCompressed };
+
+/// The document features the planner consumes (engine/planner.hpp).
+struct DocumentProfile {
+  DocumentKind kind = DocumentKind::kPlain;
+  uint64_t length = 0;            ///< |D| in characters
+  std::size_t slp_nodes = 0;      ///< nodes reachable from the root (compressed)
+  double compression_ratio = 1.0; ///< length / slp_nodes; 1.0 for plain docs
+};
+
+/// One document in either representation.
+class Document {
+ public:
+  /// An empty plain document.
+  Document();
+
+  /// A plain document owning its text.
+  static Document FromText(std::string text);
+
+  /// A plain document viewing caller-owned text (which must outlive every
+  /// copy of the returned Document).
+  static Document FromView(std::string_view text);
+
+  /// A compressed document: node \p root of \p slp. The arena must outlive
+  /// every copy of the Document. kNoNode is the empty document.
+  static Document FromSlp(const Slp* slp, NodeId root);
+
+  /// Document \p index of a database (Figure 1 of the paper).
+  static Document FromDatabase(const DocumentDatabase* database, std::size_t index);
+
+  DocumentKind kind() const { return rep_->slp == nullptr ? DocumentKind::kPlain
+                                                          : DocumentKind::kCompressed; }
+  bool compressed() const { return kind() == DocumentKind::kCompressed; }
+
+  /// |D|. O(1) for both representations.
+  uint64_t length() const;
+
+  /// The SLP arena / root of a compressed document (Require: compressed()).
+  const Slp& slp() const;
+  NodeId root() const;
+
+  /// The document text. Plain documents return their view; compressed
+  /// documents derive 𝔇(root) on first call and cache it (O(|D|) once,
+  /// thread-safe). The view is valid as long as any copy of this Document
+  /// (or the caller-owned plain text) lives.
+  std::string_view Text() const;
+
+  /// The profile the planner keys its decision (and the plan cache) on.
+  DocumentProfile Profile() const;
+
+ private:
+  struct Rep {
+    std::string owned;            ///< backing store when constructed FromText
+    std::string_view view;        ///< plain text (into owned or caller memory)
+    const Slp* slp = nullptr;     ///< compressed: arena ...
+    NodeId root = kNoNode;        ///< ... and root node
+    uint64_t length = 0;
+    std::size_t slp_nodes = 0;    ///< |S| restricted to root (compressed)
+    std::once_flag materialize_once;
+    std::string materialized;     ///< Derive(root), filled lazily
+  };
+
+  explicit Document(std::shared_ptr<Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace spanners

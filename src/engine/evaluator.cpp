@@ -1,0 +1,170 @@
+#include "engine/evaluator.hpp"
+
+#include <string>
+#include <vector>
+
+#include "slp/slp_builder.hpp"
+
+namespace spanners {
+namespace {
+
+Status NoReferences(const CompiledQuery& query, const char* stack) {
+  if (query.features().has_references) {
+    return Status::Error(std::string(stack) +
+                         ": query has references; only the refl stack supports them");
+  }
+  return Status::Ok();
+}
+
+/// Product-DFS over the nondeterministic automaton; for expression queries
+/// the materialised bottom-up algebra semantics -- both are the library's
+/// reference ("ground truth") evaluations.
+class NaiveDfsEvaluator final : public Evaluator {
+ public:
+  PlanKind kind() const override { return PlanKind::kNaiveDfs; }
+
+  Status Supports(const CompiledQuery& query, const Document&) const override {
+    return NoReferences(query, "naive-dfs");
+  }
+
+  SpanRelation Evaluate(const CompiledQuery& query, const Document& document) const override {
+    if (query.features().from_expression) return query.expr()->Evaluate(document.Text());
+    return query.regular().EvaluateNaive(document.Text());
+  }
+};
+
+/// Determinised eDVA with two-phase constant-delay enumeration; expression
+/// queries with selections run through the core-simplified normal form.
+class EdvaEvaluator final : public Evaluator {
+ public:
+  PlanKind kind() const override { return PlanKind::kEdva; }
+
+  Status Supports(const CompiledQuery& query, const Document&) const override {
+    return NoReferences(query, "edva");
+  }
+
+  SpanRelation Evaluate(const CompiledQuery& query, const Document& document) const override {
+    if (query.features().num_selections > 0) {
+      return query.normal_form().Evaluate(document.Text());
+    }
+    return query.regular().Evaluate(document.Text());
+  }
+};
+
+/// The refl stack: backtracking evaluation over the ref-language NFA.
+class ReflEvaluator final : public Evaluator {
+ public:
+  PlanKind kind() const override { return PlanKind::kRefl; }
+
+  Status Supports(const CompiledQuery& query, const Document&) const override {
+    if (query.features().from_expression) {
+      return Status::Error("refl: algebra expressions have no refl form");
+    }
+    return Status::Ok();
+  }
+
+  SpanRelation Evaluate(const CompiledQuery& query, const Document& document) const override {
+    return query.refl().Evaluate(document.Text());
+  }
+};
+
+/// True iff all defined spans among \p vars cover pairwise equal factors of
+/// 𝔇(root) -- StringEqualitySatisfied with factor access by partial
+/// decompression (never more than the compared spans).
+bool SlpStringEqualitySatisfied(const Slp& slp, NodeId root, const SpanTuple& tuple,
+                                const std::vector<VariableId>& vars) {
+  auto factor = [&](const Span& span) {
+    return span.empty() ? std::string() : slp.Substring(root, span.begin - 1, span.length());
+  };
+  const Span* first = nullptr;
+  std::string first_factor;
+  for (VariableId var : vars) {
+    const std::optional<Span>& span = tuple[var];
+    if (!span.has_value()) continue;
+    if (first == nullptr) {
+      first = &*span;
+      first_factor = factor(*span);
+      continue;
+    }
+    if (span->length() != first->length()) return false;
+    if (factor(*span) != first_factor) return false;
+  }
+  return true;
+}
+
+/// Boolean-matrix evaluation over the SLP DAG. Plain documents are wrapped
+/// in a scratch balanced SLP (forced-plan mode only); selection-carrying
+/// expressions filter and project the normal form's raw tuples, comparing
+/// factors by partial decompression.
+class SlpMatrixEvaluator final : public Evaluator {
+ public:
+  PlanKind kind() const override { return PlanKind::kSlpMatrix; }
+
+  Status Supports(const CompiledQuery& query, const Document&) const override {
+    return NoReferences(query, "slp-matrix");
+  }
+
+  SpanRelation Evaluate(const CompiledQuery& query, const Document& document) const override {
+    if (document.compressed()) {
+      return Finish(query, document.slp(), document.root(),
+                    query.EvaluateSlpAutomaton(document.slp(), document.root()));
+    }
+    // Forced onto a plain document: a scratch arena and a throwaway
+    // evaluator, so the query's shared matrix cache stays bound to real
+    // compressed arenas.
+    Slp scratch;
+    const NodeId root = BuildBalanced(scratch, document.Text());
+    SlpSpannerEvaluator evaluator(&query.backing_edva());
+    return Finish(query, scratch, root, evaluator.EvaluateToRelation(scratch, root));
+  }
+
+ private:
+  /// Applies the normal form's selections and projection to the raw
+  /// automaton tuples (no-op for selection-free queries).
+  SpanRelation Finish(const CompiledQuery& query, const Slp& slp, NodeId root,
+                      SpanRelation raw) const {
+    if (query.features().num_selections == 0) return raw;
+
+    const CoreNormalForm& normal = query.normal_form();
+    const VariableSet& schema = normal.automaton.variables();
+    std::vector<std::vector<VariableId>> selection_ids;
+    for (const auto& selection : normal.selections) {
+      std::vector<VariableId> ids;
+      for (const std::string& name : selection) ids.push_back(*schema.Find(name));
+      selection_ids.push_back(std::move(ids));
+    }
+    std::vector<std::size_t> keep;
+    for (const std::string& name : normal.output) keep.push_back(*schema.Find(name));
+
+    SpanRelation result;
+    for (const SpanTuple& tuple : raw) {
+      bool pass = true;
+      for (const auto& ids : selection_ids) {
+        if (!SlpStringEqualitySatisfied(slp, root, tuple, ids)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) result.insert(tuple.Project(keep));
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+const Evaluator& EvaluatorFor(PlanKind kind) {
+  static const NaiveDfsEvaluator naive;
+  static const EdvaEvaluator edva;
+  static const ReflEvaluator refl;
+  static const SlpMatrixEvaluator slp;
+  switch (kind) {
+    case PlanKind::kNaiveDfs: return naive;
+    case PlanKind::kEdva: return edva;
+    case PlanKind::kRefl: return refl;
+    case PlanKind::kSlpMatrix: return slp;
+  }
+  FatalError("EvaluatorFor: unknown plan kind");
+}
+
+}  // namespace spanners

@@ -1,0 +1,46 @@
+/// \file evaluator.hpp
+/// \brief The common evaluation interface the planner dispatches through.
+///
+/// One stateless singleton per evaluation stack (engine/planner.hpp lists
+/// the four stacks and their cost profiles). Evaluators pull prepared state
+/// from the CompiledQuery and the document from the Document abstraction,
+/// so every stack runs against every representation:
+///
+///   * plain-text stacks evaluate compressed documents by materialising
+///     them once (Document::Text caches the derivation);
+///   * the SLP stack evaluates plain documents by building a balanced SLP
+///     into a scratch arena (forced-plan mode; the planner never picks this
+///     combination by itself).
+///
+/// Supports() reports genuine capability gaps -- e.g. references are only
+/// evaluable by the refl stack -- as a Status, which the session surfaces
+/// when a forced plan does not apply.
+#pragma once
+
+#include "core/span.hpp"
+#include "engine/compiled_query.hpp"
+#include "engine/document.hpp"
+#include "engine/planner.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// One evaluation stack, dispatchable by PlanKind.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  virtual PlanKind kind() const = 0;
+
+  /// Ok iff this stack can evaluate (query, document).
+  virtual Status Supports(const CompiledQuery& query, const Document& document) const = 0;
+
+  /// Evaluates [[query]](document). Precondition: Supports(...) is ok.
+  virtual SpanRelation Evaluate(const CompiledQuery& query,
+                                const Document& document) const = 0;
+};
+
+/// The singleton evaluator for \p kind.
+const Evaluator& EvaluatorFor(PlanKind kind);
+
+}  // namespace spanners

@@ -1,0 +1,56 @@
+#include "engine/planner.hpp"
+
+#include <sstream>
+
+namespace spanners {
+
+std::string_view PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kNaiveDfs: return "naive-dfs";
+    case PlanKind::kEdva: return "edva";
+    case PlanKind::kRefl: return "refl";
+    case PlanKind::kSlpMatrix: return "slp-matrix";
+  }
+  return "unknown";
+}
+
+std::optional<PlanKind> PlanKindFromName(std::string_view name) {
+  for (PlanKind kind : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+                        PlanKind::kSlpMatrix}) {
+    if (name == PlanKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+Plan ChoosePlan(const QueryFeatures& query, const DocumentProfile& document) {
+  if (query.has_references) return {PlanKind::kRefl, "references-need-refl"};
+  if (document.kind == DocumentKind::kCompressed) {
+    if (document.compression_ratio >= kMinSlpRatio) {
+      return {PlanKind::kSlpMatrix, "compressed-slp"};
+    }
+    return {PlanKind::kEdva, "compressed-low-ratio-materialize"};
+  }
+  if (document.length <= kTinyDocumentLength && query.num_selections == 0 &&
+      !query.from_expression) {
+    return {PlanKind::kNaiveDfs, "tiny-document-naive"};
+  }
+  return {PlanKind::kEdva, "plain-default-edva"};
+}
+
+std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,
+                        const DocumentProfile& document) {
+  std::ostringstream os;
+  os << "plan: " << PlanKindName(plan.kind) << " (rule: " << plan.rule << ") "
+     << (plan.from_cache ? "[cached]" : "[fresh]") << "\n";
+  os << "query: source=" << (query.from_expression ? "expr" : "pattern")
+     << " vars=" << query.num_variables << " ast=" << query.ast_size
+     << " refs=" << (query.has_references ? "y" : "n")
+     << " selections=" << query.num_selections << "\n";
+  os << "document: "
+     << (document.kind == DocumentKind::kCompressed ? "compressed" : "plain")
+     << " length=" << document.length << " slp-nodes=" << document.slp_nodes
+     << " ratio=" << document.compression_ratio << "\n";
+  return os.str();
+}
+
+}  // namespace spanners

@@ -1,0 +1,88 @@
+/// \file planner.hpp
+/// \brief The engine's representation-aware plan chooser (DESIGN.md §1.8).
+///
+/// The library has four ways to evaluate a query, with incomparable costs:
+///
+///   kNaiveDfs   product-DFS over the nondeterministic vset-automaton (or
+///               the materialised algebra semantics for expression queries):
+///               no determinisation, but exponential in pathological cases;
+///   kEdva       the determinised extended VA with two-phase constant-delay
+///               enumeration (paper, Section 2.5): linear data complexity
+///               after a one-off determinisation;
+///   kRefl       the refl stack (Section 3.3): the only stack that supports
+///               references, backtracking evaluation + hash-jump checks;
+///   kSlpMatrix  Boolean-matrix evaluation over the SLP DAG (Section 4.2):
+///               O(|S| * poly(Q)), independent of |D| -- the only stack that
+///               never decompresses.
+///
+/// Which one wins depends on the *query shape* (references? selections?
+/// size) and the *document representation* (compressed? how well?), exactly
+/// the trade-off of [39]/[38]. The planner encodes that decision as a short
+/// ordered rule list so that ExplainPlan can show which rule fired.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "engine/document.hpp"
+
+namespace spanners {
+
+/// The evaluation stacks the planner chooses between.
+enum class PlanKind : uint8_t { kNaiveDfs, kEdva, kRefl, kSlpMatrix };
+
+/// Short lower-case name ("naive-dfs", "edva", "refl", "slp-matrix").
+std::string_view PlanKindName(PlanKind kind);
+
+/// Parses a PlanKindName (or the SPANNERS_PLAN env values); nullopt on
+/// unknown names.
+std::optional<PlanKind> PlanKindFromName(std::string_view name);
+
+/// The query features the planner consumes; computed once per CompiledQuery.
+struct QueryFeatures {
+  bool has_references = false;  ///< &x in the pattern: only kRefl applies
+  bool has_captures = false;
+  bool from_expression = false; ///< built from an algebra tree, not a pattern
+  std::size_t num_variables = 0;
+  std::size_t ast_size = 0;       ///< regex AST nodes (or algebra tree size)
+  std::size_t num_selections = 0; ///< string-equality selections (expressions)
+};
+
+/// A planning decision plus the provenance ExplainPlan reports.
+struct Plan {
+  PlanKind kind = PlanKind::kEdva;
+  std::string rule;         ///< id of the rule that fired, e.g. "compressed-slp"
+  bool from_cache = false;  ///< filled in by the session's plan cache
+};
+
+/// Document length at or below which a one-shot naive DFS beats paying for
+/// eDVA preprocessing on plain documents.
+inline constexpr uint64_t kTinyDocumentLength = 16;
+
+/// Minimum compression ratio (|D| / |S|) at which the matrix path is
+/// expected to beat materialise-and-enumerate. Balanced SLPs of
+/// incompressible text sit near 0.5; repetitive inputs reach orders of
+/// magnitude more.
+inline constexpr double kMinSlpRatio = 2.0;
+
+/// Chooses a plan for (query, document) by the first matching rule:
+///   1. references        -> kRefl       (only stack that supports them)
+///   2. compressed, ratio >= kMinSlpRatio
+///                        -> kSlpMatrix  (evaluate without decompressing)
+///   3. compressed, poorly compressed
+///                        -> kEdva       (materialise once, then enumerate)
+///   4. plain, tiny document, capture-free-or-small query, no selections
+///                        -> kNaiveDfs   (skip eDVA preprocessing)
+///   5. otherwise         -> kEdva
+Plan ChoosePlan(const QueryFeatures& query, const DocumentProfile& document);
+
+/// Multi-line human-readable report: chosen plan, the rule that fired, and
+/// the feature vectors it saw. Format (stable, documented in DESIGN.md):
+///   plan: <kind> (rule: <rule>) [cached|fresh]
+///   query: source=<pattern|expr> vars=<k> ast=<n> refs=<y|n> selections=<k>
+///   document: <plain|compressed> length=<n> slp-nodes=<n> ratio=<r>
+std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,
+                        const DocumentProfile& document);
+
+}  // namespace spanners

@@ -1,0 +1,155 @@
+#include "engine/session.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+namespace spanners {
+
+Session::Session(EngineOptions options) : options_(std::move(options)) {
+  if (!options_.force_plan.has_value()) {
+    if (const char* env = std::getenv("SPANNERS_PLAN"); env != nullptr && *env != '\0') {
+      options_.force_plan = PlanKindFromName(env);
+    }
+  }
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+Expected<const CompiledQuery*> Session::Compile(std::string_view pattern) {
+  std::string key(pattern);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(key);
+    if (it != queries_.end()) return it->second.get();
+  }
+  // Parse outside the lock; a racing duplicate insert keeps the first entry.
+  Expected<std::unique_ptr<CompiledQuery>> compiled = CompiledQuery::FromPattern(key);
+  if (!compiled.ok()) return compiled.status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = queries_.emplace(std::move(key), std::move(compiled).value());
+  return it->second.get();
+}
+
+const CompiledQuery* Session::CompileExpr(const SpannerExprPtr& expr) {
+  std::unique_ptr<CompiledQuery> compiled = CompiledQuery::FromExpr(expr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = queries_.emplace(compiled->key(), std::move(compiled));
+  return it->second.get();
+}
+
+uint32_t Session::RepresentationSignature(const DocumentProfile& profile) {
+  const uint32_t kind_bit = profile.kind == DocumentKind::kCompressed ? 1u : 0u;
+  const uint32_t length_bucket =
+      static_cast<uint32_t>(std::bit_width(profile.length + 1));
+  const uint32_t ratio_bucket =
+      profile.compression_ratio >= 1.0
+          ? static_cast<uint32_t>(
+                std::bit_width(static_cast<uint64_t>(profile.compression_ratio)))
+          : 0u;
+  return kind_bit | (length_bucket << 1) | (ratio_bucket << 8);
+}
+
+Plan Session::PlanFor(const CompiledQuery& query, const Document& document) {
+  const DocumentProfile profile = document.Profile();
+  const auto key = std::make_pair(&query, RepresentationSignature(profile));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.force_plan.has_value()) {
+      return {*options_.force_plan, "forced", false};
+    }
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++plan_hits_;
+      Plan plan = it->second;
+      plan.from_cache = true;
+      return plan;
+    }
+  }
+  Plan plan = ChoosePlan(query.features(), profile);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++plan_misses_;
+  plan_cache_.emplace(key, plan);
+  return plan;
+}
+
+Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
+                                         const Document& document) {
+  const Plan plan = PlanFor(query, document);
+  const Evaluator& evaluator = EvaluatorFor(plan.kind);
+  Status supported = evaluator.Supports(query, document);
+  if (!supported.ok()) return supported;
+  return evaluator.Evaluate(query, document);
+}
+
+Expected<SpanRelation> Session::Evaluate(std::string_view pattern,
+                                         const Document& document) {
+  Expected<const CompiledQuery*> query = Compile(pattern);
+  if (!query.ok()) return query.status();
+  return Evaluate(**query, document);
+}
+
+std::vector<Expected<SpanRelation>> Session::EvaluateBatch(
+    const CompiledQuery& query, const std::vector<Document>& documents) {
+  std::vector<Expected<SpanRelation>> results(documents.size(),
+                                              Status::Error("not evaluated"));
+  if (documents.empty()) return results;
+  if (options_.threads <= 1 || documents.size() == 1) {
+    for (std::size_t i = 0; i < documents.size(); ++i) {
+      results[i] = Evaluate(query, documents[i]);
+    }
+    return results;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  pool_->ParallelFor(0, documents.size(), [&](std::size_t i) {
+    results[i] = Evaluate(query, documents[i]);
+  });
+  return results;
+}
+
+std::string Session::ExplainPlan(const CompiledQuery& query, const Document& document) {
+  const Plan plan = PlanFor(query, document);
+  std::string report = spanners::ExplainPlan(plan, query.features(), document.Profile());
+  const CompiledQuery::PreparedState state = query.prepared();
+  report += "prepared: regular=";
+  report += state.regular ? "y" : "n";
+  report += " refl=";
+  report += state.refl ? "y" : "n";
+  report += " normal-form=";
+  report += state.normal_form ? "y" : "n";
+  report += " slp-cached-nodes=" + std::to_string(state.slp_cached_nodes) + "\n";
+  return report;
+}
+
+void Session::set_force_plan(std::optional<PlanKind> plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.force_plan = plan;
+}
+
+std::optional<PlanKind> Session::force_plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.force_plan;
+}
+
+std::size_t Session::num_queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_.size();
+}
+
+std::size_t Session::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_cache_.size();
+}
+
+std::size_t Session::plan_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_hits_;
+}
+
+std::size_t Session::plan_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_misses_;
+}
+
+}  // namespace spanners

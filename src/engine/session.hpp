@@ -1,0 +1,110 @@
+/// \file session.hpp
+/// \brief The engine facade: compile once, evaluate anywhere (DESIGN.md §1.8).
+///
+/// A Session owns a set of interned CompiledQuerys, a plan cache, and a
+/// thread pool for batched multi-document evaluation. The flow is
+///
+///     Session session;
+///     auto query = session.Compile("{x: a*}{y: b}");   // Expected<...>
+///     if (!query.ok()) { /* print query.error() */ }
+///     Document doc = Document::FromText("aab");
+///     auto result = session.Evaluate(**query, doc);     // planner dispatch
+///     std::cout << session.ExplainPlan(**query, doc);   // observability
+///
+/// Plans are chosen per (query, document representation) by the rule-based
+/// planner (engine/planner.hpp) and memoised in the plan cache, keyed on the
+/// interned query and a coarse representation signature: the document kind
+/// plus log2 buckets of length and compression ratio -- documents of the
+/// same shape share a cached decision. A force_plan override (EngineOptions,
+/// set_force_plan, or the SPANNERS_PLAN environment variable) bypasses the
+/// planner; unsupported forced combinations surface as Expected errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/compiled_query.hpp"
+#include "engine/document.hpp"
+#include "engine/evaluator.hpp"
+#include "engine/planner.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spanners {
+
+/// Session construction knobs.
+struct EngineOptions {
+  /// Bypass the planner: every evaluation uses this stack. Defaults to the
+  /// SPANNERS_PLAN environment variable (a PlanKindName) when set.
+  std::optional<PlanKind> force_plan;
+
+  /// Worker threads for EvaluateBatch (>= 1; 1 = sequential).
+  std::size_t threads = ThreadPool::DefaultThreadCount();
+};
+
+/// The unified query engine over all evaluation stacks.
+class Session {
+ public:
+  explicit Session(EngineOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and interns \p pattern; the same pattern returns the same
+  /// CompiledQuery (stable pointer, owned by the session). Syntax errors
+  /// are reported, never aborted on.
+  Expected<const CompiledQuery*> Compile(std::string_view pattern);
+
+  /// Interns an algebra expression (keyed on its canonical rendering).
+  const CompiledQuery* CompileExpr(const SpannerExprPtr& expr);
+
+  /// Plans (or looks up) and runs the evaluation. Errors only when a forced
+  /// plan cannot evaluate this query (e.g. references on a non-refl stack).
+  Expected<SpanRelation> Evaluate(const CompiledQuery& query, const Document& document);
+
+  /// Convenience: Compile + Evaluate.
+  Expected<SpanRelation> Evaluate(std::string_view pattern, const Document& document);
+
+  /// Evaluates one query over many documents on the session's thread pool;
+  /// results are index-aligned with \p documents. Representation-specific
+  /// preparation is shared and built once (thread-safely) on first use.
+  std::vector<Expected<SpanRelation>> EvaluateBatch(const CompiledQuery& query,
+                                                    const std::vector<Document>& documents);
+
+  /// The plan Evaluate would use right now (consults and fills the cache).
+  Plan PlanFor(const CompiledQuery& query, const Document& document);
+
+  /// Human-readable plan report for (query, document): the decision, the
+  /// features it was based on, and the query's prepared-state summary.
+  std::string ExplainPlan(const CompiledQuery& query, const Document& document);
+
+  void set_force_plan(std::optional<PlanKind> plan);
+  std::optional<PlanKind> force_plan() const;
+
+  std::size_t num_queries() const;
+  std::size_t plan_cache_size() const;
+  std::size_t plan_cache_hits() const;
+  std::size_t plan_cache_misses() const;
+
+ private:
+  /// Coarse representation signature for plan-cache keys: kind in bit 0,
+  /// floor(log2(length + 1)) in bits 1..7, floor(log2(ratio)) + 32 above.
+  static uint32_t RepresentationSignature(const DocumentProfile& profile);
+
+  EngineOptions options_;
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::unordered_map<std::string, std::unique_ptr<CompiledQuery>> queries_;
+  std::map<std::pair<const CompiledQuery*, uint32_t>, Plan> plan_cache_;
+  std::size_t plan_hits_ = 0;
+  std::size_t plan_misses_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily for batches
+};
+
+}  // namespace spanners

@@ -18,6 +18,12 @@ ReflSpanner ReflSpanner::Compile(std::string_view pattern) {
   return FromRegex(MustParse(pattern));
 }
 
+Expected<ReflSpanner> ReflSpanner::CompileChecked(std::string_view pattern) {
+  Expected<Regex> parsed = ParseRegexChecked(pattern);
+  if (!parsed.ok()) return parsed.status();
+  return FromRegex(*parsed);
+}
+
 bool ReflSpanner::IsReferenceFree() const {
   for (StateId s = 0; s < nfa_.num_states(); ++s) {
     for (const Transition& t : nfa_.TransitionsFrom(s)) {

@@ -17,6 +17,7 @@
 #include "automata/nfa.hpp"
 #include "core/regex_ast.hpp"
 #include "core/span.hpp"
+#include "util/common.hpp"
 
 namespace spanners {
 
@@ -32,6 +33,11 @@ class ReflSpanner {
 
   /// Parse-and-compile; aborts on syntax errors.
   static ReflSpanner Compile(std::string_view pattern);
+
+  /// Checked parse-and-compile: syntax errors are reported as an Expected
+  /// error instead of aborting. Reference-free patterns are accepted (the
+  /// refl class subsumes regular spanners).
+  static Expected<ReflSpanner> CompileChecked(std::string_view pattern);
 
   const Nfa& nfa() const { return nfa_; }
   const VariableSet& variables() const { return variables_; }

@@ -20,12 +20,12 @@ class CdeParser {
  public:
   explicit CdeParser(std::string_view input) : input_(input) {}
 
-  CdeParseResult Run() {
+  Expected<std::unique_ptr<CdeExpr>> Run() {
     std::unique_ptr<CdeExpr> expr = ParseExpr();
     SkipSpaces();
-    if (!error_.empty()) return {nullptr, error_};
-    if (pos_ != input_.size()) return {nullptr, "trailing input in CDE expression"};
-    return {std::move(expr), ""};
+    if (!error_.empty()) return Unexpected(error_);
+    if (pos_ != input_.size()) return Unexpected("trailing input in CDE expression");
+    return expr;
   }
 
  private:
@@ -224,7 +224,15 @@ bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
 
 }  // namespace
 
-CdeParseResult ParseCde(std::string_view text) { return CdeParser(text).Run(); }
+Expected<std::unique_ptr<CdeExpr>> ParseCdeChecked(std::string_view text) {
+  return CdeParser(text).Run();
+}
+
+CdeParseResult ParseCde(std::string_view text) {
+  Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(text);
+  if (!parsed.ok()) return {nullptr, parsed.error()};
+  return {std::move(parsed).value(), ""};
+}
 
 std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
   uint64_t length = 0;
@@ -233,10 +241,16 @@ std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
   return error;
 }
 
-CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr) {
+Expected<NodeId> EvalCdeExpected(DocumentDatabase* database, const CdeExpr& expr) {
   std::string error = ValidateCde(*database, expr);
-  if (!error.empty()) return {kNoNode, std::move(error)};
-  return {EvalCde(database, expr), ""};
+  if (!error.empty()) return Unexpected(std::move(error));
+  return EvalCde(database, expr);
+}
+
+CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr) {
+  Expected<NodeId> result = EvalCdeExpected(database, expr);
+  if (!result.ok()) return {kNoNode, result.error()};
+  return {result.value(), ""};
 }
 
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
@@ -283,6 +297,15 @@ NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
     }
   }
   FatalError("EvalCde: unknown op");
+}
+
+Expected<std::size_t> ApplyCdeChecked(DocumentDatabase* database,
+                                      std::string_view expression) {
+  Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(expression);
+  if (!parsed.ok()) return parsed.status();
+  Expected<NodeId> result = EvalCdeExpected(database, **parsed);
+  if (!result.ok()) return result.status();
+  return database->AddDocument(result.value());
 }
 
 std::size_t ApplyCde(DocumentDatabase* database, std::string_view expression) {

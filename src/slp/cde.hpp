@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "slp/slp.hpp"
+#include "util/common.hpp"
 
 namespace spanners {
 
@@ -36,7 +37,13 @@ struct CdeExpr {
   std::size_t size() const;
 };
 
-/// Parse errors carry a message; expr is null on failure.
+/// Parses "concat(D1, extract(D2, 5, 21))"-style expressions. Document
+/// names are D1, D2, ... (1-based, as in the paper's prose). Canonical
+/// checked entry point (Expected convention of util/common.hpp).
+Expected<std::unique_ptr<CdeExpr>> ParseCdeChecked(std::string_view text);
+
+/// Parse errors carry a message; expr is null on failure. Compat shim over
+/// ParseCdeChecked.
 struct CdeParseResult {
   std::unique_ptr<CdeExpr> expr;
   std::string error;
@@ -44,8 +51,7 @@ struct CdeParseResult {
   bool ok() const { return error.empty(); }
 };
 
-/// Parses "concat(D1, extract(D2, 5, 21))"-style expressions. Document
-/// names are D1, D2, ... (1-based, as in the paper's prose).
+/// Compat shim: ParseCdeChecked repackaged as a CdeParseResult.
 CdeParseResult ParseCde(std::string_view text);
 
 /// Evaluates \p expr against \p database, returning a strongly balanced
@@ -57,8 +63,13 @@ CdeParseResult ParseCde(std::string_view text);
 /// for untrusted expressions.
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr);
 
+/// Like EvalCde, but treats invalid caller-supplied expressions as a
+/// diagnosable error instead of aborting the process. Canonical checked
+/// entry point; validates first, so the database is untouched on error.
+Expected<NodeId> EvalCdeExpected(DocumentDatabase* database, const CdeExpr& expr);
+
 /// Result of EvalCdeChecked; node is only meaningful when ok() (same
-/// convention as CdeParseResult).
+/// convention as CdeParseResult). Compat shim over EvalCdeExpected.
 struct CdeEvalResult {
   NodeId node = kNoNode;
   std::string error;
@@ -72,9 +83,13 @@ struct CdeEvalResult {
 /// when valid. O(|φ|).
 std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr);
 
-/// Like EvalCde, but treats invalid caller-supplied expressions as a
-/// diagnosable error instead of aborting the process.
+/// Compat shim: EvalCdeExpected repackaged as a CdeEvalResult.
 CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr);
+
+/// Parses, validates, evaluates, and registers \p expression; returns the
+/// new document's index, or a parse/validation error (database untouched).
+Expected<std::size_t> ApplyCdeChecked(DocumentDatabase* database,
+                                      std::string_view expression);
 
 /// Convenience: parse, evaluate, and register; aborts on parse errors.
 /// Returns the new document's index.

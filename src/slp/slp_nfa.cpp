@@ -29,13 +29,19 @@ SlpNfaMatcher::SlpNfaMatcher(const Nfa& nfa) : nfa_(RemoveEpsilon(nfa)) {
   }
 }
 
-std::optional<SlpNfaMatcher> SlpNfaMatcher::Create(const Nfa& nfa, std::string* error) {
+Expected<SlpNfaMatcher> SlpNfaMatcher::CreateChecked(const Nfa& nfa) {
   SlpNfaMatcher matcher(nfa);
+  if (!matcher.ok()) return Unexpected(matcher.error());
+  return matcher;
+}
+
+std::optional<SlpNfaMatcher> SlpNfaMatcher::Create(const Nfa& nfa, std::string* error) {
+  Expected<SlpNfaMatcher> matcher = CreateChecked(nfa);
   if (!matcher.ok()) {
     if (error != nullptr) *error = matcher.error();
     return std::nullopt;
   }
-  return matcher;
+  return std::move(matcher).value();
 }
 
 void SlpNfaMatcher::SetThreads(std::size_t num_threads) {

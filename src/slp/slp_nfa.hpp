@@ -24,6 +24,7 @@
 #include "automata/nfa.hpp"
 #include "slp/slp.hpp"
 #include "util/bool_matrix.hpp"
+#include "util/common.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spanners {
@@ -32,10 +33,13 @@ namespace spanners {
 class SlpNfaMatcher {
  public:
   /// Builds a matcher for \p nfa, which may contain epsilon transitions
-  /// (eliminated here) but no marker or reference symbols. On unsupported
-  /// input returns std::nullopt and, when \p error is non-null, stores a
-  /// diagnostic message -- marker/ref automata are caller data, not a
-  /// programming error.
+  /// (eliminated here) but no marker or reference symbols. Unsupported input
+  /// is caller data, not a programming error: it surfaces as an Expected
+  /// error (canonical checked entry point).
+  static Expected<SlpNfaMatcher> CreateChecked(const Nfa& nfa);
+
+  /// Compat shim over CreateChecked: nullopt on unsupported input and, when
+  /// \p error is non-null, stores the diagnostic message.
   static std::optional<SlpNfaMatcher> Create(const Nfa& nfa, std::string* error = nullptr);
 
   /// Direct construction. Never aborts: on unsupported input the matcher is

@@ -2,10 +2,11 @@
 /// \brief Umbrella header: the full public API of the spanners library.
 ///
 /// Include this for everything, or pick the area headers individually:
-/// regular spanners (core/regular_spanner.hpp), the algebra
-/// (core/algebra.hpp), refl-spanners (refl/refl_spanner.hpp), compressed
-/// documents (slp/*.hpp), extraction grammars (grammar/cyk_spanner.hpp),
-/// and datalog over spanners (datalog/program.hpp).
+/// the unified query engine (engine/session.hpp), regular spanners
+/// (core/regular_spanner.hpp), the algebra (core/algebra.hpp),
+/// refl-spanners (refl/refl_spanner.hpp), compressed documents
+/// (slp/*.hpp), extraction grammars (grammar/cyk_spanner.hpp), and datalog
+/// over spanners (datalog/program.hpp).
 #pragma once
 
 #include "core/algebra.hpp"
@@ -19,6 +20,11 @@
 #include "core/weighted.hpp"
 #include "core/word_equations.hpp"
 #include "datalog/program.hpp"
+#include "engine/compiled_query.hpp"
+#include "engine/document.hpp"
+#include "engine/evaluator.hpp"
+#include "engine/planner.hpp"
+#include "engine/session.hpp"
 #include "grammar/cyk_spanner.hpp"
 #include "refl/core_to_refl.hpp"
 #include "refl/ref_deref.hpp"

@@ -1,11 +1,21 @@
 /// \file common.hpp
 /// \brief Shared small helpers used across the spanners library.
+///
+/// Error-handling conventions (DESIGN.md §5): *programming errors* --
+/// violated preconditions, internal invariants -- abort via Require /
+/// FatalError; *caller data errors* -- unparsable patterns, unsupported
+/// automata, out-of-range CDE expressions -- are reported as values via
+/// Status (operations without a result) and Expected<T> (operations with
+/// one). Older per-module result structs (ParseResult, CdeParseResult,
+/// CdeEvalResult) remain as thin shims over these types.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 
 namespace spanners {
 
@@ -21,5 +31,83 @@ namespace spanners {
 inline void Require(bool condition, const char* message) {
   if (!condition) FatalError(message);
 }
+
+/// The outcome of an operation that has no result value: success, or an
+/// error carrying a human-readable diagnostic.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+
+  /// An error; \p message must be non-empty.
+  static Status Error(std::string message) {
+    Require(!message.empty(), "Status::Error: empty message");
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return message_.empty(); }
+
+  /// The diagnostic; empty iff ok().
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+/// A value of type T, or a Status describing why it could not be produced.
+/// Accessing value() on an error (or status().message() semantics on
+/// success) follows the Require convention: misuse is a programming error.
+template <typename T>
+class Expected {
+ public:
+  /// Success.
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Failure; \p status must be an error.
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    Require(!status_.ok(), "Expected: constructed from an ok Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// The diagnostic of the underlying status (empty iff ok()).
+  const std::string& error() const { return status_.message(); }
+
+  const T& value() const& {
+    Require(ok(), "Expected::value: no value (check ok() first)");
+    return *value_;
+  }
+  T& value() & {
+    Require(ok(), "Expected::value: no value (check ok() first)");
+    return *value_;
+  }
+  T&& value() && {
+    Require(ok(), "Expected::value: no value (check ok() first)");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or \p fallback when this is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Convenience factory mirroring Status::Error for Expected returns:
+///   return Unexpected("pattern ends inside a character class");
+inline Status Unexpected(std::string message) { return Status::Error(std::move(message)); }
 
 }  // namespace spanners

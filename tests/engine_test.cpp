@@ -1,0 +1,356 @@
+// Tests for the unified query engine (DESIGN.md §1.8): the Document
+// abstraction, checked compilation, the representation-aware planner and its
+// plan cache, the forced-plan knob, and -- the heart of the suite -- the
+// engine-equivalence sweep: every evaluation stack must produce the same
+// SpanRelation on every document representation.
+#include "engine/session.hpp"
+
+#include <cstdlib>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.hpp"
+#include "slp/slp_builder.hpp"
+
+namespace spanners {
+namespace {
+
+// --- the engine-equivalence sweep ------------------------------------------
+
+struct SweepCase {
+  const char* name;
+  const char* pattern;
+  const char* document;
+};
+
+const SweepCase kSweepCases[] = {
+    {"Example11", "{x: (a|b)*}{y: b}{z: (a|b)*}", "abbaabbab"},
+    {"UnanchoredCaptures", "(a|b)*{x: a(a|b)?}{y: b+}(a|b)*", "abababbbabab"},
+    {"EmptySpans", "{x: a*}b*{y: a*}", "aabaa"},
+    {"Repetitive", "a*{x: ab}{y: a+}(a|b)*", "abababababababababababab"},
+    {"EmptyDocument", "{x: a*}", ""},
+};
+
+using SlpBuilder = NodeId (*)(Slp&, std::string_view);
+
+struct Representation {
+  const char* name;
+  SlpBuilder builder;  // nullptr = plain text
+};
+
+const Representation kRepresentations[] = {
+    {"Plain", nullptr},
+    {"RePair", &BuildRePair},
+    {"Balanced", &BuildBalanced},
+    {"RunLength", &BuildRunLength},
+};
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<SweepCase, Representation>> {};
+
+// Every plan, forced through the knob, must agree with the baseline
+// (the standalone eDVA stack) on every representation of the document.
+TEST_P(EngineEquivalence, AllForcedPlansAgree) {
+  const auto& [c, repr] = GetParam();
+  const SpanRelation baseline = RegularSpanner::Compile(c.pattern).Evaluate(c.document);
+
+  Slp slp;
+  const Document document =
+      repr.builder == nullptr
+          ? Document::FromView(c.document)
+          : Document::FromSlp(&slp, repr.builder(slp, c.document));
+  ASSERT_EQ(document.length(), std::string_view(c.document).size());
+
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile(c.pattern);
+  ASSERT_TRUE(query.ok()) << query.error();
+
+  for (PlanKind plan : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+                        PlanKind::kSlpMatrix}) {
+    session.set_force_plan(plan);
+    Expected<SpanRelation> result = session.Evaluate(**query, document);
+    ASSERT_TRUE(result.ok()) << PlanKindName(plan) << ": " << result.error();
+    EXPECT_EQ(*result, baseline) << "plan " << PlanKindName(plan) << " diverges on "
+                                 << repr.name;
+  }
+
+  // The planner's own pick agrees too.
+  session.set_force_plan(std::nullopt);
+  Expected<SpanRelation> chosen = session.Evaluate(**query, document);
+  ASSERT_TRUE(chosen.ok()) << chosen.error();
+  EXPECT_EQ(*chosen, baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineEquivalence,
+    ::testing::Combine(::testing::ValuesIn(kSweepCases),
+                       ::testing::ValuesIn(kRepresentations)),
+    [](const ::testing::TestParamInfo<EngineEquivalence::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             std::get<1>(info.param).name;
+    });
+
+// Expression queries with a string-equality selection run through the
+// normal-form machinery; all stacks that support expressions must agree.
+TEST(EngineEquivalenceTest, SelectionExpressionAcrossRepresentations) {
+  auto base = SpannerExpr::Parse(".*{x: (a|b)+}.*{y: (a|b)+}.*");
+  auto query_expr = SpannerExpr::SelectEq(base, {"x", "y"});
+  const std::string text = "abaab";
+  const SpanRelation baseline = query_expr->Evaluate(text);
+
+  Session session;
+  const CompiledQuery* query = session.CompileExpr(query_expr);
+  for (const Representation& repr : kRepresentations) {
+    Slp slp;
+    const Document document = repr.builder == nullptr
+                                  ? Document::FromView(text)
+                                  : Document::FromSlp(&slp, repr.builder(slp, text));
+    for (PlanKind plan :
+         {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kSlpMatrix}) {
+      session.set_force_plan(plan);
+      Expected<SpanRelation> result = session.Evaluate(*query, document);
+      ASSERT_TRUE(result.ok()) << result.error();
+      EXPECT_EQ(*result, baseline)
+          << "plan " << PlanKindName(plan) << " diverges on " << repr.name;
+    }
+  }
+}
+
+// Reference patterns: only the refl stack applies; the planner routes there
+// by itself, and forcing any other stack is a reported error, not a crash.
+TEST(EngineEquivalenceTest, ReferencesOnlyOnReflStack) {
+  const std::string text = "xabcyabcz";
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile(".*{x: a[a-z]c}.*&x;.*");
+  ASSERT_TRUE(query.ok()) << query.error();
+  EXPECT_TRUE((*query)->features().has_references);
+
+  const Document document = Document::FromView(text);
+  EXPECT_EQ(session.PlanFor(**query, document).kind, PlanKind::kRefl);
+  Expected<SpanRelation> automatic = session.Evaluate(**query, document);
+  ASSERT_TRUE(automatic.ok()) << automatic.error();
+  EXPECT_EQ(automatic->size(), 1u);
+
+  session.set_force_plan(PlanKind::kRefl);
+  Expected<SpanRelation> forced = session.Evaluate(**query, document);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(*forced, *automatic);
+
+  for (PlanKind plan : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kSlpMatrix}) {
+    session.set_force_plan(plan);
+    Expected<SpanRelation> unsupported = session.Evaluate(**query, document);
+    EXPECT_FALSE(unsupported.ok()) << PlanKindName(plan);
+  }
+}
+
+TEST(EngineEquivalenceTest, ReflStackRejectsExpressions) {
+  Session session;
+  const CompiledQuery* query = session.CompileExpr(SpannerExpr::Parse("{x: a+}"));
+  session.set_force_plan(PlanKind::kRefl);
+  Expected<SpanRelation> result = session.Evaluate(*query, Document::FromText("aa"));
+  EXPECT_FALSE(result.ok());
+}
+
+// --- the planner -----------------------------------------------------------
+
+DocumentProfile PlainProfile(uint64_t length) {
+  return {DocumentKind::kPlain, length, 0, 1.0};
+}
+
+DocumentProfile CompressedProfile(uint64_t length, std::size_t nodes) {
+  return {DocumentKind::kCompressed, length, nodes,
+          nodes == 0 ? 1.0 : static_cast<double>(length) / nodes};
+}
+
+TEST(PlannerTest, ReferencesAlwaysRefl) {
+  QueryFeatures query;
+  query.has_references = true;
+  EXPECT_EQ(ChoosePlan(query, PlainProfile(5)).kind, PlanKind::kRefl);
+  EXPECT_EQ(ChoosePlan(query, CompressedProfile(1000, 10)).kind, PlanKind::kRefl);
+  EXPECT_EQ(ChoosePlan(query, PlainProfile(5)).rule, "references-need-refl");
+}
+
+TEST(PlannerTest, WellCompressedPicksMatrixPath) {
+  const Plan plan = ChoosePlan({}, CompressedProfile(10000, 100));
+  EXPECT_EQ(plan.kind, PlanKind::kSlpMatrix);
+  EXPECT_EQ(plan.rule, "compressed-slp");
+}
+
+TEST(PlannerTest, PoorlyCompressedMaterialises) {
+  // Ratio below kMinSlpRatio: a balanced SLP of incompressible text.
+  EXPECT_EQ(ChoosePlan({}, CompressedProfile(100, 99)).kind, PlanKind::kEdva);
+}
+
+TEST(PlannerTest, TinyPlainDocumentSkipsDeterminisation) {
+  EXPECT_EQ(ChoosePlan({}, PlainProfile(kTinyDocumentLength)).kind,
+            PlanKind::kNaiveDfs);
+  EXPECT_EQ(ChoosePlan({}, PlainProfile(kTinyDocumentLength + 1)).kind,
+            PlanKind::kEdva);
+}
+
+TEST(PlannerTest, SelectionsNeverNaive) {
+  QueryFeatures query;
+  query.from_expression = true;
+  query.num_selections = 1;
+  EXPECT_EQ(ChoosePlan(query, PlainProfile(4)).kind, PlanKind::kEdva);
+}
+
+TEST(PlannerTest, PlanKindNamesRoundTrip) {
+  for (PlanKind kind : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+                        PlanKind::kSlpMatrix}) {
+    EXPECT_EQ(PlanKindFromName(PlanKindName(kind)), kind);
+  }
+  EXPECT_EQ(PlanKindFromName("never-heard-of-it"), std::nullopt);
+}
+
+// --- the session: interning, plan cache, batches ---------------------------
+
+TEST(SessionTest, CompileInternsPatterns) {
+  Session session;
+  Expected<const CompiledQuery*> first = session.Compile("{x: a+}");
+  Expected<const CompiledQuery*> second = session.Compile("{x: a+}");
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(session.num_queries(), 1u);
+  ASSERT_TRUE(session.Compile("{x: b+}").ok());
+  EXPECT_EQ(session.num_queries(), 2u);
+}
+
+TEST(SessionTest, CompileReportsSyntaxErrors) {
+  Session session;
+  Expected<const CompiledQuery*> bad = session.Compile("{x: (a");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.error().empty());
+  EXPECT_EQ(session.num_queries(), 0u);
+}
+
+TEST(SessionTest, CompileExprInternsOnRendering) {
+  Session session;
+  const CompiledQuery* a = session.CompileExpr(SpannerExpr::Parse("{x: a+}b"));
+  const CompiledQuery* b = session.CompileExpr(SpannerExpr::Parse("{x: a+}b"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(session.num_queries(), 1u);
+}
+
+TEST(SessionTest, PlanCacheHitsSameShapedDocuments) {
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+
+  const Document first = Document::FromText(std::string(1000, 'a'));
+  const Plan fresh = session.PlanFor(**query, first);
+  EXPECT_FALSE(fresh.from_cache);
+  EXPECT_EQ(session.plan_cache_misses(), 1u);
+
+  // Same length bucket -> cached decision.
+  const Document second = Document::FromText(std::string(1010, 'a'));
+  EXPECT_TRUE(session.PlanFor(**query, second).from_cache);
+  EXPECT_EQ(session.plan_cache_hits(), 1u);
+
+  // A different representation misses again.
+  Slp slp;
+  const Document compressed =
+      Document::FromSlp(&slp, BuildRePair(slp, std::string(1000, 'a')));
+  EXPECT_FALSE(session.PlanFor(**query, compressed).from_cache);
+  EXPECT_EQ(session.plan_cache_misses(), 2u);
+  EXPECT_EQ(session.plan_cache_size(), 2u);
+}
+
+TEST(SessionTest, ForcedPlansBypassTheCache) {
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+  session.set_force_plan(PlanKind::kNaiveDfs);
+  const Plan plan = session.PlanFor(**query, Document::FromText("aaa"));
+  EXPECT_EQ(plan.kind, PlanKind::kNaiveDfs);
+  EXPECT_EQ(plan.rule, "forced");
+  EXPECT_EQ(session.plan_cache_size(), 0u);
+}
+
+TEST(SessionTest, ForcePlanFromEnvironment) {
+  ASSERT_EQ(setenv("SPANNERS_PLAN", "slp-matrix", 1), 0);
+  Session from_env;
+  EXPECT_EQ(from_env.force_plan(), PlanKind::kSlpMatrix);
+  unsetenv("SPANNERS_PLAN");
+  Session plain;
+  EXPECT_EQ(plain.force_plan(), std::nullopt);
+}
+
+TEST(SessionTest, EvaluateBatchMatchesSequential) {
+  EngineOptions options;
+  options.threads = 4;
+  Session session(options);
+  Expected<const CompiledQuery*> query = session.Compile("(a|b)*{x: ab+}(a|b)*");
+  ASSERT_TRUE(query.ok());
+
+  Slp slp;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 12; ++i) {
+    texts.push_back("ab" + std::string(i, 'b') + "a" + std::string(i % 3, 'a'));
+  }
+  std::vector<Document> documents;
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    // Mix representations within one batch.
+    documents.push_back(i % 2 == 0
+                            ? Document::FromView(texts[i])
+                            : Document::FromSlp(&slp, BuildBalanced(slp, texts[i])));
+  }
+
+  std::vector<Expected<SpanRelation>> batch = session.EvaluateBatch(**query, documents);
+  ASSERT_EQ(batch.size(), documents.size());
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    Expected<SpanRelation> one = session.Evaluate(**query, documents[i]);
+    ASSERT_TRUE(batch[i].ok() && one.ok());
+    EXPECT_EQ(*batch[i], *one) << "document " << i;
+  }
+}
+
+TEST(SessionTest, ExplainPlanShowsDecisionAndFeatures) {
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+  const std::string report =
+      session.ExplainPlan(**query, Document::FromText(std::string(100, 'a')));
+  EXPECT_NE(report.find("plan: edva"), std::string::npos) << report;
+  EXPECT_NE(report.find("rule: plain-default-edva"), std::string::npos) << report;
+  EXPECT_NE(report.find("source=pattern"), std::string::npos) << report;
+  EXPECT_NE(report.find("document: plain length=100"), std::string::npos) << report;
+  EXPECT_NE(report.find("prepared:"), std::string::npos) << report;
+}
+
+// --- the Document abstraction ----------------------------------------------
+
+TEST(DocumentTest, PlainAndCompressedProfiles) {
+  const Document plain = Document::FromText("abcabcabc");
+  EXPECT_FALSE(plain.compressed());
+  EXPECT_EQ(plain.length(), 9u);
+  EXPECT_EQ(plain.Profile().compression_ratio, 1.0);
+
+  Slp slp;
+  const std::string text(256, 'a');
+  const Document doc = Document::FromSlp(&slp, BuildRePair(slp, text));
+  EXPECT_TRUE(doc.compressed());
+  EXPECT_EQ(doc.length(), text.size());
+  EXPECT_GT(doc.Profile().compression_ratio, kMinSlpRatio);
+  EXPECT_EQ(doc.Text(), text);  // materialised lazily, cached
+  EXPECT_EQ(doc.Text().data(), doc.Text().data());
+}
+
+TEST(DocumentTest, EmptyCompressedDocument) {
+  Slp slp;
+  const Document doc = Document::FromSlp(&slp, kNoNode);
+  EXPECT_TRUE(doc.compressed());
+  EXPECT_EQ(doc.length(), 0u);
+  EXPECT_EQ(doc.Text(), "");
+}
+
+TEST(DocumentTest, CopiesShareMaterialisedText) {
+  Slp slp;
+  const Document doc = Document::FromSlp(&slp, BuildBalanced(slp, "abcdabcd"));
+  const Document copy = doc;
+  EXPECT_EQ(doc.Text().data(), copy.Text().data());
+}
+
+}  // namespace
+}  // namespace spanners

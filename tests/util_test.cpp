@@ -1,16 +1,60 @@
-// Tests for the utility substrate: bit-packed Boolean matrices, prefix
-// hashing, and the deterministic workload generators.
+// Tests for the utility substrate: the Status/Expected error-reporting
+// convention, bit-packed Boolean matrices, prefix hashing, and the
+// deterministic workload generators.
 #include <cstdint>
 #include <utility>
 
 #include <gtest/gtest.h>
 
 #include "util/bool_matrix.hpp"
+#include "util/common.hpp"
 #include "util/random.hpp"
 #include "util/string_hash.hpp"
 
 namespace spanners {
 namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status status = Status::Error("bad input at offset 3");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "bad input at offset 3");
+}
+
+TEST(Expected, ValueRoundTrip) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(Expected, ErrorRoundTrip) {
+  Expected<int> e = Unexpected("no such document");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), "no such document");
+  EXPECT_EQ(e.status().message(), "no such document");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValues) {
+  Expected<std::unique_ptr<int>> e = std::make_unique<int>(7);
+  ASSERT_TRUE(e.ok());
+  std::unique_ptr<int> owned = std::move(e).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e = std::string("spanner");
+  EXPECT_EQ(e->size(), 7u);
+}
 
 TEST(BoolMatrix, IdentityAndProduct) {
   const BoolMatrix id = BoolMatrix::Identity(5);
