@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Runs the SLP evaluation benchmarks (experiments E7, E8, E10 in
 # EXPERIMENTS.md) plus the unified-engine plan ablation (BM_Engine_*) with
-# --benchmark_format=json and aggregates the reports into a single
-# BENCH_PR2.json at the repo root, stamped with the git revision, the
-# machine's core count, and the thread knob in effect.
+# --benchmark_format=json and aggregates the reports into a single JSON at
+# the repo root, stamped with the git revision, the machine's core count,
+# the thread knob in effect, and a metrics snapshot from an instrumented
+# engine run (SPANNERS_TRACE=counters quickstart --stats; DESIGN.md §1.9).
 #
-# Usage: bench/run_benches.sh [build-dir] [output-json]
-#   SPANNERS_THREADS=8 bench/run_benches.sh build BENCH_PR2.json
+# Usage: bench/run_benches.sh [output-json] [build-dir]
+#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR3.json build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-out_file="${2:-$repo_root/BENCH_PR2.json}"
+out_file="${1:-$repo_root/BENCH_PR3.json}"
+build_dir="${2:-$repo_root/build}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
@@ -38,8 +39,20 @@ for i in "${!benches[@]}"; do
          > "$tmp_dir/${benches[$i]}.json"
 done
 
+# A metrics snapshot of a real engine run: quickstart exercises compile,
+# plan, evaluate, and enumeration, and --stats prints every registered
+# metric in the stable one-line-per-metric format parsed below.
+quickstart="$build_dir/examples/example_quickstart"
+if [[ -x "$quickstart" ]]; then
+  SPANNERS_TRACE=counters "$quickstart" --stats > "$tmp_dir/quickstart_stats.txt" \
+    || echo "warning: quickstart --stats failed; snapshot will be empty" >&2
+else
+  echo "warning: $quickstart not built; metrics snapshot will be empty" >&2
+  : > "$tmp_dir/quickstart_stats.txt"
+fi
+
 GIT_SHA="$git_sha" python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
-import json, os, sys
+import json, os, re, sys
 
 out_file, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
 merged = {"experiments": {}, "context": None}
@@ -50,12 +63,31 @@ for name in names:
         merged["context"] = report.get("context", {})
     merged["experiments"][name] = report.get("benchmarks", [])
 
+# Parse the --stats report: "counter <name> <n>", "gauge <name> <n>",
+# "histogram <name> count=... sum=... mean=... p50=... p95=... p99=... max=...".
+snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+with open(os.path.join(tmp_dir, "quickstart_stats.txt")) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) >= 3 and parts[0] == "counter":
+            snapshot["counters"][parts[1]] = int(parts[2])
+        elif len(parts) >= 3 and parts[0] == "gauge":
+            snapshot["gauges"][parts[1]] = int(parts[2])
+        elif len(parts) >= 3 and parts[0] == "histogram":
+            fields = dict(kv.split("=", 1) for kv in parts[2:] if "=" in kv)
+            snapshot["histograms"][parts[1]] = {
+                k: float(v) if re.search(r"[.eE]", v) else int(v)
+                for k, v in fields.items()
+            }
+merged["metrics_snapshot"] = snapshot
+
 nproc = os.cpu_count()
 threads_knob = os.environ.get("SPANNERS_THREADS", "")
 merged["env"] = {
     "git_sha": os.environ.get("GIT_SHA", "unknown"),
     "SPANNERS_THREADS": threads_knob,
     "SPANNERS_MM_KERNEL": os.environ.get("SPANNERS_MM_KERNEL", ""),
+    "SPANNERS_TRACE": os.environ.get("SPANNERS_TRACE", ""),
     # The thread count the pool actually uses: the knob when set, else nproc.
     "effective_threads": int(threads_knob) if threads_knob.isdigit() else nproc,
     "nproc": nproc,
@@ -63,5 +95,6 @@ merged["env"] = {
 with open(out_file, "w") as f:
     json.dump(merged, f, indent=1)
 print(f"wrote {out_file}: "
-      + ", ".join(f"{k}={len(v)} series" for k, v in merged["experiments"].items()))
+      + ", ".join(f"{k}={len(v)} series" for k, v in merged["experiments"].items())
+      + f", metrics_snapshot={len(snapshot['counters'])} counters")
 PY

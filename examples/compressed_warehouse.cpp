@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "engine/session.hpp"
+#include "example_util.hpp"
 #include "slp/avl_grammar.hpp"
 #include "slp/balance.hpp"
 #include "slp/cde.hpp"
@@ -21,6 +22,7 @@
 using namespace spanners;
 
 int main(int argc, char** argv) {
+  const ExampleFlags flags = ParseExampleFlags(argc, argv);
   Rng rng(7);
   DocumentDatabase warehouse;
   Slp& slp = warehouse.slp();
@@ -71,8 +73,7 @@ int main(int argc, char** argv) {
   // Complex document editing: splice a factor of D3 into D1 and append D2
   // (or apply the expression from argv). Parse and validation errors are
   // caller data: reported, not fatal.
-  const char* edit = argc > 1 ? argv[1]
-                              : "concat(insert(D1, extract(D3, 101, 180), 50), D2)";
+  const char* edit = flags.Arg(1, "concat(insert(D1, extract(D3, 101, 180), 50), D2)");
   const std::size_t before_nodes = slp.num_nodes();
   Expected<std::size_t> new_doc = ApplyCdeChecked(&warehouse, edit);
   if (!new_doc.ok()) {
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
   std::cout << "edited document matches: " << edited->size() << "; incremental work: "
             << (*query)->prepared().slp_cached_nodes - cached_before
             << " new matrices\n";
+  if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -1,0 +1,52 @@
+// Shared command-line handling for the examples (DESIGN.md §1.9): every
+// example accepts --stats (print the metrics snapshot and, when
+// SPANNERS_TRACE=spans, the aggregated span report at exit); quickstart
+// additionally accepts --explain. Flags are stripped before positional
+// arguments are read, so `example_quickstart '{x: a*}b' aab --stats` works.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace spanners {
+
+struct ExampleFlags {
+  bool stats = false;
+  bool explain = false;
+  std::vector<char*> positional;  ///< argv[0] plus non-flag arguments
+
+  /// Positional argument \p i (0 = program name), or \p fallback.
+  const char* Arg(std::size_t i, const char* fallback) const {
+    return i < positional.size() ? positional[i] : fallback;
+  }
+};
+
+inline ExampleFlags ParseExampleFlags(int argc, char** argv) {
+  ExampleFlags flags;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--stats") == 0) {
+      flags.stats = true;
+    } else if (i > 0 && std::strcmp(argv[i], "--explain") == 0) {
+      flags.explain = true;
+    } else {
+      flags.positional.push_back(argv[i]);
+    }
+  }
+  return flags;
+}
+
+/// The --stats report: every registered metric, then the span aggregate when
+/// spans were captured.
+inline void PrintExampleStats() {
+  std::cout << "\n--- metrics (SPANNERS_TRACE=" << TraceLevelName(trace_level())
+            << ") ---\n"
+            << MetricsRegistry::Global().Snapshot().ToString();
+  const std::string spans = Tracer::Global().TextReport();
+  if (!spans.empty()) std::cout << "--- spans ---\n" << spans;
+}
+
+}  // namespace spanners

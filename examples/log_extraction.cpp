@@ -12,21 +12,22 @@
 #include <map>
 
 #include "engine/session.hpp"
+#include "example_util.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
 
 int main(int argc, char** argv) {
+  const ExampleFlags flags = ParseExampleFlags(argc, argv);
   Rng rng(2024);
   const std::string log = SyntheticLog(rng, 400);
 
   // View 1: who requested what. The pattern is anchored per line.
   const char* requests_pattern =
-      argc > 1 ? argv[1] : "(.|\\n)*user-{user: \\d+} GET /{path: [a-z0-9/.]+} (.|\\n)*";
+      flags.Arg(1, "(.|\\n)*user-{user: \\d+} GET /{path: [a-z0-9/.]+} (.|\\n)*");
   // View 2: result of the request on the same line (status right of path).
   const char* results_pattern =
-      argc > 2 ? argv[2]
-               : "(.|\\n)*GET /{path: [a-z0-9/.]+} status={status: \\d+} size(.|\\n)*";
+      flags.Arg(2, "(.|\\n)*GET /{path: [a-z0-9/.]+} status={status: \\d+} size(.|\\n)*");
 
   Expected<SpannerExprPtr> requests = SpannerExpr::ParseChecked(requests_pattern);
   if (!requests.ok()) {
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
     if (++shown > 5) break;
     std::cout << "  user-" << user << ": " << failures << " failures\n";
   }
+  if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/word_equations.hpp"
 #include "engine/session.hpp"
+#include "example_util.hpp"
 #include "refl/refl_decision.hpp"
 #include "refl/refl_to_core.hpp"
 #include "util/random.hpp"
@@ -18,6 +19,7 @@
 using namespace spanners;
 
 int main(int argc, char** argv) {
+  const ExampleFlags flags = ParseExampleFlags(argc, argv);
   // A document with a duplicated passage.
   Rng rng(99);
   std::string document = RandomString(rng, "abcdefg ", 60);
@@ -28,8 +30,7 @@ int main(int argc, char** argv) {
 
   // x ... &x : a factor of length >= 8 that occurs again later.
   const char* pattern =
-      argc > 1 ? argv[1]
-               : ".*{x: [a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ]+}.*&x;.*";
+      flags.Arg(1, ".*{x: [a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ][a-z ]+}.*&x;.*");
   Session session;
   Expected<const CompiledQuery*> duplicates = session.Compile(pattern);
   if (!duplicates.ok()) {
@@ -79,5 +80,6 @@ int main(int argc, char** argv) {
               << ", cyclic-shift = "
               << (CyclicShiftsViaSpanner(pair[0], pair[1]) ? "yes" : "no") << "\n";
   }
+  if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -3,12 +3,15 @@
 //
 //   1. compile a spanner regex (Example 1.1 of the paper) -- checked, so a
 //      bad pattern prints a diagnostic instead of crashing,
-//   2. evaluate it on a document; ExplainPlan shows the planner's choice,
+//   2. evaluate it on a document (pass --explain to see the planner's
+//      choice, including the candidate plans it rejected and why),
 //   3. combine spanners with the algebra (∪, ⋈, π, ς=),
 //   4. ask static-analysis questions.
 //
 // Optionally pass your own pattern and document:
 //   ./build/examples/example_quickstart '{x: a*}b' 'aab'
+// Pass --stats to print the engine metrics snapshot at exit
+// (SPANNERS_TRACE=spans adds the aggregated span report).
 //
 // Build: cmake --build build && ./build/examples/example_quickstart
 #include <iostream>
@@ -17,16 +20,18 @@
 #include "core/core_simplification.hpp"
 #include "core/decision.hpp"
 #include "engine/session.hpp"
+#include "example_util.hpp"
 
 using namespace spanners;
 
 int main(int argc, char** argv) {
+  const ExampleFlags flags = ParseExampleFlags(argc, argv);
   Session session;
 
   // --- 1. A primitive (regular) spanner -----------------------------------
   // Example 1.1: x spans a prefix, y one occurrence of 'b', z the rest.
-  const std::string pattern = argc > 1 ? argv[1] : "{x: (a|b)*}{y: b}{z: (a|b)*}";
-  const std::string text = argc > 2 ? argv[2] : "ababbab";
+  const std::string pattern = flags.Arg(1, "{x: (a|b)*}{y: b}{z: (a|b)*}");
+  const std::string text = flags.Arg(2, "ababbab");
 
   Expected<const CompiledQuery*> query = session.Compile(pattern);
   if (!query.ok()) {
@@ -42,7 +47,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "S(" << text << "):\n"
             << RelationToString(*relation, (*query)->variables().names()) << "\n";
-  std::cout << session.ExplainPlan(**query, document) << "\n";
+  if (flags.explain) {
+    std::cout << session.ExplainPlan(**query, document) << "\n";
+  }
 
   // --- 2. The spanner algebra --------------------------------------------
   // All factor pairs (x, y) where both cover the same string: a core
@@ -80,5 +87,6 @@ int main(int argc, char** argv) {
   RegularSpanner example = RegularSpanner::Compile("{x: (a|b)*}{y: b}{z: (a|b)*}");
   std::cout << "example spanner is hierarchical: "
             << (RegularHierarchicality(example) ? "yes" : "no") << "\n";
+  if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -13,11 +13,13 @@
 #include <iostream>
 
 #include "datalog/program.hpp"
+#include "example_util.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
 
 int main(int argc, char** argv) {
+  const ExampleFlags flags = ParseExampleFlags(argc, argv);
   // handover lines: "from-U to-V\n" with small user ids.
   Rng rng(5);
   std::string log;
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   DatalogProgram program;
   // Extraction: one fact per line, (sender, receiver) as spans.
   const char* hand_pattern =
-      argc > 1 ? argv[1] : "(.|\\n)*from-{s: \\d+} to-{r: \\d+}\\n(.|\\n)*";
+      flags.Arg(1, "(.|\\n)*from-{s: \\d+} to-{r: \\d+}\\n(.|\\n)*");
   if (Status added = program.AddExtractionChecked("Hand", hand_pattern); !added.ok()) {
     std::cerr << "bad extraction pattern \"" << hand_pattern << "\": " << added.message()
               << "\n";
@@ -62,5 +64,6 @@ int main(int argc, char** argv) {
   std::cout << "reachable from user-0:";
   for (const std::string& user : from_zero) std::cout << " " << user;
   std::cout << "\n";
+  if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -3,12 +3,42 @@
 #include <unordered_map>
 
 #include "util/common.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
+namespace {
+
+/// The constant-delay claim (paper §2.5) as runtime metrics: preprocessing
+/// must scale linearly with |D| (enum.prep_ns vs enum.prep_bytes), while the
+/// per-tuple delay histogram -- in enumeration *steps*, so the profile is
+/// machine-independent -- must stay flat as |D| grows.
+struct EnumMetrics {
+  Histogram& prep_ns;
+  Counter& prep_bytes;
+  Counter& tuples;
+  Histogram& delay_steps;
+
+  static EnumMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static EnumMetrics* metrics = new EnumMetrics{
+        registry.GetHistogram("enum.prep_ns"),
+        registry.GetCounter("enum.prep_bytes"),
+        registry.GetCounter("enum.tuples"),
+        registry.GetHistogram("enum.delay_steps"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Enumerator::Enumerator(const ExtendedVA* edva, std::string_view document)
     : edva_(edva), document_(document) {
   Require(edva_ != nullptr, "Enumerator: null automaton");
+  ScopedSpan span("enum.preprocess");
+  ScopedLatency prep_latency(EnumMetrics::Get().prep_ns);
+  if (MetricsEnabled()) EnumMetrics::Get().prep_bytes.Add(document.size());
   num_states_ = edva_->num_states();
   num_positions_ = document.size() + 1;  // letters 0..n-1 plus the End letter
 
@@ -160,6 +190,12 @@ std::optional<SpanTuple> Enumerator::Next() {
       if (t.letter.markers != 0) path_events_.push_back({frame.position, t.letter.markers});
       SpanTuple tuple = BuildTuple();
       if (t.letter.markers != 0) path_events_.pop_back();
+      // The delay profiler: one histogram sample per emitted tuple, in
+      // steps, so constant delay shows up as a flat p99 across |D|.
+      if (MetricsEnabled()) {
+        EnumMetrics::Get().tuples.Increment();
+        EnumMetrics::Get().delay_steps.Record(last_delay_steps_);
+      }
       return tuple;
     }
     const std::size_t events_before_edge = path_events_.size();

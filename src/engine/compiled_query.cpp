@@ -2,6 +2,8 @@
 
 #include "core/compile_algebra.hpp"
 #include "core/regex_parser.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
 namespace {
@@ -11,6 +13,26 @@ std::size_t CountSelections(const SpannerExprPtr& expr) {
   for (const SpannerExprPtr& child : expr->children()) count += CountSelections(child);
   return count;
 }
+
+/// Handles resolved once; recording is gated per call site (DESIGN.md §1.9).
+struct QueryMetrics {
+  Histogram& prepare_regular_ns;
+  Histogram& prepare_refl_ns;
+  Histogram& prepare_normal_form_ns;
+  Histogram& edva_states;
+  Histogram& refl_nfa_states;
+
+  static QueryMetrics& Get() {
+    static QueryMetrics* metrics = new QueryMetrics{
+        MetricsRegistry::Global().GetHistogram("query.prepare.regular_ns"),
+        MetricsRegistry::Global().GetHistogram("query.prepare.refl_ns"),
+        MetricsRegistry::Global().GetHistogram("query.prepare.normal_form_ns"),
+        MetricsRegistry::Global().GetHistogram("query.edva_states"),
+        MetricsRegistry::Global().GetHistogram("query.refl_nfa_states"),
+    };
+    return *metrics;
+  }
+};
 
 }  // namespace
 
@@ -56,8 +78,15 @@ const RegularSpanner& CompiledQuery::regular() const {
           "CompiledQuery::regular: query has selections (use normal_form())");
   std::lock_guard<std::mutex> lock(prep_mutex_);
   if (!regular_.has_value()) {
+    ScopedSpan span("query.prepare.regular");
+    const uint64_t start = NowNanos();
     regular_ = features_.from_expression ? CompileRegular(expr_)
                                          : RegularSpanner::FromRegex(*regex_);
+    regular_prep_ns_ = NowNanos() - start;
+    if (MetricsEnabled()) {
+      QueryMetrics::Get().prepare_regular_ns.Record(regular_prep_ns_);
+      QueryMetrics::Get().edva_states.Record(regular_->edva().num_states());
+    }
   }
   return *regular_;
 }
@@ -66,7 +95,16 @@ const ReflSpanner& CompiledQuery::refl() const {
   Require(!features_.from_expression,
           "CompiledQuery::refl: expression queries have no refl form");
   std::lock_guard<std::mutex> lock(prep_mutex_);
-  if (!refl_.has_value()) refl_ = ReflSpanner::FromRegex(*regex_);
+  if (!refl_.has_value()) {
+    ScopedSpan span("query.prepare.refl");
+    const uint64_t start = NowNanos();
+    refl_ = ReflSpanner::FromRegex(*regex_);
+    refl_prep_ns_ = NowNanos() - start;
+    if (MetricsEnabled()) {
+      QueryMetrics::Get().prepare_refl_ns.Record(refl_prep_ns_);
+      QueryMetrics::Get().refl_nfa_states.Record(refl_->nfa().num_states());
+    }
+  }
   return *refl_;
 }
 
@@ -74,7 +112,16 @@ const CoreNormalForm& CompiledQuery::normal_form() const {
   Require(features_.from_expression && features_.num_selections > 0,
           "CompiledQuery::normal_form: only expression queries with selections");
   std::lock_guard<std::mutex> lock(prep_mutex_);
-  if (!normal_.has_value()) normal_ = SimplifyCore(expr_);
+  if (!normal_.has_value()) {
+    ScopedSpan span("query.prepare.normal_form");
+    const uint64_t start = NowNanos();
+    normal_ = SimplifyCore(expr_);
+    normal_prep_ns_ = NowNanos() - start;
+    if (MetricsEnabled()) {
+      QueryMetrics::Get().prepare_normal_form_ns.Record(normal_prep_ns_);
+      QueryMetrics::Get().edva_states.Record(normal_->automaton.edva().num_states());
+    }
+  }
   return *normal_;
 }
 
@@ -97,6 +144,12 @@ CompiledQuery::PreparedState CompiledQuery::prepared() const {
     state.regular = regular_.has_value();
     state.refl = refl_.has_value();
     state.normal_form = normal_.has_value();
+    state.regular_prep_ns = regular_prep_ns_;
+    state.refl_prep_ns = refl_prep_ns_;
+    state.normal_form_prep_ns = normal_prep_ns_;
+    if (state.regular) state.edva_states = regular_->edva().num_states();
+    if (state.normal_form) state.edva_states = normal_->automaton.edva().num_states();
+    if (state.refl) state.refl_nfa_states = refl_->nfa().num_states();
   }
   std::lock_guard<std::mutex> lock(slp_mutex_);
   if (slp_eval_ != nullptr) state.slp_cached_nodes = slp_eval_->cache_size();

@@ -84,12 +84,20 @@ class CompiledQuery {
   /// cache is shared across calls and documents of one arena.
   SpanRelation EvaluateSlpAutomaton(const Slp& slp, NodeId root) const;
 
-  /// What has been prepared so far (ExplainPlan observability).
+  /// What has been prepared so far (ExplainPlan observability), including
+  /// the observed preparation cost per representation: *_ns is the wall time
+  /// the lazy build took (0 while unprepared), and the automaton sizes show
+  /// what the one-off determinisation paid for.
   struct PreparedState {
     bool regular = false;
     bool refl = false;
     bool normal_form = false;
     std::size_t slp_cached_nodes = 0;
+    uint64_t regular_prep_ns = 0;      ///< vset-automaton + eDVA build time
+    uint64_t refl_prep_ns = 0;         ///< refl NFA build time
+    uint64_t normal_form_prep_ns = 0;  ///< core-simplification time
+    std::size_t edva_states = 0;       ///< backing eDVA size (0 while unprepared)
+    std::size_t refl_nfa_states = 0;   ///< refl NFA size (0 while unprepared)
   };
   PreparedState prepared() const;
 
@@ -105,6 +113,9 @@ class CompiledQuery {
   mutable std::optional<RegularSpanner> regular_;
   mutable std::optional<ReflSpanner> refl_;
   mutable std::optional<CoreNormalForm> normal_;
+  mutable uint64_t regular_prep_ns_ = 0;  ///< observed lazy-build wall times
+  mutable uint64_t refl_prep_ns_ = 0;
+  mutable uint64_t normal_prep_ns_ = 0;
   mutable std::unique_ptr<SlpSpannerEvaluator> slp_eval_;
   mutable std::mutex slp_mutex_;  ///< serialises the stateful SLP evaluator
 };

@@ -3,6 +3,69 @@
 #include <sstream>
 
 namespace spanners {
+namespace {
+
+/// Why each non-chosen stack was skipped, derived from the same predicates
+/// the rule list tests. \p chosen is the winner; every other stack gets an
+/// entry.
+std::vector<RejectedCandidate> RejectOthers(PlanKind chosen, const QueryFeatures& query,
+                                            const DocumentProfile& document) {
+  std::vector<RejectedCandidate> rejected;
+  auto reject = [&](PlanKind kind, std::string reason) {
+    if (kind != chosen) rejected.push_back({kind, std::move(reason)});
+  };
+
+  if (query.has_references) {
+    const std::string reason = "query has references; only refl supports them";
+    reject(PlanKind::kNaiveDfs, reason);
+    reject(PlanKind::kEdva, reason);
+    reject(PlanKind::kSlpMatrix, reason);
+    return rejected;
+  }
+
+  reject(PlanKind::kRefl, query.from_expression
+                              ? "algebra expressions have no refl form"
+                              : "query has no references; refl gains nothing");
+
+  if (document.kind == DocumentKind::kCompressed) {
+    std::ostringstream ratio;
+    ratio << document.compression_ratio;
+    if (document.compression_ratio >= kMinSlpRatio) {
+      const std::string reason = "compression ratio " + ratio.str() +
+                                 " >= " + std::to_string(static_cast<int>(kMinSlpRatio)) +
+                                 " favours evaluating without decompressing";
+      reject(PlanKind::kEdva, reason);
+      reject(PlanKind::kNaiveDfs, reason);
+    } else {
+      const std::string reason = "compression ratio " + ratio.str() + " < " +
+                                 std::to_string(static_cast<int>(kMinSlpRatio)) +
+                                 "; materialise-and-enumerate is cheaper";
+      reject(PlanKind::kSlpMatrix, reason);
+      reject(PlanKind::kNaiveDfs, "materialised document is not tiny");
+    }
+    return rejected;
+  }
+
+  reject(PlanKind::kSlpMatrix, "document is plain; matrix path would first compress it");
+  if (document.length <= kTinyDocumentLength && query.num_selections == 0 &&
+      !query.from_expression) {
+    reject(PlanKind::kEdva, "document length " + std::to_string(document.length) +
+                                " <= " + std::to_string(kTinyDocumentLength) +
+                                "; one-shot DFS beats paying for determinisation");
+  } else if (query.from_expression) {
+    reject(PlanKind::kNaiveDfs, "expression query; naive path would materialise "
+                                "the full algebra semantics");
+  } else if (query.num_selections > 0) {
+    reject(PlanKind::kNaiveDfs, "query has selections");
+  } else {
+    reject(PlanKind::kNaiveDfs, "document length " + std::to_string(document.length) +
+                                    " > tiny threshold " +
+                                    std::to_string(kTinyDocumentLength));
+  }
+  return rejected;
+}
+
+}  // namespace
 
 std::string_view PlanKindName(PlanKind kind) {
   switch (kind) {
@@ -23,18 +86,23 @@ std::optional<PlanKind> PlanKindFromName(std::string_view name) {
 }
 
 Plan ChoosePlan(const QueryFeatures& query, const DocumentProfile& document) {
-  if (query.has_references) return {PlanKind::kRefl, "references-need-refl"};
-  if (document.kind == DocumentKind::kCompressed) {
+  Plan plan;
+  if (query.has_references) {
+    plan = {PlanKind::kRefl, "references-need-refl"};
+  } else if (document.kind == DocumentKind::kCompressed) {
     if (document.compression_ratio >= kMinSlpRatio) {
-      return {PlanKind::kSlpMatrix, "compressed-slp"};
+      plan = {PlanKind::kSlpMatrix, "compressed-slp"};
+    } else {
+      plan = {PlanKind::kEdva, "compressed-low-ratio-materialize"};
     }
-    return {PlanKind::kEdva, "compressed-low-ratio-materialize"};
+  } else if (document.length <= kTinyDocumentLength && query.num_selections == 0 &&
+             !query.from_expression) {
+    plan = {PlanKind::kNaiveDfs, "tiny-document-naive"};
+  } else {
+    plan = {PlanKind::kEdva, "plain-default-edva"};
   }
-  if (document.length <= kTinyDocumentLength && query.num_selections == 0 &&
-      !query.from_expression) {
-    return {PlanKind::kNaiveDfs, "tiny-document-naive"};
-  }
-  return {PlanKind::kEdva, "plain-default-edva"};
+  plan.rejected = RejectOthers(plan.kind, query, document);
+  return plan;
 }
 
 std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,
@@ -42,6 +110,18 @@ std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,
   std::ostringstream os;
   os << "plan: " << PlanKindName(plan.kind) << " (rule: " << plan.rule << ") "
      << (plan.from_cache ? "[cached]" : "[fresh]") << "\n";
+  os << "rejected:";
+  if (plan.rejected.empty()) {
+    os << " none";
+  } else {
+    bool first = true;
+    for (const RejectedCandidate& candidate : plan.rejected) {
+      os << (first ? " " : "; ") << PlanKindName(candidate.kind) << " ("
+         << candidate.reason << ")";
+      first = false;
+    }
+  }
+  os << "\n";
   os << "query: source=" << (query.from_expression ? "expr" : "pattern")
      << " vars=" << query.num_variables << " ast=" << query.ast_size
      << " refs=" << (query.has_references ? "y" : "n")

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "engine/document.hpp"
 
@@ -49,11 +50,19 @@ struct QueryFeatures {
   std::size_t num_selections = 0; ///< string-equality selections (expressions)
 };
 
+/// A candidate stack the planner considered but did not choose, with the
+/// reason it was skipped (ExplainPlan observability).
+struct RejectedCandidate {
+  PlanKind kind = PlanKind::kEdva;
+  std::string reason;  ///< why this stack lost, e.g. "document is plain"
+};
+
 /// A planning decision plus the provenance ExplainPlan reports.
 struct Plan {
   PlanKind kind = PlanKind::kEdva;
   std::string rule;         ///< id of the rule that fired, e.g. "compressed-slp"
   bool from_cache = false;  ///< filled in by the session's plan cache
+  std::vector<RejectedCandidate> rejected;  ///< the stacks not chosen, with reasons
 };
 
 /// Document length at or below which a one-shot naive DFS beats paying for
@@ -75,11 +84,16 @@ inline constexpr double kMinSlpRatio = 2.0;
 ///   4. plain, tiny document, capture-free-or-small query, no selections
 ///                        -> kNaiveDfs   (skip eDVA preprocessing)
 ///   5. otherwise         -> kEdva
+/// The returned Plan also lists every stack that was *not* chosen together
+/// with the reason it was skipped (Plan::rejected), so ExplainPlan can show
+/// the full decision, not just the winner.
 Plan ChoosePlan(const QueryFeatures& query, const DocumentProfile& document);
 
-/// Multi-line human-readable report: chosen plan, the rule that fired, and
-/// the feature vectors it saw. Format (stable, documented in DESIGN.md):
+/// Multi-line human-readable report: chosen plan, the rule that fired, the
+/// rejected candidates, and the feature vectors it saw. Format (stable,
+/// documented in DESIGN.md):
 ///   plan: <kind> (rule: <rule>) [cached|fresh]
+///   rejected: <kind> (<reason>); ... | rejected: none
 ///   query: source=<pattern|expr> vars=<k> ast=<n> refs=<y|n> selections=<k>
 ///   document: <plain|compressed> length=<n> slp-nodes=<n> ratio=<r>
 std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,

@@ -1,9 +1,59 @@
 #include "engine/session.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 
 namespace spanners {
+namespace {
+
+/// Handles resolved once at first use; every recording below is gated on
+/// MetricsEnabled() (one branch when SPANNERS_TRACE=off).
+struct SessionMetrics {
+  Counter& queries_compiled;
+  Counter& interning_hits;
+  Counter& compile_errors;
+  Counter& evaluations;
+  Counter& eval_errors;
+  Counter& plan_cache_hits;
+  Counter& plan_cache_misses;
+  Counter& batches;
+  Histogram& batch_documents;
+  Histogram& eval_ns;
+
+  static SessionMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static SessionMetrics* metrics = new SessionMetrics{
+        registry.GetCounter("engine.queries.compiled"),
+        registry.GetCounter("engine.queries.interning_hits"),
+        registry.GetCounter("engine.queries.compile_errors"),
+        registry.GetCounter("engine.evaluations"),
+        registry.GetCounter("engine.eval_errors"),
+        registry.GetCounter("engine.plan_cache.hits"),
+        registry.GetCounter("engine.plan_cache.misses"),
+        registry.GetCounter("engine.batches"),
+        registry.GetHistogram("engine.batch.documents"),
+        registry.GetHistogram("engine.eval_ns"),
+    };
+    return *metrics;
+  }
+};
+
+/// One counter per planner rule; the rule set is small and fixed, and rule
+/// attribution happens only on plan-cache misses (cold path), so a registry
+/// lookup per miss is fine.
+void CountRuleFired(const std::string& rule) {
+  MetricsRegistry::Global().GetCounter("engine.plan.rule." + rule).Increment();
+}
+
+std::string FormatNanos(uint64_t ns) {
+  if (ns == 0) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3fms", static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+}  // namespace
 
 Session::Session(EngineOptions options) : options_(std::move(options)) {
   if (!options_.force_plan.has_value()) {
@@ -19,20 +69,36 @@ Expected<const CompiledQuery*> Session::Compile(std::string_view pattern) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = queries_.find(key);
-    if (it != queries_.end()) return it->second.get();
+    if (it != queries_.end()) {
+      if (MetricsEnabled()) SessionMetrics::Get().interning_hits.Increment();
+      return it->second.get();
+    }
   }
+  ScopedSpan span("session.compile");
   // Parse outside the lock; a racing duplicate insert keeps the first entry.
   Expected<std::unique_ptr<CompiledQuery>> compiled = CompiledQuery::FromPattern(key);
-  if (!compiled.ok()) return compiled.status();
+  if (!compiled.ok()) {
+    if (MetricsEnabled()) SessionMetrics::Get().compile_errors.Increment();
+    return compiled.status();
+  }
+  if (MetricsEnabled()) SessionMetrics::Get().queries_compiled.Increment();
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = queries_.emplace(std::move(key), std::move(compiled).value());
   return it->second.get();
 }
 
 const CompiledQuery* Session::CompileExpr(const SpannerExprPtr& expr) {
+  ScopedSpan span("session.compile");
   std::unique_ptr<CompiledQuery> compiled = CompiledQuery::FromExpr(expr);
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = queries_.emplace(compiled->key(), std::move(compiled));
+  if (MetricsEnabled()) {
+    if (inserted) {
+      SessionMetrics::Get().queries_compiled.Increment();
+    } else {
+      SessionMetrics::Get().interning_hits.Increment();
+    }
+  }
   return it->second.get();
 }
 
@@ -49,22 +115,28 @@ uint32_t Session::RepresentationSignature(const DocumentProfile& profile) {
 }
 
 Plan Session::PlanFor(const CompiledQuery& query, const Document& document) {
+  ScopedSpan span("session.plan");
   const DocumentProfile profile = document.Profile();
   const auto key = std::make_pair(&query, RepresentationSignature(profile));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (options_.force_plan.has_value()) {
-      return {*options_.force_plan, "forced", false};
+      return {*options_.force_plan, "forced", false, {}};
     }
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++plan_hits_;
+      if (MetricsEnabled()) SessionMetrics::Get().plan_cache_hits.Increment();
       Plan plan = it->second;
       plan.from_cache = true;
       return plan;
     }
   }
   Plan plan = ChoosePlan(query.features(), profile);
+  if (MetricsEnabled()) {
+    SessionMetrics::Get().plan_cache_misses.Increment();
+    CountRuleFired(plan.rule);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++plan_misses_;
   plan_cache_.emplace(key, plan);
@@ -73,10 +145,17 @@ Plan Session::PlanFor(const CompiledQuery& query, const Document& document) {
 
 Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
                                          const Document& document) {
+  ScopedSpan span("session.evaluate");
+  ScopedLatency latency(SessionMetrics::Get().eval_ns);
   const Plan plan = PlanFor(query, document);
   const Evaluator& evaluator = EvaluatorFor(plan.kind);
   Status supported = evaluator.Supports(query, document);
-  if (!supported.ok()) return supported;
+  if (!supported.ok()) {
+    if (MetricsEnabled()) SessionMetrics::Get().eval_errors.Increment();
+    return supported;
+  }
+  if (MetricsEnabled()) SessionMetrics::Get().evaluations.Increment();
+  ScopedSpan eval_span("session.evaluate.run");
   return evaluator.Evaluate(query, document);
 }
 
@@ -89,6 +168,11 @@ Expected<SpanRelation> Session::Evaluate(std::string_view pattern,
 
 std::vector<Expected<SpanRelation>> Session::EvaluateBatch(
     const CompiledQuery& query, const std::vector<Document>& documents) {
+  ScopedSpan span("session.batch");
+  if (MetricsEnabled()) {
+    SessionMetrics::Get().batches.Increment();
+    SessionMetrics::Get().batch_documents.Record(documents.size());
+  }
   std::vector<Expected<SpanRelation>> results(documents.size(),
                                               Status::Error("not evaluated"));
   if (documents.empty()) return results;
@@ -119,6 +203,24 @@ std::string Session::ExplainPlan(const CompiledQuery& query, const Document& doc
   report += " normal-form=";
   report += state.normal_form ? "y" : "n";
   report += " slp-cached-nodes=" + std::to_string(state.slp_cached_nodes) + "\n";
+  report += "prep-timings: regular=" + FormatNanos(state.regular_prep_ns) +
+            " refl=" + FormatNanos(state.refl_prep_ns) +
+            " normal-form=" + FormatNanos(state.normal_form_prep_ns);
+  if (state.edva_states > 0) {
+    report += " edva-states=" + std::to_string(state.edva_states);
+  }
+  if (state.refl_nfa_states > 0) {
+    report += " refl-nfa-states=" + std::to_string(state.refl_nfa_states);
+  }
+  report += "\n";
+  const MetricsSnapshot snapshot = GetMetricsSnapshot();
+  if (auto it = snapshot.histograms.find("engine.eval_ns");
+      it != snapshot.histograms.end() && it->second.count > 0) {
+    report += "observed-eval: count=" + std::to_string(it->second.count) +
+              " p50=" + FormatNanos(it->second.p50()) +
+              " p99=" + FormatNanos(it->second.p99()) +
+              " max=" + FormatNanos(it->second.max) + "\n";
+  }
   return report;
 }
 
@@ -150,6 +252,14 @@ std::size_t Session::plan_cache_hits() const {
 std::size_t Session::plan_cache_misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return plan_misses_;
+}
+
+MetricsSnapshot Session::GetMetricsSnapshot() const {
+  return MetricsRegistry::Global().Snapshot();
+}
+
+Status Session::DumpTrace(const std::string& path) const {
+  return Tracer::Global().WriteChromeTrace(path);
 }
 
 }  // namespace spanners

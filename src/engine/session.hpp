@@ -35,7 +35,9 @@
 #include "engine/evaluator.hpp"
 #include "engine/planner.hpp"
 #include "util/common.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
 
@@ -92,6 +94,20 @@ class Session {
   std::size_t plan_cache_size() const;
   std::size_t plan_cache_hits() const;
   std::size_t plan_cache_misses() const;
+
+  // --- observability (DESIGN.md §1.9) --------------------------------------
+
+  /// A point-in-time read of the process-wide metrics registry (queries
+  /// served, plan-cache hits, enumeration-delay histograms, SLP
+  /// preprocessing cost, thread-pool utilisation, ...). Metric names and
+  /// the text-report format are documented in DESIGN.md §1.9.
+  MetricsSnapshot GetMetricsSnapshot() const;
+
+  /// Writes every span recorded so far (SPANNERS_TRACE=spans) to \p path in
+  /// the Chrome trace-event JSON format -- load it in chrome://tracing or
+  /// Perfetto to see the nested plan -> prepare -> evaluate timeline. I/O
+  /// errors are reported, never fatal.
+  Status DumpTrace(const std::string& path) const;
 
  private:
   /// Coarse representation signature for plan-cache keys: kind in bit 0,

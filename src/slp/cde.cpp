@@ -5,8 +5,32 @@
 
 #include "slp/avl_grammar.hpp"
 #include "util/common.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
+namespace {
+
+/// The O(|phi| * log d) update bound (paper §4.3) as runtime metrics:
+/// cde.op_ns times each basic operation's own AVL splits/concats (children
+/// excluded), so the histogram should track log d, not |phi|.
+struct CdeMetrics {
+  Counter& ops;
+  Histogram& op_ns;
+  Histogram& apply_ns;
+
+  static CdeMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static CdeMetrics* metrics = new CdeMetrics{
+        registry.GetCounter("cde.ops"),
+        registry.GetHistogram("cde.op_ns"),
+        registry.GetHistogram("cde.apply_ns"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::size_t CdeExpr::size() const {
   std::size_t total = 1;
@@ -253,6 +277,24 @@ CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr) {
   return {result.value(), ""};
 }
 
+namespace {
+
+/// Times only the op's own AVL work -- children are evaluated before the
+/// probe starts, so the histogram reflects the per-op O(log d) bound rather
+/// than the whole subtree.
+template <typename Op>
+NodeId TimedOp(const Op& op) {
+  if (!MetricsEnabled()) return op();
+  CdeMetrics& metrics = CdeMetrics::Get();
+  metrics.ops.Increment();
+  const uint64_t start = NowNanos();
+  const NodeId result = op();
+  metrics.op_ns.Record(NowNanos() - start);
+  return result;
+}
+
+}  // namespace
+
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
   Slp& slp = database->slp();
   switch (expr.op) {
@@ -264,36 +306,40 @@ NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
     case CdeOp::kConcat: {
       const NodeId a = EvalCde(database, *expr.children[0]);
       const NodeId b = EvalCde(database, *expr.children[1]);
-      return AvlConcat(slp, a, b);
+      return TimedOp([&] { return AvlConcat(slp, a, b); });
     }
     case CdeOp::kExtract: {
       const NodeId base = EvalCde(database, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE extract: positions out of range");
-      return AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1);
+      return TimedOp([&] { return AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1); });
     }
     case CdeOp::kDelete: {
       const NodeId base = EvalCde(database, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE delete: positions out of range");
-      const SplitResult tail = AvlSplit(slp, base, expr.j);
-      const SplitResult head = AvlSplit(slp, tail.prefix, expr.i - 1);
-      return AvlConcat(slp, head.prefix, tail.suffix);
+      return TimedOp([&] {
+        const SplitResult tail = AvlSplit(slp, base, expr.j);
+        const SplitResult head = AvlSplit(slp, tail.prefix, expr.i - 1);
+        return AvlConcat(slp, head.prefix, tail.suffix);
+      });
     }
     case CdeOp::kInsert: {
       const NodeId base = EvalCde(database, *expr.children[0]);
       const NodeId piece = EvalCde(database, *expr.children[1]);
-      return InsertAt(slp, base, piece, expr.k);
+      return TimedOp([&] { return InsertAt(slp, base, piece, expr.k); });
     }
     case CdeOp::kCopy: {
       const NodeId base = EvalCde(database, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE copy: positions out of range");
-      const NodeId piece = AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1);
-      return InsertAt(slp, base, piece, expr.k);
+      return TimedOp([&] {
+        const NodeId piece = AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1);
+        return InsertAt(slp, base, piece, expr.k);
+      });
     }
   }
   FatalError("EvalCde: unknown op");
@@ -301,6 +347,8 @@ NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
 
 Expected<std::size_t> ApplyCdeChecked(DocumentDatabase* database,
                                       std::string_view expression) {
+  ScopedSpan span("cde.apply");
+  ScopedLatency apply_latency(CdeMetrics::Get().apply_ns);
   Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(expression);
   if (!parsed.ok()) return parsed.status();
   Expected<NodeId> result = EvalCdeExpected(database, **parsed);

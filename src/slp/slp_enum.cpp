@@ -4,8 +4,55 @@
 
 #include "slp/slp_schedule.hpp"
 #include "util/common.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
+namespace {
+
+/// The O(|S| * poly(Q)) preprocessing (paper §4.2) and the log-depth
+/// enumeration delay (§4.2, [39]) as runtime metrics; kernel counters
+/// attribute the per-node products to the configured Boolean-product kernel
+/// (SPANNERS_MM_KERNEL A/B).
+struct SlpEnumMetrics {
+  Histogram& fill_ns;
+  Histogram& level_ns;
+  Counter& fill_nodes;
+  Counter& fill_levels;
+  Counter& kernel_blocked_nodes;
+  Counter& kernel_sparse_nodes;
+  Counter& cache_bytes;
+  Counter& tuples;
+  Histogram& delay_steps;
+
+  static SlpEnumMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static SlpEnumMetrics* metrics = new SlpEnumMetrics{
+        registry.GetHistogram("slp.fill_ns"),
+        registry.GetHistogram("slp.fill.level_ns"),
+        registry.GetCounter("slp.fill.nodes"),
+        registry.GetCounter("slp.fill.levels"),
+        registry.GetCounter("slp.kernel.blocked_nodes"),
+        registry.GetCounter("slp.kernel.sparse_nodes"),
+        registry.GetCounter("slp.cache.bytes"),
+        registry.GetCounter("slp.enum.tuples"),
+        registry.GetHistogram("slp.enum.delay_steps"),
+    };
+    return *metrics;
+  }
+};
+
+/// Attributes \p nodes products to the active kernel (read once per fill;
+/// the knob is process-wide and set before preprocessing starts).
+void CountKernelNodes(SlpEnumMetrics& metrics, std::size_t nodes) {
+  if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kBlocked) {
+    metrics.kernel_blocked_nodes.Add(nodes);
+  } else {
+    metrics.kernel_sparse_nodes.Add(nodes);
+  }
+}
+
+}  // namespace
 
 SlpSpannerEvaluator::SlpSpannerEvaluator(const ExtendedVA* edva) : edva_(edva) {
   Require(edva_ != nullptr, "SlpSpannerEvaluator: null automaton");
@@ -64,16 +111,34 @@ void SlpSpannerEvaluator::ComputeNode(const Slp& slp, NodeId node, NodeMats* out
 }
 
 void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
+  ScopedSpan span("slp.fill");
+  ScopedLatency fill_latency(SlpEnumMetrics::Get().fill_ns);
   const std::vector<std::vector<NodeId>> levels =
       UncachedLevels(slp, node, [&](NodeId n) { return cache_.count(n) != 0; });
   // Pre-reserve one slot per pending node: workers write into stable,
   // disjoint mapped values and never mutate the map itself -- no locking on
   // the hot path (see slp_schedule.hpp).
+  std::size_t new_nodes = 0;
   for (const std::vector<NodeId>& level : levels) {
+    new_nodes += level.size();
     for (const NodeId n : level) cache_.emplace(n, NodeMats());
+  }
+  const bool metrics_on = MetricsEnabled();
+  if (metrics_on) {
+    SlpEnumMetrics& metrics = SlpEnumMetrics::Get();
+    metrics.fill_nodes.Add(new_nodes);
+    metrics.fill_levels.Add(levels.size());
+    CountKernelNodes(metrics, new_nodes);
+    // Approximate footprint of the freshly cached NodeMats: the spine run
+    // function plus the two bit-packed matrices per node.
+    const std::size_t words_per_row = (num_states_ + 63) / 64;
+    const std::size_t bytes_per_node =
+        num_states_ * sizeof(StateId) + 2 * num_states_ * words_per_row * 8;
+    metrics.cache_bytes.Add(new_nodes * bytes_per_node);
   }
   if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   for (const std::vector<NodeId>& level : levels) {
+    const uint64_t level_start = metrics_on ? NowNanos() : 0;
     auto compute = [&](std::size_t i) {
       ComputeNode(slp, level[i], &cache_.find(level[i])->second);
     };
@@ -83,6 +148,9 @@ void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
       pool_->ParallelFor(0, level.size(), compute);
     } else {
       for (std::size_t i = 0; i < level.size(); ++i) compute(i);
+    }
+    if (metrics_on) {
+      SlpEnumMetrics::Get().level_ns.Record(NowNanos() - level_start);
     }
   }
 }
@@ -181,6 +249,12 @@ std::size_t SlpSpannerEvaluator::Evaluate(
     ++ctx.emitted;
     last_delay_steps_ = ctx.steps - steps_at_last_emit;
     steps_at_last_emit = ctx.steps;
+    // Delay profiler for the compressed path: steps between consecutive
+    // tuples, expected O(depth * poly(Q)) -- flat in |D| for balanced SLPs.
+    if (MetricsEnabled()) {
+      SlpEnumMetrics::Get().tuples.Increment();
+      SlpEnumMetrics::Get().delay_steps.Record(last_delay_steps_);
+    }
     if (!callback(tuple)) {
       ctx.stopped = true;
       return false;

@@ -5,8 +5,40 @@
 #include "automata/nfa_ops.hpp"
 #include "slp/slp_schedule.hpp"
 #include "util/common.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace spanners {
+namespace {
+
+/// Shares the slp.fill.* metric names with SlpSpannerEvaluator: both passes
+/// are the same O(|S| * n^3) preprocessing, just over different per-node
+/// payloads.
+struct SlpNfaMetrics {
+  Histogram& fill_ns;
+  Histogram& level_ns;
+  Counter& fill_nodes;
+  Counter& fill_levels;
+  Counter& kernel_blocked_nodes;
+  Counter& kernel_sparse_nodes;
+  Counter& cache_bytes;
+
+  static SlpNfaMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static SlpNfaMetrics* metrics = new SlpNfaMetrics{
+        registry.GetHistogram("slp.fill_ns"),
+        registry.GetHistogram("slp.fill.level_ns"),
+        registry.GetCounter("slp.fill.nodes"),
+        registry.GetCounter("slp.fill.levels"),
+        registry.GetCounter("slp.kernel.blocked_nodes"),
+        registry.GetCounter("slp.kernel.sparse_nodes"),
+        registry.GetCounter("slp.cache.bytes"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 SlpNfaMatcher::SlpNfaMatcher(const Nfa& nfa) : nfa_(RemoveEpsilon(nfa)) {
   num_states_ = nfa_.num_states();
@@ -64,16 +96,33 @@ void SlpNfaMatcher::ComputeNode(const Slp& slp, NodeId node, BoolMatrix* out) co
 }
 
 void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
+  ScopedSpan span("slp.fill");
+  ScopedLatency fill_latency(SlpNfaMetrics::Get().fill_ns);
   const std::vector<std::vector<NodeId>> levels =
       UncachedLevels(slp, node, [&](NodeId n) { return cache_.count(n) != 0; });
   // Pre-reserve one slot per pending node: workers then write into stable,
   // disjoint mapped values and never mutate the map itself, so the hot path
   // needs no locking at all.
+  std::size_t new_nodes = 0;
   for (const std::vector<NodeId>& level : levels) {
+    new_nodes += level.size();
     for (const NodeId n : level) cache_.emplace(n, BoolMatrix());
+  }
+  const bool metrics_on = MetricsEnabled();
+  if (metrics_on) {
+    SlpNfaMetrics& metrics = SlpNfaMetrics::Get();
+    metrics.fill_nodes.Add(new_nodes);
+    metrics.fill_levels.Add(levels.size());
+    if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kBlocked) {
+      metrics.kernel_blocked_nodes.Add(new_nodes);
+    } else {
+      metrics.kernel_sparse_nodes.Add(new_nodes);
+    }
+    metrics.cache_bytes.Add(new_nodes * num_states_ * ((num_states_ + 63) / 64) * 8);
   }
   if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   for (const std::vector<NodeId>& level : levels) {
+    const uint64_t level_start = metrics_on ? NowNanos() : 0;
     auto compute = [&](std::size_t i) {
       ComputeNode(slp, level[i], &cache_.find(level[i])->second);
     };
@@ -83,6 +132,9 @@ void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
       pool_->ParallelFor(0, level.size(), compute);
     } else {
       for (std::size_t i = 0; i < level.size(); ++i) compute(i);
+    }
+    if (metrics_on) {
+      SlpNfaMetrics::Get().level_ns.Record(NowNanos() - level_start);
     }
   }
 }

@@ -39,3 +39,5 @@
 #include "slp/slp_builder.hpp"
 #include "slp/slp_enum.hpp"
 #include "slp/slp_nfa.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"

@@ -1,0 +1,179 @@
+#include "util/metrics.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace spanners {
+
+namespace metrics_detail {
+namespace {
+
+uint8_t InitialTraceLevel() {
+  if (const char* env = std::getenv("SPANNERS_TRACE"); env != nullptr && *env != '\0') {
+    TraceLevel parsed;
+    if (ParseTraceLevel(env, &parsed)) return static_cast<uint8_t>(parsed);
+  }
+  return static_cast<uint8_t>(TraceLevel::kCounters);
+}
+
+}  // namespace
+
+std::atomic<uint8_t> g_trace_level{InitialTraceLevel()};
+
+}  // namespace metrics_detail
+
+void SetTraceLevel(TraceLevel level) {
+  metrics_detail::g_trace_level.store(static_cast<uint8_t>(level),
+                                      std::memory_order_relaxed);
+}
+
+bool ParseTraceLevel(std::string_view name, TraceLevel* out) {
+  for (TraceLevel level : {TraceLevel::kOff, TraceLevel::kCounters, TraceLevel::kSpans}) {
+    if (name == TraceLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kCounters: return "counters";
+    case TraceLevel::kSpans: return "spans";
+  }
+  return "unknown";
+}
+
+std::size_t Counter::ShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+std::size_t Histogram::BucketOf(uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketUpperBound(std::size_t b) {
+  if (b >= 64) return UINT64_MAX;
+  return (uint64_t{1} << b) - 1;
+}
+
+uint64_t HistogramStats::Quantile(double q) const {
+  return Histogram::BucketUpperBound(QuantileBucket(q));
+}
+
+std::size_t HistogramStats::QuantileBucket(double q) const {
+  if (count == 0) return 0;
+  // Smallest bucket whose cumulative count reaches q * count (>= 1 sample).
+  const double target_real = q * static_cast<double>(count);
+  uint64_t target = static_cast<uint64_t>(target_real);
+  if (static_cast<double>(target) < target_real) ++target;
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) return b;
+  }
+  return buckets.size() - 1;
+}
+
+HistogramStats HistogramStats::Since(const HistogramStats& earlier) const {
+  HistogramStats window;
+  window.count = count - earlier.count;
+  window.sum = sum - earlier.sum;
+  window.max = max;  // cumulative; see header
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    window.buckets[b] = buckets[b] - earlier.buckets[b];
+  }
+  return window;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << "gauge " << name << " " << value << "\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    os << "histogram " << name << " count=" << stats.count << " sum=" << stats.sum
+       << " mean=" << stats.mean() << " p50=" << stats.p50() << " p95=" << stats.p95()
+       << " p99=" << stats.p99() << " max=" << stats.max << "\n";
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.count = histogram->count();
+    stats.sum = histogram->sum();
+    stats.max = histogram->max();
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      stats.buckets[b] = histogram->bucket(b);
+    }
+    snapshot.histograms.emplace(name, stats);
+  }
+  return snapshot;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace spanners

@@ -1,0 +1,279 @@
+/// \file metrics.hpp
+/// \brief Engine-wide metrics: counters, gauges, latency histograms
+/// (DESIGN.md §1.9).
+///
+/// The survey's headline results are complexity claims -- linear
+/// preprocessing with constant-delay enumeration (§2.5), O(|S| * n^3)
+/// matrix evaluation over SLPs (§4.2), O(|phi| * log d) CDE updates
+/// (§4.3) -- and this registry turns them into runtime-observable numbers:
+/// every engine layer records into named metrics, and a MetricsSnapshot
+/// (Session::GetMetricsSnapshot, or any example's --stats flag) reports
+/// whether a running query actually exhibits the promised shapes.
+///
+/// Cost model (the hot-path contract):
+///  * Recording never takes a lock. Counters are per-thread-sharded relaxed
+///    atomics (one fetch_add on a thread-owned cache line); histograms are a
+///    few relaxed atomic adds plus a CAS loop for the max; gauges are one
+///    atomic store.
+///  * Registry lookups (name -> handle) take a mutex, so call sites resolve
+///    their handles once -- typically a function-local static reference --
+///    and record through the stable handle afterwards.
+///  * Every recording site is gated on the runtime trace level
+///    (SPANNERS_TRACE=off|counters|spans). At kOff a site costs a single
+///    relaxed load + branch; kCounters enables counter/gauge/histogram
+///    recording; kSpans additionally captures timed spans (util/trace.hpp).
+///
+/// Snapshots may race with recording by design: all cells are atomics, so a
+/// concurrent Snapshot() sees some interleaving of the updates (never a torn
+/// value, never a data race -- tests/metrics_test.cpp runs this under TSan).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace spanners {
+
+// --- the runtime trace level ------------------------------------------------
+
+/// What the observability layer records, from cheapest to richest.
+enum class TraceLevel : uint8_t {
+  kOff = 0,       ///< recording sites reduce to one load + branch
+  kCounters = 1,  ///< counters, gauges, histograms (the default)
+  kSpans = 2,     ///< counters + scoped timed spans (util/trace.hpp)
+};
+
+namespace metrics_detail {
+extern std::atomic<uint8_t> g_trace_level;  ///< initialised from SPANNERS_TRACE
+}
+
+/// The current level; one relaxed load (safe to call from any thread).
+inline TraceLevel trace_level() {
+  return static_cast<TraceLevel>(
+      metrics_detail::g_trace_level.load(std::memory_order_relaxed));
+}
+
+/// Runtime override (tests, embedders). Not synchronised with in-flight
+/// recordings beyond atomicity: sites observe the new level on their next
+/// check.
+void SetTraceLevel(TraceLevel level);
+
+/// Parses "off" | "counters" | "spans" (the SPANNERS_TRACE values).
+/// Returns true and sets \p out on success.
+bool ParseTraceLevel(std::string_view name, TraceLevel* out);
+
+/// Short lower-case name of \p level ("off", "counters", "spans").
+std::string_view TraceLevelName(TraceLevel level);
+
+/// True iff counter/gauge/histogram recording is on. The canonical guard:
+///   if (MetricsEnabled()) metrics.evaluations.Increment();
+inline bool MetricsEnabled() { return trace_level() >= TraceLevel::kCounters; }
+
+/// True iff span capture is on (util/trace.hpp checks this).
+inline bool SpansEnabled() { return trace_level() >= TraceLevel::kSpans; }
+
+// --- metric primitives ------------------------------------------------------
+
+/// A monotonic counter, sharded per thread so concurrent hot-path increments
+/// never contend on one cache line. Value() sums the shards (racing adds may
+/// or may not be included; the count is never torn).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// A small stable per-thread index; distinct threads spread over shards.
+  static std::size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// A point-in-time signed value (queue depths, cache sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram over non-negative values (latencies in ns,
+/// enumeration delays in steps). Bucket b holds the values of bit width b:
+/// bucket 0 = {0}, bucket b = [2^(b-1), 2^b - 1] -- 65 buckets cover the
+/// full uint64 range, so recording never allocates or rebuckets. Quantiles
+/// are bucket upper bounds (exact max is tracked separately).
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// The bucket index \p value falls into.
+  static std::size_t BucketOf(uint64_t value);
+
+  /// Inclusive upper bound of bucket \p b (0, 1, 3, 7, ...; UINT64_MAX for
+  /// the last).
+  static uint64_t BucketUpperBound(std::size_t b);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// --- snapshots --------------------------------------------------------------
+
+/// A histogram read at one point in time, with derived quantiles.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0 when
+  /// empty. p99 growing by one bucket means the delay distribution's tail
+  /// crossed a power-of-two boundary.
+  uint64_t Quantile(double q) const;
+
+  /// Index of the bucket holding the q-quantile (0 when empty); the unit the
+  /// constant-delay assertions compare in (bucket index == log2 scale).
+  std::size_t QuantileBucket(double q) const;
+
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p95() const { return Quantile(0.95); }
+  uint64_t p99() const { return Quantile(0.99); }
+
+  /// This snapshot minus an earlier one of the same histogram (per-window
+  /// stats; max is carried from *this, as the exact window max is not
+  /// recoverable from two cumulative snapshots).
+  HistogramStats Since(const HistogramStats& earlier) const;
+};
+
+/// Everything the registry knew at one point in time. Names sort
+/// lexicographically (stable text reports).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Counter value by name (0 when absent -- metrics appear on first use).
+  uint64_t counter(const std::string& name) const;
+
+  /// The text report, one metric per line (stable, machine-parseable;
+  /// format documented in DESIGN.md §1.9):
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> mean=<m> p50=<a> p95=<b> p99=<c> max=<d>
+  std::string ToString() const;
+};
+
+// --- the registry -----------------------------------------------------------
+
+/// The process-wide name -> metric map. Get* interns the name on first use
+/// and returns a stable reference (metrics live for the process lifetime);
+/// the mutex guards only interning and snapshotting, never recording.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Reads every registered metric. Safe to call while other threads record
+  /// (atomic cells; see the header comment).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the metric cells
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Monotonic wall-clock in nanoseconds (steady_clock), the unit of every
+/// *_ns metric and of trace spans.
+uint64_t NowNanos();
+
+/// RAII latency probe: records NowNanos() elapsed between construction and
+/// destruction into \p histogram, gated on MetricsEnabled() at construction
+/// (one branch when tracing is off).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(MetricsEnabled() ? &histogram : nullptr),
+        start_(histogram_ != nullptr ? NowNanos() : 0) {}
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) histogram_->Record(NowNanos() - start_);
+  }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace spanners

@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/metrics.hpp"
+
 namespace spanners {
+namespace {
+
+/// pool.utilization = pool.busy_ns / (pool.batch_ns sum * num_threads);
+/// queue_depth is a gauge holding the item count of the in-flight batch.
+struct PoolMetrics {
+  Counter& batches;
+  Counter& items;
+  Counter& inline_batches;
+  Counter& busy_ns;
+  Gauge& queue_depth;
+  Histogram& batch_ns;
+
+  static PoolMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static PoolMetrics* metrics = new PoolMetrics{
+        registry.GetCounter("pool.batches"),
+        registry.GetCounter("pool.items"),
+        registry.GetCounter("pool.inline_batches"),
+        registry.GetCounter("pool.busy_ns"),
+        registry.GetGauge("pool.queue_depth"),
+        registry.GetHistogram("pool.batch_ns"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::size_t ThreadPool::DefaultThreadCount() {
   if (const char* env = std::getenv("SPANNERS_THREADS")) {
@@ -32,6 +61,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunBatch() {
+  // Per-thread busy time: summed over all participants it gives the pool's
+  // utilization relative to batch wall time * thread count.
+  const bool metrics_on = MetricsEnabled();
+  const uint64_t run_start = metrics_on ? NowNanos() : 0;
   // Claim contiguous chunks under the mutex, run them outside of it.
   std::unique_lock<std::mutex> lock(mutex_);
   while (next_index_ < batch_.end) {
@@ -42,6 +75,10 @@ void ThreadPool::RunBatch() {
     lock.unlock();
     for (std::size_t i = start; i < stop; ++i) (*fn)(i);
     lock.lock();
+  }
+  if (metrics_on) {
+    lock.unlock();
+    PoolMetrics::Get().busy_ns.Add(NowNanos() - run_start);
   }
 }
 
@@ -66,11 +103,30 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
   if (end <= begin) return;
   const std::size_t count = end - begin;
+  const bool metrics_on = MetricsEnabled();
   if (workers_.empty() || count == 1) {
+    if (metrics_on) {
+      PoolMetrics& metrics = PoolMetrics::Get();
+      metrics.inline_batches.Increment();
+      metrics.items.Add(count);
+      const uint64_t start = NowNanos();
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      const uint64_t elapsed = NowNanos() - start;
+      metrics.busy_ns.Add(elapsed);
+      metrics.batch_ns.Record(elapsed);
+      return;
+    }
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  const uint64_t batch_start = metrics_on ? NowNanos() : 0;
   std::lock_guard<std::mutex> serialize(serialize_);
+  if (metrics_on) {
+    PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.batches.Increment();
+    metrics.items.Add(count);
+    metrics.queue_depth.Set(static_cast<int64_t>(count));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_.begin = begin;
@@ -83,8 +139,15 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   }
   wake_.notify_all();
   RunBatch();  // the calling thread participates
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return pending_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+  }
+  if (metrics_on) {
+    PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.queue_depth.Set(0);
+    metrics.batch_ns.Record(NowNanos() - batch_start);
+  }
 }
 
 }  // namespace spanners

@@ -1,0 +1,115 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace spanners {
+
+namespace {
+
+thread_local void* t_buffer = nullptr;  ///< this thread's ThreadBuffer (global tracer)
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed (threads may outlive main)
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  if (t_buffer != nullptr) return *static_cast<ThreadBuffer*>(t_buffer);
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<uint32_t>(buffers_.size());
+  t_buffer = buffers_.back().get();
+  return *buffers_.back();
+}
+
+void Tracer::RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back({name, start_ns, end_ns - start_ns});
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const Span& span : buffer->spans) {
+      if (!first) os << ",";
+      first = false;
+      // Complete events; ts/dur are microseconds. Spans on one tid nest by
+      // containment, which is how the viewers draw the plan->prepare->
+      // evaluate hierarchy.
+      os << "{\"name\":\"" << span.name << "\",\"cat\":\"spanners\",\"ph\":\"X\""
+         << ",\"pid\":1,\"tid\":" << buffer->tid
+         << ",\"ts\":" << static_cast<double>(span.start_ns - origin_ns_) / 1000.0
+         << ",\"dur\":" << static_cast<double>(span.dur_ns) / 1000.0 << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::TextReport() const {
+  struct Aggregate {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string, Aggregate> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (const Span& span : buffer->spans) {
+        Aggregate& aggregate = by_name[span.name];
+        ++aggregate.count;
+        aggregate.total_ns += span.dur_ns;
+        aggregate.max_ns = std::max(aggregate.max_ns, span.dur_ns);
+      }
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [name, aggregate] : by_name) {
+    os << "span " << name << " count=" << aggregate.count
+       << " total_ns=" << aggregate.total_ns
+       << " mean_ns=" << aggregate.total_ns / aggregate.count
+       << " max_ns=" << aggregate.max_ns << "\n";
+  }
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Error("Tracer: cannot open \"" + path + "\" for writing");
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out) return Status::Error("Tracer: write to \"" + path + "\" failed");
+  return Status::Ok();
+}
+
+std::size_t Tracer::span_count() const {
+  std::size_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->spans.size();
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->spans.clear();
+  }
+}
+
+}  // namespace spanners

@@ -1,0 +1,103 @@
+/// \file trace.hpp
+/// \brief Scoped-span tracing with Chrome trace-event export (DESIGN.md §1.9).
+///
+/// A span is one timed, named interval on one thread: plan -> prepare ->
+/// evaluate nest naturally because inner spans close before outer ones.
+/// Capture is gated on SPANNERS_TRACE=spans (util/metrics.hpp): below that
+/// level a ScopedSpan costs a single relaxed load + branch and records
+/// nothing, so spans can stay in the hottest engine paths permanently.
+///
+/// Recording appends to a per-thread buffer (one uncontended mutex per
+/// thread, taken only while spans are enabled); the global tracer mutex is
+/// touched once per thread, at buffer registration. Export formats:
+///
+///  * ChromeTraceJson(): the Chrome trace-event format -- load the file in
+///    chrome://tracing or https://ui.perfetto.dev to see the nested spans
+///    per thread on a timeline ("ph":"X" complete events).
+///  * TextReport(): spans aggregated by name (count, total, mean, max) for
+///    terminal inspection (--stats in the examples).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/metrics.hpp"
+
+namespace spanners {
+
+/// The process-wide span sink.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() : origin_ns_(NowNanos()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends one completed span for the calling thread. \p name must be a
+  /// string literal (stored by pointer, never copied).
+  void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+  /// All recorded spans in the Chrome trace-event JSON format
+  /// (chrome://tracing / Perfetto loadable).
+  std::string ChromeTraceJson() const;
+
+  /// Spans aggregated by name, one line each (stable format):
+  ///   span <name> count=<n> total_ns=<t> mean_ns=<m> max_ns=<x>
+  std::string TextReport() const;
+
+  /// Writes ChromeTraceJson() to \p path; I/O failures are reported, never
+  /// fatal.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Number of spans recorded so far (tests).
+  std::size_t span_count() const;
+
+  /// Drops all recorded spans (buffers stay registered to their threads).
+  void Clear();
+
+ private:
+  struct Span {
+    const char* name;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+  };
+
+  struct ThreadBuffer {
+    std::mutex mutex;  ///< uncontended: only its thread appends
+    std::vector<Span> spans;
+    uint32_t tid = 0;  ///< small sequential id for trace display
+  };
+
+  ThreadBuffer& BufferForThisThread();
+
+  const uint64_t origin_ns_;  ///< timestamps are exported relative to this
+  mutable std::mutex mutex_;  ///< guards buffers_ (registration + export)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: times its own scope when SpansEnabled() at construction, else
+/// a no-op. \p name must be a string literal.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(SpansEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? NowNanos() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) Tracer::Global().RecordSpan(name_, start_ns_, NowNanos());
+  }
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace spanners

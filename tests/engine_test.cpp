@@ -317,6 +317,93 @@ TEST(SessionTest, ExplainPlanShowsDecisionAndFeatures) {
   EXPECT_NE(report.find("source=pattern"), std::string::npos) << report;
   EXPECT_NE(report.find("document: plain length=100"), std::string::npos) << report;
   EXPECT_NE(report.find("prepared:"), std::string::npos) << report;
+  EXPECT_NE(report.find("prep-timings:"), std::string::npos) << report;
+}
+
+// Every non-chosen stack appears in the report with the reason it lost
+// (DESIGN.md §1.9): here edva wins on a plain document, so the other three
+// stacks must each be listed as rejected.
+TEST(SessionTest, ExplainPlanListsRejectedCandidates) {
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+  const std::string report =
+      session.ExplainPlan(**query, Document::FromText(std::string(100, 'a')));
+  EXPECT_NE(report.find("rejected:"), std::string::npos) << report;
+  EXPECT_NE(report.find("refl (query has no references"), std::string::npos) << report;
+  EXPECT_NE(report.find("slp-matrix (document is plain"), std::string::npos) << report;
+  EXPECT_NE(report.find("naive-dfs (document length 100 > tiny threshold"),
+            std::string::npos)
+      << report;
+
+  // Reference queries: refl is chosen, everything else rejected for the
+  // same single reason.
+  Expected<const CompiledQuery*> refs = session.Compile(".*{x: a+}.*&x;.*");
+  ASSERT_TRUE(refs.ok());
+  const std::string refl_report =
+      session.ExplainPlan(**refs, Document::FromText("aabaa"));
+  EXPECT_NE(refl_report.find("plan: refl"), std::string::npos) << refl_report;
+  EXPECT_NE(refl_report.find("edva (query has references; only refl supports them)"),
+            std::string::npos)
+      << refl_report;
+}
+
+TEST(PlannerTest, RejectedCandidatesCoverAllOtherStacks) {
+  const Plan plan = ChoosePlan({}, PlainProfile(100));
+  EXPECT_EQ(plan.kind, PlanKind::kEdva);
+  ASSERT_EQ(plan.rejected.size(), 3u);
+  for (const RejectedCandidate& candidate : plan.rejected) {
+    EXPECT_NE(candidate.kind, plan.kind);
+    EXPECT_FALSE(candidate.reason.empty()) << PlanKindName(candidate.kind);
+  }
+}
+
+// The session's own hit/miss getters and the global plan-cache counters must
+// tell the same story: a fresh plan is one miss, each same-shaped re-plan a
+// hit, and forced plans bypass the cache entirely (no counter movement).
+TEST(SessionTest, PlanCacheCountersMatchGlobalMetrics) {
+  const TraceLevel saved = trace_level();
+  SetTraceLevel(TraceLevel::kCounters);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+  const Document document = Document::FromText(std::string(1000, 'a'));
+
+  const MetricsSnapshot before = registry.Snapshot();
+  session.PlanFor(**query, document);  // miss
+  session.PlanFor(**query, document);  // hit
+  session.PlanFor(**query, document);  // hit
+  const MetricsSnapshot after = registry.Snapshot();
+
+  EXPECT_EQ(session.plan_cache_misses(), 1u);
+  EXPECT_EQ(session.plan_cache_hits(), 2u);
+  EXPECT_EQ(after.counter("engine.plan_cache.misses") -
+                before.counter("engine.plan_cache.misses"),
+            1u);
+  EXPECT_EQ(after.counter("engine.plan_cache.hits") -
+                before.counter("engine.plan_cache.hits"),
+            2u);
+  // The fired rule is attributed on the miss path.
+  EXPECT_EQ(after.counter("engine.plan.rule.plain-default-edva") -
+                before.counter("engine.plan.rule.plain-default-edva"),
+            1u);
+
+  // A forced-plan sweep never consults the cache: counters must not move.
+  const MetricsSnapshot pre_sweep = registry.Snapshot();
+  for (PlanKind plan : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kSlpMatrix}) {
+    session.set_force_plan(plan);
+    EXPECT_EQ(session.PlanFor(**query, document).rule, "forced");
+  }
+  const MetricsSnapshot post_sweep = registry.Snapshot();
+  EXPECT_EQ(post_sweep.counter("engine.plan_cache.hits"),
+            pre_sweep.counter("engine.plan_cache.hits"));
+  EXPECT_EQ(post_sweep.counter("engine.plan_cache.misses"),
+            pre_sweep.counter("engine.plan_cache.misses"));
+  EXPECT_EQ(session.plan_cache_misses(), 1u);
+  EXPECT_EQ(session.plan_cache_hits(), 2u);
+  SetTraceLevel(saved);
 }
 
 // --- the Document abstraction ----------------------------------------------
