@@ -1,0 +1,123 @@
+// Store serving-path benchmarks (DESIGN.md §1.10): what the snapshot
+// protocol, the prepared-state cache, and the QueryAll fan-out cost.
+//
+// Expected shapes: snapshot cost is flat in the number of documents (one
+// shared_ptr load; the version is immutable, never copied); a warm
+// prepared-state cache turns evaluation into a map lookup, while a 1-byte
+// budget (eviction on every retention) pays full evaluation each time; CDE
+// commits stay near-flat as documents grow (O(|phi| log d) plus the
+// reachability walk); QueryAll amortises shared matrix state across the
+// fan-out.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "engine/session.hpp"
+#include "store/store.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spanners {
+namespace {
+
+constexpr const char* kPattern = "(.|\\n)*{hit: fox} {next: [a-z]+}(.|\\n)*";
+
+void FillStore(DocumentStore* store, std::size_t num_docs, std::size_t paragraphs) {
+  Rng rng(5);
+  WriteBatch batch;
+  for (std::size_t i = 0; i < num_docs; ++i) {
+    batch.Insert(BoilerplateText(rng, paragraphs, 0.02));
+  }
+  if (!store->Commit(batch).ok()) std::abort();
+}
+
+/// Snapshot cost vs document count: one atomic load regardless of size.
+void BM_Store_Snapshot(benchmark::State& state) {
+  DocumentStore store;
+  FillStore(&store, static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    StoreSnapshot snapshot = store.Snapshot();
+    benchmark::DoNotOptimize(snapshot.version());
+  }
+  state.counters["docs"] = static_cast<double>(store.Stats().num_documents);
+}
+BENCHMARK(BM_Store_Snapshot)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Cache-hit-rate ablation: the same (query, document) evaluation with a
+/// warm byte budget vs a 1-byte budget that can never retain anything.
+void BM_Store_QueryWarmCache(benchmark::State& state) {
+  DocumentStore store;
+  FillStore(&store, 1, 20);
+  Session session;
+  const CompiledQuery* query = *session.Compile(kPattern);
+  StoreSnapshot snapshot = store.Snapshot();
+  (void)session.Evaluate(*query, snapshot, 1);  // warm the caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Evaluate(*query, snapshot, 1));
+  }
+  const PreparedCacheStats stats = store.cache().stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) / static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_Store_QueryWarmCache);
+
+void BM_Store_QueryNoCache(benchmark::State& state) {
+  StoreOptions options;
+  options.cache_budget_bytes = 1;  // every retention evicts immediately
+  DocumentStore store(options);
+  FillStore(&store, 1, 20);
+  Session session;
+  const CompiledQuery* query = *session.Compile(kPattern);
+  StoreSnapshot snapshot = store.Snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Evaluate(*query, snapshot, 1));
+  }
+  const PreparedCacheStats stats = store.cache().stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) / static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_Store_QueryNoCache);
+
+/// Commit cost vs document length: a fixed CDE rotation on one document.
+/// Near-flat in the document size (AVL splits/concats are O(log d); the
+/// per-commit reachability walk is the linear floor).
+void BM_Store_CommitCdeEdit(benchmark::State& state) {
+  DocumentStore store;
+  Rng rng(9);
+  WriteBatch ingest;
+  ingest.Insert(DnaLike(rng, static_cast<std::size_t>(state.range(0)), 8, 32));
+  if (!store.Commit(ingest).ok()) std::abort();
+  const uint64_t length = store.Snapshot().LengthOf(1);
+  const std::string expr =
+      "extract(concat(D1, D1), 9, " + std::to_string(length + 8) + ")";
+  for (auto _ : state) {
+    if (!store.EditDocument(1, expr).ok()) std::abort();
+  }
+  state.counters["doc_bytes"] = static_cast<double>(length);
+  state.counters["gc_compactions"] =
+      static_cast<double>(store.Stats().gc_compactions);
+}
+BENCHMARK(BM_Store_CommitCdeEdit)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+/// QueryAll fan-out scaling over a fixed corpus, by worker thread count.
+void BM_Store_QueryAll(benchmark::State& state) {
+  StoreOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  DocumentStore store(options);
+  FillStore(&store, 24, 6);
+  Session session;
+  const CompiledQuery* query = *session.Compile(kPattern);
+  StoreSnapshot snapshot = store.Snapshot();
+  for (auto _ : state) {
+    auto results = store.QueryAll(session, *query, snapshot);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["docs"] = 24.0;
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Store_QueryAll)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace spanners
+
+BENCHMARK_MAIN();

@@ -7,23 +7,24 @@
 # engine run (SPANNERS_TRACE=counters quickstart --stats; DESIGN.md §1.9).
 #
 # Usage: bench/run_benches.sh [output-json] [build-dir]
-#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR3.json build
+#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR4.json build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out_file="${1:-$repo_root/BENCH_PR3.json}"
+out_file="${1:-$repo_root/BENCH_PR4.json}"
 build_dir="${2:-$repo_root/build}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 
-benches=(bench_slp_nfa bench_slp_enum bench_cde bench_representations)
+benches=(bench_slp_nfa bench_slp_enum bench_cde bench_representations bench_store)
 filters=(
   'BM_SlpNfa_(CompressedMatrices|KernelComparison)'  # E7 + kernel A/B
   'BM_SlpEnum_Preprocessing'                          # E8 preprocessing
   'BM_Cde_'                                           # E10
   'BM_Engine_'                                        # engine plan ablation
+  'BM_Store_'                                         # store serving paths
 )
 
 for i in "${!benches[@]}"; do

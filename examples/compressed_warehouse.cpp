@@ -1,7 +1,10 @@
-// A compressed document warehouse (paper, Section 4) through the unified
-// engine: store documents as one shared SLP, query them *without
-// decompressing* -- the planner picks the SLP matrix path by itself --
-// edit them with CDE expressions, and re-query incrementally.
+// A compressed document warehouse (paper, Section 4) served by the
+// document store (DESIGN.md §1.10): documents live as one shared SLP
+// grammar pool, readers query *snapshots* -- immutable views that stay
+// byte-identical while writers commit -- and edits are batched CDE
+// expressions applied without decompressing anything. Prepared state
+// (finished relations, per-node matrix caches) is served from the store's
+// byte-budgeted cache, so re-querying an unedited document is a hit.
 //
 // Optionally pass your own CDE edit expression:
 //   ./build/examples/example_compressed_warehouse 'concat(D1, D2)'
@@ -13,10 +16,7 @@
 
 #include "engine/session.hpp"
 #include "example_util.hpp"
-#include "slp/avl_grammar.hpp"
-#include "slp/balance.hpp"
-#include "slp/cde.hpp"
-#include "slp/slp_builder.hpp"
+#include "store/store.hpp"
 #include "util/random.hpp"
 
 using namespace spanners;
@@ -24,28 +24,33 @@ using namespace spanners;
 int main(int argc, char** argv) {
   const ExampleFlags flags = ParseExampleFlags(argc, argv);
   Rng rng(7);
-  DocumentDatabase warehouse;
-  Slp& slp = warehouse.slp();
+  DocumentStore store;
 
   // Ingest three redundant documents (boilerplate-heavy text compresses
-  // well; Re-Pair + rebalancing yields strongly balanced SLPs).
+  // well under the shared, hash-consed grammar pool). One batch = one
+  // commit = one published version.
   std::vector<std::string> originals = {
       BoilerplateText(rng, 40, 0.02),
       BoilerplateText(rng, 60, 0.01),
       DnaLike(rng, 4000, 6, 40),
   };
-  for (const std::string& text : originals) {
-    const NodeId compressed = Rebalance(slp, BuildRePair(slp, text));
-    const std::size_t index = warehouse.AddDocument(compressed);
-    std::cout << "D" << index + 1 << ": " << text.size() << " chars -> "
-              << slp.ReachableSize(compressed) << " SLP nodes ("
-              << (IsStronglyBalanced(slp, compressed) ? "strongly balanced" : "unbalanced")
-              << ", ord " << slp.Order(compressed) << ")\n";
+  WriteBatch ingest;
+  for (const std::string& text : originals) ingest.Insert(text);
+  Expected<CommitReceipt> committed = store.Commit(ingest);
+  if (!committed.ok()) {
+    std::cerr << "ingest failed: " << committed.error() << "\n";
+    return 1;
+  }
+  StoreSnapshot snapshot = store.Snapshot();
+  for (StoreDocId id : committed->created) {
+    std::cout << "D" << id << ": " << snapshot.LengthOf(id) << " chars (version "
+              << snapshot.version() << ", " << snapshot.reachable_nodes()
+              << " live SLP nodes total)\n";
   }
 
-  // A spanner: occurrences of "fox" with one word of right context. The
-  // engine's planner sees a compressed, well-compressing document and picks
-  // the matrix path -- no decompression.
+  // A spanner: occurrences of "fox" with one word of right context.
+  // Evaluating against a snapshot goes through the store's prepared-state
+  // cache; the SLP matrix path runs directly on the shared grammar pool.
   Session session;
   Expected<const CompiledQuery*> query =
       session.Compile("(.|\\n)*{hit: fox} {next: [a-z]+}(.|\\n)*");
@@ -53,10 +58,12 @@ int main(int argc, char** argv) {
     std::cerr << "bad pattern: " << query.error() << "\n";
     return 1;
   }
+  if (flags.explain) {
+    std::cout << session.ExplainPlan(
+        **query, Document::FromSlp(&snapshot.slp(), snapshot.RootOf(1)));
+  }
 
-  const Document d1 = Document::FromDatabase(&warehouse, 0);
-  std::cout << session.ExplainPlan(**query, d1);
-  Expected<SpanRelation> hits = session.Evaluate(**query, d1);
+  Expected<SpanRelation> hits = session.Evaluate(**query, snapshot, 1);
   if (!hits.ok()) {
     std::cerr << "evaluation failed: " << hits.error() << "\n";
     return 1;
@@ -65,36 +72,55 @@ int main(int argc, char** argv) {
   for (const SpanTuple& t : *hits) {
     if (shown++ >= 3) break;
     std::cout << "  hit " << t[0]->ToString() << " next word: \""
-              << slp.Substring(d1.root(), t[1]->begin - 1, t[1]->length()) << "\"\n";
+              << snapshot.slp().Substring(snapshot.RootOf(1), t[1]->begin - 1,
+                                          t[1]->length())
+              << "\"\n";
   }
-  std::cout << "D1 matches: " << hits->size() << " (preprocessing cached "
-            << (*query)->prepared().slp_cached_nodes << " node matrices)\n";
+  std::cout << "D1 matches: " << hits->size() << "\n";
 
-  // Complex document editing: splice a factor of D3 into D1 and append D2
-  // (or apply the expression from argv). Parse and validation errors are
-  // caller data: reported, not fatal.
+  // Complex document editing through the store: splice a factor of D3 into
+  // D1 and append D2 (or apply the expression from argv) as a new document.
+  // Parse and validation errors are caller data: the commit publishes
+  // nothing and reports why.
   const char* edit = flags.Arg(1, "concat(insert(D1, extract(D3, 101, 180), 50), D2)");
-  const std::size_t before_nodes = slp.num_nodes();
-  Expected<std::size_t> new_doc = ApplyCdeChecked(&warehouse, edit);
+  Expected<StoreDocId> new_doc = store.CreateDocument(edit);
   if (!new_doc.ok()) {
     std::cerr << "bad CDE expression \"" << edit << "\": " << new_doc.error() << "\n";
     return 1;
   }
-  std::cout << "CDE update created " << slp.num_nodes() - before_nodes
-            << " new nodes for a document of length "
-            << slp.Length(warehouse.document(*new_doc)) << "\n";
+  StoreSnapshot edited_snapshot = store.Snapshot();
+  std::cout << "CDE update created D" << *new_doc << " with "
+            << edited_snapshot.LengthOf(*new_doc) << " chars (version "
+            << edited_snapshot.version() << ")\n";
 
-  // Re-query: only matrices for the new nodes are computed (the query's
-  // evaluator cache persists inside the engine).
-  const std::size_t cached_before = (*query)->prepared().slp_cached_nodes;
-  Expected<SpanRelation> edited = session.Evaluate(**query, Document::FromDatabase(&warehouse, *new_doc));
-  if (!edited.ok()) {
-    std::cerr << "evaluation failed: " << edited.error() << "\n";
-    return 1;
+  // The pinned snapshot still serves the pre-edit state, byte-identical.
+  std::cout << "pinned snapshot still at version " << snapshot.version() << " with "
+            << snapshot.num_documents() << " documents\n";
+
+  // Re-query everything at the new version. D1-D3 were not edited, so
+  // their relations come straight from the cache (store.cache.hit); only
+  // the new document pays evaluation -- and only for its genuinely new
+  // nodes, thanks to the shared per-generation matrix cache.
+  const PreparedCacheStats before = store.cache().stats();
+  std::vector<Expected<SpanRelation>> all =
+      store.QueryAll(session, **query, edited_snapshot);
+  const PreparedCacheStats after = store.cache().stats();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const StoreDocId id = edited_snapshot.documents()[i].id;
+    if (all[i].ok()) {
+      std::cout << "  D" << id << ": " << (*all[i]).size() << " matches\n";
+    } else {
+      std::cout << "  D" << id << ": error: " << all[i].error() << "\n";
+    }
   }
-  std::cout << "edited document matches: " << edited->size() << "; incremental work: "
-            << (*query)->prepared().slp_cached_nodes - cached_before
-            << " new matrices\n";
+  std::cout << "QueryAll served " << after.hits - before.hits << " hits, "
+            << after.misses - before.misses << " misses (cache: " << after.bytes
+            << " bytes of " << after.budget_bytes << " budget)\n";
+
+  const StoreStats stats = store.Stats();
+  std::cout << "store: version " << stats.version << ", " << stats.num_documents
+            << " documents, " << stats.reachable_nodes << "/" << stats.arena_nodes
+            << " nodes live, " << stats.gc_compactions << " GC compactions\n";
   if (flags.stats) PrintExampleStats();
   return 0;
 }

@@ -106,8 +106,8 @@ class SlpMatrixEvaluator final : public Evaluator {
 
   SpanRelation Evaluate(const CompiledQuery& query, const Document& document) const override {
     if (document.compressed()) {
-      return Finish(query, document.slp(), document.root(),
-                    query.EvaluateSlpAutomaton(document.slp(), document.root()));
+      return FinishSlpRelation(query, document.slp(), document.root(),
+                               query.EvaluateSlpAutomaton(document.slp(), document.root()));
     }
     // Forced onto a plain document: a scratch arena and a throwaway
     // evaluator, so the query's shared matrix cache stays bound to real
@@ -115,43 +115,40 @@ class SlpMatrixEvaluator final : public Evaluator {
     Slp scratch;
     const NodeId root = BuildBalanced(scratch, document.Text());
     SlpSpannerEvaluator evaluator(&query.backing_edva());
-    return Finish(query, scratch, root, evaluator.EvaluateToRelation(scratch, root));
-  }
-
- private:
-  /// Applies the normal form's selections and projection to the raw
-  /// automaton tuples (no-op for selection-free queries).
-  SpanRelation Finish(const CompiledQuery& query, const Slp& slp, NodeId root,
-                      SpanRelation raw) const {
-    if (query.features().num_selections == 0) return raw;
-
-    const CoreNormalForm& normal = query.normal_form();
-    const VariableSet& schema = normal.automaton.variables();
-    std::vector<std::vector<VariableId>> selection_ids;
-    for (const auto& selection : normal.selections) {
-      std::vector<VariableId> ids;
-      for (const std::string& name : selection) ids.push_back(*schema.Find(name));
-      selection_ids.push_back(std::move(ids));
-    }
-    std::vector<std::size_t> keep;
-    for (const std::string& name : normal.output) keep.push_back(*schema.Find(name));
-
-    SpanRelation result;
-    for (const SpanTuple& tuple : raw) {
-      bool pass = true;
-      for (const auto& ids : selection_ids) {
-        if (!SlpStringEqualitySatisfied(slp, root, tuple, ids)) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) result.insert(tuple.Project(keep));
-    }
-    return result;
+    return FinishSlpRelation(query, scratch, root, evaluator.EvaluateToRelation(scratch, root));
   }
 };
 
 }  // namespace
+
+SpanRelation FinishSlpRelation(const CompiledQuery& query, const Slp& slp, NodeId root,
+                               SpanRelation raw) {
+  if (query.features().num_selections == 0) return raw;
+
+  const CoreNormalForm& normal = query.normal_form();
+  const VariableSet& schema = normal.automaton.variables();
+  std::vector<std::vector<VariableId>> selection_ids;
+  for (const auto& selection : normal.selections) {
+    std::vector<VariableId> ids;
+    for (const std::string& name : selection) ids.push_back(*schema.Find(name));
+    selection_ids.push_back(std::move(ids));
+  }
+  std::vector<std::size_t> keep;
+  for (const std::string& name : normal.output) keep.push_back(*schema.Find(name));
+
+  SpanRelation result;
+  for (const SpanTuple& tuple : raw) {
+    bool pass = true;
+    for (const auto& ids : selection_ids) {
+      if (!SlpStringEqualitySatisfied(slp, root, tuple, ids)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) result.insert(tuple.Project(keep));
+  }
+  return result;
+}
 
 const Evaluator& EvaluatorFor(PlanKind kind) {
   static const NaiveDfsEvaluator naive;

@@ -43,4 +43,12 @@ class Evaluator {
 /// The singleton evaluator for \p kind.
 const Evaluator& EvaluatorFor(PlanKind kind);
 
+/// Post-processing of the SLP matrix path's raw automaton tuples: applies
+/// the normal form's string-equality selections (factor comparison by
+/// partial decompression) and projection. A no-op for selection-free
+/// queries. Shared by the kSlpMatrix evaluator and the store's
+/// prepared-state cache (src/store/prepared_cache.hpp).
+SpanRelation FinishSlpRelation(const CompiledQuery& query, const Slp& slp, NodeId root,
+                               SpanRelation raw);
+
 }  // namespace spanners

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "store/prepared_cache.hpp"
+#include "store/snapshot.hpp"
+
 namespace spanners {
 namespace {
 
@@ -164,6 +167,21 @@ Expected<SpanRelation> Session::Evaluate(std::string_view pattern,
   Expected<const CompiledQuery*> query = Compile(pattern);
   if (!query.ok()) return query.status();
   return Evaluate(**query, document);
+}
+
+Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
+                                         const StoreSnapshot& snapshot,
+                                         StoreDocId doc) {
+  ScopedSpan span("store.query");
+  if (snapshot.empty() || snapshot.cache() == nullptr) {
+    return Unexpected("session: evaluate against an empty store snapshot");
+  }
+  if (MetricsEnabled()) {
+    static Counter& store_queries =
+        MetricsRegistry::Global().GetCounter("store.queries");
+    store_queries.Increment();
+  }
+  return snapshot.cache()->Evaluate(*this, query, snapshot, doc);
 }
 
 std::vector<Expected<SpanRelation>> Session::EvaluateBatch(

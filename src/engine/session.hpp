@@ -41,6 +41,9 @@
 
 namespace spanners {
 
+class StoreSnapshot;  // src/store/snapshot.hpp
+using StoreDocId = uint64_t;
+
 /// Session construction knobs.
 struct EngineOptions {
   /// Bypass the planner: every evaluation uses this stack. Defaults to the
@@ -73,6 +76,14 @@ class Session {
 
   /// Convenience: Compile + Evaluate.
   Expected<SpanRelation> Evaluate(std::string_view pattern, const Document& document);
+
+  /// Evaluates \p query over document \p doc of a store snapshot
+  /// (src/store/), serving prepared state -- finished relations and SLP
+  /// matrix caches -- from the store's byte-budgeted cache. Safe to call
+  /// from many threads, concurrently with store commits; the snapshot pins
+  /// what it needs.
+  Expected<SpanRelation> Evaluate(const CompiledQuery& query,
+                                  const StoreSnapshot& snapshot, StoreDocId doc);
 
   /// Evaluates one query over many documents on the session's thread pool;
   /// results are index-aligned with \p documents. Representation-specific

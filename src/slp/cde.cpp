@@ -1,5 +1,6 @@
 #include "slp/cde.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <utility>
 
@@ -182,7 +183,7 @@ NodeId InsertAt(Slp& slp, NodeId base, NodeId piece, uint64_t k) {
 /// Computes |eval(expr)| while checking every document index and position
 /// against the operand lengths. Returns false and sets *error on the first
 /// violation. Pure: never touches the arena.
-bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
+bool ValidateLength(const Slp& slp, const std::vector<NodeId>& roots, const CdeExpr& expr,
                     uint64_t* length, std::string* error) {
   auto fail = [&](const std::string& message) {
     *error = message;
@@ -190,17 +191,17 @@ bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
   };
   switch (expr.op) {
     case CdeOp::kDocument: {
-      if (expr.document_index >= database.num_documents()) {
+      if (expr.document_index >= roots.size()) {
         return fail("unknown document D" + std::to_string(expr.document_index + 1));
       }
-      const NodeId root = database.document(expr.document_index);
-      *length = root == kNoNode ? 0 : database.slp().Length(root);
+      const NodeId root = roots[expr.document_index];
+      *length = root == kNoNode ? 0 : slp.Length(root);
       return true;
     }
     case CdeOp::kConcat: {
       uint64_t a = 0, b = 0;
-      if (!ValidateLength(database, *expr.children[0], &a, error) ||
-          !ValidateLength(database, *expr.children[1], &b, error)) {
+      if (!ValidateLength(slp, roots, *expr.children[0], &a, error) ||
+          !ValidateLength(slp, roots, *expr.children[1], &b, error)) {
         return false;
       }
       *length = a + b;
@@ -210,7 +211,7 @@ bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
     case CdeOp::kDelete:
     case CdeOp::kCopy: {
       uint64_t base = 0;
-      if (!ValidateLength(database, *expr.children[0], &base, error)) return false;
+      if (!ValidateLength(slp, roots, *expr.children[0], &base, error)) return false;
       if (!(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= base)) {
         return fail("positions [" + std::to_string(expr.i) + ", " + std::to_string(expr.j) +
                     "] out of range for operand of length " + std::to_string(base));
@@ -231,8 +232,8 @@ bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
     }
     case CdeOp::kInsert: {
       uint64_t base = 0, piece = 0;
-      if (!ValidateLength(database, *expr.children[0], &base, error) ||
-          !ValidateLength(database, *expr.children[1], &piece, error)) {
+      if (!ValidateLength(slp, roots, *expr.children[0], &base, error) ||
+          !ValidateLength(slp, roots, *expr.children[1], &piece, error)) {
         return false;
       }
       if (!(expr.k >= 1 && expr.k <= base + 1)) {
@@ -246,7 +247,20 @@ bool ValidateLength(const DocumentDatabase& database, const CdeExpr& expr,
   return fail("unknown CDE operation");
 }
 
+void CollectDocumentRefs(const CdeExpr& expr, std::vector<std::size_t>* out) {
+  if (expr.op == CdeOp::kDocument) out->push_back(expr.document_index);
+  for (const auto& child : expr.children) CollectDocumentRefs(*child, out);
+}
+
 }  // namespace
+
+std::vector<std::size_t> CdeDocumentRefs(const CdeExpr& expr) {
+  std::vector<std::size_t> refs;
+  CollectDocumentRefs(expr, &refs);
+  std::sort(refs.begin(), refs.end());
+  refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+  return refs;
+}
 
 Expected<std::unique_ptr<CdeExpr>> ParseCdeChecked(std::string_view text) {
   return CdeParser(text).Run();
@@ -258,17 +272,27 @@ CdeParseResult ParseCde(std::string_view text) {
   return {std::move(parsed).value(), ""};
 }
 
-std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
+std::string ValidateCdeOn(const Slp& slp, const std::vector<NodeId>& roots,
+                          const CdeExpr& expr) {
   uint64_t length = 0;
   std::string error;
-  ValidateLength(database, expr, &length, &error);
+  ValidateLength(slp, roots, expr, &length, &error);
   return error;
 }
 
-Expected<NodeId> EvalCdeExpected(DocumentDatabase* database, const CdeExpr& expr) {
-  std::string error = ValidateCde(*database, expr);
+std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
+  return ValidateCdeOn(database.slp(), database.roots(), expr);
+}
+
+Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
+                                  const CdeExpr& expr) {
+  std::string error = ValidateCdeOn(*slp, roots, expr);
   if (!error.empty()) return Unexpected(std::move(error));
-  return EvalCde(database, expr);
+  return EvalCdeOn(slp, roots, expr);
+}
+
+Expected<NodeId> EvalCdeExpected(DocumentDatabase* database, const CdeExpr& expr) {
+  return EvalCdeOnChecked(&database->slp(), database->roots(), expr);
 }
 
 CdeEvalResult EvalCdeChecked(DocumentDatabase* database, const CdeExpr& expr) {
@@ -295,28 +319,27 @@ NodeId TimedOp(const Op& op) {
 
 }  // namespace
 
-NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
-  Slp& slp = database->slp();
+NodeId EvalCdeOn(Slp* slp_ptr, const std::vector<NodeId>& roots, const CdeExpr& expr) {
+  Slp& slp = *slp_ptr;
   switch (expr.op) {
     case CdeOp::kDocument: {
-      Require(expr.document_index < database->num_documents(),
-              "CDE: unknown document");
-      return database->document(expr.document_index);
+      Require(expr.document_index < roots.size(), "CDE: unknown document");
+      return roots[expr.document_index];
     }
     case CdeOp::kConcat: {
-      const NodeId a = EvalCde(database, *expr.children[0]);
-      const NodeId b = EvalCde(database, *expr.children[1]);
+      const NodeId a = EvalCdeOn(slp_ptr, roots, *expr.children[0]);
+      const NodeId b = EvalCdeOn(slp_ptr, roots, *expr.children[1]);
       return TimedOp([&] { return AvlConcat(slp, a, b); });
     }
     case CdeOp::kExtract: {
-      const NodeId base = EvalCde(database, *expr.children[0]);
+      const NodeId base = EvalCdeOn(slp_ptr, roots, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE extract: positions out of range");
       return TimedOp([&] { return AvlExtract(slp, base, expr.i - 1, expr.j - expr.i + 1); });
     }
     case CdeOp::kDelete: {
-      const NodeId base = EvalCde(database, *expr.children[0]);
+      const NodeId base = EvalCdeOn(slp_ptr, roots, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE delete: positions out of range");
@@ -327,12 +350,12 @@ NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
       });
     }
     case CdeOp::kInsert: {
-      const NodeId base = EvalCde(database, *expr.children[0]);
-      const NodeId piece = EvalCde(database, *expr.children[1]);
+      const NodeId base = EvalCdeOn(slp_ptr, roots, *expr.children[0]);
+      const NodeId piece = EvalCdeOn(slp_ptr, roots, *expr.children[1]);
       return TimedOp([&] { return InsertAt(slp, base, piece, expr.k); });
     }
     case CdeOp::kCopy: {
-      const NodeId base = EvalCde(database, *expr.children[0]);
+      const NodeId base = EvalCdeOn(slp_ptr, roots, *expr.children[0]);
       const uint64_t length = base == kNoNode ? 0 : slp.Length(base);
       Require(expr.i >= 1 && expr.i <= expr.j + 1 && expr.j <= length,
               "CDE copy: positions out of range");
@@ -342,7 +365,11 @@ NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
       });
     }
   }
-  FatalError("EvalCde: unknown op");
+  FatalError("EvalCdeOn: unknown op");
+}
+
+NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr) {
+  return EvalCdeOn(&database->slp(), database->roots(), expr);
 }
 
 Expected<std::size_t> ApplyCdeChecked(DocumentDatabase* database,

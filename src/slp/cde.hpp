@@ -37,6 +37,11 @@ struct CdeExpr {
   std::size_t size() const;
 };
 
+/// The 0-based document indices referenced by \p expr (sorted, unique).
+/// Callers with sparse document sets (the store's commit path) use this to
+/// reject references to dropped documents before validation.
+std::vector<std::size_t> CdeDocumentRefs(const CdeExpr& expr);
+
 /// Parses "concat(D1, extract(D2, 5, 21))"-style expressions. Document
 /// names are D1, D2, ... (1-based, as in the paper's prose). Canonical
 /// checked entry point (Expected convention of util/common.hpp).
@@ -62,6 +67,27 @@ CdeParseResult ParseCde(std::string_view text);
 /// exist, positions in range) -- violations are fatal; use EvalCdeChecked
 /// for untrusted expressions.
 NodeId EvalCde(DocumentDatabase* database, const CdeExpr& expr);
+
+// --- evaluation over a bare (arena, roots) context --------------------------
+//
+// The DocumentDatabase entry points above are wrappers over these: any
+// owner of an Slp plus a per-document root table can evaluate CDE
+// expressions. roots[i] is the root of D(i+1); kNoNode entries are empty
+// documents. The store's commit path (src/store/) evaluates against its
+// shared epoch arena through these.
+
+/// Validates \p expr against (\p slp, \p roots) without mutating anything.
+/// Returns a diagnostic message, empty when valid. O(|φ|).
+std::string ValidateCdeOn(const Slp& slp, const std::vector<NodeId>& roots,
+                          const CdeExpr& expr);
+
+/// Evaluates \p expr, appending fresh nodes to \p slp. Precondition: the
+/// expression is valid for (slp, roots); violations are fatal.
+NodeId EvalCdeOn(Slp* slp, const std::vector<NodeId>& roots, const CdeExpr& expr);
+
+/// Validates first (the arena is untouched on error), then evaluates.
+Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
+                                  const CdeExpr& expr);
 
 /// Like EvalCde, but treats invalid caller-supplied expressions as a
 /// diagnosable error instead of aborting the process. Canonical checked

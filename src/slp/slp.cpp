@@ -12,26 +12,101 @@ uint64_t Slp::NextArenaId() {
   return ++next;
 }
 
-Slp::Slp(const Slp& other)
-    : nodes_(other.nodes_), pair_index_(other.pair_index_) {
+Slp::Slp() {
+  for (auto& t : terminal_index_) t = kNoNode;
+}
+
+void Slp::ResetStorage() {
+  for (auto& bucket : buckets_) bucket.store(nullptr, std::memory_order_relaxed);
+  owned_buckets_.clear();
+  num_nodes_.store(0, std::memory_order_relaxed);
+  pair_index_.clear();
+  for (auto& t : terminal_index_) t = kNoNode;
+  for (auto& p : terminal_present_) p = false;
+}
+
+void Slp::CopyNodesFrom(const Slp& other) {
+  const std::size_t count = other.num_nodes();
+  for (std::size_t id = 0; id < count; ++id) {
+    AppendNode(other.NodeRef(static_cast<NodeId>(id)));
+  }
+  pair_index_ = other.pair_index_;
   for (int c = 0; c < 256; ++c) {
     terminal_index_[c] = other.terminal_index_[c];
     terminal_present_[c] = other.terminal_present_[c];
   }
+}
+
+Slp::Slp(const Slp& other) : Slp() {
+  CopyNodesFrom(other);
   // arena_id_ stays the fresh one from NextArenaId(): the copy may diverge
   // from the original, so caches must not be shared between them.
 }
 
 Slp& Slp::operator=(const Slp& other) {
   if (this == &other) return *this;
-  nodes_ = other.nodes_;
-  pair_index_ = other.pair_index_;
+  ResetStorage();
+  CopyNodesFrom(other);
+  arena_id_ = NextArenaId();
+  return *this;
+}
+
+Slp::Slp(Slp&& other) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  owned_buckets_ = std::move(other.owned_buckets_);
+  num_nodes_.store(other.num_nodes_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  pair_index_ = std::move(other.pair_index_);
   for (int c = 0; c < 256; ++c) {
     terminal_index_[c] = other.terminal_index_[c];
     terminal_present_[c] = other.terminal_present_[c];
   }
-  arena_id_ = NextArenaId();
+  arena_id_ = other.arena_id_;  // moves keep the identity (caches stay valid)
+  other.ResetStorage();
+  other.arena_id_ = NextArenaId();
+}
+
+Slp& Slp::operator=(Slp&& other) noexcept {
+  if (this == &other) return *this;
+  ResetStorage();
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  owned_buckets_ = std::move(other.owned_buckets_);
+  num_nodes_.store(other.num_nodes_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  pair_index_ = std::move(other.pair_index_);
+  for (int c = 0; c < 256; ++c) {
+    terminal_index_[c] = other.terminal_index_[c];
+    terminal_present_[c] = other.terminal_present_[c];
+  }
+  arena_id_ = other.arena_id_;
+  other.ResetStorage();
+  other.arena_id_ = NextArenaId();
   return *this;
+}
+
+NodeId Slp::AppendNode(const Node& node) {
+  const std::size_t n = num_nodes_.load(std::memory_order_relaxed);
+  const std::size_t bucket = BucketOf(static_cast<NodeId>(n));
+  if (bucket == owned_buckets_.size()) {
+    // First id of a fresh bucket: allocate storage, then publish the bucket
+    // pointer. The release pairs with NodeRef's acquire, so a reader that
+    // observes an id in this bucket also observes the pointer.
+    auto storage = std::make_unique<Node[]>(BucketCapacity(bucket));
+    buckets_[bucket].store(storage.get(), std::memory_order_release);
+    owned_buckets_.push_back(std::move(storage));
+  }
+  // The slot is written exactly once, before the id is published anywhere.
+  // Readers only dereference ids they received through a happens-before
+  // edge (snapshot publication), so this plain write never races.
+  owned_buckets_[bucket][n - BucketBase(bucket)] = node;
+  num_nodes_.store(n + 1, std::memory_order_release);
+  return static_cast<NodeId>(n);
 }
 
 NodeId Slp::Terminal(unsigned char c) {
@@ -40,15 +115,14 @@ NodeId Slp::Terminal(unsigned char c) {
   node.terminal_char = c;
   node.length = 1;
   node.order = 1;
-  nodes_.push_back(node);
-  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = AppendNode(node);
   terminal_index_[c] = id;
   terminal_present_[c] = true;
   return id;
 }
 
 NodeId Slp::Pair(NodeId left, NodeId right) {
-  Require(left < nodes_.size() && right < nodes_.size(), "Slp::Pair: bad child");
+  Require(left < num_nodes() && right < num_nodes(), "Slp::Pair: bad child");
   const uint64_t key = (static_cast<uint64_t>(left) << 32) | right;
   auto [it, inserted] = pair_index_.try_emplace(key, 0);
   if (!inserted) return it->second;
@@ -56,16 +130,15 @@ NodeId Slp::Pair(NodeId left, NodeId right) {
   node.left = left;
   node.right = right;
   node.length = Length(left) + Length(right);
-  node.order = 1 + std::max(nodes_[left].order, nodes_[right].order);
-  nodes_.push_back(node);
-  it->second = static_cast<NodeId>(nodes_.size() - 1);
+  node.order = 1 + std::max(NodeRef(left).order, NodeRef(right).order);
+  it->second = AppendNode(node);
   return it->second;
 }
 
 int Slp::Balance(NodeId node) const {
-  if (IsTerminal(node)) return 0;
-  return static_cast<int>(nodes_[nodes_[node].left].order) -
-         static_cast<int>(nodes_[nodes_[node].right].order);
+  const Node& n = NodeRef(node);
+  if (n.left == kNoNode) return 0;
+  return static_cast<int>(NodeRef(n.left).order) - static_cast<int>(NodeRef(n.right).order);
 }
 
 void Slp::AppendTo(NodeId node, std::string* out) const {
@@ -74,11 +147,12 @@ void Slp::AppendTo(NodeId node, std::string* out) const {
   while (!stack.empty()) {
     const NodeId current = stack.back();
     stack.pop_back();
-    if (IsTerminal(current)) {
-      out->push_back(static_cast<char>(TerminalChar(current)));
+    const Node& n = NodeRef(current);
+    if (n.left == kNoNode) {
+      out->push_back(static_cast<char>(n.terminal_char));
     } else {
-      stack.push_back(Right(current));
-      stack.push_back(Left(current));
+      stack.push_back(n.right);
+      stack.push_back(n.left);
     }
   }
 }
@@ -92,16 +166,17 @@ std::string Slp::Derive(NodeId node) const {
 
 unsigned char Slp::CharAt(NodeId node, uint64_t position) const {
   Require(position < Length(node), "Slp::CharAt: position out of range");
-  while (!IsTerminal(node)) {
-    const uint64_t left_length = Length(Left(node));
+  while (true) {
+    const Node& n = NodeRef(node);
+    if (n.left == kNoNode) return n.terminal_char;
+    const uint64_t left_length = Length(n.left);
     if (position < left_length) {
-      node = Left(node);
+      node = n.left;
     } else {
       position -= left_length;
-      node = Right(node);
+      node = n.right;
     }
   }
-  return TerminalChar(node);
 }
 
 std::string Slp::Substring(NodeId node, uint64_t position, uint64_t count) const {
@@ -135,7 +210,7 @@ std::string Slp::Substring(NodeId node, uint64_t position, uint64_t count) const
 }
 
 std::size_t Slp::ReachableSize(NodeId root) const {
-  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> seen(num_nodes(), false);
   std::vector<NodeId> stack{root};
   seen[root] = true;
   std::size_t count = 0;
@@ -155,6 +230,52 @@ std::size_t Slp::ReachableSize(NodeId root) const {
   return count;
 }
 
+std::vector<bool> Slp::MarkReachable(const std::vector<NodeId>& roots) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId root : roots) {
+    if (root != kNoNode && !seen[root]) {
+      seen[root] = true;
+      stack.push_back(root);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (!IsTerminal(n)) {
+      for (NodeId child : {Left(n), Right(n)}) {
+        if (!seen[child]) {
+          seen[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out) {
+  Require(out->num_nodes() == 0, "CompactSlp: target arena must be empty");
+  const std::vector<bool> seen = source.MarkReachable(*roots);
+  CompactStats stats;
+  stats.before_nodes = seen.size();
+  // Node ids are topologically ordered (children are created before their
+  // parents), so one ascending pass can rebuild bottom-up.
+  std::vector<NodeId> remap(seen.size(), kNoNode);
+  for (std::size_t id = 0; id < seen.size(); ++id) {
+    if (!seen[id]) continue;
+    const NodeId node = static_cast<NodeId>(id);
+    remap[id] = source.IsTerminal(node)
+                    ? out->Terminal(source.TerminalChar(node))
+                    : out->Pair(remap[source.Left(node)], remap[source.Right(node)]);
+    ++stats.reachable_nodes;
+  }
+  for (NodeId& root : *roots) {
+    if (root != kNoNode) root = remap[root];
+  }
+  return stats;
+}
+
 std::size_t DocumentDatabase::AddDocument(NodeId root) {
   documents_.push_back(root);
   return documents_.size() - 1;
@@ -164,6 +285,23 @@ uint64_t DocumentDatabase::MaxDocumentLength() const {
   uint64_t max_length = 0;
   for (NodeId root : documents_) max_length = std::max(max_length, slp_.Length(root));
   return max_length;
+}
+
+CompactStats DocumentDatabase::GarbageStats() const {
+  const std::vector<bool> seen = slp_.MarkReachable(documents_);
+  CompactStats stats;
+  stats.before_nodes = seen.size();
+  for (bool reachable : seen) stats.reachable_nodes += reachable ? 1 : 0;
+  return stats;
+}
+
+CompactStats DocumentDatabase::Compact() {
+  Slp compacted;
+  std::vector<NodeId> roots = documents_;
+  const CompactStats stats = CompactSlp(slp_, &roots, &compacted);
+  slp_ = std::move(compacted);  // fresh arena id: stale evaluator caches re-bind
+  documents_ = std::move(roots);
+  return stats;
 }
 
 }  // namespace spanners

@@ -8,9 +8,23 @@
 /// hash-consed (adding an existing (left, right) pair returns the existing
 /// node), lengths and orders are maintained incrementally, and derivation /
 /// random access / substring extraction never decompress more than needed.
+///
+/// Concurrency contract (the document store, src/store/, builds on this):
+/// the arena is *single-writer / multi-reader*. One thread may append nodes
+/// (Terminal / Pair) while any number of other threads concurrently read
+/// nodes that were published to them beforehand -- node storage is a set of
+/// geometrically growing buckets whose addresses never change, bucket
+/// pointers are released/acquired atomically, and a node entry is written
+/// exactly once, before the id escapes the writer. Readers must only access
+/// ids they learned through a proper happens-before edge (e.g. a published
+/// store snapshot); the writer-side mutators themselves are not reentrant.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,28 +46,35 @@ class Slp {
   /// this id. Copies receive a fresh id (they may diverge); moves keep it.
   uint64_t arena_id() const { return arena_id_; }
 
+  Slp();
+  ~Slp() = default;
+
   Slp(const Slp& other);
   Slp& operator=(const Slp& other);
-  Slp(Slp&&) = default;
-  Slp& operator=(Slp&&) = default;
+  Slp(Slp&& other) noexcept;
+  Slp& operator=(Slp&& other) noexcept;
 
-  /// The sink T_c for symbol \p c (created on first use).
+  /// The sink T_c for symbol \p c (created on first use). Writer-side.
   NodeId Terminal(unsigned char c);
 
   /// The inner node (left, right); hash-consed. Both children must exist.
+  /// Writer-side.
   NodeId Pair(NodeId left, NodeId right);
 
-  bool IsTerminal(NodeId node) const { return nodes_[node].left == kNoNode; }
-  unsigned char TerminalChar(NodeId node) const { return nodes_[node].terminal_char; }
+  bool IsTerminal(NodeId node) const { return NodeRef(node).left == kNoNode; }
+  unsigned char TerminalChar(NodeId node) const { return NodeRef(node).terminal_char; }
 
-  NodeId Left(NodeId node) const { return nodes_[node].left; }
-  NodeId Right(NodeId node) const { return nodes_[node].right; }
+  NodeId Left(NodeId node) const { return NodeRef(node).left; }
+  NodeId Right(NodeId node) const { return NodeRef(node).right; }
 
   /// |𝔇(node)|.
-  uint64_t Length(NodeId node) const { return IsTerminal(node) ? 1 : nodes_[node].length; }
+  uint64_t Length(NodeId node) const {
+    const Node& n = NodeRef(node);
+    return n.left == kNoNode ? 1 : n.length;
+  }
 
   /// ord(node): 1 for sinks, 1 + max(ord(children)) otherwise (paper §4.1).
-  uint32_t Order(NodeId node) const { return nodes_[node].order; }
+  uint32_t Order(NodeId node) const { return NodeRef(node).order; }
 
   /// bal(node) = ord(left) - ord(right); 0 for sinks.
   int Balance(NodeId node) const;
@@ -67,11 +88,19 @@ class Slp {
   /// 𝔇(node)[position, position+count). O(ord(node) + count).
   std::string Substring(NodeId node, uint64_t position, uint64_t count) const;
 
-  /// Number of nodes in the arena.
-  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Number of nodes in the arena. Monotonic; safe to call concurrently
+  /// with the writer (the count observed is at least every id published to
+  /// the calling thread).
+  std::size_t num_nodes() const { return num_nodes_.load(std::memory_order_acquire); }
 
   /// |S| restricted to \p root: the number of nodes reachable from it.
   std::size_t ReachableSize(NodeId root) const;
+
+  /// Marks every node reachable from the non-kNoNode entries of \p roots.
+  /// The returned vector is indexed by NodeId (size num_nodes() at call
+  /// time). The building block of store GC (src/store/) and
+  /// DocumentDatabase::Compact.
+  std::vector<bool> MarkReachable(const std::vector<NodeId>& roots) const;
 
  private:
   struct Node {
@@ -82,21 +111,60 @@ class Slp {
     unsigned char terminal_char = 0;
   };
 
+  // Node storage: bucket b holds the ids [64*(2^b - 1), 64*(2^{b+1} - 1)),
+  // i.e. capacities 64, 128, 256, ... Buckets never move once allocated, so
+  // a reader holding an id published to it can dereference while the writer
+  // appends. 27 buckets cover the full NodeId range.
+  static constexpr unsigned kFirstBucketBits = 6;
+  static constexpr std::size_t kNumBuckets = 27;
+
+  static std::size_t BucketOf(NodeId id) {
+    return std::bit_width((static_cast<uint64_t>(id) >> kFirstBucketBits) + 1) - 1;
+  }
+  static NodeId BucketBase(std::size_t bucket) {
+    return ((NodeId{1} << bucket) - 1) << kFirstBucketBits;
+  }
+  static std::size_t BucketCapacity(std::size_t bucket) {
+    return std::size_t{1} << (kFirstBucketBits + bucket);
+  }
+
+  const Node& NodeRef(NodeId id) const {
+    const std::size_t bucket = BucketOf(id);
+    return buckets_[bucket].load(std::memory_order_acquire)[id - BucketBase(bucket)];
+  }
+
+  /// Appends \p node and publishes the new count. Writer-side.
+  NodeId AppendNode(const Node& node);
+
   void AppendTo(NodeId node, std::string* out) const;
+
+  void CopyNodesFrom(const Slp& other);
+  void ResetStorage();
 
   static uint64_t NextArenaId();
 
-  std::vector<Node> nodes_;
+  std::array<std::atomic<Node*>, kNumBuckets> buckets_{};  ///< read path
+  std::vector<std::unique_ptr<Node[]>> owned_buckets_;     ///< storage owner
+  std::atomic<std::size_t> num_nodes_{0};
   std::unordered_map<uint64_t, NodeId> pair_index_;  ///< (left,right) -> node
   NodeId terminal_index_[256];
   bool terminal_present_[256] = {false};
   uint64_t arena_id_ = NextArenaId();
-
- public:
-  Slp() {
-    for (auto& t : terminal_index_) t = kNoNode;
-  }
 };
+
+/// Reachability statistics of one compaction (or a dry run of one).
+struct CompactStats {
+  std::size_t before_nodes = 0;     ///< arena size when the walk ran
+  std::size_t reachable_nodes = 0;  ///< nodes reachable from the given roots
+
+  std::size_t reclaimed_nodes() const { return before_nodes - reachable_nodes; }
+};
+
+/// Copies the nodes of \p source reachable from \p roots into \p out (an
+/// empty arena) and rewrites \p roots to the corresponding new ids (kNoNode
+/// entries stay). Hash-consing in \p out re-deduplicates, structure --
+/// including strong balance -- is preserved node-for-node. O(reachable).
+CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out);
 
 /// A document database: an SLP plus designated document roots (Figure 1).
 class DocumentDatabase {
@@ -113,8 +181,23 @@ class DocumentDatabase {
   NodeId document(std::size_t index) const { return documents_[index]; }
   std::size_t num_documents() const { return documents_.size(); }
 
+  /// All document roots, indexed by document (the CDE evaluation context;
+  /// slp/cde.hpp).
+  const std::vector<NodeId>& roots() const { return documents_; }
+
   /// Longest document length (the L of the paper's update bound).
   uint64_t MaxDocumentLength() const;
+
+  /// How much of the arena is garbage right now: CDE evaluation creates
+  /// split/concat temporaries that no document reaches, and superseded
+  /// document versions keep their old nodes around. Pure (never mutates).
+  CompactStats GarbageStats() const;
+
+  /// Rebuilds the arena keeping only nodes reachable from the document
+  /// roots and remaps every root. Invalidates all NodeIds previously handed
+  /// out and the arena identity (evaluator caches re-bind on next use).
+  /// Returns what was reclaimed. O(reachable).
+  CompactStats Compact();
 
  private:
   Slp slp_;

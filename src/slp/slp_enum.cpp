@@ -69,6 +69,14 @@ void SlpSpannerEvaluator::SetThreads(std::size_t num_threads) {
   }
 }
 
+std::size_t SlpSpannerEvaluator::CacheBytes() const {
+  const std::size_t words_per_row = (num_states_ + 63) / 64;
+  const std::size_t bytes_per_node = num_states_ * sizeof(StateId) +
+                                     2 * num_states_ * words_per_row * 8 +
+                                     sizeof(NodeMats) + 64;  // map-node overhead
+  return cache_.size() * bytes_per_node;
+}
+
 void SlpSpannerEvaluator::ComputeNode(const Slp& slp, NodeId node, NodeMats* out) const {
   NodeMats& mats = *out;
   if (slp.IsTerminal(node)) {

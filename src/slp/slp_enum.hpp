@@ -54,6 +54,12 @@ class SlpSpannerEvaluator {
   std::size_t cache_size() const { return cache_.size(); }
   void ClearCache() { cache_.clear(); }
 
+  /// Approximate heap footprint of the per-node matrix cache: the spine run
+  /// function plus the two bit-packed matrices per node, with container
+  /// overhead. The unit the store's byte-budgeted prepared-state cache
+  /// accounts evaluators in (src/store/prepared_cache.hpp).
+  std::size_t CacheBytes() const;
+
   /// Steps spent between the two most recent emitted tuples (delay probe
   /// for experiment E8).
   std::size_t last_delay_steps() const { return last_delay_steps_; }

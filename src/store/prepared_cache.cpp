@@ -1,0 +1,249 @@
+#include "store/prepared_cache.hpp"
+
+#include <utility>
+
+#include "engine/document.hpp"
+#include "engine/evaluator.hpp"
+#include "engine/session.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace spanners {
+namespace {
+
+/// Stable handles into the global registry (resolved once; recording through
+/// them is lock-free per metrics.hpp).
+struct CacheMetrics {
+  Counter& hits = MetricsRegistry::Global().GetCounter("store.cache.hit");
+  Counter& misses = MetricsRegistry::Global().GetCounter("store.cache.miss");
+  Counter& evictions = MetricsRegistry::Global().GetCounter("store.cache.evictions");
+  Counter& evicted_bytes =
+      MetricsRegistry::Global().GetCounter("store.cache.evicted_bytes");
+  Gauge& bytes = MetricsRegistry::Global().GetGauge("store.cache.bytes");
+  Gauge& entries = MetricsRegistry::Global().GetGauge("store.cache.entries");
+
+  static CacheMetrics& Get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::size_t ApproxRelationBytes(const SpanRelation& relation) {
+  // Red-black node + key object per tuple, plus the tuple's span vector.
+  std::size_t per_tuple = 0;
+  if (!relation.empty()) {
+    per_tuple = 64 + sizeof(SpanTuple) +
+                relation.begin()->arity() * sizeof(std::optional<Span>);
+  }
+  return sizeof(SpanRelation) + relation.size() * per_tuple;
+}
+
+PreparedStateCache::PreparedStateCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
+                                                    const CompiledQuery& query,
+                                                    const StoreSnapshot& snapshot,
+                                                    StoreDocId doc) {
+  if (snapshot.empty()) {
+    return Unexpected("store cache: empty snapshot");
+  }
+  if (!snapshot.Contains(doc)) {
+    return Unexpected("store cache: document D" + std::to_string(doc) +
+                      " is not in this snapshot");
+  }
+  // The caller's snapshot pins the epoch (and so the arena) for the whole
+  // call; cache entries deliberately hold no epoch handle themselves.
+  const Slp& slp = snapshot.slp();
+  const NodeId root = snapshot.RootOf(doc);
+  const uint64_t arena = slp.arena_id();
+  const ResultKey key{&query, arena, root};
+  CacheMetrics& metrics = CacheMetrics::Get();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+      it->second->stamp = ++clock_;
+      ++hits_;
+      if (MetricsEnabled()) metrics.hits.Increment();
+      return it->second->result;
+    }
+    ++misses_;
+    if (MetricsEnabled()) metrics.misses.Increment();
+  }
+
+  // Miss: compute without holding the cache mutex. Reference-free queries on
+  // a non-empty document take the shared matrix path (the per-generation
+  // evaluator amortises node matrices across documents and edits); everything
+  // else goes through the session's planner over a document view.
+  SpanRelation result;
+  if (!query.features().has_references && root != kNoNode) {
+    std::shared_ptr<MatrixEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::shared_ptr<MatrixEntry>& slot = matrices_[MatrixKey{&query, arena}];
+      if (slot == nullptr) {
+        slot = std::make_shared<MatrixEntry>();
+        slot->evaluator = std::make_unique<SlpSpannerEvaluator>(&query.backing_edva());
+        slot->bytes = 0;
+      }
+      slot->stamp = ++clock_;
+      entry = slot;
+    }
+    {
+      ScopedSpan span("store.cache.matrix_fill");
+      std::lock_guard<std::mutex> eval_lock(entry->eval_mutex);
+      result = FinishSlpRelation(query, slp, root,
+                                 entry->evaluator->EvaluateToRelation(slp, root));
+      const std::size_t new_bytes = entry->evaluator->CacheBytes();
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The entry may have been evicted while we filled it; only entries
+      // still in the map participate in the byte accounting.
+      auto it = matrices_.find(MatrixKey{&query, arena});
+      if (it != matrices_.end() && it->second == entry) {
+        total_bytes_ += new_bytes - entry->bytes;
+        entry->bytes = new_bytes;
+        EvictToBudget();
+      }
+    }
+  } else {
+    Expected<SpanRelation> evaluated =
+        session.Evaluate(query, Document::FromSlp(&slp, root));
+    if (!evaluated.ok()) return evaluated;
+    result = *std::move(evaluated);
+  }
+
+  // Retain the finished relation (a hit for every later evaluation of this
+  // (query, document-version) pair, from any snapshot that still sees it).
+  auto entry = std::make_shared<ResultEntry>();
+  entry->result = result;
+  entry->bytes = ApproxRelationBytes(result);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->stamp = ++clock_;
+    auto [it, inserted] = results_.emplace(key, entry);
+    if (inserted) {
+      total_bytes_ += entry->bytes;
+      EvictToBudget();
+    }
+    if (MetricsEnabled()) {
+      metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
+      metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
+    }
+  }
+  return Expected<SpanRelation>(std::move(result));
+}
+
+void PreparedStateCache::SetBudgetBytes(std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget_bytes;
+  EvictToBudget();
+}
+
+std::size_t PreparedStateCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
+}
+
+PreparedCacheStats PreparedStateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PreparedCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.evicted_bytes = evicted_bytes_;
+  stats.bytes = total_bytes_;
+  stats.result_entries = results_.size();
+  stats.matrix_entries = matrices_.size();
+  stats.budget_bytes = budget_bytes_;
+  return stats;
+}
+
+void PreparedStateCache::DropArena(uint64_t arena_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = results_.begin(); it != results_.end();) {
+    if (it->first.arena == arena_id) {
+      total_bytes_ -= it->second->bytes;
+      it = results_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = matrices_.begin(); it != matrices_.end();) {
+    if (it->first.arena == arena_id) {
+      total_bytes_ -= it->second->bytes;
+      it = matrices_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = CacheMetrics::Get();
+    metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
+    metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
+  }
+}
+
+void PreparedStateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.clear();
+  matrices_.clear();
+  total_bytes_ = 0;
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = CacheMetrics::Get();
+    metrics.bytes.Set(0);
+    metrics.entries.Set(0);
+  }
+}
+
+void PreparedStateCache::EvictToBudget() {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  while (total_bytes_ > budget_bytes_ &&
+         !(results_.empty() && matrices_.empty())) {
+    // Strict LRU across both kinds: O(entries) scan per eviction, fine for
+    // the entry counts a byte budget admits.
+    auto victim_result = results_.end();
+    auto victim_matrix = matrices_.end();
+    uint64_t oldest = UINT64_MAX;
+    for (auto it = results_.begin(); it != results_.end(); ++it) {
+      if (it->second->stamp < oldest) {
+        oldest = it->second->stamp;
+        victim_result = it;
+        victim_matrix = matrices_.end();
+      }
+    }
+    for (auto it = matrices_.begin(); it != matrices_.end(); ++it) {
+      if (it->second->stamp < oldest) {
+        oldest = it->second->stamp;
+        victim_matrix = it;
+        victim_result = results_.end();
+      }
+    }
+    std::size_t freed = 0;
+    if (victim_matrix != matrices_.end()) {
+      freed = victim_matrix->second->bytes;
+      matrices_.erase(victim_matrix);
+    } else if (victim_result != results_.end()) {
+      freed = victim_result->second->bytes;
+      results_.erase(victim_result);
+    } else {
+      break;
+    }
+    total_bytes_ -= freed;
+    ++evictions_;
+    evicted_bytes_ += freed;
+    if (MetricsEnabled()) {
+      metrics.evictions.Increment();
+      metrics.evicted_bytes.Add(freed);
+    }
+  }
+  if (MetricsEnabled()) {
+    metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
+    metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
+  }
+}
+
+}  // namespace spanners

@@ -1,0 +1,130 @@
+/// \file prepared_cache.hpp
+/// \brief Byte-budgeted prepared-state cache for store queries (DESIGN.md
+/// §1.10).
+///
+/// Serving the same compiled query over the same document twice should not
+/// pay preprocessing twice. The cache holds two kinds of prepared state,
+/// both keyed into one LRU under a single configurable byte budget:
+///
+///  * *result entries*, keyed (query, arena, root NodeId): the finished
+///    SpanRelation of one (query, document-version) pair. Because the key
+///    is the immutable root -- not the document id -- an unedited
+///    document's entry survives arbitrarily many commits that edit *other*
+///    documents, and old snapshots keep hitting their version's entries.
+///  * *matrix entries*, keyed (query, arena): the SlpSpannerEvaluator whose
+///    per-node Boolean-matrix cache (paper §4.2) is shared by every
+///    document of one generation -- after a CDE edit only the freshly
+///    created nodes pay (§4.3).
+///
+/// Eviction is strict LRU over both kinds together; the budget is hard
+/// (a relation larger than the whole budget is computed, returned, and not
+/// retained). Hits, misses, evictions, and byte movement are recorded as
+/// store.cache.* metrics (util/metrics.hpp).
+///
+/// Thread safety: all entry bookkeeping sits behind one mutex that is never
+/// held while evaluating; concurrent misses on the same key may duplicate
+/// work but converge on one entry. Matrix evaluators are stateful, so each
+/// entry carries its own mutex serialising use. Keys hold CompiledQuery
+/// pointers: the Session owning the queries must outlive the cache's use of
+/// them (drop entries with Clear() if a session is torn down early).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "engine/compiled_query.hpp"
+#include "store/snapshot.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+class Session;
+
+/// Point-in-time cache statistics (monotonic counters + current footprint).
+struct PreparedCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t evicted_bytes = 0;
+  std::size_t bytes = 0;         ///< current footprint (both entry kinds)
+  std::size_t result_entries = 0;
+  std::size_t matrix_entries = 0;
+  std::size_t budget_bytes = 0;
+};
+
+/// The store's shared prepared-state cache.
+class PreparedStateCache {
+ public:
+  explicit PreparedStateCache(std::size_t budget_bytes);
+
+  PreparedStateCache(const PreparedStateCache&) = delete;
+  PreparedStateCache& operator=(const PreparedStateCache&) = delete;
+
+  /// Evaluates \p query over document \p doc of \p snapshot, serving from
+  /// the cache when possible. Reference-free queries run the SLP matrix
+  /// path against the snapshot's arena (sharing the per-generation matrix
+  /// entry); queries with references fall back to \p session's planner over
+  /// a materialised view. Errors are caller data (unknown document,
+  /// unsupported forced plans), never fatal.
+  Expected<SpanRelation> Evaluate(Session& session, const CompiledQuery& query,
+                                  const StoreSnapshot& snapshot, StoreDocId doc);
+
+  /// The budget. Shrinking evicts immediately.
+  void SetBudgetBytes(std::size_t budget_bytes);
+  std::size_t budget_bytes() const;
+
+  PreparedCacheStats stats() const;
+
+  /// Drops every entry bound to \p arena_id (a superseded generation).
+  void DropArena(uint64_t arena_id);
+
+  /// Drops everything (counters are kept).
+  void Clear();
+
+ private:
+  struct ResultKey {
+    const CompiledQuery* query;
+    uint64_t arena;
+    NodeId root;
+    auto operator<=>(const ResultKey&) const = default;
+  };
+  struct ResultEntry {
+    SpanRelation result;
+    std::size_t bytes = 0;
+    uint64_t stamp = 0;
+  };
+  struct MatrixKey {
+    const CompiledQuery* query;
+    uint64_t arena;
+    auto operator<=>(const MatrixKey&) const = default;
+  };
+  struct MatrixEntry {
+    std::unique_ptr<SlpSpannerEvaluator> evaluator;
+    std::mutex eval_mutex;  ///< the evaluator is stateful; one user at a time
+    std::size_t bytes = 0;
+    uint64_t stamp = 0;
+  };
+
+  /// Evicts least-recently-used entries (of either kind) until the
+  /// footprint fits the budget. Caller holds mutex_.
+  void EvictToBudget();
+
+  mutable std::mutex mutex_;  ///< guards the maps, stamps, and byte totals
+  std::map<ResultKey, std::shared_ptr<ResultEntry>> results_;
+  std::map<MatrixKey, std::shared_ptr<MatrixEntry>> matrices_;
+  std::size_t budget_bytes_;
+  std::size_t total_bytes_ = 0;
+  uint64_t clock_ = 0;  ///< LRU stamp source
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t evicted_bytes_ = 0;
+};
+
+/// Approximate heap footprint of a materialised relation (set nodes plus
+/// per-tuple span storage); the unit result entries are accounted in.
+std::size_t ApproxRelationBytes(const SpanRelation& relation);
+
+}  // namespace spanners

@@ -1,0 +1,137 @@
+/// \file snapshot.hpp
+/// \brief Snapshot isolation over the shared SLP grammar pool (DESIGN.md
+/// §1.10).
+///
+/// SLP nodes are immutable DAG entries, so a consistent view of the store
+/// is nothing more than *which version you looked at*: a StoreSnapshot is a
+/// version number plus the then-live document roots, wrapped around a
+/// shared epoch arena. Taking one is a single atomic shared_ptr load on the
+/// read path (DocumentStore::Snapshot); holding one pins its epoch -- and
+/// therefore every node any of its roots reaches -- for as long as the
+/// snapshot lives, while the single-writer commit path keeps appending
+/// fresh nodes to the same arena. Readers of a snapshot observe
+/// byte-identical documents no matter how many commits happen concurrently.
+///
+/// Generations: a commit whose garbage crosses the GC threshold compacts
+/// the reachable sub-DAG into a *new* epoch (fresh arena). Old snapshots
+/// keep the old epoch alive through their shared_ptr; when the last one is
+/// released, the whole superseded generation is reclaimed at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slp/slp.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+class PreparedStateCache;
+
+/// Stable document identity: ids are assigned from 1 on creation and never
+/// reused, so "D7" names the same logical document across edits, versions,
+/// and GC generations (its *root* changes on every edit).
+using StoreDocId = uint64_t;
+
+/// One generation of the grammar pool. The arena follows the Slp
+/// concurrency contract: the store's commit path is the single writer,
+/// snapshot readers only dereference ids published to them.
+struct StoreEpoch {
+  Slp slp;
+};
+
+/// One live document of a version.
+struct StoreDoc {
+  StoreDocId id = 0;
+  NodeId root = kNoNode;  ///< kNoNode derives the empty document
+};
+
+/// The immutable state published by one commit (internal to the store and
+/// its snapshots; readers go through StoreSnapshot).
+struct StoreVersion {
+  uint64_t version = 0;
+  std::shared_ptr<StoreEpoch> epoch;
+  std::vector<StoreDoc> docs;  ///< sorted by id
+  StoreDocId next_doc_id = 1;
+  std::size_t reachable_nodes = 0;  ///< |S| restricted to the live roots
+  std::shared_ptr<PreparedStateCache> cache;  ///< shared with the store
+};
+
+/// A consistent, immutable view of the store at one version. Cheap to copy;
+/// safe to use from any thread, concurrently with commits. An empty
+/// (default-constructed) snapshot contains no documents.
+class StoreSnapshot {
+ public:
+  StoreSnapshot() = default;
+  explicit StoreSnapshot(std::shared_ptr<const StoreVersion> state)
+      : state_(std::move(state)) {}
+
+  bool empty() const { return state_ == nullptr; }
+
+  uint64_t version() const { return state_ == nullptr ? 0 : state_->version; }
+
+  std::size_t num_documents() const {
+    return state_ == nullptr ? 0 : state_->docs.size();
+  }
+
+  /// The live documents, sorted by id.
+  const std::vector<StoreDoc>& documents() const {
+    static const std::vector<StoreDoc> kEmpty;
+    return state_ == nullptr ? kEmpty : state_->docs;
+  }
+
+  /// The shared grammar pool of this snapshot's generation.
+  /// Require: !empty().
+  const Slp& slp() const {
+    Require(state_ != nullptr, "StoreSnapshot::slp: empty snapshot");
+    return state_->epoch->slp;
+  }
+
+  bool Contains(StoreDocId id) const { return Find(id) != nullptr; }
+
+  /// The root of document \p id. Require: Contains(id).
+  NodeId RootOf(StoreDocId id) const {
+    const StoreDoc* doc = Find(id);
+    Require(doc != nullptr, "StoreSnapshot::RootOf: unknown document");
+    return doc->root;
+  }
+
+  /// |D(id)|. Require: Contains(id).
+  uint64_t LengthOf(StoreDocId id) const {
+    const NodeId root = RootOf(id);
+    return root == kNoNode ? 0 : slp().Length(root);
+  }
+
+  /// Materialises document \p id. Require: Contains(id).
+  std::string Text(StoreDocId id) const {
+    const NodeId root = RootOf(id);
+    return root == kNoNode ? std::string() : slp().Derive(root);
+  }
+
+  /// Nodes reachable from this version's live roots (|S| restricted to 𝔇).
+  std::size_t reachable_nodes() const {
+    return state_ == nullptr ? 0 : state_->reachable_nodes;
+  }
+
+  /// The store's prepared-state cache (shared across versions), or null for
+  /// an empty snapshot. Session::Evaluate(query, snapshot, doc) goes
+  /// through this.
+  PreparedStateCache* cache() const {
+    return state_ == nullptr ? nullptr : state_->cache.get();
+  }
+
+  /// The epoch handle (pins the arena; prepared_cache.cpp keeps it alive
+  /// across an evaluation).
+  std::shared_ptr<StoreEpoch> epoch() const {
+    return state_ == nullptr ? nullptr : state_->epoch;
+  }
+
+ private:
+  const StoreDoc* Find(StoreDocId id) const;
+
+  std::shared_ptr<const StoreVersion> state_;
+};
+
+}  // namespace spanners

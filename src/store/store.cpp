@@ -1,0 +1,290 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/session.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/cde.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace spanners {
+namespace {
+
+struct StoreMetrics {
+  Counter& snapshots;
+  Counter& commits;
+  Counter& commit_errors;
+  Counter& queries;
+  Counter& gc_compactions;
+  Counter& gc_reclaimed_nodes;
+  Gauge& docs;
+  Gauge& nodes_total;
+  Gauge& nodes_live;
+  Histogram& commit_ns;
+
+  static StoreMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static StoreMetrics* metrics = new StoreMetrics{
+        registry.GetCounter("store.snapshots"),
+        registry.GetCounter("store.commits"),
+        registry.GetCounter("store.commit_errors"),
+        registry.GetCounter("store.queries"),
+        registry.GetCounter("store.gc.compactions"),
+        registry.GetCounter("store.gc.reclaimed_nodes"),
+        registry.GetGauge("store.docs"),
+        registry.GetGauge("store.nodes.total"),
+        registry.GetGauge("store.nodes.live"),
+        registry.GetHistogram("store.commit_ns"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+const StoreDoc* StoreSnapshot::Find(StoreDocId id) const {
+  if (state_ == nullptr) return nullptr;
+  const std::vector<StoreDoc>& docs = state_->docs;
+  auto it = std::lower_bound(docs.begin(), docs.end(), id,
+                             [](const StoreDoc& doc, StoreDocId want) {
+                               return doc.id < want;
+                             });
+  return it != docs.end() && it->id == id ? &*it : nullptr;
+}
+
+/// The commit path's working view of the next version: CDE expressions name
+/// documents by store id, so roots/live are dense tables indexed id - 1
+/// (kNoNode is *also* a live empty document; liveness is tracked apart).
+struct DocumentStore::PendingState {
+  Slp* slp = nullptr;
+  std::vector<NodeId> roots;  ///< roots[id - 1]; kNoNode = empty or dead
+  std::vector<char> live;     ///< live[id - 1]
+  StoreDocId next_doc_id = 1;
+};
+
+DocumentStore::DocumentStore(StoreOptions options)
+    : options_(options),
+      cache_(std::make_shared<PreparedStateCache>(options.cache_budget_bytes)) {
+  if (options_.threads == 0) options_.threads = 1;
+  auto genesis = std::make_shared<StoreVersion>();
+  genesis->epoch = std::make_shared<StoreEpoch>();
+  genesis->cache = cache_;
+  head_.Store(std::move(genesis));
+}
+
+StoreSnapshot DocumentStore::Snapshot() const {
+  ScopedSpan span("store.snapshot");
+  if (MetricsEnabled()) StoreMetrics::Get().snapshots.Increment();
+  return StoreSnapshot(head_.Load());
+}
+
+std::string DocumentStore::ApplyOp(PendingState* state, const StoreOp& op,
+                                   std::vector<StoreDocId>* created) {
+  auto is_live = [state](StoreDocId id) {
+    return id >= 1 && id <= state->live.size() && state->live[id - 1] != 0;
+  };
+  auto add_doc = [state, created](NodeId root) {
+    state->roots.push_back(root);
+    state->live.push_back(1);
+    created->push_back(state->next_doc_id);
+    ++state->next_doc_id;
+  };
+
+  switch (op.kind) {
+    case StoreOp::Kind::kInsertText:
+      add_doc(BalancedFromString(*state->slp, op.payload));
+      return {};
+
+    case StoreOp::Kind::kCreateCde:
+    case StoreOp::Kind::kEditCde: {
+      if (op.kind == StoreOp::Kind::kEditCde && !is_live(op.doc)) {
+        return "edit of unknown or dropped document D" + std::to_string(op.doc);
+      }
+      Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(op.payload);
+      if (!parsed.ok()) return parsed.error();
+      // The dense roots table cannot tell an empty document from a dropped
+      // one, so dropped ids are rejected up front.
+      for (std::size_t index : CdeDocumentRefs(**parsed)) {
+        if (!is_live(index + 1)) {
+          return "reference to unknown or dropped document D" +
+                 std::to_string(index + 1);
+        }
+      }
+      Expected<NodeId> root = EvalCdeOnChecked(state->slp, state->roots, **parsed);
+      if (!root.ok()) return root.error();
+      if (op.kind == StoreOp::Kind::kCreateCde) {
+        add_doc(*root);
+      } else {
+        state->roots[op.doc - 1] = *root;
+      }
+      return {};
+    }
+
+    case StoreOp::Kind::kDrop:
+      if (!is_live(op.doc)) {
+        return "drop of unknown or dropped document D" + std::to_string(op.doc);
+      }
+      state->live[op.doc - 1] = 0;
+      state->roots[op.doc - 1] = kNoNode;
+      return {};
+  }
+  FatalError("DocumentStore::ApplyOp: unknown op kind");
+}
+
+Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> writer(commit_mutex_);
+  ScopedSpan span("store.commit");
+  ScopedLatency latency(StoreMetrics::Get().commit_ns);
+
+  const std::shared_ptr<const StoreVersion> current =
+      head_.Load();
+
+  PendingState state;
+  state.slp = &current->epoch->slp;
+  state.next_doc_id = current->next_doc_id;
+  state.roots.assign(state.next_doc_id - 1, kNoNode);
+  state.live.assign(state.next_doc_id - 1, 0);
+  for (const StoreDoc& doc : current->docs) {
+    state.roots[doc.id - 1] = doc.root;
+    state.live[doc.id - 1] = 1;
+  }
+
+  CommitReceipt receipt;
+  for (const StoreOp& op : batch.ops()) {
+    std::string diagnostic = ApplyOp(&state, op, &receipt.created);
+    if (!diagnostic.empty()) {
+      // All-or-nothing: nothing is published. Nodes already appended for
+      // earlier ops of this batch are unreachable garbage for the next GC.
+      if (MetricsEnabled()) StoreMetrics::Get().commit_errors.Increment();
+      return Unexpected("store commit: " + diagnostic);
+    }
+  }
+
+  auto next = std::make_shared<StoreVersion>();
+  for (StoreDocId id = 1; id < state.next_doc_id; ++id) {
+    if (state.live[id - 1] != 0) next->docs.push_back({id, state.roots[id - 1]});
+  }
+
+  std::vector<NodeId> roots;
+  roots.reserve(next->docs.size());
+  for (const StoreDoc& doc : next->docs) roots.push_back(doc.root);
+  const std::vector<bool> seen = state.slp->MarkReachable(roots);
+  std::size_t reachable = 0;
+  for (bool bit : seen) reachable += bit ? 1 : 0;
+
+  receipt.gc.before_nodes = seen.size();
+  receipt.gc.live_nodes = reachable;
+  const std::size_t garbage = seen.size() - reachable;
+  std::shared_ptr<StoreEpoch> epoch = current->epoch;
+  if (garbage >= options_.gc_min_garbage_nodes && !seen.empty() &&
+      static_cast<double>(garbage) >=
+          options_.gc_min_garbage_ratio * static_cast<double>(seen.size())) {
+    ScopedSpan gc_span("store.gc");
+    auto fresh = std::make_shared<StoreEpoch>();
+    CompactSlp(*state.slp, &roots, &fresh->slp);
+    for (std::size_t i = 0; i < next->docs.size(); ++i) {
+      next->docs[i].root = roots[i];
+    }
+    // The superseded generation's cache entries can never be hit again
+    // (fresh arena id); old snapshots pin the epoch itself until released.
+    cache_->DropArena(current->epoch->slp.arena_id());
+    epoch = std::move(fresh);
+    receipt.gc.compacted = true;
+    gc_compactions_.fetch_add(1, std::memory_order_relaxed);
+    gc_reclaimed_nodes_.fetch_add(garbage, std::memory_order_relaxed);
+    if (MetricsEnabled()) {
+      StoreMetrics::Get().gc_compactions.Increment();
+      StoreMetrics::Get().gc_reclaimed_nodes.Add(garbage);
+    }
+  }
+
+  next->version = current->version + 1;
+  next->epoch = epoch;
+  next->next_doc_id = state.next_doc_id;
+  next->reachable_nodes = reachable;
+  next->cache = cache_;
+  receipt.version = next->version;
+
+  const std::size_t num_docs = next->docs.size();
+  const std::size_t arena_nodes = epoch->slp.num_nodes();
+  head_.Store(std::move(next));
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    StoreMetrics& metrics = StoreMetrics::Get();
+    metrics.commits.Increment();
+    metrics.docs.Set(static_cast<int64_t>(num_docs));
+    metrics.nodes_total.Set(static_cast<int64_t>(arena_nodes));
+    metrics.nodes_live.Set(static_cast<int64_t>(reachable));
+  }
+  return receipt;
+}
+
+Expected<StoreDocId> DocumentStore::InsertDocument(std::string text) {
+  WriteBatch batch;
+  batch.Insert(std::move(text));
+  Expected<CommitReceipt> receipt = Commit(batch);
+  if (!receipt.ok()) return receipt.status();
+  return receipt->created.front();
+}
+
+Expected<StoreDocId> DocumentStore::CreateDocument(std::string cde) {
+  WriteBatch batch;
+  batch.Create(std::move(cde));
+  Expected<CommitReceipt> receipt = Commit(batch);
+  if (!receipt.ok()) return receipt.status();
+  return receipt->created.front();
+}
+
+Status DocumentStore::EditDocument(StoreDocId doc, std::string cde) {
+  WriteBatch batch;
+  batch.Edit(doc, std::move(cde));
+  Expected<CommitReceipt> receipt = Commit(batch);
+  return receipt.ok() ? Status::Ok() : receipt.status();
+}
+
+Status DocumentStore::DropDocument(StoreDocId doc) {
+  WriteBatch batch;
+  batch.Drop(doc);
+  Expected<CommitReceipt> receipt = Commit(batch);
+  return receipt.ok() ? Status::Ok() : receipt.status();
+}
+
+std::vector<Expected<SpanRelation>> DocumentStore::QueryAll(
+    Session& session, const CompiledQuery& query, const StoreSnapshot& snapshot) {
+  ScopedSpan span("store.query_all");
+  const std::vector<StoreDoc>& docs = snapshot.documents();
+  std::vector<Expected<SpanRelation>> results(docs.size(),
+                                              Status::Error("not evaluated"));
+  if (docs.empty()) return results;
+  auto evaluate_one = [&](std::size_t i) {
+    if (MetricsEnabled()) StoreMetrics::Get().queries.Increment();
+    ScopedSpan query_span("store.query");
+    results[i] = cache_->Evaluate(session, query, snapshot, docs[i].id);
+  };
+  if (options_.threads <= 1 || docs.size() == 1) {
+    for (std::size_t i = 0; i < docs.size(); ++i) evaluate_one(i);
+    return results;
+  }
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(options_.threads); });
+  pool_->ParallelFor(0, docs.size(), evaluate_one);
+  return results;
+}
+
+StoreStats DocumentStore::Stats() const {
+  const StoreSnapshot snapshot(head_.Load());
+  StoreStats stats;
+  stats.version = snapshot.version();
+  stats.num_documents = snapshot.num_documents();
+  stats.arena_nodes = snapshot.empty() ? 0 : snapshot.slp().num_nodes();
+  stats.reachable_nodes = snapshot.reachable_nodes();
+  stats.commits = commits_.load(std::memory_order_relaxed);
+  stats.gc_compactions = gc_compactions_.load(std::memory_order_relaxed);
+  stats.gc_reclaimed_nodes = gc_reclaimed_nodes_.load(std::memory_order_relaxed);
+  stats.cache = cache_->stats();
+  return stats;
+}
+
+}  // namespace spanners

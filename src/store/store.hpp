@@ -1,0 +1,235 @@
+/// \file store.hpp
+/// \brief The concurrent, snapshot-isolated document store (DESIGN.md §1.10).
+///
+/// A DocumentStore is the serving layer over the library's compressed
+/// document machinery: one shared SLP grammar pool (the *epoch*), a set of
+/// live documents identified by stable StoreDocIds, a single-writer commit
+/// path applying batched CDE expressions (paper §4.3, O(|φ| log d) each),
+/// and a lock-free snapshot read path. The moving parts:
+///
+///   Snapshot()   one atomic shared_ptr load; the returned StoreSnapshot is
+///                an immutable version (number + then-live roots) readers
+///                evaluate against concurrently with any number of commits.
+///   Commit()     serialised on the writer mutex: applies the batch's ops
+///                against the current roots, appends fresh nodes to the
+///                shared arena (readers never see them until...), publishes
+///                a new version, and bumps the version number. All-or-
+///                nothing: a failing op publishes nothing -- nodes already
+///                appended become garbage for the next GC.
+///   GC           generational: when a commit leaves enough garbage
+///                (StoreOptions thresholds), the reachable sub-DAG is
+///                compacted into a fresh epoch (slp.hpp CompactSlp); old
+///                snapshots pin the old epoch until they are released, then
+///                the whole superseded generation frees at once.
+///   Cache        a byte-budgeted PreparedStateCache shared by all versions;
+///                entries are keyed by immutable roots, so documents
+///                untouched by a commit keep their cached state.
+///
+/// In the paper's terms: the store maintains the document database 𝔇 of
+/// Section 4 under complex document editing, serving each query from the
+/// §4.2 Boolean-matrix evaluation with everything expensive cached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/prepared_cache.hpp"
+#include "store/snapshot.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+// ThreadSanitizer detection (GCC defines __SANITIZE_THREAD__; clang exposes
+// __has_feature(thread_sanitizer)).
+#if defined(__SANITIZE_THREAD__)
+#define SPANNERS_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPANNERS_TSAN_BUILD 1
+#endif
+#endif
+
+namespace spanners {
+
+class Session;
+class CompiledQuery;
+
+/// The head-version publication cell. Normally std::atomic<std::shared_ptr>:
+/// Snapshot() is one lock-free load, commits publish with a release store.
+/// Under TSan the libstdc++ implementation is a false positive by
+/// construction -- _Sp_atomic::load reads its raw pointer under an internal
+/// spin bit but releases it with a *relaxed* fetch_sub, so the mutual
+/// exclusion is real while the happens-before edge TSan needs is not
+/// expressed -- so sanitizer builds swap in a mutex, keeping the rest of the
+/// store's concurrency (arena publication, cache, commit/GC) verifiable.
+class HeadCell {
+ public:
+  std::shared_ptr<const StoreVersion> Load() const {
+#ifdef SPANNERS_TSAN_BUILD
+    std::lock_guard<std::mutex> lock(mutex_);
+    return head_;
+#else
+    return head_.load(std::memory_order_acquire);
+#endif
+  }
+
+  void Store(std::shared_ptr<const StoreVersion> next) {
+#ifdef SPANNERS_TSAN_BUILD
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = std::move(next);
+#else
+    head_.store(std::move(next), std::memory_order_release);
+#endif
+  }
+
+ private:
+#ifdef SPANNERS_TSAN_BUILD
+  mutable std::mutex mutex_;
+  std::shared_ptr<const StoreVersion> head_;
+#else
+  std::atomic<std::shared_ptr<const StoreVersion>> head_;
+#endif
+};
+
+/// Store construction knobs.
+struct StoreOptions {
+  /// Budget of the prepared-state cache (results + matrix caches).
+  std::size_t cache_budget_bytes = std::size_t{64} << 20;
+
+  /// GC: compact when garbage / total >= ratio AND garbage >= min nodes.
+  /// Tests force eager GC with {0.0, 1}; ratio > 1.0 disables GC.
+  double gc_min_garbage_ratio = 0.5;
+  std::size_t gc_min_garbage_nodes = 1024;
+
+  /// Worker threads for QueryAll (>= 1; 1 = sequential).
+  std::size_t threads = ThreadPool::DefaultThreadCount();
+};
+
+/// One mutation of a WriteBatch.
+struct StoreOp {
+  enum class Kind : uint8_t { kInsertText, kCreateCde, kEditCde, kDrop };
+  Kind kind = Kind::kInsertText;
+  StoreDocId doc = 0;    ///< kEditCde / kDrop target
+  std::string payload;   ///< text (kInsertText) or CDE expression source
+};
+
+/// A batch of mutations applied atomically by Commit(): either every op
+/// succeeds and one new version is published, or none is. CDE expressions
+/// name documents by store id ("D7" = StoreDocId 7) and see the effects of
+/// earlier ops in the same batch.
+class WriteBatch {
+ public:
+  /// Creates a document from plain text (AVL-balanced build).
+  void Insert(std::string text) {
+    ops_.push_back({StoreOp::Kind::kInsertText, 0, std::move(text)});
+  }
+
+  /// Creates a document as eval(φ) of a CDE expression.
+  void Create(std::string cde) {
+    ops_.push_back({StoreOp::Kind::kCreateCde, 0, std::move(cde)});
+  }
+
+  /// Replaces document \p doc with eval(φ).
+  void Edit(StoreDocId doc, std::string cde) {
+    ops_.push_back({StoreOp::Kind::kEditCde, doc, std::move(cde)});
+  }
+
+  /// Removes document \p doc (its id is never reused).
+  void Drop(StoreDocId doc) { ops_.push_back({StoreOp::Kind::kDrop, doc, {}}); }
+
+  const std::vector<StoreOp>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<StoreOp> ops_;
+};
+
+/// What one commit's GC pass did.
+struct GcStats {
+  bool compacted = false;        ///< a fresh epoch was built
+  std::size_t before_nodes = 0;  ///< arena size going in
+  std::size_t live_nodes = 0;    ///< reachable from the new version's roots
+  std::size_t reclaimed_nodes() const { return before_nodes - live_nodes; }
+};
+
+/// The outcome of a successful Commit().
+struct CommitReceipt {
+  uint64_t version = 0;               ///< the newly published version
+  std::vector<StoreDocId> created;    ///< ids of Insert/Create ops, in order
+  GcStats gc;
+};
+
+/// Aggregate store statistics (point-in-time).
+struct StoreStats {
+  uint64_t version = 0;
+  std::size_t num_documents = 0;
+  std::size_t arena_nodes = 0;      ///< current epoch's node count
+  std::size_t reachable_nodes = 0;  ///< restricted to the live roots
+  uint64_t commits = 0;
+  uint64_t gc_compactions = 0;
+  uint64_t gc_reclaimed_nodes = 0;
+  PreparedCacheStats cache;
+};
+
+/// The store. Thread safety: Snapshot(), Stats(), cache() and QueryAll()
+/// may be called from any thread at any time; Commit() (and the
+/// convenience mutators) serialise on an internal writer mutex.
+class DocumentStore {
+ public:
+  explicit DocumentStore(StoreOptions options = {});
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// The current version; one atomic load, never blocks on the writer.
+  StoreSnapshot Snapshot() const;
+
+  /// Applies \p batch atomically and publishes a new version. Errors (parse
+  /// failures, unknown or dropped documents, positions out of range) leave
+  /// the published state untouched.
+  Expected<CommitReceipt> Commit(const WriteBatch& batch);
+
+  // --- single-op conveniences (each is one Commit) --------------------------
+
+  Expected<StoreDocId> InsertDocument(std::string text);
+  Expected<StoreDocId> CreateDocument(std::string cde);
+  Status EditDocument(StoreDocId doc, std::string cde);
+  Status DropDocument(StoreDocId doc);
+
+  /// Evaluates \p query over every document of \p snapshot on the store's
+  /// thread pool; results are index-aligned with snapshot.documents().
+  /// Cached prepared state is shared across the fan-out.
+  std::vector<Expected<SpanRelation>> QueryAll(Session& session,
+                                               const CompiledQuery& query,
+                                               const StoreSnapshot& snapshot);
+
+  PreparedStateCache& cache() { return *cache_; }
+
+  StoreStats Stats() const;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  /// Mutable commit-path state derived from the current version.
+  struct PendingState;
+
+  /// Applies one op to \p state; returns a diagnostic ("" = ok).
+  std::string ApplyOp(PendingState* state, const StoreOp& op,
+                      std::vector<StoreDocId>* created);
+
+  StoreOptions options_;
+  std::shared_ptr<PreparedStateCache> cache_;
+  std::mutex commit_mutex_;  ///< the single writer
+  HeadCell head_;
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> gc_compactions_{0};
+  std::atomic<uint64_t> gc_reclaimed_nodes_{0};
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily for QueryAll
+};
+
+}  // namespace spanners

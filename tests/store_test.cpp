@@ -1,0 +1,367 @@
+// Tests for the concurrent, snapshot-isolated document store (DESIGN.md
+// §1.10): commit semantics and atomicity, snapshot stability while a writer
+// commits CDE edits (the reader/writer stress runs under
+// -DSPANNERS_SANITIZE=thread in CI), prepared-state cache keying and
+// byte-budget eviction, generational GC, and the DocumentDatabase
+// reachability statistics the GC is built from.
+#include "store/store.hpp"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/cde.hpp"
+#include "util/metrics.hpp"
+
+namespace spanners {
+namespace {
+
+std::string AbRepeat(std::size_t pairs) {
+  std::string text;
+  for (std::size_t i = 0; i < pairs; ++i) text += "ab";
+  return text;
+}
+
+// --- commit semantics -------------------------------------------------------
+
+TEST(StoreTest, InsertSnapshotRead) {
+  DocumentStore store;
+  Expected<StoreDocId> a = store.InsertDocument("abab");
+  Expected<StoreDocId> b = store.InsertDocument("");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+
+  StoreSnapshot snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.version(), 2u);
+  EXPECT_EQ(snapshot.num_documents(), 2u);
+  EXPECT_EQ(snapshot.Text(*a), "abab");
+  EXPECT_EQ(snapshot.Text(*b), "");
+  EXPECT_EQ(snapshot.LengthOf(*a), 4u);
+  EXPECT_EQ(snapshot.LengthOf(*b), 0u);
+}
+
+TEST(StoreTest, CdeCreateEditDrop) {
+  DocumentStore store;
+  ASSERT_TRUE(store.InsertDocument("abcdef").ok());   // D1
+  ASSERT_TRUE(store.InsertDocument("XY").ok());       // D2
+
+  Expected<StoreDocId> created = store.CreateDocument("concat(D1, D2)");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(store.Snapshot().Text(*created), "abcdefXY");
+
+  ASSERT_TRUE(store.EditDocument(*created, "extract(D3, 4, 8)").ok());
+  EXPECT_EQ(store.Snapshot().Text(*created), "defXY");
+
+  // insert(D, D', k) places D' at position k: d + XY + efXY.
+  ASSERT_TRUE(store.EditDocument(*created, "insert(D3, D2, 2)").ok());
+  EXPECT_EQ(store.Snapshot().Text(*created), "dXYefXY");
+
+  ASSERT_TRUE(store.DropDocument(*created).ok());
+  StoreSnapshot snapshot = store.Snapshot();
+  EXPECT_FALSE(snapshot.Contains(*created));
+  EXPECT_EQ(snapshot.num_documents(), 2u);
+
+  // Dropped ids are rejected, and never reused.
+  EXPECT_FALSE(store.EditDocument(*created, "concat(D1, D1)").ok());
+  EXPECT_FALSE(store.CreateDocument("concat(D3, D1)").ok());
+  Expected<StoreDocId> next = store.InsertDocument("z");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 4u);
+}
+
+TEST(StoreTest, BatchIsAtomicAndSeesEarlierOps) {
+  DocumentStore store;
+  ASSERT_TRUE(store.InsertDocument("aaaa").ok());  // D1
+
+  // Later ops of one batch see earlier ones: D2 is created mid-batch.
+  WriteBatch batch;
+  batch.Insert("bb");                     // D2
+  batch.Create("concat(D1, D2)");         // D3 = aaaabb
+  batch.Edit(1, "extract(D3, 5, 6)");     // D1 = bb
+  Expected<CommitReceipt> receipt = store.Commit(batch);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->created, (std::vector<StoreDocId>{2, 3}));
+  EXPECT_EQ(store.Snapshot().Text(1), "bb");
+  EXPECT_EQ(store.Snapshot().Text(3), "aaaabb");
+
+  // A failing op aborts the whole batch: nothing is published.
+  const uint64_t version = store.Snapshot().version();
+  WriteBatch bad;
+  bad.Insert("cc");                        // would be D4
+  bad.Edit(3, "extract(D3, 1, 999)");      // out of range -> batch fails
+  Expected<CommitReceipt> failed = store.Commit(bad);
+  ASSERT_FALSE(failed.ok());
+  StoreSnapshot snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.version(), version);
+  EXPECT_EQ(snapshot.num_documents(), 3u);
+  EXPECT_EQ(snapshot.Text(3), "aaaabb");
+
+  // The failed batch's ids were never assigned.
+  Expected<StoreDocId> next = store.InsertDocument("dd");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 4u);
+}
+
+// --- snapshot isolation under a concurrent writer ---------------------------
+
+// The ISSUE acceptance bar: 8 reader threads each pin one snapshot and must
+// observe byte-identical documents and query results while the writer
+// commits >= 100 CDE edits (with GC thresholds low enough that several
+// generational compactions happen mid-stress). Run under TSan in CI.
+TEST(StoreStressTest, ReadersSeeFrozenSnapshotsWhileWriterCommits) {
+  StoreOptions options;
+  options.gc_min_garbage_nodes = 64;
+  options.gc_min_garbage_ratio = 0.25;
+  DocumentStore store(options);
+  Session session;
+  const CompiledQuery* query = *session.Compile("{x: a+}{y: b+}");
+
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(50)).ok());  // D1: never edited
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(50)).ok());  // D2: the hot doc
+
+  constexpr int kReaders = 8;
+  constexpr int kWriterCommits = 120;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      StoreSnapshot snapshot = store.Snapshot();
+      const std::string text1 = snapshot.Text(1);
+      const std::string text2 = snapshot.Text(2);
+      const SpanRelation result1 = *session.Evaluate(*query, snapshot, 1);
+      const SpanRelation result2 = *session.Evaluate(*query, snapshot, 2);
+      int spins = 0;
+      while (!writer_done.load(std::memory_order_acquire) || spins < 3) {
+        ++spins;
+        if (snapshot.Text(1) != text1 || snapshot.Text(2) != text2 ||
+            *session.Evaluate(*query, snapshot, 1) != result1 ||
+            *session.Evaluate(*query, snapshot, 2) != result2) {
+          failures.fetch_add(1);
+          return;
+        }
+        if ((r + spins) % 3 == 0) {
+          // Fresh snapshots interleaved with the pinned one (their results
+          // may differ across iterations; they only must not crash).
+          StoreSnapshot fresh = store.Snapshot();
+          if (fresh.Contains(2)) (void)fresh.LengthOf(2);
+        }
+      }
+    });
+  }
+
+  std::atomic<int> writer_errors{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kWriterCommits; ++i) {
+      // Rotate D2 by two characters; length stays 100, every edit creates
+      // garbage (the superseded root's spine), so GC kicks in repeatedly.
+      if (!store.EditDocument(2, "extract(concat(D2, D2), 3, 102)").ok()) {
+        writer_errors.fetch_add(1);
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(writer_errors.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(store.Stats().gc_compactions, 1u);
+
+  // The writer's edits were rotations: the final document is still a
+  // rotation of (ab)^50, and the head version reflects all 120 commits.
+  StoreSnapshot final_snapshot = store.Snapshot();
+  EXPECT_EQ(final_snapshot.version(), 2u + kWriterCommits);
+  EXPECT_EQ(final_snapshot.LengthOf(2), 100u);
+  EXPECT_EQ(final_snapshot.Text(1), AbRepeat(50));
+}
+
+// --- the prepared-state cache -----------------------------------------------
+
+// The ISSUE acceptance bar: re-evaluating (query, unedited doc) after an
+// unrelated commit is a cache hit, observable in the store.cache.hit metric.
+TEST(StoreCacheTest, UneditedDocumentSurvivesUnrelatedCommit) {
+  SetTraceLevel(TraceLevel::kCounters);
+  DocumentStore store;
+  Session session;
+  const CompiledQuery* query = *session.Compile("{x: ab}");
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(20)).ok());  // D1: stays unedited
+  ASSERT_TRUE(store.InsertDocument("abba").ok());        // D2: gets edited
+
+  const SpanRelation first = *session.Evaluate(*query, store.Snapshot(), 1);
+  const PreparedCacheStats warm = store.cache().stats();
+  EXPECT_GE(warm.misses, 1u);
+
+  ASSERT_TRUE(store.EditDocument(2, "concat(D2, D2)").ok());
+
+  const uint64_t hits_before =
+      MetricsRegistry::Global().Snapshot().counter("store.cache.hit");
+  const SpanRelation second = *session.Evaluate(*query, store.Snapshot(), 1);
+  const uint64_t hits_after =
+      MetricsRegistry::Global().Snapshot().counter("store.cache.hit");
+
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(hits_after, hits_before + 1) << "expected a store.cache.hit";
+  EXPECT_EQ(store.cache().stats().hits, warm.hits + 1);
+
+  // The edited document's root changed, so its entry cannot be reused.
+  const uint64_t misses_before = store.cache().stats().misses;
+  EXPECT_TRUE(session.Evaluate(*query, store.Snapshot(), 2).ok());
+  EXPECT_EQ(store.cache().stats().misses, misses_before + 1);
+}
+
+TEST(StoreCacheTest, TinyBudgetEvictsDeterministically) {
+  StoreOptions options;
+  options.cache_budget_bytes = 1;  // nothing fits: every retention evicts
+  DocumentStore store(options);
+  Session session;
+  const CompiledQuery* query = *session.Compile("{x: a+}");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.InsertDocument("aa" + std::string(i, 'b')).ok());
+  }
+
+  StoreSnapshot snapshot = store.Snapshot();
+  SpanRelation first = *session.Evaluate(*query, snapshot, 1);
+  for (int round = 0; round < 2; ++round) {
+    for (StoreDocId doc = 1; doc <= 4; ++doc) {
+      EXPECT_TRUE(session.Evaluate(*query, snapshot, doc).ok());
+    }
+  }
+  PreparedCacheStats stats = store.cache().stats();
+  EXPECT_EQ(stats.hits, 0u) << "a 1-byte budget can never serve a hit";
+  EXPECT_EQ(stats.misses, 9u);
+  EXPECT_GE(stats.evictions, 8u);
+  EXPECT_LE(stats.bytes, options.cache_budget_bytes);
+
+  // Same evaluation, same result, budget or not.
+  EXPECT_EQ(*session.Evaluate(*query, snapshot, 1), first);
+
+  // Raising the budget turns the same access pattern into hits.
+  store.cache().SetBudgetBytes(std::size_t{8} << 20);
+  EXPECT_TRUE(session.Evaluate(*query, snapshot, 1).ok());
+  uint64_t miss_plateau = store.cache().stats().misses;
+  EXPECT_EQ(*session.Evaluate(*query, snapshot, 1), first);
+  EXPECT_EQ(store.cache().stats().misses, miss_plateau);
+  EXPECT_GE(store.cache().stats().hits, 1u);
+}
+
+TEST(StoreCacheTest, QueryAllAlignsWithSnapshotDocuments) {
+  DocumentStore store;
+  Session session;
+  const CompiledQuery* query = *session.Compile("{x: b+}");
+  ASSERT_TRUE(store.InsertDocument("abb").ok());
+  ASSERT_TRUE(store.InsertDocument("").ok());
+  ASSERT_TRUE(store.InsertDocument("bbbb").ok());
+  ASSERT_TRUE(store.DropDocument(2).ok());
+
+  StoreSnapshot snapshot = store.Snapshot();
+  std::vector<Expected<SpanRelation>> results =
+      store.QueryAll(session, *query, snapshot);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(snapshot.documents()[0].id, 1u);
+  ASSERT_EQ(snapshot.documents()[1].id, 3u);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(*results[0], *session.Evaluate(*query, snapshot, 1));
+  EXPECT_EQ(*results[1], *session.Evaluate(*query, snapshot, 3));
+}
+
+// --- generational GC --------------------------------------------------------
+
+TEST(StoreGcTest, LiveNodeCountIsNonMonotonicUnderChurn) {
+  StoreOptions options;
+  options.gc_min_garbage_nodes = 1;
+  options.gc_min_garbage_ratio = 0.0;  // compact on any garbage
+  DocumentStore store(options);
+
+  std::vector<std::size_t> arena_sizes;
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(40)).ok());
+  arena_sizes.push_back(store.Stats().arena_nodes);
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(30)).ok());
+  arena_sizes.push_back(store.Stats().arena_nodes);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.EditDocument(2, "extract(concat(D2, D2), 2, 61)").ok());
+    arena_sizes.push_back(store.Stats().arena_nodes);
+  }
+  ASSERT_TRUE(store.DropDocument(2).ok());
+  arena_sizes.push_back(store.Stats().arena_nodes);
+
+  // Eager GC keeps the arena tight: after every commit it holds exactly the
+  // reachable nodes, so the size trace must rise (inserts/edits) and fall
+  // (drop of D2's entire sub-DAG) -- non-monotonic by construction.
+  EXPECT_GT(arena_sizes[1], arena_sizes[0]);
+  EXPECT_LT(arena_sizes.back(), arena_sizes[arena_sizes.size() - 2]);
+  StoreStats stats = store.Stats();
+  EXPECT_EQ(stats.arena_nodes, stats.reachable_nodes);
+  EXPECT_GE(stats.gc_compactions, 1u);
+  EXPECT_GT(stats.gc_reclaimed_nodes, 0u);
+  EXPECT_EQ(store.Snapshot().Text(1), AbRepeat(40));
+}
+
+TEST(StoreGcTest, OldSnapshotsSurviveCompaction) {
+  StoreOptions options;
+  options.gc_min_garbage_nodes = 1;
+  options.gc_min_garbage_ratio = 0.0;
+  DocumentStore store(options);
+  Session session;
+  const CompiledQuery* query = *session.Compile("{x: a+}");
+
+  ASSERT_TRUE(store.InsertDocument("aaabaaa").ok());
+  StoreSnapshot pinned = store.Snapshot();
+  const SpanRelation before = *session.Evaluate(*query, pinned, 1);
+
+  // Drop the only document: GC compacts into an (empty) fresh epoch. The
+  // pinned snapshot still reads the superseded generation.
+  ASSERT_TRUE(store.DropDocument(1).ok());
+  EXPECT_EQ(store.Stats().arena_nodes, 0u);
+  EXPECT_EQ(pinned.Text(1), "aaabaaa");
+  EXPECT_EQ(*session.Evaluate(*query, pinned, 1), before);
+  EXPECT_FALSE(store.Snapshot().Contains(1));
+}
+
+// --- the DocumentDatabase reachability satellite ----------------------------
+
+// The PR's bugfix satellite: DocumentDatabase CDE evaluation leaves behind
+// intermediate nodes (split/concat spines that are not part of any final
+// document); GarbageStats exposes them and Compact reclaims them. The store
+// GC above is built from the same CompactSlp primitive.
+TEST(DatabaseCompactTest, CdeIntermediatesAreReclaimed) {
+  DocumentDatabase database;
+  database.AddDocument(BalancedFromString(database.slp(), AbRepeat(32)));
+  // Each extract materialises split spines; only the final factor survives.
+  ApplyCde(&database, "extract(D1, 9, 40)");
+  ApplyCde(&database, "delete(D2, 5, 12)");
+  std::vector<std::string> texts;
+  for (std::size_t i = 0; i < database.num_documents(); ++i) {
+    texts.push_back(database.slp().Derive(database.document(i)));
+  }
+
+  CompactStats garbage = database.GarbageStats();
+  EXPECT_EQ(garbage.before_nodes, database.slp().num_nodes());
+  EXPECT_LT(garbage.reachable_nodes, garbage.before_nodes)
+      << "CDE evaluation should leave intermediate garbage behind";
+
+  CompactStats compacted = database.Compact();
+  EXPECT_EQ(compacted.reachable_nodes, garbage.reachable_nodes);
+  EXPECT_EQ(database.slp().num_nodes(), compacted.reachable_nodes);
+  for (std::size_t i = 0; i < database.num_documents(); ++i) {
+    EXPECT_EQ(database.slp().Derive(database.document(i)), texts[i]);
+  }
+
+  // Idempotent: a compacted database has nothing left to reclaim.
+  CompactStats again = database.GarbageStats();
+  EXPECT_EQ(again.reclaimed_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace spanners
