@@ -3,15 +3,17 @@
 # EXPERIMENTS.md) plus the unified-engine plan ablation (BM_Engine_*) with
 # --benchmark_format=json and aggregates the reports into a single JSON at
 # the repo root, stamped with the git revision, the machine's core count,
-# the thread knob in effect, and a metrics snapshot from an instrumented
-# engine run (SPANNERS_TRACE=counters quickstart --stats; DESIGN.md §1.9).
+# the thread knob in effect, a metrics snapshot from an instrumented
+# engine run (SPANNERS_TRACE=counters quickstart --stats; DESIGN.md §1.9),
+# and the differential-testing footprint (sweep iteration budget and fuzz
+# seed-corpus sizes; DESIGN.md §1.11).
 #
 # Usage: bench/run_benches.sh [output-json] [build-dir]
-#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR4.json build
+#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR5.json build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out_file="${1:-$repo_root/BENCH_PR4.json}"
+out_file="${1:-$repo_root/BENCH_PR5.json}"
 build_dir="${2:-$repo_root/build}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
@@ -52,7 +54,20 @@ else
   : > "$tmp_dir/quickstart_stats.txt"
 fi
 
-GIT_SHA="$git_sha" python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
+# The differential-testing footprint (DESIGN.md §1.11): the per-run
+# comparison budget of tests/differential_test.cpp and the seed-corpus size
+# of every fuzz target.
+diff_iterations="$(sed -n 's/.*kDifferentialIterations = \([0-9]*\).*/\1/p' \
+  "$repo_root/tests/differential_test.cpp" | head -1)"
+corpus_counts=""
+for dir in "$repo_root"/fuzz/corpus/*/; do
+  name="$(basename "$dir")"
+  corpus_counts+="${corpus_counts:+,}fuzz_${name}=$(find "$dir" -type f | wc -l)"
+done
+
+GIT_SHA="$git_sha" DIFF_ITERATIONS="${diff_iterations:-0}" \
+CORPUS_COUNTS="$corpus_counts" \
+python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
 import json, os, re, sys
 
 out_file, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
@@ -82,6 +97,17 @@ with open(os.path.join(tmp_dir, "quickstart_stats.txt")) as f:
             }
 merged["metrics_snapshot"] = snapshot
 
+# The differential-testing footprint: sweep budget + seed corpus sizes.
+corpus = {}
+for entry in os.environ.get("CORPUS_COUNTS", "").split(","):
+    if "=" in entry:
+        target, count = entry.split("=", 1)
+        corpus[target] = int(count)
+merged["testing"] = {
+    "differential_iterations": int(os.environ.get("DIFF_ITERATIONS", "0")),
+    "seed_corpus_files": corpus,
+}
+
 nproc = os.cpu_count()
 threads_knob = os.environ.get("SPANNERS_THREADS", "")
 merged["env"] = {
@@ -97,5 +123,7 @@ with open(out_file, "w") as f:
     json.dump(merged, f, indent=1)
 print(f"wrote {out_file}: "
       + ", ".join(f"{k}={len(v)} series" for k, v in merged["experiments"].items())
-      + f", metrics_snapshot={len(snapshot['counters'])} counters")
+      + f", metrics_snapshot={len(snapshot['counters'])} counters"
+      + f", differential_iterations={merged['testing']['differential_iterations']}"
+      + f", corpus={sum(corpus.values())} files")
 PY

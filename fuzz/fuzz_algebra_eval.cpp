@@ -1,0 +1,63 @@
+/// \file fuzz_algebra_eval.cpp
+/// \brief Fuzz target: algebra evaluation (∪/π/⋈/ς=) vs the independent
+/// algebra oracle (DESIGN.md §1.11).
+///
+/// The input bytes drive ByteDecisions, which steers RandomSpannerExpr and
+/// RandomDocument: the fuzzer mutates the *structure* of the generated
+/// expression, never its syntax, so every input is a valid workload. Each
+/// one is evaluated three ways -- the production algebra tree
+/// (SpannerExpr::Evaluate), the engine's planner-chosen path, and the
+/// OracleEvaluateSpec set semantics -- and all three must agree.
+#include <string>
+
+#include "engine/document.hpp"
+#include "engine/session.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracle.hpp"
+
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace t = spanners::testing;
+
+  t::ByteDecisions decisions(data, size);
+  t::GeneratorOptions options;
+  options.max_expr_depth = 2;
+  options.max_sub_depth = 1;
+  options.max_doc_length = 8;
+
+  const t::ExprSpec spec = t::RandomSpannerExpr(decisions, options);
+  const std::string document = t::RandomDocument(decisions, options);
+
+  const spanners::SpannerExprPtr expr = t::BuildExpr(spec);
+  const std::vector<std::string> schema = expr->variables().names();
+
+  const t::OracleRelation oracle = t::OracleEvaluateSpec(spec, document);
+  const spanners::SpanRelation expected = t::AlignOracleRelation(oracle, schema);
+
+  // Production path 1: the materialised algebra semantics.
+  const spanners::SpanRelation algebra = expr->Evaluate(document);
+  if (algebra != expected) {
+    t::FuzzAbort("expr: " + spec.ToString() + "\ndocument: \"" + document +
+                 "\"\nalgebra Evaluate:\n" + spanners::RelationToString(algebra, schema) +
+                 "oracle:\n" + spanners::RelationToString(expected, schema));
+  }
+
+  // Production path 2: the engine (compile-algebra + planner-chosen stack).
+  spanners::Session session(spanners::EngineOptions{.force_plan = {}, .threads = 1});
+  const spanners::CompiledQuery* query = session.CompileExpr(expr);
+  const spanners::Document doc = spanners::Document::FromText(document);
+  const spanners::Expected<spanners::SpanRelation> engine = session.Evaluate(*query, doc);
+  if (!engine.ok()) {
+    t::FuzzAbort("expr: " + spec.ToString() + "\ndocument: \"" + document +
+                 "\"\nengine error: " + engine.error());
+  }
+  const spanners::SpanRelation engine_aligned =
+      t::AlignOracleRelation({query->variables().names(), *engine}, schema);
+  if (engine_aligned != expected) {
+    t::FuzzAbort("expr: " + spec.ToString() + "\ndocument: \"" + document +
+                 "\"\nengine:\n" + spanners::RelationToString(engine_aligned, schema) +
+                 "oracle:\n" + spanners::RelationToString(expected, schema));
+  }
+  return 0;
+}

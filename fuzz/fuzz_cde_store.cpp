@@ -1,0 +1,98 @@
+/// \file fuzz_cde_store.cpp
+/// \brief Fuzz target: DocumentStore commit semantics vs the plain-string
+/// ModelStore (DESIGN.md §1.11).
+///
+/// The input bytes drive ByteDecisions through RandomCdeScript: a sequence
+/// of atomic batches (insert / create-from-CDE / edit / drop, with a dash of
+/// deliberately invalid positions and dangling document references). Each
+/// batch is committed to the production DocumentStore -- with GC forced
+/// aggressive, so compaction churn is under test too -- and to the
+/// ModelStore; verdicts, created ids, version numbers, and every live
+/// document's text must match after every batch.
+#include <string>
+
+#include "store/store.hpp"
+#include "testing/cde_model.hpp"
+#include "testing/generators.hpp"
+
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace t = spanners::testing;
+
+  t::ByteDecisions decisions(data, size);
+  t::CdeScriptOptions options;
+  const t::CdeScript script = t::RandomCdeScript(decisions, options);
+
+  spanners::StoreOptions store_options;
+  store_options.threads = 1;
+  store_options.gc_min_garbage_ratio = 0.0;  // compact eagerly: GC under test
+  store_options.gc_min_garbage_nodes = 1;
+  spanners::DocumentStore store(store_options);
+  t::ModelStore model;
+
+  auto dump = [&script](const std::string& detail) {
+    t::FuzzAbort("script:\n" + script.ToString() + detail);
+  };
+
+  for (std::size_t b = 0; b < script.batches.size(); ++b) {
+    spanners::WriteBatch batch;
+    for (const t::ModelOp& op : script.batches[b]) {
+      switch (op.kind) {
+        case t::ModelOp::Kind::kInsert:
+          batch.Insert(op.payload);
+          break;
+        case t::ModelOp::Kind::kCreate:
+          batch.Create(op.payload);
+          break;
+        case t::ModelOp::Kind::kEdit:
+          batch.Edit(op.doc, op.payload);
+          break;
+        case t::ModelOp::Kind::kDrop:
+          batch.Drop(op.doc);
+          break;
+      }
+    }
+    const spanners::Expected<spanners::CommitReceipt> receipt = store.Commit(batch);
+    const t::ModelCommitResult expected = model.Commit(script.batches[b]);
+    const std::string where = "\nbatch: " + std::to_string(b);
+
+    if (receipt.ok() != expected.ok) {
+      dump(where + "\nstore: " + (receipt.ok() ? "ok" : receipt.error()) +
+           "\nmodel: " + (expected.ok ? "ok" : expected.error));
+    }
+    if (!expected.ok) continue;
+
+    if (receipt->version != expected.version) {
+      dump(where + "\nstore version " + std::to_string(receipt->version) +
+           " != model version " + std::to_string(expected.version));
+    }
+    if (receipt->created.size() != expected.created.size()) {
+      dump(where + "\ncreated-id count mismatch");
+    }
+    for (std::size_t i = 0; i < expected.created.size(); ++i) {
+      if (receipt->created[i] != expected.created[i]) {
+        dump(where + "\ncreated id " + std::to_string(receipt->created[i]) +
+             " != model id " + std::to_string(expected.created[i]));
+      }
+    }
+
+    const spanners::StoreSnapshot snapshot = store.Snapshot();
+    const std::vector<uint64_t> live = model.LiveIds();
+    if (snapshot.num_documents() != live.size()) {
+      dump(where + "\nstore has " + std::to_string(snapshot.num_documents()) +
+           " documents, model has " + std::to_string(live.size()));
+    }
+    for (const uint64_t id : live) {
+      if (!snapshot.Contains(id)) {
+        dump(where + "\nmodel document D" + std::to_string(id) + " missing from store");
+      }
+      const std::string text = snapshot.Text(id);
+      if (text != *model.Text(id)) {
+        dump(where + "\nD" + std::to_string(id) + ": store \"" + text + "\" != model \"" +
+             *model.Text(id) + "\"");
+      }
+    }
+  }
+  return 0;
+}

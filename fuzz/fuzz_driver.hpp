@@ -1,0 +1,128 @@
+/// \file fuzz_driver.hpp
+/// \brief Shared harness for the fuzz targets (DESIGN.md §1.11).
+///
+/// Every target defines the libFuzzer entry point
+///     extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+/// and includes this header, which supplies a standalone main() unless
+/// SPANNERS_FUZZ_LIBFUZZER is defined (the Clang -fsanitize=fuzzer build,
+/// where libFuzzer brings its own). The standalone driver makes failures
+/// reproducible without libFuzzer:
+///
+///     fuzz_parser --replay crash-123 corpus/parser/   # files and/or dirs
+///     fuzz_parser --rand 10000 42                     # N seeded random inputs
+///
+/// Divergences abort() after printing a repro dump, which both drivers (and
+/// ASan) report as a crash.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace spanners {
+namespace testing {
+
+/// Divergence report + abort. The message should contain everything needed
+/// to reproduce by hand (pattern, document, both relations, ...).
+[[noreturn]] inline void FuzzAbort(const std::string& message) {
+  std::fprintf(stderr, "=== FUZZ DIVERGENCE ===\n%s\n", message.c_str());
+  std::abort();
+}
+
+#ifndef SPANNERS_FUZZ_LIBFUZZER
+
+namespace fuzz_driver_internal {
+
+inline int ReplayFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+inline int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  uint64_t rand_count = 0;
+  uint64_t rand_seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replay") continue;  // optional marker; paths follow anyway
+    if (arg == "--rand") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--rand needs a count\n");
+        return 1;
+      }
+      rand_count = std::strtoull(argv[++i], nullptr, 10);
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        rand_seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+      continue;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty() && rand_count == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [--replay] <file|dir>...   replay corpus inputs\n"
+                 "       %s --rand <count> [seed]      run seeded random inputs\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  std::size_t replayed = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());
+      for (const std::string& file : files) {
+        if (ReplayFile(file) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (ReplayFile(path) != 0) return 1;
+      ++replayed;
+    }
+  }
+
+  Rng rng(rand_seed);
+  for (uint64_t i = 0; i < rand_count; ++i) {
+    std::vector<uint8_t> bytes(rng.NextBelow(96) + 1);
+    for (uint8_t& byte : bytes) byte = static_cast<uint8_t>(rng.NextBelow(256));
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+
+  std::printf("ok: %zu file(s) replayed, %llu random input(s)\n", replayed,
+              static_cast<unsigned long long>(rand_count));
+  return 0;
+}
+
+}  // namespace fuzz_driver_internal
+#endif  // SPANNERS_FUZZ_LIBFUZZER
+
+}  // namespace testing
+}  // namespace spanners
+
+#ifndef SPANNERS_FUZZ_LIBFUZZER
+int main(int argc, char** argv) {
+  return spanners::testing::fuzz_driver_internal::Main(argc, argv);
+}
+#endif

@@ -1,0 +1,125 @@
+/// \file fuzz_parser.cpp
+/// \brief Fuzz target: regex parsing robustness + bounded differential
+/// evaluation against the oracle (DESIGN.md §1.11).
+///
+/// Input layout: raw bytes up to the first NUL are the pattern, everything
+/// after it is the document. Every input exercises the parser (which must
+/// reject garbage with an error, never crash or abort); inputs that parse
+/// and fall within the oracle's complexity budget additionally run all four
+/// evaluation stacks through Session::EvaluateWithPlan and compare the
+/// relations tuple-for-tuple with OracleEvaluator.
+#include <string>
+#include <string_view>
+
+#include "core/regex_ast.hpp"
+#include "core/regex_parser.hpp"
+#include "engine/document.hpp"
+#include "engine/session.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/slp.hpp"
+#include "testing/oracle.hpp"
+
+#include "fuzz_driver.hpp"
+
+namespace {
+
+using spanners::testing::FuzzAbort;
+
+/// The oracle backtracks exhaustively, so inputs are capped before the
+/// differential stage: small automata, short documents, shallow stars.
+struct PatternShape {
+  std::size_t nodes = 0;
+  std::size_t star_depth = 0;
+};
+
+PatternShape Measure(const spanners::RegexNode* node) {
+  PatternShape shape;
+  if (node == nullptr) return shape;
+  shape.nodes = 1;
+  const bool is_star = node->kind == spanners::RegexKind::kStar ||
+                       node->kind == spanners::RegexKind::kPlus;
+  for (const auto& child : node->children) {
+    const PatternShape inner = Measure(child.get());
+    shape.nodes += inner.nodes;
+    shape.star_depth = std::max(shape.star_depth, inner.star_depth);
+  }
+  if (is_star) ++shape.star_depth;
+  return shape;
+}
+
+std::string Printable(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(c);
+    } else {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\x%02x", static_cast<unsigned char>(c));
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const std::size_t split = bytes.find('\0');
+  const std::string pattern(bytes.substr(0, split));
+  const std::string document(
+      split == std::string_view::npos ? std::string_view() : bytes.substr(split + 1));
+
+  if (pattern.size() > 256) return 0;
+
+  // Stage 1: the parser must handle anything without crashing.
+  const spanners::Expected<spanners::Regex> parsed = spanners::ParseRegexChecked(pattern);
+  if (!parsed.ok()) return 0;
+
+  // Stage 2: bounded differential evaluation.
+  const PatternShape shape = Measure(parsed->root());
+  if (shape.nodes > 24 || parsed->variables().size() > 4 || shape.star_depth > 3) {
+    return 0;
+  }
+  const std::size_t doc_cap = shape.star_depth >= 2 ? 8 : 12;
+  if (document.size() > doc_cap) return 0;
+
+  const spanners::testing::OracleEvaluator oracle(&*parsed);
+  const spanners::SpanRelation expected = oracle.Evaluate(document);
+
+  spanners::Session session(spanners::EngineOptions{.force_plan = {}, .threads = 1});
+  const spanners::Expected<const spanners::CompiledQuery*> query =
+      session.Compile(pattern);
+  if (!query.ok()) return 0;  // e.g. stacks that reject this pattern shape
+
+  const spanners::testing::OracleRelation oracle_relation{
+      parsed->variables().names(), expected};
+  const spanners::SpanRelation aligned = spanners::testing::AlignOracleRelation(
+      oracle_relation, (*query)->variables().names());
+
+  spanners::Slp slp;
+  const spanners::NodeId root = spanners::BalancedFromString(slp, document);
+  const spanners::Document plain = spanners::Document::FromText(document);
+  const spanners::Document compressed = spanners::Document::FromSlp(&slp, root);
+
+  for (const spanners::Document* doc : {&plain, &compressed}) {
+    for (const spanners::PlanKind kind :
+         {spanners::PlanKind::kNaiveDfs, spanners::PlanKind::kEdva,
+          spanners::PlanKind::kRefl, spanners::PlanKind::kSlpMatrix}) {
+      const spanners::Expected<spanners::SpanRelation> actual =
+          session.EvaluateWithPlan(**query, *doc, kind);
+      if (!actual.ok()) continue;  // stack does not support this combination
+      if (*actual != aligned) {
+        FuzzAbort("pattern: " + Printable(pattern) + "\ndocument: \"" +
+                  Printable(document) + "\"\nplan: " +
+                  std::string(spanners::PlanKindName(kind)) +
+                  (doc == &compressed ? " (compressed)" : " (plain)") +
+                  "\nproduction:\n" +
+                  spanners::RelationToString(*actual, (*query)->variables().names()) +
+                  "oracle:\n" +
+                  spanners::RelationToString(aligned, (*query)->variables().names()));
+      }
+    }
+  }
+  return 0;
+}

@@ -31,13 +31,23 @@ SpannerExprPtr SpannerExpr::Primitive(RegularSpanner spanner) {
 }
 
 SpannerExprPtr SpannerExpr::Parse(std::string_view pattern) {
-  return Primitive(RegularSpanner::Compile(pattern));
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kPrimitive;
+  node->source_ = std::string(pattern);
+  node->primitive_ = RegularSpanner::Compile(pattern);
+  node->variables_ = node->primitive_.variables();
+  return node;
 }
 
 Expected<SpannerExprPtr> SpannerExpr::ParseChecked(std::string_view pattern) {
   Expected<RegularSpanner> spanner = RegularSpanner::CompileChecked(pattern);
   if (!spanner.ok()) return spanner.status();
-  return Primitive(std::move(spanner).value());
+  auto node = std::shared_ptr<SpannerExpr>(new SpannerExpr());
+  node->op_ = SpannerOp::kPrimitive;
+  node->source_ = std::string(pattern);
+  node->primitive_ = std::move(spanner).value();
+  node->variables_ = node->primitive_.variables();
+  return SpannerExprPtr(std::move(node));
 }
 
 SpannerExprPtr SpannerExpr::Union(SpannerExprPtr a, SpannerExprPtr b) {
@@ -185,6 +195,31 @@ std::size_t SpannerExpr::size() const {
   return total;
 }
 
+namespace {
+
+// Full transition structure of an automaton, for rendering Primitive()-built
+// leaves that carry no regex source. Structural equality of this string is
+// automaton equality, which keeps ToString() faithful enough to serve as the
+// engine's intern key (two distinct leaves rendering identically once made
+// Session::CompileExpr silently return the wrong query -- found by the
+// differential sweep, DESIGN.md §1.11).
+std::string DescribeAutomaton(const ExtendedVA& a) {
+  std::ostringstream out;
+  out << a.num_states() << ';' << (a.num_states() > 0 ? a.initial() : 0) << ";acc:";
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (a.IsAccepting(s)) out << s << ',';
+  }
+  out << ";t:";
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const EvaTransition& t : a.TransitionsFrom(s)) {
+      out << s << '-' << t.letter.markers << '/' << t.letter.ch << '>' << t.to << ',';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
 std::string SpannerExpr::ToString() const {
   std::ostringstream out;
   switch (op_) {
@@ -195,6 +230,11 @@ std::string SpannerExpr::ToString() const {
         out << variables_.Name(i);
       }
       out << "]";
+      if (!source_.empty()) {
+        out << "(" << source_ << ")";
+      } else {
+        out << "@{" << DescribeAutomaton(primitive_.edva()) << "}";
+      }
       return out.str();
     case SpannerOp::kUnion:
       return "union(" + children_[0]->ToString() + ", " + children_[1]->ToString() + ")";

@@ -67,6 +67,9 @@ class SpannerExpr {
   const RegularSpanner& primitive() const { return primitive_; }
   /// kProject: kept names; kSelectEq: selected names.
   const std::vector<std::string>& names() const { return names_; }
+  /// The regex source of a Parse/ParseChecked leaf; empty for leaves built
+  /// from a bare RegularSpanner via Primitive().
+  const std::string& source() const { return source_; }
 
   /// Materialised bottom-up evaluation: the reference semantics for core
   /// spanners. Output columns follow variables().
@@ -75,7 +78,11 @@ class SpannerExpr {
   /// Number of nodes in the expression.
   std::size_t size() const;
 
-  /// Human-readable rendering, e.g. "project[x](select=[x,y](join(A, B)))".
+  /// Rendering, e.g. "project[x](select=[x,y](join(A, B)))". Faithful: two
+  /// expressions render equally only if they denote the same spanner, so the
+  /// engine can intern compiled expressions by this string. A leaf renders
+  /// its regex source, or -- for Primitive()-built leaves with no source --
+  /// the full transition structure of its automaton.
   std::string ToString() const;
 
  private:
@@ -83,6 +90,7 @@ class SpannerExpr {
 
   SpannerOp op_ = SpannerOp::kPrimitive;
   RegularSpanner primitive_;
+  std::string source_;  ///< kPrimitive: the regex source, when parsed from one
   std::vector<SpannerExprPtr> children_;
   std::vector<std::string> names_;
   VariableSet variables_;

@@ -97,19 +97,21 @@ ExtendedVA JoinAutomata(const ExtendedVA& a, const ExtendedVA& b) {
 }
 
 ExtendedVA ProjectAutomaton(const ExtendedVA& a, const std::vector<std::string>& keep_names) {
+  // Intern in keep_names order: the projection's output schema is the kept
+  // names *as given*, matching SpannerExpr::Project -- interning in the
+  // child's order instead silently permutes columns whenever the projection
+  // reorders them (found by the differential fuzzer, DESIGN.md §1.11).
   VariableSet kept;
-  std::vector<VariableId> map(a.variables().size(), 0);
-  MarkerSet keep_mask = 0;
   for (const std::string& name : keep_names) {
     Require(a.variables().Find(name).has_value(), "ProjectAutomaton: unknown variable");
+    kept.Intern(name);
   }
+  std::vector<VariableId> map(a.variables().size(), 0);
+  MarkerSet keep_mask = 0;
   for (VariableId v = 0; v < a.variables().size(); ++v) {
-    bool keep = false;
-    for (const std::string& name : keep_names) {
-      if (a.variables().Name(v) == name) keep = true;
-    }
-    if (keep) {
-      map[v] = kept.Intern(a.variables().Name(v));
+    const std::optional<VariableId> target = kept.Find(a.variables().Name(v));
+    if (target.has_value()) {
+      map[v] = *target;
       keep_mask |= OpenMarker(v) | CloseMarker(v);
     }
   }

@@ -59,13 +59,32 @@ class Parser {
   }
 
   std::unique_ptr<RegexNode> ParseAlternation() {
+    // Depth guard: nesting is caller-controlled ("((((...))))"), and the
+    // recursive descent must degrade to a parse error, not a stack overflow.
+    if (++depth_ > kMaxNestingDepth) {
+      Fail("pattern nested too deeply");
+      --depth_;
+      return regex::EmptySet();
+    }
     std::vector<std::unique_ptr<RegexNode>> branches;
     branches.push_back(ParseConcat());
     while (error_.empty() && !AtEnd() && Peek() == '|') {
       Take();
       branches.push_back(ParseConcat());
     }
+    --depth_;
     return regex::Alt(std::move(branches));
+  }
+
+  /// Interns \p name unless that would exceed the kMaxVariables capacity --
+  /// another caller-controlled limit that must be a parse error rather than
+  /// a fatal Require inside VariableSet::Intern.
+  std::optional<VariableId> InternChecked(const std::string& name) {
+    if (!variables_.Find(name).has_value() && variables_.size() >= kMaxVariables) {
+      Fail("too many variables (max " + std::to_string(kMaxVariables) + ")");
+      return std::nullopt;
+    }
+    return variables_.Intern(name);
   }
 
   std::unique_ptr<RegexNode> ParseConcat() {
@@ -136,15 +155,18 @@ class Parser {
         SkipSpaces();
         // Intern before descending so that column order follows the order in
         // which capture groups *open*, outermost first.
-        const VariableId variable = variables_.Intern(name);
+        const std::optional<VariableId> variable = InternChecked(name);
+        if (!variable.has_value()) return regex::EmptySet();
         std::unique_ptr<RegexNode> inner = ParseAlternation();
         if (AtEnd() || Take() != '}') Fail("expected '}'");
-        return regex::Capture(variable, std::move(inner));
+        return regex::Capture(*variable, std::move(inner));
       }
       case '&': {
         const std::string name = ParseName();
         if (!AtEnd() && Peek() == ';') Take();  // optional terminator
-        return regex::Ref(variables_.Intern(name));
+        const std::optional<VariableId> variable = InternChecked(name);
+        if (!variable.has_value()) return regex::EmptySet();
+        return regex::Ref(*variable);
       }
       case '[':
         return ParseClass();
@@ -246,8 +268,11 @@ class Parser {
     return regex::Class(set);
   }
 
+  static constexpr std::size_t kMaxNestingDepth = 200;
+
   std::string_view input_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string error_;
   VariableSet variables_;
 };

@@ -169,6 +169,22 @@ Expected<SpanRelation> Session::Evaluate(std::string_view pattern,
   return Evaluate(**query, document);
 }
 
+Expected<SpanRelation> Session::EvaluateWithPlan(const CompiledQuery& query,
+                                                 const Document& document,
+                                                 PlanKind kind) {
+  ScopedSpan span("session.evaluate");
+  ScopedLatency latency(SessionMetrics::Get().eval_ns);
+  const Evaluator& evaluator = EvaluatorFor(kind);
+  Status supported = evaluator.Supports(query, document);
+  if (!supported.ok()) {
+    if (MetricsEnabled()) SessionMetrics::Get().eval_errors.Increment();
+    return supported;
+  }
+  if (MetricsEnabled()) SessionMetrics::Get().evaluations.Increment();
+  ScopedSpan eval_span("session.evaluate.run");
+  return evaluator.Evaluate(query, document);
+}
+
 Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
                                          const StoreSnapshot& snapshot,
                                          StoreDocId doc) {

@@ -77,6 +77,14 @@ class Session {
   /// Convenience: Compile + Evaluate.
   Expected<SpanRelation> Evaluate(std::string_view pattern, const Document& document);
 
+  /// Evaluates with an explicit stack, bypassing the planner and any
+  /// force_plan override for this call only (no session state is touched).
+  /// The differential-testing harness (src/testing/, DESIGN.md §1.11) runs
+  /// every PlanKind through this and compares against the oracle; returns an
+  /// error when the stack cannot evaluate this (query, document) pair.
+  Expected<SpanRelation> EvaluateWithPlan(const CompiledQuery& query,
+                                          const Document& document, PlanKind kind);
+
   /// Evaluates \p query over document \p doc of a store snapshot
   /// (src/store/), serving prepared state -- finished relations and SLP
   /// matrix caches -- from the store's byte-budgeted cache. Safe to call

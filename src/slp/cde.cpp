@@ -98,6 +98,20 @@ class CdeParser {
   }
 
   std::unique_ptr<CdeExpr> ParseExpr() {
+    // Depth guard: nesting is caller-controlled ("concat(concat(..."), and
+    // the recursive descent must degrade to a parse error, not overflow the
+    // stack.
+    if (depth_ >= kMaxNestingDepth) {
+      Fail("expression nested too deeply");
+      return nullptr;
+    }
+    ++depth_;
+    std::unique_ptr<CdeExpr> expr = ParseExprInner();
+    --depth_;
+    return expr;
+  }
+
+  std::unique_ptr<CdeExpr> ParseExprInner() {
     const std::string word = ParseWord();
     if (word.empty()) {
       Fail("expected an operation or document name");
@@ -166,8 +180,11 @@ class CdeParser {
     return expr;
   }
 
+  static constexpr std::size_t kMaxNestingDepth = 200;
+
   std::string_view input_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string error_;
 };
 

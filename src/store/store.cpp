@@ -209,6 +209,9 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
 
   const std::size_t num_docs = next->docs.size();
   const std::size_t arena_nodes = epoch->slp.num_nodes();
+  // Pre-publication: the observer records the version before any reader can
+  // load it, so a recorded observation of it always has a commit record.
+  if (commit_observer_) commit_observer_(StoreSnapshot(next));
   head_.Store(std::move(next));
   commits_.fetch_add(1, std::memory_order_relaxed);
   if (MetricsEnabled()) {
@@ -219,6 +222,13 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
     metrics.nodes_live.Set(static_cast<int64_t>(reachable));
   }
   return receipt;
+}
+
+void DocumentStore::SetCommitObserverForTesting(
+    std::function<void(const StoreSnapshot&)> observer) {
+  // The writer lock keeps the swap from racing an in-flight commit's call.
+  std::lock_guard<std::mutex> writer(commit_mutex_);
+  commit_observer_ = std::move(observer);
 }
 
 Expected<StoreDocId> DocumentStore::InsertDocument(std::string text) {

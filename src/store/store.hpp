@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -209,6 +210,13 @@ class DocumentStore {
 
   PreparedStateCache& cache() { return *cache_; }
 
+  /// Testing-only: \p observer is invoked inside the writer lock with every
+  /// about-to-be-published version, *before* readers can load it -- so the
+  /// observer's commit log always precedes any observation of that version
+  /// (the ordering the SnapshotIsolationChecker of src/testing/ relies on).
+  /// The observer must not call back into the store. Pass nullptr to clear.
+  void SetCommitObserverForTesting(std::function<void(const StoreSnapshot&)> observer);
+
   StoreStats Stats() const;
 
   const StoreOptions& options() const { return options_; }
@@ -224,6 +232,7 @@ class DocumentStore {
   StoreOptions options_;
   std::shared_ptr<PreparedStateCache> cache_;
   std::mutex commit_mutex_;  ///< the single writer
+  std::function<void(const StoreSnapshot&)> commit_observer_;  ///< guarded by commit_mutex_
   HeadCell head_;
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> gc_compactions_{0};

@@ -1,0 +1,258 @@
+#include "testing/cde_model.hpp"
+
+#include <cctype>
+
+namespace spanners {
+namespace testing {
+namespace {
+
+/// Recursive-descent evaluator: parses and evaluates in one pass, directly
+/// on plain strings. Positions follow the paper's 1-based inclusive
+/// convention: extract/delete/copy take a factor [i, j] with
+/// 1 <= i <= j + 1 <= len + 1 (i == j + 1 is the empty factor), insert/copy
+/// place it before position k with 1 <= k <= len + 1. The copy factor is
+/// taken from the *original* base, evaluated before the paste.
+class ModelCdeEval {
+ public:
+  ModelCdeEval(const std::vector<std::optional<std::string>>& docs, std::string_view input)
+      : docs_(docs), input_(input) {}
+
+  Expected<std::string> Run() {
+    const std::string result = Eval(0);
+    SkipSpaces();
+    if (!error_.empty()) return Unexpected(error_);
+    if (pos_ != input_.size()) return Unexpected("model: trailing input");
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) error_ = "model: " + message;
+  }
+
+  void SkipSpaces() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Consume(char c) {
+    SkipSpaces();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return;
+    }
+    Fail(std::string("expected '") + c + "'");
+  }
+
+  uint64_t Number() {
+    SkipSpaces();
+    uint64_t value = 0;
+    bool any = false;
+    while (pos_ < input_.size() && std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(input_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) Fail("expected a number");
+    return value;
+  }
+
+  std::string Word() {
+    SkipSpaces();
+    std::string word;
+    while (pos_ < input_.size() && (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                                    input_[pos_] == '_')) {
+      word.push_back(input_[pos_++]);
+    }
+    return word;
+  }
+
+  std::string Document(const std::string& word) {
+    uint64_t id = 0;
+    for (std::size_t i = 1; i < word.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
+        Fail("bad document name '" + word + "'");
+        return {};
+      }
+      id = id * 10 + static_cast<uint64_t>(word[i] - '0');
+    }
+    if (word.size() < 2 || id == 0) {
+      Fail("document names are D1, D2, ...");
+      return {};
+    }
+    if (id > docs_.size() || !docs_[id - 1].has_value()) {
+      Fail("reference to unknown or dropped document D" + std::to_string(id));
+      return {};
+    }
+    return *docs_[id - 1];
+  }
+
+  /// True iff [i, j] is a factor of a string of length \p len.
+  bool FactorOk(uint64_t i, uint64_t j, std::size_t len) {
+    if (i >= 1 && i <= j + 1 && j <= len) return true;
+    Fail("positions [" + std::to_string(i) + ", " + std::to_string(j) +
+         "] out of range for operand of length " + std::to_string(len));
+    return false;
+  }
+
+  /// True iff k is an insertion point of a string of length \p len.
+  bool PointOk(uint64_t k, std::size_t len) {
+    if (k >= 1 && k <= len + 1) return true;
+    Fail("position " + std::to_string(k) + " out of range for operand of length " +
+         std::to_string(len));
+    return false;
+  }
+
+  std::string Eval(std::size_t depth) {
+    if (!error_.empty()) return {};
+    if (depth > kMaxDepth) {
+      Fail("expression nested too deeply");
+      return {};
+    }
+    const std::string word = Word();
+    if (word.empty()) {
+      Fail("expected an operation or document name");
+      return {};
+    }
+    if (word == "concat") {
+      Consume('(');
+      const std::string a = Eval(depth + 1);
+      Consume(',');
+      const std::string b = Eval(depth + 1);
+      Consume(')');
+      return a + b;
+    }
+    if (word == "extract" || word == "delete") {
+      Consume('(');
+      const std::string base = Eval(depth + 1);
+      Consume(',');
+      const uint64_t i = Number();
+      Consume(',');
+      const uint64_t j = Number();
+      Consume(')');
+      if (!error_.empty() || !FactorOk(i, j, base.size())) return {};
+      if (word == "extract") return base.substr(i - 1, j - i + 1);
+      return base.substr(0, i - 1) + base.substr(j);
+    }
+    if (word == "insert") {
+      Consume('(');
+      const std::string base = Eval(depth + 1);
+      Consume(',');
+      const std::string piece = Eval(depth + 1);
+      Consume(',');
+      const uint64_t k = Number();
+      Consume(')');
+      if (!error_.empty() || !PointOk(k, base.size())) return {};
+      return base.substr(0, k - 1) + piece + base.substr(k - 1);
+    }
+    if (word == "copy") {
+      Consume('(');
+      const std::string base = Eval(depth + 1);
+      Consume(',');
+      const uint64_t i = Number();
+      Consume(',');
+      const uint64_t j = Number();
+      Consume(',');
+      const uint64_t k = Number();
+      Consume(')');
+      if (!error_.empty() || !FactorOk(i, j, base.size()) || !PointOk(k, base.size())) {
+        return {};
+      }
+      return base.substr(0, k - 1) + base.substr(i - 1, j - i + 1) + base.substr(k - 1);
+    }
+    if (word[0] == 'D' || word[0] == 'd') return Document(word);
+    Fail("unknown operation '" + word + "'");
+    return {};
+  }
+
+  const std::vector<std::optional<std::string>>& docs_;
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Expected<std::string> ModelEvalCde(const std::vector<std::optional<std::string>>& docs,
+                                   std::string_view source) {
+  return ModelCdeEval(docs, source).Run();
+}
+
+ModelCommitResult ModelStore::Commit(const std::vector<ModelOp>& batch) {
+  // All-or-nothing: work on a copy, swap in only on full success -- a failed
+  // batch consumes no ids, exactly like the store's discarded PendingState.
+  std::vector<std::optional<std::string>> next = docs_;
+  ModelCommitResult result;
+  auto live = [&next](uint64_t id) {
+    return id >= 1 && id <= next.size() && next[id - 1].has_value();
+  };
+  for (const ModelOp& op : batch) {
+    switch (op.kind) {
+      case ModelOp::Kind::kInsert:
+        next.emplace_back(op.payload);
+        result.created.push_back(next.size());
+        break;
+      case ModelOp::Kind::kCreate:
+      case ModelOp::Kind::kEdit: {
+        if (op.kind == ModelOp::Kind::kEdit && !live(op.doc)) {
+          result.error = "model: edit of unknown or dropped document D" +
+                         std::to_string(op.doc);
+          return result;
+        }
+        Expected<std::string> text = ModelEvalCde(next, op.payload);
+        if (!text.ok()) {
+          result.error = text.error();
+          return result;
+        }
+        if (op.kind == ModelOp::Kind::kCreate) {
+          next.emplace_back(*std::move(text));
+          result.created.push_back(next.size());
+        } else {
+          next[op.doc - 1] = *std::move(text);
+        }
+        break;
+      }
+      case ModelOp::Kind::kDrop:
+        if (!live(op.doc)) {
+          result.error = "model: drop of unknown or dropped document D" +
+                         std::to_string(op.doc);
+          return result;
+        }
+        next[op.doc - 1].reset();
+        break;
+    }
+  }
+  docs_ = std::move(next);
+  next_id_ = docs_.size() + 1;
+  result.ok = true;
+  result.version = ++version_;
+  return result;
+}
+
+std::size_t ModelStore::num_live() const {
+  std::size_t count = 0;
+  for (const auto& doc : docs_) count += doc.has_value() ? 1 : 0;
+  return count;
+}
+
+bool ModelStore::IsLive(uint64_t id) const {
+  return id >= 1 && id <= docs_.size() && docs_[id - 1].has_value();
+}
+
+const std::string* ModelStore::Text(uint64_t id) const {
+  return IsLive(id) ? &*docs_[id - 1] : nullptr;
+}
+
+std::vector<uint64_t> ModelStore::LiveIds() const {
+  std::vector<uint64_t> ids;
+  for (std::size_t i = 0; i < docs_.size(); ++i) {
+    if (docs_[i].has_value()) ids.push_back(i + 1);
+  }
+  return ids;
+}
+
+}  // namespace testing
+}  // namespace spanners

@@ -1,0 +1,74 @@
+/// \file cde_model.hpp
+/// \brief Brute-force reference model of CDE editing and the document store
+/// (DESIGN.md §1.11).
+///
+/// The production store evaluates CDE expressions as AVL splits/concats on a
+/// shared SLP arena; this model materialises every document as a plain
+/// std::string and re-implements the whole pipeline -- its own expression
+/// parser, its own position validation, its own string evaluation, its own
+/// id/liveness/atomicity bookkeeping -- sharing nothing with slp/ or store/.
+/// The differential harnesses commit the same batches to both and demand
+/// identical outcomes: same accept/reject verdict, same created ids, same
+/// document texts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace testing {
+
+/// Parses and evaluates one CDE expression over plain strings, with full
+/// validation (paper §4.3 position rules, 1-based inclusive). docs[i] is
+/// document D(i+1); a disengaged entry is a dropped document, and
+/// referencing one is an error. Independent of slp/cde.*.
+Expected<std::string> ModelEvalCde(const std::vector<std::optional<std::string>>& docs,
+                                   std::string_view source);
+
+/// Outcome of ModelStore::Commit. ok == false leaves the model untouched.
+struct ModelCommitResult {
+  bool ok = false;
+  std::string error;
+  uint64_t version = 0;               ///< version after the commit
+  std::vector<uint64_t> created;      ///< ids of insert/create ops, in order
+};
+
+/// One mutation of a model batch (mirrors the store's WriteBatch ops).
+struct ModelOp {
+  enum class Kind : uint8_t { kInsert, kCreate, kEdit, kDrop };
+  Kind kind = Kind::kInsert;
+  uint64_t doc = 0;      ///< kEdit / kDrop target id
+  std::string payload;   ///< text (kInsert) or CDE expression source
+};
+
+/// Reference document store: ids assigned from 1 in creation order and never
+/// reused, all-or-nothing batches, edits/creates visible to later ops of the
+/// same batch, dropped documents unreferencable. Single-threaded.
+class ModelStore {
+ public:
+  ModelCommitResult Commit(const std::vector<ModelOp>& batch);
+
+  uint64_t version() const { return version_; }
+  uint64_t next_doc_id() const { return next_id_; }
+  std::size_t num_live() const;
+  bool IsLive(uint64_t id) const;
+
+  /// Text of a live document; nullptr if unknown or dropped.
+  const std::string* Text(uint64_t id) const;
+
+  /// Ids of live documents, ascending.
+  std::vector<uint64_t> LiveIds() const;
+
+ private:
+  std::vector<std::optional<std::string>> docs_;  ///< index = id - 1
+  uint64_t version_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace testing
+}  // namespace spanners

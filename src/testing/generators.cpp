@@ -1,0 +1,450 @@
+#include "testing/generators.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace spanners {
+namespace testing {
+
+uint64_t ByteDecisions::Below(uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Little-endian read of just enough bytes to cover [0, bound).
+  unsigned bytes = 0;
+  for (uint64_t x = bound - 1; x != 0; x >>= 8) ++bytes;
+  uint64_t value = 0;
+  for (unsigned b = 0; b < bytes; ++b) {
+    const uint64_t byte = pos_ < size_ ? data_[pos_] : 0;
+    if (pos_ < size_) ++pos_;
+    value |= byte << (8 * b);
+  }
+  return value % bound;
+}
+
+namespace {
+
+template <typename T>
+void Shuffle(DecisionSource& ds, std::vector<T>* items) {
+  for (std::size_t i = items->size(); i > 1; --i) {
+    std::swap((*items)[i - 1], (*items)[ds.Below(i)]);
+  }
+}
+
+/// A random subset of \p universe with at least \p min_size elements, in a
+/// random order.
+std::vector<std::string> RandomSubset(DecisionSource& ds,
+                                      const std::vector<std::string>& universe,
+                                      std::size_t min_size) {
+  std::vector<std::string> pool = universe;
+  Shuffle(ds, &pool);
+  Require(min_size <= pool.size(), "generators: subset larger than universe");
+  const std::size_t size = min_size + ds.Below(pool.size() - min_size + 1);
+  pool.resize(size);
+  return pool;
+}
+
+char RandomLetter(DecisionSource& ds, const GeneratorOptions& options) {
+  if (options.alphabet.empty()) return 'a';
+  return options.alphabet[ds.Below(options.alphabet.size())];
+}
+
+/// A capture-free sub-regex of nesting depth <= \p depth. Composite forms
+/// are fully parenthesised, so the result concatenates safely anywhere.
+std::string RandomSub(DecisionSource& ds, const GeneratorOptions& options,
+                      std::size_t depth) {
+  if (depth == 0 || ds.Chance(2, 5)) {
+    switch (ds.Below(4)) {
+      case 0:
+      case 1:
+        return std::string(1, RandomLetter(ds, options));
+      case 2:
+        return ".";
+      default:
+        return "()";  // epsilon: the boundary case the harness is after
+    }
+  }
+  const std::string a = RandomSub(ds, options, depth - 1);
+  switch (ds.Below(5)) {
+    case 0:
+      return a + RandomSub(ds, options, depth - 1);
+    case 1:
+      return "(" + a + "|" + RandomSub(ds, options, depth - 1) + ")";
+    case 2:
+      return "(" + a + ")*";
+    case 3:
+      return "(" + a + ")+";
+    default:
+      return "(" + a + ")?";
+  }
+}
+
+std::string CaptureSegment(DecisionSource& ds, const GeneratorOptions& options,
+                           const std::string& variable, bool allow_optional) {
+  const std::string body = RandomSub(ds, options, ds.Below(options.max_sub_depth + 1));
+  const std::string segment = "{" + variable + ": " + body + "}";
+  // An optional capture is how schemaless undefined entries arise.
+  if (allow_optional && ds.Chance(1, 3)) return "(" + segment + ")?";
+  return segment;
+}
+
+}  // namespace
+
+std::string RandomPattern(DecisionSource& ds, const GeneratorOptions& options,
+                          const std::vector<std::string>& capture_vars) {
+  // A reference needs its variable captured on every run *before* the
+  // reference position; easiest sound layout: a mandatory capture segment
+  // somewhere, the reference appended at the very end.
+  std::string reference;
+  if (options.allow_references && !capture_vars.empty() && ds.Chance(1, 3)) {
+    reference = capture_vars[ds.Below(capture_vars.size())];
+  }
+
+  std::vector<std::string> segments;
+  for (const std::string& variable : capture_vars) {
+    const bool referenced = variable == reference;
+    segments.push_back(CaptureSegment(ds, options, variable, !referenced));
+    if (!referenced && options.allow_repeated_variables && ds.Chance(1, 4)) {
+      // A second syntactic capture of the same variable: runs firing both
+      // are invalid and must drop out of every pipeline identically.
+      segments.push_back(CaptureSegment(ds, options, variable, true));
+    }
+  }
+  const std::size_t glue = ds.Below(3);
+  for (std::size_t g = 0; g < glue; ++g) {
+    segments.push_back(RandomSub(ds, options, ds.Below(options.max_sub_depth + 1)));
+  }
+  Shuffle(ds, &segments);
+
+  std::string pattern;
+  for (const std::string& segment : segments) pattern += segment;
+  if (!reference.empty()) pattern += "&" + reference;
+  if (pattern.empty()) pattern = "()";
+  return pattern;
+}
+
+std::string RandomPattern(DecisionSource& ds, const GeneratorOptions& options) {
+  return RandomPattern(ds, options, RandomSubset(ds, options.variables, 0));
+}
+
+std::string RandomDocument(DecisionSource& ds, const GeneratorOptions& options) {
+  const std::size_t max_length = std::max<std::size_t>(options.max_doc_length, 1);
+  switch (ds.Below(6)) {
+    case 0:
+      return "";
+    case 1:
+      return std::string(1, RandomLetter(ds, options));
+    case 2: {  // uniform random
+      std::string doc;
+      const std::size_t length = ds.Below(max_length + 1);
+      for (std::size_t i = 0; i < length; ++i) doc.push_back(RandomLetter(ds, options));
+      return doc;
+    }
+    case 3:  // single-letter run: maximal span overlap
+      return std::string(1 + ds.Below(max_length), RandomLetter(ds, options));
+    case 4: {  // short period repeated: periodicity stresses string equality
+      std::string period;
+      const std::size_t plen = 1 + ds.Below(3);
+      for (std::size_t i = 0; i < plen; ++i) period.push_back(RandomLetter(ds, options));
+      std::string doc;
+      while (doc.size() < 1 + ds.Below(max_length)) doc += period;
+      return doc;
+    }
+    default: {  // a run with one position flipped
+      std::string doc(1 + ds.Below(max_length), RandomLetter(ds, options));
+      doc[ds.Below(doc.size())] = RandomLetter(ds, options);
+      return doc;
+    }
+  }
+}
+
+namespace {
+
+/// \p required, when set, constrains the variable-name set of the generated
+/// expression to exactly that set (the union-compatibility invariant).
+ExprSpec GenExpr(DecisionSource& ds, const GeneratorOptions& options, std::size_t depth,
+                 const std::vector<std::string>* required) {
+  // References never appear in algebra leaves: the production SpannerExpr
+  // rejects reference-carrying patterns, matching the paper's core algebra.
+  GeneratorOptions leaf_options = options;
+  leaf_options.allow_references = false;
+
+  if (depth == 0 || ds.Chance(1, 3)) {
+    ExprSpec leaf;
+    leaf.op = OracleOp::kLeaf;
+    leaf.pattern = RandomPattern(
+        ds, leaf_options,
+        required != nullptr ? *required : RandomSubset(ds, options.variables, 0));
+    return leaf;
+  }
+
+  switch (ds.Below(4)) {
+    case 0: {  // union: both children over the same name set
+      const std::vector<std::string> names =
+          required != nullptr ? *required : RandomSubset(ds, options.variables, 0);
+      ExprSpec spec;
+      spec.op = OracleOp::kUnion;
+      spec.children.push_back(GenExpr(ds, options, depth - 1, &names));
+      spec.children.push_back(GenExpr(ds, options, depth - 1, &names));
+      return spec;
+    }
+    case 1: {  // join: right child's names stay within the left's set when
+               // a schema is required (schema = left + fresh right)
+      std::vector<std::string> left_names =
+          required != nullptr ? *required : RandomSubset(ds, options.variables, 0);
+      ExprSpec spec;
+      spec.op = OracleOp::kJoin;
+      spec.children.push_back(GenExpr(ds, options, depth - 1, &left_names));
+      if (required != nullptr) {
+        const std::vector<std::string> right_names = RandomSubset(ds, left_names, 0);
+        spec.children.push_back(GenExpr(ds, options, depth - 1, &right_names));
+      } else {
+        spec.children.push_back(GenExpr(ds, options, depth - 1, nullptr));
+      }
+      return spec;
+    }
+    case 2: {  // project: the child captures the kept names plus extras
+      std::vector<std::string> keep =
+          required != nullptr ? *required : RandomSubset(ds, options.variables, 0);
+      std::vector<std::string> child_names = keep;
+      for (const std::string& extra : options.variables) {
+        if (std::find(child_names.begin(), child_names.end(), extra) ==
+                child_names.end() &&
+            ds.Chance(1, 3)) {
+          child_names.push_back(extra);
+        }
+      }
+      ExprSpec spec;
+      spec.op = OracleOp::kProject;
+      spec.names = std::move(keep);
+      spec.children.push_back(GenExpr(ds, options, depth - 1, &child_names));
+      return spec;
+    }
+    default: {  // select=: needs two variables to be non-vacuous
+      std::vector<std::string> names =
+          required != nullptr ? *required : RandomSubset(ds, options.variables, 0);
+      if (names.size() < 2) {
+        ExprSpec leaf;
+        leaf.op = OracleOp::kLeaf;
+        leaf.pattern = RandomPattern(ds, leaf_options, names);
+        return leaf;
+      }
+      std::vector<std::string> selected = names;
+      Shuffle(ds, &selected);
+      selected.resize(2 + ds.Below(selected.size() - 1));
+      ExprSpec spec;
+      spec.op = OracleOp::kSelectEq;
+      spec.names = std::move(selected);
+      spec.children.push_back(GenExpr(ds, options, depth - 1, &names));
+      return spec;
+    }
+  }
+}
+
+}  // namespace
+
+ExprSpec RandomSpannerExpr(DecisionSource& ds, const GeneratorOptions& options) {
+  return GenExpr(ds, options, ds.Below(options.max_expr_depth + 1), nullptr);
+}
+
+SpannerExprPtr BuildExpr(const ExprSpec& spec) {
+  switch (spec.op) {
+    case OracleOp::kLeaf: {
+      Expected<SpannerExprPtr> leaf = SpannerExpr::ParseChecked(spec.pattern);
+      if (!leaf.ok()) {
+        FatalError("BuildExpr: generated leaf does not parse: " + spec.pattern);
+      }
+      return *leaf;
+    }
+    case OracleOp::kUnion:
+      return SpannerExpr::Union(BuildExpr(spec.children[0]), BuildExpr(spec.children[1]));
+    case OracleOp::kJoin:
+      return SpannerExpr::Join(BuildExpr(spec.children[0]), BuildExpr(spec.children[1]));
+    case OracleOp::kProject:
+      return SpannerExpr::Project(BuildExpr(spec.children[0]), spec.names);
+    case OracleOp::kSelectEq:
+      return SpannerExpr::SelectEq(BuildExpr(spec.children[0]), spec.names);
+  }
+  FatalError("BuildExpr: unknown spec op");
+}
+
+// --- CDE scripts ------------------------------------------------------------
+
+namespace {
+
+std::string RandomText(DecisionSource& ds, const CdeScriptOptions& options) {
+  std::string text;
+  const std::size_t length = ds.Below(options.max_text_length + 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(options.alphabet.empty() ? 'a'
+                                            : options.alphabet[ds.Below(options.alphabet.size())]);
+  }
+  return text;
+}
+
+/// A position in [1, len + 1] (valid insertion point), or deliberately out
+/// of range with probability options.invalid_percent.
+uint64_t RandomPoint(DecisionSource& ds, const CdeScriptOptions& options, uint64_t len) {
+  if (ds.Chance(options.invalid_percent, 100)) return len + 2 + ds.Below(3);
+  return 1 + ds.Below(len + 1);
+}
+
+/// Tracks the text of every generated subexpression so positions can be
+/// chosen valid for the operand they apply to. When an invalid position was
+/// already emitted the tracked text is garbage -- harmless, since the whole
+/// batch is then rejected by both sides.
+struct GenExprResult {
+  std::string source;
+  std::string text;
+};
+
+GenExprResult GenCdeExpr(DecisionSource& ds, const CdeScriptOptions& options,
+                         const std::vector<std::optional<std::string>>& docs,
+                         const std::vector<uint64_t>& live, std::size_t budget) {
+  Require(!live.empty(), "GenCdeExpr: no live documents");
+  if (budget == 0 || ds.Chance(1, 3)) {
+    // Leaf: usually a live document; sometimes, deliberately, a dropped or
+    // unknown one (the batch must then fail identically on both sides).
+    uint64_t id = live[ds.Below(live.size())];
+    if (ds.Chance(options.invalid_percent, 100)) id = docs.size() + 1 + ds.Below(3);
+    const std::string text =
+        id >= 1 && id <= docs.size() && docs[id - 1].has_value() ? *docs[id - 1] : "";
+    return {"D" + std::to_string(id), text};
+  }
+  const std::size_t child_budget = budget - 1;
+  switch (ds.Below(5)) {
+    case 0: {
+      const GenExprResult a = GenCdeExpr(ds, options, docs, live, child_budget / 2);
+      const GenExprResult b = GenCdeExpr(ds, options, docs, live, child_budget / 2);
+      return {"concat(" + a.source + ", " + b.source + ")", a.text + b.text};
+    }
+    case 1:
+    case 2: {  // extract / delete of a factor [i, j], i == j + 1 allowed
+      const bool extract = ds.Below(2) == 0;
+      const GenExprResult base = GenCdeExpr(ds, options, docs, live, child_budget);
+      const uint64_t len = base.text.size();
+      uint64_t i = 1 + ds.Below(len + 1);               // 1 <= i <= len + 1
+      uint64_t j = (i - 1) + ds.Below(len - (i - 1) + 1);  // i - 1 <= j <= len
+      if (ds.Chance(options.invalid_percent, 100)) j = len + 1 + ds.Below(3);
+      const std::string source = (extract ? "extract(" : "delete(") + base.source + ", " +
+                                 std::to_string(i) + ", " + std::to_string(j) + ")";
+      std::string text;
+      if (j <= len && i <= j + 1) {
+        text = extract ? base.text.substr(i - 1, j - i + 1)
+                       : base.text.substr(0, i - 1) + base.text.substr(j);
+      }
+      return {source, text};
+    }
+    case 3: {
+      const GenExprResult base = GenCdeExpr(ds, options, docs, live, child_budget / 2);
+      const GenExprResult piece = GenCdeExpr(ds, options, docs, live, child_budget / 2);
+      const uint64_t len = base.text.size();
+      const uint64_t k = RandomPoint(ds, options, len);
+      const std::string source =
+          "insert(" + base.source + ", " + piece.source + ", " + std::to_string(k) + ")";
+      std::string text;
+      if (k >= 1 && k <= len + 1) {
+        text = base.text.substr(0, k - 1) + piece.text + base.text.substr(k - 1);
+      }
+      return {source, text};
+    }
+    default: {
+      const GenExprResult base = GenCdeExpr(ds, options, docs, live, child_budget);
+      const uint64_t len = base.text.size();
+      const uint64_t i = 1 + ds.Below(len + 1);
+      const uint64_t j = (i - 1) + ds.Below(len - (i - 1) + 1);
+      const uint64_t k = RandomPoint(ds, options, len);
+      const std::string source = "copy(" + base.source + ", " + std::to_string(i) + ", " +
+                                 std::to_string(j) + ", " + std::to_string(k) + ")";
+      std::string text;
+      if (k >= 1 && k <= len + 1) {
+        text = base.text.substr(0, k - 1) + base.text.substr(i - 1, j - i + 1) +
+               base.text.substr(k - 1);
+      }
+      return {source, text};
+    }
+  }
+}
+
+}  // namespace
+
+CdeScript RandomCdeScript(DecisionSource& ds, const CdeScriptOptions& options) {
+  CdeScript script;
+  // The generator runs its own ModelStore so later batches see the true
+  // post-commit state -- including that a deliberately invalid batch
+  // consumed no ids.
+  ModelStore model;
+  for (std::size_t b = 0; b < options.num_batches; ++b) {
+    std::vector<ModelOp> batch;
+    // Batch-local view: creations are visible to later ops of the batch.
+    std::vector<std::optional<std::string>> docs;
+    for (uint64_t id = 1; id < model.next_doc_id(); ++id) {
+      const std::string* text = model.Text(id);
+      docs.emplace_back(text != nullptr ? std::optional<std::string>(*text) : std::nullopt);
+    }
+    const std::size_t ops = 1 + ds.Below(options.max_ops_per_batch);
+    for (std::size_t o = 0; o < ops; ++o) {
+      std::vector<uint64_t> live;
+      for (std::size_t i = 0; i < docs.size(); ++i) {
+        if (docs[i].has_value()) live.push_back(i + 1);
+      }
+      ModelOp op;
+      const uint64_t roll = live.empty() ? 0 : ds.Below(100);
+      if (live.empty() || roll < 30) {
+        op.kind = ModelOp::Kind::kInsert;
+        op.payload = RandomText(ds, options);
+        docs.emplace_back(op.payload);
+      } else if (roll < 60) {
+        op.kind = ModelOp::Kind::kCreate;
+        GenExprResult expr =
+            GenCdeExpr(ds, options, docs, live, 1 + ds.Below(options.max_expr_ops));
+        op.payload = std::move(expr.source);
+        docs.emplace_back(std::move(expr.text));
+      } else if (roll < 85) {
+        op.kind = ModelOp::Kind::kEdit;
+        op.doc = live[ds.Below(live.size())];
+        if (ds.Chance(options.invalid_percent, 100)) op.doc = docs.size() + 2;
+        GenExprResult expr =
+            GenCdeExpr(ds, options, docs, live, 1 + ds.Below(options.max_expr_ops));
+        op.payload = std::move(expr.source);
+        if (op.doc >= 1 && op.doc <= docs.size()) docs[op.doc - 1] = std::move(expr.text);
+      } else {
+        op.kind = ModelOp::Kind::kDrop;
+        op.doc = live[ds.Below(live.size())];
+        if (ds.Chance(options.invalid_percent, 100)) op.doc = docs.size() + 2;
+        if (op.doc >= 1 && op.doc <= docs.size()) docs[op.doc - 1].reset();
+      }
+      batch.push_back(std::move(op));
+    }
+    model.Commit(batch);  // failure is fine: state simply does not advance
+    script.batches.push_back(std::move(batch));
+  }
+  return script;
+}
+
+std::string CdeScript::ToString() const {
+  std::ostringstream out;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    out << "batch " << b << ":\n";
+    for (const ModelOp& op : batches[b]) {
+      switch (op.kind) {
+        case ModelOp::Kind::kInsert:
+          out << "  insert \"" << op.payload << "\"\n";
+          break;
+        case ModelOp::Kind::kCreate:
+          out << "  create " << op.payload << "\n";
+          break;
+        case ModelOp::Kind::kEdit:
+          out << "  edit D" << op.doc << " = " << op.payload << "\n";
+          break;
+        case ModelOp::Kind::kDrop:
+          out << "  drop D" << op.doc << "\n";
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace testing
+}  // namespace spanners

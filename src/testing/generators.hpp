@@ -1,0 +1,145 @@
+/// \file generators.hpp
+/// \brief Seeded random generators for differential testing and fuzzing
+/// (DESIGN.md §1.11).
+///
+/// Every generator draws its choices from a DecisionSource, so the same
+/// code serves two masters: RngDecisions (a seeded util/random.hpp Rng)
+/// drives the deterministic 10^4-iteration sweeps of
+/// tests/differential_test.cpp, and ByteDecisions (a libFuzzer byte string)
+/// drives the fuzz targets in fuzz/ -- a fuzzer mutating bytes mutates the
+/// generated pattern/expression/script structurally, never syntactically,
+/// so inputs stay valid and coverage goes into the evaluators rather than
+/// the parsers. Byte exhaustion degrades every decision to 0, so generation
+/// always terminates and every byte string decodes to *some* workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/algebra.hpp"
+#include "testing/cde_model.hpp"
+#include "testing/oracle.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace testing {
+
+/// Uniform choice stream; see RngDecisions and ByteDecisions.
+class DecisionSource {
+ public:
+  virtual ~DecisionSource() = default;
+
+  /// Uniform-ish integer in [0, bound). Precondition: bound >= 1.
+  virtual uint64_t Below(uint64_t bound) = 0;
+
+  /// True with probability ~ numerator / denominator.
+  bool Chance(uint64_t numerator, uint64_t denominator) {
+    return Below(denominator) < numerator;
+  }
+};
+
+/// Decisions from a seeded deterministic Rng (sweep mode).
+class RngDecisions : public DecisionSource {
+ public:
+  explicit RngDecisions(uint64_t seed) : rng_(seed) {}
+  uint64_t Below(uint64_t bound) override { return rng_.NextBelow(bound); }
+
+ private:
+  Rng rng_;
+};
+
+/// Decisions decoded from a byte string (fuzz mode): one byte per small
+/// decision, little-endian multi-byte reads for larger bounds; exhausted
+/// input yields 0 forever.
+class ByteDecisions : public DecisionSource {
+ public:
+  ByteDecisions(const uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  uint64_t Below(uint64_t bound) override;
+
+  std::size_t consumed() const { return pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Shared generator knobs. The defaults keep the oracle's exhaustive
+/// backtracking fast: small alphabet, short documents, shallow nesting.
+struct GeneratorOptions {
+  std::string alphabet = "ab";
+  /// Variable-name universe (capped at kMaxVariables).
+  std::vector<std::string> variables = {"x", "y", "z"};
+  /// Nesting depth of capture-free sub-regexes inside a capture body.
+  std::size_t max_sub_depth = 2;
+  /// Algebra operator tree depth (0 = leaves only).
+  std::size_t max_expr_depth = 2;
+  std::size_t max_doc_length = 10;
+  /// Permit the same variable to be captured at more than one syntactic
+  /// position (the runs that fire both are invalid and drop out -- a prime
+  /// source of edge cases).
+  bool allow_repeated_variables = true;
+  /// Permit "&x" references after a capture of x (refl pipelines only; the
+  /// SLP / eDVA / algebra pipelines do not support references).
+  bool allow_references = false;
+};
+
+/// A random spanner-regex pattern capturing exactly the variables in
+/// \p capture_vars (each at least once; possibly under "?" so schemaless
+/// undefined entries arise, possibly repeated when the options allow).
+/// The pattern always parses, and its variable set equals \p capture_vars.
+std::string RandomPattern(DecisionSource& ds, const GeneratorOptions& options,
+                          const std::vector<std::string>& capture_vars);
+
+/// A random pattern over a random subset of options.variables.
+std::string RandomPattern(DecisionSource& ds, const GeneratorOptions& options);
+
+/// A random algebra expression of depth <= options.max_expr_depth with
+/// schema-compatible children under every union.
+ExprSpec RandomSpannerExpr(DecisionSource& ds, const GeneratorOptions& options);
+
+/// Interprets \p spec with the production algebra (SpannerExpr). The
+/// counterpart of testing/oracle.hpp's OracleEvaluateSpec.
+SpannerExprPtr BuildExpr(const ExprSpec& spec);
+
+/// A random document from an adversarial family: empty / single letter /
+/// uniform random / single-letter run / short period repeated -- weighted
+/// toward the boundary shapes where off-by-one bugs live.
+std::string RandomDocument(DecisionSource& ds, const GeneratorOptions& options);
+
+// --- CDE scripts ------------------------------------------------------------
+
+/// A generated script: batches of ModelOps (testing/cde_model.hpp) to be
+/// committed atomically, in order. Harnesses translate each ModelOp 1:1 into
+/// a store WriteBatch op and commit to both sides.
+struct CdeScript {
+  std::vector<std::vector<ModelOp>> batches;
+
+  /// Human-readable rendering for failure messages and fuzz repro dumps.
+  std::string ToString() const;
+};
+
+/// Knobs for RandomCdeScript.
+struct CdeScriptOptions {
+  std::size_t num_batches = 8;
+  std::size_t max_ops_per_batch = 3;
+  std::size_t max_text_length = 12;
+  std::size_t max_expr_ops = 4;  ///< operators per generated CDE expression
+  std::string alphabet = "ab";
+  /// Probability (percent) of drawing a deliberately out-of-range position
+  /// or a reference to a dropped document: both sides must agree the batch
+  /// fails.
+  std::size_t invalid_percent = 10;
+};
+
+/// A random CDE script generated against an internal plain-string model, so
+/// positions are usually valid for the documents they apply to (and
+/// occasionally, deliberately, not). Ids follow the store convention:
+/// assigned from 1 in creation order, never reused, visible to later ops of
+/// the same batch.
+CdeScript RandomCdeScript(DecisionSource& ds, const CdeScriptOptions& options);
+
+}  // namespace testing
+}  // namespace spanners

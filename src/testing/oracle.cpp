@@ -1,0 +1,375 @@
+#include "testing/oracle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "core/regex_parser.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+namespace testing {
+namespace {
+
+/// Shared run state of one backtracking match. Captures are recorded (and
+/// undone) along the continuation chain, so at any point the state is
+/// exactly the capture record of the partial run being explored.
+struct RunState {
+  std::string_view doc;
+  std::vector<std::optional<Span>> spans;  ///< current capture record
+  std::vector<char> open;                  ///< variable currently open
+  std::size_t num_assigned = 0;
+  const SpanTuple* constraint = nullptr;   ///< Contains(): prune to this tuple
+};
+
+using Cont = std::function<void(std::size_t)>;
+
+/// Matches \p node over st->doc starting at 0-based \p pos; invokes
+/// \p next(end) for every 0-based end position a run of the node can reach,
+/// with the run's captures recorded in \p st for the duration of the call.
+void MatchNode(const RegexNode* node, std::size_t pos, RunState* st, const Cont& next);
+
+/// Kleene iteration from \p pos: zero iterations accept immediately; each
+/// further iteration must make progress (consume input or capture a new
+/// variable), which bounds the recursion -- an iteration that matched the
+/// empty word without capturing anything would loop forever and, by
+/// determinacy of the state, can add no new results.
+void MatchStar(const RegexNode* body, std::size_t pos, RunState* st, const Cont& next) {
+  next(pos);
+  const std::size_t assigned_before = st->num_assigned;
+  MatchNode(body, pos, st, [&](std::size_t end) {
+    if (end == pos && st->num_assigned == assigned_before) return;
+    MatchStar(body, end, st, next);
+  });
+}
+
+/// Concatenation child \p index onwards.
+void MatchSeq(const std::vector<std::unique_ptr<RegexNode>>& children, std::size_t index,
+              std::size_t pos, RunState* st, const Cont& next) {
+  if (index == children.size()) {
+    next(pos);
+    return;
+  }
+  MatchNode(children[index].get(), pos, st, [&](std::size_t end) {
+    MatchSeq(children, index + 1, end, st, next);
+  });
+}
+
+void MatchNode(const RegexNode* node, std::size_t pos, RunState* st, const Cont& next) {
+  switch (node->kind) {
+    case RegexKind::kEmptySet:
+      return;
+    case RegexKind::kEpsilon:
+      next(pos);
+      return;
+    case RegexKind::kCharClass:
+      if (pos < st->doc.size() &&
+          node->char_class.test(static_cast<unsigned char>(st->doc[pos]))) {
+        next(pos + 1);
+      }
+      return;
+    case RegexKind::kConcat:
+      MatchSeq(node->children, 0, pos, st, next);
+      return;
+    case RegexKind::kAlt:
+      for (const auto& child : node->children) MatchNode(child.get(), pos, st, next);
+      return;
+    case RegexKind::kStar:
+      MatchStar(node->children[0].get(), pos, st, next);
+      return;
+    case RegexKind::kPlus:
+      MatchNode(node->children[0].get(), pos, st, [&](std::size_t end) {
+        MatchStar(node->children[0].get(), end, st, next);
+      });
+      return;
+    case RegexKind::kOptional:
+      next(pos);
+      MatchNode(node->children[0].get(), pos, st, next);
+      return;
+    case RegexKind::kCapture: {
+      const VariableId v = node->variable;
+      // Opening an open or already-captured variable makes the run invalid
+      // (vset-automaton convention): it defines no tuple.
+      if (st->open[v] != 0 || st->spans[v].has_value()) return;
+      if (st->constraint != nullptr) {
+        const std::optional<Span>& want = (*st->constraint)[v];
+        // The tuple says "undefined" but this run captures v, or the span
+        // cannot start here: no run through this capture yields the tuple.
+        if (!want.has_value() || want->begin != pos + 1) return;
+      }
+      st->open[v] = 1;
+      MatchNode(node->children[0].get(), pos, st, [&](std::size_t end) {
+        const Span span(static_cast<Position>(pos + 1), static_cast<Position>(end + 1));
+        if (st->constraint != nullptr && span != *(*st->constraint)[v]) return;
+        st->open[v] = 0;
+        st->spans[v] = span;
+        ++st->num_assigned;
+        next(end);
+        --st->num_assigned;
+        st->spans[v].reset();
+        st->open[v] = 1;
+      });
+      st->open[v] = 0;
+      return;
+    }
+    case RegexKind::kRef: {
+      const VariableId v = node->variable;
+      if (!st->spans[v].has_value()) return;  // reference before capture
+      const std::string_view factor = st->spans[v]->In(st->doc);
+      if (st->doc.substr(pos, factor.size()) == factor) next(pos + factor.size());
+      return;
+    }
+  }
+  FatalError("oracle: unknown regex node kind");
+}
+
+}  // namespace
+
+SpanRelation OracleEvaluator::Evaluate(std::string_view document) const {
+  const std::size_t arity = regex_->variables().size();
+  RunState st;
+  st.doc = document;
+  st.spans.assign(arity, std::nullopt);
+  st.open.assign(arity, 0);
+  SpanRelation result;
+  if (regex_->root() == nullptr) return result;
+  MatchNode(regex_->root(), 0, &st, [&](std::size_t end) {
+    if (end == document.size()) result.insert(SpanTuple(st.spans));
+  });
+  return result;
+}
+
+bool OracleEvaluator::Contains(std::string_view document, const SpanTuple& tuple) const {
+  const std::size_t arity = regex_->variables().size();
+  if (tuple.arity() != arity || regex_->root() == nullptr) return false;
+  std::size_t defined = 0;
+  for (std::size_t v = 0; v < arity; ++v) {
+    if (tuple[v].has_value()) ++defined;
+  }
+  RunState st;
+  st.doc = document;
+  st.spans.assign(arity, std::nullopt);
+  st.open.assign(arity, 0);
+  st.constraint = &tuple;
+  bool found = false;
+  MatchNode(regex_->root(), 0, &st, [&](std::size_t end) {
+    // Every capture already matched the constrained span exactly, so the
+    // run yields the tuple iff it captured all of the tuple's defined
+    // variables (and is accepting).
+    if (end == document.size() && st.num_assigned == defined) found = true;
+  });
+  return found;
+}
+
+SpanRelation OracleEvaluator::EvaluateByEnumeration(std::string_view document) const {
+  const std::size_t arity = regex_->variables().size();
+  // Candidate values per variable: undefined, then every span [i, j> with
+  // 1 <= i <= j <= n + 1.
+  std::vector<std::optional<Span>> candidates;
+  candidates.push_back(std::nullopt);
+  const Position limit = static_cast<Position>(document.size()) + 1;
+  for (Position i = 1; i <= limit; ++i) {
+    for (Position j = i; j <= limit; ++j) candidates.emplace_back(Span(i, j));
+  }
+  SpanRelation result;
+  std::vector<std::size_t> odometer(arity, 0);
+  while (true) {
+    SpanTuple tuple(arity);
+    for (std::size_t v = 0; v < arity; ++v) tuple[v] = candidates[odometer[v]];
+    if (Contains(document, tuple)) result.insert(std::move(tuple));
+    std::size_t digit = 0;
+    while (digit < arity && ++odometer[digit] == candidates.size()) {
+      odometer[digit] = 0;
+      ++digit;
+    }
+    if (digit == arity) break;  // odometer wrapped: all tuples visited
+  }
+  return result;
+}
+
+// --- algebra oracle ---------------------------------------------------------
+
+namespace {
+
+std::size_t IndexOf(const std::vector<std::string>& columns, const std::string& name) {
+  const auto it = std::find(columns.begin(), columns.end(), name);
+  Require(it != columns.end(), "oracle: unknown column");
+  return static_cast<std::size_t>(it - columns.begin());
+}
+
+bool HasColumn(const std::vector<std::string>& columns, const std::string& name) {
+  return std::find(columns.begin(), columns.end(), name) != columns.end();
+}
+
+/// First-occurrence capture order of a pattern: the leaf schema rule.
+std::vector<std::string> PatternCaptureOrder(const std::string& pattern) {
+  const Expected<Regex> parsed = ParseRegexChecked(pattern);
+  Require(parsed.ok(), "oracle: leaf pattern does not parse");
+  return parsed->variables().names();
+}
+
+}  // namespace
+
+std::vector<std::string> SpecSchema(const ExprSpec& spec) {
+  switch (spec.op) {
+    case OracleOp::kLeaf:
+      return PatternCaptureOrder(spec.pattern);
+    case OracleOp::kUnion:
+    case OracleOp::kSelectEq:
+      return SpecSchema(spec.children[0]);
+    case OracleOp::kJoin: {
+      std::vector<std::string> schema = SpecSchema(spec.children[0]);
+      for (const std::string& name : SpecSchema(spec.children[1])) {
+        if (!HasColumn(schema, name)) schema.push_back(name);
+      }
+      return schema;
+    }
+    case OracleOp::kProject:
+      return spec.names;
+  }
+  FatalError("oracle: unknown spec op");
+}
+
+SpanRelation AlignOracleRelation(const OracleRelation& relation,
+                                 const std::vector<std::string>& target) {
+  std::vector<std::optional<std::size_t>> source(target.size());
+  for (std::size_t v = 0; v < target.size(); ++v) {
+    if (HasColumn(relation.columns, target[v])) {
+      source[v] = IndexOf(relation.columns, target[v]);
+    }
+  }
+  SpanRelation aligned;
+  for (const SpanTuple& tuple : relation.tuples) {
+    SpanTuple out(target.size());
+    for (std::size_t v = 0; v < target.size(); ++v) {
+      if (source[v].has_value()) out[v] = tuple[*source[v]];
+    }
+    aligned.insert(std::move(out));
+  }
+  return aligned;
+}
+
+OracleRelation OracleEvaluateSpec(const ExprSpec& spec, std::string_view document) {
+  switch (spec.op) {
+    case OracleOp::kLeaf: {
+      const Expected<Regex> parsed = ParseRegexChecked(spec.pattern);
+      Require(parsed.ok(), "oracle: leaf pattern does not parse");
+      const OracleEvaluator oracle(&*parsed);
+      return {parsed->variables().names(), oracle.Evaluate(document)};
+    }
+    case OracleOp::kUnion: {
+      OracleRelation left = OracleEvaluateSpec(spec.children[0], document);
+      const OracleRelation right = OracleEvaluateSpec(spec.children[1], document);
+      const SpanRelation realigned = AlignOracleRelation(right, left.columns);
+      left.tuples.insert(realigned.begin(), realigned.end());
+      return left;
+    }
+    case OracleOp::kJoin: {
+      const OracleRelation left = OracleEvaluateSpec(spec.children[0], document);
+      const OracleRelation right = OracleEvaluateSpec(spec.children[1], document);
+      OracleRelation result;
+      result.columns = SpecSchema(spec);
+      // Column sources: shared names read from the left (both sides agree on
+      // them by the join condition; undefined only matches undefined).
+      std::vector<std::pair<std::size_t, std::size_t>> shared;
+      for (std::size_t lv = 0; lv < left.columns.size(); ++lv) {
+        if (HasColumn(right.columns, left.columns[lv])) {
+          shared.emplace_back(lv, IndexOf(right.columns, left.columns[lv]));
+        }
+      }
+      for (const SpanTuple& lt : left.tuples) {
+        for (const SpanTuple& rt : right.tuples) {
+          bool compatible = true;
+          for (const auto& [lv, rv] : shared) {
+            if (lt[lv] != rt[rv]) {
+              compatible = false;
+              break;
+            }
+          }
+          if (!compatible) continue;
+          SpanTuple joined(result.columns.size());
+          for (std::size_t v = 0; v < result.columns.size(); ++v) {
+            const std::string& name = result.columns[v];
+            if (HasColumn(left.columns, name)) {
+              joined[v] = lt[IndexOf(left.columns, name)];
+            } else {
+              joined[v] = rt[IndexOf(right.columns, name)];
+            }
+          }
+          result.tuples.insert(std::move(joined));
+        }
+      }
+      return result;
+    }
+    case OracleOp::kProject: {
+      const OracleRelation child = OracleEvaluateSpec(spec.children[0], document);
+      OracleRelation result;
+      result.columns = spec.names;
+      std::vector<std::size_t> keep;
+      for (const std::string& name : spec.names) keep.push_back(IndexOf(child.columns, name));
+      for (const SpanTuple& tuple : child.tuples) {
+        SpanTuple out(keep.size());
+        for (std::size_t v = 0; v < keep.size(); ++v) out[v] = tuple[keep[v]];
+        result.tuples.insert(std::move(out));
+      }
+      return result;
+    }
+    case OracleOp::kSelectEq: {
+      OracleRelation child = OracleEvaluateSpec(spec.children[0], document);
+      std::vector<std::size_t> vars;
+      for (const std::string& name : spec.names) vars.push_back(IndexOf(child.columns, name));
+      OracleRelation result;
+      result.columns = child.columns;
+      for (const SpanTuple& tuple : child.tuples) {
+        // All *defined* selected spans must cover pairwise equal factors
+        // (the schemaless lifting: undefined entries are vacuous).
+        const std::optional<Span>* reference = nullptr;
+        bool keep = true;
+        for (std::size_t v : vars) {
+          if (!tuple[v].has_value()) continue;
+          if (reference == nullptr) {
+            reference = &tuple[v];
+            continue;
+          }
+          if ((*reference)->In(document) != tuple[v]->In(document)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) result.tuples.insert(tuple);
+      }
+      return result;
+    }
+  }
+  FatalError("oracle: unknown spec op");
+}
+
+std::string ExprSpec::ToString() const {
+  std::ostringstream out;
+  switch (op) {
+    case OracleOp::kLeaf:
+      out << "leaf(" << pattern << ")";
+      return out.str();
+    case OracleOp::kUnion:
+      return "union(" + children[0].ToString() + ", " + children[1].ToString() + ")";
+    case OracleOp::kJoin:
+      return "join(" + children[0].ToString() + ", " + children[1].ToString() + ")";
+    case OracleOp::kProject: {
+      out << "project[";
+      for (std::size_t i = 0; i < names.size(); ++i) out << (i > 0 ? "," : "") << names[i];
+      out << "](" << children[0].ToString() << ")";
+      return out.str();
+    }
+    case OracleOp::kSelectEq: {
+      out << "select=[";
+      for (std::size_t i = 0; i < names.size(); ++i) out << (i > 0 ? "," : "") << names[i];
+      out << "](" << children[0].ToString() << ")";
+      return out.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace testing
+}  // namespace spanners

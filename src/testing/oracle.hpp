@@ -1,0 +1,110 @@
+/// \file oracle.hpp
+/// \brief Obviously-correct reference evaluation for differential testing
+/// (DESIGN.md §1.11).
+///
+/// The production pipelines all flow through shared automata machinery
+/// (Thompson construction, eDVA determinisation, Boolean matrices), so a
+/// bug there can make every "independent" pipeline agree on a wrong answer.
+/// The oracle shares *nothing* with that machinery: it interprets the regex
+/// AST directly with a backtracking continuation-passing matcher, applying
+/// the paper's semantics by the book:
+///
+///   * a capture {x: e} opens x at the current position, matches e, and
+///     closes x -- a run that opens a variable twice (repeated capture, or a
+///     capture under a star firing more than once) is invalid and is
+///     ignored, mirroring the vset-automaton convention (§2.2);
+///   * variables no accepting run captures stay undefined ("bottom"), the
+///     schemaless semantics of §2.2;
+///   * a reference &x matches exactly the factor captured for x earlier on
+///     the run (refl semantics, §3.1); a run reaching a reference before its
+///     capture defines no tuple.
+///
+/// Two evaluation modes: Evaluate() collects the tuples of all accepting
+/// runs (fast enough for 10^4-iteration sweeps), and EvaluateByEnumeration()
+/// materialises *every* candidate span tuple -- all O(n^(2k)) of them -- and
+/// keeps those Contains() admits, which cross-checks the oracle against
+/// itself on small inputs. The algebra oracle evaluates ∪/π/⋈/ς= trees by
+/// their set semantics over named columns, independent of core/algebra.cpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/regex_ast.hpp"
+#include "core/span.hpp"
+
+namespace spanners {
+namespace testing {
+
+/// Brute-force reference evaluator for one spanner regex.
+class OracleEvaluator {
+ public:
+  /// \p regex must outlive the evaluator. References are supported as long
+  /// as every run reaches the capture before the reference (the generators
+  /// only emit such patterns).
+  explicit OracleEvaluator(const Regex* regex) : regex_(regex) {}
+
+  const VariableSet& variables() const { return regex_->variables(); }
+
+  /// [[S]](document) by exhaustive backtracking over the AST. Tuples are
+  /// over variables() in intern order.
+  SpanRelation Evaluate(std::string_view document) const;
+
+  /// Is \p tuple in [[S]](document)? Checked directly: is there an accepting
+  /// run whose capture record equals the tuple exactly?
+  bool Contains(std::string_view document, const SpanTuple& tuple) const;
+
+  /// Enumerates all ((n+1)(n+2)/2 + 1)^k candidate tuples over a document of
+  /// length n and filters with Contains(). Exponential in k -- the
+  /// self-check mode for tiny documents only.
+  SpanRelation EvaluateByEnumeration(std::string_view document) const;
+
+ private:
+  const Regex* regex_;
+};
+
+/// A relation with named columns: the algebra oracle's result type. Column
+/// order mirrors the production schema rules (leaf: first capture
+/// occurrence; join: left columns then fresh right ones; project: the kept
+/// names in order) so that results align tuple-for-tuple, but harnesses
+/// should compare via AlignOracleRelation to stay robust.
+struct OracleRelation {
+  std::vector<std::string> columns;
+  SpanRelation tuples;
+};
+
+/// Reorders \p relation's columns into \p target order (columns absent from
+/// the relation become undefined entries). Use before comparing against a
+/// production relation whose schema order may differ.
+SpanRelation AlignOracleRelation(const OracleRelation& relation,
+                                 const std::vector<std::string>& target);
+
+/// The algebra operators of an oracle expression tree (mirrors SpannerOp
+/// without depending on the production algebra types).
+enum class OracleOp : uint8_t { kLeaf, kUnion, kJoin, kProject, kSelectEq };
+
+/// A purely descriptive algebra expression: the "genotype" both the
+/// production SpannerExpr builder (testing/generators.hpp) and the oracle
+/// interpret, so neither implementation feeds the other.
+struct ExprSpec {
+  OracleOp op = OracleOp::kLeaf;
+  std::string pattern;             ///< kLeaf: the spanner-regex source
+  std::vector<std::string> names;  ///< kProject: kept names; kSelectEq: selected
+  std::vector<ExprSpec> children;
+
+  /// Multi-line rendering for failure messages and fuzz repro dumps.
+  std::string ToString() const;
+};
+
+/// The schema the production algebra assigns to \p spec (leaf: first-capture
+/// order; union: left child's; join: left then fresh right; project: kept
+/// names; select: child's schema).
+std::vector<std::string> SpecSchema(const ExprSpec& spec);
+
+/// Evaluates \p spec on \p document by the algebra's set semantics, with
+/// OracleEvaluator at the leaves.
+OracleRelation OracleEvaluateSpec(const ExprSpec& spec, std::string_view document);
+
+}  // namespace testing
+}  // namespace spanners

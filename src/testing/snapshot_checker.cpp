@@ -1,0 +1,108 @@
+#include "testing/snapshot_checker.hpp"
+
+#include <sstream>
+
+namespace spanners {
+namespace testing {
+
+SnapshotIsolationChecker::VersionRecord SnapshotIsolationChecker::Materialise(
+    const StoreSnapshot& snapshot) {
+  VersionRecord record;
+  record.version = snapshot.version();
+  for (const StoreDoc& doc : snapshot.documents()) {
+    record.docs.emplace_back(doc.id, snapshot.Text(doc.id));
+  }
+  return record;
+}
+
+void SnapshotIsolationChecker::RecordCommit(const StoreSnapshot& snapshot) {
+  VersionRecord record = Materialise(snapshot);
+  std::lock_guard<std::mutex> lock(mutex_);
+  commits_.push_back(std::move(record));
+}
+
+void SnapshotIsolationChecker::RecordObservation(std::size_t reader,
+                                                 const StoreSnapshot& snapshot) {
+  // Materialise outside the lock: the snapshot is immutable, and deriving
+  // texts is the expensive part.
+  VersionRecord record = Materialise(snapshot);
+  std::lock_guard<std::mutex> lock(mutex_);
+  observations_[reader].push_back(std::move(record));
+}
+
+namespace {
+
+std::string DescribeDocs(const std::vector<std::pair<StoreDocId, std::string>>& docs) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "D" << docs[i].first << "=\"" << docs[i].second << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string SnapshotIsolationChecker::Verify() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  std::map<uint64_t, const VersionRecord*> history;
+  for (std::size_t i = 0; i < commits_.size(); ++i) {
+    const VersionRecord& commit = commits_[i];
+    if (i > 0 && commit.version != commits_[i - 1].version + 1) {
+      return "commit log not consecutive: version " + std::to_string(commit.version) +
+             " follows " + std::to_string(commits_[i - 1].version);
+    }
+    if (!history.emplace(commit.version, &commit).second) {
+      return "version " + std::to_string(commit.version) + " committed twice";
+    }
+  }
+
+  for (const auto& [reader, log] : observations_) {
+    uint64_t previous = 0;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const VersionRecord& seen = log[i];
+      if (seen.version < previous) {
+        return "reader " + std::to_string(reader) + " went back in time: version " +
+               std::to_string(seen.version) + " after " + std::to_string(previous);
+      }
+      previous = seen.version;
+      if (seen.version == 0) {
+        // The genesis version is never announced by the observer; it must
+        // look empty.
+        if (!seen.docs.empty()) {
+          return "reader " + std::to_string(reader) +
+                 " observed documents at genesis version 0: " + DescribeDocs(seen.docs);
+        }
+        continue;
+      }
+      const auto it = history.find(seen.version);
+      if (it == history.end()) {
+        return "reader " + std::to_string(reader) + " observed uncommitted version " +
+               std::to_string(seen.version);
+      }
+      if (seen.docs != it->second->docs) {
+        return "reader " + std::to_string(reader) + " observed version " +
+               std::to_string(seen.version) + " as " + DescribeDocs(seen.docs) +
+               " but the commit log has " + DescribeDocs(it->second->docs);
+      }
+    }
+  }
+  return {};
+}
+
+std::size_t SnapshotIsolationChecker::num_commits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commits_.size();
+}
+
+std::size_t SnapshotIsolationChecker::num_observations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [reader, log] : observations_) total += log.size();
+  return total;
+}
+
+}  // namespace testing
+}  // namespace spanners

@@ -1,0 +1,68 @@
+/// \file snapshot_checker.hpp
+/// \brief Black-box snapshot-isolation checking for DocumentStore stress
+/// runs (DESIGN.md §1.11).
+///
+/// The store promises that a snapshot is an immutable committed version:
+/// readers observe byte-identical documents no matter how many commits and
+/// GC compactions run concurrently. The checker verifies that promise from
+/// two logs: the writer side records every about-to-be-published version
+/// via DocumentStore::SetCommitObserverForTesting (invoked inside the
+/// writer lock *before* publication, so the record always precedes any
+/// reader observing that version), and each reader records the full
+/// contents of every snapshot it loads. Verify() then checks, offline:
+///
+///   1. committed versions are consecutive (one commit, one version);
+///   2. every observation matches a committed version exactly -- same
+///      document ids, same texts, byte for byte (version 0 is the empty
+///      genesis) -- i.e. no torn reads, no phantom or lost documents;
+///   3. versions are monotone per reader (a reader re-snapshotting never
+///      travels back in time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/snapshot.hpp"
+
+namespace spanners {
+namespace testing {
+
+/// Thread-safe observation recorder + offline verifier. Record from as many
+/// threads as the stress run has; Verify() after they join.
+class SnapshotIsolationChecker {
+ public:
+  /// Writer side: records \p snapshot as a committed version. Wire it up:
+  ///   store.SetCommitObserverForTesting(
+  ///       [&](const StoreSnapshot& s) { checker.RecordCommit(s); });
+  void RecordCommit(const StoreSnapshot& snapshot);
+
+  /// Reader side: records everything \p reader sees in \p snapshot
+  /// (version plus every document's id and materialised text).
+  void RecordObservation(std::size_t reader, const StoreSnapshot& snapshot);
+
+  /// Empty when every observation is consistent; otherwise a diagnostic
+  /// naming the first violation.
+  std::string Verify() const;
+
+  std::size_t num_commits() const;
+  std::size_t num_observations() const;
+
+ private:
+  struct VersionRecord {
+    uint64_t version = 0;
+    std::vector<std::pair<StoreDocId, std::string>> docs;  ///< sorted by id
+  };
+
+  static VersionRecord Materialise(const StoreSnapshot& snapshot);
+
+  mutable std::mutex mutex_;
+  std::vector<VersionRecord> commits_;
+  std::map<std::size_t, std::vector<VersionRecord>> observations_;  ///< per reader
+};
+
+}  // namespace testing
+}  // namespace spanners

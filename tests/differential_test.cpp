@@ -1,0 +1,361 @@
+// Seeded differential sweeps (DESIGN.md §1.11): every evaluation pipeline
+// vs the brute-force oracle, the document store vs the plain-string model,
+// and an 8-reader snapshot-isolation stress run checked offline.
+//
+// The sweeps are the fast-tier cousins of the fuzz/ targets: the same
+// generators, driven by RngDecisions with fixed seeds instead of fuzzer
+// bytes, sized to finish in a few seconds. bench/run_benches.sh greps
+// kDifferentialIterations below to stamp the sweep size into its report.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/regex_parser.hpp"
+#include "engine/document.hpp"
+#include "engine/session.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/slp.hpp"
+#include "store/store.hpp"
+#include "testing/cde_model.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracle.hpp"
+#include "testing/snapshot_checker.hpp"
+
+namespace spanners {
+namespace {
+
+using testing::AlignOracleRelation;
+using testing::ByteDecisions;
+using testing::CdeScript;
+using testing::CdeScriptOptions;
+using testing::ExprSpec;
+using testing::GeneratorOptions;
+using testing::ModelCommitResult;
+using testing::ModelOp;
+using testing::ModelStore;
+using testing::OracleEvaluator;
+using testing::OracleRelation;
+using testing::RandomCdeScript;
+using testing::RandomDocument;
+using testing::RandomPattern;
+using testing::RandomSpannerExpr;
+using testing::RngDecisions;
+using testing::SnapshotIsolationChecker;
+
+// The sweep budget: the constants below must add up to at least this many
+// differential comparisons per full run (greppable by bench/run_benches.sh).
+constexpr int kDifferentialIterations = 10000;
+
+constexpr int kPatternCount = 650;      // patterns in the five-pipeline sweep
+constexpr int kDocsPerPattern = 8;      // documents evaluated per pattern
+constexpr int kReferenceCount = 400;    // (pattern, doc) pairs with &x refs
+constexpr int kAlgebraCount = 2600;     // random algebra expressions
+constexpr int kCdeScriptCount = 250;    // random store scripts
+constexpr int kCdeBatchesPerScript = 8; // committed batches per script
+
+static_assert(kPatternCount * kDocsPerPattern + kReferenceCount + kAlgebraCount +
+                      kCdeScriptCount * kCdeBatchesPerScript >=
+                  kDifferentialIterations,
+              "sweep constants no longer cover the advertised iteration budget");
+
+// --- five pipelines vs the oracle -------------------------------------------
+
+// Evaluates (pattern, document) on every stack -- the four explicit PlanKinds
+// over both plain and SLP-compressed representations, plus the planner-chosen
+// path -- and compares each result that the stack supports against
+// \p expected (already aligned to the query's schema).
+void ExpectAllPipelinesMatch(Session& session, const CompiledQuery& query,
+                             const std::string& document, const SpanRelation& expected) {
+  Slp slp;
+  const NodeId root = BalancedFromString(slp, document);
+  const Document plain = Document::FromText(document);
+  const Document compressed = Document::FromSlp(&slp, root);
+
+  std::size_t stacks_run = 0;
+  for (const Document* doc : {&plain, &compressed}) {
+    for (const PlanKind kind : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+                                PlanKind::kSlpMatrix}) {
+      const Expected<SpanRelation> actual = session.EvaluateWithPlan(query, *doc, kind);
+      if (!actual.ok()) continue;  // stack does not support this combination
+      ++stacks_run;
+      EXPECT_EQ(*actual, expected)
+          << "plan " << PlanKindName(kind)
+          << (doc == &compressed ? " (compressed)" : " (plain)");
+    }
+  }
+  EXPECT_GE(stacks_run, 1u) << "no stack evaluated this query";
+
+  const Expected<SpanRelation> planned = session.Evaluate(query, plain);
+  ASSERT_TRUE(planned.ok()) << planned.error();
+  EXPECT_EQ(*planned, expected) << "planner-chosen path";
+}
+
+TEST(DifferentialSweep, PipelinesAgreeWithOracleOnRandomPatterns) {
+  RngDecisions decisions(0x5eed'2026'08'06ull);
+  GeneratorOptions options;  // defaults: ab alphabet, x/y/z, docs <= 10
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+
+  int iterations = 0;
+  for (int p = 0; p < kPatternCount; ++p) {
+    const std::string pattern = RandomPattern(decisions, options);
+    SCOPED_TRACE("pattern: " + pattern);
+
+    const Expected<Regex> parsed = ParseRegexChecked(pattern);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    const OracleEvaluator oracle(&*parsed);
+
+    const Expected<const CompiledQuery*> query = session.Compile(pattern);
+    ASSERT_TRUE(query.ok()) << query.error();
+
+    for (int d = 0; d < kDocsPerPattern; ++d) {
+      const std::string document = RandomDocument(decisions, options);
+      SCOPED_TRACE("document: \"" + document + "\"");
+      const SpanRelation expected = AlignOracleRelation(
+          {parsed->variables().names(), oracle.Evaluate(document)},
+          (*query)->variables().names());
+      ExpectAllPipelinesMatch(session, **query, document, expected);
+      ++iterations;
+      if (HasFatalFailure() || HasNonfatalFailure()) return;  // first divergence only
+    }
+  }
+  EXPECT_EQ(iterations, kPatternCount * kDocsPerPattern);
+}
+
+TEST(DifferentialSweep, ReferencePatternsAgreeWithOracle) {
+  // &x references: only the refl stack (and the planner routing to it)
+  // supports them; the other stacks report unsupported and are skipped by
+  // ExpectAllPipelinesMatch.
+  RngDecisions decisions(0xbacc'2026ull);
+  GeneratorOptions options;
+  options.allow_references = true;
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+
+  int iterations = 0;
+  while (iterations < kReferenceCount) {
+    const std::string pattern = RandomPattern(decisions, options);
+    SCOPED_TRACE("pattern: " + pattern);
+    const Expected<Regex> parsed = ParseRegexChecked(pattern);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    const OracleEvaluator oracle(&*parsed);
+    const Expected<const CompiledQuery*> query = session.Compile(pattern);
+    ASSERT_TRUE(query.ok()) << query.error();
+
+    const std::string document = RandomDocument(decisions, options);
+    SCOPED_TRACE("document: \"" + document + "\"");
+    const SpanRelation expected = AlignOracleRelation(
+        {parsed->variables().names(), oracle.Evaluate(document)},
+        (*query)->variables().names());
+    ExpectAllPipelinesMatch(session, **query, document, expected);
+    ++iterations;
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  EXPECT_EQ(iterations, kReferenceCount);
+}
+
+// --- algebra (∪/π/⋈/ς=) vs the set-semantics oracle --------------------------
+
+TEST(DifferentialSweep, AlgebraAndEngineAgreeWithOracle) {
+  RngDecisions decisions(0xa19e'b7aull);
+  GeneratorOptions options;
+  options.max_expr_depth = 2;
+  options.max_sub_depth = 1;
+  options.max_doc_length = 8;
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+
+  int iterations = 0;
+  for (int i = 0; i < kAlgebraCount; ++i) {
+    const ExprSpec spec = RandomSpannerExpr(decisions, options);
+    const std::string document = RandomDocument(decisions, options);
+    SCOPED_TRACE("expr: " + spec.ToString() + "document: \"" + document + "\"");
+
+    const SpannerExprPtr expr = testing::BuildExpr(spec);
+    const std::vector<std::string> schema = expr->variables().names();
+    const SpanRelation expected =
+        AlignOracleRelation(testing::OracleEvaluateSpec(spec, document), schema);
+
+    // Production path 1: materialised algebra semantics.
+    EXPECT_EQ(expr->Evaluate(document), expected);
+
+    // Production path 2: the engine (compile-algebra + planner-chosen stack).
+    const CompiledQuery* query = session.CompileExpr(expr);
+    const Expected<SpanRelation> engine =
+        session.Evaluate(*query, Document::FromText(document));
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    EXPECT_EQ(AlignOracleRelation({query->variables().names(), *engine}, schema),
+              expected);
+
+    ++iterations;
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  EXPECT_EQ(iterations, kAlgebraCount);
+}
+
+// --- the document store vs the plain-string model ----------------------------
+
+TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
+  RngDecisions decisions(0xcde'5709'eull);
+  CdeScriptOptions options;
+  options.num_batches = kCdeBatchesPerScript;
+
+  int batches = 0;
+  for (int s = 0; s < kCdeScriptCount; ++s) {
+    const CdeScript script = RandomCdeScript(decisions, options);
+    SCOPED_TRACE("script:\n" + script.ToString());
+
+    StoreOptions store_options;
+    store_options.threads = 1;
+    store_options.gc_min_garbage_ratio = 0.0;  // compact eagerly: GC under test
+    store_options.gc_min_garbage_nodes = 1;
+    DocumentStore store(store_options);
+    ModelStore model;
+
+    for (std::size_t b = 0; b < script.batches.size(); ++b) {
+      SCOPED_TRACE("batch " + std::to_string(b));
+      WriteBatch batch;
+      for (const ModelOp& op : script.batches[b]) {
+        switch (op.kind) {
+          case ModelOp::Kind::kInsert: batch.Insert(op.payload); break;
+          case ModelOp::Kind::kCreate: batch.Create(op.payload); break;
+          case ModelOp::Kind::kEdit: batch.Edit(op.doc, op.payload); break;
+          case ModelOp::Kind::kDrop: batch.Drop(op.doc); break;
+        }
+      }
+      const Expected<CommitReceipt> receipt = store.Commit(batch);
+      const ModelCommitResult expected = model.Commit(script.batches[b]);
+      ++batches;
+
+      ASSERT_EQ(receipt.ok(), expected.ok)
+          << "store: " << (receipt.ok() ? "ok" : receipt.error())
+          << "\nmodel: " << (expected.ok ? "ok" : expected.error);
+      if (!expected.ok) continue;
+
+      EXPECT_EQ(receipt->version, expected.version);
+      ASSERT_EQ(receipt->created, expected.created);
+
+      const StoreSnapshot snapshot = store.Snapshot();
+      const std::vector<uint64_t> live = model.LiveIds();
+      ASSERT_EQ(snapshot.num_documents(), live.size());
+      for (const uint64_t id : live) {
+        ASSERT_TRUE(snapshot.Contains(id)) << "D" << id;
+        EXPECT_EQ(snapshot.Text(id), *model.Text(id)) << "D" << id;
+      }
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+  }
+  EXPECT_EQ(batches, kCdeScriptCount * kCdeBatchesPerScript);
+}
+
+// --- snapshot isolation, checked offline -------------------------------------
+
+// The ISSUE acceptance bar: 8 reader threads logging every snapshot they
+// load while a writer commits 120 CDE edits (eager GC), with every commit
+// recorded pre-publication via the store's test observer. The checker then
+// proves offline that no reader ever saw a torn, phantom, or time-travelling
+// version.
+TEST(DifferentialSweep, SnapshotIsolationCheckerValidatesStressRun) {
+  constexpr int kReaders = 8;
+  constexpr int kWriterCommits = 120;
+
+  StoreOptions options;
+  options.gc_min_garbage_nodes = 64;
+  options.gc_min_garbage_ratio = 0.25;
+  DocumentStore store(options);
+  SnapshotIsolationChecker checker;
+  store.SetCommitObserverForTesting(
+      [&checker](const StoreSnapshot& snapshot) { checker.RecordCommit(snapshot); });
+
+  ASSERT_TRUE(store.InsertDocument("abababab").ok());  // D1: never edited
+  ASSERT_TRUE(store.InsertDocument("abababab").ok());  // D2: the hot doc
+
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      // A pinned snapshot re-observed alongside every fresh one: its
+      // contents must stay identical to its commit record for the whole
+      // run. It gets its own logical reader id -- interleaving its old
+      // version with fresh ones in one log would (correctly) trip the
+      // checker's per-reader monotonicity rule.
+      const StoreSnapshot pinned = store.Snapshot();
+      int spins = 0;
+      while (!writer_done.load(std::memory_order_acquire) || spins < 3) {
+        ++spins;
+        checker.RecordObservation(static_cast<std::size_t>(r), store.Snapshot());
+        checker.RecordObservation(static_cast<std::size_t>(r + kReaders), pinned);
+      }
+    });
+  }
+
+  std::atomic<int> writer_errors{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kWriterCommits; ++i) {
+      // Rotate D2 by two characters: length is preserved and every commit
+      // supersedes the old spine, so GC compacts repeatedly mid-stress.
+      if (!store.EditDocument(2, "extract(concat(D2, D2), 3, 10)").ok()) {
+        writer_errors.fetch_add(1);
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(writer_errors.load(), 0);
+  EXPECT_EQ(checker.Verify(), "");
+  EXPECT_EQ(checker.num_commits(), 2u + kWriterCommits);
+  EXPECT_GE(checker.num_observations(), static_cast<std::size_t>(kReaders) * 4);
+
+  // The pinned observations above cover early versions; the final snapshot
+  // must reflect every commit.
+  EXPECT_EQ(store.Snapshot().version(), 2u + kWriterCommits);
+}
+
+// --- byte-decision parity -----------------------------------------------------
+
+// The fuzz targets drive the same generators through ByteDecisions; a byte
+// stream replaying the Rng's choices must produce the identical workload, so
+// fuzz findings reproduce under the sweep harness and vice versa.
+TEST(DifferentialSweep, ByteAndRngDecisionsGenerateIdenticalWorkloads) {
+  // Record the Rng's decisions by regenerating with a recording wrapper.
+  class Recorder : public testing::DecisionSource {
+   public:
+    explicit Recorder(uint64_t seed) : inner_(seed) {}
+    uint64_t Below(uint64_t bound) override {
+      const uint64_t value = inner_.Below(bound);
+      if (bound <= 1) return value;  // ByteDecisions consumes nothing here
+      // Re-encode as the little-endian bytes ByteDecisions::Below reads:
+      // exactly as many bytes as bound - 1 occupies.
+      unsigned width = 0;
+      for (uint64_t x = bound - 1; x != 0; x >>= 8) ++width;
+      uint64_t encoded = value;
+      for (unsigned i = 0; i < width; ++i) {
+        bytes_.push_back(static_cast<uint8_t>(encoded & 0xff));
+        encoded >>= 8;
+      }
+      return value;
+    }
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+   private:
+    RngDecisions inner_;
+    std::vector<uint8_t> bytes_;
+  };
+
+  GeneratorOptions options;
+  Recorder recorder(42);
+  const std::string pattern = RandomPattern(recorder, options);
+  const std::string document = RandomDocument(recorder, options);
+
+  ByteDecisions replay(recorder.bytes().data(), recorder.bytes().size());
+  EXPECT_EQ(RandomPattern(replay, options), pattern);
+  EXPECT_EQ(RandomDocument(replay, options), document);
+}
+
+}  // namespace
+}  // namespace spanners

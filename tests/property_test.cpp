@@ -13,6 +13,7 @@
 #include "refl/refl_spanner.hpp"
 #include "slp/slp_builder.hpp"
 #include "slp/slp_enum.hpp"
+#include "testing/generators.hpp"
 #include "util/random.hpp"
 
 namespace spanners {
@@ -163,6 +164,119 @@ TEST_P(AlgebraLaws, CompiledAndSimplifiedAgreeWithMaterialized) {
 INSTANTIATE_TEST_SUITE_P(Documents, AlgebraLaws,
                          ::testing::Values("", "a", "ab", "aab", "abab", "aabb", "bbaa",
                                            "ababab", "baabaa"));
+
+// --- Randomized algebra laws (generator-driven, DESIGN.md §1.11) ------------
+
+// The fixed AlgebraLaws instances above pin the laws on hand-picked
+// expressions; these sweeps re-check them on random instances from the
+// differential-testing generators, seeded per test case.
+
+namespace t = spanners::testing;
+
+class RandomizedAlgebraLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedAlgebraLaws, UnionAndJoinLawsOnRandomLeaves) {
+  t::RngDecisions decisions(GetParam());
+  t::GeneratorOptions options;
+  options.max_sub_depth = 1;
+  options.max_doc_length = 8;
+  for (int i = 0; i < 40; ++i) {
+    // Union requires equal name sets, so a, b, c share {x, y}; d brings a
+    // fresh variable for the join laws.
+    auto a = SpannerExpr::Parse(t::RandomPattern(decisions, options, {"x", "y"}));
+    auto b = SpannerExpr::Parse(t::RandomPattern(decisions, options, {"x", "y"}));
+    auto c = SpannerExpr::Parse(t::RandomPattern(decisions, options, {"x", "y"}));
+    auto d = SpannerExpr::Parse(t::RandomPattern(decisions, options, {"y", "z"}));
+    const std::string doc = t::RandomDocument(decisions, options);
+    SCOPED_TRACE("a=" + a->ToString() + " b=" + b->ToString() + " d=" + d->ToString() +
+                 " doc=\"" + doc + "\"");
+
+    EXPECT_EQ(SpannerExpr::Union(a, a)->Evaluate(doc), a->Evaluate(doc));
+    // Union takes the left operand's column order, and random leaves intern
+    // their shared variables in different orders -- align before comparing.
+    auto ab_union = SpannerExpr::Union(a, b);
+    auto ba_union = SpannerExpr::Union(b, a);
+    EXPECT_EQ(ab_union->Evaluate(doc),
+              t::AlignOracleRelation(
+                  {ba_union->variables().names(), ba_union->Evaluate(doc)},
+                  ab_union->variables().names()));
+    EXPECT_EQ(SpannerExpr::Union(SpannerExpr::Union(a, b), c)->Evaluate(doc),
+              SpannerExpr::Union(a, SpannerExpr::Union(b, c))->Evaluate(doc));
+    EXPECT_EQ(SpannerExpr::Join(a, a)->Evaluate(doc), a->Evaluate(doc));
+
+    // Join commutativity up to column order.
+    auto ad = SpannerExpr::Join(a, d);
+    auto da = SpannerExpr::Join(d, a);
+    std::vector<std::size_t> align;
+    for (const std::string& name : ad->variables().names()) {
+      align.push_back(*da->variables().Find(name));
+    }
+    SpanRelation realigned;
+    for (const SpanTuple& tuple : da->Evaluate(doc)) realigned.insert(tuple.Project(align));
+    EXPECT_EQ(ad->Evaluate(doc), realigned);
+
+    // Projection distributes over union; selection commutes with join.
+    EXPECT_EQ(SpannerExpr::Project(SpannerExpr::Union(a, b), {"x"})->Evaluate(doc),
+              SpannerExpr::Union(SpannerExpr::Project(a, {"x"}),
+                                 SpannerExpr::Project(b, {"x"}))->Evaluate(doc));
+    EXPECT_EQ(SpannerExpr::Join(SpannerExpr::SelectEq(a, {"x", "y"}), d)->Evaluate(doc),
+              SpannerExpr::SelectEq(SpannerExpr::Join(a, d), {"x", "y"})->Evaluate(doc));
+
+    if (HasNonfatalFailure()) return;  // first counterexample only
+  }
+}
+
+namespace {
+
+bool SpecHasSelection(const t::ExprSpec& spec) {
+  if (spec.op == t::OracleOp::kSelectEq) return true;
+  for (const t::ExprSpec& child : spec.children) {
+    if (SpecHasSelection(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST_P(RandomizedAlgebraLaws, CompiledFormsAgreeOnRandomExpressions) {
+  t::RngDecisions decisions(GetParam() + 1000);
+  t::GeneratorOptions options;
+  options.max_expr_depth = 2;
+  options.max_sub_depth = 1;
+  options.max_doc_length = 8;
+  for (int i = 0; i < 40; ++i) {
+    const t::ExprSpec spec = t::RandomSpannerExpr(decisions, options);
+    const std::string doc = t::RandomDocument(decisions, options);
+    SCOPED_TRACE("expr=" + spec.ToString() + "doc=\"" + doc + "\"");
+    const SpannerExprPtr expr = t::BuildExpr(spec);
+    const SpanRelation materialised = expr->Evaluate(doc);
+
+    // Projecting onto the full schema is the identity.
+    EXPECT_EQ(SpannerExpr::Project(expr, expr->variables().names())->Evaluate(doc),
+              materialised);
+
+    // Core simplification preserves semantics; selection-free expressions
+    // also compile to a single automaton.
+    EXPECT_EQ(SimplifyCore(expr).Evaluate(doc), materialised);
+    if (!SpecHasSelection(spec)) {
+      const RegularSpanner compiled = CompileRegular(expr);
+      std::vector<std::size_t> align;
+      for (const std::string& name : expr->variables().names()) {
+        align.push_back(*compiled.variables().Find(name));
+      }
+      SpanRelation realigned;
+      for (const SpanTuple& tuple : compiled.Evaluate(doc)) {
+        realigned.insert(tuple.Project(align));
+      }
+      EXPECT_EQ(realigned, materialised);
+    }
+
+    if (HasNonfatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedAlgebraLaws,
+                         ::testing::Values(11u, 23u, 37u, 53u, 71u));
 
 // --- Containment is a partial order on representative spanners -------------
 

@@ -1,0 +1,436 @@
+// Unit tests for the differential-testing subsystem itself (src/testing/,
+// DESIGN.md §1.11): the brute-force oracle against hand-computed relations,
+// the seeded generators' determinism and validity guarantees, the CDE
+// string model against the production evaluator, and the snapshot-isolation
+// checker's ability to catch corrupted logs. Also pins, as deterministic
+// regressions, the production bugs the harness found when it was first run.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.hpp"
+#include "core/regex_parser.hpp"
+#include "core/regular_spanner.hpp"
+#include "engine/document.hpp"
+#include "engine/session.hpp"
+#include "slp/cde.hpp"
+#include "store/store.hpp"
+#include "testing/cde_model.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracle.hpp"
+#include "testing/snapshot_checker.hpp"
+
+namespace spanners {
+namespace {
+
+using testing::AlignOracleRelation;
+using testing::ByteDecisions;
+using testing::CdeScript;
+using testing::CdeScriptOptions;
+using testing::ExprSpec;
+using testing::GeneratorOptions;
+using testing::ModelEvalCde;
+using testing::ModelOp;
+using testing::ModelStore;
+using testing::OracleEvaluator;
+using testing::RandomCdeScript;
+using testing::RandomDocument;
+using testing::RandomPattern;
+using testing::RandomSpannerExpr;
+using testing::RngDecisions;
+using testing::SnapshotIsolationChecker;
+
+SpanTuple Tuple(std::vector<std::optional<Span>> spans) {
+  return SpanTuple(std::move(spans));
+}
+
+// --- the oracle vs hand-computed relations -----------------------------------
+
+TEST(OracleTest, Example11SingleSplit) {
+  // The paper's Example 11 spanner on "ab": y must cover the only b, which
+  // forces x = [1,2> and z = [3,3>.
+  const Expected<Regex> regex = ParseRegexChecked("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  ASSERT_TRUE(regex.ok());
+  const OracleEvaluator oracle(&*regex);
+  const SpanRelation expected = {Tuple({Span(1, 2), Span(2, 3), Span(3, 3)})};
+  EXPECT_EQ(oracle.Evaluate("ab"), expected);
+}
+
+TEST(OracleTest, EpsilonCaptureAtEveryGap) {
+  const Expected<Regex> regex = ParseRegexChecked(".*{x: ()}.*");
+  ASSERT_TRUE(regex.ok());
+  const OracleEvaluator oracle(&*regex);
+  const SpanRelation expected = {Tuple({Span(1, 1)}), Tuple({Span(2, 2)}),
+                                 Tuple({Span(3, 3)})};
+  EXPECT_EQ(oracle.Evaluate("ab"), expected);
+  EXPECT_EQ(oracle.Evaluate(""), SpanRelation{Tuple({Span(1, 1)})});
+}
+
+TEST(OracleTest, OptionalCaptureYieldsUndefinedEntry) {
+  const Expected<Regex> regex = ParseRegexChecked("({x: a})?b");
+  ASSERT_TRUE(regex.ok());
+  const OracleEvaluator oracle(&*regex);
+  EXPECT_EQ(oracle.Evaluate("b"), SpanRelation{Tuple({std::nullopt})});
+  EXPECT_EQ(oracle.Evaluate("ab"), SpanRelation{Tuple({Span(1, 2)})});
+}
+
+TEST(OracleTest, DoubleCaptureRunsAreInvalid) {
+  // Both captures of x fire on every accepting run, so no run is valid.
+  const Expected<Regex> regex = ParseRegexChecked("{x: a}{x: b}");
+  ASSERT_TRUE(regex.ok());
+  EXPECT_TRUE(OracleEvaluator(&*regex).Evaluate("ab").empty());
+
+  // A capture under a star: two iterations open x twice (invalid); zero or
+  // one iteration is fine.
+  const Expected<Regex> star = ParseRegexChecked("({x: a})*");
+  ASSERT_TRUE(star.ok());
+  const OracleEvaluator star_oracle(&*star);
+  EXPECT_EQ(star_oracle.Evaluate(""), SpanRelation{Tuple({std::nullopt})});
+  EXPECT_EQ(star_oracle.Evaluate("a"), SpanRelation{Tuple({Span(1, 2)})});
+  EXPECT_TRUE(star_oracle.Evaluate("aa").empty());
+}
+
+TEST(OracleTest, ReferenceMatchesCapturedFactor) {
+  const Expected<Regex> regex = ParseRegexChecked("{x: a+}&x");
+  ASSERT_TRUE(regex.ok());
+  const OracleEvaluator oracle(&*regex);
+  // The capture and its echo must split the document evenly.
+  EXPECT_EQ(oracle.Evaluate("aa"), SpanRelation{Tuple({Span(1, 2)})});
+  EXPECT_EQ(oracle.Evaluate("aaaa"), SpanRelation{Tuple({Span(1, 3)})});
+  EXPECT_TRUE(oracle.Evaluate("aaa").empty());
+}
+
+TEST(OracleTest, ContainsMatchesEvaluate) {
+  const Expected<Regex> regex = ParseRegexChecked("{x: (a|b)*}{y: b}{z: (a|b)*}");
+  ASSERT_TRUE(regex.ok());
+  const OracleEvaluator oracle(&*regex);
+  EXPECT_TRUE(oracle.Contains("ab", Tuple({Span(1, 2), Span(2, 3), Span(3, 3)})));
+  EXPECT_FALSE(oracle.Contains("ab", Tuple({Span(1, 1), Span(1, 2), Span(2, 3)})));
+  EXPECT_FALSE(oracle.Contains("ab", Tuple({Span(1, 2), Span(2, 3), std::nullopt})));
+}
+
+TEST(OracleTest, EnumerationModeAgreesWithBacktracking) {
+  for (const char* pattern :
+       {"{x: (a|b)*}{y: b}{z: (a|b)*}", "({x: a})?(a|b)*", "{x: a*{y: b*}a*}",
+        ".*{x: ()}.*"}) {
+    SCOPED_TRACE(pattern);
+    const Expected<Regex> regex = ParseRegexChecked(pattern);
+    ASSERT_TRUE(regex.ok());
+    const OracleEvaluator oracle(&*regex);
+    for (const char* doc : {"", "a", "ab", "aba"}) {
+      SCOPED_TRACE(doc);
+      EXPECT_EQ(oracle.EvaluateByEnumeration(doc), oracle.Evaluate(doc));
+    }
+  }
+}
+
+TEST(OracleTest, AgreesWithProductionOnHandPatterns) {
+  for (const char* pattern : {"{x: (a|b)*}{y: b}{z: (a|b)*}", "({x: a+}|{y: b+})(a|b)*"}) {
+    SCOPED_TRACE(pattern);
+    const Expected<Regex> regex = ParseRegexChecked(pattern);
+    ASSERT_TRUE(regex.ok());
+    const OracleEvaluator oracle(&*regex);
+    const RegularSpanner spanner = RegularSpanner::Compile(pattern);
+    for (const char* doc : {"", "b", "ab", "abab"}) {
+      SCOPED_TRACE(doc);
+      EXPECT_EQ(AlignOracleRelation({regex->variables().names(), oracle.Evaluate(doc)},
+                                    spanner.variables().names()),
+                spanner.Evaluate(doc));
+    }
+  }
+}
+
+TEST(AlignOracleRelationTest, ReordersAndFillsMissingColumns) {
+  const testing::OracleRelation relation{{"x", "y"},
+                                         {Tuple({Span(1, 2), Span(2, 3)})}};
+  EXPECT_EQ(AlignOracleRelation(relation, {"y", "x"}),
+            SpanRelation{Tuple({Span(2, 3), Span(1, 2)})});
+  EXPECT_EQ(AlignOracleRelation(relation, {"z", "x"}),
+            SpanRelation{Tuple({std::nullopt, Span(1, 2)})});
+}
+
+// --- generators ---------------------------------------------------------------
+
+TEST(GeneratorTest, SameSeedSameWorkload) {
+  const GeneratorOptions options;
+  const CdeScriptOptions cde_options;
+  for (const uint64_t seed : {1ull, 7ull, 99ull}) {
+    RngDecisions a(seed);
+    RngDecisions b(seed);
+    EXPECT_EQ(RandomPattern(a, options), RandomPattern(b, options));
+    EXPECT_EQ(RandomDocument(a, options), RandomDocument(b, options));
+    EXPECT_EQ(RandomSpannerExpr(a, options).ToString(),
+              RandomSpannerExpr(b, options).ToString());
+    EXPECT_EQ(RandomCdeScript(a, cde_options).ToString(),
+              RandomCdeScript(b, cde_options).ToString());
+  }
+}
+
+TEST(GeneratorTest, PatternsParseAndCaptureRequestedVariables) {
+  GeneratorOptions options;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    RngDecisions decisions(seed);
+    const std::string pattern = RandomPattern(decisions, options, {"x", "y"});
+    SCOPED_TRACE(pattern);
+    const Expected<Regex> regex = ParseRegexChecked(pattern);
+    ASSERT_TRUE(regex.ok()) << regex.error();
+    ASSERT_EQ(regex->variables().size(), 2u);
+    EXPECT_TRUE(regex->variables().Find("x").has_value());
+    EXPECT_TRUE(regex->variables().Find("y").has_value());
+  }
+}
+
+TEST(GeneratorTest, ExprSpecsBuildAndMatchDeclaredSchema) {
+  GeneratorOptions options;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    RngDecisions decisions(seed);
+    const ExprSpec spec = RandomSpannerExpr(decisions, options);
+    SCOPED_TRACE(spec.ToString());
+    const SpannerExprPtr expr = testing::BuildExpr(spec);
+    ASSERT_NE(expr, nullptr);
+    EXPECT_EQ(expr->variables().names(), testing::SpecSchema(spec));
+  }
+}
+
+TEST(GeneratorTest, ByteExhaustionDegradesToZeroAndTerminates) {
+  ByteDecisions empty(nullptr, 0);
+  EXPECT_TRUE(empty.exhausted());
+  EXPECT_EQ(empty.Below(100), 0u);
+
+  const uint8_t bytes[] = {0xff, 0x03};
+  ByteDecisions two(bytes, sizeof(bytes));
+  EXPECT_FALSE(two.exhausted());
+  (void)two.Below(256);
+  (void)two.Below(256);
+  EXPECT_TRUE(two.exhausted());
+  EXPECT_EQ(two.consumed(), sizeof(bytes));
+  EXPECT_EQ(two.Below(7), 0u);  // exhausted: every decision is 0 forever
+
+  // Generation from an empty byte stream must terminate with valid output.
+  ByteDecisions again(nullptr, 0);
+  const GeneratorOptions options;
+  EXPECT_TRUE(ParseRegexChecked(RandomPattern(again, options)).ok());
+  ByteDecisions third(nullptr, 0);
+  EXPECT_NE(testing::BuildExpr(RandomSpannerExpr(third, options)), nullptr);
+  ByteDecisions fourth(nullptr, 0);
+  EXPECT_EQ(RandomCdeScript(fourth, CdeScriptOptions{}).batches.size(), 8u);
+}
+
+// --- the CDE string model vs production ---------------------------------------
+
+TEST(CdeModelTest, HandEvaluations) {
+  const std::vector<std::optional<std::string>> docs = {"abcd", "xy"};
+  EXPECT_EQ(*ModelEvalCde(docs, "concat(D1, D2)"), "abcdxy");
+  EXPECT_EQ(*ModelEvalCde(docs, "extract(D1, 2, 3)"), "bc");
+  EXPECT_EQ(*ModelEvalCde(docs, "extract(D1, 3, 2)"), "");    // empty factor, i = j+1
+  EXPECT_EQ(*ModelEvalCde(docs, "extract(D1, 5, 4)"), "");    // empty factor at the end
+  EXPECT_EQ(*ModelEvalCde(docs, "delete(D1, 1, 4)"), "");
+  EXPECT_EQ(*ModelEvalCde(docs, "insert(D1, D2, 5)"), "abcdxy");  // k = len+1 appends
+  EXPECT_EQ(*ModelEvalCde(docs, "insert(D1, D2, 1)"), "xyabcd");
+
+  EXPECT_FALSE(ModelEvalCde(docs, "extract(D1, 0, 2)").ok());  // i < 1
+  EXPECT_FALSE(ModelEvalCde(docs, "extract(D1, 2, 5)").ok());  // j > len
+  EXPECT_FALSE(ModelEvalCde(docs, "insert(D1, D2, 6)").ok());  // k > len+1
+  EXPECT_FALSE(ModelEvalCde(docs, "concat(D1, D3)").ok());     // unknown document
+  EXPECT_FALSE(ModelEvalCde(docs, "bogus(D1)").ok());          // parse error
+
+  const std::vector<std::optional<std::string>> with_drop = {"ab", std::nullopt};
+  EXPECT_FALSE(ModelEvalCde(with_drop, "concat(D1, D2)").ok());  // dropped document
+}
+
+TEST(CdeModelTest, AgreesWithProductionStringEvaluator) {
+  const std::vector<std::string> plain = {"abab", "ba"};
+  const std::vector<std::optional<std::string>> docs = {"abab", "ba"};
+  for (const char* source :
+       {"concat(D1, D2)", "extract(D1, 2, 3)", "delete(D1, 1, 2)", "insert(D1, D2, 3)",
+        "copy(D1, 1, 2, 5)", "copy(D2, 1, 1, 1)", "extract(D1, 3, 2)",
+        "concat(extract(D1, 1, 2), delete(D2, 1, 1))",
+        "insert(copy(D1, 2, 3, 1), D2, 7)"}) {
+    SCOPED_TRACE(source);
+    const Expected<std::string> model = ModelEvalCde(docs, source);
+    ASSERT_TRUE(model.ok()) << model.error();
+    const Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(*model, EvalCdeOnStrings(plain, **parsed));
+  }
+}
+
+TEST(ModelStoreTest, FailedBatchesAreAtomicAndConsumeNoIds) {
+  ModelStore model;
+  const testing::ModelCommitResult bad = model.Commit(
+      {{ModelOp::Kind::kInsert, 0, "a"}, {ModelOp::Kind::kEdit, 99, "concat(D1, D1)"}});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(model.version(), 0u);
+  EXPECT_EQ(model.next_doc_id(), 1u);
+  EXPECT_EQ(model.num_live(), 0u);
+
+  const testing::ModelCommitResult good =
+      model.Commit({{ModelOp::Kind::kInsert, 0, "ab"},
+                    {ModelOp::Kind::kCreate, 0, "extract(D1, 1, 1)"}});
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.version, 1u);
+  EXPECT_EQ(good.created, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(*model.Text(1), "ab");
+  EXPECT_EQ(*model.Text(2), "a");  // batch-local: D1 visible to the create
+
+  const testing::ModelCommitResult dangling = model.Commit(
+      {{ModelOp::Kind::kDrop, 1, ""}, {ModelOp::Kind::kEdit, 1, "concat(D1, D1)"}});
+  EXPECT_FALSE(dangling.ok);  // dropped documents are unreferencable
+  EXPECT_TRUE(model.IsLive(1));
+  EXPECT_EQ(model.version(), 1u);
+
+  ASSERT_TRUE(model.Commit({{ModelOp::Kind::kDrop, 1, ""}}).ok);
+  EXPECT_FALSE(model.IsLive(1));
+  EXPECT_EQ(model.LiveIds(), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(model.version(), 2u);
+}
+
+// --- the snapshot-isolation checker -------------------------------------------
+
+TEST(SnapshotCheckerTest, CleanSequentialRunVerifies) {
+  DocumentStore store;
+  SnapshotIsolationChecker checker;
+  store.SetCommitObserverForTesting(
+      [&checker](const StoreSnapshot& s) { checker.RecordCommit(s); });
+
+  checker.RecordObservation(0, store.Snapshot());  // genesis: version 0, empty
+  ASSERT_TRUE(store.InsertDocument("ab").ok());
+  checker.RecordObservation(0, store.Snapshot());
+  ASSERT_TRUE(store.EditDocument(1, "concat(D1, D1)").ok());
+  checker.RecordObservation(0, store.Snapshot());
+  checker.RecordObservation(1, store.Snapshot());
+
+  EXPECT_EQ(checker.Verify(), "");
+  EXPECT_EQ(checker.num_commits(), 2u);
+  EXPECT_EQ(checker.num_observations(), 4u);
+}
+
+TEST(SnapshotCheckerTest, DetectsForeignObservation) {
+  // The observation comes from a different store whose version 1 holds
+  // different bytes: the checker must flag the text mismatch.
+  DocumentStore committed;
+  SnapshotIsolationChecker checker;
+  committed.SetCommitObserverForTesting(
+      [&checker](const StoreSnapshot& s) { checker.RecordCommit(s); });
+  ASSERT_TRUE(committed.InsertDocument("ab").ok());
+
+  DocumentStore foreign;
+  ASSERT_TRUE(foreign.InsertDocument("xy").ok());
+  checker.RecordObservation(0, foreign.Snapshot());
+
+  const std::string diagnostic = checker.Verify();
+  EXPECT_NE(diagnostic.find("observed version 1"), std::string::npos) << diagnostic;
+}
+
+TEST(SnapshotCheckerTest, DetectsUncommittedVersion) {
+  DocumentStore store;
+  ASSERT_TRUE(store.InsertDocument("ab").ok());
+  SnapshotIsolationChecker checker;  // no commits recorded at all
+  checker.RecordObservation(0, store.Snapshot());
+  const std::string diagnostic = checker.Verify();
+  EXPECT_NE(diagnostic.find("uncommitted"), std::string::npos) << diagnostic;
+}
+
+TEST(SnapshotCheckerTest, DetectsTimeTravel) {
+  DocumentStore store;
+  SnapshotIsolationChecker checker;
+  store.SetCommitObserverForTesting(
+      [&checker](const StoreSnapshot& s) { checker.RecordCommit(s); });
+  ASSERT_TRUE(store.InsertDocument("ab").ok());
+  const StoreSnapshot old = store.Snapshot();
+  ASSERT_TRUE(store.InsertDocument("cd").ok());
+
+  checker.RecordObservation(0, store.Snapshot());  // version 2
+  checker.RecordObservation(0, old);               // version 1: back in time
+  const std::string diagnostic = checker.Verify();
+  EXPECT_NE(diagnostic.find("back in time"), std::string::npos) << diagnostic;
+}
+
+// --- regressions pinned by the differential harness ---------------------------
+
+TEST(ParserRobustnessTest, RejectsTooManyVariablesWithError) {
+  std::string pattern;
+  for (int i = 0; i < 33; ++i) pattern += "{v" + std::to_string(i) + ": a}";
+  const Expected<Regex> overflow = ParseRegexChecked(pattern);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.error().find("too many variables"), std::string::npos);
+
+  std::string at_cap;
+  for (int i = 0; i < 32; ++i) at_cap += "{v" + std::to_string(i) + ": a}";
+  EXPECT_TRUE(ParseRegexChecked(at_cap).ok());
+}
+
+TEST(ParserRobustnessTest, RejectsDeepNestingWithError) {
+  const std::string deep = std::string(300, '(') + "a" + std::string(300, ')');
+  const Expected<Regex> regex = ParseRegexChecked(deep);
+  ASSERT_FALSE(regex.ok());
+  EXPECT_NE(regex.error().find("nested too deeply"), std::string::npos);
+
+  std::string cde;
+  for (int i = 0; i < 300; ++i) cde += "concat(D1, ";
+  cde += "D1" + std::string(300, ')');
+  const Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(cde);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("nested too deeply"), std::string::npos);
+}
+
+TEST(EngineRegressionTest, DistinctExpressionsInternSeparately) {
+  // Found by the differential sweep: SpannerExpr::ToString() once rendered a
+  // leaf as "regex[<vars>]" without its pattern, so CompileExpr interned
+  // semantically different expressions under one key and returned whichever
+  // query arrived first.
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+  const SpannerExprPtr match_a = SpannerExpr::Parse("a()");
+  const SpannerExprPtr match_b = SpannerExpr::Parse("b");
+  const CompiledQuery* qa = session.CompileExpr(match_a);
+  const CompiledQuery* qb = session.CompileExpr(match_b);
+  ASSERT_NE(qa, qb);
+
+  const Document doc = Document::FromText("a");
+  EXPECT_EQ(session.Evaluate(*qa, doc)->size(), 1u);  // Boolean match: {()}
+  EXPECT_TRUE(session.Evaluate(*qb, doc)->empty());
+
+  // Same source leaves still intern to one query.
+  EXPECT_EQ(session.CompileExpr(SpannerExpr::Parse("a()")), qa);
+
+  // Primitive()-built leaves carry no source; their rendering must still be
+  // faithful (automaton structure), not just the variable list.
+  const SpannerExprPtr anon_a = SpannerExpr::Primitive(RegularSpanner::Compile("a()"));
+  const SpannerExprPtr anon_b = SpannerExpr::Primitive(RegularSpanner::Compile("b"));
+  EXPECT_NE(anon_a->ToString(), anon_b->ToString());
+}
+
+TEST(EngineRegressionTest, ProjectionReordersColumns) {
+  // Found by the differential fuzzer: ProjectAutomaton interned kept
+  // variables in the child's schema order, silently permuting columns
+  // whenever the projection reordered them.
+  const SpannerExprPtr child = SpannerExpr::Parse("{z: a}{x: b}");
+  const SpannerExprPtr expr = SpannerExpr::Project(child, {"x", "z"});
+  ASSERT_EQ(expr->variables().names(), (std::vector<std::string>{"x", "z"}));
+
+  const SpanRelation expected = {Tuple({Span(2, 3), Span(1, 2)})};  // x, then z
+  EXPECT_EQ(expr->Evaluate("ab"), expected);
+
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+  const CompiledQuery* query = session.CompileExpr(expr);
+  ASSERT_EQ(query->variables().names(), (std::vector<std::string>{"x", "z"}));
+  EXPECT_EQ(*session.Evaluate(*query, Document::FromText("ab")), expected);
+}
+
+TEST(EngineRegressionTest, ProjectionOverRepeatedOptionalCaptures) {
+  // The exact instance the fuzzer first tripped on: project[x,z] over a leaf
+  // with two optional z captures, evaluated on the empty document. x's star
+  // matches zero characters ([1,1>), z stays undefined.
+  const SpannerExprPtr expr =
+      SpannerExpr::Project(SpannerExpr::Parse("({z: .})?({z: a})?{x: (.)*}"), {"x", "z"});
+  const SpanRelation expected = {Tuple({Span(1, 1), std::nullopt})};
+  EXPECT_EQ(expr->Evaluate(""), expected);
+
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+  const CompiledQuery* query = session.CompileExpr(expr);
+  EXPECT_EQ(*session.Evaluate(*query, Document::FromText("")), expected);
+}
+
+}  // namespace
+}  // namespace spanners
