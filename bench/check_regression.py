@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a merged BENCH json against a baseline.
+
+Reads the merged report produced by bench/run_benches.sh (the
+{"experiments": {suite: [google-benchmark entries]}} format) and compares
+every benchmark named in bench/baseline.json against it. A benchmark whose
+real time exceeds baseline * (1 + threshold/100) is a regression; a
+benchmark present in the baseline but missing from the current run is also
+a failure (a renamed or crashed benchmark must not silently pass the gate).
+
+Usage:
+  # Gate (exit 1 on regression or missing benchmark):
+  bench/check_regression.py --current BENCH_PR6.json \
+      [--baseline bench/baseline.json] [--threshold-pct 25] [--report out.json]
+
+  # Rebase the baseline from a trusted run on the reference box:
+  bench/check_regression.py --rebase BENCH_PR6.json [--baseline bench/baseline.json]
+
+The baseline stores one number per benchmark (real_time in ns) plus the
+environment it was measured in; see DESIGN.md §1.12 for the rebase workflow.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_current(path):
+    """Returns {suite/benchmark_name: real_time_ns} from a merged BENCH json."""
+    with open(path) as f:
+        merged = json.load(f)
+    experiments = merged.get("experiments")
+    if not isinstance(experiments, dict) or not experiments:
+        raise SystemExit(f"error: {path} has no 'experiments' section")
+    times = {}
+    for suite, entries in experiments.items():
+        for entry in entries:
+            # Skip aggregate rows (mean/median/stddev of repetitions): the
+            # plain iteration rows are what both sides record.
+            if entry.get("run_type") == "aggregate":
+                continue
+            unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+            if unit is None or "real_time" not in entry:
+                continue
+            times[f"{suite}/{entry['name']}"] = entry["real_time"] * unit
+    if not times:
+        raise SystemExit(f"error: {path} contains no benchmark timings")
+    return times, merged.get("env", {})
+
+
+def rebase(current_path, baseline_path):
+    times, env = load_current(current_path)
+    baseline = {
+        "comment": "Per-benchmark real_time_ns reference for the regression "
+                   "gate (bench/check_regression.py). Rebase only from a "
+                   "quiet run on the reference box; see DESIGN.md §1.12.",
+        "env": {k: env.get(k) for k in ("git_sha", "nproc", "effective_threads")},
+        "benchmarks": {
+            name: {"real_time_ns": round(t, 1)} for name, t in sorted(times.items())
+        },
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=1)
+        f.write("\n")
+    print(f"rebased {baseline_path}: {len(times)} benchmarks from {current_path}")
+
+
+def check(current_path, baseline_path, threshold_pct, report_path):
+    times, _ = load_current(current_path)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    reference = baseline.get("benchmarks", {})
+    if not reference:
+        raise SystemExit(f"error: {baseline_path} has no 'benchmarks' section")
+
+    limit = 1.0 + threshold_pct / 100.0
+    rows, regressions, missing = [], [], []
+    for name in sorted(reference):
+        base_ns = reference[name]["real_time_ns"]
+        now_ns = times.get(name)
+        if now_ns is None:
+            missing.append(name)
+            rows.append({"benchmark": name, "baseline_ns": base_ns,
+                         "current_ns": None, "ratio": None, "status": "MISSING"})
+            continue
+        ratio = now_ns / base_ns if base_ns > 0 else float("inf")
+        status = "REGRESSION" if ratio > limit else "ok"
+        if status == "REGRESSION":
+            regressions.append(name)
+        rows.append({"benchmark": name, "baseline_ns": round(base_ns, 1),
+                     "current_ns": round(now_ns, 1), "ratio": round(ratio, 3),
+                     "status": status})
+
+    width = max(len(r["benchmark"]) for r in rows)
+    print(f"bench-regression gate: threshold +{threshold_pct:g}% "
+          f"({len(rows)} benchmarks, baseline {baseline_path})")
+    for r in rows:
+        if r["current_ns"] is None:
+            print(f"  {r['benchmark']:<{width}}  {r['baseline_ns']:>12.1f}ns  "
+                  f"{'-':>12}  {'-':>7}  {r['status']}")
+        else:
+            print(f"  {r['benchmark']:<{width}}  {r['baseline_ns']:>12.1f}ns  "
+                  f"{r['current_ns']:>10.1f}ns  {r['ratio']:>6.3f}x  {r['status']}")
+
+    if report_path:
+        report = {"threshold_pct": threshold_pct, "baseline": baseline_path,
+                  "current": current_path, "results": rows,
+                  "regressions": regressions, "missing": missing}
+        with open(report_path, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"wrote {report_path}")
+
+    if regressions or missing:
+        for name in regressions:
+            print(f"FAIL: {name} regressed past +{threshold_pct:g}%", file=sys.stderr)
+        for name in missing:
+            print(f"FAIL: {name} missing from current run", file=sys.stderr)
+        return 1
+    print("gate passed: no benchmark regressed past the threshold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", help="merged BENCH json to gate")
+    parser.add_argument("--rebase", help="merged BENCH json to adopt as baseline")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__), "baseline.json"))
+    parser.add_argument("--threshold-pct", type=float, default=25.0)
+    parser.add_argument("--report", help="write a JSON comparison report here")
+    args = parser.parse_args()
+
+    if bool(args.current) == bool(args.rebase):
+        parser.error("exactly one of --current / --rebase is required")
+    if args.rebase:
+        rebase(args.rebase, args.baseline)
+        return 0
+    return check(args.current, args.baseline, args.threshold_pct, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,23 @@
 # and the differential-testing footprint (sweep iteration budget and fuzz
 # seed-corpus sizes; DESIGN.md §1.11).
 #
+# The output file is written atomically (tmp + rename) and only after every
+# per-benchmark report validated as complete JSON: a crashing or
+# partially-writing benchmark binary fails the script with a non-zero exit
+# instead of stamping a truncated report (ISSUE 6).
+#
+# After a successful stamp the bench-regression gate compares the run
+# against bench/baseline.json (bench/check_regression.py; DESIGN.md §1.12):
+#   SPANNERS_BENCH_GATE=off            skip the gate (stamp only)
+#   SPANNERS_BENCH_THRESHOLD_PCT=25    per-benchmark slowdown tolerance
+# A comparison report lands next to the output as <output>.regressions.json.
+#
 # Usage: bench/run_benches.sh [output-json] [build-dir]
-#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR5.json build
+#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR6.json build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out_file="${1:-$repo_root/BENCH_PR5.json}"
+out_file="${1:-$repo_root/BENCH_PR6.json}"
 build_dir="${2:-$repo_root/build}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
@@ -36,10 +47,13 @@ for i in "${!benches[@]}"; do
     exit 1
   fi
   echo ">>> ${benches[$i]} --benchmark_filter=${filters[$i]}" >&2
-  "$bin" --benchmark_filter="${filters[$i]}" \
-         --benchmark_format=json \
-         --benchmark_min_time=0.05 \
-         > "$tmp_dir/${benches[$i]}.json"
+  if ! "$bin" --benchmark_filter="${filters[$i]}" \
+              --benchmark_format=json \
+              --benchmark_min_time=0.05 \
+              > "$tmp_dir/${benches[$i]}.json"; then
+    echo "error: ${benches[$i]} exited non-zero; refusing to stamp a report" >&2
+    exit 1
+  fi
 done
 
 # A metrics snapshot of a real engine run: quickstart exercises compile,
@@ -65,6 +79,10 @@ for dir in "$repo_root"/fuzz/corpus/*/; do
   corpus_counts+="${corpus_counts:+,}fuzz_${name}=$(find "$dir" -type f | wc -l)"
 done
 
+# Merge into the output. The python step validates each per-bench report
+# (parseable JSON with a non-empty "benchmarks" array) and writes to a
+# sibling temp file renamed into place only on success, so a failure part
+# way through can never leave a truncated $out_file behind.
 GIT_SHA="$git_sha" DIFF_ITERATIONS="${diff_iterations:-0}" \
 CORPUS_COUNTS="$corpus_counts" \
 python3 - "$out_file" "$tmp_dir" "${benches[@]}" <<'PY'
@@ -73,11 +91,20 @@ import json, os, re, sys
 out_file, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
 merged = {"experiments": {}, "context": None}
 for name in names:
-    with open(os.path.join(tmp_dir, name + ".json")) as f:
-        report = json.load(f)
+    path = os.path.join(tmp_dir, name + ".json")
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: {name} emitted unparseable output ({err}); "
+                         "refusing to stamp a report")
+    benchmarks = report.get("benchmarks")
+    if not benchmarks:
+        raise SystemExit(f"error: {name} report has no benchmarks (crashed "
+                         "after printing context?); refusing to stamp a report")
     if merged["context"] is None:
         merged["context"] = report.get("context", {})
-    merged["experiments"][name] = report.get("benchmarks", [])
+    merged["experiments"][name] = benchmarks
 
 # Parse the --stats report: "counter <name> <n>", "gauge <name> <n>",
 # "histogram <name> count=... sum=... mean=... p50=... p95=... p99=... max=...".
@@ -119,11 +146,29 @@ merged["env"] = {
     "effective_threads": int(threads_knob) if threads_knob.isdigit() else nproc,
     "nproc": nproc,
 }
-with open(out_file, "w") as f:
+# Atomic stamp: write a sibling temp file, rename over the target. Same
+# directory, so the rename cannot cross filesystems.
+staging = out_file + ".tmp"
+with open(staging, "w") as f:
     json.dump(merged, f, indent=1)
+os.replace(staging, out_file)
 print(f"wrote {out_file}: "
       + ", ".join(f"{k}={len(v)} series" for k, v in merged["experiments"].items())
       + f", metrics_snapshot={len(snapshot['counters'])} counters"
       + f", differential_iterations={merged['testing']['differential_iterations']}"
       + f", corpus={sum(corpus.values())} files")
 PY
+
+# --- bench-regression gate (DESIGN.md §1.12) ---------------------------------
+if [[ "${SPANNERS_BENCH_GATE:-on}" == "off" ]]; then
+  echo "bench-regression gate: skipped (SPANNERS_BENCH_GATE=off)" >&2
+elif [[ ! -f "$repo_root/bench/baseline.json" ]]; then
+  echo "warning: bench/baseline.json missing; regression gate skipped" >&2
+  echo "  (rebase with: python3 bench/check_regression.py --rebase $out_file)" >&2
+else
+  python3 "$repo_root/bench/check_regression.py" \
+    --current "$out_file" \
+    --baseline "$repo_root/bench/baseline.json" \
+    --threshold-pct "${SPANNERS_BENCH_THRESHOLD_PCT:-25}" \
+    --report "${out_file%.json}.regressions.json"
+fi

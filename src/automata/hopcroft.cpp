@@ -1,7 +1,6 @@
 #include "automata/hopcroft.hpp"
 
 #include <algorithm>
-#include <list>
 #include <map>
 #include <set>
 #include <vector>
@@ -102,13 +101,12 @@ Dfa Minimize(const Dfa& input) {
       hit.erase(std::unique(hit.begin(), hit.end()), hit.end());
       if (hit.size() == blocks[b].size()) continue;  // block not split
 
-      // Split block b into 'hit' and 'rest'.
+      // Split block b into 'hit' and 'rest'. 'hit' is sorted and unique, so
+      // membership is a binary search -- no per-split std::set rebuild.
       std::vector<StateId> rest;
-      {
-        std::set<StateId> hit_set(hit.begin(), hit.end());
-        for (StateId s : blocks[b]) {
-          if (!hit_set.count(s)) rest.push_back(s);
-        }
+      rest.reserve(blocks[b].size() - hit.size());
+      for (StateId s : blocks[b]) {
+        if (!std::binary_search(hit.begin(), hit.end(), s)) rest.push_back(s);
       }
       const int new_block = static_cast<int>(blocks.size());
       blocks[b] = hit;

@@ -48,38 +48,55 @@ std::set<Symbol> Nfa::Alphabet() const {
 }
 
 std::vector<StateId> Nfa::EpsilonClosure(std::vector<StateId> states) const {
-  std::vector<bool> seen(num_states(), false);
-  std::vector<StateId> stack;
-  for (StateId s : states) {
-    if (!seen[s]) {
-      seen[s] = true;
+  ClosureScratch scratch;
+  StateSet closure;
+  EpsilonClosureInto(states.data(), states.size(), &closure, &scratch);
+  return std::vector<StateId>(closure.begin(), closure.end());
+}
+
+void Nfa::EpsilonClosureInto(const StateId* seeds, std::size_t count, StateSet* out,
+                             ClosureScratch* scratch) const {
+  out->clear();
+  if (scratch->mark.size() < num_states()) scratch->mark.assign(num_states(), 0);
+  if (++scratch->epoch == 0) {
+    // Epoch wrapped: reset the marks once and restart epochs at 1.
+    std::fill(scratch->mark.begin(), scratch->mark.end(), 0);
+    scratch->epoch = 1;
+  }
+  const uint32_t epoch = scratch->epoch;
+  StateSet& stack = scratch->stack;
+  stack.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const StateId s = seeds[i];
+    if (scratch->mark[s] != epoch) {
+      scratch->mark[s] = epoch;
       stack.push_back(s);
     }
   }
-  std::vector<StateId> result;
   while (!stack.empty()) {
     const StateId s = stack.back();
     stack.pop_back();
-    result.push_back(s);
+    out->push_back(s);
     for (const Transition& t : transitions_[s]) {
-      if (t.symbol.IsEpsilon() && !seen[t.to]) {
-        seen[t.to] = true;
+      if (t.symbol.IsEpsilon() && scratch->mark[t.to] != epoch) {
+        scratch->mark[t.to] = epoch;
         stack.push_back(t.to);
       }
     }
   }
-  std::sort(result.begin(), result.end());
-  return result;
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<bool> Nfa::CoReachable() const {
-  // Reverse-BFS from accepting states.
-  std::vector<std::vector<StateId>> reverse(num_states());
+  // Reverse-BFS from accepting states. Reverse adjacency lists are SSO
+  // StateSets: typical states have a handful of predecessors, so the lists
+  // stay inline instead of costing one heap allocation per state.
+  std::vector<StateSet> reverse(num_states());
   for (StateId s = 0; s < num_states(); ++s) {
     for (const Transition& t : transitions_[s]) reverse[t.to].push_back(s);
   }
   std::vector<bool> seen(num_states(), false);
-  std::vector<StateId> stack;
+  StateSet stack;
   for (StateId s = 0; s < num_states(); ++s) {
     if (accepting_[s]) {
       seen[s] = true;
@@ -150,15 +167,19 @@ bool Nfa::IsEmptyLanguage() const {
 
 bool Nfa::Accepts(const std::vector<Symbol>& word) const {
   if (num_states() == 0) return false;
-  std::vector<StateId> current = EpsilonClosure({initial_});
+  ClosureScratch scratch;
+  StateSet current, next, closed;
+  const StateId initial = initial_;
+  EpsilonClosureInto(&initial, 1, &current, &scratch);
   for (const Symbol& symbol : word) {
-    std::vector<StateId> next;
+    next.clear();
     for (StateId s : current) {
       for (const Transition& t : transitions_[s]) {
         if (t.symbol == symbol) next.push_back(t.to);
       }
     }
-    current = EpsilonClosure(std::move(next));
+    EpsilonClosureInto(next.data(), next.size(), &closed, &scratch);
+    std::swap(current, closed);
     if (current.empty()) return false;
   }
   for (StateId s : current) {

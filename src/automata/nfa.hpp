@@ -15,12 +15,22 @@
 #include <string>
 #include <vector>
 
+#include "automata/state_set.hpp"
 #include "automata/symbol.hpp"
 
 namespace spanners {
 
 /// Dense automaton state id.
 using StateId = uint32_t;
+
+/// Reusable scratch for allocation-free epsilon closures
+/// (Nfa::EpsilonClosureInto). One instance per traversal loop; after the
+/// first call no allocation happens as long as the automaton does not grow.
+struct ClosureScratch {
+  StateSet stack;               ///< DFS worklist
+  std::vector<uint32_t> mark;   ///< per-state visit epoch (lazily sized)
+  uint32_t epoch = 0;           ///< current epoch; bump instead of clearing
+};
 
 /// One outgoing transition.
 struct Transition {
@@ -61,6 +71,13 @@ class Nfa {
 
   /// Epsilon closure of \p states (sorted, deduplicated).
   std::vector<StateId> EpsilonClosure(std::vector<StateId> states) const;
+
+  /// Epsilon closure of the \p count states at \p seeds into \p out (sorted,
+  /// deduplicated; \p out is cleared first). Reuses \p scratch across calls,
+  /// so a loop of closures performs no heap allocation after warm-up -- the
+  /// hot-path variant used by RemoveEpsilon and the subset constructions.
+  void EpsilonClosureInto(const StateId* seeds, std::size_t count, StateSet* out,
+                          ClosureScratch* scratch) const;
 
   /// States from which some accepting state is reachable (any symbols).
   std::vector<bool> CoReachable() const;

@@ -21,9 +21,15 @@ Nfa RemoveEpsilon(const Nfa& nfa) {
     return out;
   }
   out.SetInitial(nfa.initial());
+  // One scratch + closure set reused across all per-state closures: this
+  // loop sits in the SlpNfaMatcher constructor (hot: one matcher per query
+  // compile) and previously allocated three vectors per state.
+  ClosureScratch scratch;
+  StateSet closure;
   for (StateId s = 0; s < nfa.num_states(); ++s) {
     bool accepting = false;
-    for (StateId c : nfa.EpsilonClosure({s})) {
+    nfa.EpsilonClosureInto(&s, 1, &closure, &scratch);
+    for (StateId c : closure) {
       if (nfa.IsAccepting(c)) accepting = true;
       for (const Transition& t : nfa.TransitionsFrom(c)) {
         if (!t.symbol.IsEpsilon()) out.AddTransition(s, t.symbol, t.to);
@@ -114,9 +120,13 @@ std::optional<std::vector<Symbol>> ShortestWitness(const Nfa& nfa) {
   std::vector<Visit> visits;
   std::vector<bool> seen(nfa.num_states(), false);
   std::deque<std::size_t> queue;
+  ClosureScratch scratch;
+  StateSet closure;
   // BFS over epsilon-free moves; epsilon arcs contribute length 0, handled by
   // closing over epsilon at each step.
-  for (StateId s : nfa.EpsilonClosure({nfa.initial()})) {
+  const StateId initial = nfa.initial();
+  nfa.EpsilonClosureInto(&initial, 1, &closure, &scratch);
+  for (StateId s : closure) {
     seen[s] = true;
     visits.push_back({s, SIZE_MAX, Symbol::Epsilon()});
     queue.push_back(visits.size() - 1);
@@ -137,7 +147,8 @@ std::optional<std::vector<Symbol>> ShortestWitness(const Nfa& nfa) {
     }
     for (const Transition& t : nfa.TransitionsFrom(state)) {
       if (t.symbol.IsEpsilon()) continue;
-      for (StateId n : nfa.EpsilonClosure({t.to})) {
+      nfa.EpsilonClosureInto(&t.to, 1, &closure, &scratch);
+      for (StateId n : closure) {
         if (!seen[n]) {
           seen[n] = true;
           visits.push_back({n, current, t.symbol});

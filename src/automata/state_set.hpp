@@ -1,0 +1,233 @@
+/// \file state_set.hpp
+/// \brief Small-size-optimized sets/sequences of automaton states.
+///
+/// NFA state sets are tiny almost always -- an epsilon closure of a Thompson
+/// automaton, the spine run function of a deterministic extended VA, the
+/// frontier of a subset construction all hold a handful of StateIds -- yet
+/// the previous std::vector<StateId> representation paid one heap
+/// allocation per set. Those allocations sit on the hottest paths of the
+/// engine: SlpNfaMatcher's constructor runs one epsilon closure per state,
+/// and SlpSpannerEvaluator materialises one spine array per SLP node. This
+/// was a measurable slice of the PR1->PR5 hot-kernel regression (ISSUE 6).
+///
+/// StateSet stores up to kShortCapacity states inline (the short/long
+/// contents layout of tree-sitter's ts_state_set, SNIPPETS.md Snippet 2)
+/// and spills to the heap only beyond that. The interface is std::vector
+/// flavoured (push_back / size / operator[] / iteration) so it slots in
+/// where a vector<StateId> was, plus the set operations the automata layer
+/// actually uses (Contains, SortedContains, SortUnique, InsertSorted).
+///
+/// Not thread-safe; like vector, concurrent readers are fine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+
+namespace spanners {
+
+/// Dense automaton state id (mirrors automata/nfa.hpp; kept local so the
+/// header stays dependency-free for util-layer users).
+using StateSetValue = uint32_t;
+
+class StateSet {
+ public:
+  using value_type = StateSetValue;
+  using iterator = value_type*;
+  using const_iterator = const value_type*;
+
+  /// Number of states stored without touching the heap. 8 ids keep the
+  /// whole object at 40 bytes -- one cache line holds one set comfortably.
+  static constexpr uint32_t kShortCapacity = 8;
+
+  StateSet() : length_(0), capacity_(kShortCapacity) {}
+
+  /// A set holding \p n copies of \p fill (vector-style fill constructor;
+  /// used for run functions indexed by state).
+  explicit StateSet(std::size_t n, value_type fill = 0) : StateSet() {
+    Assign(n, fill);
+  }
+
+  StateSet(std::initializer_list<value_type> init) : StateSet() {
+    Reserve(init.size());
+    for (value_type v : init) contents()[length_++] = v;
+  }
+
+  StateSet(const StateSet& other) : StateSet() {
+    Reserve(other.length_);
+    std::memcpy(contents(), other.contents(), other.length_ * sizeof(value_type));
+    length_ = other.length_;
+  }
+
+  StateSet(StateSet&& other) noexcept : length_(other.length_), capacity_(other.capacity_) {
+    if (other.is_long()) {
+      long_contents_ = other.long_contents_;
+    } else {
+      std::memcpy(short_contents_, other.short_contents_,
+                  other.length_ * sizeof(value_type));
+    }
+    other.length_ = 0;
+    other.capacity_ = kShortCapacity;
+  }
+
+  StateSet& operator=(const StateSet& other) {
+    if (this == &other) return *this;
+    length_ = 0;
+    Reserve(other.length_);
+    std::memcpy(contents(), other.contents(), other.length_ * sizeof(value_type));
+    length_ = other.length_;
+    return *this;
+  }
+
+  StateSet& operator=(StateSet&& other) noexcept {
+    if (this == &other) return *this;
+    if (is_long()) delete[] long_contents_;
+    length_ = other.length_;
+    capacity_ = other.capacity_;
+    if (other.is_long()) {
+      long_contents_ = other.long_contents_;
+    } else {
+      std::memcpy(short_contents_, other.short_contents_,
+                  other.length_ * sizeof(value_type));
+    }
+    other.length_ = 0;
+    other.capacity_ = kShortCapacity;
+    return *this;
+  }
+
+  ~StateSet() {
+    if (is_long()) delete[] long_contents_;
+  }
+
+  // --- vector interface -----------------------------------------------------
+
+  std::size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  value_type* data() { return contents(); }
+  const value_type* data() const { return contents(); }
+
+  iterator begin() { return contents(); }
+  iterator end() { return contents() + length_; }
+  const_iterator begin() const { return contents(); }
+  const_iterator end() const { return contents() + length_; }
+
+  value_type& operator[](std::size_t i) { return contents()[i]; }
+  value_type operator[](std::size_t i) const { return contents()[i]; }
+
+  value_type& back() { return contents()[length_ - 1]; }
+  value_type back() const { return contents()[length_ - 1]; }
+
+  void push_back(value_type v) {
+    if (length_ == capacity_) Grow(capacity_ * 2);
+    contents()[length_++] = v;
+  }
+
+  void pop_back() { --length_; }
+
+  /// Drops all elements; keeps the current storage (short or spilled).
+  void clear() { length_ = 0; }
+
+  void Reserve(std::size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Replaces the contents with \p n copies of \p fill.
+  void Assign(std::size_t n, value_type fill) {
+    length_ = 0;
+    Reserve(n);
+    value_type* p = contents();
+    for (std::size_t i = 0; i < n; ++i) p[i] = fill;
+    length_ = static_cast<uint32_t>(n);
+  }
+
+  /// Grows to \p n elements, new slots = \p fill; shrinks by truncation.
+  void Resize(std::size_t n, value_type fill = 0) {
+    if (n <= length_) {
+      length_ = static_cast<uint32_t>(n);
+      return;
+    }
+    Reserve(n);
+    value_type* p = contents();
+    for (std::size_t i = length_; i < n; ++i) p[i] = fill;
+    length_ = static_cast<uint32_t>(n);
+  }
+
+  // --- set interface --------------------------------------------------------
+
+  /// Membership by linear scan (best for the typical <= 8 element set).
+  bool Contains(value_type v) const {
+    const value_type* p = contents();
+    for (uint32_t i = 0; i < length_; ++i) {
+      if (p[i] == v) return true;
+    }
+    return false;
+  }
+
+  /// Membership by binary search; requires sorted contents.
+  bool SortedContains(value_type v) const {
+    return std::binary_search(begin(), end(), v);
+  }
+
+  /// Sorts and removes duplicates (canonical set form).
+  void SortUnique() {
+    value_type* p = contents();
+    std::sort(p, p + length_);
+    length_ = static_cast<uint32_t>(std::unique(p, p + length_) - p);
+  }
+
+  /// Inserts \p v into sorted position if absent; keeps the set sorted.
+  /// Returns true iff inserted.
+  bool InsertSorted(value_type v) {
+    value_type* p = contents();
+    const value_type* pos = std::lower_bound(p, p + length_, v);
+    const std::size_t i = static_cast<std::size_t>(pos - p);
+    if (i < length_ && p[i] == v) return false;
+    if (length_ == capacity_) {
+      Grow(capacity_ * 2);
+      p = contents();
+    }
+    std::memmove(p + i + 1, p + i, (length_ - i) * sizeof(value_type));
+    p[i] = v;
+    ++length_;
+    return true;
+  }
+
+  /// True iff same length and element sequence (order-sensitive, like
+  /// vector; call SortUnique first for set equality).
+  friend bool operator==(const StateSet& a, const StateSet& b) {
+    return a.length_ == b.length_ &&
+           std::memcmp(a.contents(), b.contents(), a.length_ * sizeof(value_type)) == 0;
+  }
+  friend bool operator!=(const StateSet& a, const StateSet& b) { return !(a == b); }
+
+  /// True iff the contents spilled to the heap (exposed for tests).
+  bool is_long() const { return capacity_ > kShortCapacity; }
+
+ private:
+  value_type* contents() { return is_long() ? long_contents_ : short_contents_; }
+  const value_type* contents() const {
+    return is_long() ? long_contents_ : short_contents_;
+  }
+
+  void Grow(std::size_t want) {
+    std::size_t next = capacity_;
+    while (next < want) next *= 2;
+    value_type* fresh = new value_type[next];
+    std::memcpy(fresh, contents(), length_ * sizeof(value_type));
+    if (is_long()) delete[] long_contents_;
+    long_contents_ = fresh;
+    capacity_ = static_cast<uint32_t>(next);
+  }
+
+  union {
+    value_type* long_contents_;                 ///< heap storage when spilled
+    value_type short_contents_[kShortCapacity]; ///< inline storage (the common case)
+  };
+  uint32_t length_;
+  uint32_t capacity_;  ///< > kShortCapacity iff spilled
+};
+
+}  // namespace spanners

@@ -43,12 +43,13 @@ struct SlpEnumMetrics {
 };
 
 /// Attributes \p nodes products to the active kernel (read once per fill;
-/// the knob is process-wide and set before preprocessing starts).
+/// the knob is process-wide and set before preprocessing starts). kSimd
+/// counts as blocked: it is the same transpose + AND-reduce structure.
 void CountKernelNodes(SlpEnumMetrics& metrics, std::size_t nodes) {
-  if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kBlocked) {
-    metrics.kernel_blocked_nodes.Add(nodes);
-  } else {
+  if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kSparseRows) {
     metrics.kernel_sparse_nodes.Add(nodes);
+  } else {
+    metrics.kernel_blocked_nodes.Add(nodes);
   }
 }
 
@@ -81,7 +82,7 @@ void SlpSpannerEvaluator::ComputeNode(const Slp& slp, NodeId node, NodeMats* out
   NodeMats& mats = *out;
   if (slp.IsTerminal(node)) {
     const uint16_t c = slp.TerminalChar(node);
-    mats.spine.assign(num_states_, kNoState);
+    mats.spine.Assign(num_states_, kNoState);
     mats.event = BoolMatrix(num_states_);
     for (StateId p = 0; p < num_states_; ++p) {
       for (const EvaTransition& t : edva_->TransitionsFrom(p)) {
@@ -97,7 +98,7 @@ void SlpSpannerEvaluator::ComputeNode(const Slp& slp, NodeId node, NodeMats* out
     const NodeMats& left = cache_.at(slp.Left(node));
     const NodeMats& right = cache_.at(slp.Right(node));
     // spine = right.spine ∘ left.spine
-    mats.spine.assign(num_states_, kNoState);
+    mats.spine.Assign(num_states_, kNoState);
     for (StateId p = 0; p < num_states_; ++p) {
       const StateId mid = left.spine[p];
       if (mid != kNoState) mats.spine[p] = right.spine[mid];
@@ -127,12 +128,15 @@ void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
   // disjoint mapped values and never mutate the map itself -- no locking on
   // the hot path (see slp_schedule.hpp).
   std::size_t new_nodes = 0;
+  for (const std::vector<NodeId>& level : levels) new_nodes += level.size();
+  cache_.reserve(cache_.size() + new_nodes);
   for (const std::vector<NodeId>& level : levels) {
-    new_nodes += level.size();
     for (const NodeId n : level) cache_.emplace(n, NodeMats());
   }
-  const bool metrics_on = MetricsEnabled();
-  if (metrics_on) {
+  // All counter recording happens here, once per fill -- the level loop
+  // below carries no per-element gating, so SPANNERS_TRACE=off costs zero
+  // in the kernel. Per-level timings are a spans-level profiling detail.
+  if (MetricsEnabled()) {
     SlpEnumMetrics& metrics = SlpEnumMetrics::Get();
     metrics.fill_nodes.Add(new_nodes);
     metrics.fill_levels.Add(levels.size());
@@ -144,9 +148,10 @@ void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
         num_states_ * sizeof(StateId) + 2 * num_states_ * words_per_row * 8;
     metrics.cache_bytes.Add(new_nodes * bytes_per_node);
   }
+  const bool time_levels = SpansEnabled();
   if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   for (const std::vector<NodeId>& level : levels) {
-    const uint64_t level_start = metrics_on ? NowNanos() : 0;
+    const uint64_t level_start = time_levels ? NowNanos() : 0;
     auto compute = [&](std::size_t i) {
       ComputeNode(slp, level[i], &cache_.find(level[i])->second);
     };
@@ -157,7 +162,7 @@ void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
     } else {
       for (std::size_t i = 0; i < level.size(); ++i) compute(i);
     }
-    if (metrics_on) {
+    if (time_levels) {
       SlpEnumMetrics::Get().level_ns.Record(NowNanos() - level_start);
     }
   }
@@ -249,6 +254,11 @@ std::size_t SlpSpannerEvaluator::Evaluate(
   ctx.slp = &slp;
   ctx.callback = &callback;
   std::size_t steps_at_last_emit = 0;
+  // Gate + handle resolved once per Evaluate, not once per tuple: emit is
+  // per-element (runs between every two results), so it must carry no
+  // registry lookups and, at SPANNERS_TRACE=off, no recording at all.
+  const bool metrics_on = MetricsEnabled();
+  SlpEnumMetrics* metrics = metrics_on ? &SlpEnumMetrics::Get() : nullptr;
 
   auto emit = [&](MarkerSet end_markers, uint64_t end_gap) {
     if (end_markers != 0) ctx.events.push_back({end_gap, end_markers});
@@ -259,9 +269,8 @@ std::size_t SlpSpannerEvaluator::Evaluate(
     steps_at_last_emit = ctx.steps;
     // Delay profiler for the compressed path: steps between consecutive
     // tuples, expected O(depth * poly(Q)) -- flat in |D| for balanced SLPs.
-    if (MetricsEnabled()) {
-      SlpEnumMetrics::Get().tuples.Increment();
-      SlpEnumMetrics::Get().delay_steps.Record(last_delay_steps_);
+    if (metrics != nullptr) {
+      metrics->delay_steps.Record(last_delay_steps_);
     }
     if (!callback(tuple)) {
       ctx.stopped = true;
@@ -280,6 +289,7 @@ std::size_t SlpSpannerEvaluator::Evaluate(
         if (!emit(t.letter.markers, 0)) break;
       }
     }
+    if (metrics != nullptr) metrics->tuples.Add(ctx.emitted);
     return ctx.emitted;
   }
 
@@ -293,6 +303,9 @@ std::size_t SlpSpannerEvaluator::Evaluate(
       if (!EnumNode(root, initial, q, false, 0, &ctx, finish)) break;
     }
   }
+  // Tuple count flushed once per evaluation (hoisted out of the per-tuple
+  // emit path).
+  if (metrics != nullptr) metrics->tuples.Add(ctx.emitted);
   return ctx.emitted;
 }
 

@@ -26,6 +26,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "automata/state_set.hpp"
 #include "core/extended_va.hpp"
 #include "slp/slp.hpp"
 #include "util/bool_matrix.hpp"
@@ -75,9 +76,11 @@ class SlpSpannerEvaluator {
   static constexpr StateId kNoState = UINT32_MAX;
 
   struct NodeMats {
-    std::vector<StateId> spine;  ///< marker-free run function (kNoState = none)
-    BoolMatrix event;            ///< runs with >= 1 marker event inside
-    BoolMatrix full;             ///< spine ∪ event
+    StateSet spine;    ///< marker-free run function (kNoState = none); SSO:
+                       ///< stays inline for automata of <= 8 states, one
+                       ///< allocation otherwise (was one per node always)
+    BoolMatrix event;  ///< runs with >= 1 marker event inside
+    BoolMatrix full;   ///< spine ∪ event
   };
 
   struct Context {

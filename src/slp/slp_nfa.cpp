@@ -104,25 +104,29 @@ void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
   // disjoint mapped values and never mutate the map itself, so the hot path
   // needs no locking at all.
   std::size_t new_nodes = 0;
+  for (const std::vector<NodeId>& level : levels) new_nodes += level.size();
+  cache_.reserve(cache_.size() + new_nodes);
   for (const std::vector<NodeId>& level : levels) {
-    new_nodes += level.size();
     for (const NodeId n : level) cache_.emplace(n, BoolMatrix());
   }
-  const bool metrics_on = MetricsEnabled();
-  if (metrics_on) {
+  // All counter recording happens here, once per fill -- the level loop
+  // below carries no per-element gating, so SPANNERS_TRACE=off costs zero
+  // in the kernel. Per-level timings are a spans-level profiling detail.
+  if (MetricsEnabled()) {
     SlpNfaMetrics& metrics = SlpNfaMetrics::Get();
     metrics.fill_nodes.Add(new_nodes);
     metrics.fill_levels.Add(levels.size());
-    if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kBlocked) {
-      metrics.kernel_blocked_nodes.Add(new_nodes);
-    } else {
+    if (BoolMatrix::multiply_kernel() == BoolMatrix::MultiplyKernel::kSparseRows) {
       metrics.kernel_sparse_nodes.Add(new_nodes);
+    } else {
+      metrics.kernel_blocked_nodes.Add(new_nodes);
     }
     metrics.cache_bytes.Add(new_nodes * num_states_ * ((num_states_ + 63) / 64) * 8);
   }
+  const bool time_levels = SpansEnabled();
   if (threads_ > 1 && pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   for (const std::vector<NodeId>& level : levels) {
-    const uint64_t level_start = metrics_on ? NowNanos() : 0;
+    const uint64_t level_start = time_levels ? NowNanos() : 0;
     auto compute = [&](std::size_t i) {
       ComputeNode(slp, level[i], &cache_.find(level[i])->second);
     };
@@ -133,7 +137,7 @@ void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
     } else {
       for (std::size_t i = 0; i < level.size(); ++i) compute(i);
     }
-    if (metrics_on) {
+    if (time_levels) {
       SlpNfaMetrics::Get().level_ns.Record(NowNanos() - level_start);
     }
   }

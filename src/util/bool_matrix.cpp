@@ -6,6 +6,14 @@
 
 #include "util/common.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#define SPANNERS_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define SPANNERS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace spanners {
 
 namespace {
@@ -13,8 +21,10 @@ namespace {
 BoolMatrix::MultiplyKernel InitialKernel() {
   if (const char* env = std::getenv("SPANNERS_MM_KERNEL")) {
     if (std::strcmp(env, "sparse") == 0) return BoolMatrix::MultiplyKernel::kSparseRows;
+    if (std::strcmp(env, "blocked") == 0) return BoolMatrix::MultiplyKernel::kBlocked;
+    if (std::strcmp(env, "simd") == 0) return BoolMatrix::MultiplyKernel::kSimd;
   }
-  return BoolMatrix::MultiplyKernel::kBlocked;
+  return BoolMatrix::MultiplyKernel::kSimd;
 }
 
 BoolMatrix::MultiplyKernel g_multiply_kernel = InitialKernel();
@@ -24,11 +34,168 @@ BoolMatrix::MultiplyKernel g_multiply_kernel = InitialKernel();
 /// transposed rows are re-read once per row block).
 constexpr std::size_t kL1BlockBytes = 16 * 1024;
 
+// --- blocked product kernels ------------------------------------------------
+//
+// All variants compute out[p][q] = OR_w (a_row_p[w] & bt_row_q[w]) over the
+// same p/q blocking; they differ only in how the per-output-bit AND-reduce
+// over words_per_row words is evaluated. Results are bit-identical (the
+// equivalence sweep in tests/ enforces this), so the dispatcher is free to
+// pick per machine. None of them touches metrics or trace gates.
+
+/// Scalar reduce with early exit on the first hit word (the original
+/// kBlocked kernel).
+void BlockedProductScalar(const uint64_t* a, const uint64_t* bt, uint64_t* out,
+                          std::size_t n, std::size_t wpr, std::size_t block) {
+  for (std::size_t p0 = 0; p0 < n; p0 += block) {
+    const std::size_t p1 = std::min(n, p0 + block);
+    for (std::size_t q0 = 0; q0 < n; q0 += block) {
+      const std::size_t q1 = std::min(n, q0 + block);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const uint64_t* row = a + p * wpr;
+        uint64_t* out_row = out + p * wpr;
+        for (std::size_t q = q0; q < q1; ++q) {
+          const uint64_t* col = bt + q * wpr;
+          uint64_t any = 0;
+          for (std::size_t w = 0; w < wpr && any == 0; ++w) {
+            any = row[w] & col[w];
+          }
+          if (any != 0) out_row[q >> 6] |= uint64_t{1} << (q & 63);
+        }
+      }
+    }
+  }
+}
+
+/// Portable unrolled reduce: four independent accumulators, no per-word
+/// branch -- what the compiler auto-vectorizes when no ISA extension is
+/// available at runtime.
+void BlockedProductUnrolled(const uint64_t* a, const uint64_t* bt, uint64_t* out,
+                            std::size_t n, std::size_t wpr, std::size_t block) {
+  for (std::size_t p0 = 0; p0 < n; p0 += block) {
+    const std::size_t p1 = std::min(n, p0 + block);
+    for (std::size_t q0 = 0; q0 < n; q0 += block) {
+      const std::size_t q1 = std::min(n, q0 + block);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const uint64_t* row = a + p * wpr;
+        uint64_t* out_row = out + p * wpr;
+        for (std::size_t q = q0; q < q1; ++q) {
+          const uint64_t* col = bt + q * wpr;
+          uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+          std::size_t w = 0;
+          for (; w + 4 <= wpr; w += 4) {
+            acc0 |= row[w] & col[w];
+            acc1 |= row[w + 1] & col[w + 1];
+            acc2 |= row[w + 2] & col[w + 2];
+            acc3 |= row[w + 3] & col[w + 3];
+          }
+          for (; w < wpr; ++w) acc0 |= row[w] & col[w];
+          if ((acc0 | acc1 | acc2 | acc3) != 0) {
+            out_row[q >> 6] |= uint64_t{1} << (q & 63);
+          }
+        }
+      }
+    }
+  }
+}
+
+#if defined(SPANNERS_SIMD_X86)
+/// AVX2 reduce: 256-bit AND+OR accumulation (4 words per step), one VPTEST
+/// per output bit. Compiled with a per-function target attribute so the
+/// translation unit itself needs no -mavx2; only runs after
+/// __builtin_cpu_supports("avx2") says yes.
+__attribute__((target("avx2"))) void BlockedProductAvx2(const uint64_t* a,
+                                                        const uint64_t* bt,
+                                                        uint64_t* out, std::size_t n,
+                                                        std::size_t wpr,
+                                                        std::size_t block) {
+  for (std::size_t p0 = 0; p0 < n; p0 += block) {
+    const std::size_t p1 = std::min(n, p0 + block);
+    for (std::size_t q0 = 0; q0 < n; q0 += block) {
+      const std::size_t q1 = std::min(n, q0 + block);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const uint64_t* row = a + p * wpr;
+        uint64_t* out_row = out + p * wpr;
+        for (std::size_t q = q0; q < q1; ++q) {
+          const uint64_t* col = bt + q * wpr;
+          __m256i acc = _mm256_setzero_si256();
+          std::size_t w = 0;
+          for (; w + 4 <= wpr; w += 4) {
+            const __m256i va =
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+            const __m256i vb =
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + w));
+            acc = _mm256_or_si256(acc, _mm256_and_si256(va, vb));
+          }
+          uint64_t any = static_cast<uint64_t>(_mm256_testz_si256(acc, acc) == 0);
+          for (; w < wpr; ++w) any |= row[w] & col[w];
+          if (any != 0) out_row[q >> 6] |= uint64_t{1} << (q & 63);
+        }
+      }
+    }
+  }
+}
+#endif  // SPANNERS_SIMD_X86
+
+#if defined(SPANNERS_SIMD_NEON)
+/// NEON reduce: two 128-bit accumulators (4 words per step). NEON is
+/// baseline on aarch64, so no runtime check is needed.
+void BlockedProductNeon(const uint64_t* a, const uint64_t* bt, uint64_t* out,
+                        std::size_t n, std::size_t wpr, std::size_t block) {
+  for (std::size_t p0 = 0; p0 < n; p0 += block) {
+    const std::size_t p1 = std::min(n, p0 + block);
+    for (std::size_t q0 = 0; q0 < n; q0 += block) {
+      const std::size_t q1 = std::min(n, q0 + block);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const uint64_t* row = a + p * wpr;
+        uint64_t* out_row = out + p * wpr;
+        for (std::size_t q = q0; q < q1; ++q) {
+          const uint64_t* col = bt + q * wpr;
+          uint64x2_t acc0 = vdupq_n_u64(0);
+          uint64x2_t acc1 = vdupq_n_u64(0);
+          std::size_t w = 0;
+          for (; w + 4 <= wpr; w += 4) {
+            acc0 = vorrq_u64(acc0, vandq_u64(vld1q_u64(row + w), vld1q_u64(col + w)));
+            acc1 = vorrq_u64(acc1,
+                             vandq_u64(vld1q_u64(row + w + 2), vld1q_u64(col + w + 2)));
+          }
+          const uint64x2_t both = vorrq_u64(acc0, acc1);
+          uint64_t any = vgetq_lane_u64(both, 0) | vgetq_lane_u64(both, 1);
+          for (; w < wpr; ++w) any |= row[w] & col[w];
+          if (any != 0) out_row[q >> 6] |= uint64_t{1} << (q & 63);
+        }
+      }
+    }
+  }
+}
+#endif  // SPANNERS_SIMD_NEON
+
+using BlockedProductFn = void (*)(const uint64_t*, const uint64_t*, uint64_t*,
+                                  std::size_t, std::size_t, std::size_t);
+
+struct SimdDispatch {
+  BlockedProductFn fn;
+  const char* name;
+};
+
+/// Resolved once at startup; kSimd products go through dispatch.fn.
+SimdDispatch DetectSimd() {
+#if defined(SPANNERS_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return {&BlockedProductAvx2, "avx2"};
+#elif defined(SPANNERS_SIMD_NEON)
+  return {&BlockedProductNeon, "neon"};
+#endif
+  return {&BlockedProductUnrolled, "portable"};
+}
+
+const SimdDispatch g_simd = DetectSimd();
+
 }  // namespace
 
 void BoolMatrix::SetMultiplyKernel(MultiplyKernel kernel) { g_multiply_kernel = kernel; }
 
 BoolMatrix::MultiplyKernel BoolMatrix::multiply_kernel() { return g_multiply_kernel; }
+
+const char* BoolMatrix::SimdBackendName() { return g_simd.name; }
 
 BoolMatrix BoolMatrix::Identity(std::size_t n) {
   BoolMatrix m(n);
@@ -112,24 +279,12 @@ void BoolMatrix::MultiplyTransposedInto(const BoolMatrix& other_transposed,
   const std::size_t block = row_bytes == 0
                                 ? size_
                                 : std::max<std::size_t>(1, kL1BlockBytes / (2 * row_bytes));
-  for (std::size_t p0 = 0; p0 < size_; p0 += block) {
-    const std::size_t p1 = std::min(size_, p0 + block);
-    for (std::size_t q0 = 0; q0 < size_; q0 += block) {
-      const std::size_t q1 = std::min(size_, q0 + block);
-      for (std::size_t p = p0; p < p1; ++p) {
-        const uint64_t* row = &bits_[p * words_per_row_];
-        uint64_t* out_row = &out[p * words_per_row_];
-        for (std::size_t q = q0; q < q1; ++q) {
-          const uint64_t* col = &other_transposed.bits_[q * words_per_row_];
-          uint64_t any = 0;
-          for (std::size_t w = 0; w < words_per_row_ && any == 0; ++w) {
-            any = row[w] & col[w];
-          }
-          if (any != 0) out_row[q >> 6] |= uint64_t{1} << (q & 63);
-        }
-      }
-    }
-  }
+  // The vectorized reduce only pays off when a row spans at least one full
+  // vector (4 words); below that the scalar early-exit loop wins.
+  const bool simd = g_multiply_kernel == MultiplyKernel::kSimd && words_per_row_ >= 4;
+  const BlockedProductFn product = simd ? g_simd.fn : &BlockedProductScalar;
+  product(bits_.data(), other_transposed.bits_.data(), out, size_, words_per_row_,
+          block);
 }
 
 void BoolMatrix::MultiplySparseInto(const BoolMatrix& other, BoolMatrix* result) const {

@@ -9,19 +9,28 @@
 /// multiplication, giving the O(|S| * n^3) bound (here with a 64x constant
 /// factor improvement from bit-packing).
 ///
-/// Two product kernels are provided:
-///  * kBlocked (default): transposes the right operand once, then computes
-///    each output bit as a word-wise AND-reduce over two contiguous bit-rows,
-///    walking the output in row/column blocks sized to stay L1-resident.
-///    Deterministic access pattern, no per-bit branching on the input. When
-///    the left operand is sparse enough that a full scan cannot pay off
-///    (measured by CountOnes against the n^2 scan floor), this kernel
-///    delegates to the sparse-rows loop -- small NFA transition matrices hit
-///    this path almost always.
+/// Three product kernels are provided:
+///  * kSimd (default): the blocked kernel below with the inner AND-reduce
+///    vectorized -- AVX2 on x86-64 (runtime-dispatched via
+///    __builtin_cpu_supports), NEON on aarch64, and an unrolled portable
+///    uint64 loop elsewhere. Falls back to the same sparse-rows delegation
+///    as kBlocked for sparse left operands.
+///  * kBlocked: transposes the right operand once, then computes each
+///    output bit as a scalar word-wise AND-reduce over two contiguous
+///    bit-rows, walking the output in row/column blocks sized to stay
+///    L1-resident. Deterministic access pattern, no per-bit branching on
+///    the input. When the left operand is sparse enough that a full scan
+///    cannot pay off (measured by CountOnes against the n^2 scan floor),
+///    this kernel delegates to the sparse-rows loop -- small NFA transition
+///    matrices hit this path almost always.
 ///  * kSparseRows: the original kernel -- for every set bit of a left row,
 ///    OR the corresponding right row into the output row. Wins when the left
 ///    operand is very sparse; kept behind SetMultiplyKernel for comparison.
-/// Both kernels are exact; tests assert bit-for-bit equality.
+/// All kernels are exact and bit-identical; tests sweep them against each
+/// other (tests/util_test.cpp, tests/differential_test.cpp). None of the
+/// kernels records metrics or checks trace gates: the inner loops are
+/// instrumentation-free by construction (ISSUE 6), observability lives in
+/// the callers (slp_nfa.cpp / slp_enum.cpp fill loops).
 #pragma once
 
 #include <cstdint>
@@ -35,8 +44,9 @@ class BoolMatrix {
  public:
   /// Selects the implementation used by Multiply / MultiplyInto.
   enum class MultiplyKernel : uint8_t {
-    kBlocked,     ///< transpose + blocked AND-reduce (cache-friendly default)
+    kBlocked,     ///< transpose + blocked scalar AND-reduce
     kSparseRows,  ///< row-scatter kernel (the pre-parallel implementation)
+    kSimd,        ///< blocked kernel with vectorized AND-reduce (the default)
   };
 
   BoolMatrix() : size_(0), words_per_row_(0) {}
@@ -116,9 +126,13 @@ class BoolMatrix {
   /// Process-wide kernel switch (read at every Multiply/MultiplyInto call;
   /// set it before spawning preprocessing threads, not concurrently with
   /// them). Also settable via the environment variable
-  /// SPANNERS_MM_KERNEL=blocked|sparse (read once at startup).
+  /// SPANNERS_MM_KERNEL=simd|blocked|sparse (read once at startup).
   static void SetMultiplyKernel(MultiplyKernel kernel);
   static MultiplyKernel multiply_kernel();
+
+  /// The SIMD backend the kSimd kernel dispatches to on this machine:
+  /// "avx2", "neon", or "portable" (resolved once at startup).
+  static const char* SimdBackendName();
 
  private:
   void MultiplySparseInto(const BoolMatrix& other, BoolMatrix* result) const;

@@ -22,6 +22,8 @@ uint8_t InitialTraceLevel() {
 
 std::atomic<uint8_t> g_trace_level{InitialTraceLevel()};
 
+thread_local constinit std::size_t t_counter_shard = 0;
+
 }  // namespace metrics_detail
 
 void SetTraceLevel(TraceLevel level) {
@@ -48,10 +50,10 @@ std::string_view TraceLevelName(TraceLevel level) {
   return "unknown";
 }
 
-std::size_t Counter::ShardIndex() {
+std::size_t Counter::AssignShardIndex() {
   static std::atomic<std::size_t> next{0};
-  thread_local const std::size_t index =
-      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  const std::size_t index = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  metrics_detail::t_counter_shard = index + 1;
   return index;
 }
 

@@ -50,6 +50,11 @@ enum class TraceLevel : uint8_t {
 
 namespace metrics_detail {
 extern std::atomic<uint8_t> g_trace_level;  ///< initialised from SPANNERS_TRACE
+
+/// This thread's counter-shard index + 1 (0 = not yet assigned). Trivially
+/// constructed (constinit), so reading it is a plain TLS load -- no guard
+/// branch, no function call on the Record/Add hot path.
+extern thread_local std::size_t t_counter_shard;
 }
 
 /// The current level; one relaxed load (safe to call from any thread).
@@ -95,6 +100,15 @@ class Counter {
   }
   void Increment() { Add(1); }
 
+  /// The calling thread's shard index: a cached TLS read on the hot path
+  /// (kernel-adjacent counters record once per node/tuple, so re-resolving
+  /// the shard through a guarded thread_local every call was measurable).
+  static std::size_t ShardIndex() {
+    const std::size_t cached = metrics_detail::t_counter_shard;
+    if (cached != 0) [[likely]] return cached - 1;
+    return AssignShardIndex();
+  }
+
   uint64_t Value() const {
     uint64_t total = 0;
     for (const Shard& shard : shards_) {
@@ -108,8 +122,10 @@ class Counter {
     std::atomic<uint64_t> value{0};
   };
 
-  /// A small stable per-thread index; distinct threads spread over shards.
-  static std::size_t ShardIndex();
+  /// Cold path of ShardIndex(): assigns this thread a stable shard index
+  /// (distinct threads spread round-robin over shards) and caches it in
+  /// metrics_detail::t_counter_shard.
+  static std::size_t AssignShardIndex();
 
   std::array<Shard, kShards> shards_;
 };

@@ -35,12 +35,18 @@ struct PoolMetrics {
 }  // namespace
 
 std::size_t ThreadPool::DefaultThreadCount() {
-  if (const char* env = std::getenv("SPANNERS_THREADS")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) return static_cast<std::size_t>(value);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  // Resolved once per process: std::thread::hardware_concurrency() is a
+  // sysconf call costing over a microsecond, and this default is read in
+  // every matcher/evaluator constructor (ISSUE 6 hot-path regression).
+  static const std::size_t count = [] {
+    if (const char* env = std::getenv("SPANNERS_THREADS")) {
+      const long value = std::strtol(env, nullptr, 10);
+      if (value > 0) return static_cast<std::size_t>(value);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return count;
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {

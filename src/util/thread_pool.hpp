@@ -46,7 +46,8 @@ class ThreadPool {
 
   /// Worker count requested by the environment: SPANNERS_THREADS when set
   /// to a positive integer, else std::thread::hardware_concurrency()
-  /// (at least 1).
+  /// (at least 1). Resolved once per process and cached (cheap to call on
+  /// construction paths).
   static std::size_t DefaultThreadCount();
 
  private:

@@ -1,6 +1,9 @@
 // Tests for the automata substrate: Thompson construction, NFA operations,
 // products, determinisation, Hopcroft minimisation, and language-level
 // decision procedures.
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "automata/dfa.hpp"
@@ -134,6 +137,50 @@ TEST(Hopcroft, MinimizesToKnownSize) {
   // over {a, b} it is exactly 4 states).
   const Dfa minimal = Minimize(Determinize(FromPattern("(a|b)*abb")));
   EXPECT_EQ(minimal.num_states(), 4u);
+}
+
+/// Exact textual rendering of a DFA: state numbering, accepting flags, and
+/// every transition in symbol-index order.
+std::string DfaFingerprint(const Dfa& dfa) {
+  std::ostringstream out;
+  out << "states=" << dfa.num_states() << " initial=" << dfa.initial() << "\n";
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    out << s << (dfa.IsAccepting(s) ? "*" : "") << ":";
+    for (std::size_t a = 0; a < dfa.alphabet_size(); ++a) {
+      out << " " << dfa.alphabet()[a].ch() << "->" << dfa.Transition(s, a);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(Hopcroft, MinimizationOutputIsPinned) {
+  // Pins the exact minimized DFA -- state numbering included -- so that
+  // internal refactors of the partition refinement (ISSUE 6 replaced the
+  // per-split std::set rebuild with a sorted-vector scan) cannot silently
+  // change the output. If this test ever fails after an intentional
+  // algorithm change, the downstream canonicalisation users (Isomorphic,
+  // equivalence checks) must be re-audited before updating the goldens.
+  EXPECT_EQ(DfaFingerprint(Minimize(Determinize(FromPattern("(a|b)*abb")))),
+            "states=4 initial=0\n"
+            "0: a->1 b->0\n"
+            "1: a->1 b->3\n"
+            "2*: a->1 b->0\n"
+            "3: a->1 b->2\n");
+  EXPECT_EQ(DfaFingerprint(Minimize(Determinize(FromPattern("(a(a|b)*b|b(a|b)*a)")))),
+            "states=5 initial=0\n"
+            "0: a->1 b->3\n"
+            "1: a->1 b->2\n"
+            "2*: a->1 b->2\n"
+            "3: a->4 b->3\n"
+            "4*: a->4 b->3\n");
+  EXPECT_EQ(DfaFingerprint(Minimize(Determinize(FromPattern("a?b?c?")))),
+            "states=5 initial=0\n"
+            "0*: a->3 b->4 c->2\n"
+            "1: a->1 b->1 c->1\n"
+            "2*: a->1 b->1 c->1\n"
+            "3*: a->1 b->4 c->2\n"
+            "4*: a->1 b->1 c->2\n");
 }
 
 TEST(Hopcroft, MinimalDfasOfEquivalentRegexesAreIsomorphic) {

@@ -6,6 +6,7 @@
 // generators, driven by RngDecisions with fixed seeds instead of fuzzer
 // bytes, sized to finish in a few seconds. bench/run_benches.sh greps
 // kDifferentialIterations below to stamp the sweep size into its report.
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "automata/state_set.hpp"
 #include "core/regex_parser.hpp"
 #include "engine/document.hpp"
 #include "engine/session.hpp"
@@ -23,6 +25,7 @@
 #include "testing/generators.hpp"
 #include "testing/oracle.hpp"
 #include "testing/snapshot_checker.hpp"
+#include "util/bool_matrix.hpp"
 
 namespace spanners {
 namespace {
@@ -55,9 +58,12 @@ constexpr int kReferenceCount = 400;    // (pattern, doc) pairs with &x refs
 constexpr int kAlgebraCount = 2600;     // random algebra expressions
 constexpr int kCdeScriptCount = 250;    // random store scripts
 constexpr int kCdeBatchesPerScript = 8; // committed batches per script
+constexpr int kKernelMatrixCount = 80;  // matrix pairs in the kernel sweep
+constexpr int kStateSetScriptCount = 60; // random StateSet op scripts
 
 static_assert(kPatternCount * kDocsPerPattern + kReferenceCount + kAlgebraCount +
-                      kCdeScriptCount * kCdeBatchesPerScript >=
+                      kCdeScriptCount * kCdeBatchesPerScript + kKernelMatrixCount +
+                      kStateSetScriptCount >=
                   kDifferentialIterations,
               "sweep constants no longer cover the advertised iteration budget");
 
@@ -314,6 +320,124 @@ TEST(DifferentialSweep, SnapshotIsolationCheckerValidatesStressRun) {
   // The pinned observations above cover early versions; the final snapshot
   // must reflect every commit.
   EXPECT_EQ(store.Snapshot().version(), 2u + kWriterCommits);
+}
+
+// --- hot-kernel equivalence (ISSUE 6) ----------------------------------------
+
+// All three bit-packed product kernels (scalar blocked, sparse-rows,
+// SIMD-blocked) vs the O(n^3) naive oracle, on random dimensions and
+// densities. This is the differential-tier cousin of the fixed-width sweep
+// in util_test.cpp: dimensions are drawn at random so alignment edge cases
+// the fixed list misses still get exercised over time.
+TEST(DifferentialSweep, MatrixKernelsAgreeWithNaiveOracle) {
+  RngDecisions decisions(0xb001'3a9'2026ull);
+  for (int iter = 0; iter < kKernelMatrixCount; ++iter) {
+    const std::size_t n = 1 + decisions.Below(130);
+    const uint64_t density_pct = decisions.Below(101);
+    BoolMatrix a(n), b(n);
+    std::vector<std::vector<bool>> na(n, std::vector<bool>(n)), nb = na;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (decisions.Below(100) < density_pct) {
+          a.Set(i, j);
+          na[i][j] = true;
+        }
+        if (decisions.Below(100) < density_pct) {
+          b.Set(i, j);
+          nb[i][j] = true;
+        }
+      }
+    }
+    BoolMatrix expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!na[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (nb[k][j]) expected.Set(i, j);
+        }
+      }
+    }
+    const auto previous = BoolMatrix::multiply_kernel();
+    for (const auto kernel : {BoolMatrix::MultiplyKernel::kBlocked,
+                              BoolMatrix::MultiplyKernel::kSparseRows,
+                              BoolMatrix::MultiplyKernel::kSimd}) {
+      BoolMatrix::SetMultiplyKernel(kernel);
+      EXPECT_EQ(a.Multiply(b), expected)
+          << "kernel " << static_cast<int>(kernel) << " n=" << n
+          << " density=" << density_pct << "% iter=" << iter;
+    }
+    BoolMatrix::SetMultiplyKernel(previous);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+// StateSet (the SSO state container under the automata layer) vs the
+// std::vector reference model, on random op scripts that straddle the
+// short->long spill boundary. Complements the fixed cases in
+// state_set_test.cpp with generator-driven sequences.
+TEST(DifferentialSweep, StateSetAgreesWithVectorModel) {
+  RngDecisions decisions(0x55e7'5e7ull);
+  for (int script = 0; script < kStateSetScriptCount; ++script) {
+    StateSet set;
+    std::vector<uint32_t> model;
+    const int ops = 16 + static_cast<int>(decisions.Below(80));
+    for (int op = 0; op < ops; ++op) {
+      switch (decisions.Below(7)) {
+        case 0:
+        case 1: {  // biased toward growth so the spill happens often
+          const uint32_t v = static_cast<uint32_t>(decisions.Below(64));
+          set.push_back(v);
+          model.push_back(v);
+          break;
+        }
+        case 2:
+          if (!model.empty()) {
+            set.pop_back();
+            model.pop_back();
+          }
+          break;
+        case 3: {
+          const std::size_t n = decisions.Below(24);
+          set.Resize(n, 9);
+          model.resize(n, 9);
+          break;
+        }
+        case 4: {
+          set.SortUnique();
+          std::sort(model.begin(), model.end());
+          model.erase(std::unique(model.begin(), model.end()), model.end());
+          break;
+        }
+        case 5: {
+          // InsertSorted requires sorted-unique contents; canonicalise first.
+          set.SortUnique();
+          std::sort(model.begin(), model.end());
+          model.erase(std::unique(model.begin(), model.end()), model.end());
+          const uint32_t v = static_cast<uint32_t>(decisions.Below(64));
+          const bool inserted = set.InsertSorted(v);
+          const auto pos = std::lower_bound(model.begin(), model.end(), v);
+          const bool model_inserted = pos == model.end() || *pos != v;
+          if (model_inserted) model.insert(pos, v);
+          ASSERT_EQ(inserted, model_inserted) << "script " << script << " op " << op;
+          break;
+        }
+        case 6: {
+          const uint32_t v = static_cast<uint32_t>(decisions.Below(64));
+          ASSERT_EQ(set.Contains(v),
+                    std::find(model.begin(), model.end(), v) != model.end())
+              << "script " << script << " op " << op;
+          break;
+        }
+      }
+      ASSERT_EQ(set.size(), model.size()) << "script " << script << " op " << op;
+      ASSERT_TRUE(std::equal(set.begin(), set.end(), model.begin()))
+          << "script " << script << " op " << op;
+    }
+    // The copy/move round trip must preserve contents bit-for-bit.
+    StateSet copied = set;
+    const StateSet moved = std::move(copied);
+    ASSERT_EQ(moved, set);
+  }
 }
 
 // --- byte-decision parity -----------------------------------------------------

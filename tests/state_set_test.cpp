@@ -1,0 +1,179 @@
+// Tests for the small-size-optimized StateSet: the short->long spill point
+// is the interesting edge (kShortCapacity elements inline, heap beyond),
+// plus the set operations the automata layer relies on. A randomized
+// property sweep checks every operation against a std::vector reference
+// model across the spill boundary.
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/state_set.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+TEST(StateSet, StartsShortAndEmpty) {
+  StateSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.is_long());
+  EXPECT_EQ(s.capacity(), StateSet::kShortCapacity);
+  // One cache line holds the whole object.
+  static_assert(sizeof(StateSet) <= 64);
+}
+
+TEST(StateSet, SpillsExactlyPastShortCapacity) {
+  StateSet s;
+  for (uint32_t i = 0; i < StateSet::kShortCapacity; ++i) {
+    s.push_back(i);
+    EXPECT_FALSE(s.is_long()) << "spilled too early at " << i;
+  }
+  s.push_back(StateSet::kShortCapacity);
+  EXPECT_TRUE(s.is_long());
+  EXPECT_EQ(s.size(), StateSet::kShortCapacity + 1);
+  // Contents survived the spill in order.
+  for (uint32_t i = 0; i <= StateSet::kShortCapacity; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(StateSet, ClearKeepsSpilledStorage) {
+  StateSet s;
+  for (uint32_t i = 0; i < 100; ++i) s.push_back(i);
+  ASSERT_TRUE(s.is_long());
+  const std::size_t spilled_capacity = s.capacity();
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.capacity(), spilled_capacity);  // no churn on reuse
+}
+
+TEST(StateSet, CopyAndMoveAcrossTheSpillBoundary) {
+  for (const uint32_t n : {3u, StateSet::kShortCapacity, 50u}) {
+    StateSet original;
+    for (uint32_t i = 0; i < n; ++i) original.push_back(i * 7);
+
+    StateSet copied(original);
+    EXPECT_EQ(copied, original);
+    copied.push_back(999);  // deep copy: original unaffected
+    EXPECT_EQ(original.size(), n);
+
+    StateSet moved(std::move(copied));
+    EXPECT_EQ(moved.size(), n + 1);
+    EXPECT_EQ(moved[n], 999u);
+
+    StateSet assigned;
+    assigned.push_back(1);
+    assigned = original;
+    EXPECT_EQ(assigned, original);
+
+    StateSet move_assigned;
+    for (uint32_t i = 0; i < 20; ++i) move_assigned.push_back(i);  // force long
+    move_assigned = std::move(moved);
+    EXPECT_EQ(move_assigned.size(), n + 1);
+    EXPECT_EQ(move_assigned[0], 0u);
+  }
+}
+
+TEST(StateSet, InitializerListAndEquality) {
+  const StateSet s{4, 1, 3};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 4u);
+  EXPECT_EQ(s, (StateSet{4, 1, 3}));
+  EXPECT_NE(s, (StateSet{1, 3, 4}));  // order-sensitive like vector
+  EXPECT_NE(s, (StateSet{4, 1}));
+}
+
+TEST(StateSet, AssignAndResize) {
+  StateSet s;
+  s.Assign(30, 7);  // past the spill point in one go
+  EXPECT_EQ(s.size(), 30u);
+  EXPECT_TRUE(s.is_long());
+  for (uint32_t v : s) EXPECT_EQ(v, 7u);
+  s.Resize(5);
+  EXPECT_EQ(s.size(), 5u);
+  s.Resize(10, 2);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s[4], 7u);
+  EXPECT_EQ(s[5], 2u);
+}
+
+TEST(StateSet, SortUniqueAndSortedContains) {
+  StateSet s{9, 2, 9, 5, 2, 2, 7};
+  s.SortUnique();
+  EXPECT_EQ(s, (StateSet{2, 5, 7, 9}));
+  EXPECT_TRUE(s.SortedContains(5));
+  EXPECT_FALSE(s.SortedContains(6));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(StateSet, InsertSortedMaintainsOrderAcrossSpill) {
+  StateSet s;
+  // Insert in reverse so every insert shifts; cross the spill boundary.
+  for (uint32_t i = 20; i-- > 0;) EXPECT_TRUE(s.InsertSorted(i * 2));
+  EXPECT_TRUE(s.is_long());
+  EXPECT_EQ(s.size(), 20u);
+  for (uint32_t i = 0; i + 1 < s.size(); ++i) EXPECT_LT(s[i], s[i + 1]);
+  EXPECT_FALSE(s.InsertSorted(10));  // duplicate: rejected
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_TRUE(s.InsertSorted(11));   // odd value: new, lands between 10 and 12
+  EXPECT_TRUE(s.SortedContains(11));
+}
+
+// Property sweep: StateSet must behave exactly like std::vector<uint32_t>
+// under a random operation sequence whose lengths straddle kShortCapacity.
+TEST(StateSet, MatchesVectorReferenceModel) {
+  Rng rng(23);
+  for (int round = 0; round < 200; ++round) {
+    StateSet set;
+    std::vector<uint32_t> ref;
+    for (int op = 0; op < 64; ++op) {
+      switch (rng.NextBelow(6)) {
+        case 0:
+        case 1: {  // biased toward growth so spills happen often
+          const uint32_t v = static_cast<uint32_t>(rng.NextBelow(100));
+          set.push_back(v);
+          ref.push_back(v);
+          break;
+        }
+        case 2:
+          if (!ref.empty()) {
+            set.pop_back();
+            ref.pop_back();
+          }
+          break;
+        case 3: {
+          const std::size_t n = static_cast<std::size_t>(rng.NextBelow(20));
+          set.Resize(n, 5);
+          ref.resize(n, 5);
+          break;
+        }
+        case 4: {
+          set.SortUnique();
+          std::sort(ref.begin(), ref.end());
+          ref.erase(std::unique(ref.begin(), ref.end()), ref.end());
+          break;
+        }
+        case 5: {
+          const uint32_t v = static_cast<uint32_t>(rng.NextBelow(100));
+          EXPECT_EQ(set.Contains(v),
+                    std::find(ref.begin(), ref.end(), v) != ref.end());
+          break;
+        }
+      }
+      ASSERT_EQ(set.size(), ref.size()) << "round " << round << " op " << op;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(set[i], ref[i]) << "round " << round << " op " << op;
+      }
+    }
+    // Round-trip through copy + move still matches the model.
+    StateSet copy = set;
+    StateSet moved = std::move(copy);
+    ASSERT_EQ(moved, set);
+  }
+}
+
+}  // namespace
+}  // namespace spanners

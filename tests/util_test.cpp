@@ -97,12 +97,17 @@ TEST(BoolMatrix, ProductMatchesNaive) {
   }
 }
 
-TEST(BoolMatrix, BlockedAndSparseKernelsAgree) {
-  // The blocked (transpose + AND-reduce) kernel and the legacy sparse-rows
-  // kernel must be bit-for-bit identical on every density and dimension.
+TEST(BoolMatrix, AllKernelsAgree) {
+  // The three product kernels (scalar blocked, sparse-rows, SIMD-blocked)
+  // must be bit-for-bit identical on every density and dimension. The width
+  // sweep deliberately crosses every alignment boundary the kernels care
+  // about: the 64-bit word (63/64/65), the 4-word vector stride of the AVX2
+  // path (255/256/257 bits), and sizes far from any multiple of the block
+  // size. Densities 0.0 and 1.0 pin the empty- and all-ones cases.
   Rng rng(11);
-  for (const std::size_t n : {1u, 5u, 63u, 64u, 70u, 130u}) {
-    for (const double density : {0.02, 0.3, 0.9}) {
+  for (const std::size_t n : {1u, 5u, 63u, 64u, 65u, 70u, 127u, 128u, 130u,
+                              192u, 255u, 256u, 257u}) {
+    for (const double density : {0.0, 0.02, 0.3, 0.9, 1.0}) {
       BoolMatrix a(n), b(n);
       for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
@@ -115,19 +120,35 @@ TEST(BoolMatrix, BlockedAndSparseKernelsAgree) {
       const BoolMatrix blocked = a.Multiply(b);
       BoolMatrix::SetMultiplyKernel(BoolMatrix::MultiplyKernel::kSparseRows);
       const BoolMatrix sparse = a.Multiply(b);
+      BoolMatrix::SetMultiplyKernel(BoolMatrix::MultiplyKernel::kSimd);
+      const BoolMatrix simd = a.Multiply(b);
       BoolMatrix::SetMultiplyKernel(previous);
       EXPECT_EQ(blocked, sparse) << "n=" << n << " density=" << density;
+      EXPECT_EQ(simd, blocked) << "n=" << n << " density=" << density
+                               << " backend=" << BoolMatrix::SimdBackendName();
 
       // MultiplyInto reuses the result allocation and matches Multiply.
       BoolMatrix reused(n);
       a.MultiplyInto(b, &reused);
       EXPECT_EQ(reused, blocked);
-      // Pre-transposed entry point.
+      // Pre-transposed entry point (this is the hot path in the SLP fill
+      // loops, and the one the SIMD dispatch lives behind).
       BoolMatrix via_transpose;
       a.MultiplyTransposedInto(b.Transposed(), &via_transpose);
       EXPECT_EQ(via_transpose, blocked);
     }
   }
+}
+
+TEST(BoolMatrix, SimdBackendNameIsKnown) {
+  const std::string backend = BoolMatrix::SimdBackendName();
+  EXPECT_TRUE(backend == "avx2" || backend == "neon" || backend == "portable")
+      << "unexpected backend: " << backend;
+#if defined(__AVX2__)
+  // If the whole build targets AVX2 the runtime dispatch must not regress
+  // to the portable loop.
+  EXPECT_EQ(backend, "avx2");
+#endif
 }
 
 TEST(BoolMatrix, TransposeRoundTrips) {
