@@ -7,6 +7,10 @@ every benchmark named in bench/baseline.json against it. A benchmark whose
 real time exceeds baseline * (1 + threshold/100) is a regression; a
 benchmark present in the baseline but missing from the current run is also
 a failure (a renamed or crashed benchmark must not silently pass the gate).
+A benchmark present in the current run but absent from the baseline is
+warned about (and listed as "new_benchmarks" in the --report JSON) so it
+gets a baseline entry instead of floating ungated forever; it does not
+fail the gate.
 
 Usage:
   # Gate (exit 1 on regression or missing benchmark):
@@ -94,6 +98,10 @@ def check(current_path, baseline_path, threshold_pct, report_path):
                      "current_ns": round(now_ns, 1), "ratio": round(ratio, 3),
                      "status": status})
 
+    # Benchmarks the current run has but the baseline does not: warn (and
+    # report) so new benchmarks get gated instead of silently floating.
+    new_benchmarks = sorted(set(times) - set(reference))
+
     width = max(len(r["benchmark"]) for r in rows)
     print(f"bench-regression gate: threshold +{threshold_pct:g}% "
           f"({len(rows)} benchmarks, baseline {baseline_path})")
@@ -105,10 +113,18 @@ def check(current_path, baseline_path, threshold_pct, report_path):
             print(f"  {r['benchmark']:<{width}}  {r['baseline_ns']:>12.1f}ns  "
                   f"{r['current_ns']:>10.1f}ns  {r['ratio']:>6.3f}x  {r['status']}")
 
+    for name in new_benchmarks:
+        print(f"  warning: {name} has no baseline entry (current "
+              f"{times[name]:.1f}ns); add it via --rebase or a manual edit")
+
     if report_path:
         report = {"threshold_pct": threshold_pct, "baseline": baseline_path,
                   "current": current_path, "results": rows,
-                  "regressions": regressions, "missing": missing}
+                  "regressions": regressions, "missing": missing,
+                  "new_benchmarks": [
+                      {"benchmark": name, "current_ns": round(times[name], 1)}
+                      for name in new_benchmarks
+                  ]}
         with open(report_path, "w") as f:
             json.dump(report, f, indent=1)
             f.write("\n")

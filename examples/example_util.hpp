@@ -1,12 +1,14 @@
 // Shared command-line handling for the examples (DESIGN.md §1.9): every
 // example accepts --stats (print the metrics snapshot and, when
 // SPANNERS_TRACE=spans, the aggregated span report at exit); quickstart
-// additionally accepts --explain. Flags are stripped before positional
-// arguments are read, so `example_quickstart '{x: a*}b' aab --stats` works.
+// additionally accepts --explain, store_service --snapshot-dir=PATH. Flags
+// are stripped before positional arguments are read, so
+// `example_quickstart '{x: a*}b' aab --stats` works.
 #pragma once
 
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "util/metrics.hpp"
@@ -17,6 +19,7 @@ namespace spanners {
 struct ExampleFlags {
   bool stats = false;
   bool explain = false;
+  std::string snapshot_dir;  ///< --snapshot-dir=PATH (empty = ephemeral)
   std::vector<char*> positional;  ///< argv[0] plus non-flag arguments
 
   /// Positional argument \p i (0 = program name), or \p fallback.
@@ -32,6 +35,8 @@ inline ExampleFlags ParseExampleFlags(int argc, char** argv) {
       flags.stats = true;
     } else if (i > 0 && std::strcmp(argv[i], "--explain") == 0) {
       flags.explain = true;
+    } else if (i > 0 && std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
+      flags.snapshot_dir = argv[i] + 15;
     } else {
       flags.positional.push_back(argv[i]);
     }

@@ -303,6 +303,12 @@ std::string ValidateCde(const DocumentDatabase& database, const CdeExpr& expr) {
 
 Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
                                   const CdeExpr& expr) {
+  if (slp->frozen()) {
+    // Evaluation appends nodes; a mapped (read-only) epoch must be thawed
+    // first (SlpSerializer::Thaw). Surfaced as a Status here so callers with
+    // untrusted arenas never reach the Require-fatal writer mutators.
+    return Unexpected("cde: arena is frozen (read-only mapped epoch); thaw before editing");
+  }
   std::string error = ValidateCdeOn(*slp, roots, expr);
   if (!error.empty()) return Unexpected(std::move(error));
   return EvalCdeOn(slp, roots, expr);

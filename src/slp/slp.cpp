@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include <unistd.h>
 
 #include "util/common.hpp"
 
@@ -10,6 +13,25 @@ namespace spanners {
 uint64_t Slp::NextArenaId() {
   static std::atomic<uint64_t> next{0};
   return ++next;
+}
+
+uint64_t Slp::NextEpochUuid() {
+  // Globally unique across processes and restarts with overwhelming
+  // probability: a process-local counter mixed with the boot clock and the
+  // pid, finalized with splitmix64. arena_id_ stays a plain counter -- it
+  // only needs process-local uniqueness and is never persisted.
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x = ++counter;
+  x ^= static_cast<uint64_t>(
+           std::chrono::steady_clock::now().time_since_epoch().count()) *
+       0x9e3779b97f4a7c15ull;
+  x ^= static_cast<uint64_t>(::getpid()) << 32;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
 }
 
 Slp::Slp() {
@@ -23,6 +45,9 @@ void Slp::ResetStorage() {
   pair_index_.clear();
   for (auto& t : terminal_index_) t = kNoNode;
   for (auto& p : terminal_present_) p = false;
+  index_built_ = true;  // empty arena: the (empty) index is authoritative
+  mapped_nodes_ = nullptr;
+  mapping_owner_.reset();
 }
 
 void Slp::CopyNodesFrom(const Slp& other) {
@@ -30,17 +55,25 @@ void Slp::CopyNodesFrom(const Slp& other) {
   for (std::size_t id = 0; id < count; ++id) {
     AppendNode(other.NodeRef(static_cast<NodeId>(id)));
   }
-  pair_index_ = other.pair_index_;
-  for (int c = 0; c < 256; ++c) {
-    terminal_index_[c] = other.terminal_index_[c];
-    terminal_present_[c] = other.terminal_present_[c];
+  // Copy-on-write of the pending hash-cons state: when the source's index
+  // is pending a lazy rebuild (bulk-loaded or mapped arena, empty maps),
+  // copying those empty maps as authoritative would make the copy's
+  // hash-consing silently duplicate every existing node. The copy inherits
+  // the pending-ness instead and rebuilds on its own first mutation.
+  index_built_ = other.index_built_ && !other.frozen();
+  if (index_built_) {
+    pair_index_ = other.pair_index_;
+    for (int c = 0; c < 256; ++c) {
+      terminal_index_[c] = other.terminal_index_[c];
+      terminal_present_[c] = other.terminal_present_[c];
+    }
   }
 }
 
 Slp::Slp(const Slp& other) : Slp() {
   CopyNodesFrom(other);
-  // arena_id_ stays the fresh one from NextArenaId(): the copy may diverge
-  // from the original, so caches must not be shared between them.
+  // arena_id_ / epoch_uuid_ stay the fresh ones: the copy may diverge from
+  // the original, so caches and persisted identities must not be shared.
 }
 
 Slp& Slp::operator=(const Slp& other) {
@@ -48,10 +81,11 @@ Slp& Slp::operator=(const Slp& other) {
   ResetStorage();
   CopyNodesFrom(other);
   arena_id_ = NextArenaId();
+  epoch_uuid_ = NextEpochUuid();
   return *this;
 }
 
-Slp::Slp(Slp&& other) noexcept {
+void Slp::MoveStorageFrom(Slp& other) {
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
     buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
@@ -64,33 +98,58 @@ Slp::Slp(Slp&& other) noexcept {
     terminal_index_[c] = other.terminal_index_[c];
     terminal_present_[c] = other.terminal_present_[c];
   }
-  arena_id_ = other.arena_id_;  // moves keep the identity (caches stay valid)
+  index_built_ = other.index_built_;
+  mapped_nodes_ = other.mapped_nodes_;
+  mapping_owner_ = std::move(other.mapping_owner_);
+  arena_id_ = other.arena_id_;      // moves keep identity (caches stay valid)
+  epoch_uuid_ = other.epoch_uuid_;  // and the persistent identity
   other.ResetStorage();
   other.arena_id_ = NextArenaId();
+  other.epoch_uuid_ = NextEpochUuid();
+}
+
+Slp::Slp(Slp&& other) noexcept {
+  for (auto& t : terminal_index_) t = kNoNode;
+  MoveStorageFrom(other);
 }
 
 Slp& Slp::operator=(Slp&& other) noexcept {
   if (this == &other) return *this;
   ResetStorage();
-  for (std::size_t b = 0; b < kNumBuckets; ++b) {
-    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
-                      std::memory_order_relaxed);
-  }
-  owned_buckets_ = std::move(other.owned_buckets_);
-  num_nodes_.store(other.num_nodes_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  pair_index_ = std::move(other.pair_index_);
-  for (int c = 0; c < 256; ++c) {
-    terminal_index_[c] = other.terminal_index_[c];
-    terminal_present_[c] = other.terminal_present_[c];
-  }
-  arena_id_ = other.arena_id_;
-  other.ResetStorage();
-  other.arena_id_ = NextArenaId();
+  MoveStorageFrom(other);
   return *this;
 }
 
+void Slp::EnsureIndex() {
+  if (index_built_) return;
+  // One ascending scan rebuilds exactly the maps Terminal/Pair maintain
+  // incrementally. Serialized arenas are hash-consed, so entries are unique;
+  // first-wins mirrors the cons discipline for any input.
+  pair_index_.clear();
+  for (auto& t : terminal_index_) t = kNoNode;
+  for (auto& p : terminal_present_) p = false;
+  const std::size_t count = num_nodes();
+  pair_index_.reserve(count);
+  for (std::size_t id = 0; id < count; ++id) {
+    const Node& node = NodeRef(static_cast<NodeId>(id));
+    if (node.left == kNoNode) {
+      if (!terminal_present_[node.terminal_char]) {
+        terminal_present_[node.terminal_char] = true;
+        terminal_index_[node.terminal_char] = static_cast<NodeId>(id);
+      }
+    } else {
+      const uint64_t key =
+          (static_cast<uint64_t>(node.left) << 32) | node.right;
+      pair_index_.try_emplace(key, static_cast<NodeId>(id));
+    }
+  }
+  index_built_ = true;
+}
+
 NodeId Slp::AppendNode(const Node& node) {
+  Require(mapped_nodes_ == nullptr,
+          "Slp: writer-side mutation of a mapped (read-only) arena; thaw it "
+          "first (SlpSerializer::Thaw)");
   const std::size_t n = num_nodes_.load(std::memory_order_relaxed);
   const std::size_t bucket = BucketOf(static_cast<NodeId>(n));
   if (bucket == owned_buckets_.size()) {
@@ -110,6 +169,9 @@ NodeId Slp::AppendNode(const Node& node) {
 }
 
 NodeId Slp::Terminal(unsigned char c) {
+  Require(mapped_nodes_ == nullptr,
+          "Slp::Terminal: writer-side mutation of a mapped (read-only) arena");
+  EnsureIndex();
   if (terminal_present_[c]) return terminal_index_[c];
   Node node;
   node.terminal_char = c;
@@ -122,7 +184,10 @@ NodeId Slp::Terminal(unsigned char c) {
 }
 
 NodeId Slp::Pair(NodeId left, NodeId right) {
+  Require(mapped_nodes_ == nullptr,
+          "Slp::Pair: writer-side mutation of a mapped (read-only) arena");
   Require(left < num_nodes() && right < num_nodes(), "Slp::Pair: bad child");
+  EnsureIndex();
   const uint64_t key = (static_cast<uint64_t>(left) << 32) | right;
   auto [it, inserted] = pair_index_.try_emplace(key, 0);
   if (!inserted) return it->second;

@@ -18,6 +18,20 @@
 /// exactly once, before the id escapes the writer. Readers must only access
 /// ids they learned through a proper happens-before edge (e.g. a published
 /// store snapshot); the writer-side mutators themselves are not reentrant.
+/// The hash-cons index (pair/terminal tables) is writer-side *pending*
+/// state: after a bulk load (slp_serialize.hpp) it is rebuilt lazily by the
+/// first writer-side mutation, and copies must preserve that pending-ness
+/// rather than freeze an empty index as authoritative.
+///
+/// Persistence (DESIGN.md §1.13): an arena can be *mapped* -- backed
+/// zero-copy by a read-only snapshot blob (slp_serialize.hpp). A mapped
+/// arena serves every reader-side operation; writer-side mutation is a
+/// contract violation (Require-fatal here; the checked CDE entry points and
+/// the store surface it as a Status first). SlpSerializer::Thaw builds a
+/// writable twin with identical node ids. Alongside the process-local
+/// arena_id(), every arena carries a globally unique epoch_uuid() that
+/// survives serialization -- the durable identity snapshots and commit logs
+/// are paired by.
 #pragma once
 
 #include <array>
@@ -41,10 +55,24 @@ inline constexpr NodeId kNoNode = UINT32_MAX;
 /// An arena of SLP nodes shared by any number of documents.
 class Slp {
  public:
-  /// Globally unique arena identity: node ids are only meaningful within
+  /// Process-unique arena identity: node ids are only meaningful within
   /// one arena, so evaluator caches (slp_nfa.hpp, slp_enum.hpp) bind to
   /// this id. Copies receive a fresh id (they may diverge); moves keep it.
+  /// Never persisted: a reloaded epoch always gets a fresh arena_id, so a
+  /// stale cache entry can never alias it.
   uint64_t arena_id() const { return arena_id_; }
+
+  /// Globally unique, *persistent* epoch identity: written into snapshot
+  /// blobs and commit-log headers (store/persist.*) and preserved by
+  /// serialization, mapping, and SlpSerializer::Thaw. Copies (which may
+  /// diverge) get a fresh uuid; moves keep it.
+  uint64_t epoch_uuid() const { return epoch_uuid_; }
+
+  /// True for an arena backed zero-copy by a read-only mapping
+  /// (slp_serialize.hpp): every reader-side operation works, writer-side
+  /// mutation is a contract violation (checked entry points return a
+  /// Status, the mutators themselves Require).
+  bool frozen() const { return mapped_nodes_ != nullptr; }
 
   Slp();
   ~Slp() = default;
@@ -103,6 +131,8 @@ class Slp {
   std::vector<bool> MarkReachable(const std::vector<NodeId>& roots) const;
 
  private:
+  friend class SlpSerializer;  ///< slp_serialize.hpp: blob writer/loader
+
   struct Node {
     NodeId left = kNoNode;
     NodeId right = kNoNode;
@@ -136,12 +166,18 @@ class Slp {
   /// Appends \p node and publishes the new count. Writer-side.
   NodeId AppendNode(const Node& node);
 
+  /// Rebuilds the hash-cons index from the node table when it is pending
+  /// (after a bulk load); every writer-side mutator calls this first.
+  void EnsureIndex();
+
   void AppendTo(NodeId node, std::string* out) const;
 
   void CopyNodesFrom(const Slp& other);
   void ResetStorage();
+  void MoveStorageFrom(Slp& other);
 
   static uint64_t NextArenaId();
+  static uint64_t NextEpochUuid();
 
   std::array<std::atomic<Node*>, kNumBuckets> buckets_{};  ///< read path
   std::vector<std::unique_ptr<Node[]>> owned_buckets_;     ///< storage owner
@@ -149,7 +185,19 @@ class Slp {
   std::unordered_map<uint64_t, NodeId> pair_index_;  ///< (left,right) -> node
   NodeId terminal_index_[256];
   bool terminal_present_[256] = {false};
+  /// False while the hash-cons index is pending a lazy rebuild (after a
+  /// bulk load); an empty-but-built index means "no nodes", a pending one
+  /// means "not scanned yet" -- copies must preserve the distinction.
+  bool index_built_ = true;
+  /// Non-null iff the arena is frozen onto a blob mapping. Reads do NOT go
+  /// through this pointer: the contiguous record table is sliced into
+  /// `buckets_` at load time (bucket b = table + BucketBase(b)), so NodeRef
+  /// pays nothing for the frozen case. This is the frozen() flag and the
+  /// serializer's verbatim re-save fast path.
+  const Node* mapped_nodes_ = nullptr;
+  std::shared_ptr<const void> mapping_owner_;  ///< keeps the blob mapping alive
   uint64_t arena_id_ = NextArenaId();
+  uint64_t epoch_uuid_ = NextEpochUuid();
 };
 
 /// Reachability statistics of one compaction (or a dry run of one).

@@ -1,0 +1,170 @@
+#include "slp/slp_serialize.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace spanners {
+
+namespace {
+
+/// slp.meta payload: format u32, node_count u64, epoch_uuid u64.
+constexpr uint32_t kSlpSectionFormat = 1;
+
+}  // namespace
+
+std::size_t SlpSerializer::NodeBytes(const Slp& slp) {
+  // The on-disk node record *is* the in-memory Node: 24 little-endian bytes
+  // {left u32, right u32, length u64, order u32, terminal_char u8, pad[3]}.
+  // These asserts pin the layout so the record array can be mapped back in
+  // without a marshalling pass; if a future Node change trips them, bump
+  // kSlpSectionFormat and add an explicit marshaller. (They live in this
+  // function body because Node is private to the friended serializer.)
+  static_assert(sizeof(Slp::Node) == 24, "Node record layout changed");
+  static_assert(offsetof(Slp::Node, left) == 0, "Node record layout changed");
+  static_assert(offsetof(Slp::Node, right) == 4, "Node record layout changed");
+  static_assert(offsetof(Slp::Node, length) == 8, "Node record layout changed");
+  static_assert(offsetof(Slp::Node, order) == 16, "Node record layout changed");
+  static_assert(offsetof(Slp::Node, terminal_char) == 20,
+                "Node record layout changed");
+  static_assert(alignof(Slp::Node) == 8, "Node record alignment changed");
+  return slp.num_nodes() * sizeof(Slp::Node);
+}
+
+void SlpSerializer::AppendSections(const Slp& slp, BlobWriter* writer) {
+  std::string meta;
+  AppendU32(&meta, kSlpSectionFormat);
+  AppendU64(&meta, slp.num_nodes());
+  AppendU64(&meta, slp.epoch_uuid());
+  writer->AddSection(kSlpMetaSection, std::move(meta));
+
+  std::string nodes;
+  nodes.reserve(NodeBytes(slp));
+  const std::size_t count = slp.num_nodes();
+  if (slp.mapped_nodes_ != nullptr) {
+    // Frozen arena: the record array came from a previous serialization, so
+    // it is contiguous and already zero-padded -- copying it verbatim is
+    // what makes save -> open -> re-save byte-identical for free.
+    nodes.append(reinterpret_cast<const char*>(slp.mapped_nodes_),
+                 count * sizeof(Slp::Node));
+  } else {
+    // Writable arena: records are rewritten field-by-field into a zeroed
+    // scratch so the in-memory padding bytes (indeterminate) never leak
+    // into the blob -- determinism is what the byte-identical re-save
+    // property and the section CRCs rest on.
+    Slp::Node clean;
+    std::memset(&clean, 0, sizeof clean);
+    for (std::size_t id = 0; id < count; ++id) {
+      const Slp::Node& node = slp.NodeRef(static_cast<NodeId>(id));
+      clean.left = node.left;
+      clean.right = node.right;
+      clean.length = node.length;
+      clean.order = node.order;
+      clean.terminal_char = node.terminal_char;
+      nodes.append(reinterpret_cast<const char*>(&clean), sizeof clean);
+    }
+  }
+  writer->AddSection(kSlpNodesSection, std::move(nodes));
+}
+
+namespace {
+
+/// sizeof(Slp::Node), spelled as a constant because Node is private to the
+/// friended SlpSerializer and this parser is a free helper; the static
+/// asserts in SlpSerializer::NodeBytes pin the equality.
+constexpr std::size_t kNodeRecordBytes = 24;
+
+struct SlpSections {
+  std::size_t node_count = 0;
+  uint64_t epoch_uuid = 0;
+  std::string_view records;  ///< node_count * kNodeRecordBytes bytes
+};
+
+Expected<SlpSections> ParseSlpSections(const MappedBlob& blob) {
+  const MappedBlob::Section* meta = blob.Find(kSlpMetaSection);
+  const MappedBlob::Section* nodes = blob.Find(kSlpNodesSection);
+  if (meta == nullptr || nodes == nullptr) {
+    return Unexpected("slp_serialize: blob has no slp sections");
+  }
+  if (Status status = blob.VerifySection(*meta); !status.ok()) {
+    return status;
+  }
+  ByteReader reader(meta->bytes);
+  const uint32_t format = reader.ReadU32();
+  SlpSections sections;
+  sections.node_count = reader.ReadU64();
+  sections.epoch_uuid = reader.ReadU64();
+  if (!reader.ok() || format != kSlpSectionFormat) {
+    return Unexpected("slp_serialize: unsupported slp.meta section");
+  }
+  if (nodes->bytes.size() != sections.node_count * kNodeRecordBytes) {
+    return Unexpected("slp_serialize: slp.nodes size does not match node count");
+  }
+  if (sections.node_count > static_cast<std::size_t>(kNoNode)) {
+    return Unexpected("slp_serialize: node count exceeds the NodeId range");
+  }
+  sections.records = nodes->bytes;
+  return sections;
+}
+
+}  // namespace
+
+Expected<Slp> SlpSerializer::FromBlobMapped(
+    std::shared_ptr<const MappedBlob> blob) {
+  Expected<SlpSections> sections = ParseSlpSections(*blob);
+  if (!sections.ok()) return sections.status();
+  const auto address = reinterpret_cast<std::uintptr_t>(sections->records.data());
+  if (address % alignof(Slp::Node) != 0) {
+    // The heap-copy fallback of MappedBlob does not guarantee record
+    // alignment; reconstruct instead of mapping (correct, just not O(1)).
+    return FromBlobMaterialized(*blob);
+  }
+  Slp slp;
+  slp.mapped_nodes_ = reinterpret_cast<const Slp::Node*>(sections->records.data());
+  slp.mapping_owner_ = std::move(blob);
+  // Slice the contiguous record table into the bucket pointers (bucket b
+  // starts at table + BucketBase(b)): readers take the ordinary bucket
+  // path, so the frozen arena adds zero cost to NodeRef. The pointers are
+  // non-const by type but never stored through -- every writer-side
+  // mutator Require-fails while frozen, and the PROT_READ mapping would
+  // fault on any slip.
+  for (std::size_t b = 0; b < Slp::kNumBuckets; ++b) {
+    const std::size_t base = Slp::BucketBase(b);
+    if (base >= sections->node_count) break;
+    slp.buckets_[b].store(const_cast<Slp::Node*>(slp.mapped_nodes_ + base),
+                          std::memory_order_release);
+  }
+  slp.num_nodes_.store(sections->node_count, std::memory_order_release);
+  slp.index_built_ = false;  // frozen arenas never build the index
+  slp.epoch_uuid_ = sections->epoch_uuid;
+  return slp;
+}
+
+Expected<Slp> SlpSerializer::FromBlobMaterialized(const MappedBlob& blob) {
+  Expected<SlpSections> sections = ParseSlpSections(blob);
+  if (!sections.ok()) return sections.status();
+  Slp slp;
+  const char* cursor = sections->records.data();
+  for (std::size_t id = 0; id < sections->node_count; ++id) {
+    Slp::Node node;
+    std::memcpy(&node, cursor, sizeof(Slp::Node));
+    cursor += sizeof(Slp::Node);
+    slp.AppendNode(node);
+  }
+  slp.index_built_ = sections->node_count == 0;  // lazy rebuild on first write
+  slp.epoch_uuid_ = sections->epoch_uuid;
+  return slp;
+}
+
+Slp SlpSerializer::Thaw(const Slp& frozen) {
+  Slp slp;
+  const std::size_t count = frozen.num_nodes();
+  for (std::size_t id = 0; id < count; ++id) {
+    slp.AppendNode(frozen.NodeRef(static_cast<NodeId>(id)));
+  }
+  slp.index_built_ = count == 0;
+  slp.epoch_uuid_ = frozen.epoch_uuid_;  // same epoch lineage, writable twin
+  return slp;
+}
+
+}  // namespace spanners

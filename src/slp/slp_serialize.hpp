@@ -1,0 +1,61 @@
+/// \file slp_serialize.hpp
+/// \brief Serializing SLP arenas as offset-based blob sections (DESIGN.md
+/// §1.13).
+///
+/// Because Slp node storage is already index-based (dense NodeIds in
+/// append-only buckets), an epoch serializes as *one flat record array*:
+/// node id i is the i-th 24-byte record, children are plain NodeIds, and no
+/// pointer needs swizzling. Three ways back from a blob:
+///
+///  * FromBlobMapped -- zero-copy: the arena reads node records straight out
+///    of the read-only mapping (frozen; O(1) work regardless of node count,
+///    the lazy-open property of DocumentStore::Open). Writer-side mutation
+///    is rejected; the hash-cons index is never built.
+///  * FromBlobMaterialized -- reconstructs a writable arena (one memcpy per
+///    bucket); the hash-cons index is rebuilt lazily on first write.
+///  * Thaw -- writable twin of a frozen arena with identical node ids and
+///    the same epoch_uuid (the store's first commit after a mapped open
+///    goes through this).
+///
+/// Node ids, lengths, orders, and the epoch uuid round-trip exactly:
+/// save -> open -> re-save is byte-identical (tests/persist_test.cpp).
+#pragma once
+
+#include <memory>
+
+#include "slp/slp.hpp"
+#include "util/blob_io.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// Blob section names written/consumed by the serializer.
+inline constexpr const char* kSlpMetaSection = "slp.meta";
+inline constexpr const char* kSlpNodesSection = "slp.nodes";
+
+/// Static-method bundle friended by Slp (it moves raw node records in and
+/// out of the private storage).
+class SlpSerializer {
+ public:
+  /// Appends the "slp.meta" and "slp.nodes" sections of \p slp to \p writer.
+  /// Deterministic: the same arena contents always produce the same bytes.
+  static void AppendSections(const Slp& slp, BlobWriter* writer);
+
+  /// A frozen, zero-copy arena over \p blob's slp sections. The blob handle
+  /// is retained for the arena's lifetime. O(1) in the node count.
+  static Expected<Slp> FromBlobMapped(std::shared_ptr<const MappedBlob> blob);
+
+  /// A writable arena reconstructed from \p blob (node ids preserved,
+  /// hash-cons index rebuilt lazily on first write). O(nodes).
+  static Expected<Slp> FromBlobMaterialized(const MappedBlob& blob);
+
+  /// A writable twin of \p frozen: identical node ids and epoch_uuid, fresh
+  /// arena_id (so caches bound to the frozen arena never alias it),
+  /// hash-cons index rebuilt lazily on first write. O(nodes).
+  static Slp Thaw(const Slp& frozen);
+
+  /// Serialized size of the node records of \p slp, in bytes.
+  static std::size_t NodeBytes(const Slp& slp);
+};
+
+}  // namespace spanners

@@ -1,0 +1,207 @@
+#include "store/persist.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace spanners {
+namespace {
+
+constexpr uint32_t kStoreSectionFormat = 1;
+constexpr uint32_t kWalHeaderFormat = 1;
+constexpr uint32_t kWalRecordFormat = 1;
+
+/// On-disk op kinds. Pinned independently of the StoreOp::Kind enumerator
+/// values so a future enum reorder cannot silently change the format.
+constexpr uint8_t kWalOpInsertText = 0;
+constexpr uint8_t kWalOpCreateCde = 1;
+constexpr uint8_t kWalOpEditCde = 2;
+constexpr uint8_t kWalOpDrop = 3;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/" + kSnapshotFileName;
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/" + kWalFileName; }
+
+Status EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) return Status::Error("persist: empty directory path");
+  // mkdir -p: create each component, tolerating the ones that exist.
+  for (std::size_t slash = dir.find('/', 1); ; slash = dir.find('/', slash + 1)) {
+    const std::string prefix =
+        slash == std::string::npos ? dir : dir.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Error("persist: cannot create directory " + prefix);
+    }
+    if (slash == std::string::npos) break;
+  }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::Error("persist: " + dir + " is not a directory");
+  }
+  return Status::Ok();
+}
+
+uint64_t NewStoreUuid() {
+  static std::atomic<uint64_t> counter{0};
+  const auto now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto pid = static_cast<uint64_t>(::getpid());
+  return SplitMix64(counter.fetch_add(1, std::memory_order_relaxed) ^
+                    SplitMix64(now) ^ (pid << 32));
+}
+
+void AppendStoreSections(const StoreVersion& version, uint64_t store_uuid,
+                         BlobWriter* writer) {
+  std::string meta;
+  AppendU32(&meta, kStoreSectionFormat);
+  AppendU64(&meta, store_uuid);
+  AppendU64(&meta, version.version);
+  AppendU64(&meta, version.next_doc_id);
+  AppendU64(&meta, version.reachable_nodes);
+  AppendU64(&meta, version.docs.size());
+  writer->AddSection(kStoreMetaSection, std::move(meta));
+
+  std::string docs;
+  docs.reserve(version.docs.size() * 12);
+  for (const StoreDoc& doc : version.docs) {
+    AppendU64(&docs, doc.id);
+    AppendU32(&docs, doc.root);
+  }
+  writer->AddSection(kStoreDocsSection, std::move(docs));
+}
+
+Expected<StoreSnapshotImage> ParseStoreSections(const MappedBlob& blob) {
+  const MappedBlob::Section* meta = blob.Find(kStoreMetaSection);
+  const MappedBlob::Section* docs = blob.Find(kStoreDocsSection);
+  if (meta == nullptr || docs == nullptr) {
+    return Unexpected("persist: blob has no store sections");
+  }
+  // The store sections are metadata-sized (O(docs), not O(nodes)), so
+  // checksumming them here keeps Open's lazy-open bound intact.
+  if (Status status = blob.VerifySection(*meta); !status.ok()) return status;
+  if (Status status = blob.VerifySection(*docs); !status.ok()) return status;
+
+  ByteReader reader(meta->bytes);
+  const uint32_t format = reader.ReadU32();
+  StoreSnapshotImage image;
+  image.store_uuid = reader.ReadU64();
+  image.version = reader.ReadU64();
+  image.next_doc_id = reader.ReadU64();
+  image.reachable_nodes = reader.ReadU64();
+  const uint64_t doc_count = reader.ReadU64();
+  if (!reader.ok() || format != kStoreSectionFormat) {
+    return Unexpected("persist: unsupported store.meta section");
+  }
+  if (docs->bytes.size() != doc_count * 12) {
+    return Unexpected("persist: store.docs size does not match document count");
+  }
+  ByteReader table(docs->bytes);
+  image.docs.reserve(doc_count);
+  StoreDocId previous = 0;
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    StoreDoc doc;
+    doc.id = table.ReadU64();
+    doc.root = table.ReadU32();
+    if (doc.id <= previous || doc.id >= image.next_doc_id) {
+      return Unexpected("persist: store.docs ids not ascending / out of range");
+    }
+    previous = doc.id;
+    image.docs.push_back(doc);
+  }
+  return image;
+}
+
+std::string EncodeWalHeader(uint64_t store_uuid, uint64_t base_version) {
+  std::string payload;
+  AppendU32(&payload, kWalHeaderFormat);
+  AppendU64(&payload, store_uuid);
+  AppendU64(&payload, base_version);
+  return payload;
+}
+
+Expected<WalHeader> DecodeWalHeader(std::string_view payload) {
+  ByteReader reader(payload);
+  const uint32_t format = reader.ReadU32();
+  WalHeader header;
+  header.store_uuid = reader.ReadU64();
+  header.base_version = reader.ReadU64();
+  if (!reader.ok() || format != kWalHeaderFormat) {
+    return Unexpected("persist: unsupported commit-log header");
+  }
+  return header;
+}
+
+std::string EncodeCommitRecord(uint64_t version, const WriteBatch& batch) {
+  std::string payload;
+  AppendU32(&payload, kWalRecordFormat);
+  AppendU64(&payload, version);
+  AppendU32(&payload, static_cast<uint32_t>(batch.size()));
+  for (const StoreOp& op : batch.ops()) {
+    uint8_t kind = kWalOpInsertText;
+    switch (op.kind) {
+      case StoreOp::Kind::kInsertText: kind = kWalOpInsertText; break;
+      case StoreOp::Kind::kCreateCde: kind = kWalOpCreateCde; break;
+      case StoreOp::Kind::kEditCde: kind = kWalOpEditCde; break;
+      case StoreOp::Kind::kDrop: kind = kWalOpDrop; break;
+    }
+    AppendU8(&payload, kind);
+    AppendU64(&payload, op.doc);
+    AppendU32(&payload, static_cast<uint32_t>(op.payload.size()));
+    payload.append(op.payload);
+  }
+  return payload;
+}
+
+Expected<WalCommit> DecodeCommitRecord(std::string_view payload) {
+  ByteReader reader(payload);
+  const uint32_t format = reader.ReadU32();
+  WalCommit commit;
+  commit.version = reader.ReadU64();
+  const uint32_t op_count = reader.ReadU32();
+  if (!reader.ok() || format != kWalRecordFormat) {
+    return Unexpected("persist: unsupported commit-log record");
+  }
+  for (uint32_t i = 0; i < op_count; ++i) {
+    const uint8_t kind = reader.ReadU8();
+    const uint64_t doc = reader.ReadU64();
+    const uint32_t length = reader.ReadU32();
+    const std::string_view bytes = reader.ReadBytes(length);
+    if (!reader.ok()) return Unexpected("persist: truncated commit-log record");
+    switch (kind) {
+      case kWalOpInsertText:
+        commit.batch.Insert(std::string(bytes));
+        break;
+      case kWalOpCreateCde:
+        commit.batch.Create(std::string(bytes));
+        break;
+      case kWalOpEditCde:
+        commit.batch.Edit(doc, std::string(bytes));
+        break;
+      case kWalOpDrop:
+        commit.batch.Drop(doc);
+        break;
+      default:
+        return Unexpected("persist: unknown op kind in commit-log record");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Unexpected("persist: trailing bytes in commit-log record");
+  }
+  return commit;
+}
+
+}  // namespace spanners

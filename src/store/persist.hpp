@@ -1,0 +1,95 @@
+/// \file persist.hpp
+/// \brief On-disk encoding of store snapshots and the commit log (DESIGN.md
+/// §1.13).
+///
+/// A persistent store directory holds exactly two files:
+///
+///   snapshot.spb   one blob (util/blob_io.hpp) with four sections --
+///                  "store.meta" (identity + version counters),
+///                  "store.docs" (the live (id, root) table), and the
+///                  "slp.meta"/"slp.nodes" sections written by
+///                  SlpSerializer (slp/slp_serialize.hpp).
+///   wal.splog      the write-ahead commit log: a header naming the store
+///                  lineage (store_uuid) and the snapshot version it
+///                  extends, then one record per committed WriteBatch.
+///
+/// The pairing rule recovery relies on: a log record carries the version
+/// its commit published, and DocumentStore::Open replays only records with
+/// version > the blob's version. That makes the snapshot-then-truncate
+/// sequence crash-safe at every byte: an old log next to a new blob is
+/// skipped, a torn log header (the header is fsync'd before any record can
+/// be appended) implies the log never held durable records.
+///
+/// Records serialize the *batch*, not the resulting roots -- CDE evaluation
+/// is deterministic, so replaying batches against the blob state reproduces
+/// every document byte-for-byte while staying independent of node ids
+/// (which GC rewrites freely between snapshots).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/snapshot.hpp"
+#include "store/store.hpp"
+#include "util/blob_io.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// Blob section names of the store layer (the SLP sections are named by
+/// slp/slp_serialize.hpp).
+inline constexpr const char* kStoreMetaSection = "store.meta";
+inline constexpr const char* kStoreDocsSection = "store.docs";
+
+/// File names inside a store directory.
+inline constexpr const char* kSnapshotFileName = "snapshot.spb";
+inline constexpr const char* kWalFileName = "wal.splog";
+
+std::string SnapshotPath(const std::string& dir);
+std::string WalPath(const std::string& dir);
+
+/// Creates \p dir (and missing parents). Idempotent.
+Status EnsureDirectory(const std::string& dir);
+
+/// A fresh, globally unique store identity (written once at first save and
+/// carried by both files of the directory ever after).
+uint64_t NewStoreUuid();
+
+/// The decoded "store.meta" + "store.docs" sections of a snapshot blob.
+struct StoreSnapshotImage {
+  uint64_t store_uuid = 0;
+  uint64_t version = 0;
+  StoreDocId next_doc_id = 1;
+  std::size_t reachable_nodes = 0;  ///< saved so a mapped open stays O(header)
+  std::vector<StoreDoc> docs;       ///< sorted by id
+};
+
+/// Appends the "store.meta" and "store.docs" sections of \p version to
+/// \p writer. Deterministic (the byte-identical re-save property).
+void AppendStoreSections(const StoreVersion& version, uint64_t store_uuid,
+                         BlobWriter* writer);
+
+/// Decodes and checksum-verifies the store sections of \p blob. O(docs).
+Expected<StoreSnapshotImage> ParseStoreSections(const MappedBlob& blob);
+
+/// The decoded commit-log header.
+struct WalHeader {
+  uint64_t store_uuid = 0;
+  uint64_t base_version = 0;  ///< version of the snapshot the log extends
+};
+
+std::string EncodeWalHeader(uint64_t store_uuid, uint64_t base_version);
+Expected<WalHeader> DecodeWalHeader(std::string_view payload);
+
+/// One decoded commit-log record: the batch that commit applied and the
+/// version it published.
+struct WalCommit {
+  uint64_t version = 0;
+  WriteBatch batch;
+};
+
+std::string EncodeCommitRecord(uint64_t version, const WriteBatch& batch);
+Expected<WalCommit> DecodeCommitRecord(std::string_view payload);
+
+}  // namespace spanners

@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <utility>
 
+#include <sys/stat.h>
+
 #include "engine/session.hpp"
 #include "slp/avl_grammar.hpp"
 #include "slp/cde.hpp"
+#include "slp/slp_serialize.hpp"
+#include "store/persist.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace spanners {
 namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
 
 struct StoreMetrics {
   Counter& snapshots;
@@ -74,6 +83,8 @@ DocumentStore::DocumentStore(StoreOptions options)
   head_.Store(std::move(genesis));
 }
 
+DocumentStore::~DocumentStore() = default;
+
 StoreSnapshot DocumentStore::Snapshot() const {
   ScopedSpan span("store.snapshot");
   if (MetricsEnabled()) StoreMetrics::Get().snapshots.Increment();
@@ -135,14 +146,31 @@ std::string DocumentStore::ApplyOp(PendingState* state, const StoreOp& op,
 
 Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
   std::lock_guard<std::mutex> writer(commit_mutex_);
+  return CommitLocked(batch, /*log_to_wal=*/true);
+}
+
+Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
+                                                    bool log_to_wal) {
   ScopedSpan span("store.commit");
   ScopedLatency latency(StoreMetrics::Get().commit_ns);
 
   const std::shared_ptr<const StoreVersion> current =
       head_.Load();
 
+  // A mapped (frozen) epoch serves reads only: the first commit after a
+  // persistent Open thaws it into a writable twin -- identical node ids
+  // (roots stay valid), same epoch_uuid, fresh arena_id -- before any op
+  // can append. Old snapshots keep pinning the mapped epoch until released.
+  std::shared_ptr<StoreEpoch> epoch = current->epoch;
+  if (epoch->slp.frozen()) {
+    auto thawed = std::make_shared<StoreEpoch>();
+    thawed->slp = SlpSerializer::Thaw(epoch->slp);
+    cache_->DropArena(epoch->slp.arena_id());
+    epoch = std::move(thawed);
+  }
+
   PendingState state;
-  state.slp = &current->epoch->slp;
+  state.slp = &epoch->slp;
   state.next_doc_id = current->next_doc_id;
   state.roots.assign(state.next_doc_id - 1, kNoNode);
   state.live.assign(state.next_doc_id - 1, 0);
@@ -162,6 +190,19 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
     }
   }
 
+  // Durability point: the batch is logged (and fsync'd) *before* the version
+  // it produces can be observed. Replay is record-by-record deterministic,
+  // so a crash anywhere after this line reproduces exactly this commit.
+  if (log_to_wal && wal_ != nullptr) {
+    Status appended = wal_->Append(EncodeCommitRecord(current->version + 1, batch),
+                                   options_.wal_sync);
+    if (!appended.ok()) {
+      if (MetricsEnabled()) StoreMetrics::Get().commit_errors.Increment();
+      return Unexpected("store commit: " + appended.message());
+    }
+    wal_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   auto next = std::make_shared<StoreVersion>();
   for (StoreDocId id = 1; id < state.next_doc_id; ++id) {
     if (state.live[id - 1] != 0) next->docs.push_back({id, state.roots[id - 1]});
@@ -177,7 +218,6 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
   receipt.gc.before_nodes = seen.size();
   receipt.gc.live_nodes = reachable;
   const std::size_t garbage = seen.size() - reachable;
-  std::shared_ptr<StoreEpoch> epoch = current->epoch;
   if (garbage >= options_.gc_min_garbage_nodes && !seen.empty() &&
       static_cast<double>(garbage) >=
           options_.gc_min_garbage_ratio * static_cast<double>(seen.size())) {
@@ -189,7 +229,7 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
     }
     // The superseded generation's cache entries can never be hit again
     // (fresh arena id); old snapshots pin the epoch itself until released.
-    cache_->DropArena(current->epoch->slp.arena_id());
+    cache_->DropArena(epoch->slp.arena_id());
     epoch = std::move(fresh);
     receipt.gc.compacted = true;
     gc_compactions_.fetch_add(1, std::memory_order_relaxed);
@@ -207,6 +247,14 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
   next->cache = cache_;
   receipt.version = next->version;
 
+  if (receipt.gc.compacted && log_to_wal && !persist_dir_.empty()) {
+    // Log compaction rides on GC: the compacted state becomes the new
+    // snapshot blob and the commit log restarts at it. Failure is non-fatal
+    // -- the previous blob plus the full log still reproduce this version
+    // (records carry batches, never node ids, so GC's renumbering is moot).
+    (void)SaveSnapshotLocked(persist_dir_, next);
+  }
+
   const std::size_t num_docs = next->docs.size();
   const std::size_t arena_nodes = epoch->slp.num_nodes();
   // Pre-publication: the observer records the version before any reader can
@@ -222,6 +270,135 @@ Expected<CommitReceipt> DocumentStore::Commit(const WriteBatch& batch) {
     metrics.nodes_live.Set(static_cast<int64_t>(reachable));
   }
   return receipt;
+}
+
+Status DocumentStore::SaveSnapshot(const std::string& dir) {
+  std::lock_guard<std::mutex> writer(commit_mutex_);
+  return SaveSnapshotLocked(dir, head_.Load());
+}
+
+Status DocumentStore::SaveSnapshotLocked(
+    const std::string& dir, const std::shared_ptr<const StoreVersion>& version) {
+  if (Status status = EnsureDirectory(dir); !status.ok()) return status;
+  if (store_uuid_ == 0) store_uuid_ = NewStoreUuid();
+  BlobWriter blob;
+  AppendStoreSections(*version, store_uuid_, &blob);
+  SlpSerializer::AppendSections(version->epoch->slp, &blob);
+  if (Status status = blob.WriteFile(SnapshotPath(dir)); !status.ok()) {
+    return status;
+  }
+  if (dir == persist_dir_) {
+    // The blob now covers every logged record (they all have version <=
+    // version->version), so the log restarts at the snapshot. A crash
+    // between the rename above and this restart is safe either way: replay
+    // skips records the blob already covers.
+    Expected<LogWriter> wal = LogWriter::Create(
+        WalPath(dir), EncodeWalHeader(store_uuid_, version->version));
+    if (!wal.ok()) return wal.status();
+    wal_ = std::make_unique<LogWriter>(std::move(*wal));
+  }
+  return Status::Ok();
+}
+
+Expected<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    const std::string& dir, StoreOptions options) {
+  if (Status status = EnsureDirectory(dir); !status.ok()) return status;
+  auto store = std::make_unique<DocumentStore>(options);
+  std::lock_guard<std::mutex> writer(store->commit_mutex_);
+  store->persist_dir_ = dir;
+
+  const std::string snapshot_path = SnapshotPath(dir);
+  const std::string wal_path = WalPath(dir);
+  if (!FileExists(snapshot_path)) {
+    if (FileExists(wal_path)) {
+      // Open never creates a log without its blob, so an orphaned log means
+      // the directory was tampered with -- refuse rather than guess a base.
+      return Unexpected("store open: " + dir +
+                        " has a commit log but no snapshot blob");
+    }
+    // Fresh store: mint an identity and establish both files.
+    store->store_uuid_ = NewStoreUuid();
+    if (Status status = store->SaveSnapshotLocked(dir, store->head_.Load());
+        !status.ok()) {
+      return status;
+    }
+    return store;
+  }
+
+  Expected<std::shared_ptr<MappedBlob>> blob = MappedBlob::Open(snapshot_path);
+  if (!blob.ok()) return blob.status();
+  if (options.verify_checksums) {
+    if (Status status = (*blob)->VerifyAll(); !status.ok()) return status;
+  }
+  Expected<StoreSnapshotImage> image = ParseStoreSections(**blob);
+  if (!image.ok()) return image.status();
+  Expected<Slp> slp = options.map_snapshot
+                          ? SlpSerializer::FromBlobMapped(*blob)
+                          : SlpSerializer::FromBlobMaterialized(**blob);
+  if (!slp.ok()) return slp.status();
+
+  store->store_uuid_ = image->store_uuid;
+  auto loaded = std::make_shared<StoreVersion>();
+  loaded->version = image->version;
+  loaded->epoch = std::make_shared<StoreEpoch>();
+  loaded->epoch->slp = std::move(*slp);
+  loaded->docs = std::move(image->docs);
+  loaded->next_doc_id = image->next_doc_id;
+  loaded->reachable_nodes = image->reachable_nodes;
+  loaded->cache = store->cache_;
+  store->head_.Store(std::move(loaded));
+
+  const uint64_t blob_version = image->version;
+  if (!FileExists(wal_path)) {
+    // The crash window of SaveSnapshot: blob renamed, log restart lost.
+    // Everything durable is in the blob; start a fresh log at its version.
+    Expected<LogWriter> wal = LogWriter::Create(
+        wal_path, EncodeWalHeader(store->store_uuid_, blob_version));
+    if (!wal.ok()) return wal.status();
+    store->wal_ = std::make_unique<LogWriter>(std::move(*wal));
+    return store;
+  }
+
+  Expected<LogContents> log = ReadLog(wal_path);
+  if (!log.ok()) {
+    // An unreadable log *header* can only be a torn LogWriter::Create (the
+    // header is fsync'd before any record can be appended, so a log that
+    // ever held a durable record has a durable header). Start over at the
+    // blob's version.
+    Expected<LogWriter> wal = LogWriter::Create(
+        wal_path, EncodeWalHeader(store->store_uuid_, blob_version));
+    if (!wal.ok()) return wal.status();
+    store->wal_ = std::make_unique<LogWriter>(std::move(*wal));
+    return store;
+  }
+  Expected<WalHeader> header = DecodeWalHeader(log->header_payload);
+  if (!header.ok()) return header.status();
+  if (header->store_uuid != store->store_uuid_) {
+    return Unexpected("store open: commit log belongs to a different store "
+                      "lineage than the snapshot blob");
+  }
+  for (const LogRecord& record : log->records) {
+    Expected<WalCommit> commit = DecodeCommitRecord(record.payload);
+    if (!commit.ok()) return commit.status();
+    const uint64_t head_version = store->head_.Load()->version;
+    if (commit->version <= head_version) continue;  // covered by the blob
+    if (commit->version != head_version + 1) {
+      return Unexpected("store open: commit log skips version " +
+                        std::to_string(head_version + 1));
+    }
+    Expected<CommitReceipt> replayed =
+        store->CommitLocked(commit->batch, /*log_to_wal=*/false);
+    if (!replayed.ok()) {
+      return Unexpected("store open: commit-log replay failed: " +
+                        replayed.error());
+    }
+  }
+  // Keep appending where the durable prefix ends (dropping any torn tail a
+  // crashed writer left mid-append).
+  Expected<LogWriter> wal = LogWriter::Resume(wal_path, log->durable_bytes);
+  if (!wal.ok()) return wal.status();
+  store->wal_ = std::make_unique<LogWriter>(std::move(*wal));
+  return store;
 }
 
 void DocumentStore::SetCommitObserverForTesting(
@@ -293,6 +470,9 @@ StoreStats DocumentStore::Stats() const {
   stats.commits = commits_.load(std::memory_order_relaxed);
   stats.gc_compactions = gc_compactions_.load(std::memory_order_relaxed);
   stats.gc_reclaimed_nodes = gc_reclaimed_nodes_.load(std::memory_order_relaxed);
+  stats.epoch_uuid = snapshot.empty() ? 0 : snapshot.slp().epoch_uuid();
+  stats.epoch_frozen = !snapshot.empty() && snapshot.slp().frozen();
+  stats.wal_records = wal_records_.load(std::memory_order_relaxed);
   stats.cache = cache_->stats();
   return stats;
 }

@@ -28,6 +28,13 @@
 /// In the paper's terms: the store maintains the document database 𝔇 of
 /// Section 4 under complex document editing, serving each query from the
 /// §4.2 Boolean-matrix evaluation with everything expensive cached.
+///
+/// Durability (DESIGN.md §1.13): a store opened with Open(dir) is
+/// *persistent* -- every Commit appends its batch to a write-ahead log
+/// before publishing, GC compactions roll the state into a fresh snapshot
+/// blob (store/persist.hpp), and reopening the directory maps the blob
+/// zero-copy (O(size-of-header) before the first query), replays the log
+/// tail, and recovers from torn writes by truncating to the durable prefix.
 #pragma once
 
 #include <atomic>
@@ -57,6 +64,7 @@ namespace spanners {
 
 class Session;
 class CompiledQuery;
+class LogWriter;
 
 /// The head-version publication cell. Normally std::atomic<std::shared_ptr>:
 /// Snapshot() is one lock-free load, commits publish with a release store.
@@ -107,6 +115,21 @@ struct StoreOptions {
 
   /// Worker threads for QueryAll (>= 1; 1 = sequential).
   std::size_t threads = ThreadPool::DefaultThreadCount();
+
+  // --- persistence (stores opened with DocumentStore::Open) -----------------
+
+  /// fsync every commit-log append before the commit publishes (the
+  /// durability point). Off trades the unsynced tail for bulk-load speed.
+  bool wal_sync = true;
+
+  /// Verify every snapshot-blob section checksum at Open -- O(file size)
+  /// instead of the default lazy header-only validation (O(size-of-header)).
+  bool verify_checksums = false;
+
+  /// Back the reopened epoch zero-copy by the snapshot mapping; the arena
+  /// stays frozen (read-only) until the first commit thaws it. Off
+  /// materializes a writable arena eagerly at Open (O(nodes)).
+  bool map_snapshot = true;
 };
 
 /// One mutation of a WriteBatch.
@@ -173,6 +196,9 @@ struct StoreStats {
   uint64_t commits = 0;
   uint64_t gc_compactions = 0;
   uint64_t gc_reclaimed_nodes = 0;
+  uint64_t epoch_uuid = 0;     ///< durable identity of the current epoch
+  bool epoch_frozen = false;   ///< current epoch still mapped read-only
+  uint64_t wal_records = 0;    ///< commit-log records appended since attach
   PreparedCacheStats cache;
 };
 
@@ -182,9 +208,31 @@ struct StoreStats {
 class DocumentStore {
  public:
   explicit DocumentStore(StoreOptions options = {});
+  ~DocumentStore();
 
   DocumentStore(const DocumentStore&) = delete;
   DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Opens (or initializes) the persistent store at directory \p dir and
+  /// attaches to it: the snapshot blob is mapped (lazily -- O(size-of-
+  /// header) before the first query), commit-log records past the blob's
+  /// version are replayed, the torn log tail (if the previous process
+  /// crashed mid-append) is truncated, and every subsequent Commit appends
+  /// to the log before publishing. A missing or empty directory starts a
+  /// fresh store (new store_uuid) and writes its initial snapshot.
+  static Expected<std::unique_ptr<DocumentStore>> Open(const std::string& dir,
+                                                       StoreOptions options = {});
+
+  /// Writes the current version as a snapshot blob into \p dir (created if
+  /// missing; atomic tmp+rename). When \p dir is the attached directory,
+  /// the commit log restarts at the saved version (log compaction). Any
+  /// store -- attached or ephemeral -- can be saved anywhere.
+  Status SaveSnapshot(const std::string& dir);
+
+  /// Durable store identity: minted when a store first touches disk,
+  /// preserved by save/open, and stamped into both files of the directory
+  /// (Open refuses a commit log from a different lineage).
+  uint64_t store_uuid() const { return store_uuid_; }
 
   /// The current version; one atomic load, never blocks on the writer.
   StoreSnapshot Snapshot() const;
@@ -229,10 +277,24 @@ class DocumentStore {
   std::string ApplyOp(PendingState* state, const StoreOp& op,
                       std::vector<StoreDocId>* created);
 
+  /// The commit path proper; commit_mutex_ must be held. \p log_to_wal is
+  /// false only while Open replays the commit log (the records are already
+  /// durable) -- replay also never writes snapshots.
+  Expected<CommitReceipt> CommitLocked(const WriteBatch& batch, bool log_to_wal);
+
+  /// SaveSnapshot with commit_mutex_ held (Commit's GC path and Open's
+  /// initialization call this directly).
+  Status SaveSnapshotLocked(const std::string& dir,
+                            const std::shared_ptr<const StoreVersion>& version);
+
   StoreOptions options_;
   std::shared_ptr<PreparedStateCache> cache_;
   std::mutex commit_mutex_;  ///< the single writer
   std::function<void(const StoreSnapshot&)> commit_observer_;  ///< guarded by commit_mutex_
+  uint64_t store_uuid_ = 0;        ///< 0 until the store first touches disk
+  std::string persist_dir_;        ///< empty = ephemeral store
+  std::unique_ptr<LogWriter> wal_; ///< guarded by commit_mutex_
+  std::atomic<uint64_t> wal_records_{0};
   HeadCell head_;
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> gc_compactions_{0};

@@ -1,0 +1,485 @@
+#include "util/blob_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace spanners {
+
+static_assert(std::endian::native == std::endian::little,
+              "blob_io: on-disk format is little-endian and the readers are "
+              "zero-copy; big-endian hosts would need byte-swapping loaders");
+
+namespace {
+
+// --- fault injection ---------------------------------------------------------
+
+/// Bytes this process may still write through blob_io before the injected
+/// crash; SIZE_MAX = injection disabled. Loaded from the environment once.
+std::atomic<std::size_t> g_crash_budget{SIZE_MAX};
+std::atomic<bool> g_crash_loaded{false};
+
+void LoadCrashBudget() {
+  const char* env = std::getenv("SPANNERS_CRASH_AFTER_BYTES");
+  std::size_t budget = SIZE_MAX;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') budget = static_cast<std::size_t>(parsed);
+  }
+  g_crash_budget.store(budget, std::memory_order_relaxed);
+  g_crash_loaded.store(true, std::memory_order_release);
+}
+
+/// Writes \p size bytes to \p fd. Under fault injection, writes only the
+/// bytes left in the budget, flushes, and _exit()s -- a torn write exactly
+/// at the configured byte.
+bool FaultedWriteAll(int fd, const char* data, std::size_t size) {
+  if (!g_crash_loaded.load(std::memory_order_acquire)) LoadCrashBudget();
+  std::size_t budget = g_crash_budget.load(std::memory_order_relaxed);
+  bool crash_after = false;
+  if (budget != SIZE_MAX) {
+    if (budget <= size) {
+      size = budget;
+      crash_after = true;
+    }
+    g_crash_budget.store(budget - size, std::memory_order_relaxed);
+  }
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  if (crash_after) {
+    ::fsync(fd);  // make the torn prefix durable, like a real power cut mid-write
+    ::_exit(86);  // 86 = injected crash (asserted by tests/persist_test.cpp)
+  }
+  return true;
+}
+
+// --- blob format -------------------------------------------------------------
+
+constexpr uint64_t kBlobMagic = 0x424f4c424e415053ull;  // "SPANBLOB"
+constexpr uint32_t kBlobFormatVersion = 1;
+constexpr std::size_t kSectionNameMax = 15;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4 + 4;  // 32
+// Table entry: name[16] (NUL-padded), offset u64, size u64, crc u32, pad u32.
+constexpr std::size_t kTableEntryBytes = 16 + 8 + 8 + 4 + 4;
+
+std::size_t AlignUp8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// --- log format --------------------------------------------------------------
+
+constexpr uint64_t kLogMagic = 0x474f4c574e415053ull;  // "SPANWLOG"
+constexpr uint32_t kLogFormatVersion = 1;
+
+Status SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Error("blob_io: cannot open directory " + dir);
+  ::fsync(fd);  // best effort: rename durability on crash
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  // Reflected CRC-32 (polynomial 0xEDB88320), nibble-at-a-time: small table,
+  // no dependence on hardware CRC instructions.
+  static constexpr std::array<uint32_t, 16> kTable = [] {
+    std::array<uint32_t, 16> table{};
+    for (uint32_t i = 0; i < 16; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 4; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  for (const char c : bytes) {
+    const auto byte = static_cast<unsigned char>(c);
+    crc = kTable[(crc ^ byte) & 0xf] ^ (crc >> 4);
+    crc = kTable[(crc ^ (byte >> 4)) & 0xf] ^ (crc >> 4);
+  }
+  return ~crc;
+}
+
+void AppendU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, 4);
+  out->append(bytes, 4);
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out->append(bytes, 8);
+}
+
+uint8_t ByteReader::ReadU8() {
+  if (position_ + 1 > bytes_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<uint8_t>(bytes_[position_++]);
+}
+
+uint32_t ByteReader::ReadU32() {
+  if (position_ + 4 > bytes_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  uint32_t value;
+  std::memcpy(&value, bytes_.data() + position_, 4);
+  position_ += 4;
+  return value;
+}
+
+uint64_t ByteReader::ReadU64() {
+  if (position_ + 8 > bytes_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  uint64_t value;
+  std::memcpy(&value, bytes_.data() + position_, 8);
+  position_ += 8;
+  return value;
+}
+
+std::string_view ByteReader::ReadBytes(std::size_t count) {
+  if (position_ + count > bytes_.size()) {
+    ok_ = false;
+    return {};
+  }
+  const std::string_view view = bytes_.substr(position_, count);
+  position_ += count;
+  return view;
+}
+
+void BlobWriter::AddSection(std::string_view name, std::string payload) {
+  Require(!name.empty() && name.size() <= kSectionNameMax,
+          "BlobWriter::AddSection: section name must be 1..15 bytes");
+  for (const PendingSection& section : sections_) {
+    Require(section.name != name, "BlobWriter::AddSection: duplicate section");
+  }
+  sections_.push_back({std::string(name), std::move(payload)});
+}
+
+std::string BlobWriter::Finish() const {
+  // Layout: header | table | payloads (each 8-byte aligned, zero padding).
+  const std::size_t table_offset = kHeaderBytes;
+  const std::size_t table_bytes = sections_.size() * kTableEntryBytes;
+  std::size_t offset = AlignUp8(table_offset + table_bytes);
+
+  std::string table;
+  table.reserve(table_bytes);
+  for (const PendingSection& section : sections_) {
+    char name[16] = {};
+    std::memcpy(name, section.name.data(), section.name.size());
+    table.append(name, 16);
+    AppendU64(&table, offset);
+    AppendU64(&table, section.payload.size());
+    AppendU32(&table, Crc32(section.payload));
+    AppendU32(&table, 0);  // pad
+    offset = AlignUp8(offset + section.payload.size());
+  }
+  const std::size_t file_size = offset;
+
+  std::string header;
+  header.reserve(kHeaderBytes);
+  AppendU64(&header, kBlobMagic);
+  AppendU32(&header, kBlobFormatVersion);
+  AppendU32(&header, static_cast<uint32_t>(sections_.size()));
+  AppendU64(&header, file_size);
+  AppendU32(&header, Crc32(table));
+  // Header CRC covers everything above it; computed last, stored last.
+  AppendU32(&header, Crc32(header));
+
+  std::string blob;
+  blob.reserve(file_size);
+  blob += header;
+  blob += table;
+  for (const PendingSection& section : sections_) {
+    blob.append(AlignUp8(blob.size()) - blob.size(), '\0');
+    blob += section.payload;
+  }
+  blob.append(file_size - blob.size(), '\0');
+  return blob;
+}
+
+Status BlobWriter::WriteFile(const std::string& path) const {
+  const std::string blob = Finish();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Error("blob_io: cannot create " + tmp);
+  const bool written = FaultedWriteAll(fd, blob.data(), blob.size());
+  const bool synced = written && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written || !synced) {
+    ::unlink(tmp.c_str());
+    return Status::Error("blob_io: short write to " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Error("blob_io: cannot rename " + tmp + " -> " + path);
+  }
+  return SyncParentDir(path);
+}
+
+Expected<std::shared_ptr<MappedBlob>> MappedBlob::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Unexpected("blob_io: cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Unexpected("blob_io: cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+
+  auto blob = std::shared_ptr<MappedBlob>(new MappedBlob());
+  blob->size_ = size;
+  void* mapping = size == 0
+                      ? MAP_FAILED
+                      : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mapping != MAP_FAILED) {
+    blob->data_ = static_cast<const char*>(mapping);
+    blob->mapped_ = true;
+  } else {
+    // mmap unavailable (size 0, weird filesystem): fall back to a heap copy.
+    blob->owned_.resize(size);
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::pread(fd, blob->owned_.data() + done, size - done,
+                                static_cast<off_t>(done));
+      if (n <= 0) {
+        ::close(fd);
+        return Unexpected("blob_io: cannot read " + path);
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    blob->data_ = blob->owned_.data();
+  }
+  ::close(fd);
+
+  // Validate header + section table only: O(header), never O(payloads).
+  const std::string_view bytes(blob->data_, blob->size_);
+  if (bytes.size() < kHeaderBytes) {
+    return Unexpected("blob_io: " + path + " is too small to be a blob");
+  }
+  ByteReader header(bytes.substr(0, kHeaderBytes));
+  const uint64_t magic = header.ReadU64();
+  const uint32_t format = header.ReadU32();
+  const uint32_t section_count = header.ReadU32();
+  const uint64_t file_size = header.ReadU64();
+  const uint32_t table_crc = header.ReadU32();
+  const uint32_t header_crc = header.ReadU32();
+  if (magic != kBlobMagic) return Unexpected("blob_io: " + path + ": bad magic");
+  if (Crc32(bytes.substr(0, kHeaderBytes - 4)) != header_crc) {
+    return Unexpected("blob_io: " + path + ": header checksum mismatch");
+  }
+  if (format != kBlobFormatVersion) {
+    return Unexpected("blob_io: " + path + ": unsupported format version " +
+                      std::to_string(format));
+  }
+  if (file_size != bytes.size()) {
+    return Unexpected("blob_io: " + path + ": truncated (header says " +
+                      std::to_string(file_size) + " bytes, file has " +
+                      std::to_string(bytes.size()) + ")");
+  }
+  const std::size_t table_bytes = section_count * kTableEntryBytes;
+  if (kHeaderBytes + table_bytes > bytes.size()) {
+    return Unexpected("blob_io: " + path + ": section table out of bounds");
+  }
+  const std::string_view table = bytes.substr(kHeaderBytes, table_bytes);
+  if (Crc32(table) != table_crc) {
+    return Unexpected("blob_io: " + path + ": section table checksum mismatch");
+  }
+  ByteReader entries(table);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const std::string_view name_field = entries.ReadBytes(16);
+    const uint64_t offset = entries.ReadU64();
+    const uint64_t size_field = entries.ReadU64();
+    const uint32_t crc = entries.ReadU32();
+    entries.ReadU32();  // pad
+    if (offset > bytes.size() || size_field > bytes.size() - offset) {
+      return Unexpected("blob_io: " + path + ": section " + std::to_string(i) +
+                        " out of bounds");
+    }
+    Section section;
+    section.name = name_field.substr(0, name_field.find('\0'));
+    section.bytes = bytes.substr(offset, size_field);
+    section.crc32 = crc;
+    blob->sections_.push_back(section);
+  }
+  return blob;
+}
+
+MappedBlob::~MappedBlob() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+const MappedBlob::Section* MappedBlob::Find(std::string_view name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+Status MappedBlob::VerifySection(const Section& section) const {
+  if (Crc32(section.bytes) != section.crc32) {
+    return Status::Error("blob_io: section '" + std::string(section.name) +
+                         "' checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+Status MappedBlob::VerifyAll() const {
+  for (const Section& section : sections_) {
+    if (Status status = VerifySection(section); !status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+// --- record log --------------------------------------------------------------
+
+Expected<LogContents> ReadLog(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Unexpected("blob_io: cannot open log " + path);
+  std::string bytes;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      ::close(fd);
+      return Unexpected("blob_io: cannot read log " + path);
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Header: magic u64, format u32, payload_len u32, payload, payload_crc u32.
+  ByteReader reader(bytes);
+  const uint64_t magic = reader.ReadU64();
+  const uint32_t format = reader.ReadU32();
+  const uint32_t header_len = reader.ReadU32();
+  const std::string_view header_payload = reader.ReadBytes(header_len);
+  const uint32_t header_crc = reader.ReadU32();
+  if (!reader.ok() || magic != kLogMagic) {
+    return Unexpected("blob_io: " + path + " is not a record log");
+  }
+  if (format != kLogFormatVersion) {
+    return Unexpected("blob_io: " + path + ": unsupported log format " +
+                      std::to_string(format));
+  }
+  if (Crc32(header_payload) != header_crc) {
+    return Unexpected("blob_io: " + path + ": log header checksum mismatch");
+  }
+
+  LogContents contents;
+  contents.header_payload = std::string(header_payload);
+  contents.durable_bytes = bytes.size() - reader.remaining();
+  // Records: len u32, crc u32, payload. Anything torn or corrupt ends the
+  // durable prefix -- a crash can only damage the tail of an append-only
+  // fsync'd log, so everything before the damage is intact by construction.
+  while (reader.remaining() > 0) {
+    ByteReader record = reader;  // speculative: only commit intact records
+    const uint32_t length = record.ReadU32();
+    const uint32_t crc = record.ReadU32();
+    const std::string_view payload = record.ReadBytes(length);
+    if (!record.ok() || Crc32(payload) != crc) {
+      contents.torn_tail = true;
+      break;
+    }
+    contents.records.push_back({std::string(payload)});
+    reader = record;
+    contents.durable_bytes = bytes.size() - reader.remaining();
+  }
+  return contents;
+}
+
+Expected<LogWriter> LogWriter::Create(const std::string& path,
+                                      std::string_view header_payload) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Unexpected("blob_io: cannot create log " + path);
+  std::string header;
+  AppendU64(&header, kLogMagic);
+  AppendU32(&header, kLogFormatVersion);
+  AppendU32(&header, static_cast<uint32_t>(header_payload.size()));
+  header.append(header_payload);
+  AppendU32(&header, Crc32(header_payload));
+  if (!FaultedWriteAll(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    return Unexpected("blob_io: short write starting log " + path);
+  }
+  return LogWriter(fd);
+}
+
+Expected<LogWriter> LogWriter::Resume(const std::string& path,
+                                      std::size_t resume_at_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Unexpected("blob_io: cannot open log " + path);
+  // Drop the torn tail (if any) so appended records start on a clean frame.
+  if (::ftruncate(fd, static_cast<off_t>(resume_at_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Unexpected("blob_io: cannot truncate log " + path);
+  }
+  return LogWriter(fd);
+}
+
+LogWriter::LogWriter(LogWriter&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+LogWriter& LogWriter::operator=(LogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+LogWriter::~LogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogWriter::Append(std::string_view payload, bool sync) {
+  Require(fd_ >= 0, "LogWriter::Append: moved-from writer");
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32(payload));
+  frame.append(payload);
+  if (!FaultedWriteAll(fd_, frame.data(), frame.size())) {
+    return Status::Error("blob_io: log append failed");
+  }
+  if (sync && ::fsync(fd_) != 0) {
+    return Status::Error("blob_io: log fsync failed");
+  }
+  return Status::Ok();
+}
+
+void ResetFaultInjectionForTesting() { LoadCrashBudget(); }
+
+}  // namespace spanners

@@ -1,0 +1,190 @@
+/// \file blob_io.hpp
+/// \brief Offset-based on-disk blobs and append-only record logs (DESIGN.md
+/// §1.13).
+///
+/// The durable building blocks of the persistent-epoch architecture
+/// (src/slp/slp_serialize.*, src/store/persist.*):
+///
+///  * BlobWriter -- assembles named sections and writes one *blob*: a fixed
+///    little-endian header, a CRC32-protected section table, then the
+///    section payloads at 8-byte-aligned offsets, each with its own CRC32.
+///    Files land atomically (written to a sibling ".tmp", fsync'd, renamed
+///    over the target, directory fsync'd), so a reader never observes a
+///    half-written blob.
+///  * MappedBlob -- opens a blob read-only via mmap. Open() validates only
+///    the header and the section table (O(size-of-header) work, the lazy
+///    property the store's snapshot-open path relies on); section payload
+///    CRCs are verified on demand with VerifySection / VerifyAll.
+///  * LogWriter / ReadLog -- an append-only record log: a small header
+///    identifying the snapshot lineage it extends, then length-prefixed,
+///    CRC32'd records, each fsync'd before the append returns. ReadLog
+///    stops at the first torn or corrupt record and reports the byte offset
+///    of the durable prefix, which recovery truncates back to.
+///
+/// Fault injection: when SPANNERS_CRASH_AFTER_BYTES=N is set, the process
+/// _exit()s mid-write after N file bytes have been written through this
+/// layer (counted process-wide, the partial prefix of the crossing write is
+/// flushed first) -- a deterministic torn-write generator for the
+/// crash-recovery tests (tests/persist_test.cpp, CI crash-recovery job).
+///
+/// All integers are little-endian on disk; the implementation static_asserts
+/// a little-endian host (every supported target).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// CRC-32 (IEEE 802.3, reflected) of \p bytes, seeded with \p seed (pass the
+/// previous return value to continue a running checksum).
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
+/// Little-endian append helpers used by every serializer.
+void AppendU8(std::string* out, uint8_t value);
+void AppendU32(std::string* out, uint32_t value);
+void AppendU64(std::string* out, uint64_t value);
+
+/// Little-endian cursor over a serialized buffer. Reads past the end are
+/// caller-data errors: ok() turns false and every later read returns 0.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  /// The next \p count raw bytes (empty + !ok() when short).
+  std::string_view ReadBytes(std::size_t count);
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t position_ = 0;
+  bool ok_ = true;
+};
+
+/// Builds a blob in memory and writes it atomically.
+class BlobWriter {
+ public:
+  /// Adds section \p name (at most 15 bytes, unique within the blob).
+  void AddSection(std::string_view name, std::string payload);
+
+  /// Serializes header + table + payloads into one buffer (deterministic:
+  /// the same sections always produce the same bytes).
+  std::string Finish() const;
+
+  /// Finish() + atomic file write: <path>.tmp, fsync, rename, fsync(dir).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct PendingSection {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+/// A blob opened read-only. The mapping (or, on exotic platforms, the
+/// in-memory copy) stays valid for the lifetime of this object; zero-copy
+/// consumers (the mapped SLP arena) keep a shared_ptr to it.
+class MappedBlob {
+ public:
+  struct Section {
+    std::string_view name;   ///< points into the mapping
+    std::string_view bytes;  ///< payload, points into the mapping
+    uint32_t crc32 = 0;      ///< expected payload checksum
+  };
+
+  /// Opens and validates header + section table only: O(header + table)
+  /// regardless of payload sizes. Section payloads are *not* checksummed
+  /// here -- call VerifySection / VerifyAll when integrity matters more
+  /// than open latency.
+  static Expected<std::shared_ptr<MappedBlob>> Open(const std::string& path);
+
+  ~MappedBlob();
+
+  MappedBlob(const MappedBlob&) = delete;
+  MappedBlob& operator=(const MappedBlob&) = delete;
+
+  /// The section named \p name, or nullptr.
+  const Section* Find(std::string_view name) const;
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Checks one section's payload CRC. O(section size).
+  Status VerifySection(const Section& section) const;
+
+  /// Checks every section payload. O(file size).
+  Status VerifyAll() const;
+
+  std::size_t file_size() const { return size_; }
+
+ private:
+  MappedBlob() = default;
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;          ///< mmap (true) vs owned heap copy (false)
+  std::string owned_;            ///< fallback storage when !mapped_
+  std::vector<Section> sections_;
+};
+
+/// One record of a log file (payload only; framing is internal).
+struct LogRecord {
+  std::string payload;
+};
+
+/// What ReadLog recovered from a log file.
+struct LogContents {
+  std::string header_payload;      ///< the lineage header the log was created with
+  std::vector<LogRecord> records;  ///< every intact record, in append order
+  std::size_t durable_bytes = 0;   ///< file prefix covered by intact records
+  bool torn_tail = false;          ///< trailing bytes past durable_bytes exist
+};
+
+/// Reads a record log. A missing file is an error; an empty or torn file
+/// recovers the longest intact prefix (torn_tail notes that bytes were
+/// dropped). Corruption *before* the tail (a bad header) is an error.
+Expected<LogContents> ReadLog(const std::string& path);
+
+/// Appends CRC-framed records to a log file, fsync'ing each append before
+/// returning (the write-ahead durability point of DocumentStore::Commit).
+class LogWriter {
+ public:
+  /// Opens \p path for appending. A new (or truncated) file is started with
+  /// \p header_payload; an existing one must carry the same header --
+  /// recovery reads it back with ReadLog first and truncates the torn tail
+  /// via \p resume_at_bytes (pass LogContents::durable_bytes).
+  static Expected<LogWriter> Create(const std::string& path,
+                                    std::string_view header_payload);
+  static Expected<LogWriter> Resume(const std::string& path,
+                                    std::size_t resume_at_bytes);
+
+  LogWriter(LogWriter&& other) noexcept;
+  LogWriter& operator=(LogWriter&& other) noexcept;
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one record; when \p sync, fsyncs before returning.
+  Status Append(std::string_view payload, bool sync);
+
+ private:
+  explicit LogWriter(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Testing hook: re-reads SPANNERS_CRASH_AFTER_BYTES and resets the
+/// process-wide written-byte counter (the env var is otherwise read once).
+void ResetFaultInjectionForTesting();
+
+}  // namespace spanners

@@ -8,6 +8,8 @@
 // kDifferentialIterations below to stamp the sweep size into its report.
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "engine/session.hpp"
 #include "slp/avl_grammar.hpp"
 #include "slp/slp.hpp"
+#include "store/persist.hpp"
 #include "store/store.hpp"
 #include "testing/cde_model.hpp"
 #include "testing/generators.hpp"
@@ -203,19 +206,35 @@ TEST(DifferentialSweep, AlgebraAndEngineAgreeWithOracle) {
 
 TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
   RngDecisions decisions(0xcde'5709'eull);
+  // Persistence choices draw from their own stream so the generated scripts
+  // (and thus the sweep's mutation coverage) are identical to what the
+  // non-durable version of this test exercised.
+  RngDecisions persistence(0xd15c'0a7aull);
   CdeScriptOptions options;
   options.num_batches = kCdeBatchesPerScript;
 
   int batches = 0;
+  int reopens = 0;
   for (int s = 0; s < kCdeScriptCount; ++s) {
     const CdeScript script = RandomCdeScript(decisions, options);
     SCOPED_TRACE("script:\n" + script.ToString());
+
+    // Every script runs against a *persistent* store so the sweep also
+    // differentials the durability layer: eager GC makes most commits roll a
+    // snapshot blob, and random reopens replay the commit-log tail.
+    const std::string dir =
+        ::testing::TempDir() + "/spanners_diff_store_" + std::to_string(s);
+    std::remove(SnapshotPath(dir).c_str());  // stale state from earlier runs
+    std::remove(WalPath(dir).c_str());
 
     StoreOptions store_options;
     store_options.threads = 1;
     store_options.gc_min_garbage_ratio = 0.0;  // compact eagerly: GC under test
     store_options.gc_min_garbage_nodes = 1;
-    DocumentStore store(store_options);
+    Expected<std::unique_ptr<DocumentStore>> opened =
+        DocumentStore::Open(dir, store_options);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    std::unique_ptr<DocumentStore> store = std::move(*opened);
     ModelStore model;
 
     for (std::size_t b = 0; b < script.batches.size(); ++b) {
@@ -229,7 +248,7 @@ TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
           case ModelOp::Kind::kDrop: batch.Drop(op.doc); break;
         }
       }
-      const Expected<CommitReceipt> receipt = store.Commit(batch);
+      const Expected<CommitReceipt> receipt = store->Commit(batch);
       const ModelCommitResult expected = model.Commit(script.batches[b]);
       ++batches;
 
@@ -241,7 +260,19 @@ TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
       EXPECT_EQ(receipt->version, expected.version);
       ASSERT_EQ(receipt->created, expected.created);
 
-      const StoreSnapshot snapshot = store.Snapshot();
+      // Roughly every third batch: drop the store mid-script and reopen the
+      // directory -- recovery must reproduce the model's state exactly.
+      if (persistence.Below(3) == 0) {
+        const uint64_t version_before = store->Snapshot().version();
+        store.reset();
+        opened = DocumentStore::Open(dir, store_options);
+        ASSERT_TRUE(opened.ok()) << opened.error();
+        store = std::move(*opened);
+        EXPECT_EQ(store->Snapshot().version(), version_before);
+        ++reopens;
+      }
+
+      const StoreSnapshot snapshot = store->Snapshot();
       const std::vector<uint64_t> live = model.LiveIds();
       ASSERT_EQ(snapshot.num_documents(), live.size());
       for (const uint64_t id : live) {
@@ -252,6 +283,7 @@ TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
     }
   }
   EXPECT_EQ(batches, kCdeScriptCount * kCdeBatchesPerScript);
+  EXPECT_GT(reopens, 0);
 }
 
 // --- snapshot isolation, checked offline -------------------------------------
