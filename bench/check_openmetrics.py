@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition produced by the spanners exporter.
+
+Checks (DESIGN.md §1.14):
+  - the file terminates with the mandatory ``# EOF`` line;
+  - every sample line parses and its metric name matches the OpenMetrics
+    name grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+  - every sample belongs to a family announced by a preceding ``# TYPE``
+    line, and families are contiguous (no interleaving);
+  - counter samples carry the ``_total`` suffix;
+  - histogram families expose ``_bucket{le=...}`` samples with strictly
+    increasing ``le`` thresholds and non-decreasing cumulative counts,
+    exactly one ``+Inf`` bucket in last position, plus ``_sum`` and
+    ``_count`` samples with ``+Inf`` bucket == ``_count``.
+
+Usage:
+  python3 bench/check_openmetrics.py METRICS_FILE \
+      [--require-nonzero PREFIX]...
+
+``--require-nonzero spanners_wal_`` demands at least one sample whose name
+starts with the prefix and whose value is > 0 -- CI uses this to prove the
+serving workload actually exercised the WAL/SLO/planner paths, not just
+that the series exist.
+
+Exit status: 0 on success, 1 with one line per problem on stderr otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  |  name value   (we never emit timestamps)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+?Inf|NaN))$"
+)
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<type>counter|gauge|histogram)$")
+LE_RE = re.compile(r'le="(?P<le>[^"]*)"')
+
+SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+
+
+def family_of(name):
+    """Sample name -> family name (strip the typed suffix if present)."""
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(path, require_nonzero):
+    problems = []
+    with open(path, "r", encoding="utf-8") as f:
+        raw = f.read()
+    if not raw.endswith("# EOF\n"):
+        problems.append("missing terminating '# EOF' line")
+    lines = raw.splitlines()
+
+    types = {}          # family -> declared type
+    order = []          # families in declaration order
+    samples = {}        # family -> [(name, labels, value)]
+    current_family = None
+    closed = set()      # families we already moved past
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: '# EOF' before end of file")
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            name = m.group("name")
+            if not NAME_RE.match(name):
+                problems.append(f"line {lineno}: invalid metric name {name!r}")
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name!r}")
+            types[name] = m.group("type")
+            order.append(name)
+            if current_family is not None:
+                closed.add(current_family)
+            current_family = name
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        # A full-name TYPE match wins over suffix stripping: a gauge may
+        # legitimately be named ..._total (e.g. spanners_store_nodes_total).
+        family = name if name in types else family_of(name)
+        if family not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE line")
+            continue
+        if family != current_family:
+            if family in closed:
+                problems.append(
+                    f"line {lineno}: family {family!r} interleaved with others")
+            else:
+                problems.append(
+                    f"line {lineno}: sample {name!r} outside its TYPE block")
+        samples.setdefault(family, []).append(
+            (name, m.group("labels") or "", m.group("value")))
+
+    for family in order:
+        rows = samples.get(family, [])
+        kind = types[family]
+        if kind == "counter":
+            for name, _, _ in rows:
+                if name != family + "_total":
+                    problems.append(
+                        f"counter {family!r}: sample {name!r} lacks _total")
+        elif kind == "gauge":
+            for name, _, _ in rows:
+                if name != family:
+                    problems.append(
+                        f"gauge {family!r}: unexpected sample {name!r}")
+        elif kind == "histogram":
+            problems.extend(check_histogram(family, rows))
+
+    for prefix in require_nonzero:
+        if not any(
+            float(value) > 0
+            for rows in samples.values()
+            for name, _, value in rows
+            if name.startswith(prefix) and value not in ("+Inf", "Inf", "NaN")
+        ):
+            problems.append(
+                f"--require-nonzero {prefix!r}: no sample with value > 0")
+    return problems
+
+
+def check_histogram(family, rows):
+    problems = []
+    buckets = []  # (le_float, count)
+    inf_count = None
+    count = None
+    has_sum = False
+    for name, labels, value in rows:
+        if name == family + "_bucket":
+            m = LE_RE.search(labels)
+            if not m:
+                problems.append(f"histogram {family!r}: bucket without le label")
+                continue
+            le = m.group("le")
+            if le == "+Inf":
+                if inf_count is not None:
+                    problems.append(f"histogram {family!r}: duplicate +Inf bucket")
+                inf_count = int(float(value))
+            else:
+                if inf_count is not None:
+                    problems.append(
+                        f"histogram {family!r}: finite bucket after +Inf")
+                buckets.append((float(le), int(float(value))))
+        elif name == family + "_sum":
+            has_sum = True
+        elif name == family + "_count":
+            count = int(float(value))
+        else:
+            problems.append(f"histogram {family!r}: unexpected sample {name!r}")
+    if inf_count is None:
+        problems.append(f"histogram {family!r}: missing +Inf bucket")
+    if count is None:
+        problems.append(f"histogram {family!r}: missing _count")
+    if not has_sum:
+        problems.append(f"histogram {family!r}: missing _sum")
+    for i in range(1, len(buckets)):
+        if buckets[i][0] <= buckets[i - 1][0]:
+            problems.append(
+                f"histogram {family!r}: le thresholds not strictly increasing")
+        if buckets[i][1] < buckets[i - 1][1]:
+            problems.append(
+                f"histogram {family!r}: cumulative counts decreased at "
+                f"le={buckets[i][0]:g}")
+    if buckets and inf_count is not None and inf_count < buckets[-1][1]:
+        problems.append(f"histogram {family!r}: +Inf below last finite bucket")
+    if inf_count is not None and count is not None and inf_count != count:
+        problems.append(
+            f"histogram {family!r}: +Inf bucket ({inf_count}) != _count ({count})")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_file")
+    parser.add_argument(
+        "--require-nonzero", action="append", default=[], metavar="PREFIX",
+        help="require >=1 sample with this name prefix and value > 0")
+    args = parser.parse_args()
+
+    problems = check(args.metrics_file, args.require_nonzero)
+    if problems:
+        for problem in problems:
+            print(f"check_openmetrics: {problem}", file=sys.stderr)
+        return 1
+    print(f"check_openmetrics: {args.metrics_file} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,16 @@
-// Shared command-line handling for the examples (DESIGN.md §1.9): every
-// example accepts --stats (print the metrics snapshot and, when
+// Shared command-line handling for the examples (DESIGN.md §1.9, §1.14):
+// every example accepts --stats (print the metrics snapshot and, when
 // SPANNERS_TRACE=spans, the aggregated span report at exit); quickstart
-// additionally accepts --explain, store_service --snapshot-dir=PATH. Flags
-// are stripped before positional arguments are read, so
+// additionally accepts --explain, store_service --snapshot-dir=PATH plus the
+// observability flags --metrics-out=PATH (OpenMetrics file, atomically
+// rewritten), --stats-interval=SECONDS (periodic interval-delta lines),
+// --flight-dump=N (last-N flight-recorder events at exit) and
+// --slo-delay-steps=N (delay-SLO budget). Flags are stripped before
+// positional arguments are read, so
 // `example_quickstart '{x: a*}b' aab --stats` works.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -20,6 +25,10 @@ struct ExampleFlags {
   bool stats = false;
   bool explain = false;
   std::string snapshot_dir;  ///< --snapshot-dir=PATH (empty = ephemeral)
+  std::string metrics_out;   ///< --metrics-out=PATH (empty = no exporter)
+  unsigned stats_interval_s = 0;   ///< --stats-interval=SECONDS (0 = off)
+  unsigned flight_dump = 0;        ///< --flight-dump=N events at exit
+  unsigned slo_delay_steps = 0;    ///< --slo-delay-steps=N budget (0 = off)
   std::vector<char*> positional;  ///< argv[0] plus non-flag arguments
 
   /// Positional argument \p i (0 = program name), or \p fallback.
@@ -37,6 +46,17 @@ inline ExampleFlags ParseExampleFlags(int argc, char** argv) {
       flags.explain = true;
     } else if (i > 0 && std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
       flags.snapshot_dir = argv[i] + 15;
+    } else if (i > 0 && std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      flags.metrics_out = argv[i] + 14;
+    } else if (i > 0 && std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+      flags.stats_interval_s =
+          static_cast<unsigned>(std::strtoul(argv[i] + 17, nullptr, 10));
+    } else if (i > 0 && std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
+      flags.flight_dump =
+          static_cast<unsigned>(std::strtoul(argv[i] + 14, nullptr, 10));
+    } else if (i > 0 && std::strncmp(argv[i], "--slo-delay-steps=", 18) == 0) {
+      flags.slo_delay_steps =
+          static_cast<unsigned>(std::strtoul(argv[i] + 18, nullptr, 10));
     } else {
       flags.positional.push_back(argv[i]);
     }

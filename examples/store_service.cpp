@@ -12,28 +12,112 @@
 // saved at exit. Run it twice with the same PATH to watch recovery resume
 // from the previous run's final version.
 //
+// Observability (DESIGN.md §1.14): --metrics-out=PATH keeps an OpenMetrics
+// file fresh while the service runs (scrape it, or cat it after exit),
+// --stats-interval=SECONDS prints one interval-delta line per tick,
+// --flight-dump=N prints the last N flight-recorder events at exit, and
+// --slo-delay-steps=N arms the enumeration delay watchdog.
+//
 //   ./build/examples/example_store_service [readers] [commits]
-//       [--snapshot-dir=PATH] [--stats]
+//       [--snapshot-dir=PATH] [--metrics-out=PATH] [--stats-interval=SECONDS]
+//       [--flight-dump=N] [--slo-delay-steps=N] [--stats]
 //
 // Build: cmake --build build && ./build/examples/example_store_service
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/session.hpp"
 #include "example_util.hpp"
 #include "store/store.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/metrics_export.hpp"
 #include "util/random.hpp"
+#include "util/slo.hpp"
 
 using namespace spanners;
+
+namespace {
+
+/// Prints one compact line per tick describing what changed since the last
+/// tick -- commit/query rates plus mean WAL-append and query latency over
+/// the window (HistogramStats::Since under the hood via SnapshotDelta).
+class IntervalReporter {
+ public:
+  explicit IntervalReporter(std::chrono::seconds interval)
+      : interval_(interval), last_(MetricsRegistry::Global().Snapshot()),
+        thread_([this] { Run(); }) {}
+
+  ~IntervalReporter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Tick();  // flush the final partial window
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      Tick();
+    }
+  }
+
+  void Tick() {
+    const MetricsSnapshot now = MetricsRegistry::Global().Snapshot();
+    const MetricsSnapshot delta = SnapshotDelta(now, last_);
+    last_ = now;
+    std::cout << "[interval] commits=" << delta.counter("store.commits")
+              << " queries=" << delta.counter("store.queries")
+              << " wal_appends=" << delta.counter("wal.appends")
+              << " wal_append_mean_ns=" << WindowMean(delta, "wal.append_ns")
+              << " query_mean_ns=" << WindowMean(delta, "store.query_ns")
+              << " slo_violations=" << delta.counter("slo.delay.violations")
+              << std::endl;
+  }
+
+  static uint64_t WindowMean(const MetricsSnapshot& delta,
+                             const std::string& name) {
+    const auto it = delta.histograms.find(name);
+    if (it == delta.histograms.end() || it->second.count == 0) return 0;
+    return it->second.sum / it->second.count;
+  }
+
+  const std::chrono::seconds interval_;
+  MetricsSnapshot last_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const ExampleFlags flags = ParseExampleFlags(argc, argv);
   const int num_readers = std::atoi(flags.Arg(1, "4"));
   const int num_commits = std::atoi(flags.Arg(2, "200"));
+
+  if (flags.slo_delay_steps > 0) SetDelaySloBudgetSteps(flags.slo_delay_steps);
+  std::unique_ptr<MetricsFileFlusher> exporter;
+  if (!flags.metrics_out.empty()) {
+    exporter = std::make_unique<MetricsFileFlusher>(
+        flags.metrics_out, std::chrono::milliseconds(1000));
+  }
+  std::unique_ptr<IntervalReporter> reporter;
+  if (flags.stats_interval_s > 0) {
+    reporter = std::make_unique<IntervalReporter>(
+        std::chrono::seconds(flags.stats_interval_s));
+  }
 
   // GC thresholds low enough that the edit stream triggers several
   // generational compactions while readers hold old epochs alive.
@@ -162,6 +246,17 @@ int main(int argc, char** argv) {
     std::cout << "saved snapshot at version " << stats.version << " ("
               << stats.wal_records << " log records compacted away) to "
               << flags.snapshot_dir << "\n";
+  }
+  if (flags.flight_dump > 0) {
+    std::cout << "--- flight recorder (last " << flags.flight_dump
+              << " events) ---\n"
+              << FlightRecorder::Global().ToString(flags.flight_dump);
+  }
+  reporter.reset();  // final interval line before the exporter's last flush
+  if (exporter) {
+    const std::string out = exporter->path();
+    exporter.reset();  // destructor flushes the final snapshot
+    std::cout << "metrics exported to " << out << "\n";
   }
   if (flags.stats) PrintExampleStats();
   return isolation_violations.load() == 0 && read_errors.load() == 0 ? 0 : 1;

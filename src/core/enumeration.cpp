@@ -4,6 +4,7 @@
 
 #include "util/common.hpp"
 #include "util/metrics.hpp"
+#include "util/slo.hpp"
 #include "util/trace.hpp"
 
 namespace spanners {
@@ -195,6 +196,7 @@ std::optional<SpanTuple> Enumerator::Next() {
       if (MetricsEnabled()) {
         EnumMetrics::Get().tuples.Increment();
         EnumMetrics::Get().delay_steps.Record(last_delay_steps_);
+        CheckDelaySlo(last_delay_steps_);
       }
       return tuple;
     }

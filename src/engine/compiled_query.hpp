@@ -19,6 +19,8 @@
 /// over many documents concurrently (engine/session.hpp).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -101,6 +103,30 @@ class CompiledQuery {
   };
   PreparedState prepared() const;
 
+  /// One stack's observed evaluation cost on this query (cumulative).
+  struct ObservedEval {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+  };
+
+  /// Folds one evaluation's wall time into the per-stack tally. Called by
+  /// the session after every timed evaluation (MetricsEnabled() only); the
+  /// same number feeds the session's online cost model
+  /// (engine/cost_model.hpp). Relaxed atomics: tallies may race snapshots,
+  /// never tear.
+  void RecordEval(PlanKind kind, uint64_t eval_ns) const {
+    const std::size_t i = static_cast<std::size_t>(kind);
+    eval_counts_[i].fetch_add(1, std::memory_order_relaxed);
+    eval_total_ns_[i].fetch_add(eval_ns, std::memory_order_relaxed);
+  }
+
+  /// The cumulative observed cost of running \p kind on this query.
+  ObservedEval observed_eval(PlanKind kind) const {
+    const std::size_t i = static_cast<std::size_t>(kind);
+    return {eval_counts_[i].load(std::memory_order_relaxed),
+            eval_total_ns_[i].load(std::memory_order_relaxed)};
+  }
+
  private:
   CompiledQuery() = default;
 
@@ -118,6 +144,10 @@ class CompiledQuery {
   mutable uint64_t normal_prep_ns_ = 0;
   mutable std::unique_ptr<SlpSpannerEvaluator> slp_eval_;
   mutable std::mutex slp_mutex_;  ///< serialises the stateful SLP evaluator
+
+  /// Per-PlanKind observed evaluation tallies (RecordEval / observed_eval).
+  mutable std::array<std::atomic<uint64_t>, 4> eval_counts_{};
+  mutable std::array<std::atomic<uint64_t>, 4> eval_total_ns_{};
 };
 
 }  // namespace spanners

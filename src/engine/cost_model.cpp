@@ -1,0 +1,94 @@
+#include "engine/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spanners {
+
+FeatureBucket FeatureBucket::Of(const QueryFeatures& query,
+                                const DocumentProfile& document) {
+  FeatureBucket bucket;
+  uint8_t decade = 0;
+  for (uint64_t scale = 10; scale <= document.length + 1 && decade < 19;
+       scale *= 10) {
+    ++decade;
+  }
+  bucket.size_decade = decade;
+  if (document.kind == DocumentKind::kCompressed) {
+    const double ratio = document.compression_ratio < 1.0
+                             ? 1.0
+                             : document.compression_ratio;
+    const int band = static_cast<int>(std::log2(ratio));
+    bucket.ratio_band = static_cast<uint8_t>(1 + std::min(band, 14));
+  }
+  const uint8_t vars =
+      static_cast<uint8_t>(std::min<std::size_t>(query.num_variables, 3));
+  bucket.query_class = vars | (query.num_selections > 0 ? 0x4 : 0) |
+                       (query.from_expression ? 0x8 : 0);
+  return bucket;
+}
+
+std::string FeatureBucket::ToString() const {
+  return "d" + std::to_string(size_decade) + "/r" + std::to_string(ratio_band) +
+         "/q" + std::to_string(query_class);
+}
+
+std::vector<PlanKind> AdaptiveCandidates(const QueryFeatures& query) {
+  if (query.has_references) return {PlanKind::kRefl};
+  if (query.from_expression) {
+    return {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kSlpMatrix};
+  }
+  return {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+          PlanKind::kSlpMatrix};
+}
+
+void CostModel::Observe(PlanKind plan, const FeatureBucket& bucket,
+                        uint64_t eval_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Cell& cell = cells_[{bucket.Pack(), plan}];
+  if (cell.samples == 0) {
+    cell.ewma_ns = static_cast<double>(eval_ns);
+  } else {
+    cell.ewma_ns += kEwmaAlpha * (static_cast<double>(eval_ns) - cell.ewma_ns);
+  }
+  ++cell.samples;
+  ++observations_;
+}
+
+std::optional<PlanKind> CostModel::Rank(
+    const FeatureBucket& bucket, const std::vector<PlanKind>& candidates,
+    std::vector<PredictedPlanCost>* predicted) const {
+  std::vector<PredictedPlanCost> costs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PlanKind kind : candidates) {
+      const auto it = cells_.find({bucket.Pack(), kind});
+      if (it == cells_.end() || it->second.samples == 0) continue;
+      costs.push_back({kind, it->second.ewma_ns, it->second.samples});
+    }
+  }
+  std::sort(costs.begin(), costs.end(),
+            [](const PredictedPlanCost& a, const PredictedPlanCost& b) {
+              return a.ewma_ns < b.ewma_ns;
+            });
+  if (predicted != nullptr) *predicted = costs;
+
+  std::size_t trusted = 0;
+  for (const PredictedPlanCost& cost : costs) {
+    if (cost.samples >= kMinSamplesPerPlan) ++trusted;
+  }
+  if (trusted < 2) return std::nullopt;
+  // The winner is the cheapest *trusted* candidate: an undersampled cell may
+  // sort first on a lucky run but cannot be preferred yet.
+  for (const PredictedPlanCost& cost : costs) {
+    if (cost.samples >= kMinSamplesPerPlan) return cost.kind;
+  }
+  return std::nullopt;
+}
+
+uint64_t CostModel::observations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observations_;
+}
+
+}  // namespace spanners

@@ -1,0 +1,105 @@
+/// \file cost_model.hpp
+/// \brief Online cost model for feedback-directed planning (DESIGN.md §1.14).
+///
+/// The static rule list in planner.cpp encodes the *expected* cost
+/// asymmetries of the four evaluation stacks; this model learns the
+/// *observed* ones. Every evaluation's wall time (the eval_ns already
+/// recorded on CompiledQuery) is folded into an EWMA keyed by
+/// (PlanKind x FeatureBucket), where a FeatureBucket coarsens the planner's
+/// inputs -- document-size decade, compression-ratio band, and a small
+/// vars/selections query class -- so that structurally similar workloads
+/// share statistics. Once a bucket has >= kMinSamplesPerPlan observations
+/// for >= 2 candidate stacks, Rank() returns the cheapest observed stack and
+/// Session::PlanFor prefers it over the static rules (which remain the
+/// cold-start fallback; forced plans always win).
+///
+/// The model is deliberately small and lock-based: Observe/Rank take a
+/// mutex, but both sit outside the enumeration hot loop (once per query, and
+/// only when MetricsEnabled()), so SPANNERS_TRACE=off pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/planner.hpp"
+
+namespace spanners {
+
+/// A coarse workload class. Two queries in the same bucket are assumed to
+/// have comparable evaluation costs per stack.
+struct FeatureBucket {
+  uint8_t size_decade = 0;  ///< floor(log10(length + 1)): 0, 1=10s, 2=100s...
+  uint8_t ratio_band = 0;   ///< 0 = plain; 1 + floor(log2(ratio)) compressed
+  uint8_t query_class = 0;  ///< bits 0-1 min(vars,3); bit 2 selections>0;
+                            ///< bit 3 from_expression
+
+  static FeatureBucket Of(const QueryFeatures& query,
+                          const DocumentProfile& document);
+
+  /// The bucket as one integer (flight-recorder events, map keys).
+  uint32_t Pack() const {
+    return static_cast<uint32_t>(size_decade) |
+           (static_cast<uint32_t>(ratio_band) << 8) |
+           (static_cast<uint32_t>(query_class) << 16);
+  }
+
+  /// Compact id for ExplainPlan, e.g. "d3/r1/q2": size decade 3,
+  /// ratio band 1, query class 2.
+  std::string ToString() const;
+
+  friend bool operator==(const FeatureBucket&, const FeatureBucket&) = default;
+};
+
+/// The stacks worth learning for a query shape: references pin kRefl;
+/// expression queries cannot run the (pattern-only) refl stack; patterns
+/// may run everything. The SLP-matrix stack evaluates plain documents too
+/// (the session compresses on demand), so it stays a candidate everywhere.
+std::vector<PlanKind> AdaptiveCandidates(const QueryFeatures& query);
+
+/// The per-(bucket x plan) EWMA table.
+class CostModel {
+ public:
+  /// K: observations a (bucket, plan) cell needs before Rank trusts it.
+  static constexpr uint64_t kMinSamplesPerPlan = 8;
+
+  /// EWMA weight of a new observation. 0.25 converges within ~8 samples yet
+  /// still rides workload drift.
+  static constexpr double kEwmaAlpha = 0.25;
+
+  CostModel() = default;
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+
+  /// Folds one observed evaluation time into the (bucket, plan) cell.
+  void Observe(PlanKind plan, const FeatureBucket& bucket, uint64_t eval_ns);
+
+  /// Ranks \p candidates by learned cost. Returns the cheapest plan iff at
+  /// least two candidates have >= kMinSamplesPerPlan observations in this
+  /// bucket (one-sided data proves nothing about the alternatives);
+  /// otherwise nullopt, and the caller falls back to the static rules.
+  /// When \p predicted is non-null it receives every candidate's cell that
+  /// has at least one sample, cheapest first -- regardless of the verdict --
+  /// so ExplainPlan can show the model's state mid-warm-up.
+  std::optional<PlanKind> Rank(const FeatureBucket& bucket,
+                               const std::vector<PlanKind>& candidates,
+                               std::vector<PredictedPlanCost>* predicted) const;
+
+  /// Total Observe() calls (tests, reports).
+  uint64_t observations() const;
+
+ private:
+  struct Cell {
+    double ewma_ns = 0.0;
+    uint64_t samples = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<uint32_t, PlanKind>, Cell> cells_;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace spanners

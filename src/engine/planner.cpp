@@ -1,5 +1,6 @@
 #include "engine/planner.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace spanners {
@@ -122,6 +123,19 @@ std::string ExplainPlan(const Plan& plan, const QueryFeatures& query,
     }
   }
   os << "\n";
+  if (!plan.predicted.empty()) {
+    os << "predicted:";
+    bool first = true;
+    for (const PredictedPlanCost& cost : plan.predicted) {
+      char cell[96];
+      std::snprintf(cell, sizeof(cell), "%s %s=%.0fns/%llu",
+                    first ? "" : ";", std::string(PlanKindName(cost.kind)).c_str(),
+                    cost.ewma_ns, static_cast<unsigned long long>(cost.samples));
+      os << cell;
+      first = false;
+    }
+    os << "\n";
+  }
   os << "query: source=" << (query.from_expression ? "expr" : "pattern")
      << " vars=" << query.num_variables << " ast=" << query.ast_size
      << " refs=" << (query.has_references ? "y" : "n")

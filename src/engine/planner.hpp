@@ -57,12 +57,22 @@ struct RejectedCandidate {
   std::string reason;  ///< why this stack lost, e.g. "document is plain"
 };
 
+/// One candidate's learned cost from the online model (engine/cost_model.hpp),
+/// surfaced through Plan::predicted and ExplainPlan.
+struct PredictedPlanCost {
+  PlanKind kind = PlanKind::kEdva;
+  double ewma_ns = 0.0;   ///< EWMA of observed eval_ns in this feature bucket
+  uint64_t samples = 0;   ///< observations behind the estimate
+};
+
 /// A planning decision plus the provenance ExplainPlan reports.
 struct Plan {
   PlanKind kind = PlanKind::kEdva;
   std::string rule;         ///< id of the rule that fired, e.g. "compressed-slp"
   bool from_cache = false;  ///< filled in by the session's plan cache
   std::vector<RejectedCandidate> rejected;  ///< the stacks not chosen, with reasons
+  std::vector<PredictedPlanCost> predicted; ///< cost-model state, cheapest first
+                                            ///< (empty before any observation)
 };
 
 /// Document length at or below which a one-shot naive DFS beats paying for

@@ -6,6 +6,8 @@
 
 #include "store/prepared_cache.hpp"
 #include "store/snapshot.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/slo.hpp"
 
 namespace spanners {
 namespace {
@@ -21,6 +23,10 @@ struct SessionMetrics {
   Counter& plan_cache_hits;
   Counter& plan_cache_misses;
   Counter& batches;
+  Counter& forced_plans;
+  Counter& adaptive_decisions;
+  Counter& adaptive_fallbacks;
+  Counter& adaptive_flips;
   Histogram& batch_documents;
   Histogram& eval_ns;
 
@@ -35,6 +41,10 @@ struct SessionMetrics {
         registry.GetCounter("engine.plan_cache.hits"),
         registry.GetCounter("engine.plan_cache.misses"),
         registry.GetCounter("engine.batches"),
+        registry.GetCounter("planner.forced"),
+        registry.GetCounter("planner.adaptive.decisions"),
+        registry.GetCounter("planner.adaptive.fallbacks"),
+        registry.GetCounter("planner.adaptive.flips"),
         registry.GetHistogram("engine.batch.documents"),
         registry.GetHistogram("engine.eval_ns"),
     };
@@ -62,8 +72,17 @@ Session::Session(EngineOptions options) : options_(std::move(options)) {
   if (!options_.force_plan.has_value()) {
     if (const char* env = std::getenv("SPANNERS_PLAN"); env != nullptr && *env != '\0') {
       options_.force_plan = PlanKindFromName(env);
+      force_from_env_ = options_.force_plan.has_value();
     }
   }
+  bool adaptive = options_.adaptive.value_or(true);
+  if (!options_.adaptive.has_value()) {
+    if (const char* env = std::getenv("SPANNERS_ADAPTIVE"); env != nullptr) {
+      const std::string_view value(env);
+      if (value == "off" || value == "0" || value == "false") adaptive = false;
+    }
+  }
+  adaptive_.store(adaptive, std::memory_order_relaxed);
   if (options_.threads == 0) options_.threads = 1;
 }
 
@@ -118,14 +137,46 @@ uint32_t Session::RepresentationSignature(const DocumentProfile& profile) {
 }
 
 Plan Session::PlanFor(const CompiledQuery& query, const Document& document) {
+  return PlanForProfile(query, document.Profile());
+}
+
+Plan Session::PlanForProfile(const CompiledQuery& query,
+                             const DocumentProfile& profile) {
   ScopedSpan span("session.plan");
-  const DocumentProfile profile = document.Profile();
   const auto key = std::make_pair(&query, RepresentationSignature(profile));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (options_.force_plan.has_value()) {
-      return {*options_.force_plan, "forced", false, {}};
+      if (MetricsEnabled()) SessionMetrics::Get().forced_plans.Increment();
+      return {*options_.force_plan,
+              force_from_env_ ? "forced(env)" : "forced(api)", false, {}, {}};
     }
+  }
+  // Feedback-directed choice: once the cost model has seen enough of this
+  // feature bucket, learned costs outrank both the static rules and the plan
+  // cache (a cached static decision must not mask a learned flip). Learning
+  // needs MetricsEnabled() -- with tracing off nothing was ever observed, so
+  // skip the model and keep the static path's exact cost.
+  if (adaptive_.load(std::memory_order_relaxed) && MetricsEnabled()) {
+    const FeatureBucket bucket = FeatureBucket::Of(query.features(), profile);
+    std::vector<PredictedPlanCost> predicted;
+    const std::optional<PlanKind> winner =
+        cost_model_.Rank(bucket, AdaptiveCandidates(query.features()), &predicted);
+    if (winner.has_value()) {
+      SessionMetrics::Get().adaptive_decisions.Increment();
+      Plan plan;
+      plan.kind = *winner;
+      plan.rule = "adaptive(" + bucket.ToString() + ")";
+      plan.predicted = std::move(predicted);
+      if (ChoosePlan(query.features(), profile).kind != *winner) {
+        SessionMetrics::Get().adaptive_flips.Increment();
+      }
+      return plan;
+    }
+    SessionMetrics::Get().adaptive_fallbacks.Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++plan_hits_;
@@ -150,7 +201,8 @@ Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
                                          const Document& document) {
   ScopedSpan span("session.evaluate");
   ScopedLatency latency(SessionMetrics::Get().eval_ns);
-  const Plan plan = PlanFor(query, document);
+  const DocumentProfile profile = document.Profile();
+  const Plan plan = PlanForProfile(query, profile);
   const Evaluator& evaluator = EvaluatorFor(plan.kind);
   Status supported = evaluator.Supports(query, document);
   if (!supported.ok()) {
@@ -159,7 +211,38 @@ Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
   }
   if (MetricsEnabled()) SessionMetrics::Get().evaluations.Increment();
   ScopedSpan eval_span("session.evaluate.run");
-  return evaluator.Evaluate(query, document);
+  const uint64_t start = MetricsEnabled() ? NowNanos() : 0;
+  SpanRelation result = evaluator.Evaluate(query, document);
+  if (start != 0) ObserveEval(query, profile, plan, NowNanos() - start);
+  return result;
+}
+
+void Session::ObserveEval(const CompiledQuery& query,
+                          const DocumentProfile& profile, const Plan& plan,
+                          uint64_t eval_ns) {
+  const PlanKind kind = plan.kind;
+  query.RecordEval(kind, eval_ns);
+  const FeatureBucket bucket = FeatureBucket::Of(query.features(), profile);
+  if (adaptive_.load(std::memory_order_relaxed)) {
+    cost_model_.Observe(kind, bucket, eval_ns);
+  }
+  FlightEvent event;
+  event.kind = FlightEvent::Kind::kQuery;
+  if (plan.from_cache) {
+    event.decision = FlightEvent::Decision::kCached;
+  } else if (plan.rule.starts_with("forced")) {
+    event.decision = FlightEvent::Decision::kForced;
+  } else if (plan.rule.starts_with("adaptive")) {
+    event.decision = FlightEvent::Decision::kAdaptive;
+  } else {
+    event.decision = FlightEvent::Decision::kStatic;
+  }
+  event.plan = static_cast<uint8_t>(kind);
+  event.cache_hit = plan.from_cache;
+  event.feature_bucket = bucket.Pack();
+  event.duration_ns = eval_ns;
+  event.delay_steps = LastObservedDelaySteps();
+  FlightRecorder::Global().Record(event);
 }
 
 Expected<SpanRelation> Session::Evaluate(std::string_view pattern,
@@ -182,7 +265,18 @@ Expected<SpanRelation> Session::EvaluateWithPlan(const CompiledQuery& query,
   }
   if (MetricsEnabled()) SessionMetrics::Get().evaluations.Increment();
   ScopedSpan eval_span("session.evaluate.run");
-  return evaluator.Evaluate(query, document);
+  // Explicit-plan runs still feed the cost model: the differential harness
+  // and forced sweeps are exactly the off-policy samples that let Rank()
+  // compare stacks the static rules would never pick.
+  const uint64_t start = MetricsEnabled() ? NowNanos() : 0;
+  SpanRelation result = evaluator.Evaluate(query, document);
+  if (start != 0) {
+    Plan plan;
+    plan.kind = kind;
+    plan.rule = "forced(api)";
+    ObserveEval(query, document.Profile(), plan, NowNanos() - start);
+  }
+  return result;
 }
 
 Expected<SpanRelation> Session::Evaluate(const CompiledQuery& query,
@@ -247,6 +341,17 @@ std::string Session::ExplainPlan(const CompiledQuery& query, const Document& doc
     report += " refl-nfa-states=" + std::to_string(state.refl_nfa_states);
   }
   report += "\n";
+  std::string per_plan;
+  for (PlanKind kind : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kRefl,
+                        PlanKind::kSlpMatrix}) {
+    const CompiledQuery::ObservedEval observed = query.observed_eval(kind);
+    if (observed.count == 0) continue;
+    if (!per_plan.empty()) per_plan += " ";
+    per_plan += std::string(PlanKindName(kind)) + "=" +
+                FormatNanos(observed.total_ns / observed.count) + "x" +
+                std::to_string(observed.count);
+  }
+  if (!per_plan.empty()) report += "query-eval: " + per_plan + "\n";
   const MetricsSnapshot snapshot = GetMetricsSnapshot();
   if (auto it = snapshot.histograms.find("engine.eval_ns");
       it != snapshot.histograms.end() && it->second.count > 0) {
@@ -294,6 +399,10 @@ MetricsSnapshot Session::GetMetricsSnapshot() const {
 
 Status Session::DumpTrace(const std::string& path) const {
   return Tracer::Global().WriteChromeTrace(path);
+}
+
+std::string Session::DumpFlightRecorder(std::size_t max_events) const {
+  return FlightRecorder::Global().ToString(max_events);
 }
 
 }  // namespace spanners

@@ -20,6 +20,7 @@
 /// planner; unsupported forced combinations surface as Expected errors.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "engine/compiled_query.hpp"
+#include "engine/cost_model.hpp"
 #include "engine/document.hpp"
 #include "engine/evaluator.hpp"
 #include "engine/planner.hpp"
@@ -49,6 +51,14 @@ struct EngineOptions {
   /// Bypass the planner: every evaluation uses this stack. Defaults to the
   /// SPANNERS_PLAN environment variable (a PlanKindName) when set.
   std::optional<PlanKind> force_plan;
+
+  /// Feedback-directed planning (engine/cost_model.hpp): once the session
+  /// has observed enough evaluations, plan choice ranks by learned cost
+  /// instead of the static rules. Defaults to on unless SPANNERS_ADAPTIVE
+  /// is "off"/"0"/"false". Learning requires MetricsEnabled(): with
+  /// SPANNERS_TRACE=off nothing is observed and the static rules keep
+  /// deciding at unchanged hot-path cost.
+  std::optional<bool> adaptive;
 
   /// Worker threads for EvaluateBatch (>= 1; 1 = sequential).
   std::size_t threads = ThreadPool::DefaultThreadCount();
@@ -109,6 +119,17 @@ class Session {
   void set_force_plan(std::optional<PlanKind> plan);
   std::optional<PlanKind> force_plan() const;
 
+  /// Feedback-directed planning on/off at runtime (EngineOptions::adaptive).
+  void set_adaptive(bool enabled) {
+    adaptive_.store(enabled, std::memory_order_relaxed);
+  }
+  bool adaptive() const { return adaptive_.load(std::memory_order_relaxed); }
+
+  /// The session's online cost model. Exposed so embedders and tests can
+  /// inject observations (CostModel::Observe) or inspect learned costs
+  /// without replaying a workload.
+  CostModel& cost_model() { return cost_model_; }
+
   std::size_t num_queries() const;
   std::size_t plan_cache_size() const;
   std::size_t plan_cache_hits() const;
@@ -128,12 +149,28 @@ class Session {
   /// errors are reported, never fatal.
   Status DumpTrace(const std::string& path) const;
 
+  /// The global flight recorder's recent events (util/flight_recorder.hpp),
+  /// one per line, oldest first -- the "last N queries" incident view.
+  std::string DumpFlightRecorder(std::size_t max_events = 64) const;
+
  private:
   /// Coarse representation signature for plan-cache keys: kind in bit 0,
   /// floor(log2(length + 1)) in bits 1..7, floor(log2(ratio)) + 32 above.
   static uint32_t RepresentationSignature(const DocumentProfile& profile);
 
+  /// PlanFor with the profile already computed (Evaluate computes it once
+  /// and shares it between planning and cost-model observation).
+  Plan PlanForProfile(const CompiledQuery& query, const DocumentProfile& profile);
+
+  /// Post-evaluation bookkeeping (MetricsEnabled() only): per-query tallies,
+  /// cost-model observation, flight-recorder event.
+  void ObserveEval(const CompiledQuery& query, const DocumentProfile& profile,
+                   const Plan& plan, uint64_t eval_ns);
+
   EngineOptions options_;
+  bool force_from_env_ = false;  ///< force_plan came from SPANNERS_PLAN
+  std::atomic<bool> adaptive_{true};
+  CostModel cost_model_;
   mutable std::mutex mutex_;  ///< guards everything below
   std::unordered_map<std::string, std::unique_ptr<CompiledQuery>> queries_;
   std::map<std::pair<const CompiledQuery*, uint32_t>, Plan> plan_cache_;

@@ -5,6 +5,7 @@
 #include "slp/slp_schedule.hpp"
 #include "util/common.hpp"
 #include "util/metrics.hpp"
+#include "util/slo.hpp"
 #include "util/trace.hpp"
 
 namespace spanners {
@@ -271,6 +272,7 @@ std::size_t SlpSpannerEvaluator::Evaluate(
     // tuples, expected O(depth * poly(Q)) -- flat in |D| for balanced SLPs.
     if (metrics != nullptr) {
       metrics->delay_steps.Record(last_delay_steps_);
+      CheckDelaySlo(last_delay_steps_);
     }
     if (!callback(tuple)) {
       ctx.stopped = true;

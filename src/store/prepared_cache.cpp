@@ -5,6 +5,7 @@
 #include "engine/document.hpp"
 #include "engine/evaluator.hpp"
 #include "engine/session.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -21,12 +22,29 @@ struct CacheMetrics {
       MetricsRegistry::Global().GetCounter("store.cache.evicted_bytes");
   Gauge& bytes = MetricsRegistry::Global().GetGauge("store.cache.bytes");
   Gauge& entries = MetricsRegistry::Global().GetGauge("store.cache.entries");
+  Histogram& query_ns = MetricsRegistry::Global().GetHistogram("store.query_ns");
 
   static CacheMetrics& Get() {
     static CacheMetrics metrics;
     return metrics;
   }
 };
+
+/// One flight-recorder event per store-path query. \p via_session is true
+/// when the session's planner ran the evaluation -- the session already
+/// recorded a kQuery event for it, so this one only adds the store-cache
+/// verdict.
+void RecordStoreQueryEvent(uint64_t duration_ns, bool cache_hit,
+                           bool via_session) {
+  if (via_session) return;
+  FlightEvent event;
+  event.kind = FlightEvent::Kind::kQuery;
+  event.decision = FlightEvent::Decision::kStore;
+  event.plan = static_cast<uint8_t>(PlanKind::kSlpMatrix);
+  event.cache_hit = cache_hit;
+  event.duration_ns = duration_ns;
+  FlightRecorder::Global().Record(event);
+}
 
 }  // namespace
 
@@ -61,6 +79,7 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
   const uint64_t arena = slp.arena_id();
   const ResultKey key{&query, arena, root};
   CacheMetrics& metrics = CacheMetrics::Get();
+  const uint64_t query_start = MetricsEnabled() ? NowNanos() : 0;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -68,7 +87,12 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
     if (it != results_.end()) {
       it->second->stamp = ++clock_;
       ++hits_;
-      if (MetricsEnabled()) metrics.hits.Increment();
+      if (MetricsEnabled()) {
+        metrics.hits.Increment();
+        const uint64_t elapsed = NowNanos() - query_start;
+        metrics.query_ns.Record(elapsed);
+        RecordStoreQueryEvent(elapsed, /*cache_hit=*/true, /*via_session=*/false);
+      }
       return it->second->result;
     }
     ++misses_;
@@ -80,6 +104,7 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
   // evaluator amortises node matrices across documents and edits); everything
   // else goes through the session's planner over a document view.
   SpanRelation result;
+  bool via_session = false;
   if (!query.features().has_references && root != kNoNode) {
     std::shared_ptr<MatrixEntry> entry;
     {
@@ -110,10 +135,16 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
       }
     }
   } else {
+    via_session = true;
     Expected<SpanRelation> evaluated =
         session.Evaluate(query, Document::FromSlp(&slp, root));
     if (!evaluated.ok()) return evaluated;
     result = *std::move(evaluated);
+  }
+  if (query_start != 0) {
+    const uint64_t elapsed = NowNanos() - query_start;
+    metrics.query_ns.Record(elapsed);
+    RecordStoreQueryEvent(elapsed, /*cache_hit=*/false, via_session);
   }
 
   // Retain the finished relation (a hit for every later evaluation of this

@@ -10,6 +10,7 @@
 #include "slp/cde.hpp"
 #include "slp/slp_serialize.hpp"
 #include "store/persist.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -28,10 +29,17 @@ struct StoreMetrics {
   Counter& queries;
   Counter& gc_compactions;
   Counter& gc_reclaimed_nodes;
+  Counter& wal_appends;
+  Counter& wal_appended_bytes;
+  Counter& wal_replay_records;
   Gauge& docs;
   Gauge& nodes_total;
   Gauge& nodes_live;
   Histogram& commit_ns;
+  Histogram& wal_append_ns;
+  Histogram& gc_pause_ns;
+  Histogram& snapshot_save_ns;
+  Histogram& snapshot_open_ns;
 
   static StoreMetrics& Get() {
     MetricsRegistry& registry = MetricsRegistry::Global();
@@ -42,10 +50,17 @@ struct StoreMetrics {
         registry.GetCounter("store.queries"),
         registry.GetCounter("store.gc.compactions"),
         registry.GetCounter("store.gc.reclaimed_nodes"),
+        registry.GetCounter("wal.appends"),
+        registry.GetCounter("wal.appended_bytes"),
+        registry.GetCounter("wal.replay.records"),
         registry.GetGauge("store.docs"),
         registry.GetGauge("store.nodes.total"),
         registry.GetGauge("store.nodes.live"),
         registry.GetHistogram("store.commit_ns"),
+        registry.GetHistogram("wal.append_ns"),
+        registry.GetHistogram("store.gc.pause_ns"),
+        registry.GetHistogram("store.persist.snapshot_save_ns"),
+        registry.GetHistogram("store.persist.snapshot_open_ns"),
     };
     return *metrics;
   }
@@ -153,6 +168,7 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
                                                     bool log_to_wal) {
   ScopedSpan span("store.commit");
   ScopedLatency latency(StoreMetrics::Get().commit_ns);
+  const uint64_t commit_start = MetricsEnabled() ? NowNanos() : 0;
 
   const std::shared_ptr<const StoreVersion> current =
       head_.Load();
@@ -194,11 +210,20 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
   // it produces can be observed. Replay is record-by-record deterministic,
   // so a crash anywhere after this line reproduces exactly this commit.
   if (log_to_wal && wal_ != nullptr) {
-    Status appended = wal_->Append(EncodeCommitRecord(current->version + 1, batch),
-                                   options_.wal_sync);
+    const std::string record = EncodeCommitRecord(current->version + 1, batch);
+    const uint64_t append_start = MetricsEnabled() ? NowNanos() : 0;
+    Status appended = wal_->Append(record, options_.wal_sync);
     if (!appended.ok()) {
       if (MetricsEnabled()) StoreMetrics::Get().commit_errors.Increment();
       return Unexpected("store commit: " + appended.message());
+    }
+    if (append_start != 0) {
+      // The append+fsync latency IS the commit path's durability tax; its
+      // histogram is what a p99-commit SLO watches.
+      StoreMetrics& metrics = StoreMetrics::Get();
+      metrics.wal_append_ns.Record(NowNanos() - append_start);
+      metrics.wal_appends.Increment();
+      metrics.wal_appended_bytes.Add(record.size());
     }
     wal_records_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -222,6 +247,7 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
       static_cast<double>(garbage) >=
           options_.gc_min_garbage_ratio * static_cast<double>(seen.size())) {
     ScopedSpan gc_span("store.gc");
+    const uint64_t gc_start = MetricsEnabled() ? NowNanos() : 0;
     auto fresh = std::make_shared<StoreEpoch>();
     CompactSlp(*state.slp, &roots, &fresh->slp);
     for (std::size_t i = 0; i < next->docs.size(); ++i) {
@@ -234,9 +260,18 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
     receipt.gc.compacted = true;
     gc_compactions_.fetch_add(1, std::memory_order_relaxed);
     gc_reclaimed_nodes_.fetch_add(garbage, std::memory_order_relaxed);
-    if (MetricsEnabled()) {
+    if (gc_start != 0) {
+      // Compaction runs under the writer lock, so its wall time is a commit
+      // pause -- the store's stop-the-world equivalent.
+      const uint64_t pause_ns = NowNanos() - gc_start;
       StoreMetrics::Get().gc_compactions.Increment();
       StoreMetrics::Get().gc_reclaimed_nodes.Add(garbage);
+      StoreMetrics::Get().gc_pause_ns.Record(pause_ns);
+      FlightEvent event;
+      event.kind = FlightEvent::Kind::kGc;
+      event.duration_ns = pause_ns;
+      event.detail = garbage;
+      FlightRecorder::Global().Record(event);
     }
   }
 
@@ -262,12 +297,17 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
   if (commit_observer_) commit_observer_(StoreSnapshot(next));
   head_.Store(std::move(next));
   commits_.fetch_add(1, std::memory_order_relaxed);
-  if (MetricsEnabled()) {
+  if (commit_start != 0) {
     StoreMetrics& metrics = StoreMetrics::Get();
     metrics.commits.Increment();
     metrics.docs.Set(static_cast<int64_t>(num_docs));
     metrics.nodes_total.Set(static_cast<int64_t>(arena_nodes));
     metrics.nodes_live.Set(static_cast<int64_t>(reachable));
+    FlightEvent event;
+    event.kind = FlightEvent::Kind::kCommit;
+    event.duration_ns = NowNanos() - commit_start;
+    event.detail = receipt.version;
+    FlightRecorder::Global().Record(event);
   }
   return receipt;
 }
@@ -280,6 +320,7 @@ Status DocumentStore::SaveSnapshot(const std::string& dir) {
 Status DocumentStore::SaveSnapshotLocked(
     const std::string& dir, const std::shared_ptr<const StoreVersion>& version) {
   if (Status status = EnsureDirectory(dir); !status.ok()) return status;
+  ScopedLatency save_latency(StoreMetrics::Get().snapshot_save_ns);
   if (store_uuid_ == 0) store_uuid_ = NewStoreUuid();
   BlobWriter blob;
   AppendStoreSections(*version, store_uuid_, &blob);
@@ -325,6 +366,7 @@ Expected<std::unique_ptr<DocumentStore>> DocumentStore::Open(
     return store;
   }
 
+  const uint64_t open_start = MetricsEnabled() ? NowNanos() : 0;
   Expected<std::shared_ptr<MappedBlob>> blob = MappedBlob::Open(snapshot_path);
   if (!blob.ok()) return blob.status();
   if (options.verify_checksums) {
@@ -336,6 +378,9 @@ Expected<std::unique_ptr<DocumentStore>> DocumentStore::Open(
                           ? SlpSerializer::FromBlobMapped(*blob)
                           : SlpSerializer::FromBlobMaterialized(**blob);
   if (!slp.ok()) return slp.status();
+  if (open_start != 0) {
+    StoreMetrics::Get().snapshot_open_ns.Record(NowNanos() - open_start);
+  }
 
   store->store_uuid_ = image->store_uuid;
   auto loaded = std::make_shared<StoreVersion>();
@@ -392,6 +437,7 @@ Expected<std::unique_ptr<DocumentStore>> DocumentStore::Open(
       return Unexpected("store open: commit-log replay failed: " +
                         replayed.error());
     }
+    if (MetricsEnabled()) StoreMetrics::Get().wal_replay_records.Increment();
   }
   // Keep appending where the durable prefix ends (dropping any torn tail a
   // crashed writer left mid-append).

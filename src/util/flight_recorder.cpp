@@ -1,0 +1,149 @@
+#include "util/flight_recorder.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "engine/planner.hpp"
+#include "util/metrics.hpp"
+
+namespace spanners {
+namespace {
+
+/// Payload packing: word 0 carries every small field, words 1..4 the wide
+/// ones. The layout is process-internal (never serialized), so it can change
+/// freely as long as Pack and Unpack agree.
+std::array<uint64_t, 5> Pack(const FlightEvent& event) {
+  const uint64_t tags = static_cast<uint64_t>(event.kind) |
+                        (static_cast<uint64_t>(event.decision) << 8) |
+                        (static_cast<uint64_t>(event.plan) << 16) |
+                        (static_cast<uint64_t>(event.cache_hit ? 1 : 0) << 24) |
+                        (static_cast<uint64_t>(event.feature_bucket) << 32);
+  return {tags, event.timestamp_ns, event.duration_ns, event.delay_steps,
+          event.detail};
+}
+
+FlightEvent Unpack(const std::array<uint64_t, 5>& words) {
+  FlightEvent event;
+  event.kind = static_cast<FlightEvent::Kind>(words[0] & 0xff);
+  event.decision = static_cast<FlightEvent::Decision>((words[0] >> 8) & 0xff);
+  event.plan = static_cast<uint8_t>((words[0] >> 16) & 0xff);
+  event.cache_hit = ((words[0] >> 24) & 0x1) != 0;
+  event.feature_bucket = static_cast<uint32_t>(words[0] >> 32);
+  event.timestamp_ns = words[1];
+  event.duration_ns = words[2];
+  event.delay_steps = words[3];
+  event.detail = words[4];
+  return event;
+}
+
+std::string FormatDurationNs(uint64_t ns) {
+  char buffer[32];
+  if (ns >= 1000000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", static_cast<double>(ns) / 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view FlightEventKindName(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kQuery: return "query";
+    case FlightEvent::Kind::kCommit: return "commit";
+    case FlightEvent::Kind::kGc: return "gc";
+    case FlightEvent::Kind::kSloViolation: return "slo-violation";
+  }
+  return "unknown";
+}
+
+std::string_view FlightDecisionName(FlightEvent::Decision decision) {
+  switch (decision) {
+    case FlightEvent::Decision::kStatic: return "static";
+    case FlightEvent::Decision::kAdaptive: return "adaptive";
+    case FlightEvent::Decision::kForced: return "forced";
+    case FlightEvent::Decision::kCached: return "cached";
+    case FlightEvent::Decision::kStore: return "store";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEvent event) {
+  if (event.timestamp_ns == 0) event.timestamp_ns = NowNanos();
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (slots_.size() - 1)];
+  // Seqlock write: odd marks the slot torn while the payload lands. A writer
+  // lapped a full ring ahead can race this slot; readers detect the overlap
+  // because the two seq reads then disagree (or read an odd value).
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  const std::array<uint64_t, 5> words = Pack(event);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Dump(std::size_t max_events) const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  uint64_t window = slots_.size();
+  if (window > end) window = end;
+  if (window > max_events) window = max_events;
+
+  std::vector<FlightEvent> events;
+  events.reserve(window);
+  for (uint64_t ticket = end - window; ticket < end; ++ticket) {
+    const Slot& slot = slots_[ticket & (slots_.size() - 1)];
+    const uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before != 2 * ticket + 2) continue;  // torn or already overwritten
+    std::array<uint64_t, 5> words;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    events.push_back(Unpack(words));
+  }
+  return events;
+}
+
+std::string FlightRecorder::ToString(std::size_t max_events) const {
+  std::ostringstream os;
+  for (const FlightEvent& event : Dump(max_events)) {
+    os << "[" << event.timestamp_ns << "] " << FlightEventKindName(event.kind);
+    switch (event.kind) {
+      case FlightEvent::Kind::kQuery:
+        os << " plan=" << PlanKindName(static_cast<PlanKind>(event.plan))
+           << " decision=" << FlightDecisionName(event.decision) << " bucket=0x"
+           << std::hex << event.feature_bucket << std::dec
+           << " dur=" << FormatDurationNs(event.duration_ns)
+           << " delay=" << event.delay_steps
+           << " cache=" << (event.cache_hit ? "hit" : "miss");
+        break;
+      case FlightEvent::Kind::kCommit:
+        os << " version=" << event.detail
+           << " dur=" << FormatDurationNs(event.duration_ns);
+        break;
+      case FlightEvent::Kind::kGc:
+        os << " reclaimed=" << event.detail
+           << " pause=" << FormatDurationNs(event.duration_ns);
+        break;
+      case FlightEvent::Kind::kSloViolation:
+        os << " delay=" << event.delay_steps << " excess=" << event.detail;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spanners

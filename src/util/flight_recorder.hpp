@@ -1,0 +1,114 @@
+/// \file flight_recorder.hpp
+/// \brief Fixed-size lock-free ring of structured per-query events
+/// (DESIGN.md §1.14).
+///
+/// The metrics registry (util/metrics.hpp) aggregates; the flight recorder
+/// remembers *individual* recent events -- the last few thousand queries,
+/// commits, GC pauses, and SLO violations -- so a serving incident can be
+/// reconstructed after the fact without unbounded trace files. It is the
+/// "what just happened" complement to the registry's "how much happened".
+///
+/// Cost model: Record() is one fetch_add to claim a slot plus a handful of
+/// relaxed atomic stores bracketed by release stores of the slot's sequence
+/// word -- no locks, no allocation, wait-free for writers. Dump() reads
+/// slots with the classic seqlock protocol (sequence, payload, sequence
+/// again) and simply discards any slot a concurrent writer was mid-flight
+/// in, so readers never block writers and TSan sees only atomics
+/// (tests/flight_recorder_test.cpp runs the race under TSan).
+///
+/// Call sites gate on MetricsEnabled(): with SPANNERS_TRACE=off the recorder
+/// stays untouched and the hot path pays only the existing load + branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spanners {
+
+/// One structured event. All fields are plain values so a record packs into
+/// a fixed number of atomic words (see FlightRecorder::Slot).
+struct FlightEvent {
+  /// What happened.
+  enum class Kind : uint8_t {
+    kQuery = 0,         ///< one evaluation (engine or store path)
+    kCommit = 1,        ///< a store commit published a version
+    kGc = 2,            ///< a generational compaction ran
+    kSloViolation = 3,  ///< an enumeration delay exceeded the SLO budget
+  };
+
+  /// How the plan of a kQuery event was decided.
+  enum class Decision : uint8_t {
+    kStatic = 0,    ///< rule list (cold start or adaptive disabled)
+    kAdaptive = 1,  ///< cost-model ranking (engine/cost_model.hpp)
+    kForced = 2,    ///< SPANNERS_PLAN / set_force_plan
+    kCached = 3,    ///< plan-cache hit of an earlier static decision
+    kStore = 4,     ///< store prepared-state path (no planner involved)
+  };
+
+  Kind kind = Kind::kQuery;
+  Decision decision = Decision::kStatic;
+  uint8_t plan = 0;          ///< PlanKind of a kQuery event
+  bool cache_hit = false;    ///< plan cache (engine) / prepared cache (store)
+  uint32_t feature_bucket = 0;  ///< packed cost-model bucket (0 = none)
+  uint64_t timestamp_ns = 0;    ///< NowNanos() at record time
+  uint64_t duration_ns = 0;     ///< eval / commit / GC-pause wall time
+  uint64_t delay_steps = 0;     ///< last observed enumeration delay (util/slo.hpp)
+  uint64_t detail = 0;  ///< kind-specific: version (commit), reclaimed nodes
+                        ///< (gc), excess steps (slo violation)
+};
+
+/// Short lower-case names for reports ("query", "commit", ...).
+std::string_view FlightEventKindName(FlightEvent::Kind kind);
+std::string_view FlightDecisionName(FlightEvent::Decision decision);
+
+/// The ring. Capacity is rounded up to a power of two; the default keeps
+/// the canonical "last 4096 queries" view in ~256 KiB.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every engine/store site records into.
+  static FlightRecorder& Global();
+
+  /// Appends \p event, overwriting the oldest slot once full. Wait-free;
+  /// safe from any thread. timestamp_ns is stamped here when left 0.
+  void Record(FlightEvent event);
+
+  /// The most recent events, oldest first, at most \p max_events (and never
+  /// more than the capacity). Slots a concurrent writer is mid-flight in are
+  /// skipped, so a dump racing heavy traffic may return slightly fewer
+  /// events than recorded -- by design (never blocks, never tears).
+  std::vector<FlightEvent> Dump(std::size_t max_events = kDefaultCapacity) const;
+
+  /// Human-readable dump, one event per line, oldest first:
+  ///   [<timestamp_ns>] query plan=slp-matrix decision=adaptive bucket=0x...
+  ///       dur=12.3us delay=17 cache=hit
+  std::string ToString(std::size_t max_events = kDefaultCapacity) const;
+
+  /// Total events ever recorded (monotonic; may exceed capacity).
+  uint64_t recorded() const { return next_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  /// One seqlock-protected record. seq holds 2*ticket+1 while the writer of
+  /// ticket is storing the payload and 2*ticket+2 once it is complete, so a
+  /// reader can tell torn, stale, and clean slots apart with two loads.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, 5> words{};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};  ///< ticket counter; slot = ticket & mask
+};
+
+}  // namespace spanners

@@ -1,0 +1,165 @@
+#include "util/metrics_export.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace spanners {
+namespace {
+
+constexpr std::string_view kPrefix = "spanners_";
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendHistogram(std::string& out, const std::string& name,
+                     const HistogramStats& stats) {
+  out += "# TYPE " + name + " histogram\n";
+  char line[160];
+  uint64_t cumulative = 0;
+  for (std::size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    if (stats.buckets[b] == 0) continue;
+    cumulative += stats.buckets[b];
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  name.c_str(), Histogram::BucketUpperBound(b), cumulative);
+    out += line;
+  }
+  // The last log2 bucket's upper bound is UINT64_MAX, i.e. +Inf for scrapers.
+  // A snapshot racing a Record() can leave count lagging the bucket sum (or
+  // vice versa); a conformant exposition needs +Inf == _count and buckets
+  // monotone, so both report the larger of the two.
+  cumulative += stats.buckets[Histogram::kNumBuckets - 1];
+  const uint64_t total = cumulative > stats.count ? cumulative : stats.count;
+  std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                name.c_str(), total);
+  out += line;
+  std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                name.c_str(), stats.sum, name.c_str(), total);
+  out += line;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out += '_';
+  }
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  char line[160];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string full = std::string(kPrefix) + SanitizeMetricName(name);
+    out += "# TYPE " + full + " counter\n";
+    std::snprintf(line, sizeof(line), "%s_total %" PRIu64 "\n", full.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string full = std::string(kPrefix) + SanitizeMetricName(name);
+    out += "# TYPE " + full + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", full.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    AppendHistogram(out, std::string(kPrefix) + SanitizeMetricName(name), stats);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& current,
+                              const MetricsSnapshot& earlier) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : current.counters) {
+    const auto it = earlier.counters.find(name);
+    const uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  delta.gauges = current.gauges;
+  for (const auto& [name, stats] : current.histograms) {
+    const auto it = earlier.histograms.find(name);
+    delta.histograms[name] =
+        it == earlier.histograms.end() ? stats : stats.Since(it->second);
+  }
+  return delta;
+}
+
+bool WriteMetricsFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(contents.data(), 1, contents.size(), file) == contents.size();
+  bool ok = wrote && std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+MetricsFileFlusher::MetricsFileFlusher(std::string path,
+                                       std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+MetricsFileFlusher::~MetricsFileFlusher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  Flush();  // the final state always reaches the file
+}
+
+bool MetricsFileFlusher::Flush() {
+  return WriteMetricsFile(
+      path_, RenderOpenMetrics(MetricsRegistry::Global().Snapshot()));
+}
+
+void MetricsFileFlusher::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    Flush();
+    lock.lock();
+  }
+}
+
+}  // namespace spanners

@@ -1,0 +1,99 @@
+/// \file metrics_export.hpp
+/// \brief OpenMetrics / Prometheus text exposition of a MetricsSnapshot
+/// (DESIGN.md §1.14).
+///
+/// The registry's own ToString() is a stable internal report; this module
+/// renders the same snapshot in the OpenMetrics text format so any
+/// Prometheus-compatible scraper can consume a serving session's telemetry:
+///
+///   # TYPE spanners_store_commits counter
+///   spanners_store_commits_total 42
+///   # TYPE spanners_wal_append_ns histogram
+///   spanners_wal_append_ns_bucket{le="8191"} 17
+///   ...
+///   spanners_wal_append_ns_bucket{le="+Inf"} 42
+///   spanners_wal_append_ns_sum 1234567
+///   spanners_wal_append_ns_count 42
+///   # EOF
+///
+/// Internal metric names use dots ("store.commits"); OpenMetrics names allow
+/// only [a-zA-Z0-9_:], so names are sanitized (dots and dashes become
+/// underscores) and prefixed "spanners_". The log2 histograms map naturally
+/// onto cumulative le-buckets: bucket b's inclusive upper bound 2^b - 1
+/// becomes its le value, and only non-empty buckets are emitted (65 buckets
+/// per histogram would be mostly zeros).
+///
+/// SnapshotDelta() turns two cumulative snapshots into a per-window view
+/// (counters subtracted, histograms via HistogramStats::Since), and
+/// MetricsFileFlusher rewrites a --metrics-out file atomically on an
+/// interval -- the file is always a complete, valid exposition (scrapers
+/// never observe a partial write because the rewrite is tmp + rename).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/metrics.hpp"
+
+namespace spanners {
+
+/// \p name with every character outside [a-zA-Z0-9_:] replaced by '_' (a
+/// leading digit gets a '_' prefix). "wal.append_ns" -> "wal_append_ns".
+std::string SanitizeMetricName(std::string_view name);
+
+/// \p value with backslash, double-quote, and newline escaped per the
+/// OpenMetrics ABNF for label values.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders \p snapshot as a complete OpenMetrics text exposition, ending in
+/// "# EOF\n". Metric names are sanitized and prefixed "spanners_"; counters
+/// are suffixed "_total"; histograms emit cumulative non-empty _bucket
+/// series plus le="+Inf", _sum, and _count.
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+/// The per-window view \p current minus \p earlier: counters subtract
+/// (clamped at 0 in case a snapshot raced a sharded add), gauges carry the
+/// current value (a gauge has no meaningful delta), histograms use
+/// HistogramStats::Since. Metrics absent from \p earlier are taken whole.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& current,
+                              const MetricsSnapshot& earlier);
+
+/// Atomically replaces the file at \p path with \p contents (write to
+/// "<path>.tmp", fsync, rename). Returns false on any I/O failure.
+bool WriteMetricsFile(const std::string& path, const std::string& contents);
+
+/// Background thread that renders MetricsRegistry::Global() to \p path every
+/// \p interval, and once more on destruction so the final state is never
+/// lost. Flush() forces an immediate rewrite (used at clean shutdown and in
+/// tests).
+class MetricsFileFlusher {
+ public:
+  MetricsFileFlusher(std::string path, std::chrono::milliseconds interval);
+  ~MetricsFileFlusher();
+
+  MetricsFileFlusher(const MetricsFileFlusher&) = delete;
+  MetricsFileFlusher& operator=(const MetricsFileFlusher&) = delete;
+
+  /// Renders and writes now, regardless of the interval. Returns false if
+  /// the write failed.
+  bool Flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Run();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spanners

@@ -1,0 +1,65 @@
+#include "util/slo.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/flight_recorder.hpp"
+#include "util/metrics.hpp"
+
+namespace spanners {
+namespace slo_detail {
+
+namespace {
+
+uint64_t BudgetFromEnv() {
+  const char* env = std::getenv("SPANNERS_SLO_DELAY_STEPS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;  // malformed: watchdog off
+  return static_cast<uint64_t>(parsed);
+}
+
+struct SloMetrics {
+  Counter& checks = MetricsRegistry::Global().GetCounter("slo.delay.checks");
+  Counter& violations =
+      MetricsRegistry::Global().GetCounter("slo.delay.violations");
+  Histogram& excess_steps =
+      MetricsRegistry::Global().GetHistogram("slo.delay.excess_steps");
+
+  static SloMetrics& Get() {
+    static SloMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::atomic<uint64_t> g_delay_budget_steps{BudgetFromEnv()};
+std::atomic<uint64_t> g_last_delay_steps{0};
+
+void CheckAgainstBudget(uint64_t steps, uint64_t budget) {
+  SloMetrics& metrics = SloMetrics::Get();
+  metrics.checks.Increment();
+  if (steps <= budget) return;
+  const uint64_t excess = steps - budget;
+  metrics.violations.Increment();
+  metrics.excess_steps.Record(excess);
+  FlightEvent event;
+  event.kind = FlightEvent::Kind::kSloViolation;
+  event.delay_steps = steps;
+  event.detail = excess;
+  FlightRecorder::Global().Record(event);
+}
+
+}  // namespace slo_detail
+
+uint64_t DelaySloBudgetSteps() {
+  return slo_detail::g_delay_budget_steps.load(std::memory_order_relaxed);
+}
+
+void SetDelaySloBudgetSteps(uint64_t steps) {
+  slo_detail::g_delay_budget_steps.store(steps, std::memory_order_relaxed);
+}
+
+}  // namespace spanners

@@ -1,0 +1,58 @@
+/// \file slo.hpp
+/// \brief Delay-SLO watchdog for constant-delay enumeration (DESIGN.md §1.14).
+///
+/// The §2.5 guarantee is that the delay between consecutive results is
+/// bounded by a constant number of automaton steps; the profiler
+/// (enum.delay_steps / slp.enum.delay_steps) measures it, and this watchdog
+/// turns "measured" into "enforced-by-alert": when SPANNERS_SLO_DELAY_STEPS
+/// (or SetDelaySloBudgetSteps) sets a budget, every profiled delay is
+/// checked against it, and violations count into slo.* metrics and the
+/// flight recorder. Budget 0 (the default) disables the check entirely --
+/// CheckDelaySlo is then one relaxed load + branch, inside call sites that
+/// are already gated on MetricsEnabled().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace spanners {
+
+namespace slo_detail {
+extern std::atomic<uint64_t> g_delay_budget_steps;  ///< 0 = watchdog off
+extern std::atomic<uint64_t> g_last_delay_steps;
+
+/// Cold path of CheckDelaySlo (budget set): counts the check into slo.*
+/// metrics and, on violation, records excess steps and a flight-recorder
+/// event.
+void CheckAgainstBudget(uint64_t steps, uint64_t budget);
+}  // namespace slo_detail
+
+/// The current per-result delay budget in automaton steps; 0 = off.
+/// Initialised once from SPANNERS_SLO_DELAY_STEPS.
+uint64_t DelaySloBudgetSteps();
+
+/// Runtime override (store_service --slo-delay-steps, tests).
+void SetDelaySloBudgetSteps(uint64_t steps);
+
+/// The most recent delay any enumeration reported, for flight-recorder
+/// query events (0 until the first profiled enumeration).
+inline uint64_t LastObservedDelaySteps() {
+  return slo_detail::g_last_delay_steps.load(std::memory_order_relaxed);
+}
+
+/// Checks one profiled enumeration delay against the budget. Call sites sit
+/// inside the existing MetricsEnabled() gates next to the delay-profiler
+/// Record() calls, so SPANNERS_TRACE=off pays nothing new.
+inline void CheckDelaySlo(uint64_t steps) {
+  // Store only on change: constant-delay enumeration reports the same value
+  // for almost every result, and an unconditional store from N enumeration
+  // threads ping-pongs the cacheline (measurable on BM_Cde_UpdateThenQuery).
+  if (slo_detail::g_last_delay_steps.load(std::memory_order_relaxed) != steps)
+    slo_detail::g_last_delay_steps.store(steps, std::memory_order_relaxed);
+  const uint64_t budget =
+      slo_detail::g_delay_budget_steps.load(std::memory_order_relaxed);
+  if (budget == 0) [[likely]] return;
+  slo_detail::CheckAgainstBudget(steps, budget);
+}
+
+}  // namespace spanners

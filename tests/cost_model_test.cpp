@@ -1,0 +1,271 @@
+// Tests for the feedback-directed planner (DESIGN.md §1.14): feature
+// bucketing, the EWMA cells, Rank()'s two-trusted-candidates gate, and the
+// session-level loop -- a cost-inverted workload must flip the plan away
+// from the static rule within K observations, must not flip with the model
+// disabled, and forced plans must outrank everything with honest provenance.
+#include "engine/cost_model.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "util/metrics.hpp"
+
+namespace spanners {
+namespace {
+
+class TraceLevelGuard {
+ public:
+  explicit TraceLevelGuard(TraceLevel level) : saved_(trace_level()) {
+    SetTraceLevel(level);
+  }
+  ~TraceLevelGuard() { SetTraceLevel(saved_); }
+
+ private:
+  TraceLevel saved_;
+};
+
+QueryFeatures PatternFeatures(std::size_t vars = 1) {
+  QueryFeatures features;
+  features.num_variables = vars;
+  return features;
+}
+
+DocumentProfile PlainProfile(uint64_t length) {
+  DocumentProfile profile;
+  profile.length = length;
+  return profile;
+}
+
+TEST(FeatureBucketTest, SizeDecadesAndRatioBands) {
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), PlainProfile(0)).size_decade, 0);
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), PlainProfile(9)).size_decade, 1);
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), PlainProfile(100)).size_decade, 2);
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), PlainProfile(99999)).size_decade, 5);
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), PlainProfile(1000)).ratio_band, 0);
+
+  DocumentProfile compressed;
+  compressed.kind = DocumentKind::kCompressed;
+  compressed.length = 1000;
+  compressed.compression_ratio = 1.5;
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), compressed).ratio_band, 1);
+  compressed.compression_ratio = 8.0;
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), compressed).ratio_band, 4);
+  compressed.compression_ratio = 1e9;  // clamped band
+  EXPECT_EQ(FeatureBucket::Of(PatternFeatures(), compressed).ratio_band, 15);
+}
+
+TEST(FeatureBucketTest, QueryClassPacksVarsSelectionsSource) {
+  QueryFeatures features;
+  features.num_variables = 2;
+  EXPECT_EQ(FeatureBucket::Of(features, PlainProfile(10)).query_class, 2);
+  features.num_variables = 7;  // clamped to 3
+  features.num_selections = 1;
+  features.from_expression = true;
+  EXPECT_EQ(FeatureBucket::Of(features, PlainProfile(10)).query_class,
+            3 | 0x4 | 0x8);
+}
+
+TEST(FeatureBucketTest, PackAndToStringAreStable) {
+  FeatureBucket bucket;
+  bucket.size_decade = 3;
+  bucket.ratio_band = 1;
+  bucket.query_class = 2;
+  EXPECT_EQ(bucket.Pack(), 3u | (1u << 8) | (2u << 16));
+  EXPECT_EQ(bucket.ToString(), "d3/r1/q2");
+  EXPECT_EQ(bucket, bucket);
+}
+
+TEST(AdaptiveCandidatesTest, RespectsStackCapabilities) {
+  QueryFeatures refs;
+  refs.has_references = true;
+  EXPECT_EQ(AdaptiveCandidates(refs),
+            std::vector<PlanKind>{PlanKind::kRefl});
+
+  QueryFeatures expr;
+  expr.from_expression = true;
+  const std::vector<PlanKind> expr_candidates = AdaptiveCandidates(expr);
+  EXPECT_EQ(expr_candidates.size(), 3u);  // everything but refl
+
+  EXPECT_EQ(AdaptiveCandidates(PatternFeatures()).size(), 4u);
+}
+
+TEST(CostModelTest, ObserveFoldsAnEwma) {
+  CostModel model;
+  const FeatureBucket bucket;
+  model.Observe(PlanKind::kEdva, bucket, 1000);
+  model.Observe(PlanKind::kEdva, bucket, 2000);
+  std::vector<PredictedPlanCost> predicted;
+  model.Rank(bucket, {PlanKind::kEdva}, &predicted);
+  ASSERT_EQ(predicted.size(), 1u);
+  EXPECT_EQ(predicted[0].samples, 2u);
+  // First sample seeds the EWMA; the second moves it by alpha.
+  EXPECT_DOUBLE_EQ(predicted[0].ewma_ns,
+                   1000 + CostModel::kEwmaAlpha * (2000 - 1000));
+  EXPECT_EQ(model.observations(), 2u);
+}
+
+TEST(CostModelTest, RankNeedsTwoTrustedCandidates) {
+  CostModel model;
+  const FeatureBucket bucket;
+  const std::vector<PlanKind> candidates = {PlanKind::kEdva, PlanKind::kNaiveDfs};
+
+  // One fully sampled plan proves nothing about the alternatives.
+  for (uint64_t i = 0; i < CostModel::kMinSamplesPerPlan; ++i) {
+    model.Observe(PlanKind::kEdva, bucket, 1000);
+  }
+  EXPECT_EQ(model.Rank(bucket, candidates, nullptr), std::nullopt);
+
+  // An undersampled rival does not unlock ranking either...
+  for (uint64_t i = 0; i + 1 < CostModel::kMinSamplesPerPlan; ++i) {
+    model.Observe(PlanKind::kNaiveDfs, bucket, 10);
+  }
+  EXPECT_EQ(model.Rank(bucket, candidates, nullptr), std::nullopt);
+
+  // ...until it reaches K samples; then the cheaper plan wins.
+  model.Observe(PlanKind::kNaiveDfs, bucket, 10);
+  EXPECT_EQ(model.Rank(bucket, candidates, nullptr), PlanKind::kNaiveDfs);
+}
+
+TEST(CostModelTest, RankIgnoresUndersampledWinners) {
+  CostModel model;
+  const FeatureBucket bucket;
+  for (uint64_t i = 0; i < CostModel::kMinSamplesPerPlan; ++i) {
+    model.Observe(PlanKind::kEdva, bucket, 1000);
+    model.Observe(PlanKind::kSlpMatrix, bucket, 2000);
+  }
+  model.Observe(PlanKind::kNaiveDfs, bucket, 1);  // lucky single sample
+  std::vector<PredictedPlanCost> predicted;
+  const std::optional<PlanKind> winner = model.Rank(
+      bucket, {PlanKind::kEdva, PlanKind::kSlpMatrix, PlanKind::kNaiveDfs},
+      &predicted);
+  EXPECT_EQ(winner, PlanKind::kEdva);  // cheapest *trusted* candidate
+  ASSERT_EQ(predicted.size(), 3u);
+  EXPECT_EQ(predicted[0].kind, PlanKind::kNaiveDfs);  // still reported
+}
+
+// The tentpole's acceptance test: a workload whose observed costs contradict
+// the static rule flips the session's plan within K observations per
+// candidate, with honest provenance in the rule name, the flip counter, and
+// ExplainPlan's predicted line.
+TEST(AdaptivePlannerTest, CostInvertedWorkloadFlipsThePlanWithinK) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  Session session;
+  ASSERT_TRUE(session.adaptive());
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}b");
+  ASSERT_TRUE(query.ok());
+  const Document document = Document::FromText(std::string(1000, 'a') + "b");
+
+  // Static choice on a plain kilobyte document: the eDVA path.
+  const Plan cold = session.PlanFor(**query, document);
+  EXPECT_EQ(cold.kind, PlanKind::kEdva);
+  EXPECT_EQ(cold.rule, "plain-default-edva");
+
+  // Observed reality (injected deterministically): naive DFS is 100x
+  // cheaper here. K-1 samples per plan must NOT flip yet...
+  const FeatureBucket bucket =
+      FeatureBucket::Of((*query)->features(), document.Profile());
+  for (uint64_t i = 0; i + 1 < CostModel::kMinSamplesPerPlan; ++i) {
+    session.cost_model().Observe(PlanKind::kEdva, bucket, 100000);
+    session.cost_model().Observe(PlanKind::kNaiveDfs, bucket, 1000);
+  }
+  EXPECT_EQ(session.PlanFor(**query, document).kind, PlanKind::kEdva);
+
+  // ...the K-th sample flips it.
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  session.cost_model().Observe(PlanKind::kEdva, bucket, 100000);
+  session.cost_model().Observe(PlanKind::kNaiveDfs, bucket, 1000);
+  const Plan flipped = session.PlanFor(**query, document);
+  EXPECT_EQ(flipped.kind, PlanKind::kNaiveDfs);
+  EXPECT_TRUE(flipped.rule.starts_with("adaptive(")) << flipped.rule;
+  EXPECT_FALSE(flipped.from_cache);
+  ASSERT_GE(flipped.predicted.size(), 2u);
+  EXPECT_EQ(flipped.predicted[0].kind, PlanKind::kNaiveDfs);  // cheapest first
+  EXPECT_LT(flipped.predicted[0].ewma_ns, flipped.predicted[1].ewma_ns);
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("planner.adaptive.decisions") -
+                before.counter("planner.adaptive.decisions"),
+            1u);
+  EXPECT_GE(after.counter("planner.adaptive.flips") -
+                before.counter("planner.adaptive.flips"),
+            1u);
+
+  // ExplainPlan surfaces the model's per-candidate state.
+  const std::string explanation = session.ExplainPlan(**query, document);
+  EXPECT_NE(explanation.find("rule: adaptive("), std::string::npos);
+  EXPECT_NE(explanation.find("predicted:"), std::string::npos);
+  EXPECT_NE(explanation.find("naive-dfs="), std::string::npos);
+
+  // An evaluation through the adaptive plan actually runs (and agrees with
+  // the enumeration the static plan would produce).
+  // (whole-document semantics: a+ must cover every 'a', so one tuple)
+  Expected<SpanRelation> result = session.Evaluate(**query, document);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(AdaptivePlannerTest, DisabledModelKeepsTheStaticRules) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  EngineOptions options;
+  options.adaptive = false;
+  Session session(options);
+  EXPECT_FALSE(session.adaptive());
+  Expected<const CompiledQuery*> query = session.Compile("{x: a+}b");
+  ASSERT_TRUE(query.ok());
+  const Document document = Document::FromText(std::string(1000, 'a') + "b");
+
+  const FeatureBucket bucket =
+      FeatureBucket::Of((*query)->features(), document.Profile());
+  for (uint64_t i = 0; i < 2 * CostModel::kMinSamplesPerPlan; ++i) {
+    session.cost_model().Observe(PlanKind::kEdva, bucket, 100000);
+    session.cost_model().Observe(PlanKind::kNaiveDfs, bucket, 1000);
+  }
+  const Plan plan = session.PlanFor(**query, document);
+  EXPECT_EQ(plan.kind, PlanKind::kEdva);
+  EXPECT_EQ(plan.rule, "plain-default-edva");  // no flip, no adaptive rule
+
+  // set_adaptive flips the same session live.
+  session.set_adaptive(true);
+  EXPECT_EQ(session.PlanFor(**query, document).kind, PlanKind::kNaiveDfs);
+}
+
+TEST(AdaptivePlannerTest, AdaptiveOffEnvironmentVariable) {
+  ASSERT_EQ(setenv("SPANNERS_ADAPTIVE", "off", 1), 0);
+  Session off;
+  EXPECT_FALSE(off.adaptive());
+  ASSERT_EQ(unsetenv("SPANNERS_ADAPTIVE"), 0);
+  Session on;
+  EXPECT_TRUE(on.adaptive());
+}
+
+TEST(AdaptivePlannerTest, ForcedPlansReportTheirOrigin) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  const Document document = Document::FromText("aaa");
+
+  Session api_session;
+  Expected<const CompiledQuery*> query = api_session.Compile("{x: a+}");
+  ASSERT_TRUE(query.ok());
+  api_session.set_force_plan(PlanKind::kSlpMatrix);
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const Plan api_plan = api_session.PlanFor(**query, document);
+  EXPECT_EQ(api_plan.kind, PlanKind::kSlpMatrix);
+  EXPECT_EQ(api_plan.rule, "forced(api)");
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("planner.forced") - before.counter("planner.forced"),
+            1u);
+  EXPECT_NE(api_session.ExplainPlan(**query, document).find("rule: forced(api)"),
+            std::string::npos);
+
+  ASSERT_EQ(setenv("SPANNERS_PLAN", "edva", 1), 0);
+  Session env_session;
+  ASSERT_EQ(unsetenv("SPANNERS_PLAN"), 0);
+  Expected<const CompiledQuery*> env_query = env_session.Compile("{x: a+}");
+  ASSERT_TRUE(env_query.ok());
+  EXPECT_EQ(env_session.PlanFor(**env_query, document).rule, "forced(env)");
+}
+
+}  // namespace
+}  // namespace spanners

@@ -264,7 +264,7 @@ TEST(SessionTest, ForcedPlansBypassTheCache) {
   session.set_force_plan(PlanKind::kNaiveDfs);
   const Plan plan = session.PlanFor(**query, Document::FromText("aaa"));
   EXPECT_EQ(plan.kind, PlanKind::kNaiveDfs);
-  EXPECT_EQ(plan.rule, "forced");
+  EXPECT_EQ(plan.rule, "forced(api)");
   EXPECT_EQ(session.plan_cache_size(), 0u);
 }
 
@@ -394,7 +394,7 @@ TEST(SessionTest, PlanCacheCountersMatchGlobalMetrics) {
   const MetricsSnapshot pre_sweep = registry.Snapshot();
   for (PlanKind plan : {PlanKind::kNaiveDfs, PlanKind::kEdva, PlanKind::kSlpMatrix}) {
     session.set_force_plan(plan);
-    EXPECT_EQ(session.PlanFor(**query, document).rule, "forced");
+    EXPECT_EQ(session.PlanFor(**query, document).rule, "forced(api)");
   }
   const MetricsSnapshot post_sweep = registry.Snapshot();
   EXPECT_EQ(post_sweep.counter("engine.plan_cache.hits"),

@@ -1,0 +1,161 @@
+// Tests for the OpenMetrics exporter (DESIGN.md §1.14): name/label
+// sanitisation, exposition conformance (TYPE lines, _total suffixes,
+// cumulative monotone buckets, +Inf == _count, terminating # EOF), interval
+// deltas, and the atomic file flusher.
+#include "util/metrics_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spanners {
+namespace {
+
+HistogramStats StatsOf(const std::vector<uint64_t>& values) {
+  Histogram histogram;
+  for (uint64_t value : values) histogram.Record(value);
+  HistogramStats stats;
+  stats.count = histogram.count();
+  stats.sum = histogram.sum();
+  stats.max = histogram.max();
+  for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    stats.buckets[b] = histogram.bucket(b);
+  }
+  return stats;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(MetricsExportTest, SanitizesNames) {
+  EXPECT_EQ(SanitizeMetricName("wal.append_ns"), "wal_append_ns");
+  EXPECT_EQ(SanitizeMetricName("engine.plan.rule.tiny-document-naive"),
+            "engine_plan_rule_tiny_document_naive");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("ok_name:x"), "ok_name:x");
+}
+
+TEST(MetricsExportTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(MetricsExportTest, RendersCountersAndGauges) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["store.commits"] = 42;
+  snapshot.gauges["store.docs"] = -3;
+  const std::string text = RenderOpenMetrics(snapshot);
+  EXPECT_NE(text.find("# TYPE spanners_store_commits counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spanners_store_commits_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spanners_store_docs gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("spanners_store_docs -3\n"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("# EOF\n"));
+}
+
+TEST(MetricsExportTest, HistogramBucketsAreCumulativeAndConsistent) {
+  MetricsSnapshot snapshot;
+  snapshot.histograms["wal.append_ns"] = StatsOf({0, 1, 2, 3, 100, 5000});
+  const std::string text = RenderOpenMetrics(snapshot);
+
+  // Parse every _bucket line of the series in order.
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<uint64_t> cumulative;
+  uint64_t inf_value = 0, count = 0, sum = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    uint64_t value = 0;
+    char le[32] = {0};
+    if (std::sscanf(line.c_str(),
+                    "spanners_wal_append_ns_bucket{le=\"%31[^\"]\"} %lu", le,
+                    &value) == 2) {
+      if (std::string(le) == "+Inf") {
+        saw_inf = true;
+        inf_value = value;
+      } else {
+        EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket";
+        cumulative.push_back(value);
+      }
+    }
+    std::sscanf(line.c_str(), "spanners_wal_append_ns_count %lu", &count);
+    std::sscanf(line.c_str(), "spanners_wal_append_ns_sum %lu", &sum);
+  }
+  ASSERT_TRUE(saw_inf);
+  ASSERT_FALSE(cumulative.empty());
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "buckets must be cumulative";
+  }
+  EXPECT_EQ(cumulative.back(), 6u);
+  EXPECT_EQ(inf_value, 6u);
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(sum, 0u + 1 + 2 + 3 + 100 + 5000);
+}
+
+TEST(MetricsExportTest, EmptyHistogramStillConforms) {
+  MetricsSnapshot snapshot;
+  snapshot.histograms["slo.delay.excess_steps"] = HistogramStats{};
+  const std::string text = RenderOpenMetrics(snapshot);
+  EXPECT_NE(
+      text.find("spanners_slo_delay_excess_steps_bucket{le=\"+Inf\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("spanners_slo_delay_excess_steps_count 0\n"),
+            std::string::npos);
+}
+
+TEST(MetricsExportTest, SnapshotDeltaSubtractsCountersAndWindowsHistograms) {
+  MetricsSnapshot earlier;
+  earlier.counters["store.commits"] = 10;
+  earlier.histograms["wal.append_ns"] = StatsOf({5, 5});
+  MetricsSnapshot current;
+  current.counters["store.commits"] = 25;
+  current.counters["store.queries"] = 7;  // appeared after 'earlier'
+  current.gauges["store.docs"] = 4;
+  current.histograms["wal.append_ns"] = StatsOf({5, 5, 9, 9, 9});
+
+  const MetricsSnapshot delta = SnapshotDelta(current, earlier);
+  EXPECT_EQ(delta.counter("store.commits"), 15u);
+  EXPECT_EQ(delta.counter("store.queries"), 7u);
+  EXPECT_EQ(delta.gauges.at("store.docs"), 4);
+  const HistogramStats& window = delta.histograms.at("wal.append_ns");
+  EXPECT_EQ(window.count, 3u);
+  EXPECT_EQ(window.sum, 27u);
+}
+
+TEST(MetricsExportTest, WriteMetricsFileIsAtomicReplace) {
+  const std::string path = ::testing::TempDir() + "/spanners_metrics_out.txt";
+  ASSERT_TRUE(WriteMetricsFile(path, "first # EOF\n"));
+  ASSERT_TRUE(WriteMetricsFile(path, "second # EOF\n"));
+  EXPECT_EQ(ReadFile(path), "second # EOF\n");
+  EXPECT_NE(ReadFile(path + ".tmp"), "second # EOF\n");  // tmp renamed away
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExportTest, FlusherWritesOnIntervalAndAtShutdown) {
+  const std::string path = ::testing::TempDir() + "/spanners_flusher_out.txt";
+  std::remove(path.c_str());
+  MetricsRegistry::Global().GetCounter("export_test.flushes").Increment();
+  {
+    MetricsFileFlusher flusher(path, std::chrono::milliseconds(10));
+    ASSERT_TRUE(flusher.Flush());
+    const std::string text = ReadFile(path);
+    EXPECT_NE(text.find("spanners_export_test_flushes_total"), std::string::npos);
+    EXPECT_TRUE(text.ends_with("# EOF\n"));
+  }
+  // Destruction flushed once more; the file must still be complete.
+  EXPECT_TRUE(ReadFile(path).ends_with("# EOF\n"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,184 @@
+// Persistence & SLO telemetry (DESIGN.md §1.14): the PR7 durability path
+// (WAL append+fsync, snapshot save/open, replay, GC compaction) must be
+// visible in the metrics registry after a commit+query workload, and the
+// delay-SLO watchdog must count budget violations into slo.* metrics and the
+// flight recorder.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "store/persist.hpp"
+#include "store/store.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/metrics.hpp"
+#include "util/slo.hpp"
+
+namespace spanners {
+namespace {
+
+class TraceLevelGuard {
+ public:
+  explicit TraceLevelGuard(TraceLevel level) : saved_(trace_level()) {
+    SetTraceLevel(level);
+  }
+  ~TraceLevelGuard() { SetTraceLevel(saved_); }
+
+ private:
+  TraceLevel saved_;
+};
+
+std::string FreshStoreDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/spanners_telemetry_" + name;
+  std::remove(SnapshotPath(dir).c_str());
+  std::remove(WalPath(dir).c_str());
+  return dir;
+}
+
+uint64_t HistogramCount(const MetricsSnapshot& snapshot,
+                        const std::string& name) {
+  const auto it = snapshot.histograms.find(name);
+  return it == snapshot.histograms.end() ? 0 : it->second.count;
+}
+
+TEST(TelemetryTest, WalAppendAndSnapshotSaveAreMeasured) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  const std::string dir = FreshStoreDir("wal");
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  Expected<std::unique_ptr<DocumentStore>> store = DocumentStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->InsertDocument("document " + std::to_string(i)).ok());
+  }
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("wal.appends") - before.counter("wal.appends"), 5u);
+  EXPECT_GT(after.counter("wal.appended_bytes"),
+            before.counter("wal.appended_bytes"));
+  EXPECT_EQ(HistogramCount(after, "wal.append_ns") -
+                HistogramCount(before, "wal.append_ns"),
+            5u);
+  // Opening a fresh directory establishes the genesis blob.
+  EXPECT_GE(HistogramCount(after, "store.persist.snapshot_save_ns") -
+                HistogramCount(before, "store.persist.snapshot_save_ns"),
+            1u);
+}
+
+TEST(TelemetryTest, ReplayAndSnapshotOpenAreMeasured) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  const std::string dir = FreshStoreDir("replay");
+  {
+    Expected<std::unique_ptr<DocumentStore>> store = DocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.error();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*store)->InsertDocument("abc" + std::to_string(i)).ok());
+    }
+  }
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  Expected<std::unique_ptr<DocumentStore>> reopened = DocumentStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.error();
+  EXPECT_EQ((*reopened)->Snapshot().num_documents(), 3u);
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("wal.replay.records") -
+                before.counter("wal.replay.records"),
+            3u);
+  EXPECT_GE(HistogramCount(after, "store.persist.snapshot_open_ns") -
+                HistogramCount(before, "store.persist.snapshot_open_ns"),
+            1u);
+}
+
+TEST(TelemetryTest, GcPauseIsMeasuredAndFlightRecorded) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  StoreOptions options;
+  options.gc_min_garbage_ratio = 0.0;  // eager GC: any garbage compacts
+  options.gc_min_garbage_nodes = 1;
+  DocumentStore store(options);
+  Expected<StoreDocId> doc = store.InsertDocument(std::string(500, 'a') + "bc");
+  ASSERT_TRUE(doc.ok());
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const uint64_t events_before = FlightRecorder::Global().recorded();
+  ASSERT_TRUE(store.DropDocument(*doc).ok());  // every node becomes garbage
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("store.gc.compactions") -
+                before.counter("store.gc.compactions"),
+            1u);
+  EXPECT_GE(HistogramCount(after, "store.gc.pause_ns") -
+                HistogramCount(before, "store.gc.pause_ns"),
+            1u);
+
+  bool saw_gc_event = false;
+  for (const FlightEvent& event : FlightRecorder::Global().Dump()) {
+    if (event.kind == FlightEvent::Kind::kGc && event.detail > 0) {
+      saw_gc_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_gc_event);
+  EXPECT_GT(FlightRecorder::Global().recorded(), events_before);
+}
+
+TEST(TelemetryTest, DelaySloWatchdogCountsViolations) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  ASSERT_EQ(DelaySloBudgetSteps(), 0u);  // default: watchdog off
+  SetDelaySloBudgetSteps(1);             // any multi-step delay violates
+
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  Session session;
+  Expected<const CompiledQuery*> query =
+      session.Compile("(a|b)*{x: ab}(a|b)*");
+  ASSERT_TRUE(query.ok());
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "aab";
+  Expected<SpanRelation> result =
+      session.Evaluate(**query, Document::FromText(text));
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->size(), 0u);
+  SetDelaySloBudgetSteps(0);
+
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(after.counter("slo.delay.checks") -
+                before.counter("slo.delay.checks"),
+            0u);
+  EXPECT_GT(after.counter("slo.delay.violations") -
+                before.counter("slo.delay.violations"),
+            0u);
+  EXPECT_GT(HistogramCount(after, "slo.delay.excess_steps") -
+                HistogramCount(before, "slo.delay.excess_steps"),
+            0u);
+
+  bool saw_violation_event = false;
+  for (const FlightEvent& event : FlightRecorder::Global().Dump()) {
+    if (event.kind == FlightEvent::Kind::kSloViolation &&
+        event.delay_steps > 1) {
+      saw_violation_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_violation_event);
+
+  // With the budget back at 0 the checks counter freezes.
+  const MetricsSnapshot frozen_before = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(session.Evaluate(**query, Document::FromText(text)).ok());
+  const MetricsSnapshot frozen_after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(frozen_after.counter("slo.delay.checks"),
+            frozen_before.counter("slo.delay.checks"));
+}
+
+TEST(TelemetryTest, SessionQueriesLandInTheFlightRecorder) {
+  TraceLevelGuard trace(TraceLevel::kCounters);
+  Session session;
+  Expected<const CompiledQuery*> query = session.Compile("{x: b+}");
+  ASSERT_TRUE(query.ok());
+  const uint64_t before = FlightRecorder::Global().recorded();
+  ASSERT_TRUE(session.Evaluate(**query, Document::FromText("bbbb")).ok());
+  EXPECT_GT(FlightRecorder::Global().recorded(), before);
+  const std::string dump = session.DumpFlightRecorder();
+  EXPECT_NE(dump.find("query plan="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spanners
