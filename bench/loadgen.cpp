@@ -1,0 +1,315 @@
+// Closed-loop load generator for the spanner service (DESIGN.md §1.15).
+//
+// --connections client threads each own one SpannerClient and issue one
+// request at a time (closed loop: the next request starts when the response
+// lands). Each iteration is a read with probability --read-ratio -- one
+// batched QUERY over every live document, counted as one RPC and
+// N-documents queries -- otherwise a write: a COMMIT editing one seed
+// document with a length-preserving-ish CDE insert (documents only grow, so
+// the expression stays valid without knowing lengths client-side).
+//
+// Every thread also pins the snapshot it started from (SNAPSHOT RPC) and
+// audits it every --audit-every iterations: per-document tuple counts
+// against the pinned version vector must never change while commits land --
+// the wire-level form of the snapshot-isolation guarantee. Violations make
+// the run fail (exit 1).
+//
+//   ./build/bench/loadgen --port=PORT [--host=127.0.0.1] [--connections=4]
+//       [--duration=10] [--read-ratio=0.9] [--pattern=RE] [--audit-every=64]
+//       [--json-out=PATH] [--dump-metrics=PATH]
+//
+// --json-out writes one JSON object (queries/s, RPC p50/p99 split by
+// read/write, shed retries) that bench/run_benches.sh merges into
+// BENCH_PR<n>.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_util.hpp"
+#include "net/client.hpp"
+#include "util/random.hpp"
+
+using namespace spanners;
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ThreadResult {
+  std::vector<uint64_t> read_ns;   ///< per-RPC latency
+  std::vector<uint64_t> write_ns;
+  uint64_t queries = 0;  ///< per-document evaluations served
+  uint64_t errors = 0;
+  uint64_t violations = 0;
+  uint64_t retries = 0;  ///< kRetry responses absorbed by the client
+};
+
+/// The \p p-th percentile (0-100) of \p samples, in microseconds.
+double PercentileUs(std::vector<uint64_t>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const double ns = static_cast<double>(samples[lo]) * (1.0 - frac) +
+                    static_cast<double>(samples[hi]) * frac;
+  return ns / 1000.0;
+}
+
+void RunClient(const std::string& host, uint16_t port, const std::string& pattern,
+               double read_ratio, unsigned audit_every, uint64_t deadline_ns,
+               uint64_t seed, ThreadResult* out) {
+  Expected<SpannerClient> connected = SpannerClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::cerr << "loadgen: connect: " << connected.error() << "\n";
+    ++out->errors;
+    return;
+  }
+  SpannerClient client = std::move(*connected);
+
+  // Pin a snapshot and record its per-document tuple counts as the
+  // isolation baseline.
+  Expected<SnapshotResponse> pinned = client.Snapshot();
+  if (!pinned.ok()) {
+    std::cerr << "loadgen: snapshot: " << pinned.error() << "\n";
+    ++out->errors;
+    return;
+  }
+  QueryRequest baseline_request;
+  baseline_request.pattern = pattern;
+  baseline_request.snapshot_versions = pinned->versions;
+  Expected<QueryResponse> baseline = client.Query(baseline_request);
+  if (!baseline.ok()) {
+    std::cerr << "loadgen: baseline query: " << baseline.error() << "\n";
+    ++out->errors;
+    return;
+  }
+  std::vector<ClusterDocId> docs;
+  for (const WireDocResult& result : baseline->results) {
+    if (result.ok) docs.push_back(result.doc);
+  }
+  if (docs.empty()) {
+    std::cerr << "loadgen: server has no documents (seed it)\n";
+    ++out->errors;
+    return;
+  }
+
+  Rng rng(seed);
+  QueryRequest read_request;
+  read_request.pattern = pattern;  // fresh snapshot, all docs, counts only
+  uint64_t iteration = 0;
+  unsigned consecutive_errors = 0;
+  while (NowNs() < deadline_ns) {
+    // A dead server fails every RPC instantly; bail instead of spinning
+    // out millions of error-counting iterations until the deadline.
+    if (consecutive_errors >= 64) {
+      std::cerr << "loadgen: 64 consecutive errors, giving up\n";
+      break;
+    }
+    ++iteration;
+    if (audit_every > 0 && iteration % audit_every == 0) {
+      Expected<QueryResponse> audit = client.Query(baseline_request);
+      if (!audit.ok()) {
+        ++out->errors;
+        ++consecutive_errors;
+        continue;
+      }
+      consecutive_errors = 0;
+      if (audit->results.size() != baseline->results.size()) {
+        ++out->violations;
+        continue;
+      }
+      for (std::size_t i = 0; i < audit->results.size(); ++i) {
+        if (audit->results[i].doc != baseline->results[i].doc ||
+            audit->results[i].num_tuples != baseline->results[i].num_tuples) {
+          ++out->violations;
+        }
+      }
+      continue;
+    }
+    const bool read =
+        static_cast<double>(rng.NextBelow(1u << 20)) / double{1u << 20} <
+        read_ratio;
+    const uint64_t start = NowNs();
+    if (read) {
+      Expected<QueryResponse> response = client.Query(read_request);
+      if (!response.ok()) {
+        ++out->errors;
+        ++consecutive_errors;
+        continue;
+      }
+      consecutive_errors = 0;
+      out->read_ns.push_back(NowNs() - start);
+      out->queries += response->results.size();
+    } else {
+      const ClusterDocId doc = docs[rng.NextBelow(docs.size())];
+      WriteBatch batch;
+      // Documents only grow (seeded non-empty), so this stays valid
+      // without knowing lengths client-side.
+      batch.Edit(doc, "insert(D" + std::to_string(doc) + ", extract(D" +
+                          std::to_string(doc) + ", 1, 1), 1)");
+      Expected<CommitResponse> response = client.Commit(batch);
+      if (!response.ok()) {
+        ++out->errors;
+        ++consecutive_errors;
+        continue;
+      }
+      consecutive_errors = 0;
+      out->write_ns.push_back(NowNs() - start);
+    }
+  }
+  out->retries = client.retries();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser;
+  ExampleFlags common;
+  std::string host = "127.0.0.1";
+  std::string pattern = "(.|\\n)*{hit: the}(.|\\n)*";
+  std::string json_out;
+  unsigned port = 0, connections = 4, duration_s = 10, audit_every = 64;
+  double read_ratio = 0.9;
+  parser.AddString("host", &host, "server host (default 127.0.0.1)");
+  parser.AddUnsigned("port", &port, "server port (required)");
+  parser.AddUnsigned("connections", &connections, "client threads (default 4)");
+  parser.AddUnsigned("duration", &duration_s, "seconds to drive (default 10)");
+  parser.AddDouble("read-ratio", &read_ratio,
+                   "fraction of iterations that read (default 0.9)");
+  parser.AddString("pattern", &pattern, "spanner pattern for QUERY traffic");
+  parser.AddUnsigned("audit-every", &audit_every,
+                     "pinned-snapshot isolation audit cadence (0 = off)");
+  parser.AddString("json-out", &json_out, "write a result JSON object here");
+  std::string dump_metrics;
+  parser.AddString("dump-metrics", &dump_metrics,
+                   "after the run, fetch the METRICS RPC and write the "
+                   "OpenMetrics text here");
+  RegisterExampleFlags(&parser, &common);
+  const ExampleFlags flags = ParseExampleFlagsWith(&parser, argc, argv, &common);
+  (void)flags;
+  if (port == 0 || port > 65535 || connections == 0 || read_ratio < 0.0 ||
+      read_ratio > 1.0) {
+    std::cerr << "loadgen: need --port in [1,65535], --connections >= 1, "
+                 "--read-ratio in [0,1]\n";
+    return 2;
+  }
+
+  const uint64_t deadline_ns =
+      NowNs() + static_cast<uint64_t>(duration_s) * 1'000'000'000ull;
+  const uint64_t start_ns = NowNs();
+  std::vector<ThreadResult> results(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    threads.emplace_back(RunClient, host, static_cast<uint16_t>(port), pattern,
+                         read_ratio, audit_every, deadline_ns, 100 + c,
+                         &results[c]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed_s =
+      static_cast<double>(NowNs() - start_ns) / 1e9;
+
+  std::vector<uint64_t> read_ns, write_ns;
+  uint64_t queries = 0, errors = 0, violations = 0, retries = 0;
+  for (ThreadResult& result : results) {
+    read_ns.insert(read_ns.end(), result.read_ns.begin(), result.read_ns.end());
+    write_ns.insert(write_ns.end(), result.write_ns.begin(),
+                    result.write_ns.end());
+    queries += result.queries;
+    errors += result.errors;
+    violations += result.violations;
+    retries += result.retries;
+  }
+  const uint64_t read_rpcs = read_ns.size();
+  const uint64_t write_rpcs = write_ns.size();
+  const double queries_per_s =
+      elapsed_s > 0 ? static_cast<double>(queries) / elapsed_s : 0;
+  const double rpcs_per_s =
+      elapsed_s > 0 ? static_cast<double>(read_rpcs + write_rpcs) / elapsed_s : 0;
+  const double read_p50 = PercentileUs(read_ns, 50);
+  const double read_p99 = PercentileUs(read_ns, 99);
+  const double write_p50 = PercentileUs(write_ns, 50);
+  const double write_p99 = PercentileUs(write_ns, 99);
+
+  std::printf(
+      "loadgen: %.1fs, %u connections, read ratio %.2f\n"
+      "  reads:  %llu rpcs, %llu doc-queries (%.0f queries/s), p50 %.1fus p99 "
+      "%.1fus\n"
+      "  writes: %llu commits, p50 %.1fus p99 %.1fus\n"
+      "  shed retries absorbed: %llu; errors: %llu; isolation violations: "
+      "%llu\n",
+      elapsed_s, connections, read_ratio,
+      static_cast<unsigned long long>(read_rpcs),
+      static_cast<unsigned long long>(queries), queries_per_s, read_p50,
+      read_p99, static_cast<unsigned long long>(write_rpcs), write_p50,
+      write_p99, static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(violations));
+
+  if (!dump_metrics.empty()) {
+    Expected<SpannerClient> client =
+        SpannerClient::Connect(host, static_cast<uint16_t>(port));
+    if (!client.ok()) {
+      std::cerr << "loadgen: METRICS rpc: " << client.error() << "\n";
+      return 1;
+    }
+    const Expected<std::string> text = client->Metrics();
+    if (!text.ok()) {
+      std::cerr << "loadgen: METRICS rpc: " << text.error() << "\n";
+      return 1;
+    }
+    std::FILE* out = std::fopen(dump_metrics.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "loadgen: cannot write " << dump_metrics << "\n";
+      return 1;
+    }
+    std::fwrite(text->data(), 1, text->size(), out);
+    std::fclose(out);
+  }
+
+  if (!json_out.empty()) {
+    std::FILE* out = std::fopen(json_out.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "loadgen: cannot write " << json_out << "\n";
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"connections\": %u,\n"
+        "  \"read_ratio\": %.3f,\n"
+        "  \"duration_s\": %.3f,\n"
+        "  \"queries_per_s\": %.1f,\n"
+        "  \"rpcs_per_s\": %.1f,\n"
+        "  \"read_rpcs\": %llu,\n"
+        "  \"write_rpcs\": %llu,\n"
+        "  \"read_p50_us\": %.1f,\n"
+        "  \"read_p99_us\": %.1f,\n"
+        "  \"write_p50_us\": %.1f,\n"
+        "  \"write_p99_us\": %.1f,\n"
+        "  \"shed_retries\": %llu,\n"
+        "  \"errors\": %llu,\n"
+        "  \"isolation_violations\": %llu\n"
+        "}\n",
+        connections, read_ratio, elapsed_s, queries_per_s, rpcs_per_s,
+        static_cast<unsigned long long>(read_rpcs),
+        static_cast<unsigned long long>(write_rpcs), read_p50, read_p99,
+        write_p50, write_p99, static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(violations));
+    std::fclose(out);
+  }
+  return violations == 0 && errors == 0 ? 0 : 1;
+}

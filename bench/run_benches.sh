@@ -7,7 +7,9 @@
 # engine run (SPANNERS_TRACE=counters quickstart --stats; DESIGN.md §1.9),
 # a store_metrics_snapshot from an instrumented store_service run (WAL,
 # GC-pause, SLO, and cache series, with its OpenMetrics export validated by
-# bench/check_openmetrics.py; DESIGN.md §1.14), and the differential-testing
+# bench/check_openmetrics.py; DESIGN.md §1.14), a serving benchmark (a live
+# 2-shard spanner server driven by bench/loadgen at 90/10 read/write, with
+# the pinned-snapshot isolation audit; §1.15), and the differential-testing
 # footprint (sweep iteration budget and fuzz seed-corpus sizes; §1.11).
 #
 # The output file is written atomically (tmp + rename) and only after every
@@ -100,6 +102,46 @@ else
   : > "$tmp_dir/store_service_stats.txt"
 fi
 
+# A serving benchmark (DESIGN.md §1.15): start a 2-shard spanner server on
+# an ephemeral port, drive it with the closed-loop load generator at a
+# 90/10 read/write mix, and record p50/p99/throughput. The loadgen audits a
+# pinned snapshot as it runs, so the serving numbers double as a wire-level
+# isolation check (non-zero violations fail the stamp).
+spanner_server="$build_dir/examples/example_spanner_server"
+loadgen="$build_dir/bench/loadgen"
+serving_json="$tmp_dir/serving.json"
+if [[ -x "$spanner_server" && -x "$loadgen" ]]; then
+  "$spanner_server" --shards=2 --port=0 --seed-docs=8 \
+    > "$tmp_dir/server_stdout.txt" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$tmp_dir/server_stdout.txt")"
+    [[ -n "$port" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "error: spanner_server never reported its port" >&2
+    cat "$tmp_dir/server_stdout.txt" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! "$loadgen" --port="$port" \
+        --connections="${SPANNERS_LOADGEN_CONNECTIONS:-4}" \
+        --duration="${SPANNERS_LOADGEN_DURATION:-5}" \
+        --read-ratio=0.9 --json-out="$serving_json"; then
+    echo "error: loadgen reported errors or isolation violations" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "$server_pid" 2>/dev/null || true
+  wait "$server_pid" || true
+else
+  echo "warning: spanner_server/loadgen not built; serving section skipped" >&2
+  : > "$serving_json"
+fi
+
 # The differential-testing footprint (DESIGN.md §1.11): the per-run
 # comparison budget of tests/differential_test.cpp and the seed-corpus size
 # of every fuzz target.
@@ -159,6 +201,16 @@ def parse_stats(path):
 
 snapshot = parse_stats(os.path.join(tmp_dir, "quickstart_stats.txt"))
 merged["metrics_snapshot"] = snapshot
+
+# The serving benchmark (§1.15): loadgen's closed-loop numbers against a
+# live 2-shard server -- p50/p99 split by read/write, queries/s, and the
+# pinned-snapshot isolation audit (violations must be 0 to get here).
+serving_path = os.path.join(tmp_dir, "serving.json")
+try:
+    with open(serving_path) as f:
+        merged["serving"] = json.load(f)
+except (OSError, json.JSONDecodeError):
+    merged["serving"] = None
 # The serving-store run (WAL, GC, SLO, prepared-cache series; §1.14).
 merged["store_metrics_snapshot"] = parse_stats(
     os.path.join(tmp_dir, "store_service_stats.txt"))
@@ -197,7 +249,9 @@ print(f"wrote {out_file}: "
       + f", store_metrics_snapshot="
         f"{len(merged['store_metrics_snapshot']['counters'])} counters"
       + f", differential_iterations={merged['testing']['differential_iterations']}"
-      + f", corpus={sum(corpus.values())} files")
+      + f", corpus={sum(corpus.values())} files"
+      + (f", serving={merged['serving']['queries_per_s']:.0f} queries/s"
+         if merged.get("serving") else ", serving=skipped"))
 PY
 
 # --- bench-regression gate (DESIGN.md §1.12) ---------------------------------

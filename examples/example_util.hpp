@@ -1,13 +1,17 @@
-// Shared command-line handling for the examples (DESIGN.md §1.9, §1.14):
-// every example accepts --stats (print the metrics snapshot and, when
-// SPANNERS_TRACE=spans, the aggregated span report at exit); quickstart
-// additionally accepts --explain, store_service --snapshot-dir=PATH plus the
-// observability flags --metrics-out=PATH (OpenMetrics file, atomically
-// rewritten), --stats-interval=SECONDS (periodic interval-delta lines),
-// --flight-dump=N (last-N flight-recorder events at exit) and
-// --slo-delay-steps=N (delay-SLO budget). Flags are stripped before
-// positional arguments are read, so
-// `example_quickstart '{x: a*}b' aab --stats` works.
+// Shared command-line handling for the examples and bench drivers
+// (DESIGN.md §1.9, §1.14, §1.15). One FlagParser serves every binary:
+// flags are registered by name (bool / string / unsigned / double), both
+// `--key=value` and `--key value` spellings are accepted, `--` ends flag
+// parsing, and an unregistered --flag is an *error* (exit 2 with the flag
+// list), never silently treated as a positional -- a typo like
+// `--snapshotdir` must not quietly run ephemeral.
+//
+// Every example accepts the common observability flags: --stats (print the
+// metrics snapshot and, when SPANNERS_TRACE=spans, the aggregated span
+// report at exit), --snapshot-dir PATH, --metrics-out PATH (OpenMetrics
+// file, atomically rewritten), --stats-interval SECONDS, --flight-dump N,
+// --slo-delay-steps N. Binaries with extra flags (spanner_server, loadgen)
+// register them on the parser before calling ParseExampleFlags.
 #pragma once
 
 #include <cstdlib>
@@ -21,14 +25,132 @@
 
 namespace spanners {
 
+/// A registered-flags command-line parser. Misparses are reported as a
+/// message (the caller decides to exit); Parse never touches out-params of
+/// flags that were not given.
+class FlagParser {
+ public:
+  void AddBool(std::string name, bool* out, std::string help) {
+    flags_.push_back({std::move(name), Kind::kBool, out, std::move(help)});
+  }
+  void AddString(std::string name, std::string* out, std::string help) {
+    flags_.push_back({std::move(name), Kind::kString, out, std::move(help)});
+  }
+  void AddUnsigned(std::string name, unsigned* out, std::string help) {
+    flags_.push_back({std::move(name), Kind::kUnsigned, out, std::move(help)});
+  }
+  void AddDouble(std::string name, double* out, std::string help) {
+    flags_.push_back({std::move(name), Kind::kDouble, out, std::move(help)});
+  }
+
+  /// Parses argv[1..): flags in registration order, everything else (and
+  /// everything after a literal `--`) appended to \p positional. Returns a
+  /// diagnostic on the first unknown flag, missing value, or unparsable
+  /// number; empty string on success.
+  std::string Parse(int argc, char** argv, std::vector<char*>* positional) {
+    positional->push_back(argv[0]);
+    bool flags_done = false;
+    for (int i = 1; i < argc; ++i) {
+      char* arg = argv[i];
+      if (flags_done || std::strncmp(arg, "--", 2) != 0 || arg[2] == '\0') {
+        if (!flags_done && std::strcmp(arg, "--") == 0) {
+          flags_done = true;
+          continue;
+        }
+        positional->push_back(arg);
+        continue;
+      }
+      const char* body = arg + 2;
+      const char* equals = std::strchr(body, '=');
+      const std::string name(body, equals != nullptr
+                                       ? static_cast<std::size_t>(equals - body)
+                                       : std::strlen(body));
+      Flag* flag = Find(name);
+      if (flag == nullptr) {
+        return "unknown flag --" + name + " (see --help)";
+      }
+      if (flag->kind == Kind::kBool) {
+        if (equals != nullptr) {
+          return "flag --" + name + " takes no value";
+        }
+        *static_cast<bool*>(flag->out) = true;
+        continue;
+      }
+      const char* value;
+      if (equals != nullptr) {
+        value = equals + 1;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return "flag --" + name + " is missing its value";
+      }
+      switch (flag->kind) {
+        case Kind::kString:
+          *static_cast<std::string*>(flag->out) = value;
+          break;
+        case Kind::kUnsigned: {
+          char* end = nullptr;
+          const unsigned long parsed = std::strtoul(value, &end, 10);
+          if (end == value || *end != '\0') {
+            return "flag --" + name + ": '" + value + "' is not a number";
+          }
+          *static_cast<unsigned*>(flag->out) = static_cast<unsigned>(parsed);
+          break;
+        }
+        case Kind::kDouble: {
+          char* end = nullptr;
+          const double parsed = std::strtod(value, &end);
+          if (end == value || *end != '\0') {
+            return "flag --" + name + ": '" + value + "' is not a number";
+          }
+          *static_cast<double*>(flag->out) = parsed;
+          break;
+        }
+        case Kind::kBool:
+          break;  // handled above
+      }
+    }
+    return {};
+  }
+
+  /// One "  --name  help" line per registered flag.
+  std::string HelpText() const {
+    std::string out;
+    for (const Flag& flag : flags_) {
+      out += "  --" + flag.name;
+      if (flag.kind != Kind::kBool) out += " VALUE";
+      out += "\n      " + flag.help + "\n";
+    }
+    return out;
+  }
+
+ private:
+  enum class Kind { kBool, kString, kUnsigned, kDouble };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* out;
+    std::string help;
+  };
+
+  Flag* Find(const std::string& name) {
+    for (Flag& flag : flags_) {
+      if (flag.name == name) return &flag;
+    }
+    return nullptr;
+  }
+
+  std::vector<Flag> flags_;
+};
+
 struct ExampleFlags {
   bool stats = false;
   bool explain = false;
-  std::string snapshot_dir;  ///< --snapshot-dir=PATH (empty = ephemeral)
-  std::string metrics_out;   ///< --metrics-out=PATH (empty = no exporter)
-  unsigned stats_interval_s = 0;   ///< --stats-interval=SECONDS (0 = off)
-  unsigned flight_dump = 0;        ///< --flight-dump=N events at exit
-  unsigned slo_delay_steps = 0;    ///< --slo-delay-steps=N budget (0 = off)
+  std::string snapshot_dir;  ///< --snapshot-dir PATH (empty = ephemeral)
+  std::string metrics_out;   ///< --metrics-out PATH (empty = no exporter)
+  unsigned stats_interval_s = 0;   ///< --stats-interval SECONDS (0 = off)
+  unsigned flight_dump = 0;        ///< --flight-dump N events at exit
+  unsigned slo_delay_steps = 0;    ///< --slo-delay-steps N budget (0 = off)
   std::vector<char*> positional;  ///< argv[0] plus non-flag arguments
 
   /// Positional argument \p i (0 = program name), or \p fallback.
@@ -37,31 +159,50 @@ struct ExampleFlags {
   }
 };
 
-inline ExampleFlags ParseExampleFlags(int argc, char** argv) {
-  ExampleFlags flags;
-  for (int i = 0; i < argc; ++i) {
-    if (i > 0 && std::strcmp(argv[i], "--stats") == 0) {
-      flags.stats = true;
-    } else if (i > 0 && std::strcmp(argv[i], "--explain") == 0) {
-      flags.explain = true;
-    } else if (i > 0 && std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
-      flags.snapshot_dir = argv[i] + 15;
-    } else if (i > 0 && std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      flags.metrics_out = argv[i] + 14;
-    } else if (i > 0 && std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
-      flags.stats_interval_s =
-          static_cast<unsigned>(std::strtoul(argv[i] + 17, nullptr, 10));
-    } else if (i > 0 && std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
-      flags.flight_dump =
-          static_cast<unsigned>(std::strtoul(argv[i] + 14, nullptr, 10));
-    } else if (i > 0 && std::strncmp(argv[i], "--slo-delay-steps=", 18) == 0) {
-      flags.slo_delay_steps =
-          static_cast<unsigned>(std::strtoul(argv[i] + 18, nullptr, 10));
-    } else {
-      flags.positional.push_back(argv[i]);
-    }
+/// Registers the common example flags on \p parser.
+inline void RegisterExampleFlags(FlagParser* parser, ExampleFlags* flags) {
+  parser->AddBool("stats", &flags->stats,
+                  "print the metrics snapshot (and span report) at exit");
+  parser->AddBool("explain", &flags->explain, "print the chosen query plan");
+  parser->AddString("snapshot-dir", &flags->snapshot_dir,
+                    "persistent store directory (empty = ephemeral)");
+  parser->AddString("metrics-out", &flags->metrics_out,
+                    "OpenMetrics file, atomically rewritten");
+  parser->AddUnsigned("stats-interval", &flags->stats_interval_s,
+                      "seconds between interval-delta stat lines (0 = off)");
+  parser->AddUnsigned("flight-dump", &flags->flight_dump,
+                      "dump the last N flight-recorder events at exit");
+  parser->AddUnsigned("slo-delay-steps", &flags->slo_delay_steps,
+                      "delay-SLO budget in steps (0 = off)");
+}
+
+/// Parses with \p parser (extra flags already registered by the caller on
+/// top of the common set). Unknown flags, missing values, and unparsable
+/// numbers print a diagnostic plus the flag list and exit(2); --help prints
+/// the flag list and exits 0.
+inline ExampleFlags ParseExampleFlagsWith(FlagParser* parser, int argc,
+                                          char** argv, ExampleFlags* flags) {
+  bool help = false;
+  parser->AddBool("help", &help, "print this flag list and exit");
+  const std::string error = parser->Parse(argc, argv, &flags->positional);
+  if (help) {
+    std::cout << "usage: " << argv[0] << " [flags] [args]\n"
+              << parser->HelpText();
+    std::exit(0);
   }
-  return flags;
+  if (!error.empty()) {
+    std::cerr << argv[0] << ": " << error << "\nflags:\n" << parser->HelpText();
+    std::exit(2);
+  }
+  return *flags;
+}
+
+/// The common flags only (most examples).
+inline ExampleFlags ParseExampleFlags(int argc, char** argv) {
+  FlagParser parser;
+  ExampleFlags flags;
+  RegisterExampleFlags(&parser, &flags);
+  return ParseExampleFlagsWith(&parser, argc, argv, &flags);
 }
 
 /// The --stats report: every registered metric, then the span aggregate when

@@ -1,0 +1,159 @@
+// The spanner service daemon (DESIGN.md §1.15): a ShardedStore served over
+// the net/wire.hpp protocol. Recover -> serve -> snapshot loop:
+//
+//   * with --snapshot-dir=PATH the cluster is durable -- each shard opens
+//     PATH/shard-<i>/ (WAL replay over the last snapshot blob), and on
+//     SIGINT/SIGTERM (or --duration expiry) every shard saves a fresh
+//     snapshot blob before exit (log compaction);
+//   * without it the cluster is ephemeral (bench runs).
+//
+// An empty cluster is seeded with --seed-docs synthetic documents so a
+// loadgen can point at a fresh server immediately.
+//
+//   ./build/examples/example_spanner_server --shards=2 --port=7070
+//       [--snapshot-dir=PATH] [--seed-docs=N] [--duration=SECONDS]
+//       [--workers=N] [--queue-capacity=N] [--window=N]
+//       [--metrics-out=PATH] [--stats-interval=SECONDS] [--flight-dump=N]
+//
+// --port=0 picks an ephemeral port and prints it ("listening on PORT", the
+// line scripts wait for). Flags accept --key=value and --key value;
+// unknown flags are an error (example_util.hpp).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "example_util.hpp"
+#include "server/cluster.hpp"
+#include "server/server.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/metrics_export.hpp"
+#include "util/random.hpp"
+
+using namespace spanners;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser;
+  ExampleFlags common;
+  unsigned shards = 2, port = 0, seed_docs = 8, duration_s = 0;
+  unsigned workers = 2, queue_capacity = 128, window = 16;
+  parser.AddUnsigned("shards", &shards, "number of store shards (default 2)");
+  parser.AddUnsigned("port", &port, "TCP port (0 = ephemeral, printed)");
+  parser.AddUnsigned("seed-docs", &seed_docs,
+                     "seed an empty cluster with N synthetic documents");
+  parser.AddUnsigned("duration", &duration_s,
+                     "serve for N seconds then exit (0 = until signal)");
+  parser.AddUnsigned("workers", &workers, "request worker threads");
+  parser.AddUnsigned("queue-capacity", &queue_capacity,
+                     "global pending-request bound (kRetry beyond it)");
+  parser.AddUnsigned("window", &window, "per-connection in-flight window");
+  RegisterExampleFlags(&parser, &common);
+  const ExampleFlags flags = ParseExampleFlagsWith(&parser, argc, argv, &common);
+  if (shards == 0 || port > 65535) {
+    std::cerr << "spanner_server: --shards must be >= 1 and --port <= 65535\n";
+    return 2;
+  }
+
+  std::unique_ptr<MetricsFileFlusher> exporter;
+  if (!flags.metrics_out.empty()) {
+    exporter = std::make_unique<MetricsFileFlusher>(
+        flags.metrics_out, std::chrono::milliseconds(1000));
+  }
+
+  ClusterOptions options;
+  options.num_shards = shards;
+  options.store.gc_min_garbage_nodes = 256;
+  options.store.gc_min_garbage_ratio = 0.25;
+  std::unique_ptr<ShardedStore> owned;
+  if (!flags.snapshot_dir.empty()) {
+    Expected<std::unique_ptr<ShardedStore>> opened =
+        ShardedStore::Open(flags.snapshot_dir, options);
+    if (!opened.ok()) {
+      std::cerr << "open " << flags.snapshot_dir << " failed: " << opened.error()
+                << "\n";
+      return 1;
+    }
+    owned = std::move(*opened);
+    const ClusterStats recovered = owned->Stats();
+    std::cout << "recovered " << recovered.num_documents << " documents over "
+              << shards << " shard(s) from " << flags.snapshot_dir << " (";
+    for (std::size_t s = 0; s < recovered.shards.size(); ++s) {
+      std::cout << (s > 0 ? " " : "") << "v" << recovered.shards[s].version;
+    }
+    std::cout << ")\n";
+  } else {
+    owned = std::make_unique<ShardedStore>(options);
+  }
+  ShardedStore& store = *owned;
+
+  if (store.Snapshot().num_documents() == 0 && seed_docs > 0) {
+    Rng rng(17);
+    WriteBatch seed;
+    for (unsigned i = 0; i < seed_docs; ++i) {
+      seed.Insert(BoilerplateText(rng, 20 + i % 7, 0.03));
+    }
+    if (Expected<ClusterCommitReceipt> r = store.Commit(seed); !r.ok()) {
+      std::cerr << "seed failed: " << r.error() << "\n";
+      return 1;
+    }
+    std::cout << "seeded " << seed_docs << " documents\n";
+  }
+
+  ServerOptions serve;
+  serve.port = static_cast<uint16_t>(port);
+  serve.worker_threads = workers > 0 ? workers : 1;
+  serve.queue_capacity = queue_capacity > 0 ? queue_capacity : 1;
+  serve.per_connection_window = window > 0 ? window : 1;
+  SpannerServer server(&store, serve);
+  if (Status started = server.Start(); !started.ok()) {
+    std::cerr << "start failed: " << started.message() << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::cout << "listening on " << server.port() << std::endl;  // flush: scripts wait for this
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  const ServerStats served = server.stats();
+  std::cout << "served " << served.requests << " requests over "
+            << served.connections_accepted << " connection(s): "
+            << served.responses_ok << " ok, " << served.responses_error
+            << " error, " << served.responses_retry << " shed\n";
+
+  if (!flags.snapshot_dir.empty()) {
+    if (Status saved = store.SaveSnapshots(); !saved.ok()) {
+      std::cerr << "snapshot failed: " << saved.message() << "\n";
+      return 1;
+    }
+    std::cout << "saved shard snapshots to " << flags.snapshot_dir << "\n";
+  }
+  if (flags.flight_dump > 0) {
+    std::cout << "--- flight recorder (last " << flags.flight_dump
+              << " events) ---\n"
+              << FlightRecorder::Global().ToString(flags.flight_dump);
+  }
+  if (exporter) {
+    const std::string out = exporter->path();
+    exporter.reset();  // destructor flushes the final snapshot
+    std::cout << "metrics exported to " << out << "\n";
+  }
+  if (flags.stats) PrintExampleStats();
+  return 0;
+}

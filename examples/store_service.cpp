@@ -19,8 +19,12 @@
 // --slo-delay-steps=N arms the enumeration delay watchdog.
 //
 //   ./build/examples/example_store_service [readers] [commits]
+//       [--readers=N] [--commits=N]
 //       [--snapshot-dir=PATH] [--metrics-out=PATH] [--stats-interval=SECONDS]
 //       [--flight-dump=N] [--slo-delay-steps=N] [--stats]
+//
+// Flags accept both --key=value and --key value; unknown flags are an
+// error (example_util.hpp).
 //
 // Build: cmake --build build && ./build/examples/example_store_service
 #include <atomic>
@@ -103,9 +107,18 @@ class IntervalReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const ExampleFlags flags = ParseExampleFlags(argc, argv);
-  const int num_readers = std::atoi(flags.Arg(1, "4"));
-  const int num_commits = std::atoi(flags.Arg(2, "200"));
+  FlagParser parser;
+  ExampleFlags common;
+  unsigned readers_flag = 0;  // 0 = take the positional (or its default)
+  unsigned commits_flag = 0;
+  parser.AddUnsigned("readers", &readers_flag, "reader threads (default 4)");
+  parser.AddUnsigned("commits", &commits_flag, "writer commits (default 200)");
+  RegisterExampleFlags(&parser, &common);
+  const ExampleFlags flags = ParseExampleFlagsWith(&parser, argc, argv, &common);
+  const int num_readers = readers_flag > 0 ? static_cast<int>(readers_flag)
+                                           : std::atoi(flags.Arg(1, "4"));
+  const int num_commits = commits_flag > 0 ? static_cast<int>(commits_flag)
+                                           : std::atoi(flags.Arg(2, "200"));
 
   if (flags.slo_delay_steps > 0) SetDelaySloBudgetSteps(flags.slo_delay_steps);
   std::unique_ptr<MetricsFileFlusher> exporter;

@@ -1,0 +1,90 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace spanners {
+
+Expected<SpannerClient> SpannerClient::Connect(const std::string& host,
+                                               uint16_t port,
+                                               ClientOptions options) {
+  Expected<TcpConnection> connection = TcpConnection::Connect(host, port);
+  if (!connection.ok()) return connection.status();
+  return SpannerClient(std::move(*connection), options);
+}
+
+Expected<std::string> SpannerClient::Call(MessageType type,
+                                          std::string_view payload) {
+  std::size_t backoff_us = options_.retry_backoff_us;
+  for (std::size_t attempt = 0; attempt <= options_.retry_limit; ++attempt) {
+    const uint64_t id = next_request_id_++;
+    if (Status sent =
+            connection_.SendFrame(type, StatusCode::kOk, id, payload);
+        !sent.ok()) {
+      return sent;
+    }
+    Expected<FrameReader::Frame> frame = connection_.ReceiveFrame(&reader_);
+    if (!frame.ok()) return frame.status();
+    if (frame->header.request_id != id) {
+      return Unexpected("client: response id " +
+                        std::to_string(frame->header.request_id) +
+                        " does not match request id " + std::to_string(id));
+    }
+    if (frame->header.type != type) {
+      return Unexpected("client: response type does not match request");
+    }
+    switch (frame->header.status) {
+      case StatusCode::kOk:
+        return std::move(frame->payload);
+      case StatusCode::kError:
+        return Unexpected(frame->payload.empty() ? "server error"
+                                                 : frame->payload);
+      case StatusCode::kRetry:
+        ++retries_;
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+        continue;
+    }
+    return Unexpected("client: response carries an unknown status code");
+  }
+  return Unexpected("client: request shed " +
+                    std::to_string(options_.retry_limit + 1) +
+                    " times (server overloaded)");
+}
+
+Expected<std::string> SpannerClient::Ping(std::string_view payload) {
+  return Call(MessageType::kPing, payload);
+}
+
+Expected<SnapshotResponse> SpannerClient::Snapshot() {
+  Expected<std::string> payload = Call(MessageType::kSnapshot, {});
+  if (!payload.ok()) return payload.status();
+  return DecodeSnapshotResponse(*payload);
+}
+
+Expected<QueryResponse> SpannerClient::Query(const QueryRequest& request) {
+  Expected<std::string> payload =
+      Call(MessageType::kQuery, EncodeQueryRequest(request));
+  if (!payload.ok()) return payload.status();
+  return DecodeQueryResponse(*payload);
+}
+
+Expected<CommitResponse> SpannerClient::Commit(const WriteBatch& batch) {
+  CommitRequest request;
+  request.batch = batch;
+  Expected<std::string> payload =
+      Call(MessageType::kCommit, EncodeCommitRequest(request));
+  if (!payload.ok()) return payload.status();
+  return DecodeCommitResponse(*payload);
+}
+
+Expected<std::string> SpannerClient::StatsText() {
+  return Call(MessageType::kStats, {});
+}
+
+Expected<std::string> SpannerClient::Metrics() {
+  return Call(MessageType::kMetrics, {});
+}
+
+}  // namespace spanners

@@ -1,0 +1,75 @@
+/// \file client.hpp
+/// \brief Synchronous client for the spanner service (DESIGN.md §1.15).
+///
+/// One SpannerClient owns one connection and issues one request at a time
+/// (closed-loop; bench/loadgen.cpp opens many clients for concurrency).
+/// StatusCode::kRetry responses -- the server's admission-control shed --
+/// are absorbed transparently: the client backs off (exponential, starting
+/// at retry_backoff_us) and resends up to retry_limit times before
+/// surfacing an error. retries() exposes the absorbed count so the loadgen
+/// can report shed pressure alongside latency.
+///
+/// Not thread-safe: one SpannerClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+struct ClientOptions {
+  std::size_t retry_limit = 8;       ///< resend attempts after kRetry
+  std::size_t retry_backoff_us = 200;  ///< first backoff; doubles per retry
+};
+
+class SpannerClient {
+ public:
+  static Expected<SpannerClient> Connect(const std::string& host, uint16_t port,
+                                         ClientOptions options = {});
+
+  SpannerClient(SpannerClient&&) = default;
+  SpannerClient& operator=(SpannerClient&&) = default;
+
+  /// Liveness probe; returns the echoed payload.
+  Expected<std::string> Ping(std::string_view payload);
+
+  /// Acquires a consistent cluster snapshot (pin its versions into
+  /// QueryRequest::snapshot_versions for repeatable reads).
+  Expected<SnapshotResponse> Snapshot();
+
+  Expected<QueryResponse> Query(const QueryRequest& request);
+
+  /// Applies \p batch (cluster ids throughout) atomically per shard.
+  Expected<CommitResponse> Commit(const WriteBatch& batch);
+
+  /// Human-readable per-shard serving statistics.
+  Expected<std::string> StatsText();
+
+  /// The server's OpenMetrics exposition.
+  Expected<std::string> Metrics();
+
+  /// kRetry responses absorbed by backoff since Connect.
+  uint64_t retries() const { return retries_; }
+
+ private:
+  SpannerClient(TcpConnection connection, ClientOptions options)
+      : connection_(std::move(connection)), options_(options) {}
+
+  /// Sends one frame and receives its response (same request id, same
+  /// type), absorbing kRetry with backoff. kError responses surface as the
+  /// diagnostic the payload carries.
+  Expected<std::string> Call(MessageType type, std::string_view payload);
+
+  TcpConnection connection_;
+  FrameReader reader_;
+  ClientOptions options_;
+  uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace spanners

@@ -1,0 +1,206 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace spanners {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// A peer resetting mid-write must surface as a Status, not SIGPIPE.
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void TcpConnection::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                               uint16_t port) {
+  IgnoreSigpipeOnce();
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  if (int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+      rc != 0) {
+    return Unexpected("socket: resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "socket: no address for " + host;
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = Errno("socket: socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = Errno("socket: connect");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) return Unexpected(last_error);
+  SetNoDelay(fd);
+  return TcpConnection(fd);
+}
+
+Status TcpConnection::WriteAll(std::string_view bytes) {
+  if (fd_ < 0) return Status::Error("socket: write on closed connection");
+  while (!bytes.empty()) {
+    const ssize_t written = ::send(fd_, bytes.data(), bytes.size(), 0);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(Errno("socket: send"));
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(written));
+  }
+  return Status::Ok();
+}
+
+Expected<std::size_t> TcpConnection::ReadSome(std::string* out, std::size_t max) {
+  if (fd_ < 0) return Unexpected("socket: read on closed connection");
+  std::string chunk(max, '\0');
+  ssize_t got;
+  do {
+    got = ::recv(fd_, chunk.data(), chunk.size(), 0);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) return Unexpected(Errno("socket: recv"));
+  out->append(chunk, 0, static_cast<std::size_t>(got));
+  return static_cast<std::size_t>(got);
+}
+
+Status TcpConnection::SendFrame(MessageType type, StatusCode status,
+                                uint64_t request_id, std::string_view payload) {
+  return WriteAll(EncodeFrame(type, status, request_id, payload));
+}
+
+Expected<FrameReader::Frame> TcpConnection::ReceiveFrame(FrameReader* reader) {
+  FrameReader::Frame frame;
+  while (true) {
+    if (reader->Next(&frame)) return frame;
+    if (!reader->ok()) return Unexpected(reader->error());
+    Expected<std::size_t> got = ReadSome(&scratch_read_buffer_);
+    if (!got.ok()) return got.status();
+    if (*got == 0) return Unexpected("socket: connection closed by peer");
+    reader->Feed(scratch_read_buffer_);
+    scratch_read_buffer_.clear();
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void TcpListener::Shutdown() {
+  // shutdown() unblocks a concurrent Accept() (it returns an error) while
+  // keeping the descriptor alive, so a racing accept() can never touch a
+  // recycled fd number. Close() afterwards releases the descriptor.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<TcpListener> TcpListener::Listen(uint16_t port, int backlog) {
+  IgnoreSigpipeOnce();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Unexpected(Errno("socket: socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = Errno("socket: bind");
+    ::close(fd);
+    return Unexpected(message);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string message = Errno("socket: listen");
+    ::close(fd);
+    return Unexpected(message);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) != 0) {
+    const std::string message = Errno("socket: getsockname");
+    ::close(fd);
+    return Unexpected(message);
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+Expected<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) return Unexpected("socket: accept on closed listener");
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return Unexpected(Errno("socket: accept"));
+  SetNoDelay(client);
+  return TcpConnection(client);
+}
+
+}  // namespace spanners

@@ -1,0 +1,112 @@
+/// \file socket.hpp
+/// \brief Minimal RAII TCP sockets for the spanner service (DESIGN.md
+/// §1.15).
+///
+/// Plain POSIX sockets, no external dependencies: a TcpListener binds,
+/// listens, and accepts; a TcpConnection moves bytes. Both are move-only
+/// owners of one file descriptor. The service's framing (net/wire.hpp)
+/// sits on top -- SendFrame/ReceiveFrame compose the two so callers deal
+/// only in whole, checksummed frames.
+///
+/// TCP_NODELAY is set on every connection: frames are request/response
+/// units and Nagle's 40ms coalescing would dominate the p99 the loadgen
+/// measures. Errors are caller-visible Status values (a peer hanging up is
+/// data, not a programming error).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// A connected TCP stream (client or accepted server side).
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connects to \p host : \p port (numeric IPv4 or a resolvable name).
+  static Expected<TcpConnection> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes all of \p bytes (handles short writes and EINTR).
+  Status WriteAll(std::string_view bytes);
+
+  /// Reads up to \p max bytes into \p out (appended). Returns the count
+  /// read; 0 means orderly peer shutdown. Blocks until at least one byte
+  /// arrives.
+  Expected<std::size_t> ReadSome(std::string* out, std::size_t max = 1 << 16);
+
+  /// Sends one frame (net/wire.hpp).
+  Status SendFrame(MessageType type, StatusCode status, uint64_t request_id,
+                   std::string_view payload);
+
+  /// Receives exactly one frame through \p reader (which buffers any bytes
+  /// of the next frame). Returns an error on framing violations or EOF.
+  Expected<FrameReader::Frame> ReceiveFrame(FrameReader* reader);
+
+  /// Unblocks a concurrent ReadSome/ReceiveFrame on this connection (they
+  /// observe EOF) without releasing the descriptor -- safe to call from
+  /// another thread while a reader is blocked (the server's shutdown path).
+  void Shutdown();
+
+  /// Closes the socket early (destructor also closes).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string scratch_read_buffer_;  ///< reused by ReceiveFrame
+};
+
+/// A listening server socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 0.0.0.0:\p port (0 = ephemeral; see port()) with SO_REUSEADDR
+  /// and listens.
+  static Expected<TcpListener> Listen(uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// The bound port (resolved after Listen, also for port 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Shutdown() from another thread
+  /// unblocks pending Accept calls with an error (the server's shutdown
+  /// path).
+  Expected<TcpConnection> Accept();
+
+  /// Unblocks concurrent Accept() calls (they return errors from now on)
+  /// without releasing the descriptor -- safe to call from another thread
+  /// while Accept is blocked. The destructor (or Close after the accept
+  /// loop exited) releases the descriptor.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  explicit TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace spanners

@@ -1,0 +1,336 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "store/persist.hpp"
+#include "util/blob_io.hpp"
+
+namespace spanners {
+namespace {
+
+/// Sanity bound on decoded element counts: no legal payload of at most
+/// kMaxWirePayload bytes can hold more elements than bytes, so a count
+/// beyond the remaining byte budget is rejected before any allocation
+/// (keeps a hostile count field from reserving gigabytes).
+bool CountFits(const ByteReader& reader, uint64_t count, std::size_t unit) {
+  return unit == 0 || count <= reader.remaining() / unit;
+}
+
+void AppendString(std::string* out, std::string_view text) {
+  AppendU32(out, static_cast<uint32_t>(text.size()));
+  out->append(text);
+}
+
+bool ReadString(ByteReader* reader, std::string* out) {
+  const uint32_t size = reader->ReadU32();
+  const std::string_view bytes = reader->ReadBytes(size);
+  if (!reader->ok()) return false;
+  out->assign(bytes);
+  return true;
+}
+
+/// Span tuples over the wire: arity, then per variable a presence byte
+/// (bottom of the schemaless semantics) and the 1-based [begin, end> pair.
+void AppendTuple(std::string* out, const SpanTuple& tuple) {
+  AppendU32(out, static_cast<uint32_t>(tuple.arity()));
+  for (std::size_t var = 0; var < tuple.arity(); ++var) {
+    const std::optional<Span>& span = tuple[var];
+    AppendU8(out, span.has_value() ? 1 : 0);
+    AppendU64(out, span.has_value() ? span->begin : 0);
+    AppendU64(out, span.has_value() ? span->end : 0);
+  }
+}
+
+bool ReadTuple(ByteReader* reader, SpanTuple* out) {
+  const uint32_t arity = reader->ReadU32();
+  if (!CountFits(*reader, arity, 17)) return false;
+  SpanTuple tuple(arity);
+  for (uint32_t var = 0; var < arity; ++var) {
+    const uint8_t present = reader->ReadU8();
+    const uint64_t begin = reader->ReadU64();
+    const uint64_t end = reader->ReadU64();
+    if (present != 0) tuple[var] = Span(begin, end);
+  }
+  if (!reader->ok()) return false;
+  *out = std::move(tuple);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeFrame(MessageType type, StatusCode status,
+                        uint64_t request_id, std::string_view payload) {
+  Require(payload.size() <= kMaxWirePayload,
+          "EncodeFrame: payload exceeds kMaxWirePayload");
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendU32(&frame, kFrameMagic);
+  AppendU8(&frame, static_cast<uint8_t>(type));
+  AppendU8(&frame, static_cast<uint8_t>(status));
+  AppendU8(&frame, 0);
+  AppendU8(&frame, 0);
+  AppendU64(&frame, request_id);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32(payload));
+  AppendU32(&frame, Crc32(frame));
+  frame.append(payload);
+  return frame;
+}
+
+Expected<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Unexpected("wire: short frame header");
+  }
+  ByteReader reader(bytes.substr(0, kFrameHeaderSize));
+  const uint32_t magic = reader.ReadU32();
+  if (magic != kFrameMagic) return Unexpected("wire: bad frame magic");
+  FrameHeader header;
+  const uint8_t type = reader.ReadU8();
+  const uint8_t status = reader.ReadU8();
+  const uint8_t reserved0 = reader.ReadU8();
+  const uint8_t reserved1 = reader.ReadU8();
+  header.request_id = reader.ReadU64();
+  header.payload_size = reader.ReadU32();
+  header.payload_crc32 = reader.ReadU32();
+  const uint32_t header_crc = reader.ReadU32();
+  if (Crc32(bytes.substr(0, kFrameHeaderSize - 4)) != header_crc) {
+    return Unexpected("wire: frame header checksum mismatch");
+  }
+  if (type < static_cast<uint8_t>(MessageType::kQuery) ||
+      type > static_cast<uint8_t>(MessageType::kPing)) {
+    return Unexpected("wire: unknown message type");
+  }
+  if (status > static_cast<uint8_t>(StatusCode::kRetry)) {
+    return Unexpected("wire: unknown status code");
+  }
+  if (reserved0 != 0 || reserved1 != 0) {
+    return Unexpected("wire: reserved header bytes must be zero");
+  }
+  if (header.payload_size > kMaxWirePayload) {
+    return Unexpected("wire: frame payload exceeds the protocol maximum");
+  }
+  header.type = static_cast<MessageType>(type);
+  header.status = static_cast<StatusCode>(status);
+  return header;
+}
+
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_size) {
+    return Status::Error("wire: frame payload size mismatch");
+  }
+  if (Crc32(payload) != header.payload_crc32) {
+    return Status::Error("wire: frame payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+void FrameReader::Feed(std::string_view bytes) {
+  if (!ok()) return;
+  // Compact once the consumed prefix dominates (amortised O(1) per byte).
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+bool FrameReader::Next(Frame* out) {
+  if (!ok()) return false;
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderSize) return false;
+  Expected<FrameHeader> header = DecodeFrameHeader(pending);
+  if (!header.ok()) {
+    error_ = header.error();
+    return false;
+  }
+  if (pending.size() < kFrameHeaderSize + header->payload_size) return false;
+  const std::string_view payload =
+      pending.substr(kFrameHeaderSize, header->payload_size);
+  if (Status verified = VerifyFramePayload(*header, payload); !verified.ok()) {
+    error_ = verified.message();
+    return false;
+  }
+  out->header = *header;
+  out->payload.assign(payload);
+  consumed_ += kFrameHeaderSize + header->payload_size;
+  return true;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string payload;
+  AppendString(&payload, request.pattern);
+  AppendU32(&payload, static_cast<uint32_t>(request.snapshot_versions.size()));
+  for (uint64_t version : request.snapshot_versions) AppendU64(&payload, version);
+  AppendU32(&payload, static_cast<uint32_t>(request.docs.size()));
+  for (ClusterDocId doc : request.docs) AppendU64(&payload, doc);
+  AppendU32(&payload, request.max_tuples);
+  return payload;
+}
+
+Expected<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  ByteReader reader(payload);
+  QueryRequest request;
+  if (!ReadString(&reader, &request.pattern)) {
+    return Unexpected("wire: truncated query pattern");
+  }
+  const uint32_t num_versions = reader.ReadU32();
+  if (!CountFits(reader, num_versions, 8)) {
+    return Unexpected("wire: query snapshot-version count overruns payload");
+  }
+  request.snapshot_versions.reserve(num_versions);
+  for (uint32_t i = 0; i < num_versions; ++i) {
+    request.snapshot_versions.push_back(reader.ReadU64());
+  }
+  const uint32_t num_docs = reader.ReadU32();
+  if (!CountFits(reader, num_docs, 8)) {
+    return Unexpected("wire: query document count overruns payload");
+  }
+  request.docs.reserve(num_docs);
+  for (uint32_t i = 0; i < num_docs; ++i) request.docs.push_back(reader.ReadU64());
+  request.max_tuples = reader.ReadU32();
+  if (!reader.ok()) return Unexpected("wire: truncated query request");
+  return request;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(response.snapshot_versions.size()));
+  for (uint64_t version : response.snapshot_versions) AppendU64(&payload, version);
+  AppendU32(&payload, static_cast<uint32_t>(response.results.size()));
+  for (const WireDocResult& result : response.results) {
+    AppendU64(&payload, result.doc);
+    AppendU8(&payload, result.ok ? 1 : 0);
+    if (!result.ok) {
+      AppendString(&payload, result.error);
+      continue;
+    }
+    AppendU64(&payload, result.num_tuples);
+    AppendU32(&payload, static_cast<uint32_t>(result.tuples.size()));
+    for (const SpanTuple& tuple : result.tuples) AppendTuple(&payload, tuple);
+  }
+  return payload;
+}
+
+Expected<QueryResponse> DecodeQueryResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  QueryResponse response;
+  const uint32_t num_versions = reader.ReadU32();
+  if (!CountFits(reader, num_versions, 8)) {
+    return Unexpected("wire: response snapshot-version count overruns payload");
+  }
+  for (uint32_t i = 0; i < num_versions; ++i) {
+    response.snapshot_versions.push_back(reader.ReadU64());
+  }
+  const uint32_t num_results = reader.ReadU32();
+  if (!CountFits(reader, num_results, 9)) {
+    return Unexpected("wire: response document count overruns payload");
+  }
+  response.results.reserve(num_results);
+  for (uint32_t i = 0; i < num_results; ++i) {
+    WireDocResult result;
+    result.doc = reader.ReadU64();
+    result.ok = reader.ReadU8() != 0;
+    if (!result.ok) {
+      if (!ReadString(&reader, &result.error)) {
+        return Unexpected("wire: truncated per-document error");
+      }
+      response.results.push_back(std::move(result));
+      continue;
+    }
+    result.num_tuples = reader.ReadU64();
+    const uint32_t num_tuples = reader.ReadU32();
+    if (!CountFits(reader, num_tuples, 4)) {
+      return Unexpected("wire: tuple count overruns payload");
+    }
+    result.tuples.reserve(num_tuples);
+    for (uint32_t t = 0; t < num_tuples; ++t) {
+      SpanTuple tuple;
+      if (!ReadTuple(&reader, &tuple)) {
+        return Unexpected("wire: truncated span tuple");
+      }
+      result.tuples.push_back(std::move(tuple));
+    }
+    response.results.push_back(std::move(result));
+  }
+  if (!reader.ok()) return Unexpected("wire: truncated query response");
+  return response;
+}
+
+std::string EncodeCommitRequest(const CommitRequest& request) {
+  // The WriteBatch encoding is shared with the WAL (store/persist.hpp):
+  // version 0 marks "not yet assigned" -- the server's commit decides it.
+  return EncodeCommitRecord(0, request.batch);
+}
+
+Expected<CommitRequest> DecodeCommitRequest(std::string_view payload) {
+  Expected<WalCommit> decoded = DecodeCommitRecord(payload);
+  if (!decoded.ok()) return decoded.status();
+  CommitRequest request;
+  request.batch = std::move(decoded->batch);
+  return request;
+}
+
+std::string EncodeCommitResponse(const CommitResponse& response) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(response.shard_versions.size()));
+  for (const auto& [shard, version] : response.shard_versions) {
+    AppendU32(&payload, shard);
+    AppendU64(&payload, version);
+  }
+  AppendU32(&payload, static_cast<uint32_t>(response.created.size()));
+  for (ClusterDocId id : response.created) AppendU64(&payload, id);
+  return payload;
+}
+
+Expected<CommitResponse> DecodeCommitResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  CommitResponse response;
+  const uint32_t num_shards = reader.ReadU32();
+  if (!CountFits(reader, num_shards, 12)) {
+    return Unexpected("wire: commit shard count overruns payload");
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    const uint32_t shard = reader.ReadU32();
+    const uint64_t version = reader.ReadU64();
+    response.shard_versions.emplace_back(shard, version);
+  }
+  const uint32_t num_created = reader.ReadU32();
+  if (!CountFits(reader, num_created, 8)) {
+    return Unexpected("wire: created-id count overruns payload");
+  }
+  for (uint32_t i = 0; i < num_created; ++i) {
+    response.created.push_back(reader.ReadU64());
+  }
+  if (!reader.ok()) return Unexpected("wire: truncated commit response");
+  return response;
+}
+
+std::string EncodeSnapshotResponse(const SnapshotResponse& response) {
+  Require(response.versions.size() == response.num_documents.size(),
+          "EncodeSnapshotResponse: per-shard vectors disagree");
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(response.versions.size()));
+  for (std::size_t i = 0; i < response.versions.size(); ++i) {
+    AppendU64(&payload, response.versions[i]);
+    AppendU64(&payload, response.num_documents[i]);
+  }
+  return payload;
+}
+
+Expected<SnapshotResponse> DecodeSnapshotResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  SnapshotResponse response;
+  const uint32_t num_shards = reader.ReadU32();
+  if (!CountFits(reader, num_shards, 16)) {
+    return Unexpected("wire: snapshot shard count overruns payload");
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    response.versions.push_back(reader.ReadU64());
+    response.num_documents.push_back(reader.ReadU64());
+  }
+  if (!reader.ok()) return Unexpected("wire: truncated snapshot response");
+  return response;
+}
+
+}  // namespace spanners

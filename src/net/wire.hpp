@@ -1,0 +1,184 @@
+/// \file wire.hpp
+/// \brief The length-prefixed binary wire protocol of the spanner service
+/// (DESIGN.md §1.15).
+///
+/// Every message on a connection is one *frame*: a fixed 28-byte
+/// little-endian header followed by the payload. The header carries its own
+/// CRC32 and the payload's, following the util/blob_io conventions (CRC per
+/// unit, little-endian pinned), so a torn or bit-flipped frame is rejected
+/// before any payload byte is interpreted:
+///
+///   offset size field
+///   0      4    magic "SPW1"
+///   4      1    message type (MessageType)
+///   5      1    status (StatusCode; kOk in requests)
+///   6      2    reserved, must be 0
+///   8      8    request id (chosen by the client, echoed in the response)
+///   16     4    payload size (at most kMaxWirePayload)
+///   20     4    CRC32 of the payload bytes
+///   24     4    CRC32 of header bytes [0, 24)
+///   28     ...  payload
+///
+/// Payload encodings reuse the little-endian AppendU*/ByteReader helpers.
+/// Batched RPCs: one QUERY frame carries one pattern over many documents
+/// (the response is index-aligned), one COMMIT frame carries a whole
+/// WriteBatch. Decoding is total -- any byte sequence either yields a value
+/// or an Expected error, never a crash -- which fuzz/fuzz_wire_frame.cpp
+/// exercises directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/span.hpp"
+#include "store/store.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// RPCs of the service. Responses reuse the request's type; the header's
+/// status field tells success from shed/error.
+enum class MessageType : uint8_t {
+  kQuery = 1,     ///< one pattern over a batch of documents of a snapshot
+  kCommit = 2,    ///< one WriteBatch, routed to shards
+  kSnapshot = 3,  ///< acquire a consistent cluster snapshot (shard heads)
+  kStats = 4,     ///< human-readable per-shard serving statistics
+  kMetrics = 5,   ///< the OpenMetrics rendering of the metrics registry
+  kPing = 6,      ///< liveness / RTT probe; payload echoed
+};
+
+/// Response disposition.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kError = 1,  ///< payload is a diagnostic message
+  kRetry = 2,  ///< admission control shed the request; back off and resend
+};
+
+/// The decoded fixed-size frame header.
+struct FrameHeader {
+  MessageType type = MessageType::kQuery;
+  StatusCode status = StatusCode::kOk;
+  uint64_t request_id = 0;
+  uint32_t payload_size = 0;
+  uint32_t payload_crc32 = 0;
+};
+
+inline constexpr std::size_t kFrameHeaderSize = 28;
+inline constexpr uint32_t kFrameMagic = 0x31575053;  // "SPW1" little-endian
+
+/// Frames larger than this are rejected at the header (before any payload
+/// is read), bounding per-connection memory.
+inline constexpr uint32_t kMaxWirePayload = 16u << 20;
+
+/// One whole frame: header + \p payload.
+std::string EncodeFrame(MessageType type, StatusCode status,
+                        uint64_t request_id, std::string_view payload);
+
+/// Decodes and validates the 28-byte header at the front of \p bytes
+/// (magic, reserved bytes, header CRC, payload bound). \p bytes may be
+/// longer; only the first kFrameHeaderSize bytes are read.
+Expected<FrameHeader> DecodeFrameHeader(std::string_view bytes);
+
+/// Checks \p payload against the CRC the header promised.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// Incremental frame assembly over a byte stream: feed whatever the socket
+/// produced, take complete frames out. Malformed input (bad magic, bad
+/// CRC, oversized payload) is sticky: the stream is unrecoverable past a
+/// framing error, matching TCP semantics.
+class FrameReader {
+ public:
+  struct Frame {
+    FrameHeader header;
+    std::string payload;
+  };
+
+  /// Appends \p bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame: returns false with ok() still true
+  /// when more bytes are needed, false with !ok() on a framing error.
+  bool Next(Frame* out);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by Next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  std::string error_;
+};
+
+// --- message payloads -------------------------------------------------------
+
+/// Cluster document ids: like StoreDocId, assigned from 1 and never reused,
+/// but interleaved over shards -- shard(id) = (id - 1) % num_shards,
+/// local(id) = (id - 1) / num_shards + 1 (src/server/cluster.hpp).
+using ClusterDocId = uint64_t;
+
+/// QUERY: evaluate \p pattern over documents of a cluster snapshot.
+struct QueryRequest {
+  std::string pattern;
+  /// Pin the evaluation to this snapshot (one version per shard, from an
+  /// earlier SNAPSHOT response). Empty = the server acquires a fresh one.
+  std::vector<uint64_t> snapshot_versions;
+  /// Documents to evaluate, by cluster id. Empty = every live document.
+  std::vector<ClusterDocId> docs;
+  /// At most this many tuples are serialized per document (the count is
+  /// always exact). 0 = counts only.
+  uint32_t max_tuples = 0;
+};
+
+/// One document's result within a QueryResponse.
+struct WireDocResult {
+  ClusterDocId doc = 0;
+  bool ok = true;
+  std::string error;            ///< when !ok
+  uint64_t num_tuples = 0;      ///< exact |relation|
+  std::vector<SpanTuple> tuples;  ///< first min(num_tuples, max_tuples)
+};
+
+struct QueryResponse {
+  std::vector<uint64_t> snapshot_versions;  ///< the snapshot actually used
+  std::vector<WireDocResult> results;
+};
+
+/// COMMIT: apply one WriteBatch. Ids inside the batch (Edit/Drop targets
+/// and D-references in CDE payloads) are cluster ids.
+struct CommitRequest {
+  WriteBatch batch;
+};
+
+struct CommitResponse {
+  /// Version published on every shard the batch touched.
+  std::vector<std::pair<uint32_t, uint64_t>> shard_versions;
+  std::vector<ClusterDocId> created;  ///< ids of Insert/Create ops, in order
+};
+
+/// SNAPSHOT: the consistent cut (one version per shard) plus doc counts.
+struct SnapshotResponse {
+  std::vector<uint64_t> versions;
+  std::vector<uint64_t> num_documents;  ///< per shard
+};
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+Expected<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
+std::string EncodeQueryResponse(const QueryResponse& response);
+Expected<QueryResponse> DecodeQueryResponse(std::string_view payload);
+
+std::string EncodeCommitRequest(const CommitRequest& request);
+Expected<CommitRequest> DecodeCommitRequest(std::string_view payload);
+
+std::string EncodeCommitResponse(const CommitResponse& response);
+Expected<CommitResponse> DecodeCommitResponse(std::string_view payload);
+
+std::string EncodeSnapshotResponse(const SnapshotResponse& response);
+Expected<SnapshotResponse> DecodeSnapshotResponse(std::string_view payload);
+
+}  // namespace spanners

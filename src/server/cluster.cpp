@@ -1,0 +1,384 @@
+#include "server/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include <sys/stat.h>
+
+#include "slp/cde.hpp"
+#include "store/persist.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace spanners {
+namespace {
+
+struct ClusterMetrics {
+  Counter& snapshots;
+  Counter& snapshot_retries;
+  Counter& snapshot_nonatomic;
+  Counter& commits;
+  Counter& commit_errors;
+  Counter& cross_shard_rejections;
+
+  static ClusterMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static ClusterMetrics* metrics = new ClusterMetrics{
+        registry.GetCounter("cluster.snapshots"),
+        registry.GetCounter("cluster.snapshot.retries"),
+        registry.GetCounter("cluster.snapshot.nonatomic"),
+        registry.GetCounter("cluster.commits"),
+        registry.GetCounter("cluster.commit_errors"),
+        registry.GetCounter("cluster.cross_shard_rejections"),
+    };
+    return *metrics;
+  }
+};
+
+bool DirectoryExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string ShardDir(const std::string& dir, std::size_t shard) {
+  return dir + "/shard-" + std::to_string(shard);
+}
+
+/// Rewrites every D-reference of \p expr from cluster ids to shard-local
+/// ids, requiring all of them to live on \p target_shard. Returns a
+/// diagnostic ("" = ok).
+std::string RenumberCdeRefs(CdeExpr* expr, std::size_t target_shard,
+                            std::size_t num_shards,
+                            const ClusterSnapshot& heads) {
+  if (expr->op == CdeOp::kDocument) {
+    const ClusterDocId cluster = expr->document_index + 1;
+    const std::size_t shard = ShardedStore::ShardOf(cluster, num_shards);
+    if (shard != target_shard) {
+      if (MetricsEnabled()) ClusterMetrics::Get().cross_shard_rejections.Increment();
+      return "cross-shard CDE reference D" + std::to_string(cluster) +
+             " (shard " + std::to_string(shard) + ") from a shard-" +
+             std::to_string(target_shard) + " operation; documents are never "
+             "copied between shard arenas";
+    }
+    if (!heads.shard(shard).Contains(
+            ShardedStore::LocalId(cluster, num_shards))) {
+      return "reference to unknown or dropped document D" +
+             std::to_string(cluster);
+    }
+    expr->document_index =
+        static_cast<std::size_t>(ShardedStore::LocalId(cluster, num_shards)) - 1;
+    return {};
+  }
+  for (auto& child : expr->children) {
+    std::string diagnostic =
+        RenumberCdeRefs(child.get(), target_shard, num_shards, heads);
+    if (!diagnostic.empty()) return diagnostic;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<uint64_t> ClusterSnapshot::versions() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const StoreSnapshot& shard : shards_) out.push_back(shard.version());
+  return out;
+}
+
+std::size_t ClusterSnapshot::num_documents() const {
+  std::size_t total = 0;
+  for (const StoreSnapshot& shard : shards_) total += shard.num_documents();
+  return total;
+}
+
+std::vector<ClusterDocId> ClusterSnapshot::documents() const {
+  std::vector<ClusterDocId> out;
+  out.reserve(num_documents());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (const StoreDoc& doc : shards_[s].documents()) {
+      out.push_back(ShardedStore::ClusterId(doc.id, s, shards_.size()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ClusterSnapshot::Contains(ClusterDocId id) const {
+  if (shards_.empty() || id == 0) return false;
+  const std::size_t shard = ShardedStore::ShardOf(id, shards_.size());
+  return shards_[shard].Contains(ShardedStore::LocalId(id, shards_.size()));
+}
+
+ShardedStore::ShardedStore(ClusterOptions options, std::vector<ShardState> shards)
+    : options_(std::move(options)), shards_(std::move(shards)) {
+  // Start round-robin placement at the emptiest shard so a recovered
+  // cluster keeps filling evenly instead of always restarting at shard 0.
+  std::size_t emptiest = 0;
+  std::size_t fewest = shards_[0].store->Snapshot().num_documents();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const std::size_t docs = shards_[s].store->Snapshot().num_documents();
+    if (docs < fewest) {
+      fewest = docs;
+      emptiest = s;
+    }
+  }
+  next_insert_shard_ = emptiest;
+}
+
+std::vector<ShardedStore::ShardState> ShardedStore::MakeShards(
+    const ClusterOptions& options) {
+  Require(options.num_shards >= 1, "ShardedStore: num_shards must be >= 1");
+  StoreOptions per_shard = options.store;
+  per_shard.cache_budget_bytes = std::max<std::size_t>(
+      1, per_shard.cache_budget_bytes / options.num_shards);
+  std::vector<ShardState> shards(options.num_shards);
+  for (ShardState& shard : shards) {
+    shard.store = std::make_unique<DocumentStore>(per_shard);
+    shard.session = std::make_unique<Session>();
+  }
+  return shards;
+}
+
+ShardedStore::ShardedStore(ClusterOptions options)
+    : ShardedStore(options, MakeShards(options)) {}
+
+Expected<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const std::string& dir, ClusterOptions options) {
+  if (options.num_shards < 1) {
+    return Unexpected("cluster open: num_shards must be >= 1");
+  }
+  if (Status status = EnsureDirectory(dir); !status.ok()) return status;
+  // A directory once laid out for N shards must reopen with the same N: id
+  // arithmetic bakes the shard count into every cluster id. Shard dirs are
+  // created together, so counting the contiguous shard-<i> prefix recovers
+  // the count the directory was created with (0 = fresh directory).
+  std::size_t existing = 0;
+  while (DirectoryExists(ShardDir(dir, existing))) ++existing;
+  if (existing != 0 && existing != options.num_shards) {
+    return Unexpected("cluster open: " + dir + " was laid out with " +
+                      std::to_string(existing) + " shard(s); reopen with "
+                      "--shards=" + std::to_string(existing) +
+                      " (cluster ids bake in the shard count)");
+  }
+  StoreOptions per_shard = options.store;
+  per_shard.cache_budget_bytes = std::max<std::size_t>(
+      1, per_shard.cache_budget_bytes / options.num_shards);
+  std::vector<ShardState> shards(options.num_shards);
+  for (std::size_t s = 0; s < options.num_shards; ++s) {
+    Expected<std::unique_ptr<DocumentStore>> opened =
+        DocumentStore::Open(ShardDir(dir, s), per_shard);
+    if (!opened.ok()) {
+      return Unexpected("cluster open: shard " + std::to_string(s) + ": " +
+                        opened.error());
+    }
+    shards[s].store = std::move(*opened);
+    shards[s].session = std::make_unique<Session>();
+  }
+  auto store = std::unique_ptr<ShardedStore>(
+      new ShardedStore(std::move(options), std::move(shards)));
+  store->dir_ = dir;
+  return store;
+}
+
+ClusterSnapshot ShardedStore::Snapshot() const {
+  ScopedSpan span("cluster.snapshot");
+  if (MetricsEnabled()) ClusterMetrics::Get().snapshots.Increment();
+  std::vector<StoreSnapshot> heads(shards_.size());
+  for (std::size_t attempt = 0; attempt <= options_.snapshot_retries; ++attempt) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      heads[s] = shards_[s].store->Snapshot();
+    }
+    // Second phase: re-read every head version. If nothing moved between
+    // the two passes, every head of the first pass was simultaneously
+    // current throughout the window -- an instantaneous cut.
+    bool moved = false;
+    for (std::size_t s = 0; s < shards_.size() && !moved; ++s) {
+      moved = shards_[s].store->Snapshot().version() != heads[s].version();
+    }
+    if (!moved) return ClusterSnapshot(std::move(heads), true);
+    if (MetricsEnabled()) ClusterMetrics::Get().snapshot_retries.Increment();
+  }
+  if (MetricsEnabled()) ClusterMetrics::Get().snapshot_nonatomic.Increment();
+  return ClusterSnapshot(std::move(heads), false);
+}
+
+Expected<ClusterCommitReceipt> ShardedStore::Commit(const WriteBatch& batch) {
+  ScopedSpan span("cluster.commit");
+  std::lock_guard<std::mutex> cluster_writer(commit_mutex_);
+  const std::size_t num_shards = shards_.size();
+  const ClusterSnapshot heads = Snapshot();
+
+  // Phase 1: route every op, rewriting ids cluster -> local. Everything
+  // checkable without evaluating is checked here, before any shard is
+  // touched.
+  std::vector<WriteBatch> sub_batches(num_shards);
+  std::vector<std::size_t> op_shard;  ///< per *creating* op, its shard
+  std::size_t cursor = next_insert_shard_;
+  auto fail = [](const std::string& diagnostic) {
+    if (MetricsEnabled()) ClusterMetrics::Get().commit_errors.Increment();
+    return Unexpected("cluster commit: " + diagnostic);
+  };
+  for (const StoreOp& op : batch.ops()) {
+    switch (op.kind) {
+      case StoreOp::Kind::kInsertText: {
+        const std::size_t shard = cursor % num_shards;
+        cursor = (cursor + 1) % num_shards;
+        sub_batches[shard].Insert(op.payload);
+        op_shard.push_back(shard);
+        break;
+      }
+      case StoreOp::Kind::kCreateCde:
+      case StoreOp::Kind::kEditCde: {
+        Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(op.payload);
+        if (!parsed.ok()) return fail(parsed.error());
+        const std::vector<std::size_t> refs = CdeDocumentRefs(**parsed);
+        std::size_t shard;
+        if (op.kind == StoreOp::Kind::kEditCde) {
+          if (op.doc == 0 || !heads.Contains(op.doc)) {
+            return fail("edit of unknown or dropped document D" +
+                        std::to_string(op.doc));
+          }
+          shard = ShardOf(op.doc);
+        } else if (!refs.empty()) {
+          // A Create that reads existing documents must land where they
+          // live; refs pin the shard.
+          shard = ShardOf(refs.front() + 1, num_shards);
+        } else {
+          shard = cursor % num_shards;
+          cursor = (cursor + 1) % num_shards;
+        }
+        std::string diagnostic =
+            RenumberCdeRefs(parsed->get(), shard, num_shards, heads);
+        if (!diagnostic.empty()) return fail(diagnostic);
+        if (op.kind == StoreOp::Kind::kCreateCde) {
+          sub_batches[shard].Create(CdeToString(**parsed));
+          op_shard.push_back(shard);
+        } else {
+          sub_batches[shard].Edit(LocalId(op.doc, num_shards),
+                                  CdeToString(**parsed));
+        }
+        break;
+      }
+      case StoreOp::Kind::kDrop: {
+        if (op.doc == 0 || !heads.Contains(op.doc)) {
+          return fail("drop of unknown or dropped document D" +
+                      std::to_string(op.doc));
+        }
+        sub_batches[ShardOf(op.doc)].Drop(LocalId(op.doc, num_shards));
+        break;
+      }
+    }
+  }
+
+  // Phase 2: apply one atomic sub-batch per touched shard, ascending.
+  ClusterCommitReceipt receipt;
+  std::vector<std::vector<StoreDocId>> created_locals(num_shards);
+  std::vector<bool> applied(num_shards, false);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (sub_batches[s].empty()) continue;
+    Expected<CommitReceipt> result = shards_[s].store->Commit(sub_batches[s]);
+    if (!result.ok()) {
+      std::string partial;
+      for (std::size_t t = 0; t < s; ++t) {
+        if (applied[t]) partial += (partial.empty() ? "" : ",") + std::to_string(t);
+      }
+      return fail("shard " + std::to_string(s) + ": " + result.error() +
+                  (partial.empty()
+                       ? std::string(" (no shard applied)")
+                       : " (sub-batches already applied on shard(s) " +
+                             partial + ")"));
+    }
+    applied[s] = true;
+    receipt.shard_versions.emplace_back(static_cast<uint32_t>(s),
+                                        result->version);
+    created_locals[s] = result->created;
+  }
+
+  // Phase 3: map created local ids back to cluster ids, in op order.
+  std::vector<std::size_t> next_created(num_shards, 0);
+  for (std::size_t shard : op_shard) {
+    const StoreDocId local = created_locals[shard][next_created[shard]++];
+    receipt.created.push_back(ClusterId(local, shard, num_shards));
+  }
+  next_insert_shard_ = cursor;
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) ClusterMetrics::Get().commits.Increment();
+  return receipt;
+}
+
+Expected<const CompiledQuery*> ShardedStore::CompileOn(
+    std::size_t i, const std::string& pattern) {
+  return shards_[i].session->Compile(pattern);
+}
+
+Expected<SpanRelation> ShardedStore::Evaluate(const std::string& pattern,
+                                              const ClusterSnapshot& snapshot,
+                                              ClusterDocId doc) {
+  if (doc == 0 || !snapshot.Contains(doc)) {
+    return Unexpected("cluster query: unknown document D" + std::to_string(doc));
+  }
+  const std::size_t s = ShardOf(doc);
+  Expected<const CompiledQuery*> query = CompileOn(s, pattern);
+  if (!query.ok()) return query.status();
+  return shards_[s].session->Evaluate(**query, snapshot.shard(s),
+                                      LocalId(doc, shards_.size()));
+}
+
+std::vector<Expected<SpanRelation>> ShardedStore::QueryAll(
+    const std::string& pattern, const ClusterSnapshot& snapshot) {
+  ScopedSpan span("cluster.query_all");
+  const std::vector<ClusterDocId> docs = snapshot.documents();
+  std::vector<Expected<SpanRelation>> results(docs.size(),
+                                              Status::Error("not evaluated"));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const StoreSnapshot& shard_snapshot = snapshot.shard(s);
+    if (shard_snapshot.num_documents() == 0) continue;
+    Expected<const CompiledQuery*> query = CompileOn(s, pattern);
+    if (!query.ok()) {
+      for (std::size_t i = 0; i < docs.size(); ++i) {
+        if (ShardOf(docs[i]) == s) results[i] = query.status();
+      }
+      continue;
+    }
+    std::vector<Expected<SpanRelation>> shard_results =
+        shards_[s].store->QueryAll(*shards_[s].session, **query, shard_snapshot);
+    const std::vector<StoreDoc>& shard_docs = shard_snapshot.documents();
+    for (std::size_t k = 0; k < shard_docs.size(); ++k) {
+      const ClusterDocId id = ClusterId(shard_docs[k].id, s, shards_.size());
+      const auto it = std::lower_bound(docs.begin(), docs.end(), id);
+      Require(it != docs.end() && *it == id,
+              "ShardedStore::QueryAll: shard doc missing from cluster view");
+      results[static_cast<std::size_t>(it - docs.begin())] =
+          std::move(shard_results[k]);
+    }
+  }
+  return results;
+}
+
+Status ShardedStore::SaveSnapshots() {
+  if (dir_.empty()) {
+    return Status::Error("cluster: SaveSnapshots on an ephemeral cluster");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (Status status = shards_[s].store->SaveSnapshot(ShardDir(dir_, s));
+        !status.ok()) {
+      return Status::Error("shard " + std::to_string(s) + ": " +
+                           status.message());
+    }
+  }
+  return Status::Ok();
+}
+
+ClusterStats ShardedStore::Stats() const {
+  ClusterStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const ShardState& shard : shards_) {
+    stats.shards.push_back(shard.store->Stats());
+    stats.num_documents += stats.shards.back().num_documents;
+  }
+  stats.commits = commits_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace spanners

@@ -1,0 +1,216 @@
+/// \file cluster.hpp
+/// \brief The sharded document store and its consistent cross-shard
+/// snapshots (DESIGN.md §1.15).
+///
+/// A ShardedStore partitions the document table over N independent
+/// DocumentStores. Each shard owns the full PR4-PR8 stack privately: its
+/// own single-writer commit path, SLP epoch (and generational GC), WAL +
+/// snapshot directory (dir/shard-<i>/), and byte-budgeted
+/// PreparedStateCache -- so shards never contend on anything but the
+/// process-wide metrics registry.
+///
+/// Document placement is by id arithmetic, not a table: cluster ids are
+/// assigned from 1 and interleaved,
+///
+///     shard(id)  = (id - 1) % N        local(id) = (id - 1) / N + 1
+///     cluster(local, shard) = (local - 1) * N + shard + 1
+///
+/// which makes routing a pure function *and* makes recovery free -- each
+/// shard's WAL replays local ids, and the cluster ids they imply are
+/// exactly the ones handed out before the crash. New documents are routed
+/// round-robin starting from the emptiest shard.
+///
+/// Cross-shard consistency is cheap because versions are immutable
+/// StoreVersions: a vector of shard heads IS a consistent snapshot (each
+/// head is a committed version; shards share no state). Snapshot() still
+/// performs a two-phase acquire -- read all heads, re-read the version
+/// numbers, retry if any shard moved -- so the returned cut is
+/// *instantaneous*: there was a wall-clock moment at which every returned
+/// head was simultaneously current. After snapshot_retries failed rounds
+/// under a write storm the last cut is returned with atomic_cut() == false
+/// (still per-shard consistent, merely not provably instantaneous).
+///
+/// Cluster commits route each op to its shard and apply one atomic
+/// sub-batch per shard (ascending shard order, serialised on a cluster
+/// mutex). Atomicity is therefore *per shard*: a sub-batch that fails after
+/// an earlier shard committed reports exactly which shards applied.
+/// Everything checkable is checked before any shard is touched -- CDE
+/// payloads are parsed, their D-references resolved against the current
+/// heads, and cross-shard references rejected (a CDE expression must live
+/// entirely on its target's shard; documents are never copied between
+/// arenas).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "store/store.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// Cluster document ids (same width as StoreDocId, different numbering).
+using ClusterDocId = uint64_t;
+
+/// Cluster construction knobs.
+struct ClusterOptions {
+  std::size_t num_shards = 2;
+
+  /// Per-shard store knobs. cache_budget_bytes is the *cluster* budget; it
+  /// is split evenly over the shards' PreparedStateCaches.
+  StoreOptions store;
+
+  /// Two-phase snapshot acquire: retry rounds before settling for a
+  /// non-instantaneous (but still per-shard consistent) cut.
+  std::size_t snapshot_retries = 8;
+};
+
+/// A consistent cut over every shard: one immutable StoreSnapshot per
+/// shard, acquired by ShardedStore::Snapshot(). Cheap to copy; safe to use
+/// from any thread, concurrently with commits on every shard.
+class ClusterSnapshot {
+ public:
+  ClusterSnapshot() = default;
+  ClusterSnapshot(std::vector<StoreSnapshot> shards, bool atomic_cut)
+      : shards_(std::move(shards)), atomic_cut_(atomic_cut) {}
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Shard \p i's head at acquire time. Require: i < num_shards().
+  const StoreSnapshot& shard(std::size_t i) const {
+    Require(i < shards_.size(), "ClusterSnapshot::shard: index out of range");
+    return shards_[i];
+  }
+
+  /// One version number per shard (the wire form of this snapshot).
+  std::vector<uint64_t> versions() const;
+
+  /// Total live documents across shards.
+  std::size_t num_documents() const;
+
+  /// Every live document's cluster id, ascending.
+  std::vector<ClusterDocId> documents() const;
+
+  bool Contains(ClusterDocId id) const;
+
+  /// True when the two-phase acquire proved the cut instantaneous.
+  bool atomic_cut() const { return atomic_cut_; }
+
+  bool empty() const { return shards_.empty(); }
+
+ private:
+  std::vector<StoreSnapshot> shards_;
+  bool atomic_cut_ = true;
+};
+
+/// The outcome of a successful (or partially applied) cluster commit.
+struct ClusterCommitReceipt {
+  /// (shard, published version) for every shard the batch touched.
+  std::vector<std::pair<uint32_t, uint64_t>> shard_versions;
+  /// Cluster ids of Insert/Create ops, in op order.
+  std::vector<ClusterDocId> created;
+};
+
+/// Aggregate + per-shard statistics.
+struct ClusterStats {
+  std::vector<StoreStats> shards;
+  uint64_t num_documents = 0;
+  uint64_t commits = 0;
+};
+
+/// N DocumentStores behind one document-id space, each with a private
+/// engine Session for serving-path compilation/interning.
+///
+/// Thread safety: Snapshot(), Evaluate(), QueryAll(), and Stats() may be
+/// called from any thread at any time; Commit() serialises on a cluster
+/// mutex (and each shard's own writer mutex below it). Direct access to
+/// shard stores (shard(i)) follows DocumentStore's own contract.
+class ShardedStore {
+ public:
+  /// An ephemeral cluster (no disk).
+  explicit ShardedStore(ClusterOptions options);
+
+  /// A durable cluster at \p dir: shard i opens (or initializes)
+  /// dir/shard-<i>/ with the usual WAL-replay recovery. Refuses a
+  /// directory previously opened with a different shard count.
+  static Expected<std::unique_ptr<ShardedStore>> Open(const std::string& dir,
+                                                      ClusterOptions options);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  DocumentStore& shard(std::size_t i) { return *shards_[i].store; }
+  Session& session(std::size_t i) { return *shards_[i].session; }
+
+  // --- routing (pure id arithmetic) ----------------------------------------
+
+  static std::size_t ShardOf(ClusterDocId id, std::size_t num_shards) {
+    return static_cast<std::size_t>((id - 1) % num_shards);
+  }
+  static StoreDocId LocalId(ClusterDocId id, std::size_t num_shards) {
+    return (id - 1) / num_shards + 1;
+  }
+  static ClusterDocId ClusterId(StoreDocId local, std::size_t shard,
+                                std::size_t num_shards) {
+    return (local - 1) * num_shards + shard + 1;
+  }
+
+  std::size_t ShardOf(ClusterDocId id) const { return ShardOf(id, shards_.size()); }
+
+  /// Two-phase snapshot acquire (see the file comment).
+  ClusterSnapshot Snapshot() const;
+
+  /// Routes \p batch (cluster ids throughout, including D-references in
+  /// CDE payloads) to per-shard sub-batches and applies them. See the file
+  /// comment for the atomicity contract.
+  Expected<ClusterCommitReceipt> Commit(const WriteBatch& batch);
+
+  /// Evaluates \p pattern over document \p doc of \p snapshot through the
+  /// owning shard's session and prepared-state cache.
+  Expected<SpanRelation> Evaluate(const std::string& pattern,
+                                  const ClusterSnapshot& snapshot,
+                                  ClusterDocId doc);
+
+  /// Evaluates \p pattern over every document of \p snapshot (each shard's
+  /// size-aware QueryAll fan-out). Results are aligned with
+  /// snapshot.documents().
+  std::vector<Expected<SpanRelation>> QueryAll(const std::string& pattern,
+                                               const ClusterSnapshot& snapshot);
+
+  /// Saves every shard's snapshot blob (durable clusters only).
+  Status SaveSnapshots();
+
+  ClusterStats Stats() const;
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  struct ShardState {
+    std::unique_ptr<DocumentStore> store;
+    std::unique_ptr<Session> session;
+  };
+
+  ShardedStore(ClusterOptions options, std::vector<ShardState> shards);
+
+  /// Builds the ephemeral shard set for the public constructor (cache
+  /// budget split evenly; Require: num_shards >= 1).
+  static std::vector<ShardState> MakeShards(const ClusterOptions& options);
+
+  /// Compiles \p pattern in shard \p i's session (interned after the first
+  /// call).
+  Expected<const CompiledQuery*> CompileOn(std::size_t i, const std::string& pattern);
+
+  ClusterOptions options_;
+  std::string dir_;  ///< empty = ephemeral
+  std::vector<ShardState> shards_;
+  std::mutex commit_mutex_;        ///< serialises cluster commits
+  std::size_t next_insert_shard_ = 0;  ///< round-robin placement cursor
+  std::atomic<uint64_t> commits_{0};
+};
+
+}  // namespace spanners

@@ -1,0 +1,360 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/metrics.hpp"
+#include "util/metrics_export.hpp"
+
+namespace spanners {
+namespace {
+
+struct ServerMetrics {
+  Counter& accepted;
+  Counter& requests;
+  Counter& shed;
+  Counter& errors;
+
+  static ServerMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static ServerMetrics* metrics = new ServerMetrics{
+        registry.GetCounter("server.connections_accepted"),
+        registry.GetCounter("server.requests"),
+        registry.GetCounter("server.shed"),
+        registry.GetCounter("server.errors"),
+    };
+    return *metrics;
+  }
+};
+
+std::string RenderStatsText(const ClusterStats& cluster,
+                            const ServerStats& server) {
+  std::string out;
+  out += "cluster: shards=" + std::to_string(cluster.shards.size()) +
+         " documents=" + std::to_string(cluster.num_documents) +
+         " commits=" + std::to_string(cluster.commits) + "\n";
+  out += "server: accepted=" + std::to_string(server.connections_accepted) +
+         " requests=" + std::to_string(server.requests) +
+         " ok=" + std::to_string(server.responses_ok) +
+         " error=" + std::to_string(server.responses_error) +
+         " retry=" + std::to_string(server.responses_retry) + "\n";
+  for (std::size_t s = 0; s < cluster.shards.size(); ++s) {
+    const StoreStats& shard = cluster.shards[s];
+    out += "shard " + std::to_string(s) + ": version=" +
+           std::to_string(shard.version) + " documents=" +
+           std::to_string(shard.num_documents) + " commits=" +
+           std::to_string(shard.commits) + " arena_nodes=" +
+           std::to_string(shard.arena_nodes) + " wal_records=" +
+           std::to_string(shard.wal_records) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+SpannerServer::SpannerServer(ShardedStore* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {
+  Require(store_ != nullptr, "SpannerServer: null store");
+  Require(options_.worker_threads >= 1, "SpannerServer: worker_threads >= 1");
+  Require(options_.queue_capacity >= 1, "SpannerServer: queue_capacity >= 1");
+  Require(options_.per_connection_window >= 1,
+          "SpannerServer: per_connection_window >= 1");
+}
+
+SpannerServer::~SpannerServer() { Stop(); }
+
+Status SpannerServer::Start() {
+  Require(!running_.load(std::memory_order_acquire),
+          "SpannerServer::Start: already running");
+  Expected<TcpListener> listener = TcpListener::Listen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void SpannerServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (std::shared_ptr<Connection> connection = weak.lock()) {
+        connection->socket.Shutdown();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  window_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::thread& reader : reader_threads_) {
+      if (reader.joinable()) reader.join();
+    }
+    reader_threads_.clear();
+    connections_.clear();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  listener_.Close();
+}
+
+ServerStats SpannerServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SpannerServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Expected<TcpConnection> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;  // transient accept error (e.g. peer reset in the backlog)
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->socket = std::move(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    if (MetricsEnabled()) ServerMetrics::Get().accepted.Increment();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    connections_.push_back(connection);
+    reader_threads_.emplace_back(
+        [this, connection = std::move(connection)]() mutable {
+          ReadLoop(std::move(connection));
+        });
+  }
+}
+
+void SpannerServer::ReadLoop(std::shared_ptr<Connection> connection) {
+  FrameReader reader;
+  while (running_.load(std::memory_order_acquire) &&
+         !connection->broken.load(std::memory_order_relaxed)) {
+    Expected<FrameReader::Frame> frame = connection->socket.ReceiveFrame(&reader);
+    if (!frame.ok()) return;  // EOF, framing violation, or Stop()
+    const MessageType type = frame->header.type;
+    const uint64_t request_id = frame->header.request_id;
+    bool shed = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      // Per-connection window: never shed, just stop reading -- TCP flow
+      // control pushes the backpressure to this client alone.
+      window_cv_.wait(lock, [&] {
+        return !running_.load(std::memory_order_acquire) ||
+               connection->inflight < options_.per_connection_window;
+      });
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (queue_.size() >= options_.queue_capacity) {
+        shed = true;  // queue-depth shed: explicit kRetry, reader stays live
+      } else {
+        ++connection->inflight;
+        queue_.push_back(WorkItem{connection, std::move(*frame)});
+      }
+    }
+    if (shed) {
+      if (MetricsEnabled()) ServerMetrics::Get().shed.Increment();
+      Respond(*connection, type, StatusCode::kRetry, request_id,
+              "server overloaded; retry");
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests;
+      }
+      if (MetricsEnabled()) ServerMetrics::Get().requests.Increment();
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void SpannerServer::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return !running_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(item);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --item.connection->inflight;
+    }
+    window_cv_.notify_all();
+  }
+}
+
+void SpannerServer::Respond(Connection& connection, MessageType type,
+                            StatusCode status, uint64_t request_id,
+                            std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (status) {
+      case StatusCode::kOk: ++stats_.responses_ok; break;
+      case StatusCode::kError: ++stats_.responses_error; break;
+      case StatusCode::kRetry: ++stats_.responses_retry; break;
+    }
+  }
+  if (status == StatusCode::kError && MetricsEnabled()) {
+    ServerMetrics::Get().errors.Increment();
+  }
+  std::lock_guard<std::mutex> lock(connection.write_mutex);
+  Status written = connection.socket.SendFrame(type, status, request_id, payload);
+  if (!written.ok()) {
+    // The reader may be blocked in recv; EOF it so the connection reaps.
+    connection.broken.store(true, std::memory_order_relaxed);
+    connection.socket.Shutdown();
+  }
+}
+
+ClusterSnapshot SpannerServer::AcquireAndRetainSnapshot() {
+  ClusterSnapshot snapshot = store_->Snapshot();
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  retained_snapshots_.push_back(snapshot);
+  while (retained_snapshots_.size() > options_.snapshot_cache_size) {
+    retained_snapshots_.pop_front();
+  }
+  return snapshot;
+}
+
+Expected<ClusterSnapshot> SpannerServer::ResolveSnapshot(
+    const std::vector<uint64_t>& versions) {
+  if (versions.empty()) return store_->Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mutex_);
+    for (auto it = retained_snapshots_.rbegin(); it != retained_snapshots_.rend();
+         ++it) {
+      if (it->versions() == versions) return *it;
+    }
+  }
+  // The pinned cut may simply *be* the current head (e.g. a client that
+  // read versions from a COMMIT receipt): an exact match is as consistent
+  // as a retained snapshot.
+  ClusterSnapshot head = store_->Snapshot();
+  if (head.versions() == versions) return head;
+  return Unexpected("snapshot expired: versions no longer retained "
+                    "(re-acquire with a SNAPSHOT request)");
+}
+
+void SpannerServer::Process(const WorkItem& item) {
+  Connection& connection = *item.connection;
+  const FrameHeader& header = item.frame.header;
+  const uint64_t id = header.request_id;
+  switch (header.type) {
+    case MessageType::kPing:
+      Respond(connection, MessageType::kPing, StatusCode::kOk, id,
+              item.frame.payload);
+      return;
+    case MessageType::kSnapshot: {
+      const ClusterSnapshot snapshot = AcquireAndRetainSnapshot();
+      SnapshotResponse response;
+      response.versions = snapshot.versions();
+      response.num_documents.reserve(snapshot.num_shards());
+      for (std::size_t s = 0; s < snapshot.num_shards(); ++s) {
+        response.num_documents.push_back(snapshot.shard(s).num_documents());
+      }
+      Respond(connection, MessageType::kSnapshot, StatusCode::kOk, id,
+              EncodeSnapshotResponse(response));
+      return;
+    }
+    case MessageType::kQuery: {
+      Expected<QueryRequest> request = DecodeQueryRequest(item.frame.payload);
+      if (!request.ok()) {
+        Respond(connection, MessageType::kQuery, StatusCode::kError, id,
+                request.error());
+        return;
+      }
+      Expected<ClusterSnapshot> snapshot =
+          ResolveSnapshot(request->snapshot_versions);
+      if (!snapshot.ok()) {
+        Respond(connection, MessageType::kQuery, StatusCode::kError, id,
+                snapshot.error());
+        return;
+      }
+      QueryResponse response;
+      response.snapshot_versions = snapshot->versions();
+      const uint32_t max_tuples = request->max_tuples;
+      auto add_result = [&response, max_tuples](
+                            ClusterDocId doc,
+                            const Expected<SpanRelation>& result) {
+        WireDocResult out;
+        out.doc = doc;
+        if (!result.ok()) {
+          out.ok = false;
+          out.error = result.error();
+        } else {
+          out.num_tuples = result->size();
+          for (const SpanTuple& tuple : *result) {
+            if (out.tuples.size() >= max_tuples) break;
+            out.tuples.push_back(tuple);
+          }
+        }
+        response.results.push_back(std::move(out));
+      };
+      if (request->docs.empty()) {
+        const std::vector<ClusterDocId> docs = snapshot->documents();
+        std::vector<Expected<SpanRelation>> results =
+            store_->QueryAll(request->pattern, *snapshot);
+        for (std::size_t i = 0; i < docs.size(); ++i) {
+          add_result(docs[i], results[i]);
+        }
+      } else {
+        for (ClusterDocId doc : request->docs) {
+          add_result(doc, store_->Evaluate(request->pattern, *snapshot, doc));
+        }
+      }
+      Respond(connection, MessageType::kQuery, StatusCode::kOk, id,
+              EncodeQueryResponse(response));
+      return;
+    }
+    case MessageType::kCommit: {
+      Expected<CommitRequest> request = DecodeCommitRequest(item.frame.payload);
+      if (!request.ok()) {
+        Respond(connection, MessageType::kCommit, StatusCode::kError, id,
+                request.error());
+        return;
+      }
+      Expected<ClusterCommitReceipt> receipt = store_->Commit(request->batch);
+      if (!receipt.ok()) {
+        Respond(connection, MessageType::kCommit, StatusCode::kError, id,
+                receipt.error());
+        return;
+      }
+      CommitResponse response;
+      response.shard_versions = receipt->shard_versions;
+      response.created = receipt->created;
+      Respond(connection, MessageType::kCommit, StatusCode::kOk, id,
+              EncodeCommitResponse(response));
+      return;
+    }
+    case MessageType::kStats:
+      Respond(connection, MessageType::kStats, StatusCode::kOk, id,
+              RenderStatsText(store_->Stats(), stats()));
+      return;
+    case MessageType::kMetrics:
+      Respond(connection, MessageType::kMetrics, StatusCode::kOk, id,
+              RenderOpenMetrics(MetricsRegistry::Global().Snapshot()));
+      return;
+  }
+  Respond(connection, header.type, StatusCode::kError, id,
+          "unknown message type");
+}
+
+}  // namespace spanners

@@ -1,0 +1,148 @@
+/// \file server.hpp
+/// \brief The networked spanner service (DESIGN.md §1.15).
+///
+/// A SpannerServer serves one ShardedStore over the net/wire.hpp protocol:
+/// an accept loop hands each connection to a reader thread, readers decode
+/// frames into a bounded global work queue, and a small worker pool
+/// executes requests against the store and writes responses (one write
+/// mutex per connection keeps interleaved responses whole).
+///
+/// Admission control has two independent bounds, both surfaced to clients
+/// as StatusCode::kRetry rather than silent queueing:
+///
+///   * queue-depth shed -- the global queue holds at most queue_capacity
+///     pending requests; a request arriving at a full queue is answered
+///     kRetry immediately (the reader never blocks on the queue, so a
+///     storm cannot wedge connection reads);
+///   * per-connection window -- at most per_connection_window requests of
+///     one connection may be queued or executing. A client pipelining past
+///     its window is *not* shed: the reader simply stops reading the
+///     connection until the window drains, so backpressure propagates to
+///     that client through TCP flow control without consuming queue slots
+///     other clients could use.
+///
+/// QUERY requests may pin a snapshot by version vector (from an earlier
+/// SNAPSHOT response): the server retains the last snapshot_cache_size
+/// cluster snapshots it handed out. Pinning an evicted snapshot is an
+/// error ("snapshot expired"), never a silent fallback to fresher data --
+/// the isolation checker in tests/server_test.cpp relies on that.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "server/cluster.hpp"
+#include "util/common.hpp"
+
+namespace spanners {
+
+/// Serving knobs.
+struct ServerOptions {
+  uint16_t port = 0;          ///< 0 = ephemeral (see SpannerServer::port())
+  std::size_t worker_threads = 2;
+  std::size_t queue_capacity = 128;       ///< global pending-request bound
+  std::size_t per_connection_window = 16; ///< in-flight bound per connection
+  std::size_t snapshot_cache_size = 16;   ///< pinnable SNAPSHOT responses
+};
+
+/// Point-in-time serving counters (monotonic since Start).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests = 0;       ///< frames decoded and admitted
+  uint64_t responses_ok = 0;
+  uint64_t responses_error = 0;
+  uint64_t responses_retry = 0;  ///< shed by admission control
+};
+
+/// One serving endpoint over a ShardedStore (not owned; it must outlive
+/// the server). Start() spawns the accept loop and workers; Stop() (or the
+/// destructor) shuts everything down and joins.
+class SpannerServer {
+ public:
+  SpannerServer(ShardedStore* store, ServerOptions options);
+  ~SpannerServer();
+
+  SpannerServer(const SpannerServer&) = delete;
+  SpannerServer& operator=(const SpannerServer&) = delete;
+
+  /// Binds and starts serving. Errors (port in use) leave the server
+  /// stopped.
+  Status Start();
+
+  /// Stops accepting, unblocks every connection reader, drains workers,
+  /// and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  /// Per-connection state shared by its reader thread and in-flight work
+  /// items (the last shared_ptr owner closes the socket).
+  struct Connection {
+    TcpConnection socket;
+    std::mutex write_mutex;           ///< one response write at a time
+    std::size_t inflight = 0;         ///< guarded by the server queue mutex
+    std::atomic<bool> broken{false};  ///< a response write failed
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> connection;
+    FrameReader::Frame frame;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> connection);
+  void WorkerLoop();
+
+  /// Executes one request and writes its response.
+  void Process(const WorkItem& item);
+
+  /// Encodes + sends one response frame under the connection write mutex.
+  void Respond(Connection& connection, MessageType type, StatusCode status,
+               uint64_t request_id, std::string_view payload);
+
+  /// Looks up a pinned snapshot by version vector, or acquires a fresh one
+  /// when \p versions is empty.
+  Expected<ClusterSnapshot> ResolveSnapshot(const std::vector<uint64_t>& versions);
+
+  /// Acquires a fresh snapshot and retains it for later pinning.
+  ClusterSnapshot AcquireAndRetainSnapshot();
+
+  ShardedStore* store_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  TcpListener listener_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex connections_mutex_;  ///< guards connections_ and reader_threads_
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex queue_mutex_;  ///< guards queue_ and every Connection::inflight
+  std::condition_variable queue_cv_;   ///< workers wait for work
+  std::condition_variable window_cv_;  ///< readers wait for window drain
+  std::deque<WorkItem> queue_;
+
+  std::mutex snapshots_mutex_;  ///< guards retained_snapshots_
+  std::deque<ClusterSnapshot> retained_snapshots_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace spanners

@@ -269,6 +269,51 @@ void CollectDocumentRefs(const CdeExpr& expr, std::vector<std::size_t>* out) {
   for (const auto& child : expr.children) CollectDocumentRefs(*child, out);
 }
 
+void RenderCde(const CdeExpr& expr, std::string* out) {
+  auto child = [&](std::size_t i) { RenderCde(*expr.children[i], out); };
+  auto num = [&](uint64_t v) { out->append(std::to_string(v)); };
+  switch (expr.op) {
+    case CdeOp::kDocument:
+      out->append("D");
+      num(expr.document_index + 1);
+      return;
+    case CdeOp::kConcat:
+      out->append("concat(");
+      child(0);
+      out->append(", ");
+      child(1);
+      break;
+    case CdeOp::kExtract:
+    case CdeOp::kDelete:
+      out->append(expr.op == CdeOp::kExtract ? "extract(" : "delete(");
+      child(0);
+      out->append(", ");
+      num(expr.i);
+      out->append(", ");
+      num(expr.j);
+      break;
+    case CdeOp::kInsert:
+      out->append("insert(");
+      child(0);
+      out->append(", ");
+      child(1);
+      out->append(", ");
+      num(expr.k);
+      break;
+    case CdeOp::kCopy:
+      out->append("copy(");
+      child(0);
+      out->append(", ");
+      num(expr.i);
+      out->append(", ");
+      num(expr.j);
+      out->append(", ");
+      num(expr.k);
+      break;
+  }
+  out->append(")");
+}
+
 }  // namespace
 
 std::vector<std::size_t> CdeDocumentRefs(const CdeExpr& expr) {
@@ -277,6 +322,12 @@ std::vector<std::size_t> CdeDocumentRefs(const CdeExpr& expr) {
   std::sort(refs.begin(), refs.end());
   refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
   return refs;
+}
+
+std::string CdeToString(const CdeExpr& expr) {
+  std::string out;
+  RenderCde(expr, &out);
+  return out;
 }
 
 Expected<std::unique_ptr<CdeExpr>> ParseCdeChecked(std::string_view text) {

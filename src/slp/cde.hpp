@@ -42,6 +42,12 @@ struct CdeExpr {
 /// reject references to dropped documents before validation.
 std::vector<std::size_t> CdeDocumentRefs(const CdeExpr& expr);
 
+/// Renders \p expr back to the textual algebra ParseCdeChecked accepts;
+/// parse-then-render is the identity on canonical input. The sharded store
+/// (src/server/cluster.hpp) uses this to rewrite cluster document ids into
+/// shard-local ones without touching the expression structure.
+std::string CdeToString(const CdeExpr& expr);
+
 /// Parses "concat(D1, extract(D2, 5, 21))"-style expressions. Document
 /// names are D1, D2, ... (1-based, as in the paper's prose). Canonical
 /// checked entry point (Expected convention of util/common.hpp).

@@ -502,7 +502,20 @@ std::vector<Expected<SpanRelation>> DocumentStore::QueryAll(
   }
   std::call_once(pool_once_,
                  [this] { pool_ = std::make_unique<ThreadPool>(options_.threads); });
-  pool_->ParallelFor(0, docs.size(), evaluate_one);
+  // Size-aware scheduling (LPT): dispatch documents longest-first with a
+  // claim chunk of 1. Round-robin contiguous chunks would let one huge
+  // document serialize the tail of its chunk behind it; longest-first +
+  // single-index claims bound the makespan at (largest doc) + (fair share).
+  std::vector<std::pair<uint64_t, std::size_t>> order(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const NodeId root = docs[i].root;
+    order[i] = {root == kNoNode ? 0 : snapshot.slp().Length(root), i};
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  pool_->ParallelForChunked(0, docs.size(), 1, [&](std::size_t i) {
+    evaluate_one(order[i].second);
+  });
   return results;
 }
 

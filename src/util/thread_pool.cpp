@@ -107,6 +107,14 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  ParallelForChunked(begin, end,
+                     std::max<std::size_t>(1, count / (num_threads() * 4)), fn);
+}
+
+void ThreadPool::ParallelForChunked(std::size_t begin, std::size_t end,
+                                    std::size_t chunk,
+                                    const std::function<void(std::size_t)>& fn) {
   if (end <= begin) return;
   const std::size_t count = end - begin;
   const bool metrics_on = MetricsEnabled();
@@ -137,7 +145,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     std::lock_guard<std::mutex> lock(mutex_);
     batch_.begin = begin;
     batch_.end = end;
-    batch_.chunk = std::max<std::size_t>(1, count / (num_threads() * 4));
+    batch_.chunk = std::max<std::size_t>(1, chunk);
     batch_.fn = &fn;
     next_index_ = begin;
     pending_ = workers_.size();

@@ -44,6 +44,15 @@ class ThreadPool {
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
+  /// ParallelFor with an explicit claim-chunk size. chunk == 1 gives pure
+  /// work stealing -- each thread claims the next single index when it
+  /// finishes its current one -- which callers with wildly uneven per-index
+  /// costs (DocumentStore::QueryAll over mixed-size documents) combine with
+  /// a longest-first index order so one huge item cannot serialize the
+  /// tail behind a prefix chunk.
+  void ParallelForChunked(std::size_t begin, std::size_t end, std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn);
+
   /// Worker count requested by the environment: SPANNERS_THREADS when set
   /// to a positive integer, else std::thread::hardware_concurrency()
   /// (at least 1). Resolved once per process and cached (cheap to call on

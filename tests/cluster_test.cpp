@@ -1,0 +1,409 @@
+// ShardedStore tests (DESIGN.md §1.15): routing arithmetic, cluster-id
+// rewriting of CDE payloads, per-shard commit atomicity, two-phase snapshot
+// acquisition, durable recovery per shard, and the multi-shard isolation
+// stress (concurrent writers + readers with one SnapshotIsolationChecker
+// per shard verifying every ClusterSnapshot) that the TSan CI job runs.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/cluster.hpp"
+#include "store/persist.hpp"
+#include "testing/snapshot_checker.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+ClusterOptions FourShards() {
+  ClusterOptions options;
+  options.num_shards = 4;
+  return options;
+}
+
+std::string FreshClusterDir(const std::string& name, std::size_t shards) {
+  const std::string dir = ::testing::TempDir() + "/spanners_cluster_" + name;
+  for (std::size_t s = 0; s < shards + 2; ++s) {
+    const std::string shard_dir = dir + "/shard-" + std::to_string(s);
+    std::remove(SnapshotPath(shard_dir).c_str());
+    std::remove(WalPath(shard_dir).c_str());
+    ::rmdir(shard_dir.c_str());
+  }
+  return dir;
+}
+
+TEST(ClusterRouting, IdArithmeticInterleavesAndRoundTrips) {
+  const std::size_t num_shards = 4;
+  for (ClusterDocId id = 1; id <= 64; ++id) {
+    const std::size_t shard = ShardedStore::ShardOf(id, num_shards);
+    const StoreDocId local = ShardedStore::LocalId(id, num_shards);
+    EXPECT_LT(shard, num_shards);
+    EXPECT_GE(local, 1u);
+    EXPECT_EQ(ShardedStore::ClusterId(local, shard, num_shards), id);
+  }
+  // Interleaved: consecutive ids land on consecutive shards.
+  EXPECT_EQ(ShardedStore::ShardOf(1, 4), 0u);
+  EXPECT_EQ(ShardedStore::ShardOf(2, 4), 1u);
+  EXPECT_EQ(ShardedStore::ShardOf(4, 4), 3u);
+  EXPECT_EQ(ShardedStore::ShardOf(5, 4), 0u);
+  EXPECT_EQ(ShardedStore::LocalId(5, 4), 2u);
+}
+
+TEST(Cluster, InsertsSpreadRoundRobinAndIdsAreClusterIds) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  for (int i = 0; i < 8; ++i) batch.Insert("doc " + std::to_string(i));
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.error();
+  ASSERT_EQ(receipt->created.size(), 8u);
+  // 8 inserts over 4 shards: every shard gets exactly 2 documents.
+  const ClusterSnapshot snapshot = store.Snapshot();
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(snapshot.shard(s).num_documents(), 2u) << "shard " << s;
+  }
+  EXPECT_EQ(snapshot.num_documents(), 8u);
+  // Receipt ids are cluster ids: all distinct, all resolvable.
+  for (ClusterDocId id : receipt->created) {
+    EXPECT_TRUE(snapshot.Contains(id)) << "D" << id;
+  }
+  // Every shard touched by the batch reports its published version.
+  EXPECT_EQ(receipt->shard_versions.size(), 4u);
+}
+
+TEST(Cluster, TextRoundTripsThroughClusterIds) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  batch.Insert("alpha");
+  batch.Insert("bravo");
+  batch.Insert("charlie");
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.error();
+  const ClusterSnapshot snapshot = store.Snapshot();
+  const std::vector<std::string> expected = {"alpha", "bravo", "charlie"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ClusterDocId id = receipt->created[i];
+    const std::size_t shard = store.ShardOf(id);
+    EXPECT_EQ(snapshot.shard(shard).Text(ShardedStore::LocalId(id, 4)),
+              expected[i]);
+  }
+}
+
+TEST(Cluster, CdePayloadsAreRewrittenToLocalIds) {
+  ShardedStore store(FourShards());
+  WriteBatch seed;
+  seed.Insert("hello ");
+  const Expected<ClusterCommitReceipt> seeded = store.Commit(seed);
+  ASSERT_TRUE(seeded.ok()) << seeded.error();
+  const ClusterDocId base = seeded->created[0];
+
+  // Same-shard CDE: concat a document with itself. The cluster id in the
+  // payload is rewritten to the shard-local id before the shard sees it.
+  WriteBatch derive;
+  derive.Create("concat(D" + std::to_string(base) + ", D" + std::to_string(base) +
+                ")");
+  const Expected<ClusterCommitReceipt> derived = store.Commit(derive);
+  ASSERT_TRUE(derived.ok()) << derived.error();
+  const ClusterDocId doubled = derived->created[0];
+  // A Create with refs lands on its refs' shard.
+  EXPECT_EQ(store.ShardOf(doubled), store.ShardOf(base));
+  const ClusterSnapshot snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.shard(store.ShardOf(doubled))
+                .Text(ShardedStore::LocalId(doubled, 4)),
+            "hello hello ");
+
+  // Edits rewrite ids too.
+  WriteBatch edit;
+  edit.Edit(doubled, "extract(D" + std::to_string(doubled) + ", 1, 5)");
+  const Expected<ClusterCommitReceipt> edited = store.Commit(edit);
+  ASSERT_TRUE(edited.ok()) << edited.error();
+  EXPECT_EQ(store.Snapshot()
+                .shard(store.ShardOf(doubled))
+                .Text(ShardedStore::LocalId(doubled, 4)),
+            "hello");
+}
+
+TEST(Cluster, CrossShardCdeReferencesAreRejectedBeforeAnyShardApplies) {
+  ShardedStore store(FourShards());
+  WriteBatch seed;
+  seed.Insert("left");   // shard 0 (first insert of an empty cluster)
+  seed.Insert("right");  // next shard
+  const Expected<ClusterCommitReceipt> seeded = store.Commit(seed);
+  ASSERT_TRUE(seeded.ok()) << seeded.error();
+  const ClusterDocId a = seeded->created[0];
+  const ClusterDocId b = seeded->created[1];
+  ASSERT_NE(store.ShardOf(a), store.ShardOf(b));
+
+  const std::vector<uint64_t> before = store.Snapshot().versions();
+  WriteBatch cross;
+  cross.Create("concat(D" + std::to_string(a) + ", D" + std::to_string(b) + ")");
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(cross);
+  ASSERT_FALSE(receipt.ok());
+  EXPECT_NE(receipt.error().find("cross-shard"), std::string::npos)
+      << receipt.error();
+  // Pre-flight rejection: no shard moved.
+  EXPECT_EQ(store.Snapshot().versions(), before);
+}
+
+TEST(Cluster, UnknownDocumentReferencesAreRejectedPreFlight) {
+  ShardedStore store(FourShards());
+  WriteBatch seed;
+  seed.Insert("x");
+  ASSERT_TRUE(store.Commit(seed).ok());
+  const std::vector<uint64_t> before = store.Snapshot().versions();
+
+  WriteBatch bad_edit;
+  bad_edit.Edit(99, "concat(D99, D99)");
+  EXPECT_FALSE(store.Commit(bad_edit).ok());
+
+  WriteBatch bad_ref;
+  bad_ref.Create("concat(D41, D41)");  // shard 0, but never created
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(bad_ref);
+  ASSERT_FALSE(receipt.ok());
+  EXPECT_NE(receipt.error().find("unknown"), std::string::npos)
+      << receipt.error();
+
+  WriteBatch bad_drop;
+  bad_drop.Drop(1234);
+  EXPECT_FALSE(store.Commit(bad_drop).ok());
+
+  EXPECT_EQ(store.Snapshot().versions(), before);
+}
+
+TEST(Cluster, EvaluateAndQueryAllAlignWithClusterDocuments) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  batch.Insert("aab");
+  batch.Insert("no match");
+  batch.Insert("baa");
+  batch.Insert("aaa");
+  batch.Insert("b");
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.error();
+  const ClusterSnapshot snapshot = store.Snapshot();
+  const std::vector<ClusterDocId> docs = snapshot.documents();
+  ASSERT_EQ(docs.size(), 5u);
+
+  const std::string pattern = "(.|\\n)*{x: aa}(.|\\n)*";
+  const std::vector<Expected<SpanRelation>> all =
+      store.QueryAll(pattern, snapshot);
+  ASSERT_EQ(all.size(), docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_TRUE(all[i].ok()) << all[i].error();
+    const Expected<SpanRelation> single =
+        store.Evaluate(pattern, snapshot, docs[i]);
+    ASSERT_TRUE(single.ok()) << single.error();
+    EXPECT_EQ(*all[i], *single) << "doc D" << docs[i];
+  }
+  // Sanity: "aab", "baa", "aaa" match; "no match", "b" do not... except
+  // "no match" has no aa, "b" neither.
+  std::size_t matching = 0;
+  for (const Expected<SpanRelation>& result : all) {
+    matching += result->empty() ? 0 : 1;
+  }
+  EXPECT_EQ(matching, 3u);
+}
+
+TEST(Cluster, QueryUnknownDocumentIsAnError) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  batch.Insert("abc");
+  ASSERT_TRUE(store.Commit(batch).ok());
+  const ClusterSnapshot snapshot = store.Snapshot();
+  EXPECT_FALSE(store.Evaluate("a", snapshot, 99).ok());
+  EXPECT_FALSE(store.Evaluate("a", snapshot, 0).ok());
+}
+
+TEST(Cluster, SnapshotIsAnAtomicCutUnderQuiescence) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  batch.Insert("doc");
+  ASSERT_TRUE(store.Commit(batch).ok());
+  const ClusterSnapshot snapshot = store.Snapshot();
+  EXPECT_TRUE(snapshot.atomic_cut());
+  EXPECT_EQ(snapshot.num_shards(), 4u);
+}
+
+TEST(Cluster, DropsRouteToTheOwningShard) {
+  ShardedStore store(FourShards());
+  WriteBatch batch;
+  for (int i = 0; i < 4; ++i) batch.Insert("d" + std::to_string(i));
+  const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.error();
+  const ClusterDocId victim = receipt->created[2];
+  WriteBatch drop;
+  drop.Drop(victim);
+  ASSERT_TRUE(store.Commit(drop).ok());
+  const ClusterSnapshot snapshot = store.Snapshot();
+  EXPECT_FALSE(snapshot.Contains(victim));
+  EXPECT_EQ(snapshot.num_documents(), 3u);
+  // Dropped ids are never reused: a later insert gets a fresh id.
+  WriteBatch more;
+  more.Insert("fresh");
+  const Expected<ClusterCommitReceipt> later = store.Commit(more);
+  ASSERT_TRUE(later.ok()) << later.error();
+  EXPECT_NE(later->created[0], victim);
+}
+
+TEST(ClusterPersistence, SavesAndRecoversEveryShardWithStableClusterIds) {
+  const std::string dir = FreshClusterDir("recover", 3);
+  ClusterOptions options;
+  options.num_shards = 3;
+  std::vector<ClusterDocId> created;
+  {
+    Expected<std::unique_ptr<ShardedStore>> opened =
+        ShardedStore::Open(dir, options);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    ShardedStore& store = **opened;
+    WriteBatch batch;
+    for (int i = 0; i < 7; ++i) batch.Insert("persisted " + std::to_string(i));
+    const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+    ASSERT_TRUE(receipt.ok()) << receipt.error();
+    created = receipt->created;
+    ASSERT_TRUE(store.SaveSnapshots().ok());
+    // A post-snapshot commit exercises WAL replay on reopen.
+    WriteBatch edit;
+    edit.Edit(created[0], "concat(D" + std::to_string(created[0]) + ", D" +
+                              std::to_string(created[0]) + ")");
+    ASSERT_TRUE(store.Commit(edit).ok());
+  }
+  {
+    Expected<std::unique_ptr<ShardedStore>> opened =
+        ShardedStore::Open(dir, options);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    const ClusterSnapshot snapshot = (*opened)->Snapshot();
+    EXPECT_EQ(snapshot.num_documents(), 7u);
+    for (ClusterDocId id : created) EXPECT_TRUE(snapshot.Contains(id));
+    // The WAL-replayed edit survived: D(created[0]) was doubled.
+    const std::size_t shard = (*opened)->ShardOf(created[0]);
+    EXPECT_EQ(snapshot.shard(shard).Text(ShardedStore::LocalId(created[0], 3)),
+              "persisted 0persisted 0");
+    // Recovered round-robin keeps filling evenly instead of restarting at
+    // shard 0 (7 docs over 3 shards: shard 0 has 3, shards 1 and 2 have 2).
+    WriteBatch more;
+    more.Insert("eighth");
+    const Expected<ClusterCommitReceipt> receipt = (*opened)->Commit(more);
+    ASSERT_TRUE(receipt.ok()) << receipt.error();
+    EXPECT_NE((*opened)->ShardOf(receipt->created[0]), 0u);
+  }
+}
+
+TEST(ClusterPersistence, ReopeningWithADifferentShardCountIsRefused) {
+  const std::string dir = FreshClusterDir("shardcount", 2);
+  ClusterOptions two;
+  two.num_shards = 2;
+  {
+    Expected<std::unique_ptr<ShardedStore>> opened = ShardedStore::Open(dir, two);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    ASSERT_TRUE((*opened)->SaveSnapshots().ok());
+  }
+  ClusterOptions three;
+  three.num_shards = 3;
+  const Expected<std::unique_ptr<ShardedStore>> wrong =
+      ShardedStore::Open(dir, three);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.error().find("2 shard"), std::string::npos) << wrong.error();
+  ClusterOptions one;
+  one.num_shards = 1;
+  EXPECT_FALSE(ShardedStore::Open(dir, one).ok());
+  // The original count still opens.
+  EXPECT_TRUE(ShardedStore::Open(dir, two).ok());
+}
+
+// The PR9 stress: 8 client threads driving mixed commits across 4 shards
+// while readers verify every ClusterSnapshot against per-shard isolation
+// checkers. Run under TSan in CI (tsan-parallel job).
+TEST(ClusterStress, ConcurrentMixedCommitsPreserveIsolationOnEveryShard) {
+  ShardedStore store(FourShards());
+  std::vector<std::unique_ptr<testing::SnapshotIsolationChecker>> checkers;
+  for (std::size_t s = 0; s < 4; ++s) {
+    checkers.push_back(std::make_unique<testing::SnapshotIsolationChecker>());
+    testing::SnapshotIsolationChecker* checker = checkers.back().get();
+    store.shard(s).SetCommitObserverForTesting(
+        [checker](const StoreSnapshot& snapshot) {
+          checker->RecordCommit(snapshot);
+        });
+  }
+
+  WriteBatch seed;
+  for (int i = 0; i < 8; ++i) seed.Insert("seed document " + std::to_string(i));
+  const Expected<ClusterCommitReceipt> seeded = store.Commit(seed);
+  ASSERT_TRUE(seeded.ok()) << seeded.error();
+  const std::vector<ClusterDocId> seeds = seeded->created;
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kCommitsPerWriter = 40;
+  std::atomic<int> commit_errors{0};
+  std::atomic<int> non_atomic_cuts{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        WriteBatch batch;
+        const ClusterDocId target = seeds[rng.NextBelow(seeds.size())];
+        switch (rng.NextBelow(3)) {
+          case 0:
+            batch.Insert("writer " + std::to_string(w) + " doc " +
+                         std::to_string(i));
+            break;
+          case 1:
+            // Self-concat then trim: touches the target's shard only.
+            batch.Edit(target, "extract(concat(D" + std::to_string(target) +
+                                   ", D" + std::to_string(target) + "), 1, 8)");
+            break;
+          default:
+            batch.Insert("filler");
+            batch.Edit(target, "concat(D" + std::to_string(target) + ", D" +
+                                   std::to_string(target) + ")");
+            break;
+        }
+        const Expected<ClusterCommitReceipt> receipt = store.Commit(batch);
+        // Seed docs are never dropped, so every batch must apply.
+        if (!receipt.ok()) commit_errors.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      int rounds = 0;
+      while (rounds < 10 || !done.load(std::memory_order_acquire)) {
+        const ClusterSnapshot snapshot = store.Snapshot();
+        if (!snapshot.atomic_cut()) non_atomic_cuts.fetch_add(1);
+        for (std::size_t s = 0; s < 4; ++s) {
+          checkers[s]->RecordObservation(static_cast<std::size_t>(r),
+                                         snapshot.shard(s));
+        }
+        ++rounds;
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (int r = kWriters; r < kWriters + kReaders; ++r) threads[r].join();
+  for (std::size_t s = 0; s < 4; ++s) {
+    store.shard(s).SetCommitObserverForTesting(nullptr);
+  }
+
+  EXPECT_EQ(commit_errors.load(), 0);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(checkers[s]->Verify(), "") << "shard " << s;
+    EXPECT_GT(checkers[s]->num_observations(), 0u) << "shard " << s;
+  }
+  // Two-phase acquire settles under a finite write storm: most cuts are
+  // provably instantaneous (the fallback is allowed, just not the norm).
+  const ClusterStats stats = store.Stats();
+  EXPECT_EQ(stats.commits, 1u + kWriters * kCommitsPerWriter);
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,304 @@
+// Loopback end-to-end tests of the spanner service (DESIGN.md §1.15):
+// SpannerServer + SpannerClient over real TCP sockets -- request/response
+// round-trips for every RPC, snapshot pinning (repeatable reads while
+// commits land), admission control (queue-depth shed surfaces as kRetry;
+// the per-connection window blocks instead of shedding), and wire-level
+// error propagation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "server/cluster.hpp"
+#include "server/server.hpp"
+
+namespace spanners {
+namespace {
+
+constexpr const char* kPattern = "(.|\\n)*{hit: fox}(.|\\n)*";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    ClusterOptions cluster;
+    cluster.num_shards = 2;
+    store_ = std::make_unique<ShardedStore>(cluster);
+    WriteBatch seed;
+    seed.Insert("the quick brown fox jumps");
+    seed.Insert("no match here");
+    seed.Insert("fox and fox again");
+    ASSERT_TRUE(store_->Commit(seed).ok());
+    options.port = 0;  // ephemeral
+    server_ = std::make_unique<SpannerServer>(store_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  SpannerClient MustConnect() {
+    Expected<SpannerClient> client =
+        SpannerClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.error();
+    return std::move(*client);
+  }
+
+  std::unique_ptr<ShardedStore> store_;
+  std::unique_ptr<SpannerServer> server_;
+};
+
+TEST_F(ServerTest, PingEchoesThePayload) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  const Expected<std::string> echoed = client.Ping("are you there?");
+  ASSERT_TRUE(echoed.ok()) << echoed.error();
+  EXPECT_EQ(*echoed, "are you there?");
+}
+
+TEST_F(ServerTest, SnapshotReportsPerShardVersionsAndCounts) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  const Expected<SnapshotResponse> snapshot = client.Snapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error();
+  ASSERT_EQ(snapshot->versions.size(), 2u);
+  ASSERT_EQ(snapshot->num_documents.size(), 2u);
+  EXPECT_EQ(snapshot->num_documents[0] + snapshot->num_documents[1], 3u);
+}
+
+TEST_F(ServerTest, QueryOverAllDocumentsCountsAndCapsTuples) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  QueryRequest request;
+  request.pattern = kPattern;
+  request.max_tuples = 1;
+  const Expected<QueryResponse> response = client.Query(request);
+  ASSERT_TRUE(response.ok()) << response.error();
+  ASSERT_EQ(response->results.size(), 3u);
+  uint64_t total_tuples = 0;
+  for (const WireDocResult& result : response->results) {
+    ASSERT_TRUE(result.ok) << result.error;
+    total_tuples += result.num_tuples;
+    // num_tuples is exact even when serialization is capped.
+    EXPECT_LE(result.tuples.size(), 1u);
+    EXPECT_LE(result.tuples.size(), result.num_tuples);
+  }
+  // "the quick brown fox jumps" has 1 hit, "fox and fox again" has 2.
+  EXPECT_EQ(total_tuples, 3u);
+}
+
+TEST_F(ServerTest, CommitsApplyAndReportClusterIds) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  WriteBatch batch;
+  batch.Insert("a fourth document with a fox");
+  const Expected<CommitResponse> committed = client.Commit(batch);
+  ASSERT_TRUE(committed.ok()) << committed.error();
+  ASSERT_EQ(committed->created.size(), 1u);
+  EXPECT_TRUE(store_->Snapshot().Contains(committed->created[0]));
+
+  QueryRequest request;
+  request.pattern = kPattern;
+  request.docs = {committed->created[0]};
+  const Expected<QueryResponse> response = client.Query(request);
+  ASSERT_TRUE(response.ok()) << response.error();
+  ASSERT_EQ(response->results.size(), 1u);
+  EXPECT_EQ(response->results[0].num_tuples, 1u);
+}
+
+TEST_F(ServerTest, PinnedSnapshotsAreRepeatableWhileCommitsLand) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  const Expected<SnapshotResponse> pinned = client.Snapshot();
+  ASSERT_TRUE(pinned.ok()) << pinned.error();
+
+  QueryRequest pinned_request;
+  pinned_request.pattern = kPattern;
+  pinned_request.snapshot_versions = pinned->versions;
+  const Expected<QueryResponse> baseline = client.Query(pinned_request);
+  ASSERT_TRUE(baseline.ok()) << baseline.error();
+  EXPECT_EQ(baseline->snapshot_versions, pinned->versions);
+
+  // Land commits that change both fresh results and the document set.
+  for (int i = 0; i < 3; ++i) {
+    WriteBatch batch;
+    batch.Insert("another fox " + std::to_string(i));
+    ASSERT_TRUE(client.Commit(batch).ok());
+  }
+
+  // Fresh reads see the new documents...
+  QueryRequest fresh_request;
+  fresh_request.pattern = kPattern;
+  const Expected<QueryResponse> fresh = client.Query(fresh_request);
+  ASSERT_TRUE(fresh.ok()) << fresh.error();
+  EXPECT_EQ(fresh->results.size(), 6u);
+
+  // ...while the pinned snapshot answers byte-identically, forever.
+  const Expected<QueryResponse> again = client.Query(pinned_request);
+  ASSERT_TRUE(again.ok()) << again.error();
+  ASSERT_EQ(again->results.size(), baseline->results.size());
+  for (std::size_t i = 0; i < again->results.size(); ++i) {
+    EXPECT_EQ(again->results[i].doc, baseline->results[i].doc);
+    EXPECT_EQ(again->results[i].num_tuples, baseline->results[i].num_tuples);
+  }
+}
+
+TEST_F(ServerTest, ExpiredSnapshotVersionsAreAnErrorNotAFallback) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  QueryRequest request;
+  request.pattern = kPattern;
+  request.snapshot_versions = {999, 999};
+  const Expected<QueryResponse> response = client.Query(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().find("expired"), std::string::npos)
+      << response.error();
+}
+
+TEST_F(ServerTest, ServerSideErrorsSurfaceAsDiagnostics) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  // Bad pattern -> per-document errors (the RPC itself succeeds).
+  QueryRequest bad_pattern;
+  bad_pattern.pattern = "{x: a";
+  const Expected<QueryResponse> response = client.Query(bad_pattern);
+  ASSERT_TRUE(response.ok()) << response.error();
+  for (const WireDocResult& result : response->results) {
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
+  }
+  // Cross-shard CDE -> commit-level kError with the cluster diagnostic.
+  WriteBatch cross;
+  cross.Create("concat(D1, D2)");  // D1 on shard 0, D2 on shard 1
+  const Expected<CommitResponse> committed = client.Commit(cross);
+  ASSERT_FALSE(committed.ok());
+  EXPECT_NE(committed.error().find("cross-shard"), std::string::npos)
+      << committed.error();
+}
+
+TEST_F(ServerTest, StatsAndMetricsRpcsRender) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  ASSERT_TRUE(client.Ping("warm").ok());
+  const Expected<std::string> stats = client.StatsText();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_NE(stats->find("cluster: shards=2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("shard 1:"), std::string::npos) << *stats;
+  const Expected<std::string> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.error();
+  // The OpenMetrics contract: prefixed family names, terminated exposition.
+  EXPECT_NE(metrics->find("spanners_"), std::string::npos);
+  EXPECT_NE(metrics->find("# EOF"), std::string::npos);
+}
+
+TEST_F(ServerTest, PerConnectionWindowBlocksInsteadOfShedding) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.per_connection_window = 2;
+  options.queue_capacity = 1000;
+  StartServer(options);
+  // Pipeline 50 pings on a raw connection without reading a single
+  // response: the reader must park on the window, never shed, and every
+  // response must come back kOk in order.
+  Expected<TcpConnection> raw =
+      TcpConnection::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok()) << raw.error();
+  std::string burst;
+  for (uint64_t id = 1; id <= 50; ++id) {
+    burst += EncodeFrame(MessageType::kPing, StatusCode::kOk, id, "w");
+  }
+  ASSERT_TRUE(raw->WriteAll(burst).ok());
+  FrameReader reader;
+  for (uint64_t id = 1; id <= 50; ++id) {
+    Expected<FrameReader::Frame> frame = raw->ReceiveFrame(&reader);
+    ASSERT_TRUE(frame.ok()) << frame.error();
+    EXPECT_EQ(frame->header.request_id, id);
+    EXPECT_EQ(frame->header.status, StatusCode::kOk);
+  }
+}
+
+TEST_F(ServerTest, QueueDepthOverloadShedsWithExplicitRetry) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  options.per_connection_window = 64;
+  StartServer(options);
+  // Pipeline bursts without reading: with a 1-deep queue and a window that
+  // lets the reader run ahead, the reader must shed whatever the worker
+  // has not yet drained -- as explicit kRetry responses, echoing the shed
+  // request's id, on a connection that stays healthy.
+  Expected<TcpConnection> raw =
+      TcpConnection::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok()) << raw.error();
+  FrameReader reader;
+  uint64_t next_id = 1;
+  uint64_t retries = 0;
+  for (int attempt = 0; attempt < 10 && retries == 0; ++attempt) {
+    std::string burst;
+    const uint64_t first = next_id;
+    for (int i = 0; i < 60; ++i) {
+      burst += EncodeFrame(MessageType::kPing, StatusCode::kOk, next_id++, "x");
+    }
+    ASSERT_TRUE(raw->WriteAll(burst).ok());
+    // Shed kRetry responses are written by the reader thread and may
+    // overtake the worker's kOk responses, so collect the whole burst and
+    // check ids as a set rather than a sequence.
+    std::vector<bool> seen(next_id - first, false);
+    for (uint64_t i = first; i < next_id; ++i) {
+      Expected<FrameReader::Frame> frame = raw->ReceiveFrame(&reader);
+      ASSERT_TRUE(frame.ok()) << frame.error();
+      const uint64_t id = frame->header.request_id;
+      ASSERT_GE(id, first);
+      ASSERT_LT(id, next_id);
+      EXPECT_FALSE(seen[id - first]) << "duplicate response for id " << id;
+      seen[id - first] = true;
+      if (frame->header.status == StatusCode::kRetry) ++retries;
+    }
+    for (uint64_t i = first; i < next_id; ++i) {
+      EXPECT_TRUE(seen[i - first]) << "no response for id " << i;
+    }
+  }
+  EXPECT_GT(retries, 0u) << "queue never overflowed across 600 pipelined pings";
+  // The shed connection still serves: a final ping succeeds.
+  ASSERT_TRUE(raw->SendFrame(MessageType::kPing, StatusCode::kOk, next_id, "ok")
+                  .ok());
+  for (;;) {
+    Expected<FrameReader::Frame> frame = raw->ReceiveFrame(&reader);
+    ASSERT_TRUE(frame.ok()) << frame.error();
+    if (frame->header.request_id == next_id) {
+      EXPECT_EQ(frame->header.status, StatusCode::kOk);
+      break;
+    }
+  }
+  EXPECT_GT(server_->stats().responses_retry, 0u);
+}
+
+TEST_F(ServerTest, MalformedFramesCloseTheConnectionOthersSurvive) {
+  StartServer();
+  SpannerClient healthy = MustConnect();
+  Expected<TcpConnection> raw =
+      TcpConnection::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok()) << raw.error();
+  ASSERT_TRUE(raw->WriteAll("this is not a frame, not even close......").ok());
+  // The server drops the broken connection: reads observe EOF.
+  FrameReader reader;
+  std::string scratch;
+  Expected<FrameReader::Frame> frame = raw->ReceiveFrame(&reader);
+  EXPECT_FALSE(frame.ok());
+  // An unrelated connection is unaffected.
+  const Expected<std::string> echoed = healthy.Ping("still alive");
+  ASSERT_TRUE(echoed.ok()) << echoed.error();
+  EXPECT_EQ(*echoed, "still alive");
+}
+
+TEST_F(ServerTest, StopUnblocksClientsAndIsIdempotent) {
+  StartServer();
+  SpannerClient client = MustConnect();
+  ASSERT_TRUE(client.Ping("x").ok());
+  server_->Stop();
+  server_->Stop();  // idempotent
+  EXPECT_FALSE(client.Ping("y").ok());
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,313 @@
+// Wire-protocol frame codec tests (DESIGN.md §1.15): round-trips through
+// EncodeFrame/FrameReader under adversarial chunking, rejection of
+// truncated/corrupt/oversized frames, and total decoding of every payload
+// codec (arbitrary bytes must yield a value or an error, never a crash --
+// fuzz/fuzz_wire_frame.cpp drives the same property with libFuzzer).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/blob_io.hpp"
+
+namespace spanners {
+namespace {
+
+/// Overwrites the little-endian u32 at \p offset and re-stamps the header
+/// CRC so only the targeted field is inconsistent -- lets tests reach the
+/// checks *behind* the header checksum.
+std::string PatchHeaderU32(std::string frame, std::size_t offset, uint32_t value) {
+  std::string patch;
+  AppendU32(&patch, value);
+  frame.replace(offset, 4, patch);
+  std::string crc;
+  AppendU32(&crc, Crc32(std::string_view(frame).substr(0, kFrameHeaderSize - 4)));
+  frame.replace(kFrameHeaderSize - 4, 4, crc);
+  return frame;
+}
+
+FrameReader::Frame MustRead(std::string_view bytes) {
+  FrameReader reader;
+  reader.Feed(bytes);
+  FrameReader::Frame frame;
+  EXPECT_TRUE(reader.Next(&frame)) << reader.error();
+  return frame;
+}
+
+TEST(WireFrame, RoundTripPreservesEveryHeaderField) {
+  const std::string encoded = EncodeFrame(MessageType::kCommit,
+                                          StatusCode::kRetry, 0xdeadbeefcafeull,
+                                          "payload bytes");
+  ASSERT_EQ(encoded.size(), kFrameHeaderSize + 13);
+  const FrameReader::Frame frame = MustRead(encoded);
+  EXPECT_EQ(frame.header.type, MessageType::kCommit);
+  EXPECT_EQ(frame.header.status, StatusCode::kRetry);
+  EXPECT_EQ(frame.header.request_id, 0xdeadbeefcafeull);
+  EXPECT_EQ(frame.payload, "payload bytes");
+}
+
+TEST(WireFrame, EmptyPayloadRoundTrips) {
+  const FrameReader::Frame frame =
+      MustRead(EncodeFrame(MessageType::kPing, StatusCode::kOk, 1, ""));
+  EXPECT_EQ(frame.header.payload_size, 0u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrame, ReaderReassemblesSingleByteFeeds) {
+  const std::string encoded =
+      EncodeFrame(MessageType::kQuery, StatusCode::kOk, 7, "abc");
+  FrameReader reader;
+  FrameReader::Frame frame;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_FALSE(reader.Next(&frame)) << "complete at byte " << i;
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    reader.Feed(std::string_view(encoded).substr(i, 1));
+  }
+  ASSERT_TRUE(reader.Next(&frame)) << reader.error();
+  EXPECT_EQ(frame.payload, "abc");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireFrame, ReaderYieldsPipelinedFramesInOrder) {
+  std::string stream;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    stream += EncodeFrame(MessageType::kPing, StatusCode::kOk, id,
+                          "frame " + std::to_string(id));
+  }
+  FrameReader reader;
+  reader.Feed(stream);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    FrameReader::Frame frame;
+    ASSERT_TRUE(reader.Next(&frame)) << reader.error();
+    EXPECT_EQ(frame.header.request_id, id);
+    EXPECT_EQ(frame.payload, "frame " + std::to_string(id));
+  }
+}
+
+TEST(WireFrame, TruncatedHeaderIsNotAnError) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame(MessageType::kStats, StatusCode::kOk, 1, "x")
+                  .substr(0, kFrameHeaderSize - 1));
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_TRUE(reader.ok());  // waiting for bytes, not broken
+}
+
+TEST(WireFrame, TruncatedPayloadIsNotAnError) {
+  const std::string encoded =
+      EncodeFrame(MessageType::kStats, StatusCode::kOk, 1, "hello");
+  FrameReader reader;
+  reader.Feed(encoded.substr(0, encoded.size() - 2));
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(WireFrame, BadMagicIsAStickyError) {
+  std::string encoded = EncodeFrame(MessageType::kPing, StatusCode::kOk, 1, "");
+  encoded[0] ^= 0x01;
+  FrameReader reader;
+  reader.Feed(encoded);
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos) << reader.error();
+  // Sticky: feeding a pristine frame afterwards cannot resurrect the stream.
+  reader.Feed(EncodeFrame(MessageType::kPing, StatusCode::kOk, 2, ""));
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireFrame, FlippedHeaderBitFailsTheHeaderChecksum) {
+  std::string encoded =
+      EncodeFrame(MessageType::kQuery, StatusCode::kOk, 42, "pp");
+  encoded[9] ^= 0x40;  // inside request_id
+  FrameReader reader;
+  reader.Feed(encoded);
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("header checksum"), std::string::npos)
+      << reader.error();
+}
+
+TEST(WireFrame, FlippedPayloadBitFailsThePayloadChecksum) {
+  std::string encoded =
+      EncodeFrame(MessageType::kQuery, StatusCode::kOk, 42, "payload");
+  encoded[kFrameHeaderSize + 3] ^= 0x10;
+  FrameReader reader;
+  reader.Feed(encoded);
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("payload checksum"), std::string::npos)
+      << reader.error();
+}
+
+TEST(WireFrame, OversizedPayloadIsRejectedAtTheHeader) {
+  // A consistent header (valid CRC) promising a payload beyond the protocol
+  // maximum must be rejected before any payload is buffered.
+  const std::string oversized = PatchHeaderU32(
+      EncodeFrame(MessageType::kQuery, StatusCode::kOk, 1, ""), 16,
+      kMaxWirePayload + 1);
+  const Expected<FrameHeader> header = DecodeFrameHeader(oversized);
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.error().find("maximum"), std::string::npos) << header.error();
+  FrameReader reader;
+  reader.Feed(oversized);
+  FrameReader::Frame frame;
+  EXPECT_FALSE(reader.Next(&frame));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireFrame, UnknownTypeStatusAndReservedBytesAreRejected) {
+  {
+    std::string encoded = EncodeFrame(MessageType::kPing, StatusCode::kOk, 1, "");
+    encoded[4] = 99;  // type
+    std::string crc;
+    AppendU32(&crc, Crc32(std::string_view(encoded).substr(0, kFrameHeaderSize - 4)));
+    encoded.replace(kFrameHeaderSize - 4, 4, crc);
+    EXPECT_FALSE(DecodeFrameHeader(encoded).ok());
+  }
+  {
+    std::string encoded = EncodeFrame(MessageType::kPing, StatusCode::kOk, 1, "");
+    encoded[5] = 7;  // status
+    std::string crc;
+    AppendU32(&crc, Crc32(std::string_view(encoded).substr(0, kFrameHeaderSize - 4)));
+    encoded.replace(kFrameHeaderSize - 4, 4, crc);
+    EXPECT_FALSE(DecodeFrameHeader(encoded).ok());
+  }
+  {
+    std::string encoded = EncodeFrame(MessageType::kPing, StatusCode::kOk, 1, "");
+    encoded[6] = 1;  // reserved
+    std::string crc;
+    AppendU32(&crc, Crc32(std::string_view(encoded).substr(0, kFrameHeaderSize - 4)));
+    encoded.replace(kFrameHeaderSize - 4, 4, crc);
+    EXPECT_FALSE(DecodeFrameHeader(encoded).ok());
+  }
+}
+
+TEST(WirePayloads, QueryRequestRoundTrips) {
+  QueryRequest request;
+  request.pattern = "{x: a*}b";
+  request.snapshot_versions = {3, 9};
+  request.docs = {1, 4, 7};
+  request.max_tuples = 12;
+  const Expected<QueryRequest> decoded =
+      DecodeQueryRequest(EncodeQueryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->pattern, request.pattern);
+  EXPECT_EQ(decoded->snapshot_versions, request.snapshot_versions);
+  EXPECT_EQ(decoded->docs, request.docs);
+  EXPECT_EQ(decoded->max_tuples, request.max_tuples);
+}
+
+TEST(WirePayloads, QueryResponseRoundTripsTuplesAndErrors) {
+  QueryResponse response;
+  response.snapshot_versions = {5, 2};
+  WireDocResult good;
+  good.doc = 3;
+  good.num_tuples = 2;
+  SpanTuple with_null(2);
+  with_null[0] = Span(1, 4);  // variable 1 stays bottom
+  good.tuples.push_back(with_null);
+  SpanTuple full(2);
+  full[0] = Span(2, 2);
+  full[1] = Span(7, 9);
+  good.tuples.push_back(full);
+  response.results.push_back(good);
+  WireDocResult bad;
+  bad.doc = 8;
+  bad.ok = false;
+  bad.error = "document dropped";
+  response.results.push_back(bad);
+
+  const Expected<QueryResponse> decoded =
+      DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->snapshot_versions, response.snapshot_versions);
+  ASSERT_EQ(decoded->results.size(), 2u);
+  EXPECT_EQ(decoded->results[0].doc, 3u);
+  EXPECT_TRUE(decoded->results[0].ok);
+  EXPECT_EQ(decoded->results[0].num_tuples, 2u);
+  ASSERT_EQ(decoded->results[0].tuples.size(), 2u);
+  EXPECT_EQ(decoded->results[0].tuples[0], with_null);
+  EXPECT_EQ(decoded->results[0].tuples[1], full);
+  EXPECT_FALSE(decoded->results[1].ok);
+  EXPECT_EQ(decoded->results[1].error, "document dropped");
+}
+
+TEST(WirePayloads, CommitRequestRoundTripsEveryOpKind) {
+  CommitRequest request;
+  request.batch.Insert("plain text document");
+  request.batch.Create("concat(D1, D2)");
+  request.batch.Edit(5, "delete(D5, 1, 3)");
+  request.batch.Drop(9);
+  const Expected<CommitRequest> decoded =
+      DecodeCommitRequest(EncodeCommitRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_EQ(decoded->batch.size(), 4u);
+  EXPECT_EQ(decoded->batch.ops()[0].kind, StoreOp::Kind::kInsertText);
+  EXPECT_EQ(decoded->batch.ops()[0].payload, "plain text document");
+  EXPECT_EQ(decoded->batch.ops()[1].kind, StoreOp::Kind::kCreateCde);
+  EXPECT_EQ(decoded->batch.ops()[2].kind, StoreOp::Kind::kEditCde);
+  EXPECT_EQ(decoded->batch.ops()[2].doc, 5u);
+  EXPECT_EQ(decoded->batch.ops()[3].kind, StoreOp::Kind::kDrop);
+  EXPECT_EQ(decoded->batch.ops()[3].doc, 9u);
+}
+
+TEST(WirePayloads, CommitAndSnapshotResponsesRoundTrip) {
+  CommitResponse commit;
+  commit.shard_versions = {{0, 12}, {3, 4}};
+  commit.created = {17, 21};
+  const Expected<CommitResponse> commit_decoded =
+      DecodeCommitResponse(EncodeCommitResponse(commit));
+  ASSERT_TRUE(commit_decoded.ok()) << commit_decoded.error();
+  EXPECT_EQ(commit_decoded->shard_versions, commit.shard_versions);
+  EXPECT_EQ(commit_decoded->created, commit.created);
+
+  SnapshotResponse snapshot;
+  snapshot.versions = {7, 7, 8};
+  snapshot.num_documents = {2, 0, 5};
+  const Expected<SnapshotResponse> snapshot_decoded =
+      DecodeSnapshotResponse(EncodeSnapshotResponse(snapshot));
+  ASSERT_TRUE(snapshot_decoded.ok()) << snapshot_decoded.error();
+  EXPECT_EQ(snapshot_decoded->versions, snapshot.versions);
+  EXPECT_EQ(snapshot_decoded->num_documents, snapshot.num_documents);
+}
+
+TEST(WirePayloads, HostileCountFieldsAreRejectedWithoutAllocating) {
+  // A 4-byte payload claiming 2^32-1 snapshot versions: CountFits must
+  // reject it from the byte budget before any reserve().
+  std::string hostile;
+  AppendU32(&hostile, 0);           // empty pattern
+  AppendU32(&hostile, 0xffffffffu); // version count
+  EXPECT_FALSE(DecodeQueryRequest(hostile).ok());
+
+  std::string hostile_response;
+  AppendU32(&hostile_response, 0xffffffffu);
+  EXPECT_FALSE(DecodeQueryResponse(hostile_response).ok());
+  EXPECT_FALSE(DecodeCommitResponse(hostile_response).ok());
+  EXPECT_FALSE(DecodeSnapshotResponse(hostile_response).ok());
+}
+
+TEST(WirePayloads, TruncationAnywhereIsAnErrorNotACrash) {
+  QueryResponse response;
+  response.snapshot_versions = {1};
+  WireDocResult result;
+  result.doc = 1;
+  result.num_tuples = 1;
+  SpanTuple tuple(1);
+  tuple[0] = Span(1, 2);
+  result.tuples.push_back(tuple);
+  response.results.push_back(result);
+  const std::string encoded = EncodeQueryResponse(response);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(DecodeQueryResponse(encoded.substr(0, cut)).ok())
+        << "truncation at " << cut << " decoded";
+  }
+}
+
+}  // namespace
+}  // namespace spanners
