@@ -120,6 +120,79 @@ void BM_Store_QueryAll(benchmark::State& state) {
 }
 BENCHMARK(BM_Store_QueryAll)->Arg(1)->Arg(4);
 
+/// Edit-then-requery serving workload (DESIGN.md §1.16): a CDE rotation
+/// edit followed by range(1) re-queries of the same document. The commit
+/// threads the edit's dirty path to the prepared-state cache, so the first
+/// re-query splice-repairs O(log d) node matrices instead of re-filling the
+/// document -- re-query cost is sublinear across 10^4..10^6 characters.
+/// Only the queries are timed; the edit runs outside the clock.
+void BM_Store_EditThenRequery(benchmark::State& state) {
+  DocumentStore store;
+  Rng rng(13);
+  WriteBatch ingest;
+  ingest.Insert(DnaLike(rng, static_cast<std::size_t>(state.range(0)), 8, 32));
+  if (!store.Commit(ingest).ok()) std::abort();
+  Session session;
+  const CompiledQuery* query = *session.Compile(kPattern);
+  if (!session.Evaluate(*query, store.Snapshot(), 1).ok()) std::abort();  // warm
+  const uint64_t length = store.Snapshot().LengthOf(1);
+  const std::string expr =
+      "extract(concat(D1, D1), 9, " + std::to_string(length + 8) + ")";
+  const int64_t queries = state.range(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!store.EditDocument(1, expr).ok()) std::abort();
+    StoreSnapshot snapshot = store.Snapshot();
+    state.ResumeTiming();
+    for (int64_t q = 0; q < queries; ++q) {
+      benchmark::DoNotOptimize(session.Evaluate(*query, snapshot, 1));
+    }
+  }
+  const PreparedCacheStats stats = store.cache().stats();
+  state.counters["doc_bytes"] = static_cast<double>(length);
+  state.counters["spliced"] = static_cast<double>(stats.spliced);
+  state.counters["refilled_nodes"] = static_cast<double>(stats.refilled_nodes);
+  state.counters["reachable_nodes"] =
+      static_cast<double>(store.Stats().reachable_nodes);
+}
+BENCHMARK(BM_Store_EditThenRequery)
+    ->Args({10'000, 1})
+    ->Args({100'000, 1})
+    ->Args({1'000'000, 1})
+    ->Args({100'000, 8});
+
+/// The from-scratch contrast: a 1-byte cache budget retains nothing, so
+/// every re-query after an edit pays a whole-document matrix fill -- linear
+/// in the (compressed) document, versus the sublinear splice path above.
+void BM_Store_EditThenRequeryScratch(benchmark::State& state) {
+  StoreOptions options;
+  options.cache_budget_bytes = 1;  // every retention evicts immediately
+  DocumentStore store(options);
+  Rng rng(13);
+  WriteBatch ingest;
+  ingest.Insert(DnaLike(rng, static_cast<std::size_t>(state.range(0)), 8, 32));
+  if (!store.Commit(ingest).ok()) std::abort();
+  Session session;
+  const CompiledQuery* query = *session.Compile(kPattern);
+  const uint64_t length = store.Snapshot().LengthOf(1);
+  const std::string expr =
+      "extract(concat(D1, D1), 9, " + std::to_string(length + 8) + ")";
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!store.EditDocument(1, expr).ok()) std::abort();
+    StoreSnapshot snapshot = store.Snapshot();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session.Evaluate(*query, snapshot, 1));
+  }
+  state.counters["doc_bytes"] = static_cast<double>(length);
+  state.counters["reachable_nodes"] =
+      static_cast<double>(store.Stats().reachable_nodes);
+}
+BENCHMARK(BM_Store_EditThenRequeryScratch)
+    ->Args({10'000, 1})
+    ->Args({100'000, 1})
+    ->Args({1'000'000, 1});
+
 /// Returns a persistence directory with no stale blob/log from prior runs.
 std::string FreshPersistDir(const char* tag) {
   const std::string dir = std::string("/tmp/spanners_bench_") + tag;

@@ -15,11 +15,11 @@ fail the gate.
 
 Usage:
   # Gate (exit 1 on regression or missing benchmark):
-  bench/check_regression.py --current BENCH_PR6.json \
+  bench/check_regression.py --current BENCH_PR10.json \
       [--baseline bench/baseline.json] [--threshold-pct 25] [--report out.json]
 
   # Rebase the baseline from a trusted run on the reference box:
-  bench/check_regression.py --rebase BENCH_PR6.json [--baseline bench/baseline.json]
+  bench/check_regression.py --rebase BENCH_PR10.json [--baseline bench/baseline.json]
 
 The baseline stores one number per benchmark (ns, cpu_time preferred) plus the
 environment it was measured in; see DESIGN.md §1.12 for the rebase workflow.

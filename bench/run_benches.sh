@@ -24,11 +24,11 @@
 # A comparison report lands next to the output as <output>.regressions.json.
 #
 # Usage: bench/run_benches.sh [output-json] [build-dir]
-#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR6.json build
+#   SPANNERS_THREADS=8 bench/run_benches.sh BENCH_PR10.json build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out_file="${1:-$repo_root/BENCH_PR6.json}"
+out_file="${1:-$repo_root/BENCH_PR10.json}"
 build_dir="${2:-$repo_root/build}"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT

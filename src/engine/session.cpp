@@ -363,6 +363,20 @@ std::string Session::ExplainPlan(const CompiledQuery& query, const Document& doc
   return report;
 }
 
+std::string Session::ExplainPlan(const CompiledQuery& query,
+                                 const StoreSnapshot& snapshot, StoreDocId doc) {
+  if (snapshot.empty() || !snapshot.Contains(doc)) {
+    return "store: document D" + std::to_string(doc) + " is not in this snapshot\n";
+  }
+  const Slp& slp = snapshot.slp();
+  std::string report =
+      ExplainPlan(query, Document::FromSlp(&slp, snapshot.RootOf(doc)));
+  if (snapshot.cache() != nullptr) {
+    report += snapshot.cache()->ExplainEntry(query, snapshot, doc);
+  }
+  return report;
+}
+
 void Session::set_force_plan(std::optional<PlanKind> plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   options_.force_plan = plan;

@@ -116,6 +116,13 @@ class Session {
   /// features it was based on, and the query's prepared-state summary.
   std::string ExplainPlan(const CompiledQuery& query, const Document& document);
 
+  /// Store-path plan report: the document-view report above plus a
+  /// "store-cache:" line describing what the prepared-state cache would do
+  /// for (query, doc) -- result hit/miss, matrix warm/cold, and whether the
+  /// snapshot's dirty path makes splice repair available (DESIGN.md §1.16).
+  std::string ExplainPlan(const CompiledQuery& query, const StoreSnapshot& snapshot,
+                          StoreDocId doc);
+
   void set_force_plan(std::optional<PlanKind> plan);
   std::optional<PlanKind> force_plan() const;
 

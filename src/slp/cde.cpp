@@ -365,6 +365,46 @@ Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
   return EvalCdeOn(slp, roots, expr);
 }
 
+std::vector<NodeId> CollectFreshReachable(const Slp& slp, NodeId root,
+                                          NodeId first_fresh) {
+  std::vector<NodeId> fresh;
+  if (root == kNoNode || root < first_fresh) return fresh;
+  // Fresh nodes form a DAG (hash-consing dedups within the edit); a visited
+  // bitmap over the fresh interval keeps the walk linear in |fresh|.
+  const std::size_t span = slp.num_nodes() - first_fresh;
+  std::vector<char> visited(span, 0);
+  std::vector<NodeId> stack = {root};
+  visited[root - first_fresh] = 1;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    fresh.push_back(node);
+    if (slp.IsTerminal(node)) continue;
+    for (NodeId child : {slp.Left(node), slp.Right(node)}) {
+      // Children below first_fresh are pre-edit nodes: immutable, with
+      // derived state intact -- the walk (and the refill) stops there.
+      if (child < first_fresh || visited[child - first_fresh] != 0) continue;
+      visited[child - first_fresh] = 1;
+      stack.push_back(child);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  return fresh;
+}
+
+Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
+                                  const CdeExpr& expr, CdeDirtyPath* dirty) {
+  *dirty = CdeDirtyPath{};
+  const NodeId first_fresh = static_cast<NodeId>(slp->num_nodes());
+  Expected<NodeId> root = EvalCdeOnChecked(slp, roots, expr);
+  if (!root.ok()) return root;
+  dirty->root = *root;
+  dirty->first_fresh = first_fresh;
+  dirty->appended = slp->num_nodes() - first_fresh;
+  dirty->nodes = CollectFreshReachable(*slp, *root, first_fresh);
+  return root;
+}
+
 Expected<NodeId> EvalCdeExpected(DocumentDatabase* database, const CdeExpr& expr) {
   return EvalCdeOnChecked(&database->slp(), database->roots(), expr);
 }

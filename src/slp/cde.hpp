@@ -95,6 +95,39 @@ NodeId EvalCdeOn(Slp* slp, const std::vector<NodeId>& roots, const CdeExpr& expr
 Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
                                   const CdeExpr& expr);
 
+// --- dirty-path reporting ---------------------------------------------------
+//
+// The nodes an edit freshly created are exactly the splice set of
+// incremental maintenance: every per-node derived state (NFA matrices,
+// enumeration matrices) of an *old* node is untouched by an edit, because
+// nodes are immutable -- only the fresh nodes along the rebuilt root-to-leaf
+// paths need new state. Evaluation appends the id interval
+// [num_nodes-before, num_nodes-after); the subset still reachable from the
+// result root (splits and concats leave unreachable temporaries behind) is
+// the dirty path the store threads through to the prepared-state cache.
+
+/// The dirty path of one tracked CDE evaluation.
+struct CdeDirtyPath {
+  NodeId root = kNoNode;       ///< the evaluation's result root
+  NodeId first_fresh = 0;      ///< arena size before the evaluation ran
+  std::size_t appended = 0;    ///< nodes appended, including dead temporaries
+  std::vector<NodeId> nodes;   ///< fresh nodes reachable from root, ascending
+};
+
+/// The fresh nodes (id >= \p first_fresh) reachable from \p root, ascending.
+/// Old nodes are immutable and only reference older nodes, so every path
+/// from \p root to a fresh node passes through fresh nodes only: the walk is
+/// O(|result|), independent of the document. Ascending id order is
+/// children-before-parents (ids are topological), the order a path-local
+/// matrix refill consumes.
+std::vector<NodeId> CollectFreshReachable(const Slp& slp, NodeId root,
+                                          NodeId first_fresh);
+
+/// Like EvalCdeOnChecked, and additionally reports the edit's dirty path.
+/// On error \p dirty is reset and the arena is untouched.
+Expected<NodeId> EvalCdeOnChecked(Slp* slp, const std::vector<NodeId>& roots,
+                                  const CdeExpr& expr, CdeDirtyPath* dirty);
+
 /// Like EvalCde, but treats invalid caller-supplied expressions as a
 /// diagnosable error instead of aborting the process. Canonical checked
 /// entry point; validates first, so the database is untouched on error.

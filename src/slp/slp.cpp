@@ -320,6 +320,11 @@ std::vector<bool> Slp::MarkReachable(const std::vector<NodeId>& roots) const {
 }
 
 CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out) {
+  return CompactSlp(source, roots, out, nullptr);
+}
+
+CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out,
+                        std::vector<NodeId>* remap_out) {
   Require(out->num_nodes() == 0, "CompactSlp: target arena must be empty");
   const std::vector<bool> seen = source.MarkReachable(*roots);
   CompactStats stats;
@@ -338,6 +343,7 @@ CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out)
   for (NodeId& root : *roots) {
     if (root != kNoNode) root = remap[root];
   }
+  if (remap_out != nullptr) *remap_out = std::move(remap);
   return stats;
 }
 

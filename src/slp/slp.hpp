@@ -214,6 +214,17 @@ struct CompactStats {
 /// including strong balance -- is preserved node-for-node. O(reachable).
 CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out);
 
+/// Like the three-argument overload, but additionally publishes the old->new
+/// node mapping in \p remap_out: remap_out->at(old_id) is the corresponding
+/// id in \p out, or kNoNode for unreachable (reclaimed) nodes. Matrices and
+/// other per-node derived state depend only on the node's derived string, so
+/// caches keyed by old ids can be carried across a compaction through this
+/// mapping instead of being dropped (store/prepared_cache.hpp). The mapping
+/// need not be injective: hash-consing may merge structurally equal source
+/// nodes into one target node.
+CompactStats CompactSlp(const Slp& source, std::vector<NodeId>* roots, Slp* out,
+                        std::vector<NodeId>* remap_out);
+
 /// A document database: an SLP plus designated document roots (Figure 1).
 class DocumentDatabase {
  public:

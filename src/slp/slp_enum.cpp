@@ -169,6 +169,63 @@ void SlpSpannerEvaluator::FillCache(const Slp& slp, NodeId node) {
   }
 }
 
+std::size_t SlpSpannerEvaluator::RefillPath(const Slp& slp,
+                                            const std::vector<NodeId>& dirty) {
+  if (bound_arena_ != slp.arena_id()) {
+    // Nothing to splice into: the cache belongs to another arena. Bind and
+    // let the caller's evaluation do a regular (full) fill.
+    cache_.clear();
+    bound_arena_ = slp.arena_id();
+    return 0;
+  }
+  ScopedSpan span("slp.refill_path");
+  std::size_t computed = 0;
+  cache_.reserve(cache_.size() + dirty.size());
+  for (const NodeId node : dirty) {
+    if (cache_.count(node) != 0) continue;
+    if (!slp.IsTerminal(node) && (cache_.count(slp.Left(node)) == 0 ||
+                                  cache_.count(slp.Right(node)) == 0)) {
+      // An old child was never cached (partially warm state); skip -- the
+      // lazy level-order fill computes it on the next evaluation.
+      continue;
+    }
+    ComputeNode(slp, node, &cache_[node]);
+    ++computed;
+  }
+  if (computed > 0 && MetricsEnabled()) {
+    SlpEnumMetrics& metrics = SlpEnumMetrics::Get();
+    metrics.fill_nodes.Add(computed);
+    CountKernelNodes(metrics, computed);
+  }
+  return computed;
+}
+
+std::size_t SlpSpannerEvaluator::RemapCache(uint64_t from_arena,
+                                            const std::vector<NodeId>& remap,
+                                            uint64_t to_arena) {
+  if (bound_arena_ != from_arena) {
+    cache_.clear();
+    bound_arena_ = to_arena;
+    return 0;
+  }
+  std::unordered_map<NodeId, NodeMats> moved;
+  moved.reserve(cache_.size());
+  for (auto& [id, mats] : cache_) {
+    if (id >= remap.size() || remap[id] == kNoNode) continue;  // reclaimed
+    // Hash-consing may merge structurally equal nodes; the merged entries
+    // carry identical matrices, so keeping the first is enough.
+    moved.emplace(remap[id], std::move(mats));
+  }
+  cache_ = std::move(moved);
+  bound_arena_ = to_arena;
+  return cache_.size();
+}
+
+void SlpSpannerEvaluator::RebindArena(uint64_t from_arena, uint64_t to_arena) {
+  if (bound_arena_ != from_arena) cache_.clear();
+  bound_arena_ = to_arena;
+}
+
 const SlpSpannerEvaluator::NodeMats& SlpSpannerEvaluator::MatsOf(const Slp& slp,
                                                                  NodeId node) {
   // Node ids are only meaningful within one arena; switching arenas

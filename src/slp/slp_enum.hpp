@@ -51,6 +51,50 @@ class SlpSpannerEvaluator {
   /// Convenience: materialise the relation.
   SpanRelation EvaluateToRelation(const Slp& slp, NodeId root);
 
+  /// Per-node preprocessing state (paper §4.2): the marker-free spine run
+  /// function plus the event/full Boolean matrices. Public so incremental
+  /// tests can compare spliced state against a fresh whole-document fill.
+  struct NodeMats {
+    StateSet spine;    ///< marker-free run function (kNoState = none); SSO:
+                       ///< stays inline for automata of <= 8 states, one
+                       ///< allocation otherwise (was one per node always)
+    BoolMatrix event;  ///< runs with >= 1 marker event inside
+    BoolMatrix full;   ///< spine ∪ event
+  };
+
+  // --- incremental maintenance (paper §4.3) ---------------------------------
+
+  /// Path-local splice repair: computes matrices for exactly the fresh
+  /// nodes of \p dirty (ascending id order = children before parents, the
+  /// order CollectFreshReachable reports) on top of the existing cache,
+  /// skipping nodes whose children are not yet cached (the lazy fill pays
+  /// for those on the next evaluation). O(|dirty| * poly(Q)) -- no
+  /// whole-subtree discovery walk. Returns the number of nodes computed.
+  std::size_t RefillPath(const Slp& slp, const std::vector<NodeId>& dirty);
+
+  /// Carries the cache across a compaction (CompactSlp's remap overload):
+  /// the entry of old node n moves to remap[n]; unreachable nodes
+  /// (remap[n] == kNoNode) are dropped. Sound because matrices depend only
+  /// on the node's derived string, which compaction preserves node-for-node.
+  /// No-op-with-clear if the cache is not bound to \p from_arena. Returns
+  /// the number of entries retained.
+  std::size_t RemapCache(uint64_t from_arena, const std::vector<NodeId>& remap,
+                         uint64_t to_arena);
+
+  /// Rebinds the cache to an arena with *identical* node ids (a thawed twin
+  /// of a mapped epoch: SlpSerializer::Thaw preserves ids). Clears instead
+  /// if the cache is not bound to \p from_arena.
+  void RebindArena(uint64_t from_arena, uint64_t to_arena);
+
+  /// The cached state of \p node, or nullptr (test hook; never fills).
+  const NodeMats* FindMats(NodeId node) const {
+    auto it = cache_.find(node);
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+
+  /// The arena the cache is currently bound to (0 = none yet).
+  uint64_t bound_arena() const { return bound_arena_; }
+
   /// Nodes with cached matrices (exposed for the update-cost experiments).
   std::size_t cache_size() const { return cache_.size(); }
   void ClearCache() { cache_.clear(); }
@@ -74,14 +118,6 @@ class SlpSpannerEvaluator {
 
  private:
   static constexpr StateId kNoState = UINT32_MAX;
-
-  struct NodeMats {
-    StateSet spine;    ///< marker-free run function (kNoState = none); SSO:
-                       ///< stays inline for automata of <= 8 states, one
-                       ///< allocation otherwise (was one per node always)
-    BoolMatrix event;  ///< runs with >= 1 marker event inside
-    BoolMatrix full;   ///< spine ∪ event
-  };
 
   struct Context {
     const Slp* slp;

@@ -143,6 +143,56 @@ void SlpNfaMatcher::FillCache(const Slp& slp, NodeId node) {
   }
 }
 
+std::size_t SlpNfaMatcher::RefillPath(const Slp& slp,
+                                      const std::vector<NodeId>& dirty) {
+  Require(ok(), "SlpNfaMatcher::RefillPath: matcher in failed state (check ok())");
+  if (bound_arena_ != slp.arena_id()) {
+    cache_.clear();
+    bound_arena_ = slp.arena_id();
+    return 0;
+  }
+  ScopedSpan span("slp.refill_path");
+  std::size_t computed = 0;
+  cache_.reserve(cache_.size() + dirty.size());
+  for (const NodeId node : dirty) {
+    if (cache_.count(node) != 0) continue;
+    if (!slp.IsTerminal(node) && (cache_.count(slp.Left(node)) == 0 ||
+                                  cache_.count(slp.Right(node)) == 0)) {
+      continue;  // partially warm state: the lazy fill pays for it later
+    }
+    ComputeNode(slp, node, &cache_[node]);
+    ++computed;
+  }
+  if (computed > 0 && MetricsEnabled()) {
+    SlpNfaMetrics::Get().fill_nodes.Add(computed);
+  }
+  return computed;
+}
+
+std::size_t SlpNfaMatcher::RemapCache(uint64_t from_arena,
+                                      const std::vector<NodeId>& remap,
+                                      uint64_t to_arena) {
+  if (bound_arena_ != from_arena) {
+    cache_.clear();
+    bound_arena_ = to_arena;
+    return 0;
+  }
+  std::unordered_map<NodeId, BoolMatrix> moved;
+  moved.reserve(cache_.size());
+  for (auto& [id, matrix] : cache_) {
+    if (id >= remap.size() || remap[id] == kNoNode) continue;  // reclaimed
+    moved.emplace(remap[id], std::move(matrix));
+  }
+  cache_ = std::move(moved);
+  bound_arena_ = to_arena;
+  return cache_.size();
+}
+
+void SlpNfaMatcher::RebindArena(uint64_t from_arena, uint64_t to_arena) {
+  if (bound_arena_ != from_arena) cache_.clear();
+  bound_arena_ = to_arena;
+}
+
 const BoolMatrix& SlpNfaMatcher::MatrixOf(const Slp& slp, NodeId node) {
   Require(ok(), "SlpNfaMatcher::MatrixOf: matcher in failed state (check ok())");
   // Node ids are only meaningful within one arena; switching arenas

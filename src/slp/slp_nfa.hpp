@@ -58,6 +58,33 @@ class SlpNfaMatcher {
   /// The transition matrix of 𝔇(node) (computed and cached on demand).
   const BoolMatrix& MatrixOf(const Slp& slp, NodeId node);
 
+  // --- incremental maintenance (paper §4.3) ---------------------------------
+
+  /// Path-local splice repair: computes matrices for exactly the fresh
+  /// nodes of \p dirty (ascending = children before parents, as reported by
+  /// CollectFreshReachable), skipping nodes whose children are not yet
+  /// cached. O(|dirty| * n^3); returns the number of nodes computed.
+  std::size_t RefillPath(const Slp& slp, const std::vector<NodeId>& dirty);
+
+  /// Carries the cache across a compaction: the matrix of old node n moves
+  /// to remap[n] (kNoNode entries are dropped) -- sound because matrices
+  /// depend only on the derived string, which compaction preserves.
+  /// Clears instead if not bound to \p from_arena. Returns entries retained.
+  std::size_t RemapCache(uint64_t from_arena, const std::vector<NodeId>& remap,
+                         uint64_t to_arena);
+
+  /// Rebinds to an arena with identical node ids (a thawed mapped epoch).
+  void RebindArena(uint64_t from_arena, uint64_t to_arena);
+
+  /// The cached matrix of \p node, or nullptr (test hook; never fills).
+  const BoolMatrix* FindMatrix(NodeId node) const {
+    auto it = cache_.find(node);
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+
+  /// The arena the cache is currently bound to (0 = none yet).
+  uint64_t bound_arena() const { return bound_arena_; }
+
   /// Number of per-node matrices currently cached.
   std::size_t cache_size() const { return cache_.size(); }
 

@@ -20,6 +20,10 @@ struct CacheMetrics {
   Counter& evictions = MetricsRegistry::Global().GetCounter("store.cache.evictions");
   Counter& evicted_bytes =
       MetricsRegistry::Global().GetCounter("store.cache.evicted_bytes");
+  Counter& spliced = MetricsRegistry::Global().GetCounter("store.cache.spliced");
+  Counter& refilled_nodes =
+      MetricsRegistry::Global().GetCounter("store.cache.refilled_nodes");
+  Counter& repaired = MetricsRegistry::Global().GetCounter("store.cache.repaired");
   Gauge& bytes = MetricsRegistry::Global().GetGauge("store.cache.bytes");
   Gauge& entries = MetricsRegistry::Global().GetGauge("store.cache.entries");
   Histogram& query_ns = MetricsRegistry::Global().GetHistogram("store.query_ns");
@@ -107,6 +111,7 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
   bool via_session = false;
   if (!query.features().has_references && root != kNoNode) {
     std::shared_ptr<MatrixEntry> entry;
+    bool warm = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       std::shared_ptr<MatrixEntry>& slot = matrices_[MatrixKey{&query, arena}];
@@ -115,16 +120,36 @@ Expected<SpanRelation> PreparedStateCache::Evaluate(Session& session,
         slot->evaluator = std::make_unique<SlpSpannerEvaluator>(&query.backing_edva());
         slot->bytes = 0;
       }
+      warm = slot->bytes > 0;  // a previous fill was accounted
       slot->stamp = ++clock_;
       entry = slot;
     }
+    // Splice decision: a warm matrix entry plus the publishing commit's
+    // dirty path for this document means the only uncached nodes under
+    // root are the path's fresh nodes -- repair exactly those and skip the
+    // whole-subtree discovery walk (DESIGN.md §1.16).
+    const StoreEditDelta* delta =
+        warm ? snapshot.EditDeltaFor(doc) : nullptr;
+    if (delta != nullptr && delta->new_root != root) delta = nullptr;
     {
       ScopedSpan span("store.cache.matrix_fill");
       std::lock_guard<std::mutex> eval_lock(entry->eval_mutex);
+      std::size_t refilled = 0;
+      if (delta != nullptr) {
+        refilled = entry->evaluator->RefillPath(slp, delta->dirty);
+      }
       result = FinishSlpRelation(query, slp, root,
                                  entry->evaluator->EvaluateToRelation(slp, root));
       const std::size_t new_bytes = entry->evaluator->CacheBytes();
       std::lock_guard<std::mutex> lock(mutex_);
+      if (delta != nullptr) {
+        ++spliced_;
+        refilled_nodes_ += refilled;
+        if (MetricsEnabled()) {
+          metrics.spliced.Increment();
+          metrics.refilled_nodes.Add(refilled);
+        }
+      }
       // The entry may have been evicted while we filled it; only entries
       // still in the map participate in the byte accounting.
       auto it = matrices_.find(MatrixKey{&query, arena});
@@ -186,6 +211,9 @@ PreparedCacheStats PreparedStateCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.evicted_bytes = evicted_bytes_;
+  stats.spliced = spliced_;
+  stats.refilled_nodes = refilled_nodes_;
+  stats.repaired_entries = repaired_entries_;
   stats.bytes = total_bytes_;
   stats.result_entries = results_.size();
   stats.matrix_entries = matrices_.size();
@@ -216,6 +244,138 @@ void PreparedStateCache::DropArena(uint64_t arena_id) {
     metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
     metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
   }
+}
+
+std::size_t PreparedStateCache::RebindArena(uint64_t from_arena,
+                                            uint64_t to_arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t moved = 0;
+  // Result entries: node ids are identical in the thawed twin, so only the
+  // arena component of the key changes.
+  std::map<ResultKey, std::shared_ptr<ResultEntry>> results;
+  for (auto& [key, entry] : results_) {
+    ResultKey moved_key = key;
+    if (key.arena == from_arena) {
+      moved_key.arena = to_arena;
+      ++moved;
+    }
+    results.emplace(moved_key, std::move(entry));
+  }
+  results_ = std::move(results);
+  // Matrix entries: the evaluator's own binding moves too. An evaluator that
+  // is mid-evaluation belongs to a reader on the superseded mapped epoch;
+  // drop that entry instead of blocking the commit path on it.
+  std::map<MatrixKey, std::shared_ptr<MatrixEntry>> matrices;
+  for (auto& [key, entry] : matrices_) {
+    if (key.arena != from_arena) {
+      matrices.emplace(key, std::move(entry));
+      continue;
+    }
+    std::unique_lock<std::mutex> eval_lock(entry->eval_mutex, std::try_to_lock);
+    if (!eval_lock.owns_lock()) {
+      total_bytes_ -= entry->bytes;
+      continue;
+    }
+    entry->evaluator->RebindArena(from_arena, to_arena);
+    eval_lock.unlock();
+    ++moved;
+    matrices.emplace(MatrixKey{key.query, to_arena}, std::move(entry));
+  }
+  matrices_ = std::move(matrices);
+  repaired_entries_ += moved;
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = CacheMetrics::Get();
+    metrics.repaired.Add(moved);
+    metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
+    metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
+  }
+  return moved;
+}
+
+std::size_t PreparedStateCache::RemapArena(uint64_t from_arena, uint64_t to_arena,
+                                           const std::vector<NodeId>& remap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t retained = 0;
+  std::map<ResultKey, std::shared_ptr<ResultEntry>> results;
+  for (auto& [key, entry] : results_) {
+    if (key.arena != from_arena) {
+      results.emplace(key, std::move(entry));
+      continue;
+    }
+    const NodeId root = key.root;
+    const NodeId moved_root =
+        root != kNoNode && root < remap.size() ? remap[root] : kNoNode;
+    if (root != kNoNode && moved_root == kNoNode) {
+      // The root was reclaimed: a superseded document version no snapshot
+      // can name anymore. GC doubles as stale-result pruning.
+      total_bytes_ -= entry->bytes;
+      continue;
+    }
+    ++retained;
+    results.emplace(ResultKey{key.query, to_arena, moved_root}, std::move(entry));
+  }
+  results_ = std::move(results);
+  std::map<MatrixKey, std::shared_ptr<MatrixEntry>> matrices;
+  for (auto& [key, entry] : matrices_) {
+    if (key.arena != from_arena) {
+      matrices.emplace(key, std::move(entry));
+      continue;
+    }
+    // Matrices depend only on each node's derived string, which compaction
+    // preserves node-for-node -- rewrite the cache through the mapping. A
+    // mid-evaluation evaluator (reader on the superseded epoch) is dropped
+    // instead of blocking the commit path.
+    std::unique_lock<std::mutex> eval_lock(entry->eval_mutex, std::try_to_lock);
+    if (!eval_lock.owns_lock()) {
+      total_bytes_ -= entry->bytes;
+      continue;
+    }
+    entry->evaluator->RemapCache(from_arena, remap, to_arena);
+    const std::size_t new_bytes = entry->evaluator->CacheBytes();
+    eval_lock.unlock();
+    total_bytes_ += new_bytes - entry->bytes;
+    entry->bytes = new_bytes;
+    ++retained;
+    matrices.emplace(MatrixKey{key.query, to_arena}, std::move(entry));
+  }
+  matrices_ = std::move(matrices);
+  repaired_entries_ += retained;
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = CacheMetrics::Get();
+    metrics.repaired.Add(retained);
+    metrics.bytes.Set(static_cast<int64_t>(total_bytes_));
+    metrics.entries.Set(static_cast<int64_t>(results_.size() + matrices_.size()));
+  }
+  return retained;
+}
+
+std::string PreparedStateCache::ExplainEntry(const CompiledQuery& query,
+                                             const StoreSnapshot& snapshot,
+                                             StoreDocId doc) const {
+  if (snapshot.empty() || !snapshot.Contains(doc)) {
+    return "store-cache: document not in snapshot\n";
+  }
+  const uint64_t arena = snapshot.slp().arena_id();
+  const NodeId root = snapshot.RootOf(doc);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = "store-cache: result=";
+  line += results_.count(ResultKey{&query, arena, root}) != 0 ? "hit" : "miss";
+  auto it = matrices_.find(MatrixKey{&query, arena});
+  const bool warm = it != matrices_.end() && it->second->bytes > 0;
+  line += warm ? " matrix=warm" : " matrix=cold";
+  const StoreEditDelta* delta = snapshot.EditDeltaFor(doc);
+  if (warm && delta != nullptr && delta->new_root == root) {
+    line += " decision=splice-repair dirty-path=" +
+            std::to_string(delta->dirty.size());
+  } else if (query.features().has_references || root == kNoNode) {
+    line += " decision=session-planner";
+  } else {
+    line += warm ? " decision=reuse" : " decision=full-fill";
+  }
+  line += " spliced=" + std::to_string(spliced_) +
+          " refilled-nodes=" + std::to_string(refilled_nodes_) +
+          " repaired-entries=" + std::to_string(repaired_entries_) + "\n";
+  return line;
 }
 
 void PreparedStateCache::Clear() {

@@ -48,6 +48,9 @@ struct PreparedCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t evicted_bytes = 0;
+  uint64_t spliced = 0;          ///< evaluations that took path-splice repair
+  uint64_t refilled_nodes = 0;   ///< node matrices recomputed by splices
+  uint64_t repaired_entries = 0; ///< entries carried across thaw/GC repairs
   std::size_t bytes = 0;         ///< current footprint (both entry kinds)
   std::size_t result_entries = 0;
   std::size_t matrix_entries = 0;
@@ -79,6 +82,34 @@ class PreparedStateCache {
 
   /// Drops every entry bound to \p arena_id (a superseded generation).
   void DropArena(uint64_t arena_id);
+
+  // --- cross-generation repair (DESIGN.md §1.16) ----------------------------
+  //
+  // Epoch transitions used to be whole-arena drops; both are now repairs
+  // that keep the warm state alive. Either runs on the single-writer commit
+  // path. A matrix entry whose evaluator is mid-evaluation (a reader on the
+  // superseded snapshot holds its mutex) is dropped rather than waited for
+  // -- exactly the old behavior for that entry; the reader finishes safely
+  // on its pinned epoch (the evaluator re-binds on next use).
+
+  /// Thaw repair: the entries of \p from_arena move unchanged to
+  /// \p to_arena -- a thawed epoch is an id-preserving twin of its mapped
+  /// original (SlpSerializer::Thaw). Returns the number of entries moved.
+  std::size_t RebindArena(uint64_t from_arena, uint64_t to_arena);
+
+  /// GC repair: entries of \p from_arena are rewritten through CompactSlp's
+  /// old->new node mapping instead of dropped. Result entries whose root was
+  /// reclaimed (a superseded document version no snapshot can name anymore)
+  /// are dropped -- GC doubles as stale-result pruning. Returns the number
+  /// of entries retained.
+  std::size_t RemapArena(uint64_t from_arena, uint64_t to_arena,
+                         const std::vector<NodeId>& remap);
+
+  /// One "store-cache:" ExplainPlan line describing what Evaluate would do
+  /// for (query, doc) right now: result hit/miss, matrix state warm/cold,
+  /// and whether a dirty path makes splice repair available.
+  std::string ExplainEntry(const CompiledQuery& query,
+                           const StoreSnapshot& snapshot, StoreDocId doc) const;
 
   /// Drops everything (counters are kept).
   void Clear();
@@ -121,6 +152,9 @@ class PreparedStateCache {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t evicted_bytes_ = 0;
+  uint64_t spliced_ = 0;
+  uint64_t refilled_nodes_ = 0;
+  uint64_t repaired_entries_ = 0;
 };
 
 /// Approximate heap footprint of a materialised relation (set nodes plus

@@ -48,6 +48,20 @@ struct StoreDoc {
   NodeId root = kNoNode;  ///< kNoNode derives the empty document
 };
 
+/// The splice record of one edited document: which nodes the publishing
+/// commit freshly created under the document's new root (its *dirty path*,
+/// ascending = children before parents). The prepared-state cache uses it
+/// to repair matrix state along the path instead of re-discovering the
+/// whole subtree (DESIGN.md §1.16). Carried by the version the commit
+/// published only -- a dirty path is meaningful relative to the immediately
+/// preceding version, so later versions do not inherit it.
+struct StoreEditDelta {
+  StoreDocId doc = 0;
+  NodeId old_root = kNoNode;   ///< the document's root before the commit
+  NodeId new_root = kNoNode;   ///< ... and after (kNoNode = now empty)
+  std::vector<NodeId> dirty;   ///< fresh nodes reachable from new_root
+};
+
 /// The immutable state published by one commit (internal to the store and
 /// its snapshots; readers go through StoreSnapshot).
 struct StoreVersion {
@@ -56,6 +70,7 @@ struct StoreVersion {
   std::vector<StoreDoc> docs;  ///< sorted by id
   StoreDocId next_doc_id = 1;
   std::size_t reachable_nodes = 0;  ///< |S| restricted to the live roots
+  std::vector<StoreEditDelta> edits;  ///< splice records of *this* commit
   std::shared_ptr<PreparedStateCache> cache;  ///< shared with the store
 };
 
@@ -113,6 +128,17 @@ class StoreSnapshot {
   /// Nodes reachable from this version's live roots (|S| restricted to 𝔇).
   std::size_t reachable_nodes() const {
     return state_ == nullptr ? 0 : state_->reachable_nodes;
+  }
+
+  /// The splice record of document \p id if the commit that published this
+  /// version edited it, else nullptr. The prepared-state cache consults this
+  /// to pick path-splice repair over a whole-subtree fill.
+  const StoreEditDelta* EditDeltaFor(StoreDocId id) const {
+    if (state_ == nullptr) return nullptr;
+    for (const StoreEditDelta& delta : state_->edits) {
+      if (delta.doc == id) return &delta;
+    }
+    return nullptr;
   }
 
   /// The store's prepared-state cache (shared across versions), or null for

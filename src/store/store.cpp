@@ -86,6 +86,11 @@ struct DocumentStore::PendingState {
   std::vector<NodeId> roots;  ///< roots[id - 1]; kNoNode = empty or dead
   std::vector<char> live;     ///< live[id - 1]
   StoreDocId next_doc_id = 1;
+  /// Documents this batch edited, with their pre-batch roots (recorded on a
+  /// document's first edit). Folded into the published version's splice
+  /// records (StoreEditDelta) after the ops ran, so a document edited twice
+  /// in one batch gets one delta spanning the whole batch.
+  std::vector<std::pair<StoreDocId, NodeId>> edited;
 };
 
 DocumentStore::DocumentStore(StoreOptions options)
@@ -143,6 +148,11 @@ std::string DocumentStore::ApplyOp(PendingState* state, const StoreOp& op,
       if (op.kind == StoreOp::Kind::kCreateCde) {
         add_doc(*root);
       } else {
+        bool first_edit = true;
+        for (const auto& [doc, unused] : state->edited) {
+          if (doc == op.doc) first_edit = false;
+        }
+        if (first_edit) state->edited.push_back({op.doc, state->roots[op.doc - 1]});
         state->roots[op.doc - 1] = *root;
       }
       return {};
@@ -181,9 +191,16 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
   if (epoch->slp.frozen()) {
     auto thawed = std::make_shared<StoreEpoch>();
     thawed->slp = SlpSerializer::Thaw(epoch->slp);
-    cache_->DropArena(epoch->slp.arena_id());
+    // The thawed twin has identical node ids, so prepared state filled
+    // against the mapped epoch stays valid -- rebind instead of dropping
+    // (DESIGN.md §1.16). Old snapshots pin the mapped epoch itself.
+    cache_->RebindArena(epoch->slp.arena_id(), thawed->slp.arena_id());
     epoch = std::move(thawed);
   }
+
+  // Everything appended from here on is this batch's fresh-node interval;
+  // the per-document dirty paths below are carved out of it.
+  const NodeId batch_first_fresh = static_cast<NodeId>(epoch->slp.num_nodes());
 
   PendingState state;
   state.slp = &epoch->slp;
@@ -233,6 +250,19 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
     if (state.live[id - 1] != 0) next->docs.push_back({id, state.roots[id - 1]});
   }
 
+  // Splice records: per surviving edited document, the fresh nodes its new
+  // root reaches. O(fresh) per document -- the dirty path, not the document.
+  for (const auto& [doc, old_root] : state.edited) {
+    if (state.live[doc - 1] == 0) continue;  // edited, then dropped
+    StoreEditDelta delta;
+    delta.doc = doc;
+    delta.old_root = old_root;
+    delta.new_root = state.roots[doc - 1];
+    delta.dirty =
+        CollectFreshReachable(*state.slp, delta.new_root, batch_first_fresh);
+    next->edits.push_back(std::move(delta));
+  }
+
   std::vector<NodeId> roots;
   roots.reserve(next->docs.size());
   for (const StoreDoc& doc : next->docs) roots.push_back(doc.root);
@@ -249,13 +279,36 @@ Expected<CommitReceipt> DocumentStore::CommitLocked(const WriteBatch& batch,
     ScopedSpan gc_span("store.gc");
     const uint64_t gc_start = MetricsEnabled() ? NowNanos() : 0;
     auto fresh = std::make_shared<StoreEpoch>();
-    CompactSlp(*state.slp, &roots, &fresh->slp);
+    std::vector<NodeId> remap;
+    CompactSlp(*state.slp, &roots, &fresh->slp, &remap);
     for (std::size_t i = 0; i < next->docs.size(); ++i) {
       next->docs[i].root = roots[i];
     }
-    // The superseded generation's cache entries can never be hit again
-    // (fresh arena id); old snapshots pin the epoch itself until released.
-    cache_->DropArena(epoch->slp.arena_id());
+    // Rewrite this commit's splice records into the compacted arena so the
+    // first post-GC re-query still splice-repairs instead of refilling.
+    auto remap_node = [&remap](NodeId node) {
+      return node != kNoNode && node < remap.size() ? remap[node] : kNoNode;
+    };
+    for (StoreEditDelta& delta : next->edits) {
+      delta.old_root = remap_node(delta.old_root);  // usually reclaimed
+      delta.new_root = remap_node(delta.new_root);
+      std::vector<NodeId> dirty;
+      dirty.reserve(delta.dirty.size());
+      for (const NodeId node : delta.dirty) {
+        if (const NodeId moved = remap_node(node); moved != kNoNode) {
+          dirty.push_back(moved);
+        }
+      }
+      // Hash-consing can merge and reorder ids; restore the ascending
+      // (children-before-parents) order RefillPath consumes.
+      std::sort(dirty.begin(), dirty.end());
+      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+      delta.dirty = std::move(dirty);
+    }
+    // Carry the superseded generation's prepared state across the
+    // compaction through the old->new mapping instead of dropping it; old
+    // snapshots pin the epoch itself until released (DESIGN.md §1.16).
+    cache_->RemapArena(epoch->slp.arena_id(), fresh->slp.arena_id(), remap);
     epoch = std::move(fresh);
     receipt.gc.compacted = true;
     gc_compactions_.fetch_add(1, std::memory_order_relaxed);

@@ -70,6 +70,19 @@ static_assert(kPatternCount * kDocsPerPattern + kReferenceCount + kAlgebraCount 
                   kDifferentialIterations,
               "sweep constants no longer cover the advertised iteration budget");
 
+// The edit-storm sweep (incremental maintenance, DESIGN.md §1.16) carries
+// its own full-size budget: every comparison pits the store's spliced-cache
+// evaluation against a cold from-scratch evaluation of the cde_model
+// oracle's text.
+constexpr int kEditStormScripts = 50;
+constexpr int kEditStormBatchesPerScript = 8;
+constexpr int kEditStormChecksPerBatch = 30;
+
+static_assert(kEditStormScripts * kEditStormBatchesPerScript *
+                      kEditStormChecksPerBatch >=
+                  kDifferentialIterations,
+              "edit-storm constants no longer cover the advertised budget");
+
 // --- five pipelines vs the oracle -------------------------------------------
 
 // Evaluates (pattern, document) on every stack -- the four explicit PlanKinds
@@ -284,6 +297,98 @@ TEST(DifferentialSweep, StoreAgreesWithModelOnRandomScripts) {
   }
   EXPECT_EQ(batches, kCdeScriptCount * kCdeBatchesPerScript);
   EXPECT_GT(reopens, 0);
+}
+
+// --- edit storm: spliced cache vs cold evaluation vs the model --------------
+//
+// Interleaves random CDE edit batches with re-queries of a fixed compiled
+// query set against the same store. The store runs with eager GC, so every
+// commit exercises the full incremental-maintenance pipeline: dirty-path
+// collection at commit, splice repair on re-query, and cache remapping
+// across compactions (DESIGN.md §1.16). Each check asserts the spliced-cache
+// result equals a cold from-scratch evaluation of the cde_model oracle's
+// text -- and the oracle text equals the store text, closing the triangle.
+TEST(DifferentialSweep, EditStormSplicedCacheMatchesColdEvaluation) {
+  RngDecisions decisions(0xed17'5707'2026ull);
+  CdeScriptOptions options;
+  options.num_batches = kEditStormBatchesPerScript;
+  options.invalid_percent = 0;  // every batch commits: the check count is real
+
+  Session session(EngineOptions{.force_plan = {}, .threads = 1});
+  const char* kPatterns[] = {
+      "(a|b)*{x: a(a|b)}",
+      "{x: a*}b(a|b)*",
+      "(a|b)*{x: ab}{y: a*}",
+  };
+  std::vector<const CompiledQuery*> queries;
+  for (const char* pattern : kPatterns) {
+    const Expected<const CompiledQuery*> compiled = session.Compile(pattern);
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    queries.push_back(*compiled);
+  }
+
+  int comparisons = 0;
+  uint64_t spliced_total = 0;
+  for (int s = 0; s < kEditStormScripts; ++s) {
+    const CdeScript script = RandomCdeScript(decisions, options);
+    SCOPED_TRACE("script:\n" + script.ToString());
+
+    StoreOptions store_options;
+    store_options.threads = 1;
+    store_options.gc_min_garbage_ratio = 0.0;  // remap-under-GC in the loop
+    store_options.gc_min_garbage_nodes = 1;
+    DocumentStore store(store_options);
+    ModelStore model;
+
+    for (std::size_t b = 0; b < script.batches.size(); ++b) {
+      SCOPED_TRACE("batch " + std::to_string(b));
+      WriteBatch batch;
+      for (const ModelOp& op : script.batches[b]) {
+        switch (op.kind) {
+          case ModelOp::Kind::kInsert: batch.Insert(op.payload); break;
+          case ModelOp::Kind::kCreate: batch.Create(op.payload); break;
+          case ModelOp::Kind::kEdit: batch.Edit(op.doc, op.payload); break;
+          case ModelOp::Kind::kDrop: batch.Drop(op.doc); break;
+        }
+      }
+      const Expected<CommitReceipt> receipt = store.Commit(batch);
+      const ModelCommitResult expected = model.Commit(script.batches[b]);
+      ASSERT_EQ(receipt.ok(), expected.ok)
+          << "store: " << (receipt.ok() ? "ok" : receipt.error())
+          << "\nmodel: " << (expected.ok ? "ok" : expected.error);
+      if (!expected.ok) continue;
+
+      const StoreSnapshot snapshot = store.Snapshot();
+      const std::vector<uint64_t> live = model.LiveIds();
+      ASSERT_EQ(snapshot.num_documents(), live.size());
+      if (live.empty()) continue;
+      for (int k = 0; k < kEditStormChecksPerBatch; ++k) {
+        const uint64_t id = live[k % live.size()];
+        const CompiledQuery& query = *queries[k % queries.size()];
+        const std::string* oracle_text = model.Text(id);
+        ASSERT_NE(oracle_text, nullptr);
+        ASSERT_EQ(snapshot.Text(id), *oracle_text) << "D" << id;
+
+        const Expected<SpanRelation> spliced =
+            session.Evaluate(query, snapshot, id);
+        ASSERT_TRUE(spliced.ok()) << spliced.error();
+        // Cold path: a text document never touches the store cache or the
+        // SLP matrix state -- a genuine from-scratch evaluation.
+        const Expected<SpanRelation> cold =
+            session.EvaluateWithPlan(query, Document::FromText(*oracle_text),
+                                     PlanKind::kEdva);
+        ASSERT_TRUE(cold.ok()) << cold.error();
+        EXPECT_EQ(*spliced, *cold) << "D" << id << " query " << query.key();
+        ++comparisons;
+      }
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+    spliced_total += store.cache().stats().spliced;
+  }
+  // A handful of batches may leave no live documents; the storm must still
+  // cover the advertised budget.
+  EXPECT_GE(comparisons, kDifferentialIterations);
+  EXPECT_GT(spliced_total, 0u) << "the storm never took the splice-repair path";
 }
 
 // --- snapshot isolation, checked offline -------------------------------------

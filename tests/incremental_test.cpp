@@ -1,0 +1,338 @@
+// Property tests for incremental spanner maintenance under CDE edits
+// (DESIGN.md §1.16): after any single edit, splice-repaired matrix state is
+// byte-identical to a fresh whole-document fill; the dirty path an edit
+// reports stays within the AVL height bound (O(log d)); and the store-level
+// repair pipeline (splice on re-query, rebind on thaw, remap on GC) keeps
+// prepared state alive across epoch transitions without ever changing a
+// result.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/regular_spanner.hpp"
+#include "engine/document.hpp"
+#include "engine/session.hpp"
+#include "slp/avl_grammar.hpp"
+#include "slp/cde.hpp"
+#include "slp/slp.hpp"
+#include "slp/slp_enum.hpp"
+#include "slp/slp_nfa.hpp"
+#include "store/persist.hpp"
+#include "store/store.hpp"
+#include "util/random.hpp"
+
+namespace spanners {
+namespace {
+
+Nfa PlainNfa(std::string_view pattern) {
+  // A regex without captures compiles to a plain character NFA.
+  return RegularSpanner::Compile(pattern).vset().nfa();
+}
+
+/// One random single-operation CDE edit expression over D1 with valid
+/// 1-based positions for a document of length \p len (>= 1).
+std::string RandomEditExpr(Rng& rng, uint64_t len, int kind) {
+  const uint64_t a = 1 + rng.NextBelow(len);
+  const uint64_t b = a + rng.NextBelow(len - a + 1);
+  const uint64_t k = rng.NextBelow(len + 1);
+  switch (kind % 4) {
+    case 0:
+      return "delete(D1, " + std::to_string(a) + ", " + std::to_string(b) + ")";
+    case 1:
+      return "extract(D1, " + std::to_string(a) + ", " + std::to_string(b) + ")";
+    case 2:
+      return "copy(D1, " + std::to_string(a) + ", " + std::to_string(b) + ", " +
+             std::to_string(k) + ")";
+    default:
+      return "insert(D1, extract(D1, " + std::to_string(a) + ", " +
+             std::to_string(b) + "), " + std::to_string(k) + ")";
+  }
+}
+
+/// Applies RandomEditExpr to (slp, root), reporting the dirty path.
+NodeId ApplyRandomEdit(Slp* slp, NodeId root, Rng& rng, int kind,
+                       CdeDirtyPath* dirty) {
+  const uint64_t len = slp->Length(root);
+  const std::string expr = RandomEditExpr(rng, len, kind);
+  Expected<std::unique_ptr<CdeExpr>> parsed = ParseCdeChecked(expr);
+  EXPECT_TRUE(parsed.ok()) << parsed.error();
+  Expected<NodeId> result = EvalCdeOnChecked(slp, {root}, **parsed, dirty);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.error();
+  return *result;
+}
+
+// --- spliced state == fresh whole-document fill -----------------------------
+
+TEST(IncrementalMaintenance, SplicedEnumMatricesMatchFreshFill) {
+  const RegularSpanner spanner =
+      RegularSpanner::Compile("(a|b|c)*{x: ab}(a|b|c)*");
+  Rng rng(0x51ce);
+  for (int iter = 0; iter < 32; ++iter) {
+    Slp slp;
+    const std::string text = RandomString(rng, "abc", 64 + rng.NextBelow(1500));
+    const NodeId root = BalancedFromString(slp, text);
+
+    SlpSpannerEvaluator warm(&spanner.edva());
+    warm.SetThreads(1);
+    (void)warm.EvaluateToRelation(slp, root);  // whole-document warm fill
+
+    CdeDirtyPath dirty;
+    const NodeId edited = ApplyRandomEdit(&slp, root, rng, iter, &dirty);
+    if (edited == kNoNode) continue;  // the edit emptied the document
+    ASSERT_EQ(edited, dirty.root);
+
+    // Splice repair: exactly the dirty path, no discovery walk.
+    const std::size_t refilled = warm.RefillPath(slp, dirty.nodes);
+    EXPECT_LE(refilled, dirty.nodes.size());
+    const SpanRelation spliced = warm.EvaluateToRelation(slp, edited);
+
+    SlpSpannerEvaluator fresh(&spanner.edva());
+    fresh.SetThreads(1);
+    const SpanRelation scratch = fresh.EvaluateToRelation(slp, edited);
+    ASSERT_EQ(spliced, scratch) << "iter " << iter;
+
+    // Byte-identical per-node state for every node of the edited document.
+    const std::vector<bool> reachable = slp.MarkReachable({edited});
+    for (std::size_t id = 0; id < reachable.size(); ++id) {
+      if (!reachable[id]) continue;
+      const auto* from_splice = warm.FindMats(static_cast<NodeId>(id));
+      const auto* from_scratch = fresh.FindMats(static_cast<NodeId>(id));
+      ASSERT_NE(from_splice, nullptr) << "node " << id << " missing after splice";
+      ASSERT_NE(from_scratch, nullptr) << "node " << id;
+      EXPECT_EQ(from_splice->spine, from_scratch->spine) << "node " << id;
+      EXPECT_EQ(from_splice->event, from_scratch->event) << "node " << id;
+      EXPECT_EQ(from_splice->full, from_scratch->full) << "node " << id;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+TEST(IncrementalMaintenance, SplicedNfaMatricesMatchFreshFill) {
+  const Nfa nfa = PlainNfa("(a|b)*ac*");
+  Rng rng(0x51cf);
+  for (int iter = 0; iter < 32; ++iter) {
+    Slp slp;
+    const std::string text = RandomString(rng, "abc", 64 + rng.NextBelow(1500));
+    const NodeId root = BalancedFromString(slp, text);
+
+    SlpNfaMatcher warm(nfa);
+    ASSERT_TRUE(warm.ok()) << warm.error();
+    warm.SetThreads(1);
+    const bool before = warm.Accepts(slp, root);
+    (void)before;
+
+    CdeDirtyPath dirty;
+    const NodeId edited = ApplyRandomEdit(&slp, root, rng, iter, &dirty);
+    if (edited == kNoNode) continue;
+
+    const std::size_t refilled = warm.RefillPath(slp, dirty.nodes);
+    EXPECT_LE(refilled, dirty.nodes.size());
+    const bool spliced = warm.Accepts(slp, edited);
+
+    SlpNfaMatcher fresh(nfa);
+    ASSERT_TRUE(fresh.ok()) << fresh.error();
+    fresh.SetThreads(1);
+    ASSERT_EQ(spliced, fresh.Accepts(slp, edited)) << "iter " << iter;
+
+    const std::vector<bool> reachable = slp.MarkReachable({edited});
+    for (std::size_t id = 0; id < reachable.size(); ++id) {
+      if (!reachable[id]) continue;
+      const BoolMatrix* from_splice = warm.FindMatrix(static_cast<NodeId>(id));
+      const BoolMatrix* from_scratch = fresh.FindMatrix(static_cast<NodeId>(id));
+      ASSERT_NE(from_splice, nullptr) << "node " << id << " missing after splice";
+      ASSERT_NE(from_scratch, nullptr) << "node " << id;
+      EXPECT_EQ(*from_splice, *from_scratch) << "node " << id;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+// --- dirty path within the AVL height bound ---------------------------------
+
+TEST(IncrementalMaintenance, DirtyPathWithinAvlHeightBound) {
+  // A basic CDE operation is a constant number of AVL splits/concats, each
+  // touching one root-to-leaf path of O(order) nodes. Measured worst case
+  // is ~3*order across 2^8..2^20 characters; 4*(order + 2) leaves margin
+  // without ever admitting a linear-in-d path.
+  constexpr std::size_t kPerLevel = 4;
+  Rng rng(0xa51);
+  for (int exp = 8; exp <= 16; exp += 2) {
+    const std::size_t n = std::size_t{1} << exp;
+    Slp slp;
+    const std::string text = RandomString(rng, "abcdefgh", n);
+    const NodeId root = BalancedFromString(slp, text);
+    const uint32_t order = slp.Order(root);
+
+    for (int i = 0; i < 64; ++i) {
+      CdeDirtyPath dirty;
+      const NodeId edited = ApplyRandomEdit(&slp, root, rng, i, &dirty);
+      ASSERT_TRUE(HasFatalFailure() == false);
+      // The filtered path is a subset of what the evaluation appended ...
+      EXPECT_LE(dirty.nodes.size(), dirty.appended);
+      // ... sorted ascending (children before parents), all fresh ...
+      for (std::size_t j = 0; j < dirty.nodes.size(); ++j) {
+        ASSERT_GE(dirty.nodes[j], dirty.first_fresh);
+        if (j > 0) {
+          ASSERT_LT(dirty.nodes[j - 1], dirty.nodes[j]);
+        }
+      }
+      // ... and within the height bound: O(log d), never O(d).
+      EXPECT_LE(dirty.nodes.size(), kPerLevel * (order + 2))
+          << "n=" << n << " edit " << i;
+      if (edited != kNoNode) {
+        // Every fresh node the edited document reaches is on the path.
+        const std::vector<bool> reachable = slp.MarkReachable({edited});
+        std::size_t fresh_reachable = 0;
+        for (std::size_t id = dirty.first_fresh; id < reachable.size(); ++id) {
+          fresh_reachable += reachable[id] ? 1 : 0;
+        }
+        EXPECT_EQ(fresh_reachable, dirty.nodes.size());
+      }
+      if (HasNonfatalFailure()) return;
+    }
+  }
+}
+
+// --- store-level repair pipeline --------------------------------------------
+
+TEST(IncrementalMaintenance, StoreSpliceRepairKeepsResultsIdentical) {
+  Rng rng(0x570e);
+  std::string text = RandomString(rng, "acgt", 30000);
+  text.insert(text.size() / 2, "fox");
+  DocumentStore store;
+  const Expected<StoreDocId> doc = store.InsertDocument(text);
+  ASSERT_TRUE(doc.ok());
+  const std::size_t full_fill_nodes = store.Snapshot().reachable_nodes();
+
+  Session session;
+  const Expected<const CompiledQuery*> query =
+      session.Compile("(.|\n)*{hit: fox}(.|\n)*");
+  ASSERT_TRUE(query.ok()) << query.error();
+  const Expected<SpanRelation> cold = session.Evaluate(**query, store.Snapshot(), *doc);
+  ASSERT_TRUE(cold.ok()) << cold.error();
+
+  uint64_t last_spliced = 0;
+  for (int i = 0; i < 12; ++i) {
+    const uint64_t len = store.Snapshot().LengthOf(*doc);
+    ASSERT_TRUE(store.EditDocument(*doc, RandomEditExpr(rng, len, i)).ok());
+    const StoreSnapshot snapshot = store.Snapshot();
+    if (snapshot.LengthOf(*doc) == 0) break;
+
+    const Expected<SpanRelation> spliced = session.Evaluate(**query, snapshot, *doc);
+    ASSERT_TRUE(spliced.ok()) << spliced.error();
+    const Expected<SpanRelation> scratch = session.EvaluateWithPlan(
+        **query, Document::FromText(snapshot.Text(*doc)), PlanKind::kEdva);
+    ASSERT_TRUE(scratch.ok()) << scratch.error();
+    EXPECT_EQ(*spliced, *scratch) << "edit " << i;
+
+    const PreparedCacheStats stats = store.cache().stats();
+    EXPECT_GT(stats.spliced, last_spliced) << "edit " << i << " did not splice";
+    last_spliced = stats.spliced;
+    EXPECT_EQ(stats.matrix_entries, 1u);  // one shared entry, repaired in place
+  }
+  // The splices re-filled only dirty paths, not documents: across all edits
+  // the recomputed node count stays far below even one full fill.
+  const PreparedCacheStats stats = store.cache().stats();
+  EXPECT_GT(stats.spliced, 0u);
+  EXPECT_LT(stats.refilled_nodes, full_fill_nodes);
+}
+
+TEST(IncrementalMaintenance, MatrixStateSurvivesGcCompaction) {
+  StoreOptions options;
+  options.gc_min_garbage_ratio = 0.0;  // compact on every commit with garbage
+  options.gc_min_garbage_nodes = 1;
+  DocumentStore store(options);
+  Rng rng(0x6c);
+  const Expected<StoreDocId> doc = store.InsertDocument(RandomString(rng, "acgt", 20000));
+  ASSERT_TRUE(doc.ok());
+
+  Session session;
+  const Expected<const CompiledQuery*> query = session.Compile("(.|\n)*fox(.|\n)*");
+  ASSERT_TRUE(query.ok()) << query.error();
+  ASSERT_TRUE(session.Evaluate(**query, store.Snapshot(), *doc).ok());
+  ASSERT_EQ(store.cache().stats().matrix_entries, 1u);
+
+  // The edit leaves garbage (superseded path nodes), so this commit compacts
+  // into a fresh arena. The warm matrix entry must ride across via remap.
+  ASSERT_TRUE(store.EditDocument(*doc, "delete(D1, 11, 20)").ok());
+  const StoreStats after = store.Stats();
+  ASSERT_GT(after.gc_compactions, 0u) << "edit did not trigger compaction";
+  EXPECT_GT(after.cache.repaired_entries, 0u) << "cache was dropped, not remapped";
+  EXPECT_EQ(after.cache.matrix_entries, 1u);
+
+  const StoreSnapshot snapshot = store.Snapshot();
+  const Expected<SpanRelation> spliced = session.Evaluate(**query, snapshot, *doc);
+  ASSERT_TRUE(spliced.ok()) << spliced.error();
+  const Expected<SpanRelation> scratch = session.EvaluateWithPlan(
+      **query, Document::FromText(snapshot.Text(*doc)), PlanKind::kEdva);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(*spliced, *scratch);
+  // Post-GC re-query spliced along the (remapped) dirty path instead of
+  // re-filling the compacted document from scratch.
+  const PreparedCacheStats stats = store.cache().stats();
+  EXPECT_GT(stats.spliced, 0u);
+  EXPECT_LT(stats.refilled_nodes, snapshot.reachable_nodes() / 2);
+}
+
+TEST(IncrementalMaintenance, ThawedEpochKeepsPreparedState) {
+  const std::string dir = ::testing::TempDir() + "/spanners_incremental_thaw";
+  std::remove(SnapshotPath(dir).c_str());
+  std::remove(WalPath(dir).c_str());
+  Rng rng(0x7a);
+  const std::string text = DnaLike(rng, 20000, 8, 32);
+  {
+    Expected<std::unique_ptr<DocumentStore>> store = DocumentStore::Open(dir, {});
+    ASSERT_TRUE(store.ok()) << store.error();
+    ASSERT_TRUE((*store)->InsertDocument(text).ok());
+    ASSERT_TRUE((*store)->SaveSnapshot(dir).ok());
+  }
+  Expected<std::unique_ptr<DocumentStore>> reopened = DocumentStore::Open(dir, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.error();
+  DocumentStore& store = **reopened;
+  ASSERT_TRUE(store.Snapshot().slp().frozen()) << "expected a mapped epoch";
+
+  Session session;
+  const Expected<const CompiledQuery*> query = session.Compile("(.|\n)*fox(.|\n)*");
+  ASSERT_TRUE(query.ok()) << query.error();
+  // Warm the matrix entry against the mapped (frozen) epoch.
+  ASSERT_TRUE(session.Evaluate(**query, store.Snapshot(), 1).ok());
+  ASSERT_EQ(store.cache().stats().matrix_entries, 1u);
+
+  // First edit thaws the epoch into an id-preserving twin: prepared state
+  // must be rebound to the thawed arena, not dropped.
+  ASSERT_TRUE(store.EditDocument(1, "delete(D1, 101, 200)").ok());
+  const PreparedCacheStats stats = store.cache().stats();
+  EXPECT_GT(stats.repaired_entries, 0u) << "thaw dropped the cache";
+
+  const StoreSnapshot snapshot = store.Snapshot();
+  const Expected<SpanRelation> spliced = session.Evaluate(**query, snapshot, 1);
+  ASSERT_TRUE(spliced.ok()) << spliced.error();
+  const Expected<SpanRelation> scratch = session.EvaluateWithPlan(
+      **query, Document::FromText(snapshot.Text(1)), PlanKind::kEdva);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(*spliced, *scratch);
+  EXPECT_GT(store.cache().stats().spliced, 0u);
+}
+
+TEST(IncrementalMaintenance, ExplainPlanReportsSpliceDecision) {
+  DocumentStore store;
+  Rng rng(0xe8);
+  const Expected<StoreDocId> doc = store.InsertDocument(DnaLike(rng, 10000, 8, 32));
+  ASSERT_TRUE(doc.ok());
+  Session session;
+  const Expected<const CompiledQuery*> query = session.Compile("(.|\n)*fox(.|\n)*");
+  ASSERT_TRUE(query.ok()) << query.error();
+
+  ASSERT_TRUE(session.Evaluate(**query, store.Snapshot(), *doc).ok());
+  ASSERT_TRUE(store.EditDocument(*doc, "delete(D1, 11, 20)").ok());
+
+  const std::string report = session.ExplainPlan(**query, store.Snapshot(), *doc);
+  EXPECT_NE(report.find("store-cache:"), std::string::npos) << report;
+  EXPECT_NE(report.find("decision=splice-repair"), std::string::npos) << report;
+  EXPECT_NE(report.find("dirty-path="), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace spanners

@@ -220,6 +220,43 @@ TEST(StoreCacheTest, UneditedDocumentSurvivesUnrelatedCommit) {
   EXPECT_EQ(store.cache().stats().misses, misses_before + 1);
 }
 
+// Invalidation granularity (DESIGN.md §1.16): matrix state is keyed per
+// (query, arena) and shared by every document in the epoch. An edit to doc A
+// must not evict the shared entry doc B relies on -- A's commit only marks
+// A's dirty path, and the next query over A splices instead of re-filling.
+TEST(StoreCacheTest, EditToOneDocKeepsSharedMatrixStateForOthers) {
+  SetTraceLevel(TraceLevel::kCounters);
+  DocumentStore store;
+  Session session;
+  const CompiledQuery* query = *session.Compile("(a|b)*{x: ab}(a|b)*");
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(600)).ok());          // D1: edited
+  ASSERT_TRUE(store.InsertDocument(AbRepeat(500) + "ba").ok());   // D2: bystander
+
+  ASSERT_TRUE(session.Evaluate(*query, store.Snapshot(), 1).ok());
+  const SpanRelation b_first = *session.Evaluate(*query, store.Snapshot(), 2);
+  const PreparedCacheStats warm = store.cache().stats();
+  ASSERT_EQ(warm.matrix_entries, 1u) << "docs should share one matrix entry";
+
+  ASSERT_TRUE(store.EditDocument(1, "delete(D1, 7, 10)").ok());
+
+  // The shared matrix entry survived the edit ...
+  const PreparedCacheStats after = store.cache().stats();
+  EXPECT_EQ(after.matrix_entries, 1u);
+  // ... so the bystander's cached result still hits,
+  const SpanRelation b_second = *session.Evaluate(*query, store.Snapshot(), 2);
+  EXPECT_EQ(b_first, b_second);
+  EXPECT_EQ(store.cache().stats().hits, warm.hits + 1);
+  // ... and the edited document splices along its dirty path instead of
+  // re-filling: far fewer nodes recomputed than a whole-document fill.
+  const StoreSnapshot snapshot = store.Snapshot();
+  ASSERT_TRUE(session.Evaluate(*query, snapshot, 1).ok());
+  const PreparedCacheStats repaired = store.cache().stats();
+  EXPECT_EQ(repaired.spliced, warm.spliced + 1);
+  EXPECT_LT(repaired.refilled_nodes - warm.refilled_nodes,
+            snapshot.reachable_nodes() / 4);
+  EXPECT_EQ(repaired.matrix_entries, 1u);
+}
+
 TEST(StoreCacheTest, TinyBudgetEvictsDeterministically) {
   StoreOptions options;
   options.cache_budget_bytes = 1;  // nothing fits: every retention evicts
